@@ -1,0 +1,204 @@
+//! dEclat: Eclat with *diffsets* (Zaki & Gouda, KDD 2003).
+//!
+//! Instead of carrying the tid list of every candidate, a node below the
+//! first level stores only the *difference* to its parent's tid list:
+//! `d(P ∪ {j}) = t(P) − t(P ∪ {j})`, with support maintained arithmetically
+//! as `supp(P ∪ {j}) = supp(P) − |d(P ∪ {j})|`. On dense databases the
+//! diffsets are much smaller than the tid lists, which makes this the
+//! classic variant for exactly the dense few-transaction data this
+//! workspace targets. The recurrence between siblings `i < j` of prefix
+//! `P` is `d(P ∪ {i,j}) = d(P ∪ {j}) − d(P ∪ {i})`; only the first level
+//! computes `d(ij) = t(i) − t(j)` from real tid lists.
+
+use crate::filter::filter_closed;
+use fim_core::{ClosedMiner, FoundSet, Item, ItemSet, MiningResult, RecodedDatabase, Tid, TidLists};
+
+/// The diffset-based Eclat miner (closed output via subsumption filter).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DEclatMiner;
+
+/// `out = a − b` on strictly ascending slices.
+fn diff_into(a: &[Tid], b: &[Tid], out: &mut Vec<Tid>) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() {
+        if j == b.len() || a[i] < b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else if a[i] == b[j] {
+            i += 1;
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
+struct Ctx {
+    minsupp: u32,
+    candidates: Vec<FoundSet>,
+}
+
+impl ClosedMiner for DEclatMiner {
+    fn name(&self) -> &'static str {
+        "declat"
+    }
+
+    fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult {
+        let minsupp = minsupp.max(1);
+        let lists = TidLists::from_database(db);
+        let mut ctx = Ctx {
+            minsupp,
+            candidates: Vec::new(),
+        };
+        let frequent: Vec<Item> = (0..db.num_items())
+            .filter(|&i| lists.item_support(i) >= minsupp)
+            .collect();
+        // first level: tid lists; children switch to diffsets
+        let mut buf: Vec<Tid> = Vec::new();
+        for (idx, &i) in frequent.iter().enumerate() {
+            let t_i = lists.list(i);
+            let supp_i = t_i.len() as u32;
+            let mut next: Vec<(Item, Vec<Tid>, u32)> = Vec::new();
+            let mut perfect: Vec<Item> = Vec::new();
+            for &j in &frequent[idx + 1..] {
+                diff_into(t_i, lists.list(j), &mut buf);
+                let supp_ij = supp_i - buf.len() as u32;
+                if supp_ij == supp_i {
+                    perfect.push(j);
+                } else if supp_ij >= ctx.minsupp {
+                    next.push((j, buf.clone(), supp_ij));
+                }
+            }
+            emit_and_recurse(&mut ctx, &[i], supp_i, perfect, next);
+        }
+        filter_closed(ctx.candidates)
+    }
+}
+
+/// Emits the perfect-extension-collapsed candidate for `prefix` and
+/// recurses over the diffset frontier.
+fn emit_and_recurse(
+    ctx: &mut Ctx,
+    prefix: &[Item],
+    prefix_supp: u32,
+    perfect: Vec<Item>,
+    frontier: Vec<(Item, Vec<Tid>, u32)>,
+) {
+    let mut maximal: Vec<Item> = prefix.to_vec();
+    maximal.extend_from_slice(&perfect);
+    ctx.candidates
+        .push(FoundSet::new(ItemSet::new(maximal.clone()), prefix_supp));
+    if frontier.is_empty() {
+        return;
+    }
+    maximal.sort_unstable();
+    recurse(ctx, &maximal, &frontier);
+}
+
+/// Diffset recursion: `frontier` holds `(item, diffset w.r.t. prefix,
+/// support)` triples in ascending item order.
+fn recurse(ctx: &mut Ctx, prefix: &[Item], frontier: &[(Item, Vec<Tid>, u32)]) {
+    let mut buf: Vec<Tid> = Vec::new();
+    for (idx, (i, d_i, supp_i)) in frontier.iter().enumerate() {
+        let mut next: Vec<(Item, Vec<Tid>, u32)> = Vec::new();
+        let mut perfect: Vec<Item> = Vec::new();
+        for (j, d_j, _) in &frontier[idx + 1..] {
+            // d(P ∪ {i,j}) = d(P ∪ {j}) − d(P ∪ {i})
+            diff_into(d_j, d_i, &mut buf);
+            let supp_ij = supp_i - buf.len() as u32;
+            if supp_ij == *supp_i {
+                perfect.push(*j);
+            } else if supp_ij >= ctx.minsupp {
+                next.push((*j, buf.clone(), supp_ij));
+            }
+        }
+        let mut new_prefix = prefix.to_vec();
+        new_prefix.push(*i);
+        emit_and_recurse(ctx, &new_prefix, *supp_i, perfect, next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eclat::EclatMiner;
+    use fim_core::reference::mine_reference;
+
+    fn paper_db() -> RecodedDatabase {
+        RecodedDatabase::from_dense(
+            vec![
+                vec![0, 1, 2],
+                vec![0, 3, 4],
+                vec![1, 2, 3],
+                vec![0, 1, 2, 3],
+                vec![1, 2],
+                vec![0, 1, 3],
+                vec![3, 4],
+                vec![2, 3, 4],
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn matches_reference_all_minsupps() {
+        let db = paper_db();
+        for minsupp in 1..=8 {
+            let want = mine_reference(&db, minsupp);
+            let got = DEclatMiner.mine(&db, minsupp).canonicalized();
+            assert_eq!(got, want, "minsupp={minsupp}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_plain_eclat() {
+        let db = RecodedDatabase::from_dense(
+            vec![
+                vec![0, 1, 2, 3, 4],
+                vec![0, 1, 2, 4],
+                vec![1, 2, 3],
+                vec![0, 2, 3, 4],
+                vec![0, 1, 3, 4],
+            ],
+            5,
+        );
+        for minsupp in 1..=5 {
+            let a = DEclatMiner.mine(&db, minsupp).canonicalized();
+            let b = EclatMiner.mine(&db, minsupp).canonicalized();
+            assert_eq!(a, b, "minsupp={minsupp}");
+        }
+    }
+
+    #[test]
+    fn diff_into_basic() {
+        let mut out = Vec::new();
+        diff_into(&[1, 3, 5, 7], &[3, 4, 7], &mut out);
+        assert_eq!(out, vec![1, 5]);
+        diff_into(&[], &[1], &mut out);
+        assert!(out.is_empty());
+        diff_into(&[2, 4], &[], &mut out);
+        assert_eq!(out, vec![2, 4]);
+    }
+
+    #[test]
+    fn dense_database_small_diffsets() {
+        // on a dense database the support bookkeeping must stay exact
+        let db = RecodedDatabase::from_dense(vec![(0..12).collect::<Vec<u32>>(); 6], 12);
+        let got = DEclatMiner.mine(&db, 3).canonicalized();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got.sets[0].support, 6);
+        assert_eq!(got.sets[0].items.len(), 12);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = RecodedDatabase::from_dense(vec![], 3);
+        assert!(DEclatMiner.mine(&db, 1).is_empty());
+    }
+
+    #[test]
+    fn miner_name() {
+        assert_eq!(DEclatMiner.name(), "declat");
+    }
+}

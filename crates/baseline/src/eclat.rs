@@ -1,0 +1,148 @@
+//! Eclat (Zaki et al., KDD 1997): depth-first search over the item set
+//! lattice with a vertical (tid-list) database representation.
+//!
+//! This implementation enumerates all frequent item sets via tid-list
+//! intersection — the divide-and-conquer scheme of paper §2.2 — with
+//! perfect-extension pruning (§2.2), and then filters the output down to the
+//! closed sets. Perfect extensions are collected rather than recursed on:
+//! all `2^|E|` supersets they span share the prefix's support, and only the
+//! maximal one (prefix ∪ all perfect extensions) can be closed, so the
+//! expansion is never materialized.
+
+use crate::filter::filter_closed;
+use fim_core::{
+    itemset::intersect_into, ClosedMiner, FoundSet, Item, ItemSet, MiningResult, RecodedDatabase,
+    Tid, TidLists,
+};
+
+/// The Eclat-based closed-set miner (frequent enumeration + closed filter).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EclatMiner;
+
+struct Ctx<'a> {
+    minsupp: u32,
+    candidates: Vec<FoundSet>,
+    lists: &'a TidLists,
+}
+
+impl ClosedMiner for EclatMiner {
+    fn name(&self) -> &'static str {
+        "eclat"
+    }
+
+    fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult {
+        let minsupp = minsupp.max(1);
+        let lists = TidLists::from_database(db);
+        let mut ctx = Ctx {
+            minsupp,
+            candidates: Vec::new(),
+            lists: &lists,
+        };
+        // items with their full tid lists, ascending item order
+        let frontier: Vec<(Item, Vec<Tid>)> = (0..db.num_items())
+            .filter(|&i| lists.item_support(i) >= minsupp)
+            .map(|i| (i, lists.list(i).to_vec()))
+            .collect();
+        recurse(&mut ctx, &[], &frontier);
+        filter_closed(ctx.candidates)
+    }
+}
+
+/// Processes the conditional database `frontier` (items with their tid lists
+/// restricted to transactions containing `prefix`).
+fn recurse(ctx: &mut Ctx<'_>, prefix: &[Item], frontier: &[(Item, Vec<Tid>)]) {
+    let mut buf: Vec<Tid> = Vec::new();
+    for (idx, (item, tids)) in frontier.iter().enumerate() {
+        // the item set prefix ∪ {item} is frequent with support |tids|
+        let mut items: Vec<Item> = prefix.to_vec();
+        items.push(*item);
+
+        // build the conditional frontier and collect perfect extensions
+        let mut next: Vec<(Item, Vec<Tid>)> = Vec::new();
+        let mut perfect: Vec<Item> = Vec::new();
+        for (other, other_tids) in &frontier[idx + 1..] {
+            intersect_into(tids, other_tids, &mut buf);
+            if buf.len() == tids.len() {
+                perfect.push(*other);
+            } else if buf.len() >= ctx.minsupp as usize {
+                next.push((*other, buf.clone()));
+            }
+        }
+
+        if perfect.is_empty() {
+            ctx.candidates
+                .push(FoundSet::new(ItemSet::new(items.clone()), tids.len() as u32));
+            if !next.is_empty() {
+                recurse(ctx, &items, &next);
+            }
+        } else {
+            // only prefix ∪ {item} ∪ perfect can be closed among the 2^|E|
+            // same-support supersets
+            let mut maximal = items.clone();
+            maximal.extend_from_slice(&perfect);
+            ctx.candidates
+                .push(FoundSet::new(ItemSet::new(maximal.clone()), tids.len() as u32));
+            if !next.is_empty() {
+                // the perfect extensions belong to every set mined below
+                maximal.sort_unstable();
+                recurse(ctx, &maximal, &next);
+            }
+        }
+    }
+    let _ = &ctx.lists; // lists kept for potential diffsets extension
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fim_core::reference::mine_reference;
+
+    fn paper_db() -> RecodedDatabase {
+        RecodedDatabase::from_dense(
+            vec![
+                vec![0, 1, 2],
+                vec![0, 3, 4],
+                vec![1, 2, 3],
+                vec![0, 1, 2, 3],
+                vec![1, 2],
+                vec![0, 1, 3],
+                vec![3, 4],
+                vec![2, 3, 4],
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn matches_reference_all_minsupps() {
+        let db = paper_db();
+        for minsupp in 1..=8 {
+            let want = mine_reference(&db, minsupp);
+            let got = EclatMiner.mine(&db, minsupp).canonicalized();
+            assert_eq!(got, want, "minsupp={minsupp}");
+        }
+    }
+
+    #[test]
+    fn perfect_extension_collapse_keeps_closed_sets() {
+        // every transaction contains {0,1}: perfect extension chain
+        let db = RecodedDatabase::from_dense(
+            vec![vec![0, 1, 2], vec![0, 1, 2], vec![0, 1, 3]],
+            4,
+        );
+        let want = mine_reference(&db, 1);
+        let got = EclatMiner.mine(&db, 1).canonicalized();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = RecodedDatabase::from_dense(vec![], 3);
+        assert!(EclatMiner.mine(&db, 1).is_empty());
+    }
+
+    #[test]
+    fn miner_name() {
+        assert_eq!(EclatMiner.name(), "eclat");
+    }
+}

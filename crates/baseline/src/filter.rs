@@ -1,0 +1,115 @@
+//! Closedness filtering for miners that enumerate frequent (or candidate
+//! closed) item sets.
+//!
+//! A frequent item set is closed iff no proper superset has the same
+//! support (paper §2.3). Since a same-support superset of a frequent set is
+//! itself frequent, it suffices to compare against the other sets in the
+//! collection.
+
+use fim_core::{FoundSet, MiningResult};
+use std::collections::HashMap;
+
+/// Filters a collection of frequent item sets (with exact supports) down to
+/// the closed ones: a set survives iff no *other* set in the collection is a
+/// proper superset with equal support.
+///
+/// The input must contain every frequent item set's closure (this holds for
+/// the complete frequent collection, and for closure-candidate collections
+/// like FP-close's); duplicates of the same item set are merged first.
+pub fn filter_closed(sets: Vec<FoundSet>) -> MiningResult {
+    // dedup identical item sets (supports are exact, so they must agree)
+    let mut dedup: HashMap<fim_core::ItemSet, u32> = HashMap::with_capacity(sets.len());
+    for s in sets {
+        if let Some(prev) = dedup.insert(s.items.clone(), s.support) {
+            debug_assert_eq!(prev, s.support, "inconsistent supports for {:?}", s.items);
+        }
+    }
+    // group by support: only equal-support supersets can subsume
+    let mut by_support: HashMap<u32, Vec<&fim_core::ItemSet>> = HashMap::new();
+    for (items, supp) in &dedup {
+        by_support.entry(*supp).or_default().push(items);
+    }
+    // within each group, longer sets can never be subsumed by shorter ones;
+    // sort descending by length so each set is only checked against the
+    // candidates that could subsume it
+    let mut result = MiningResult::new();
+    for (supp, mut group) in by_support {
+        group.sort_unstable_by_key(|s| std::cmp::Reverse(s.len()));
+        for (idx, items) in group.iter().enumerate() {
+            let subsumed = group[..idx]
+                .iter()
+                .any(|other| other.len() > items.len() && items.is_subset_of(other));
+            if !subsumed {
+                result.sets.push(FoundSet::new((*items).clone(), supp));
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fim_core::ItemSet;
+
+    #[test]
+    fn removes_subsumed_sets() {
+        let sets = vec![
+            FoundSet::new(ItemSet::from([0]), 3),
+            FoundSet::new(ItemSet::from([0, 1]), 3),
+            FoundSet::new(ItemSet::from([1]), 4),
+        ];
+        let r = filter_closed(sets).canonicalized();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.support_of(&ItemSet::from([0, 1])), Some(3));
+        assert_eq!(r.support_of(&ItemSet::from([1])), Some(4));
+        assert_eq!(r.support_of(&ItemSet::from([0])), None);
+    }
+
+    #[test]
+    fn different_support_does_not_subsume() {
+        let sets = vec![
+            FoundSet::new(ItemSet::from([0]), 5),
+            FoundSet::new(ItemSet::from([0, 1]), 3),
+        ];
+        let r = filter_closed(sets);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn duplicates_merged() {
+        let sets = vec![
+            FoundSet::new(ItemSet::from([2]), 2),
+            FoundSet::new(ItemSet::from([2]), 2),
+        ];
+        let r = filter_closed(sets);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn chain_of_subsumption() {
+        let sets = vec![
+            FoundSet::new(ItemSet::from([0]), 2),
+            FoundSet::new(ItemSet::from([0, 1]), 2),
+            FoundSet::new(ItemSet::from([0, 1, 2]), 2),
+        ];
+        let r = filter_closed(sets);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.sets[0].items, ItemSet::from([0, 1, 2]));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(filter_closed(vec![]).is_empty());
+    }
+
+    #[test]
+    fn incomparable_same_support_sets_both_survive() {
+        let sets = vec![
+            FoundSet::new(ItemSet::from([0, 1]), 2),
+            FoundSet::new(ItemSet::from([2, 3]), 2),
+        ];
+        let r = filter_closed(sets);
+        assert_eq!(r.len(), 2);
+    }
+}

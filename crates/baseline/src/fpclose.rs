@@ -1,0 +1,232 @@
+//! FP-close: closed frequent item set mining on FP-trees, standing in for
+//! the Grahne & Zhu implementation the paper benchmarks against.
+//!
+//! The recursion is FP-growth (conditional pattern bases → conditional
+//! FP-trees) with two closed-set specifics:
+//!
+//! * *closure absorption*: items whose conditional support equals the
+//!   prefix support (perfect extensions, paper §2.2) are moved into the
+//!   prefix wholesale instead of being recursed on,
+//! * *subsumption filtering*: candidates that have an equal-support proper
+//!   superset among the other candidates are discarded (the CFI-tree check
+//!   of FP-close, realized here as a grouped post-filter).
+
+use crate::filter::filter_closed;
+use crate::fptree::FpTree;
+use fim_core::{ClosedMiner, FoundSet, Item, ItemSet, MiningResult, RecodedDatabase};
+use std::collections::HashMap;
+
+/// The CFI store: found candidates grouped by support, used for FP-close's
+/// subsumption pruning — when a new candidate has an equal-support superset
+/// among the already-found sets, the candidate *and its whole subtree* are
+/// redundant (every closed set below it was reachable from the earlier
+/// occurrence, which was processed first in the least-frequent-first
+/// order).
+type CfiStore = HashMap<u32, Vec<ItemSet>>;
+
+/// The FP-close miner.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FpCloseMiner;
+
+impl ClosedMiner for FpCloseMiner {
+    fn name(&self) -> &'static str {
+        "fpclose"
+    }
+
+    fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult {
+        let minsupp = minsupp.max(1);
+        let num_items = db.num_items();
+        if num_items == 0 || db.num_transactions() == 0 {
+            return MiningResult::new();
+        }
+        // global rank: most frequent item closest to the root; ties by code
+        let mut order: Vec<Item> = (0..num_items).collect();
+        order.sort_unstable_by_key(|&i| (std::cmp::Reverse(db.item_supports()[i as usize]), i));
+        let mut rank = vec![0u32; num_items as usize];
+        for (pos, &i) in order.iter().enumerate() {
+            rank[i as usize] = pos as u32;
+        }
+
+        let txs: Vec<(Vec<Item>, u32)> = db
+            .transactions()
+            .iter()
+            .map(|t| (t.to_vec(), 1))
+            .collect();
+        let tree = FpTree::build(&txs, &rank, num_items, minsupp);
+
+        let mut candidates = Vec::new();
+        // the database-wide closure (items in every transaction) is the
+        // closed set for the empty prefix, if non-trivial
+        let n = db.num_transactions() as u32;
+        let full: Vec<Item> = (0..num_items)
+            .filter(|&i| db.item_supports()[i as usize] == n)
+            .collect();
+        if !full.is_empty() && n >= minsupp {
+            candidates.push(FoundSet::new(ItemSet::new(full), n));
+        }
+
+        let mut cfi: CfiStore = HashMap::new();
+        for c in &candidates {
+            cfi.entry(c.support).or_default().push(c.items.clone());
+        }
+        fpgrowth(
+            &tree,
+            &rank,
+            num_items,
+            minsupp,
+            &mut Vec::new(),
+            &mut candidates,
+            &mut cfi,
+        );
+        filter_closed(candidates)
+    }
+}
+
+/// Recursive FP-growth with closure absorption.
+///
+/// For every header item (least frequent first) the candidate
+/// `prefix ∪ {item} ∪ perfect-extensions` is emitted and the conditional
+/// tree (without the absorbed items) is mined recursively.
+#[allow(clippy::too_many_arguments)]
+fn fpgrowth(
+    tree: &FpTree,
+    rank: &[u32],
+    num_items: u32,
+    minsupp: u32,
+    prefix: &mut Vec<Item>,
+    out: &mut Vec<FoundSet>,
+    cfi: &mut CfiStore,
+) {
+    for pos in (0..tree.headers().len()).rev() {
+        let h = tree.headers()[pos];
+        debug_assert!(h.count >= minsupp, "headers are pre-filtered");
+        let base = tree.conditional_base(pos);
+
+        // conditional item frequencies to find perfect extensions of
+        // prefix ∪ {h.item}
+        let mut freq = vec![0u32; num_items as usize];
+        for (items, w) in &base {
+            for &i in items {
+                freq[i as usize] += w;
+            }
+        }
+        let perfect: Vec<Item> = (0..num_items)
+            .filter(|&i| freq[i as usize] == h.count)
+            .collect();
+
+        let mut candidate = prefix.clone();
+        candidate.push(h.item);
+        candidate.extend_from_slice(&perfect);
+        let candidate_set = ItemSet::new(candidate.clone());
+        // subsumption pruning: an equal-support superset among the found
+        // sets makes this candidate and its whole subtree redundant
+        if let Some(found) = cfi.get(&h.count) {
+            if found
+                .iter()
+                .any(|y| y.len() > candidate_set.len() && candidate_set.is_subset_of(y))
+            {
+                continue;
+            }
+        }
+        cfi.entry(h.count).or_default().push(candidate_set.clone());
+        out.push(FoundSet::new(candidate_set, h.count));
+
+        // conditional database without perfect extensions (they are part of
+        // every closed set below and already sit in the candidate prefix)
+        let cond: Vec<(Vec<Item>, u32)> = base
+            .into_iter()
+            .map(|(items, w)| {
+                (
+                    items
+                        .into_iter()
+                        .filter(|&i| freq[i as usize] < h.count && freq[i as usize] >= minsupp)
+                        .collect::<Vec<Item>>(),
+                    w,
+                )
+            })
+            .filter(|(items, _)| !items.is_empty())
+            .collect();
+        if cond.is_empty() {
+            continue;
+        }
+        let cond_tree = FpTree::build(&cond, rank, num_items, minsupp);
+        if cond_tree.headers().is_empty() {
+            continue;
+        }
+        candidate.sort_unstable();
+        let mut cand_prefix = candidate;
+        fpgrowth(
+            &cond_tree,
+            rank,
+            num_items,
+            minsupp,
+            &mut cand_prefix,
+            out,
+            cfi,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fim_core::reference::mine_reference;
+
+    fn paper_db() -> RecodedDatabase {
+        RecodedDatabase::from_dense(
+            vec![
+                vec![0, 1, 2],
+                vec![0, 3, 4],
+                vec![1, 2, 3],
+                vec![0, 1, 2, 3],
+                vec![1, 2],
+                vec![0, 1, 3],
+                vec![3, 4],
+                vec![2, 3, 4],
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn matches_reference_all_minsupps() {
+        let db = paper_db();
+        for minsupp in 1..=8 {
+            let want = mine_reference(&db, minsupp);
+            let got = FpCloseMiner.mine(&db, minsupp).canonicalized();
+            assert_eq!(got, want, "minsupp={minsupp}");
+        }
+    }
+
+    #[test]
+    fn common_item_in_all_transactions() {
+        let db = RecodedDatabase::from_dense(
+            vec![vec![0, 1], vec![0, 2], vec![0, 1, 2]],
+            3,
+        );
+        let want = mine_reference(&db, 1);
+        let got = FpCloseMiner.mine(&db, 1).canonicalized();
+        assert_eq!(got, want);
+        // {0} must be reported with support 3
+        assert_eq!(got.support_of(&ItemSet::from([0])), Some(3));
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = RecodedDatabase::from_dense(vec![], 4);
+        assert!(FpCloseMiner.mine(&db, 1).is_empty());
+    }
+
+    #[test]
+    fn duplicate_transactions() {
+        let db = RecodedDatabase::from_dense(vec![vec![1, 2]; 5], 3);
+        let got = FpCloseMiner.mine(&db, 2).canonicalized();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got.support_of(&ItemSet::from([1, 2])), Some(5));
+    }
+
+    #[test]
+    fn miner_name() {
+        assert_eq!(FpCloseMiner.name(), "fpclose");
+    }
+}

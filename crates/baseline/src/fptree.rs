@@ -1,0 +1,265 @@
+//! The FP-tree: a prefix-tree database representation with per-item node
+//! links (Han, Pei & Yin, SIGMOD 2000).
+//!
+//! As the paper notes (§2.2), the FP-tree combines a compressed horizontal
+//! representation (a prefix tree of the transactions) with a vertical one
+//! (the chains linking all nodes of one item). Items are arranged along
+//! paths in descending order of a fixed global rank (most frequent first),
+//! so that transactions sharing frequent prefixes share tree paths.
+
+use fim_core::Item;
+
+const NONE: u32 = u32::MAX;
+
+/// One FP-tree node.
+#[derive(Clone, Copy, Debug)]
+pub struct FpNode {
+    /// Item code (dense codes of the database being mined).
+    pub item: Item,
+    /// Number of transactions routed through this node.
+    pub count: u32,
+    /// Parent node (towards the root), or `NONE` at the root's children.
+    pub parent: u32,
+    /// Next node carrying the same item (the vertical chain).
+    pub next: u32,
+    child: u32,
+    sibling: u32,
+}
+
+/// One header-table entry: an item, its total count, and its node chain.
+#[derive(Clone, Copy, Debug)]
+pub struct Header {
+    /// Item code.
+    pub item: Item,
+    /// Total support of the item in the (conditional) database.
+    pub count: u32,
+    /// Head of the chain of nodes carrying this item.
+    pub first: u32,
+}
+
+/// An FP-tree over a (possibly conditional, weighted) transaction database.
+#[derive(Clone, Debug)]
+pub struct FpTree {
+    nodes: Vec<FpNode>,
+    /// Header entries sorted by rank (most frequent item first).
+    headers: Vec<Header>,
+    /// `rank[item] = position in the global order` (lower = more frequent).
+    header_index: Vec<u32>,
+}
+
+impl FpTree {
+    /// Builds an FP-tree from weighted transactions.
+    ///
+    /// * `transactions` — `(items, weight)` pairs; items in any order,
+    ///   infrequent items are filtered here.
+    /// * `rank` — global order: `rank[item]` is the path position (lower =
+    ///   closer to the root); must cover every item code that can occur.
+    /// * `minsupp` — items whose summed weight is below this are dropped.
+    pub fn build(
+        transactions: &[(Vec<Item>, u32)],
+        rank: &[u32],
+        num_items: u32,
+        minsupp: u32,
+    ) -> Self {
+        let mut freq = vec![0u32; num_items as usize];
+        for (items, w) in transactions {
+            for &i in items {
+                freq[i as usize] += w;
+            }
+        }
+        // header table: frequent items sorted by rank
+        let mut items: Vec<Item> = (0..num_items)
+            .filter(|&i| freq[i as usize] >= minsupp)
+            .collect();
+        items.sort_unstable_by_key(|&i| rank[i as usize]);
+        let mut header_index = vec![NONE; num_items as usize];
+        let headers: Vec<Header> = items
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| {
+                header_index[i as usize] = pos as u32;
+                Header {
+                    item: i,
+                    count: freq[i as usize],
+                    first: NONE,
+                }
+            })
+            .collect();
+
+        let mut tree = FpTree {
+            nodes: Vec::new(),
+            headers,
+            header_index,
+        };
+        let mut root_child = NONE;
+        let mut path: Vec<Item> = Vec::new();
+        for (items, w) in transactions {
+            path.clear();
+            path.extend(
+                items
+                    .iter()
+                    .copied()
+                    .filter(|&i| tree.header_index[i as usize] != NONE),
+            );
+            path.sort_unstable_by_key(|&i| rank[i as usize]);
+            root_child = tree.insert_path(root_child, &path, *w);
+        }
+        tree
+    }
+
+    /// Inserts one ranked path with weight `w`; returns the (possibly new)
+    /// head of the root's child list.
+    fn insert_path(&mut self, mut root_child: u32, path: &[Item], w: u32) -> u32 {
+        let mut parent = NONE;
+        let mut slot_is_root = true;
+        let mut slot_node = NONE; // whose `child` field to use when !root
+        for &item in path {
+            // search the sibling list hanging off the current slot
+            let head = if slot_is_root {
+                root_child
+            } else {
+                self.nodes[slot_node as usize].child
+            };
+            let mut found = NONE;
+            let mut cur = head;
+            while cur != NONE {
+                if self.nodes[cur as usize].item == item {
+                    found = cur;
+                    break;
+                }
+                cur = self.nodes[cur as usize].sibling;
+            }
+            let node = if found != NONE {
+                self.nodes[found as usize].count += w;
+                found
+            } else {
+                let idx = self.nodes.len() as u32;
+                let hpos = self.header_index[item as usize] as usize;
+                self.nodes.push(FpNode {
+                    item,
+                    count: w,
+                    parent,
+                    next: self.headers[hpos].first,
+                    child: NONE,
+                    sibling: head,
+                });
+                self.headers[hpos].first = idx;
+                if slot_is_root {
+                    root_child = idx;
+                } else {
+                    self.nodes[slot_node as usize].child = idx;
+                }
+                idx
+            };
+            parent = node;
+            slot_is_root = false;
+            slot_node = node;
+        }
+        root_child
+    }
+
+    /// The header table, most frequent item first.
+    pub fn headers(&self) -> &[Header] {
+        &self.headers
+    }
+
+    /// Node access.
+    pub fn node(&self, idx: u32) -> &FpNode {
+        &self.nodes[idx as usize]
+    }
+
+    /// Number of tree nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The conditional pattern base of item `i`: for every node carrying
+    /// `i`, the path of items between it and the root, weighted by the
+    /// node's count.
+    pub fn conditional_base(&self, header_pos: usize) -> Vec<(Vec<Item>, u32)> {
+        let mut base = Vec::new();
+        let mut n = self.headers[header_pos].first;
+        while n != NONE {
+            let node = &self.nodes[n as usize];
+            let mut path = Vec::new();
+            let mut p = node.parent;
+            while p != NONE {
+                path.push(self.nodes[p as usize].item);
+                p = self.nodes[p as usize].parent;
+            }
+            if !path.is_empty() || node.count > 0 {
+                base.push((path, node.count));
+            }
+            n = node.next;
+        }
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// rank = identity (item 0 most frequent)
+    fn idrank(n: u32) -> Vec<u32> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn build_shares_prefixes() {
+        let txs = vec![
+            (vec![0, 1, 2], 1),
+            (vec![0, 1], 1),
+            (vec![0, 2], 1),
+        ];
+        let t = FpTree::build(&txs, &idrank(3), 3, 1);
+        // paths: 0-1-2, 0-1, 0-2 → nodes: 0,1,2,2' = 4
+        assert_eq!(t.node_count(), 4);
+        let h0 = t.headers().iter().find(|h| h.item == 0).unwrap();
+        assert_eq!(h0.count, 3);
+        // single node for item 0
+        assert_eq!(t.node(h0.first).count, 3);
+        assert_eq!(t.node(h0.first).next, NONE);
+    }
+
+    #[test]
+    fn infrequent_items_dropped() {
+        let txs = vec![(vec![0, 2], 1), (vec![0], 1)];
+        let t = FpTree::build(&txs, &idrank(3), 3, 2);
+        assert_eq!(t.headers().len(), 1);
+        assert_eq!(t.headers()[0].item, 0);
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn weights_accumulate() {
+        let txs = vec![(vec![1, 0], 3), (vec![0], 2)];
+        let t = FpTree::build(&txs, &idrank(2), 2, 1);
+        let h0 = t.headers().iter().find(|h| h.item == 0).unwrap();
+        assert_eq!(h0.count, 5);
+        let h1 = t.headers().iter().find(|h| h.item == 1).unwrap();
+        assert_eq!(h1.count, 3);
+    }
+
+    #[test]
+    fn conditional_base_walks_to_root() {
+        let txs = vec![(vec![0, 1, 2], 2), (vec![1, 2], 1)];
+        let t = FpTree::build(&txs, &idrank(3), 3, 1);
+        let pos = t.headers().iter().position(|h| h.item == 2).unwrap();
+        let mut base = t.conditional_base(pos);
+        base.sort();
+        // node 2 under path 0-1 (count 2) and under path 1 (count 1)
+        assert_eq!(base, vec![(vec![1], 1), (vec![1, 0], 2)]);
+    }
+
+    #[test]
+    fn custom_rank_orders_paths() {
+        // rank puts item 2 at the root
+        let rank = vec![2, 1, 0];
+        let txs = vec![(vec![0, 2], 1), (vec![2, 1], 1)];
+        let t = FpTree::build(&txs, &rank, 3, 1);
+        // both transactions start with item 2 → shared root node
+        let h2 = t.headers().iter().find(|h| h.item == 2).unwrap();
+        assert_eq!(t.node(h2.first).count, 2);
+    }
+}

@@ -1,0 +1,119 @@
+//! The flat-repository cumulative intersection scheme of Mielikäinen
+//! (FIMI'03) — the algorithm whose implementation the paper reports as
+//! often >100× slower than IsTa because it stores the closed sets in a flat
+//! structure instead of a prefix tree.
+//!
+//! The recursion `C(T ∪ {t}) = C(T) ∪ {t} ∪ {s ∩ t | s ∈ C(T)}` is executed
+//! literally: the repository is a hash map from item set to support, every
+//! transaction is intersected with *every* stored set, and supports are
+//! updated with the same max-merge rule the prefix tree applies per node.
+
+use fim_core::{
+    itemset::intersect_into, ClosedMiner, FoundSet, Item, ItemSet, MiningResult, RecodedDatabase,
+};
+use std::collections::HashMap;
+
+/// The flat cumulative miner (paper §5 comparison point, E7).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NaiveCumulativeMiner;
+
+impl ClosedMiner for NaiveCumulativeMiner {
+    fn name(&self) -> &'static str {
+        "naive-cumulative"
+    }
+
+    fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult {
+        let minsupp = minsupp.max(1);
+        let mut repo: HashMap<ItemSet, u32> = HashMap::new();
+        let mut buf: Vec<Item> = Vec::new();
+        for t in db.transactions() {
+            // gather, per distinct intersection, the maximum support of any
+            // stored set producing it
+            let mut updates: HashMap<ItemSet, u32> = HashMap::new();
+            for (s, &supp) in &repo {
+                intersect_into(s.as_slice(), t, &mut buf);
+                if buf.is_empty() {
+                    continue;
+                }
+                let key = ItemSet::from_sorted(buf.clone());
+                let e = updates.entry(key).or_insert(0);
+                if *e < supp {
+                    *e = supp;
+                }
+            }
+            // the transaction itself is one of the new closed sets
+            updates.entry(ItemSet::from_sorted(t.to_vec())).or_insert(0);
+            for (items, max_source) in updates {
+                repo.insert(items, max_source + 1);
+            }
+        }
+        MiningResult {
+            sets: repo
+                .into_iter()
+                .filter(|&(_, supp)| supp >= minsupp)
+                .map(|(items, supp)| FoundSet::new(items, supp))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fim_core::reference::mine_reference;
+
+    fn paper_db() -> RecodedDatabase {
+        RecodedDatabase::from_dense(
+            vec![
+                vec![0, 1, 2],
+                vec![0, 3, 4],
+                vec![1, 2, 3],
+                vec![0, 1, 2, 3],
+                vec![1, 2],
+                vec![0, 1, 3],
+                vec![3, 4],
+                vec![2, 3, 4],
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn matches_reference_all_minsupps() {
+        let db = paper_db();
+        for minsupp in 1..=8 {
+            let want = mine_reference(&db, minsupp);
+            let got = NaiveCumulativeMiner.mine(&db, minsupp).canonicalized();
+            assert_eq!(got, want, "minsupp={minsupp}");
+        }
+    }
+
+    #[test]
+    fn incremental_supports_match_rescan() {
+        // the incremental max-merge support rule must agree with scanning
+        let db = paper_db();
+        let got = NaiveCumulativeMiner.mine(&db, 1);
+        for s in &got.sets {
+            assert_eq!(db.support(&s.items), s.support, "{:?}", s.items);
+        }
+    }
+
+    #[test]
+    fn duplicate_transactions() {
+        let db = RecodedDatabase::from_dense(vec![vec![0, 2]; 3], 3);
+        let got = NaiveCumulativeMiner.mine(&db, 1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got.sets[0].support, 3);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = RecodedDatabase::from_dense(vec![], 3);
+        assert!(NaiveCumulativeMiner.mine(&db, 1).is_empty());
+    }
+
+    #[test]
+    fn miner_name() {
+        assert_eq!(NaiveCumulativeMiner.name(), "naive-cumulative");
+    }
+}

@@ -1,0 +1,188 @@
+//! SaM — Split and Merge (Borgelt & Wang, IFSA/EUSFLAT 2009), cited by the
+//! paper (§2.2) as the purely *horizontal* representative of the
+//! divide-and-conquer enumeration scheme.
+//!
+//! The conditional database is a single array of `(weight, suffix)` pairs,
+//! kept sorted lexicographically. One step picks the leading item `e` of
+//! the first entry, **splits** the array into the entries starting with `e`
+//! (stripping `e` — the conditional database of the include branch) and the
+//! rest, and then **merges** the stripped entries back into the rest
+//! (combining equal suffixes by adding weights — the database of the
+//! exclude branch). The closed sets are obtained by the standard
+//! subsumption filter, like for the other all-frequent enumerators.
+
+use crate::filter::filter_closed;
+use fim_core::{ClosedMiner, FoundSet, Item, ItemSet, MiningResult, RecodedDatabase};
+
+/// The SaM-based closed-set miner.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SamMiner;
+
+type Entry = (u32, Vec<Item>);
+
+impl ClosedMiner for SamMiner {
+    fn name(&self) -> &'static str {
+        "sam"
+    }
+
+    fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult {
+        let minsupp = minsupp.max(1);
+        // combine duplicate transactions up front
+        let mut array: Vec<Entry> = db
+            .transactions()
+            .iter()
+            .map(|t| (1u32, t.to_vec()))
+            .collect();
+        array.sort_unstable_by(|a, b| a.1.cmp(&b.1));
+        array = combine_runs(array);
+        let mut candidates = Vec::new();
+        sam(&array, &mut Vec::new(), minsupp, &mut candidates);
+        filter_closed(candidates)
+    }
+}
+
+/// Merges adjacent equal suffixes of a lexicographically sorted array.
+fn combine_runs(array: Vec<Entry>) -> Vec<Entry> {
+    let mut out: Vec<Entry> = Vec::with_capacity(array.len());
+    for (w, t) in array {
+        match out.last_mut() {
+            Some((lw, lt)) if *lt == t => *lw += w,
+            _ => out.push((w, t)),
+        }
+    }
+    out
+}
+
+/// One split-and-merge recursion step over a sorted conditional database.
+fn sam(array: &[Entry], prefix: &mut Vec<Item>, minsupp: u32, out: &mut Vec<FoundSet>) {
+    if array.is_empty() {
+        return;
+    }
+    // quick bound: total weight below minsupp cannot produce output
+    let total: u32 = array.iter().map(|(w, _)| w).sum();
+    if total < minsupp {
+        return;
+    }
+    // split item: the smallest leading item (the array is sorted, so it is
+    // the leading item of the first entry)
+    let e = array[0].1[0];
+    let mut split: Vec<Entry> = Vec::new();
+    let mut rest: Vec<Entry> = Vec::new();
+    let mut support = 0u32;
+    for (w, t) in array {
+        if t[0] == e {
+            support += w;
+            if t.len() > 1 {
+                split.push((*w, t[1..].to_vec()));
+            }
+        } else {
+            rest.push((*w, t.clone()));
+        }
+    }
+    if support >= minsupp {
+        prefix.push(e);
+        out.push(FoundSet::new(
+            ItemSet::new(prefix.clone()),
+            support,
+        ));
+        sam(&split, prefix, minsupp, out);
+        prefix.pop();
+    }
+    // merge the stripped entries into the rest (both are sorted)
+    let merged = merge(split, rest);
+    sam(&merged, prefix, minsupp, out);
+}
+
+/// Merge two sorted entry arrays, adding weights of equal suffixes.
+fn merge(a: Vec<Entry>, b: Vec<Entry>) -> Vec<Entry> {
+    let mut out: Vec<Entry> = Vec::with_capacity(a.len() + b.len());
+    let (mut ia, mut ib) = (a.into_iter().peekable(), b.into_iter().peekable());
+    loop {
+        let take_a = match (ia.peek(), ib.peek()) {
+            (Some(x), Some(y)) => match x.1.cmp(&y.1) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => {
+                    let (wa, t) = ia.next().unwrap();
+                    let (wb, _) = ib.next().unwrap();
+                    out.push((wa + wb, t));
+                    continue;
+                }
+            },
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if take_a {
+            out.push(ia.next().unwrap());
+        } else {
+            out.push(ib.next().unwrap());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fim_core::reference::mine_reference;
+
+    fn paper_db() -> RecodedDatabase {
+        RecodedDatabase::from_dense(
+            vec![
+                vec![0, 1, 2],
+                vec![0, 3, 4],
+                vec![1, 2, 3],
+                vec![0, 1, 2, 3],
+                vec![1, 2],
+                vec![0, 1, 3],
+                vec![3, 4],
+                vec![2, 3, 4],
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn matches_reference_all_minsupps() {
+        let db = paper_db();
+        for minsupp in 1..=8 {
+            let want = mine_reference(&db, minsupp);
+            let got = SamMiner.mine(&db, minsupp).canonicalized();
+            assert_eq!(got, want, "minsupp={minsupp}");
+        }
+    }
+
+    #[test]
+    fn merge_combines_weights() {
+        let a = vec![(1u32, vec![1, 2]), (2, vec![3])];
+        let b = vec![(3u32, vec![1, 2]), (1, vec![2])];
+        let m = merge(a, b);
+        assert_eq!(m, vec![(4, vec![1, 2]), (1, vec![2]), (2, vec![3])]);
+    }
+
+    #[test]
+    fn combine_runs_merges_duplicates() {
+        let a = vec![(1u32, vec![0]), (1, vec![0]), (1, vec![1])];
+        assert_eq!(combine_runs(a), vec![(2, vec![0]), (1, vec![1])]);
+    }
+
+    #[test]
+    fn duplicate_transactions() {
+        let db = RecodedDatabase::from_dense(vec![vec![0, 1]; 4], 2);
+        let got = SamMiner.mine(&db, 2).canonicalized();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got.sets[0].support, 4);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = RecodedDatabase::from_dense(vec![], 3);
+        assert!(SamMiner.mine(&db, 1).is_empty());
+    }
+
+    #[test]
+    fn miner_name() {
+        assert_eq!(SamMiner.name(), "sam");
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests: every enumeration baseline must agree with the
+//! brute-force reference miner on random databases.
+
+use fim_baseline::{
+    AprioriMiner, DEclatMiner, EclatMiner, FpCloseMiner, LcmMiner, NaiveCumulativeMiner,
+    SamMiner,
+};
+use fim_core::reference::mine_reference;
+use fim_core::{ClosedMiner, RecodedDatabase};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn small_db() -> impl Strategy<Value = RecodedDatabase> {
+    (2u32..=9).prop_flat_map(|num_items| {
+        vec(vec(0..num_items, 0..=num_items as usize), 0..12)
+            .prop_map(move |txs| RecodedDatabase::from_dense(txs, num_items))
+    })
+}
+
+macro_rules! baseline_matches {
+    ($name:ident, $miner:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(160))]
+            #[test]
+            fn $name(db in small_db(), minsupp in 1u32..6) {
+                let want = mine_reference(&db, minsupp);
+                let got = $miner.mine(&db, minsupp).canonicalized();
+                prop_assert_eq!(got, want);
+            }
+        }
+    };
+}
+
+baseline_matches!(fpclose_matches_reference, FpCloseMiner);
+baseline_matches!(lcm_matches_reference, LcmMiner);
+baseline_matches!(eclat_matches_reference, EclatMiner);
+baseline_matches!(declat_matches_reference, DEclatMiner);
+baseline_matches!(sam_matches_reference, SamMiner);
+baseline_matches!(apriori_matches_reference, AprioriMiner);
+baseline_matches!(naive_matches_reference, NaiveCumulativeMiner);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dense databases stress the closure/perfect-extension paths.
+    #[test]
+    fn dense_db_all_baselines(db in (3u32..=7).prop_flat_map(|m| {
+        vec(vec(0..m, (m as usize / 2)..=m as usize), 1..10)
+            .prop_map(move |txs| RecodedDatabase::from_dense(txs, m))
+    }), minsupp in 1u32..4) {
+        let want = mine_reference(&db, minsupp);
+        let miners: [&dyn ClosedMiner; 7] = [
+            &FpCloseMiner, &LcmMiner, &EclatMiner, &DEclatMiner, &SamMiner, &AprioriMiner,
+            &NaiveCumulativeMiner,
+        ];
+        for m in miners {
+            let got = m.mine(&db, minsupp).canonicalized();
+            prop_assert_eq!(&got, &want, "miner {}", m.name());
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks for the core data structures: item set
+//! algebra, tid lists, the suffix-count matrix, the IsTa prefix tree, and
+//! the synthetic generators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fim_core::{
+    ItemOrder, ItemSet, RecodedDatabase, SuffixCountMatrix, TidLists, TransactionOrder,
+};
+use fim_ista::PrefixTree;
+use fim_synth::{ExpressionConfig, ExpressionMatrix, Preset};
+
+fn itemset_ops(c: &mut Criterion) {
+    let a: ItemSet = (0..4000).step_by(2).collect();
+    let b: ItemSet = (0..4000).step_by(3).collect();
+    let mut group = c.benchmark_group("itemset");
+    group.bench_function("intersect/2k_vs_1.3k", |bench| {
+        bench.iter(|| a.intersect(&b).len())
+    });
+    group.bench_function("is_subset/hit", |bench| {
+        let sub: ItemSet = (0..4000).step_by(6).collect();
+        bench.iter(|| sub.is_subset_of(&a))
+    });
+    group.bench_function("union/2k_vs_1.3k", |bench| bench.iter(|| a.union(&b).len()));
+    group.finish();
+}
+
+fn database_reps(c: &mut Criterion) {
+    let db = Preset::Ncbi60.build(0.3, 1);
+    let recoded = RecodedDatabase::prepare(
+        &db,
+        2,
+        ItemOrder::AscendingFrequency,
+        TransactionOrder::AscendingSize,
+    );
+    let mut group = c.benchmark_group("representation");
+    group.bench_function("tid_lists/build", |b| {
+        b.iter(|| TidLists::from_database(&recoded).num_items())
+    });
+    group.bench_function("suffix_matrix/build", |b| {
+        b.iter(|| SuffixCountMatrix::from_database(&recoded).num_items())
+    });
+    group.bench_function("recode/prepare", |b| {
+        b.iter(|| {
+            RecodedDatabase::prepare(
+                &db,
+                2,
+                ItemOrder::AscendingFrequency,
+                TransactionOrder::AscendingSize,
+            )
+            .num_transactions()
+        })
+    });
+    group.finish();
+}
+
+fn prefix_tree(c: &mut Criterion) {
+    let db = Preset::Ncbi60.build(0.25, 1);
+    let recoded = RecodedDatabase::prepare(
+        &db,
+        3,
+        ItemOrder::AscendingFrequency,
+        TransactionOrder::AscendingSize,
+    );
+    let mut group = c.benchmark_group("ista-tree");
+    group.sample_size(10);
+    group.bench_function("add_all_transactions", |b| {
+        b.iter(|| {
+            let mut tree = PrefixTree::new(recoded.num_items());
+            for t in recoded.transactions() {
+                tree.add_transaction(t);
+            }
+            tree.node_count()
+        })
+    });
+    group.bench_function("report", |b| {
+        let mut tree = PrefixTree::new(recoded.num_items());
+        for t in recoded.transactions() {
+            tree.add_transaction(t);
+        }
+        b.iter(|| tree.report(3).len())
+    });
+    group.finish();
+}
+
+fn generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10);
+    group.bench_function("expression/1000x60", |b| {
+        b.iter(|| {
+            ExpressionMatrix::generate(&ExpressionConfig::default())
+                .values()
+                .len()
+        })
+    });
+    for preset in [Preset::Ncbi60, Preset::Webview] {
+        group.bench_with_input(
+            BenchmarkId::new("preset", preset.name()),
+            &preset,
+            |b, p| b.iter(|| p.build(0.1, 1).num_transactions()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, itemset_ops, database_reps, prefix_tree, generators);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates paper **Figure 5**: execution time vs minimum support on
+//! the yeast-like data set (few transactions, very many items).
+//!
+//! Usage: `fig5 [--scale X] [--seed N] [--timeout SECS] [--miners a,b,c]
+//! [--supps s1,s2,...]`. The paper's finding: IsTa and Carpenter stay
+//! flat while FP-close and LCM diverge as the minimum support drops.
+
+use fim_bench::{figure_main, maybe_run_cell, SweepConfig};
+use fim_synth::Preset;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if maybe_run_cell(&argv) {
+        return;
+    }
+    let config = SweepConfig::for_figure(
+        Preset::Yeast,
+        0.25,
+        &["ista", "carpenter-table", "carpenter-lists", "fpclose", "lcm"],
+    );
+    if let Err(e) = figure_main(config, &argv) {
+        eprintln!("fig5: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates paper **Figure 6**: execution time vs minimum support on
+//! the NCBI60-like data set. The paper shows only IsTa and the two
+//! Carpenter variants because FP-growth and LCM crashed or hung on this
+//! data; here the enumeration baselines can be added with `--miners` and
+//! typically hit the timeout instead.
+
+use fim_bench::{figure_main, maybe_run_cell, SweepConfig};
+use fim_synth::Preset;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if maybe_run_cell(&argv) {
+        return;
+    }
+    let config = SweepConfig::for_figure(
+        Preset::Ncbi60,
+        0.5,
+        &["ista", "carpenter-table", "carpenter-lists"],
+    );
+    if let Err(e) = figure_main(config, &argv) {
+        eprintln!("fig6: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates paper **Figure 7**: execution time vs minimum support on
+//! the thrombin-like data set (64 records, 139k sparse binary features).
+//! The paper's finding: table-Carpenter and IsTa on par, list-Carpenter a
+//! constant factor slower, FP-close/LCM competitive only at high support.
+
+use fim_bench::{figure_main, maybe_run_cell, SweepConfig};
+use fim_synth::Preset;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if maybe_run_cell(&argv) {
+        return;
+    }
+    let mut config = SweepConfig::for_figure(
+        Preset::Thrombin,
+        0.5,
+        &["ista", "carpenter-table", "carpenter-lists", "fpclose", "lcm"],
+    );
+    config.timeout = std::time::Duration::from_secs(120);
+    if let Err(e) = figure_main(config, &argv) {
+        eprintln!("fig7: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates paper **Figure 8**: execution time vs minimum support on
+//! the transposed BMS-WebView-1-like data set. The paper's finding: IsTa
+//! clearly ahead of both Carpenter variants; FP-close/LCM competitive only
+//! down to minimum support ~11.
+
+use fim_bench::{figure_main, maybe_run_cell, SweepConfig};
+use fim_synth::Preset;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if maybe_run_cell(&argv) {
+        return;
+    }
+    let config = SweepConfig::for_figure(
+        Preset::Webview,
+        0.25,
+        &["ista", "carpenter-table", "carpenter-lists", "fpclose", "lcm"],
+    );
+    if let Err(e) = figure_main(config, &argv) {
+        eprintln!("fig8: {e}");
+        std::process::exit(1);
+    }
+}

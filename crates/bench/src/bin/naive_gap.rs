@@ -1,0 +1,87 @@
+//! Experiment **E7**: the flat-repository cumulative scheme (Mielikäinen,
+//! FIMI'03) vs the prefix-tree IsTa implementation — the paper's §5 claim
+//! that the prefix tree is often more than 100× faster.
+//!
+//! Usage: `naive_gap [--scale X] [--seed N] [--timeout SECS] [--supps ...]`
+
+use fim_bench::{maybe_run_cell, run_cell_subprocess, write_csv, Row, SweepConfig};
+use fim_synth::Preset;
+use std::time::Duration;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if maybe_run_cell(&argv) {
+        return;
+    }
+    let mut config = SweepConfig::for_figure(Preset::Yeast, 0.12, &["ista", "naive-cumulative"]);
+    config.timeout = Duration::from_secs(120);
+    config.csv_name = "naive_gap.csv".into();
+    if let Err(e) = config.apply_args(&argv) {
+        eprintln!("naive_gap: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "# E7 naive-vs-ista gap — yeast-like, scale {}, seed {}",
+        config.scale, config.seed
+    );
+    println!(
+        "{:>8} {:>12} {:>16} {:>10}",
+        "supp", "ista (s)", "naive (s)", "ratio"
+    );
+    let mut rows = Vec::new();
+    let mut naive_dead = false;
+    for &supp in &config.supports {
+        let run = |miner: &str| {
+            run_cell_subprocess(
+                config.preset,
+                config.scale,
+                config.seed,
+                miner,
+                supp,
+                "asc",
+                "asc",
+                config.timeout,
+            )
+        };
+        let ista = match run("ista") {
+            Ok(Some(o)) => o,
+            _ => {
+                println!("{supp:>8} {:>12}", "timeout");
+                rows.push(Row::timeout("yeast", supp, "ista"));
+                continue;
+            }
+        };
+        rows.push(Row::ok("yeast", supp, "ista", ista));
+        if naive_dead {
+            println!("{supp:>8} {:>12.3} {:>16} {:>10}", ista.seconds, "-", "-");
+            rows.push(Row::skipped("yeast", supp, "naive-cumulative"));
+            continue;
+        }
+        match run("naive-cumulative") {
+            Ok(Some(naive)) => {
+                assert_eq!(naive.sets, ista.sets, "cross-check failed at supp {supp}");
+                rows.push(Row::ok("yeast", supp, "naive-cumulative", naive));
+                println!(
+                    "{supp:>8} {:>12.3} {:>16.3} {:>9.1}x",
+                    ista.seconds,
+                    naive.seconds,
+                    naive.seconds / ista.seconds.max(1e-9)
+                );
+            }
+            _ => {
+                naive_dead = true;
+                rows.push(Row::timeout("yeast", supp, "naive-cumulative"));
+                println!(
+                    "{supp:>8} {:>12.3} {:>16} {:>9}",
+                    ista.seconds,
+                    "timeout",
+                    format!(">{:.0}x", config.timeout.as_secs_f64() / ista.seconds.max(1e-9))
+                );
+            }
+        }
+    }
+    match write_csv(&config.csv_name, &rows) {
+        Ok(p) => println!("# wrote {}", p.display()),
+        Err(e) => eprintln!("naive_gap: csv: {e}"),
+    }
+}

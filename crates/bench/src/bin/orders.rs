@@ -1,0 +1,73 @@
+//! Experiment **E8**: the item-code and transaction-order ablation of
+//! paper §3.4 — the claim that ascending-frequency item codes combined
+//! with ascending-size transaction processing is the fastest configuration
+//! for IsTa, and that the reverse transaction order is much slower because
+//! the prefix tree grows large early.
+//!
+//! Usage: `orders [--scale X] [--seed N] [--supp N] [--timeout SECS]`
+
+use fim_bench::harness::{parse_kv, run_cell_subprocess};
+use fim_bench::{maybe_run_cell, write_csv, Row};
+use fim_synth::Preset;
+use std::time::Duration;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if maybe_run_cell(&argv) {
+        return;
+    }
+    let kv = match parse_kv(&argv) {
+        Ok(kv) => kv,
+        Err(e) => {
+            eprintln!("orders: {e}");
+            std::process::exit(1);
+        }
+    };
+    let scale: f64 = kv.get("scale").map_or(0.15, |s| s.parse().unwrap());
+    let seed: u64 = kv.get("seed").map_or(1, |s| s.parse().unwrap());
+    let timeout = Duration::from_secs_f64(kv.get("timeout").map_or(120.0, |s| s.parse().unwrap()));
+    let preset = Preset::Yeast;
+    // a low support keeps the tree busy enough to expose order effects
+    let supp: u32 = kv
+        .get("supp")
+        .map_or(((8.0 * scale).round() as u32).max(2), |s| s.parse().unwrap());
+
+    println!("# E8 §3.4 order ablation — yeast-like, scale {scale}, seed {seed}, supp {supp}");
+    println!("{:>16} {:>12} {:>12} {:>10}", "item order", "tx order", "time", "sets");
+    let mut rows = Vec::new();
+    let mut reference_sets: Option<usize> = None;
+    for item_order in ["asc", "desc", "orig"] {
+        for tx_order in ["asc", "desc", "orig"] {
+            let out = run_cell_subprocess(
+                preset, scale, seed, "ista", supp, item_order, tx_order, timeout,
+            );
+            let label = format!("ista[{item_order},{tx_order}]");
+            match out {
+                Ok(Some(o)) => {
+                    // orders must never change the mined output
+                    match reference_sets {
+                        None => reference_sets = Some(o.sets),
+                        Some(r) => assert_eq!(r, o.sets, "order changed the output!"),
+                    }
+                    println!(
+                        "{:>16} {:>12} {:>11.3}s {:>10}",
+                        item_order, tx_order, o.seconds, o.sets
+                    );
+                    rows.push(Row::ok(preset.name(), supp, &label, o));
+                }
+                Ok(None) => {
+                    println!("{item_order:>16} {tx_order:>12} {:>12} {:>10}", "timeout", "-");
+                    rows.push(Row::timeout(preset.name(), supp, &label));
+                }
+                Err(e) => {
+                    eprintln!("orders: {label}: {e}");
+                    rows.push(Row::error(preset.name(), supp, &label));
+                }
+            }
+        }
+    }
+    match write_csv("orders.csv", &rows) {
+        Ok(p) => println!("# wrote {}", p.display()),
+        Err(e) => eprintln!("orders: csv: {e}"),
+    }
+}

@@ -1,0 +1,38 @@
+//! Experiment **E9**: pruning ablations — the paper's §3.1.1 claim that
+//! item elimination "leads to a considerable speed-up" for Carpenter, plus
+//! the remaining pruning switches (perfect extension / transaction
+//! absorption, repository subtree pruning) and IsTa's item elimination.
+//!
+//! Usage: `pruning [--scale X] [--seed N] [--timeout SECS] [--supps ...]`
+
+use fim_bench::{figure_main, maybe_run_cell, SweepConfig};
+use fim_synth::Preset;
+use std::time::Duration;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if maybe_run_cell(&argv) {
+        return;
+    }
+    let mut config = SweepConfig::for_figure(
+        Preset::Thrombin,
+        0.15,
+        &[
+            "carpenter-table",
+            "carpenter-table-noelim",
+            "carpenter-table-noabsorb",
+            "carpenter-table-norepo",
+            "carpenter-lists",
+            "carpenter-lists-noelim",
+            "ista",
+            "ista-noprune",
+        ],
+    );
+    config.timeout = Duration::from_secs(60);
+    config.csv_name = "pruning.csv".into();
+    println!("# E9 pruning ablations — thrombin-like");
+    if let Err(e) = figure_main(config, &argv) {
+        eprintln!("pruning: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Name → miner registry used by the experiment runners.
+
+use fim_baseline::{
+    AprioriMiner, DEclatMiner, EclatMiner, FpCloseMiner, LcmMiner, NaiveCumulativeMiner, SamMiner,
+};
+use fim_carpenter::{CarpenterConfig, CarpenterListMiner, CarpenterTableMiner};
+use fim_core::ClosedMiner;
+use fim_ista::{IstaConfig, IstaMiner};
+
+/// All registered algorithm names (plain variants first, ablations after).
+pub fn all_miner_names() -> &'static [&'static str] {
+    &[
+        "ista",
+        "carpenter-table",
+        "carpenter-lists",
+        "fpclose",
+        "lcm",
+        "eclat",
+        "declat",
+        "sam",
+        "apriori",
+        "naive-cumulative",
+        "ista-noprune",
+        "carpenter-table-noelim",
+        "carpenter-table-noabsorb",
+        "carpenter-table-norepo",
+        "carpenter-lists-noelim",
+    ]
+}
+
+/// Looks up a miner by registry name.
+pub fn miner_by_name(name: &str) -> Result<Box<dyn ClosedMiner>, String> {
+    Ok(match name {
+        "ista" => Box::new(IstaMiner::default()),
+        "ista-noprune" => Box::new(IstaMiner::with_config(IstaConfig::without_pruning())),
+        "carpenter-table" => Box::new(CarpenterTableMiner::default()),
+        "carpenter-lists" => Box::new(CarpenterListMiner::default()),
+        "carpenter-table-noelim" => Box::new(CarpenterTableMiner::with_config(CarpenterConfig {
+            item_elimination: false,
+            ..CarpenterConfig::default()
+        })),
+        "carpenter-table-noabsorb" => {
+            Box::new(CarpenterTableMiner::with_config(CarpenterConfig {
+                perfect_extension: false,
+                ..CarpenterConfig::default()
+            }))
+        }
+        "carpenter-table-norepo" => Box::new(CarpenterTableMiner::with_config(CarpenterConfig {
+            repo_prune: false,
+            ..CarpenterConfig::default()
+        })),
+        "carpenter-lists-noelim" => Box::new(CarpenterListMiner::with_config(CarpenterConfig {
+            item_elimination: false,
+            ..CarpenterConfig::default()
+        })),
+        "fpclose" => Box::new(FpCloseMiner),
+        "lcm" => Box::new(LcmMiner),
+        "eclat" => Box::new(EclatMiner),
+        "declat" => Box::new(DEclatMiner),
+        "sam" => Box::new(SamMiner),
+        "apriori" => Box::new(AprioriMiner),
+        "naive-cumulative" => Box::new(NaiveCumulativeMiner),
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_resolves() {
+        for name in all_miner_names() {
+            assert!(miner_by_name(name).is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_is_error() {
+        assert!(miner_by_name("bogus").is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! The list-based Carpenter variant (paper §3.1.1).
+//!
+//! The database is held vertically as one ascending transaction-index list
+//! per item ([`TidLists`]); the current intersection is a vector of
+//! `(item, cursor)` pairs where the cursor points at the first index of the
+//! item's list that has not been passed yet. Because the recursion only
+//! ever moves forward through the transaction indices, cursors advance
+//! monotonically — the Rust analog of the pointer arithmetic the paper uses
+//! in C. The cursor also yields the remaining-occurrence count for item
+//! elimination in O(1).
+
+use crate::search::{search, CarpenterConfig, Representation};
+use fim_core::{ClosedMiner, Item, ItemSet, MiningResult, RecodedDatabase, Tid, TidLists};
+
+/// The vertical (tid-list) representation.
+pub struct ListRep {
+    lists: TidLists,
+    num_items: u32,
+}
+
+impl ListRep {
+    /// Builds the representation from a recoded database.
+    pub fn from_database(db: &RecodedDatabase) -> Self {
+        ListRep {
+            lists: TidLists::from_database(db),
+            num_items: db.num_items(),
+        }
+    }
+}
+
+impl Representation for ListRep {
+    /// `(item, cursor into the item's tid list)` pairs, ascending by item.
+    type State = Vec<(Item, u32)>;
+
+    fn initial_state(&self) -> Self::State {
+        (0..self.num_items).map(|i| (i, 0)).collect()
+    }
+
+    fn state_len(&self, state: &Self::State) -> usize {
+        state.len()
+    }
+
+    fn num_transactions(&self) -> u32 {
+        self.lists.num_transactions()
+    }
+
+    fn intersect(
+        &self,
+        state: &mut Self::State,
+        tid: Tid,
+        k_new: u32,
+        minsupp: u32,
+        eliminate: bool,
+    ) -> (usize, Self::State) {
+        let mut raw = 0usize;
+        let mut sub = Vec::with_capacity(state.len());
+        for (item, cur) in state.iter_mut() {
+            let list = self.lists.list(*item);
+            while (*cur as usize) < list.len() && list[*cur as usize] < tid {
+                *cur += 1;
+            }
+            if (*cur as usize) < list.len() && list[*cur as usize] == tid {
+                raw += 1;
+                let remaining_after = (list.len() - *cur as usize - 1) as u32;
+                if !eliminate || k_new + remaining_after >= minsupp {
+                    sub.push((*item, *cur + 1));
+                }
+            }
+        }
+        (raw, sub)
+    }
+
+    fn items_of(&self, state: &Self::State) -> ItemSet {
+        ItemSet::from_sorted(state.iter().map(|&(i, _)| i).collect())
+    }
+}
+
+/// The list-based Carpenter miner.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CarpenterListMiner {
+    /// Pruning configuration.
+    pub config: CarpenterConfig,
+}
+
+impl CarpenterListMiner {
+    /// Creates a miner with an explicit configuration.
+    pub fn with_config(config: CarpenterConfig) -> Self {
+        CarpenterListMiner { config }
+    }
+}
+
+impl ClosedMiner for CarpenterListMiner {
+    fn name(&self) -> &'static str {
+        "carpenter-lists"
+    }
+
+    fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult {
+        let rep = ListRep::from_database(db);
+        search(&rep, db.num_items(), minsupp, self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fim_core::reference::mine_reference;
+
+    fn paper_db() -> RecodedDatabase {
+        RecodedDatabase::from_dense(
+            vec![
+                vec![0, 1, 2],
+                vec![0, 3, 4],
+                vec![1, 2, 3],
+                vec![0, 1, 2, 3],
+                vec![1, 2],
+                vec![0, 1, 3],
+                vec![3, 4],
+                vec![2, 3, 4],
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn matches_reference_all_minsupps() {
+        let db = paper_db();
+        for minsupp in 1..=8 {
+            let want = mine_reference(&db, minsupp);
+            let got = CarpenterListMiner::default()
+                .mine(&db, minsupp)
+                .canonicalized();
+            assert_eq!(got, want, "minsupp={minsupp}");
+        }
+    }
+
+    #[test]
+    fn pruning_ablations_agree() {
+        let db = paper_db();
+        let configs = [
+            CarpenterConfig::default(),
+            CarpenterConfig::unpruned(),
+            CarpenterConfig {
+                item_elimination: false,
+                ..CarpenterConfig::default()
+            },
+            CarpenterConfig {
+                perfect_extension: false,
+                ..CarpenterConfig::default()
+            },
+            CarpenterConfig {
+                repo_prune: false,
+                ..CarpenterConfig::default()
+            },
+        ];
+        for minsupp in 1..=6 {
+            let want = mine_reference(&db, minsupp);
+            for c in configs {
+                let got = CarpenterListMiner::with_config(c)
+                    .mine(&db, minsupp)
+                    .canonicalized();
+                assert_eq!(got, want, "config={c:?} minsupp={minsupp}");
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_advance_is_monotone() {
+        let db = paper_db();
+        let rep = ListRep::from_database(&db);
+        let mut s = rep.initial_state();
+        let (_, _) = rep.intersect(&mut s, 3, 1, 1, false);
+        // after probing tid 3, every cursor sits at the first tid >= 3
+        for &(item, cur) in &s {
+            let list = rep.lists.list(item);
+            assert!(list[..cur as usize].iter().all(|&t| t < 3), "item {item}");
+            assert!(
+                (cur as usize) == list.len() || list[cur as usize] >= 3,
+                "item {item}"
+            );
+        }
+    }
+
+    #[test]
+    fn item_elimination_drops_doomed_items() {
+        let db = paper_db();
+        let rep = ListRep::from_database(&db);
+        let mut s = rep.initial_state();
+        // intersect with t5 (= tid 4, items {1,2}) at k_new=1, minsupp=5:
+        // item 1 occurs in tids 0,2,3,4,5 → 1 remaining after tid 4 → 1+1 < 5 drop
+        // item 2 occurs in tids 0,2,3,4,7 → 1 remaining after       → drop
+        let (raw, sub) = rep.intersect(&mut s, 4, 1, 5, true);
+        assert_eq!(raw, 2);
+        assert!(sub.is_empty());
+        // without elimination both stay
+        let mut s = rep.initial_state();
+        let (raw, sub) = rep.intersect(&mut s, 4, 1, 5, false);
+        assert_eq!(raw, 2);
+        assert_eq!(rep.items_of(&sub), ItemSet::from([1, 2]));
+    }
+
+    #[test]
+    fn miner_name() {
+        assert_eq!(CarpenterListMiner::default().name(), "carpenter-lists");
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests: both Carpenter variants must agree with the brute-force
+//! reference miner on random databases, under every pruning configuration.
+
+use fim_carpenter::{CarpenterConfig, CarpenterListMiner, CarpenterTableMiner};
+use fim_core::reference::mine_reference;
+use fim_core::{ClosedMiner, RecodedDatabase};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn small_db() -> impl Strategy<Value = RecodedDatabase> {
+    (2u32..=9).prop_flat_map(|num_items| {
+        vec(vec(0..num_items, 0..=num_items as usize), 0..12)
+            .prop_map(move |txs| RecodedDatabase::from_dense(txs, num_items))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn list_variant_matches_reference(db in small_db(), minsupp in 1u32..6) {
+        let want = mine_reference(&db, minsupp);
+        let got = CarpenterListMiner::default().mine(&db, minsupp).canonicalized();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn table_variant_matches_reference(db in small_db(), minsupp in 1u32..6) {
+        let want = mine_reference(&db, minsupp);
+        let got = CarpenterTableMiner::default().mine(&db, minsupp).canonicalized();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn every_pruning_combination_matches(
+        db in small_db(),
+        minsupp in 1u32..5,
+        pe in any::<bool>(),
+        ie in any::<bool>(),
+        rp in any::<bool>(),
+    ) {
+        let config = CarpenterConfig {
+            perfect_extension: pe,
+            item_elimination: ie,
+            repo_prune: rp,
+        };
+        let want = mine_reference(&db, minsupp);
+        let list = CarpenterListMiner::with_config(config).mine(&db, minsupp).canonicalized();
+        prop_assert_eq!(&list, &want, "list variant, config {:?}", config);
+        let table = CarpenterTableMiner::with_config(config).mine(&db, minsupp).canonicalized();
+        prop_assert_eq!(&table, &want, "table variant, config {:?}", config);
+    }
+
+    #[test]
+    fn wide_transactions_match(db in (10u32..=20).prop_flat_map(|m| {
+        vec(vec(0..m, (m as usize / 2)..=m as usize), 1..8)
+            .prop_map(move |txs| RecodedDatabase::from_dense(txs, m))
+    }), minsupp in 1u32..4) {
+        // the many-items/few-transactions regime Carpenter targets
+        let want = mine_reference(&db, minsupp);
+        let got = CarpenterTableMiner::default().mine(&db, minsupp).canonicalized();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,250 @@
+//! `fim` — command-line closed frequent item set miner.
+//!
+//! ```text
+//! fim mine  --algo ista --supp 8 --in data.fimi [--out result.txt]
+//! fim gen   --preset yeast --scale 0.1 --seed 1 --out data.fimi
+//! fim rules --supp 4 --conf 0.8 --in data.fimi
+//! fim stats --in data.fimi
+//! fim algos
+//! ```
+//!
+//! See `fim help` for the full option list. The argument parser is
+//! hand-rolled to keep the dependency set minimal.
+
+use fim_core::{
+    mine_closed_with_orders, ClosedMiner, ItemOrder, TransactionDatabase, TransactionOrder,
+};
+use std::io::Write;
+use std::process::ExitCode;
+
+mod args;
+mod registry;
+
+use args::Args;
+use registry::{all_miner_names, miner_by_name};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("fim: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some((command, rest)) = argv.split_first() else {
+        print_help();
+        return Ok(());
+    };
+    let args = Args::parse(rest)?;
+    match command.as_str() {
+        "mine" => cmd_mine(&args),
+        "gen" => cmd_gen(&args),
+        "rules" => cmd_rules(&args),
+        "stats" => cmd_stats(&args),
+        "algos" => {
+            for name in all_miner_names() {
+                println!("{name}");
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try 'fim help')")),
+    }
+}
+
+fn load_db(args: &Args) -> Result<TransactionDatabase, String> {
+    match args.get("in") {
+        Some("-") | None => fim_io::read_fimi(std::io::stdin().lock()),
+        Some(path) => fim_io::read_fimi_path(path),
+    }
+    .map_err(|e| e.to_string())
+}
+
+fn item_order(args: &Args) -> Result<ItemOrder, String> {
+    match args.get("item-order").unwrap_or("asc") {
+        "asc" => Ok(ItemOrder::AscendingFrequency),
+        "desc" => Ok(ItemOrder::DescendingFrequency),
+        "orig" => Ok(ItemOrder::Original),
+        other => Err(format!("bad --item-order '{other}' (asc|desc|orig)")),
+    }
+}
+
+fn tx_order(args: &Args) -> Result<TransactionOrder, String> {
+    match args.get("tx-order").unwrap_or("asc") {
+        "asc" => Ok(TransactionOrder::AscendingSize),
+        "desc" => Ok(TransactionOrder::DescendingSize),
+        "orig" => Ok(TransactionOrder::Original),
+        other => Err(format!("bad --tx-order '{other}' (asc|desc|orig)")),
+    }
+}
+
+fn cmd_mine(args: &Args) -> Result<(), String> {
+    let algo = args.get("algo").unwrap_or("ista");
+    // `--no-prune` maps the pruned algorithms to their ablation variants
+    let resolved = match (algo, args.flag("no-prune")) {
+        ("ista", true) => "ista-noprune",
+        ("carpenter-table", true) => "carpenter-table-noprune",
+        (other, true) => {
+            return Err(format!("--no-prune is not available for '{other}'"));
+        }
+        (other, false) => other,
+    };
+    let miner: Box<dyn ClosedMiner> = miner_by_name(resolved)?;
+    let db = load_db(args)?;
+    // absolute --supp N, or relative --supp-rel F (fraction of transactions)
+    let supp: u32 = match (args.get("supp"), args.get("supp-rel")) {
+        (Some(_), Some(_)) => return Err("--supp and --supp-rel are exclusive".into()),
+        (Some(s), None) => s.parse().map_err(|e| format!("bad --supp: {e}"))?,
+        (None, Some(f)) => {
+            let frac: f64 = f.parse().map_err(|e| format!("bad --supp-rel: {e}"))?;
+            if !(0.0..=1.0).contains(&frac) {
+                return Err("--supp-rel must be in [0, 1]".into());
+            }
+            ((frac * db.num_transactions() as f64).ceil() as u32).max(1)
+        }
+        (None, None) => return Err("missing --supp (or --supp-rel)".into()),
+    };
+    let start = std::time::Instant::now();
+    let mut result =
+        mine_closed_with_orders(&db, supp, miner.as_ref(), item_order(args)?, tx_order(args)?);
+    let kind = if args.flag("maximal") {
+        result = fim_core::maximal_from_closed(&result);
+        "maximal"
+    } else {
+        "closed"
+    };
+    let elapsed = start.elapsed();
+    write_out(args, |w| {
+        fim_io::write_results(&result, &db, w).map_err(|e| e.to_string())
+    })?;
+    eprintln!(
+        "{}: {} {kind} sets at supp >= {supp} in {:.3}s",
+        miner.name(),
+        result.len(),
+        elapsed.as_secs_f64()
+    );
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    use fim_synth::Preset;
+    let preset = match args.require("preset")? {
+        "yeast" => Preset::Yeast,
+        "ncbi60" => Preset::Ncbi60,
+        "thrombin" => Preset::Thrombin,
+        "webview" => Preset::Webview,
+        other => return Err(format!("unknown preset '{other}'")),
+    };
+    let scale: f64 = args.parse_or("scale", 1.0)?;
+    let seed: u64 = args.parse_or("seed", 1)?;
+    let db = preset.build(scale, seed);
+    write_out(args, |w| {
+        fim_io::write_fimi(&db, w).map_err(|e| e.to_string())
+    })?;
+    eprintln!(
+        "{}: {} transactions, {} items, {} occurrences",
+        preset.name(),
+        db.num_transactions(),
+        db.num_items(),
+        db.total_occurrences()
+    );
+    Ok(())
+}
+
+fn cmd_rules(args: &Args) -> Result<(), String> {
+    let supp: u32 = args.require_parsed("supp")?;
+    let conf: f64 = args.parse_or("conf", 0.6)?;
+    let db = load_db(args)?;
+    let algo = args.get("algo").unwrap_or("ista");
+    let miner = miner_by_name(algo)?;
+    let closed = fim_core::mine_closed(&db, supp, miner.as_ref());
+    let rules =
+        fim_rules::RuleMiner::with_confidence(conf).derive(&closed, db.num_transactions() as u32);
+    write_out(args, |w| {
+        for r in &rules {
+            let fmt_set = |s: &fim_core::ItemSet| -> String {
+                s.iter()
+                    .map(|i| db.catalog().name(i).unwrap_or("?").to_owned())
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
+            writeln!(
+                w,
+                "{} -> {}  (supp {}, conf {:.3}, lift {:.3})",
+                fmt_set(&r.antecedent),
+                fmt_set(&r.consequent),
+                r.support,
+                r.confidence,
+                r.lift
+            )
+            .map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    })?;
+    eprintln!("{} rules (supp >= {supp}, conf >= {conf})", rules.len());
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let db = load_db(args)?;
+    let freq = db.item_frequencies();
+    let nonzero = freq.iter().filter(|&&f| f > 0).count();
+    let max_len = db.transactions().iter().map(|t| t.len()).max().unwrap_or(0);
+    println!("transactions       {}", db.num_transactions());
+    println!("items (catalog)    {}", db.num_items());
+    println!("items (occurring)  {nonzero}");
+    println!("occurrences        {}", db.total_occurrences());
+    println!(
+        "avg tx length      {:.2}",
+        db.total_occurrences() as f64 / db.num_transactions().max(1) as f64
+    );
+    println!("max tx length      {max_len}");
+    println!(
+        "density            {:.5}",
+        db.total_occurrences() as f64
+            / (db.num_transactions().max(1) * db.num_items().max(1)) as f64
+    );
+    Ok(())
+}
+
+fn write_out<F>(args: &Args, f: F) -> Result<(), String>
+where
+    F: FnOnce(&mut dyn Write) -> Result<(), String>,
+{
+    match args.get("out") {
+        Some("-") | None => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            f(&mut lock)
+        }
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            let mut w = std::io::BufWriter::new(file);
+            f(&mut w)
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "fim — closed frequent item set mining by intersecting transactions
+
+USAGE:
+  fim mine  --supp N | --supp-rel F   [--algo NAME] [--in FILE] [--out FILE]
+            [--item-order asc|desc|orig] [--tx-order asc|desc|orig]
+            [--maximal] [--no-prune]
+  fim gen   --preset yeast|ncbi60|thrombin|webview [--scale X] [--seed N] [--out FILE]
+  fim rules --supp N [--conf X] [--algo NAME] [--in FILE] [--out FILE]
+  fim stats [--in FILE]
+  fim algos
+
+FILE defaults to stdin/stdout ('-'). Algorithms: run 'fim algos'."
+    );
+}

@@ -1,0 +1,65 @@
+//! Name → miner registry shared by the CLI subcommands.
+
+use fim_baseline::{
+    AprioriMiner, DEclatMiner, EclatMiner, FpCloseMiner, LcmMiner, NaiveCumulativeMiner, SamMiner,
+};
+use fim_carpenter::{CarpenterConfig, CarpenterListMiner, CarpenterTableMiner};
+use fim_core::ClosedMiner;
+use fim_ista::{IstaConfig, IstaMiner};
+
+/// All registered algorithm names.
+pub fn all_miner_names() -> &'static [&'static str] {
+    &[
+        "ista",
+        "ista-noprune",
+        "carpenter-lists",
+        "carpenter-table",
+        "carpenter-table-noprune",
+        "fpclose",
+        "lcm",
+        "eclat",
+        "declat",
+        "sam",
+        "apriori",
+        "naive-cumulative",
+    ]
+}
+
+/// Looks up a miner by registry name.
+pub fn miner_by_name(name: &str) -> Result<Box<dyn ClosedMiner>, String> {
+    Ok(match name {
+        "ista" => Box::new(IstaMiner::default()),
+        "ista-noprune" => Box::new(IstaMiner::with_config(IstaConfig::without_pruning())),
+        "carpenter-lists" => Box::new(CarpenterListMiner::default()),
+        "carpenter-table" => Box::new(CarpenterTableMiner::default()),
+        "carpenter-table-noprune" => {
+            Box::new(CarpenterTableMiner::with_config(CarpenterConfig::unpruned()))
+        }
+        "fpclose" => Box::new(FpCloseMiner),
+        "lcm" => Box::new(LcmMiner),
+        "eclat" => Box::new(EclatMiner),
+        "declat" => Box::new(DEclatMiner),
+        "sam" => Box::new(SamMiner),
+        "apriori" => Box::new(AprioriMiner),
+        "naive-cumulative" => Box::new(NaiveCumulativeMiner),
+        other => return Err(format!("unknown algorithm '{other}' (try 'fim algos')")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_resolves() {
+        for name in all_miner_names() {
+            let m = miner_by_name(name).unwrap();
+            assert!(!m.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_error() {
+        assert!(miner_by_name("nope").is_err());
+    }
+}

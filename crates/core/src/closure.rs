@@ -1,0 +1,127 @@
+//! The closure operator on item sets (paper §2.4).
+//!
+//! An item set is *closed* iff it equals the intersection of all transactions
+//! that contain it. The [`closure`] function computes that intersection; the
+//! intersection over an empty cover is defined as the full item base (the
+//! neutral element of intersection), matching the Galois-connection view of
+//! paper §2.5.
+
+use crate::{itemset::ItemSet, recode::RecodedDatabase, Item};
+
+/// The closure `(f ∘ g)(I)`: the intersection of all transactions containing
+/// `I`, or the full item base if no transaction contains `I`.
+pub fn closure(db: &RecodedDatabase, items: &ItemSet) -> ItemSet {
+    let mut acc: Option<Vec<Item>> = None;
+    let mut buf: Vec<Item> = Vec::new();
+    for t in db.transactions() {
+        if !crate::itemset::is_subset(items.as_slice(), t) {
+            continue;
+        }
+        match acc.as_mut() {
+            None => acc = Some(t.to_vec()),
+            Some(a) => {
+                crate::itemset::intersect_into(a, t, &mut buf);
+                std::mem::swap(a, &mut buf);
+                if a.len() == items.len() {
+                    // cannot shrink below `items`; early exit
+                    break;
+                }
+            }
+        }
+    }
+    match acc {
+        Some(a) => ItemSet::from_sorted(a),
+        None => ItemSet::from_sorted((0..db.num_items()).collect()),
+    }
+}
+
+/// Whether `items` is closed: non-empty cover and equal to its closure.
+///
+/// Note that this is closedness irrespective of a support threshold; a
+/// *closed frequent* item set additionally needs support ≥ minsupp.
+pub fn is_closed(db: &RecodedDatabase, items: &ItemSet) -> bool {
+    db.support(items) > 0 && &closure(db, items) == items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> RecodedDatabase {
+        // a=0 b=1 c=2 d=3 e=4 — the paper Table 1 example database
+        RecodedDatabase::from_dense(
+            vec![
+                vec![0, 1, 2],
+                vec![0, 3, 4],
+                vec![1, 2, 3],
+                vec![0, 1, 2, 3],
+                vec![1, 2],
+                vec![0, 1, 3],
+                vec![3, 4],
+                vec![2, 3, 4],
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn closure_of_single_items() {
+        let db = db();
+        // {b} is contained in t1,t3,t4,t5,t6; intersection = {b}
+        assert_eq!(closure(&db, &ItemSet::from([1])), ItemSet::from([1]));
+        // {e} in t2,t7,t8; intersection {d,e} ∩ ... t2={a,d,e},t7={d,e},t8={c,d,e} → {d,e}
+        assert_eq!(closure(&db, &ItemSet::from([4])), ItemSet::from([3, 4]));
+    }
+
+    #[test]
+    fn closure_is_extensive_and_idempotent() {
+        let db = db();
+        for items in [
+            ItemSet::from([0]),
+            ItemSet::from([1, 2]),
+            ItemSet::from([0, 3]),
+            ItemSet::from([2, 3, 4]),
+        ] {
+            let c = closure(&db, &items);
+            assert!(items.is_subset_of(&c), "extensive");
+            assert_eq!(closure(&db, &c), c, "idempotent");
+        }
+    }
+
+    #[test]
+    fn closure_of_uncovered_set_is_item_base() {
+        let db = db();
+        // {b,e} never co-occurs
+        let c = closure(&db, &ItemSet::from([1, 4]));
+        assert_eq!(c, ItemSet::from([0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn is_closed_examples() {
+        let db = db();
+        assert!(is_closed(&db, &ItemSet::from([1, 2]))); // {b,c}
+        assert!(!is_closed(&db, &ItemSet::from([4]))); // {e} → {d,e}
+        assert!(is_closed(&db, &ItemSet::from([3, 4]))); // {d,e}
+        assert!(!is_closed(&db, &ItemSet::from([1, 4]))); // empty cover
+    }
+
+    #[test]
+    fn closure_monotone() {
+        let db = db();
+        let small = ItemSet::from([2]);
+        let large = ItemSet::from([2, 3]);
+        let cs = closure(&db, &small);
+        let cl = closure(&db, &large);
+        assert!(cs.is_subset_of(&cl));
+    }
+
+    #[test]
+    fn empty_set_closure() {
+        let db = db();
+        // intersection of ALL transactions is empty here
+        assert_eq!(closure(&db, &ItemSet::empty()), ItemSet::empty());
+        // a database where all transactions share an item
+        let db2 = RecodedDatabase::from_dense(vec![vec![0, 1], vec![0, 2]], 3);
+        assert_eq!(closure(&db2, &ItemSet::empty()), ItemSet::from([0]));
+    }
+}

@@ -1,0 +1,183 @@
+//! Covers, supports, and the vertical (tid-list) representation.
+
+use crate::{itemset::ItemSet, recode::RecodedDatabase, Item, Tid};
+
+/// The cover `K_T(I)` of an item set: ascending indices of the transactions
+/// that contain it (paper §2.1).
+pub fn cover(transactions: &[ItemSet], items: &ItemSet) -> Vec<Tid> {
+    transactions
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| items.is_subset_of(t))
+        .map(|(k, _)| k as Tid)
+        .collect()
+}
+
+/// The support `s_T(I)` of an item set: the size of its cover.
+pub fn support(transactions: &[ItemSet], items: &ItemSet) -> u32 {
+    transactions
+        .iter()
+        .filter(|t| items.is_subset_of(t))
+        .count() as u32
+}
+
+/// Vertical database representation: for each item, the ascending list of
+/// transaction indices containing it (paper §2.2 / §3.1.1).
+///
+/// This is the core data structure of the list-based Carpenter variant.
+#[derive(Clone, Debug)]
+pub struct TidLists {
+    lists: Vec<Vec<Tid>>,
+    num_transactions: u32,
+}
+
+impl TidLists {
+    /// Builds the vertical representation of a recoded database.
+    pub fn from_database(db: &RecodedDatabase) -> Self {
+        let mut lists: Vec<Vec<Tid>> = (0..db.num_items())
+            .map(|i| Vec::with_capacity(db.item_supports()[i as usize] as usize))
+            .collect();
+        for (tid, t) in db.transactions().iter().enumerate() {
+            for &i in t.iter() {
+                lists[i as usize].push(tid as Tid);
+            }
+        }
+        TidLists {
+            lists,
+            num_transactions: db.num_transactions() as u32,
+        }
+    }
+
+    /// The tid list of one item.
+    pub fn list(&self, item: Item) -> &[Tid] {
+        &self.lists[item as usize]
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> u32 {
+        self.lists.len() as u32
+    }
+
+    /// Number of transactions of the underlying database.
+    pub fn num_transactions(&self) -> u32 {
+        self.num_transactions
+    }
+
+    /// Support of a single item.
+    pub fn item_support(&self, item: Item) -> u32 {
+        self.lists[item as usize].len() as u32
+    }
+
+    /// Number of transactions with index `>= tid` that contain `item`
+    /// (the remaining-occurrence counter of paper §3.1.1).
+    pub fn remaining(&self, item: Item, tid: Tid) -> u32 {
+        let list = &self.lists[item as usize];
+        (list.len() - list.partition_point(|&t| t < tid)) as u32
+    }
+
+    /// The cover of an item set, computed by intersecting tid lists.
+    pub fn cover(&self, items: &ItemSet) -> Vec<Tid> {
+        let mut iter = items.iter();
+        let Some(first) = iter.next() else {
+            return (0..self.num_transactions).collect();
+        };
+        let mut acc: Vec<Tid> = self.lists[first as usize].clone();
+        let mut buf: Vec<Tid> = Vec::with_capacity(acc.len());
+        for item in iter {
+            crate::itemset::intersect_into(&acc, &self.lists[item as usize], &mut buf);
+            std::mem::swap(&mut acc, &mut buf);
+            if acc.is_empty() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Support of an item set via tid-list intersection.
+    pub fn support(&self, items: &ItemSet) -> u32 {
+        self.cover(items).len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::TransactionDatabase;
+    use crate::order::{ItemOrder, TransactionOrder};
+
+    fn paper_recoded() -> RecodedDatabase {
+        let db = TransactionDatabase::from_named(&[
+            vec!["a", "b", "c"],
+            vec!["a", "d", "e"],
+            vec!["b", "c", "d"],
+            vec!["a", "b", "c", "d"],
+            vec!["b", "c"],
+            vec!["a", "b", "d"],
+            vec!["d", "e"],
+            vec!["c", "d", "e"],
+        ]);
+        RecodedDatabase::prepare(&db, 1, ItemOrder::Original, TransactionOrder::Original)
+    }
+
+    #[test]
+    fn cover_of_slice_db() {
+        let txs = vec![
+            ItemSet::from([0, 1]),
+            ItemSet::from([1, 2]),
+            ItemSet::from([0, 1, 2]),
+        ];
+        assert_eq!(cover(&txs, &ItemSet::from([1])), vec![0, 1, 2]);
+        assert_eq!(cover(&txs, &ItemSet::from([0, 2])), vec![2]);
+        assert_eq!(support(&txs, &ItemSet::from([0, 1])), 2);
+        assert_eq!(cover(&txs, &ItemSet::empty()), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tid_lists_match_scan() {
+        let db = paper_recoded();
+        let v = TidLists::from_database(&db);
+        assert_eq!(v.num_items(), 5);
+        assert_eq!(v.num_transactions(), 8);
+        // d = code 3: t2,t3,t4,t6,t7,t8 → tids 1,2,3,5,6,7
+        assert_eq!(v.list(3), &[1, 2, 3, 5, 6, 7]);
+        assert_eq!(v.item_support(3), 6);
+        let bc = ItemSet::from([1, 2]);
+        assert_eq!(v.cover(&bc), vec![0, 2, 3, 4]);
+        assert_eq!(v.support(&bc), db.support(&bc));
+    }
+
+    #[test]
+    fn empty_set_cover_is_all_tids() {
+        let db = paper_recoded();
+        let v = TidLists::from_database(&db);
+        assert_eq!(v.cover(&ItemSet::empty()).len(), 8);
+    }
+
+    #[test]
+    fn remaining_counts_match_paper_matrix() {
+        // Paper Table 1: matrix entries count transactions t_j, j >= k,
+        // containing item i. remaining(i, k) gives exactly that value.
+        let db = paper_recoded();
+        let v = TidLists::from_database(&db);
+        // m[t1][a] = 4, m[t2][a] = 3, m[t4][a] = 2, m[t6][a] = 1
+        assert_eq!(v.remaining(0, 0), 4);
+        assert_eq!(v.remaining(0, 1), 3);
+        assert_eq!(v.remaining(0, 3), 2);
+        assert_eq!(v.remaining(0, 5), 1);
+        assert_eq!(v.remaining(0, 6), 0);
+        // m[t2][e] = 3, m[t7][e] = 2, m[t8][e] = 1
+        assert_eq!(v.remaining(4, 1), 3);
+        assert_eq!(v.remaining(4, 6), 2);
+        assert_eq!(v.remaining(4, 7), 1);
+    }
+
+    #[test]
+    fn disjoint_cover_short_circuits() {
+        let db = paper_recoded();
+        let v = TidLists::from_database(&db);
+        // {a,e} appears only in t2 (tid 1)
+        assert_eq!(v.cover(&ItemSet::from([0, 4])), vec![1]);
+        // {b,e} never co-occur... check: b in t1,t3,t4,t5,t6; e in t2,t7,t8
+        assert!(v.cover(&ItemSet::from([1, 4])).is_empty());
+    }
+}

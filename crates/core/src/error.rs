@@ -1,0 +1,73 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors raised by database construction, parsing, and mining entry points.
+#[derive(Debug)]
+pub enum FimError {
+    /// An I/O error while reading or writing a data file.
+    Io(std::io::Error),
+    /// A parse error in an input file, with 1-based line number and message.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Invalid parameters or inconsistent inputs supplied by the caller.
+    InvalidInput(String),
+}
+
+impl fmt::Display for FimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FimError::Io(e) => write!(f, "i/o error: {e}"),
+            FimError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            FimError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FimError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FimError {
+    fn from(e: std::io::Error) -> Self {
+        FimError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = FimError::Parse {
+            line: 3,
+            message: "bad item".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: bad item");
+        let e = FimError::InvalidInput("minsupp must be positive".into());
+        assert!(e.to_string().contains("minsupp"));
+        let e = FimError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        use std::error::Error;
+        let e = FimError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(e.source().is_some());
+        let e = FimError::InvalidInput("x".into());
+        assert!(e.source().is_none());
+    }
+}

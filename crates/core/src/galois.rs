@@ -1,0 +1,146 @@
+//! The Galois connection between item sets and transaction-index sets
+//! (paper §2.5).
+//!
+//! With `f(I) = K_T(I)` (the cover) and `g(K) = ⋂_{k∈K} t_k` (the
+//! intersection), the pair `(f, g)` is a Galois connection between the power
+//! set of the item base and the power set of the transaction indices. Both
+//! compositions `f∘g` and `g∘f` are closure operators, and `f` restricted to
+//! closed item sets is a bijection onto closed tid sets — which is exactly
+//! why mining closed item sets can be done by enumerating or accumulating
+//! transaction intersections.
+//!
+//! These functions exist for specification, verification, and tests; the
+//! miners use specialized incremental structures instead.
+
+use crate::{itemset::ItemSet, recode::RecodedDatabase, Item, Tid};
+
+/// A set of transaction indices, kept strictly ascending.
+pub type TidSet = Vec<Tid>;
+
+/// `f : 2^B → 2^{1..n}` — the cover of an item set.
+pub fn f(db: &RecodedDatabase, items: &ItemSet) -> TidSet {
+    db.transactions()
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| crate::itemset::is_subset(items.as_slice(), t))
+        .map(|(k, _)| k as Tid)
+        .collect()
+}
+
+/// `g : 2^{1..n} → 2^B` — the intersection of the indexed transactions.
+///
+/// `g(∅)` is the full item base (neutral element of intersection).
+pub fn g(db: &RecodedDatabase, tids: &[Tid]) -> ItemSet {
+    let mut iter = tids.iter();
+    let Some(&first) = iter.next() else {
+        return ItemSet::from_sorted((0..db.num_items()).collect());
+    };
+    let mut acc: Vec<Item> = db.transaction(first).to_vec();
+    let mut buf: Vec<Item> = Vec::new();
+    for &tid in iter {
+        crate::itemset::intersect_into(&acc, db.transaction(tid), &mut buf);
+        std::mem::swap(&mut acc, &mut buf);
+        if acc.is_empty() {
+            break;
+        }
+    }
+    ItemSet::from_sorted(acc)
+}
+
+/// The item-set closure operator `f ∘ g` — identical to
+/// [`closure`](crate::closure::closure).
+pub fn item_closure(db: &RecodedDatabase, items: &ItemSet) -> ItemSet {
+    g(db, &f(db, items))
+}
+
+/// The tid-set closure operator `g ∘ f`.
+pub fn tid_closure(db: &RecodedDatabase, tids: &[Tid]) -> TidSet {
+    f(db, &g(db, tids))
+}
+
+/// Whether a tid set is closed w.r.t. `g ∘ f`.
+pub fn is_tid_closed(db: &RecodedDatabase, tids: &[Tid]) -> bool {
+    tid_closure(db, tids) == tids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> RecodedDatabase {
+        RecodedDatabase::from_dense(
+            vec![
+                vec![0, 1, 2],
+                vec![0, 3, 4],
+                vec![1, 2, 3],
+                vec![0, 1, 2, 3],
+                vec![1, 2],
+                vec![0, 1, 3],
+                vec![3, 4],
+                vec![2, 3, 4],
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn galois_antitone() {
+        let db = db();
+        // I ⊆ J  ⇒  f(J) ⊆ f(I)
+        let i = ItemSet::from([1]);
+        let j = ItemSet::from([1, 2]);
+        let fi = f(&db, &i);
+        let fj = f(&db, &j);
+        assert!(fj.iter().all(|t| fi.contains(t)));
+        // K ⊆ L  ⇒  g(L) ⊆ g(K)
+        let gk = g(&db, &[0, 3]);
+        let gl = g(&db, &[0, 3, 4]);
+        assert!(gl.is_subset_of(&gk));
+    }
+
+    #[test]
+    fn galois_adjunction_law() {
+        // K ⊆ f(I)  ⇔  I ⊆ g(K)
+        let db = db();
+        let sets = [ItemSet::from([1, 2]), ItemSet::from([3]), ItemSet::from([0, 3])];
+        let tidsets: [&[Tid]; 3] = [&[0, 3], &[1, 6], &[2, 7]];
+        for i in &sets {
+            let fi = f(&db, i);
+            for k in &tidsets {
+                let lhs = k.iter().all(|t| fi.contains(t));
+                let rhs = i.is_subset_of(&g(&db, k));
+                assert_eq!(lhs, rhs, "adjunction failed for I={i:?} K={k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn compositions_are_closure_operators() {
+        let db = db();
+        let i = ItemSet::from([4]);
+        let ci = item_closure(&db, &i);
+        assert!(i.is_subset_of(&ci));
+        assert_eq!(item_closure(&db, &ci), ci);
+        let k: &[Tid] = &[1, 6];
+        let ck = tid_closure(&db, k);
+        assert!(k.iter().all(|t| ck.contains(t)));
+        assert_eq!(tid_closure(&db, &ck), ck);
+    }
+
+    #[test]
+    fn bijection_between_closed_sets() {
+        let db = db();
+        // closed item set {d,e} ↔ closed tid set {1,6,7}
+        let de = ItemSet::from([3, 4]);
+        let k = f(&db, &de);
+        assert_eq!(k, vec![1, 6, 7]);
+        assert!(is_tid_closed(&db, &k));
+        assert_eq!(g(&db, &k), de);
+    }
+
+    #[test]
+    fn g_of_empty_is_item_base() {
+        let db = db();
+        assert_eq!(g(&db, &[]), ItemSet::from([0, 1, 2, 3, 4]));
+    }
+}

@@ -1,0 +1,284 @@
+//! Matrix representations of a transaction database.
+//!
+//! [`SuffixCountMatrix`] is the `n × |B|` matrix of the table-based Carpenter
+//! variant (paper §3.1.2, Table 1):
+//!
+//! ```text
+//! m[k][i] = 0                                   if item i ∉ t_k
+//! m[k][i] = |{ j | k ≤ j ≤ n ∧ i ∈ t_j }|       otherwise
+//! ```
+//!
+//! A non-zero entry simultaneously answers the membership test `i ∈ t_k` and
+//! provides the remaining-occurrence counter used for item elimination.
+//! [`BitMatrix`] is a packed boolean membership matrix used where only the
+//! membership test is needed.
+
+use crate::{recode::RecodedDatabase, Item, Tid};
+
+/// A packed row-major bit matrix (`rows × cols` bits).
+#[derive(Clone, Debug)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64);
+        BitMatrix {
+            rows,
+            cols,
+            words_per_row,
+            data: vec![0u64; rows * words_per_row],
+        }
+    }
+
+    /// Builds the transaction-membership matrix of a recoded database
+    /// (rows = transactions, columns = items).
+    pub fn from_database(db: &RecodedDatabase) -> Self {
+        let mut m = BitMatrix::zeros(db.num_transactions(), db.num_items() as usize);
+        for (tid, t) in db.transactions().iter().enumerate() {
+            for &i in t.iter() {
+                m.set(tid, i as usize);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Sets bit `(row, col)`.
+    pub fn set(&mut self, row: usize, col: usize) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.words_per_row + col / 64] |= 1u64 << (col % 64);
+    }
+
+    /// Clears bit `(row, col)`.
+    pub fn clear(&mut self, row: usize, col: usize) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.words_per_row + col / 64] &= !(1u64 << (col % 64));
+    }
+
+    /// Reads bit `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.words_per_row + col / 64] >> (col % 64) & 1 != 0
+    }
+
+    /// Number of set bits in a row.
+    pub fn row_count(&self, row: usize) -> u32 {
+        let start = row * self.words_per_row;
+        self.data[start..start + self.words_per_row]
+            .iter()
+            .map(|w| w.count_ones())
+            .sum()
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.len() * 8
+    }
+}
+
+/// The Table-1 matrix: membership plus suffix occurrence counts.
+#[derive(Clone, Debug)]
+pub struct SuffixCountMatrix {
+    num_transactions: usize,
+    num_items: usize,
+    /// Row-major `num_transactions × num_items`; see module docs.
+    counts: Vec<u32>,
+}
+
+impl SuffixCountMatrix {
+    /// Builds the matrix by one backward pass over the transactions.
+    pub fn from_database(db: &RecodedDatabase) -> Self {
+        let n = db.num_transactions();
+        let m = db.num_items() as usize;
+        let mut counts = vec![0u32; n * m];
+        let mut running = vec![0u32; m];
+        for tid in (0..n).rev() {
+            let row = &mut counts[tid * m..(tid + 1) * m];
+            for &i in db.transaction(tid as Tid).iter() {
+                running[i as usize] += 1;
+                row[i as usize] = running[i as usize];
+            }
+        }
+        SuffixCountMatrix {
+            num_transactions: n,
+            num_items: m,
+            counts,
+        }
+    }
+
+    /// The matrix entry `m[tid][item]` (see module docs).
+    pub fn entry(&self, tid: Tid, item: Item) -> u32 {
+        self.counts[tid as usize * self.num_items + item as usize]
+    }
+
+    /// Membership test: `item ∈ t_tid`.
+    pub fn contains(&self, tid: Tid, item: Item) -> bool {
+        self.entry(tid, item) != 0
+    }
+
+    /// One matrix row (the transaction `tid`, as per-item suffix counts).
+    pub fn row(&self, tid: Tid) -> &[u32] {
+        let m = self.num_items;
+        &self.counts[tid as usize * m..(tid as usize + 1) * m]
+    }
+
+    /// Number of transactions (rows).
+    pub fn num_transactions(&self) -> usize {
+        self.num_transactions
+    }
+
+    /// Number of items (columns).
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.counts.len() * 4
+    }
+
+    /// Renders the matrix like paper Table 1 (rows `t1..tn`, one column per
+    /// item, named through `names`).
+    pub fn render(&self, names: &[&str]) -> String {
+        use std::fmt::Write;
+        assert_eq!(names.len(), self.num_items);
+        let mut out = String::new();
+        out.push_str("    ");
+        for name in names {
+            let _ = write!(out, " {name:>3}");
+        }
+        out.push('\n');
+        for tid in 0..self.num_transactions {
+            let _ = write!(out, "t{:<3}", tid + 1);
+            for i in 0..self.num_items {
+                let _ = write!(out, " {:>3}", self.entry(tid as Tid, i as Item));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_db() -> RecodedDatabase {
+        RecodedDatabase::from_dense(
+            vec![
+                vec![0, 1, 2],
+                vec![0, 3, 4],
+                vec![1, 2, 3],
+                vec![0, 1, 2, 3],
+                vec![1, 2],
+                vec![0, 1, 3],
+                vec![3, 4],
+                vec![2, 3, 4],
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn suffix_counts_match_paper_table1() {
+        // Expected matrix from the paper (a b c d e columns):
+        let expected: [[u32; 5]; 8] = [
+            [4, 5, 5, 0, 0],
+            [3, 0, 0, 6, 3],
+            [0, 4, 4, 5, 0],
+            [2, 3, 3, 4, 0],
+            [0, 2, 2, 0, 0],
+            [1, 1, 0, 3, 0],
+            [0, 0, 0, 2, 2],
+            [0, 0, 1, 1, 1],
+        ];
+        let m = SuffixCountMatrix::from_database(&paper_db());
+        for (tid, row) in expected.iter().enumerate() {
+            for (i, &want) in row.iter().enumerate() {
+                assert_eq!(
+                    m.entry(tid as Tid, i as Item),
+                    want,
+                    "m[t{}][{}]",
+                    tid + 1,
+                    i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn membership_agrees_with_transactions() {
+        let db = paper_db();
+        let m = SuffixCountMatrix::from_database(&db);
+        for (tid, t) in db.transactions().iter().enumerate() {
+            for i in 0..db.num_items() {
+                assert_eq!(m.contains(tid as Tid, i), t.contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_values() {
+        let m = SuffixCountMatrix::from_database(&paper_db());
+        let s = m.render(&["a", "b", "c", "d", "e"]);
+        assert!(s.contains('a'));
+        assert!(s.lines().count() == 9);
+        // first data row: 4 5 5 0 0
+        assert!(s.lines().nth(1).unwrap().contains("4   5   5   0   0"));
+    }
+
+    #[test]
+    fn bit_matrix_roundtrip() {
+        let mut m = BitMatrix::zeros(3, 130);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 130);
+        m.set(0, 0);
+        m.set(1, 64);
+        m.set(2, 129);
+        assert!(m.get(0, 0));
+        assert!(m.get(1, 64));
+        assert!(m.get(2, 129));
+        assert!(!m.get(0, 1));
+        assert_eq!(m.row_count(2), 1);
+        m.clear(2, 129);
+        assert!(!m.get(2, 129));
+        assert_eq!(m.row_count(2), 0);
+        assert_eq!(m.heap_bytes(), 3 * 3 * 8);
+    }
+
+    #[test]
+    fn bit_matrix_from_database() {
+        let db = paper_db();
+        let m = BitMatrix::from_database(&db);
+        for (tid, t) in db.transactions().iter().enumerate() {
+            assert_eq!(m.row_count(tid), t.len() as u32);
+            for i in 0..db.num_items() {
+                assert_eq!(m.get(tid, i as usize), t.contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_sizes() {
+        let m = SuffixCountMatrix::from_database(&paper_db());
+        assert_eq!(m.num_transactions(), 8);
+        assert_eq!(m.num_items(), 5);
+        assert_eq!(m.heap_bytes(), 8 * 5 * 4);
+        assert_eq!(m.row(0), &[4, 5, 5, 0, 0]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Maximal frequent item sets (paper §2.3).
+//!
+//! A frequent item set is *maximal* if no proper superset is frequent.
+//! Every maximal frequent set is closed (adding any item would drop the
+//! support below the threshold, so in particular below the set's own
+//! support), and the maximal frequent sets are exactly the
+//! inclusion-maximal elements of the closed frequent collection — so they
+//! can be extracted from any miner's output without touching the database.
+
+use crate::miner::MiningResult;
+use std::collections::HashMap;
+
+/// Filters a complete closed-set mining result down to the maximal
+/// frequent item sets.
+pub fn maximal_from_closed(closed: &MiningResult) -> MiningResult {
+    // group indices by a representative item to limit superset candidates
+    let mut by_item: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (idx, s) in closed.sets.iter().enumerate() {
+        for item in s.items.iter() {
+            by_item.entry(item).or_default().push(idx);
+        }
+    }
+    let mut result = MiningResult::new();
+    'outer: for (idx, s) in closed.sets.iter().enumerate() {
+        // choose the item with the shortest posting list
+        let postings = s
+            .items
+            .iter()
+            .filter_map(|i| by_item.get(&i))
+            .min_by_key(|p| p.len());
+        if let Some(postings) = postings {
+            for &other in postings {
+                if other != idx {
+                    let o = &closed.sets[other];
+                    if o.items.len() > s.items.len() && s.items.is_subset_of(&o.items) {
+                        continue 'outer; // a frequent (closed) superset exists
+                    }
+                }
+            }
+        }
+        result.sets.push(s.clone());
+    }
+    result.canonicalize();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itemset::ItemSet;
+    use crate::recode::RecodedDatabase;
+    use crate::reference::{mine_all_frequent, mine_reference};
+
+    fn paper_db() -> RecodedDatabase {
+        RecodedDatabase::from_dense(
+            vec![
+                vec![0, 1, 2],
+                vec![0, 3, 4],
+                vec![1, 2, 3],
+                vec![0, 1, 2, 3],
+                vec![1, 2],
+                vec![0, 1, 3],
+                vec![3, 4],
+                vec![2, 3, 4],
+            ],
+            5,
+        )
+    }
+
+    /// Brute-force maximal sets from the all-frequent enumeration.
+    fn maximal_reference(db: &RecodedDatabase, minsupp: u32) -> MiningResult {
+        let all = mine_all_frequent(db, minsupp);
+        let mut result = MiningResult::new();
+        for f in &all.sets {
+            let has_super = all
+                .sets
+                .iter()
+                .any(|g| g.items.len() > f.items.len() && f.items.is_subset_of(&g.items));
+            if !has_super {
+                result.sets.push(f.clone());
+            }
+        }
+        result.canonicalize();
+        result
+    }
+
+    #[test]
+    fn matches_brute_force_on_paper_example() {
+        let db = paper_db();
+        for minsupp in 1..=8 {
+            let closed = mine_reference(&db, minsupp);
+            let got = maximal_from_closed(&closed);
+            let want = maximal_reference(&db, minsupp);
+            assert_eq!(got, want, "minsupp={minsupp}");
+        }
+    }
+
+    #[test]
+    fn union_of_maximal_subsets_is_all_frequent() {
+        // paper §2.3: the union of all subsets of the maximal sets is the
+        // set of all frequent item sets
+        let db = paper_db();
+        let minsupp = 3;
+        let maximal = maximal_from_closed(&mine_reference(&db, minsupp));
+        let all = mine_all_frequent(&db, minsupp);
+        for f in &all.sets {
+            assert!(
+                maximal.sets.iter().any(|m| f.items.is_subset_of(&m.items)),
+                "{:?} not covered by any maximal set",
+                f.items
+            );
+        }
+    }
+
+    #[test]
+    fn maximal_sets_are_incomparable() {
+        let db = paper_db();
+        let maximal = maximal_from_closed(&mine_reference(&db, 2));
+        for (i, a) in maximal.sets.iter().enumerate() {
+            for (j, b) in maximal.sets.iter().enumerate() {
+                if i != j {
+                    assert!(!a.items.is_subset_of(&b.items), "{:?} ⊆ {:?}", a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(maximal_from_closed(&MiningResult::new()).is_empty());
+        let one: MiningResult = [crate::miner::FoundSet::new(ItemSet::from([1, 2]), 3)]
+            .into_iter()
+            .collect();
+        assert_eq!(maximal_from_closed(&one), one.canonicalized());
+    }
+}

@@ -1,0 +1,101 @@
+//! Item-code and transaction-processing orders (paper §3.4).
+//!
+//! The paper reports that for the intersection approach it is usually most
+//! efficient to assign item codes by *ascending* frequency (the rarest item
+//! gets code 0) and to process transactions in order of *increasing* size,
+//! breaking size ties lexicographically w.r.t. a descending writing of the
+//! items. Both orders affect only the running time, never the mined output;
+//! this invariant is exercised by the ablation tests and benchmarked by the
+//! `orders` experiment runner (E8).
+
+/// How item codes are assigned during recoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ItemOrder {
+    /// Rarest item gets code 0 (paper default, usually fastest).
+    AscendingFrequency,
+    /// Most frequent item gets code 0.
+    DescendingFrequency,
+    /// Keep the raw catalog codes (compacted over surviving items).
+    Original,
+}
+
+impl Default for ItemOrder {
+    fn default() -> Self {
+        ItemOrder::AscendingFrequency
+    }
+}
+
+/// The order in which transactions are processed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TransactionOrder {
+    /// Smallest transactions first (paper default, usually fastest);
+    /// ties broken lexicographically on descending item codes.
+    AscendingSize,
+    /// Largest transactions first (the paper's slow counter-example).
+    DescendingSize,
+    /// Keep the input order.
+    Original,
+}
+
+impl Default for TransactionOrder {
+    fn default() -> Self {
+        TransactionOrder::AscendingSize
+    }
+}
+
+impl ItemOrder {
+    /// All variants, for ablation sweeps.
+    pub const ALL: [ItemOrder; 3] = [
+        ItemOrder::AscendingFrequency,
+        ItemOrder::DescendingFrequency,
+        ItemOrder::Original,
+    ];
+
+    /// Short label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ItemOrder::AscendingFrequency => "item:asc-freq",
+            ItemOrder::DescendingFrequency => "item:desc-freq",
+            ItemOrder::Original => "item:original",
+        }
+    }
+}
+
+impl TransactionOrder {
+    /// All variants, for ablation sweeps.
+    pub const ALL: [TransactionOrder; 3] = [
+        TransactionOrder::AscendingSize,
+        TransactionOrder::DescendingSize,
+        TransactionOrder::Original,
+    ];
+
+    /// Short label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            TransactionOrder::AscendingSize => "tx:asc-size",
+            TransactionOrder::DescendingSize => "tx:desc-size",
+            TransactionOrder::Original => "tx:original",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        assert_eq!(ItemOrder::default(), ItemOrder::AscendingFrequency);
+        assert_eq!(TransactionOrder::default(), TransactionOrder::AscendingSize);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<&str> = ItemOrder::ALL.iter().map(|o| o.label()).collect();
+        labels.extend(TransactionOrder::ALL.iter().map(|o| o.label()));
+        let n = labels.len();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), n);
+    }
+}

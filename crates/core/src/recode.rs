@@ -1,0 +1,386 @@
+//! Recoding: the preprocessing pass every miner shares.
+//!
+//! Virtually all frequent item set mining algorithms start with one pass over
+//! the database to count item frequencies, remove infrequent items, choose an
+//! item-code order, and reorder the transactions (paper §3.2, §3.4). The
+//! result is a [`RecodedDatabase`] with dense item codes `0..num_items` in
+//! the requested [`ItemOrder`] and transactions in the requested
+//! [`TransactionOrder`]. Mined results are translated back to the raw codes
+//! of the source [`TransactionDatabase`] via [`Recode`].
+//!
+//! Removing items with frequency below the minimum support is lossless for
+//! *frequent* closed sets: a closed set containing an infrequent item has at
+//! most that item's support and is therefore itself infrequent.
+
+use crate::{
+    database::TransactionDatabase,
+    itemset::ItemSet,
+    order::{ItemOrder, TransactionOrder},
+    Item, Tid,
+};
+use std::cmp::Ordering;
+
+/// The code and transaction mappings produced by recoding.
+#[derive(Clone, Debug)]
+pub struct Recode {
+    /// Raw catalog code → new dense code (`None` for filtered items).
+    pub item_to_new: Vec<Option<Item>>,
+    /// New dense code → raw catalog code.
+    pub item_to_old: Vec<Item>,
+    /// New transaction index → original transaction index.
+    pub tx_to_old: Vec<Tid>,
+}
+
+impl Recode {
+    /// Translates an item set over new codes back to raw catalog codes.
+    pub fn decode_items(&self, items: &ItemSet) -> ItemSet {
+        ItemSet::new(
+            items
+                .iter()
+                .map(|i| self.item_to_old[i as usize])
+                .collect(),
+        )
+    }
+
+    /// Translates an item set over raw catalog codes to new codes.
+    ///
+    /// Returns `None` if any item of the set was filtered out.
+    pub fn encode_items(&self, items: &ItemSet) -> Option<ItemSet> {
+        let mut out = Vec::with_capacity(items.len());
+        for i in items.iter() {
+            out.push(*self.item_to_new.get(i as usize)?.as_ref()?);
+        }
+        Some(ItemSet::new(out))
+    }
+}
+
+/// A mining-ready database: dense recoded items, ordered transactions.
+///
+/// All miner implementations in this workspace take a `&RecodedDatabase`.
+#[derive(Clone, Debug)]
+pub struct RecodedDatabase {
+    transactions: Vec<Box<[Item]>>,
+    num_items: u32,
+    item_supports: Vec<u32>,
+    recode: Recode,
+    original_transactions: u32,
+    minsupp_used: u32,
+}
+
+impl RecodedDatabase {
+    /// Recode `db` for mining with minimum support `minsupp`.
+    ///
+    /// Items with frequency `< minsupp` are removed (`minsupp` is clamped to
+    /// at least 1); transactions that become empty are dropped. Item codes
+    /// and transaction order follow `item_order` / `tx_order`.
+    pub fn prepare(
+        db: &TransactionDatabase,
+        minsupp: u32,
+        item_order: ItemOrder,
+        tx_order: TransactionOrder,
+    ) -> Self {
+        let minsupp = minsupp.max(1);
+        let freq = db.item_frequencies();
+
+        // Select surviving raw codes and order them.
+        let mut surviving: Vec<Item> = (0..freq.len() as Item)
+            .filter(|&i| freq[i as usize] >= minsupp)
+            .collect();
+        match item_order {
+            ItemOrder::AscendingFrequency => {
+                surviving.sort_by_key(|&i| (freq[i as usize], i));
+            }
+            ItemOrder::DescendingFrequency => {
+                surviving.sort_by_key(|&i| (std::cmp::Reverse(freq[i as usize]), i));
+            }
+            ItemOrder::Original => { /* already ascending raw code */ }
+        }
+
+        let mut item_to_new: Vec<Option<Item>> = vec![None; freq.len()];
+        for (new, &old) in surviving.iter().enumerate() {
+            item_to_new[old as usize] = Some(new as Item);
+        }
+
+        // Map transactions, dropping empties.
+        let mut txs: Vec<(Tid, Box<[Item]>)> = Vec::with_capacity(db.num_transactions());
+        let mut buf: Vec<Item> = Vec::new();
+        for (tid, t) in db.transactions().iter().enumerate() {
+            buf.clear();
+            for it in t.iter() {
+                if let Some(new) = item_to_new[it as usize] {
+                    buf.push(new);
+                }
+            }
+            if buf.is_empty() {
+                continue;
+            }
+            buf.sort_unstable();
+            txs.push((tid as Tid, buf.clone().into_boxed_slice()));
+        }
+
+        match tx_order {
+            TransactionOrder::AscendingSize => {
+                txs.sort_by(|a, b| cmp_size_then_desc_lex(&a.1, &b.1));
+            }
+            TransactionOrder::DescendingSize => {
+                txs.sort_by(|a, b| cmp_size_then_desc_lex(&b.1, &a.1));
+            }
+            TransactionOrder::Original => {}
+        }
+
+        let mut item_supports = vec![0u32; surviving.len()];
+        for (_, t) in &txs {
+            for &i in t.iter() {
+                item_supports[i as usize] += 1;
+            }
+        }
+
+        let (tx_to_old, transactions): (Vec<Tid>, Vec<Box<[Item]>>) = txs.into_iter().unzip();
+
+        RecodedDatabase {
+            transactions,
+            num_items: surviving.len() as u32,
+            item_supports,
+            recode: Recode {
+                item_to_new,
+                item_to_old: surviving,
+                tx_to_old,
+            },
+            original_transactions: db.num_transactions() as u32,
+            minsupp_used: minsupp,
+        }
+    }
+
+    /// Builds a recoded database directly from dense-code transactions,
+    /// without filtering or reordering.
+    ///
+    /// Intended for tests and for algorithm inputs that are already
+    /// preprocessed. Transactions are canonicalized (sorted, deduplicated
+    /// within each transaction); empty transactions are kept out.
+    pub fn from_dense(transactions: Vec<Vec<Item>>, num_items: u32) -> Self {
+        let mut txs: Vec<Box<[Item]>> = Vec::with_capacity(transactions.len());
+        let mut tx_to_old = Vec::new();
+        let original = transactions.len() as u32;
+        for (tid, mut t) in transactions.into_iter().enumerate() {
+            t.sort_unstable();
+            t.dedup();
+            assert!(
+                t.iter().all(|&i| i < num_items),
+                "item code out of range for num_items"
+            );
+            if t.is_empty() {
+                continue;
+            }
+            tx_to_old.push(tid as Tid);
+            txs.push(t.into_boxed_slice());
+        }
+        let mut item_supports = vec![0u32; num_items as usize];
+        for t in &txs {
+            for &i in t.iter() {
+                item_supports[i as usize] += 1;
+            }
+        }
+        RecodedDatabase {
+            transactions: txs,
+            num_items,
+            item_supports,
+            recode: Recode {
+                item_to_new: (0..num_items).map(Some).collect(),
+                item_to_old: (0..num_items).collect(),
+                tx_to_old,
+            },
+            original_transactions: original,
+            minsupp_used: 1,
+        }
+    }
+
+    /// The transactions, each a strictly ascending slice of dense codes.
+    pub fn transactions(&self) -> &[Box<[Item]>] {
+        &self.transactions
+    }
+
+    /// One transaction by index.
+    pub fn transaction(&self, tid: Tid) -> &[Item] {
+        &self.transactions[tid as usize]
+    }
+
+    /// Number of (surviving, non-empty) transactions.
+    pub fn num_transactions(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Number of transactions in the source database (including dropped).
+    pub fn original_transactions(&self) -> u32 {
+        self.original_transactions
+    }
+
+    /// Number of dense item codes.
+    pub fn num_items(&self) -> u32 {
+        self.num_items
+    }
+
+    /// Support of every dense item code in the recoded database.
+    pub fn item_supports(&self) -> &[u32] {
+        &self.item_supports
+    }
+
+    /// The minimum support the recoding was prepared for.
+    pub fn minsupp_used(&self) -> u32 {
+        self.minsupp_used
+    }
+
+    /// The code/transaction mappings back to the source database.
+    pub fn recode(&self) -> &Recode {
+        &self.recode
+    }
+
+    /// Support of an item set by scanning (used by tests and verification).
+    pub fn support(&self, items: &ItemSet) -> u32 {
+        self.transactions
+            .iter()
+            .filter(|t| crate::itemset::is_subset(items.as_slice(), t))
+            .count() as u32
+    }
+
+    /// Largest transaction size.
+    pub fn max_transaction_len(&self) -> usize {
+        self.transactions.iter().map(|t| t.len()).max().unwrap_or(0)
+    }
+}
+
+/// Compare by size first, then lexicographically on the items written in
+/// descending order (paper §3.4 tie-break).
+fn cmp_size_then_desc_lex(a: &[Item], b: &[Item]) -> Ordering {
+    a.len().cmp(&b.len()).then_with(|| {
+        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+            match x.cmp(y) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_db() -> TransactionDatabase {
+        TransactionDatabase::from_named(&[
+            vec!["a", "b", "c"],
+            vec!["a", "d", "e"],
+            vec!["b", "c", "d"],
+            vec!["a", "b", "c", "d"],
+            vec!["b", "c"],
+            vec!["a", "b", "d"],
+            vec!["d", "e"],
+            vec!["c", "d", "e"],
+        ])
+    }
+
+    #[test]
+    fn ascending_frequency_codes() {
+        let db = paper_db();
+        let r = RecodedDatabase::prepare(&db, 1, ItemOrder::AscendingFrequency, TransactionOrder::Original);
+        // raw freqs: a=4 b=5 c=5 d=6 e=3  → order e(3),a(4),b(5),c(5),d(6)
+        assert_eq!(r.recode().item_to_old, vec![4, 0, 1, 2, 3]);
+        assert_eq!(r.item_supports(), &[3, 4, 5, 5, 6]);
+        assert_eq!(r.num_items(), 5);
+        assert_eq!(r.num_transactions(), 8);
+    }
+
+    #[test]
+    fn infrequent_items_filtered_and_empty_dropped() {
+        let db = TransactionDatabase::from_named(&[
+            vec!["x"],
+            vec!["a", "b"],
+            vec!["a", "b", "y"],
+        ]);
+        let r = RecodedDatabase::prepare(&db, 2, ItemOrder::AscendingFrequency, TransactionOrder::Original);
+        // x and y have freq 1 < 2; transaction {x} becomes empty.
+        assert_eq!(r.num_items(), 2);
+        assert_eq!(r.num_transactions(), 2);
+        assert_eq!(r.original_transactions(), 3);
+        assert_eq!(r.recode().tx_to_old, vec![1, 2]);
+        for t in r.transactions() {
+            assert_eq!(t.len(), 2);
+        }
+    }
+
+    #[test]
+    fn transaction_order_ascending_size() {
+        let db = paper_db();
+        let r = RecodedDatabase::prepare(&db, 1, ItemOrder::Original, TransactionOrder::AscendingSize);
+        let sizes: Vec<usize> = r.transactions().iter().map(|t| t.len()).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted);
+        assert_eq!(r.transactions()[0].len(), 2);
+        assert_eq!(r.transactions().last().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn transaction_order_descending_size() {
+        let db = paper_db();
+        let r = RecodedDatabase::prepare(&db, 1, ItemOrder::Original, TransactionOrder::DescendingSize);
+        let sizes: Vec<usize> = r.transactions().iter().map(|t| t.len()).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(sizes, sorted);
+    }
+
+    #[test]
+    fn desc_lex_tie_break() {
+        assert_eq!(cmp_size_then_desc_lex(&[1, 5], &[2, 5]), Ordering::Less);
+        assert_eq!(cmp_size_then_desc_lex(&[2, 5], &[1, 5]), Ordering::Greater);
+        assert_eq!(cmp_size_then_desc_lex(&[1, 2], &[1, 2, 3]), Ordering::Less);
+        assert_eq!(cmp_size_then_desc_lex(&[3, 4], &[3, 4]), Ordering::Equal);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let db = paper_db();
+        let r = RecodedDatabase::prepare(&db, 1, ItemOrder::AscendingFrequency, TransactionOrder::AscendingSize);
+        let raw = ItemSet::from([1, 2, 3]); // b,c,d
+        let enc = r.recode().encode_items(&raw).unwrap();
+        let dec = r.recode().decode_items(&enc);
+        assert_eq!(dec, raw);
+    }
+
+    #[test]
+    fn encode_filtered_item_is_none() {
+        let db = TransactionDatabase::from_named(&[vec!["a", "b"], vec!["a"]]);
+        let r = RecodedDatabase::prepare(&db, 2, ItemOrder::Original, TransactionOrder::Original);
+        assert!(r.recode().encode_items(&ItemSet::from([1])).is_none());
+        assert!(r.recode().encode_items(&ItemSet::from([0])).is_some());
+    }
+
+    #[test]
+    fn support_scan_matches_raw_database() {
+        let db = paper_db();
+        let r = RecodedDatabase::prepare(&db, 1, ItemOrder::AscendingFrequency, TransactionOrder::AscendingSize);
+        // support is invariant under recoding+reordering
+        let raw = ItemSet::from([1, 2]); // b,c
+        let enc = r.recode().encode_items(&raw).unwrap();
+        assert_eq!(r.support(&enc), db.support(&raw));
+    }
+
+    #[test]
+    fn from_dense_canonicalizes() {
+        let r = RecodedDatabase::from_dense(vec![vec![2, 0, 2], vec![], vec![1]], 3);
+        assert_eq!(r.num_transactions(), 2);
+        assert_eq!(r.transaction(0), &[0, 2]);
+        assert_eq!(r.item_supports(), &[1, 1, 1]);
+        assert_eq!(r.original_transactions(), 3);
+        assert_eq!(r.max_transaction_len(), 2);
+    }
+
+    #[test]
+    fn minsupp_zero_clamped() {
+        let db = paper_db();
+        let r = RecodedDatabase::prepare(&db, 0, ItemOrder::Original, TransactionOrder::Original);
+        assert_eq!(r.minsupp_used(), 1);
+        assert_eq!(r.num_items(), 5);
+    }
+}

@@ -1,0 +1,217 @@
+//! Brute-force reference miners — the ground truth for every test.
+//!
+//! [`ReferenceMiner`] materializes the full set `C(T)` of all transaction
+//! intersections via the recursive relation of paper §3.2:
+//!
+//! ```text
+//! C(∅)      = ∅
+//! C(T ∪ {t}) = C(T) ∪ {t} ∪ { I | ∃ s ∈ C(T) : I = s ∩ t }
+//! ```
+//!
+//! and then computes each candidate's exact support by scanning. This is
+//! deliberately simple and obviously correct; it is quadratic in |C(T)| and
+//! only suitable for the small databases used in tests.
+
+use crate::{
+    itemset::ItemSet,
+    miner::{ClosedMiner, FoundSet, MiningResult},
+    recode::RecodedDatabase,
+};
+use std::collections::HashSet;
+
+/// The brute-force closed-set miner (test ground truth).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReferenceMiner;
+
+impl ClosedMiner for ReferenceMiner {
+    fn name(&self) -> &'static str {
+        "reference"
+    }
+
+    fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult {
+        mine_reference(db, minsupp)
+    }
+}
+
+/// Free-function form of [`ReferenceMiner`].
+pub fn mine_reference(db: &RecodedDatabase, minsupp: u32) -> MiningResult {
+    let minsupp = minsupp.max(1);
+    let mut closed: HashSet<ItemSet> = HashSet::new();
+    let mut buf: Vec<crate::Item> = Vec::new();
+    for t in db.transactions() {
+        let t_set = ItemSet::from_sorted(t.to_vec());
+        let mut new_sets: Vec<ItemSet> = Vec::new();
+        for s in &closed {
+            crate::itemset::intersect_into(s.as_slice(), t, &mut buf);
+            if !buf.is_empty() {
+                new_sets.push(ItemSet::from_sorted(buf.clone()));
+            }
+        }
+        closed.insert(t_set);
+        closed.extend(new_sets);
+    }
+    let mut result: MiningResult = closed
+        .into_iter()
+        .map(|items| {
+            let support = db.support(&items);
+            FoundSet::new(items, support)
+        })
+        .filter(|s| s.support >= minsupp)
+        .collect();
+    result.canonicalize();
+    result
+}
+
+/// Enumerates **all** frequent item sets (not only closed ones) with their
+/// supports, by breadth-first subset expansion. Exponential; tests only.
+pub fn mine_all_frequent(db: &RecodedDatabase, minsupp: u32) -> MiningResult {
+    let minsupp = minsupp.max(1);
+    let num_items = db.num_items();
+    let mut result = MiningResult::new();
+    // frontier of frequent sets of size k, extended one item at a time
+    let mut frontier: Vec<ItemSet> = (0..num_items)
+        .map(|i| ItemSet::from([i]))
+        .filter(|s| db.support(s) >= minsupp)
+        .collect();
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for s in &frontier {
+            let support = db.support(s);
+            result.sets.push(FoundSet::new(s.clone(), support));
+            let start = s.max_item().map_or(0, |m| m + 1);
+            for i in start..num_items {
+                let mut e = s.clone();
+                e.insert(i);
+                if db.support(&e) >= minsupp {
+                    next.push(e);
+                }
+            }
+        }
+        frontier = next;
+    }
+    result.canonicalize();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::is_closed;
+
+    fn paper_db() -> RecodedDatabase {
+        RecodedDatabase::from_dense(
+            vec![
+                vec![0, 1, 2],
+                vec![0, 3, 4],
+                vec![1, 2, 3],
+                vec![0, 1, 2, 3],
+                vec![1, 2],
+                vec![0, 1, 3],
+                vec![3, 4],
+                vec![2, 3, 4],
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn reference_reports_only_closed_sets() {
+        let db = paper_db();
+        let r = mine_reference(&db, 1);
+        assert!(!r.is_empty());
+        for s in &r.sets {
+            assert!(is_closed(&db, &s.items), "{:?} is not closed", s.items);
+            assert_eq!(db.support(&s.items), s.support);
+        }
+    }
+
+    #[test]
+    fn reference_is_complete() {
+        // every closed set must appear: check against direct enumeration of
+        // all item subsets (item base is tiny)
+        let db = paper_db();
+        let r = mine_reference(&db, 1);
+        let mut count = 0usize;
+        for mask in 1u32..(1 << 5) {
+            let items: ItemSet = (0..5).filter(|i| mask >> i & 1 == 1).collect();
+            if is_closed(&db, &items) {
+                count += 1;
+                assert_eq!(
+                    r.support_of(&items),
+                    Some(db.support(&items)),
+                    "missing closed set {items:?}"
+                );
+            }
+        }
+        assert_eq!(r.len(), count);
+    }
+
+    #[test]
+    fn minsupp_filters() {
+        let db = paper_db();
+        let all = mine_reference(&db, 1);
+        let some = mine_reference(&db, 3);
+        assert!(some.len() < all.len());
+        for s in &some.sets {
+            assert!(s.support >= 3);
+        }
+        // {b,c} has support 4 and is closed
+        assert_eq!(some.support_of(&ItemSet::from([1, 2])), Some(4));
+    }
+
+    #[test]
+    fn known_closed_sets_of_paper_example() {
+        let db = paper_db();
+        let r = mine_reference(&db, 1);
+        // spot-checks derivable by hand
+        assert_eq!(r.support_of(&ItemSet::from([3])), Some(6)); // {d}
+        assert_eq!(r.support_of(&ItemSet::from([3, 4])), Some(3)); // {d,e}
+        assert_eq!(r.support_of(&ItemSet::from([0, 1, 2])), Some(2)); // {a,b,c}
+        assert_eq!(r.support_of(&ItemSet::from([0, 1, 2, 3])), Some(1));
+        // {e} alone is not closed (closure {d,e})
+        assert_eq!(r.support_of(&ItemSet::from([4])), None);
+    }
+
+    #[test]
+    fn all_frequent_includes_nonclosed() {
+        let db = paper_db();
+        let r = mine_all_frequent(&db, 3);
+        // {e} has support 3 (not closed, but frequent)
+        assert_eq!(r.support_of(&ItemSet::from([4])), Some(3));
+        // closure-based reconstruction: support(F) = max over closed C ⊇ F
+        let closed = mine_reference(&db, 1);
+        for f in &r.sets {
+            let recon = closed
+                .sets
+                .iter()
+                .filter(|c| f.items.is_subset_of(&c.items))
+                .map(|c| c.support)
+                .max()
+                .unwrap();
+            assert_eq!(recon, f.support, "reconstruction failed for {:?}", f.items);
+        }
+    }
+
+    #[test]
+    fn empty_database_yields_empty_result() {
+        let db = RecodedDatabase::from_dense(vec![], 0);
+        assert!(mine_reference(&db, 1).is_empty());
+        assert!(mine_all_frequent(&db, 1).is_empty());
+    }
+
+    #[test]
+    fn single_transaction() {
+        let db = RecodedDatabase::from_dense(vec![vec![0, 2]], 3);
+        let r = mine_reference(&db, 1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.support_of(&ItemSet::from([0, 2])), Some(1));
+    }
+
+    #[test]
+    fn duplicate_transactions_accumulate_support() {
+        let db = RecodedDatabase::from_dense(vec![vec![0, 1]; 4], 2);
+        let r = mine_reference(&db, 2);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.support_of(&ItemSet::from([0, 1])), Some(4));
+    }
+}

@@ -1,0 +1,132 @@
+//! The FIMI workshop transaction format: one transaction per line, items as
+//! whitespace-separated tokens. Tokens are treated as opaque item names
+//! (they need not be numbers); blank lines are empty transactions and lines
+//! starting with `#` are comments.
+
+use fim_core::{FimError, TransactionDatabase};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Reads a transaction database from FIMI-format text.
+pub fn read_fimi<R: Read>(reader: R) -> Result<TransactionDatabase, FimError> {
+    let mut db = TransactionDatabase::new();
+    let mut line = String::new();
+    let mut reader = BufReader::new(reader);
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.starts_with('#') {
+            continue;
+        }
+        if trimmed.chars().any(|c| c.is_control() && c != '\t') {
+            return Err(FimError::Parse {
+                line: lineno,
+                message: "unexpected control character".into(),
+            });
+        }
+        let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+        db.push_named(&tokens);
+    }
+    Ok(db)
+}
+
+/// Reads a FIMI file from disk.
+pub fn read_fimi_path<P: AsRef<Path>>(path: P) -> Result<TransactionDatabase, FimError> {
+    read_fimi(std::fs::File::open(path)?)
+}
+
+/// Writes a transaction database in FIMI format (item names as tokens).
+pub fn write_fimi<W: Write>(db: &TransactionDatabase, mut writer: W) -> Result<(), FimError> {
+    for t in db.transactions() {
+        let mut first = true;
+        for item in t.iter() {
+            let name = db.catalog().name(item).ok_or_else(|| {
+                FimError::InvalidInput(format!("item code {item} has no catalog name"))
+            })?;
+            if !first {
+                write!(writer, " ")?;
+            }
+            write!(writer, "{name}")?;
+            first = false;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Writes a FIMI file to disk.
+pub fn write_fimi_path<P: AsRef<Path>>(db: &TransactionDatabase, path: P) -> Result<(), FimError> {
+    let file = std::fs::File::create(path)?;
+    write_fimi(db, std::io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fim_core::ItemSet;
+
+    #[test]
+    fn read_basic() {
+        let text = "1 2 3\n2 4\n\n1 4\n";
+        let db = read_fimi(text.as_bytes()).unwrap();
+        assert_eq!(db.num_transactions(), 4);
+        assert_eq!(db.transactions()[2], ItemSet::empty());
+        // names "1","2","3" interned in order of appearance
+        assert_eq!(db.catalog().code("4"), Some(3));
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let text = "# header\n  a   b\t c \n#tail\n";
+        let db = read_fimi(text.as_bytes()).unwrap();
+        assert_eq!(db.num_transactions(), 1);
+        assert_eq!(db.transactions()[0].len(), 3);
+    }
+
+    #[test]
+    fn non_numeric_tokens_allowed() {
+        let db = read_fimi("milk bread\nbread butter\n".as_bytes()).unwrap();
+        assert_eq!(db.num_items(), 3);
+        assert_eq!(db.item_frequencies(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = "a b c\nb d\nd\n";
+        let db = read_fimi(text.as_bytes()).unwrap();
+        let mut out = Vec::new();
+        write_fimi(&db, &mut out).unwrap();
+        let db2 = read_fimi(&out[..]).unwrap();
+        assert_eq!(db.transactions(), db2.transactions());
+    }
+
+    #[test]
+    fn path_roundtrip() {
+        let dir = std::env::temp_dir().join("fim_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.fimi");
+        let db = read_fimi("x y\ny z\n".as_bytes()).unwrap();
+        write_fimi_path(&db, &path).unwrap();
+        let db2 = read_fimi_path(&path).unwrap();
+        assert_eq!(db.transactions(), db2.transactions());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn duplicate_items_in_line_are_merged() {
+        let db = read_fimi("a a b\n".as_bytes()).unwrap();
+        assert_eq!(db.transactions()[0].len(), 2);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let e = read_fimi_path("/nonexistent/nowhere.fimi").unwrap_err();
+        assert!(matches!(e, FimError::Io(_)));
+    }
+}

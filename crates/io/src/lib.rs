@@ -1,0 +1,24 @@
+//! # fim-io
+//!
+//! File formats for the mining workspace:
+//!
+//! * [`fimi`] — the FIMI workshop transaction format (one transaction per
+//!   line, whitespace-separated item tokens) used by all public frequent
+//!   item set mining benchmarks, including the BMS-WebView-1 data the paper
+//!   evaluates in transposed form,
+//! * [`matrix_io`] — a simple tab-separated text format for gene-expression
+//!   matrices (genes × conditions of log expression values),
+//! * [`results`] — writers for mined closed sets (the output format of
+//!   Borgelt's `ista`/`carpenter` programs: items then `(support)`), plus a
+//!   CSV writer for the experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fimi;
+pub mod matrix_io;
+pub mod results;
+
+pub use fimi::{read_fimi, read_fimi_path, write_fimi, write_fimi_path};
+pub use matrix_io::{read_matrix, write_matrix};
+pub use results::{write_results, write_results_csv};

@@ -1,0 +1,105 @@
+//! Text I/O for gene-expression matrices.
+//!
+//! Format: an optional header line `#genes <g> conditions <c>`, then one
+//! row per gene with `c` tab- or space-separated floating-point log
+//! expression values — the layout of the compendium data the paper uses
+//! (genes are rows, experimental conditions are columns).
+
+use fim_core::FimError;
+use fim_synth::ExpressionMatrix;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Reads an expression matrix. Dimensions are inferred from the rows when
+/// no header is present; ragged rows are an error.
+pub fn read_matrix<R: Read>(reader: R) -> Result<ExpressionMatrix, FimError> {
+    let reader = BufReader::new(reader);
+    let mut values: Vec<f64> = Vec::new();
+    let mut conditions: Option<usize> = None;
+    let mut genes = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let row: Result<Vec<f64>, _> = t.split_whitespace().map(str::parse::<f64>).collect();
+        let row = row.map_err(|e| FimError::Parse {
+            line: lineno + 1,
+            message: format!("bad expression value: {e}"),
+        })?;
+        match conditions {
+            None => conditions = Some(row.len()),
+            Some(c) if c != row.len() => {
+                return Err(FimError::Parse {
+                    line: lineno + 1,
+                    message: format!("ragged row: expected {c} values, got {}", row.len()),
+                })
+            }
+            _ => {}
+        }
+        values.extend(row);
+        genes += 1;
+    }
+    let conditions = conditions.unwrap_or(0);
+    Ok(ExpressionMatrix::from_values(genes, conditions, values))
+}
+
+/// Writes an expression matrix with a `#genes .. conditions ..` header.
+pub fn write_matrix<W: Write>(m: &ExpressionMatrix, mut writer: W) -> Result<(), FimError> {
+    writeln!(writer, "#genes {} conditions {}", m.genes(), m.conditions())?;
+    for g in 0..m.genes() {
+        for c in 0..m.conditions() {
+            if c > 0 {
+                write!(writer, "\t")?;
+            }
+            write!(writer, "{}", m.value(g, c))?;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_basic() {
+        let text = "0.5 -0.3\n0.0 0.25\n";
+        let m = read_matrix(text.as_bytes()).unwrap();
+        assert_eq!(m.genes(), 2);
+        assert_eq!(m.conditions(), 2);
+        assert_eq!(m.value(0, 1), -0.3);
+        assert_eq!(m.value(1, 1), 0.25);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = ExpressionMatrix::from_values(2, 3, vec![0.1, -0.2, 0.3, 0.0, 1.5, -2.25]);
+        let mut out = Vec::new();
+        write_matrix(&m, &mut out).unwrap();
+        let back = read_matrix(&out[..]).unwrap();
+        assert_eq!(back.genes(), 2);
+        assert_eq!(back.conditions(), 3);
+        assert_eq!(back.values(), m.values());
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let e = read_matrix("1 2\n3\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, FimError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn bad_value_rejected() {
+        let e = read_matrix("1 abc\n".as_bytes()).unwrap_err();
+        assert!(matches!(e, FimError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = read_matrix("".as_bytes()).unwrap();
+        assert_eq!(m.genes(), 0);
+        assert_eq!(m.conditions(), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Writers for mined closed item sets.
+//!
+//! The default format matches Borgelt's `ista`/`carpenter` command-line
+//! programs: one set per line, item names separated by spaces, followed by
+//! the absolute support in parentheses:
+//!
+//! ```text
+//! a b c (4)
+//! d e (3)
+//! ```
+
+use fim_core::{FimError, MiningResult, TransactionDatabase};
+use std::io::Write;
+
+/// Writes a mining result (over raw catalog codes) with item names from
+/// `db`'s catalog, in Borgelt's output format.
+pub fn write_results<W: Write>(
+    result: &MiningResult,
+    db: &TransactionDatabase,
+    mut writer: W,
+) -> Result<(), FimError> {
+    for s in &result.sets {
+        let mut first = true;
+        for item in s.items.iter() {
+            let name = db.catalog().name(item).ok_or_else(|| {
+                FimError::InvalidInput(format!("item code {item} has no catalog name"))
+            })?;
+            if !first {
+                write!(writer, " ")?;
+            }
+            write!(writer, "{name}")?;
+            first = false;
+        }
+        writeln!(writer, " ({})", s.support)?;
+    }
+    Ok(())
+}
+
+/// Writes a mining result as CSV (`items;support`, items space-separated by
+/// code) — the machine-readable companion used by the experiment harness.
+pub fn write_results_csv<W: Write>(result: &MiningResult, mut writer: W) -> Result<(), FimError> {
+    writeln!(writer, "items;support")?;
+    for s in &result.sets {
+        let items: Vec<String> = s.items.iter().map(|i| i.to_string()).collect();
+        writeln!(writer, "{};{}", items.join(" "), s.support)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fim_core::{FoundSet, ItemSet};
+
+    fn fixture() -> (MiningResult, TransactionDatabase) {
+        let db = TransactionDatabase::from_named(&[vec!["a", "b"], vec!["a", "c"]]);
+        let result = MiningResult {
+            sets: vec![
+                FoundSet::new(ItemSet::from([0]), 2),
+                FoundSet::new(ItemSet::from([0, 2]), 1),
+            ],
+        };
+        (result, db)
+    }
+
+    #[test]
+    fn borgelt_format() {
+        let (r, db) = fixture();
+        let mut out = Vec::new();
+        write_results(&r, &db, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text, "a (2)\na c (1)\n");
+    }
+
+    #[test]
+    fn csv_format() {
+        let (r, _) = fixture();
+        let mut out = Vec::new();
+        write_results_csv(&r, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text, "items;support\n0;2\n0 2;1\n");
+    }
+
+    #[test]
+    fn unknown_code_is_error() {
+        let (mut r, db) = fixture();
+        r.sets.push(FoundSet::new(ItemSet::from([99]), 1));
+        let mut out = Vec::new();
+        assert!(write_results(&r, &db, &mut out).is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests: FIMI and matrix round-trips on random inputs.
+
+use fim_io::{read_fimi, read_matrix, write_fimi, write_matrix};
+use fim_synth::ExpressionMatrix;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fimi_roundtrip_random_databases(txs in vec(vec(0u32..30, 0..10usize), 0..20)) {
+        let db = fim_core::TransactionDatabase::from_codes(txs);
+        let mut buf = Vec::new();
+        write_fimi(&db, &mut buf).unwrap();
+        let back = read_fimi(&buf[..]).unwrap();
+        prop_assert_eq!(back.num_transactions(), db.num_transactions());
+        // name-level equality: each transaction maps to the same name sets
+        for (a, b) in db.transactions().iter().zip(back.transactions()) {
+            let na: Vec<&str> = a.iter().map(|i| db.catalog().name(i).unwrap()).collect();
+            let mut nb: Vec<&str> = b.iter().map(|i| back.catalog().name(i).unwrap()).collect();
+            let mut na = na;
+            na.sort_unstable();
+            nb.sort_unstable();
+            prop_assert_eq!(na, nb);
+        }
+    }
+
+    #[test]
+    fn matrix_roundtrip_random_values(
+        genes in 1usize..8,
+        conditions in 1usize..8,
+        raw in vec(-100i32..100, 0..64),
+    ) {
+        let mut values: Vec<f64> = raw.into_iter().map(|x| f64::from(x) / 16.0).collect();
+        values.resize(genes * conditions, 0.25);
+        let m = ExpressionMatrix::from_values(genes, conditions, values);
+        let mut buf = Vec::new();
+        write_matrix(&m, &mut buf).unwrap();
+        let back = read_matrix(&buf[..]).unwrap();
+        prop_assert_eq!(back.genes(), genes);
+        prop_assert_eq!(back.conditions(), conditions);
+        prop_assert_eq!(back.values(), m.values());
+    }
+
+    #[test]
+    fn fimi_mining_survives_roundtrip(
+        txs in vec(vec(0u32..8, 1..6usize), 1..10),
+        minsupp in 1u32..4,
+    ) {
+        use fim_core::{mine_closed, reference::ReferenceMiner};
+        let db = fim_core::TransactionDatabase::from_codes(txs);
+        let mut buf = Vec::new();
+        write_fimi(&db, &mut buf).unwrap();
+        let back = read_fimi(&buf[..]).unwrap();
+        // supports of closed sets are invariant under the roundtrip
+        let a = mine_closed(&db, minsupp, &ReferenceMiner);
+        let b = mine_closed(&back, minsupp, &ReferenceMiner);
+        let mut sa: Vec<(usize, u32)> = a.sets.iter().map(|s| (s.items.len(), s.support)).collect();
+        let mut sb: Vec<(usize, u32)> = b.sets.iter().map(|s| (s.items.len(), s.support)).collect();
+        sa.sort_unstable();
+        sb.sort_unstable();
+        prop_assert_eq!(sa, sb);
+    }
+}

@@ -1,0 +1,173 @@
+//! Index-based node arena for the IsTa prefix tree.
+//!
+//! The paper's C implementation links nodes with raw pointers (Fig. 1);
+//! here nodes live in one `Vec` and link through `u32` indices, which keeps
+//! the structure compact (20 bytes per node), cache-friendly, and free of
+//! `unsafe`. Freed nodes are kept on an intrusive free list threaded through
+//! the `sibling` field so pruning can recycle them.
+
+use fim_core::Item;
+
+/// Sentinel index meaning "no node".
+pub const NONE: u32 = u32::MAX;
+
+/// One prefix tree node (paper Fig. 1).
+#[derive(Clone, Copy, Debug)]
+pub struct Node {
+    /// The item associated with this node (the largest item of the set it
+    /// represents is at the top of its path; this node holds the *last*,
+    /// i.e. smallest-so-far item of the represented set).
+    pub item: Item,
+    /// Support of the represented item set within the processed prefix.
+    pub supp: u32,
+    /// Most recent update step (index of the transaction whose processing
+    /// last touched this node); the incremental-update flag of the paper.
+    pub step: u32,
+    /// Next node in the sibling list (descending item order), or [`NONE`].
+    pub sibling: u32,
+    /// Head of the child list (all child items < `item`), or [`NONE`].
+    pub children: u32,
+}
+
+/// Growable arena of [`Node`]s with index links and a free list.
+#[derive(Clone, Debug, Default)]
+pub struct NodeArena {
+    nodes: Vec<Node>,
+    free_head: u32,
+    live: usize,
+}
+
+impl NodeArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        NodeArena {
+            nodes: Vec::new(),
+            free_head: NONE,
+            live: 0,
+        }
+    }
+
+    /// Creates an arena with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        NodeArena {
+            nodes: Vec::with_capacity(cap),
+            free_head: NONE,
+            live: 0,
+        }
+    }
+
+    /// Allocates a node, reusing a freed slot when available.
+    pub fn alloc(&mut self, node: Node) -> u32 {
+        self.live += 1;
+        if self.free_head != NONE {
+            let idx = self.free_head;
+            self.free_head = self.nodes[idx as usize].sibling;
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            assert!(idx < NONE, "node arena exhausted");
+            self.nodes.push(node);
+            idx
+        }
+    }
+
+    /// Returns a node slot to the free list.
+    ///
+    /// The caller must ensure no live links point to `idx`.
+    pub fn free(&mut self, idx: u32) {
+        debug_assert!(self.live > 0);
+        self.live -= 1;
+        let n = &mut self.nodes[idx as usize];
+        n.sibling = self.free_head;
+        n.children = NONE;
+        self.free_head = idx;
+    }
+
+    /// Number of live (allocated, not freed) nodes.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Total slots ever allocated (live + free-listed).
+    pub fn capacity_used(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable node access.
+    #[inline]
+    pub fn get(&self, idx: u32) -> &Node {
+        &self.nodes[idx as usize]
+    }
+
+    /// Mutable node access.
+    #[inline]
+    pub fn get_mut(&mut self, idx: u32) -> &mut Node {
+        &mut self.nodes[idx as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(item: Item) -> Node {
+        Node {
+            item,
+            supp: 0,
+            step: 0,
+            sibling: NONE,
+            children: NONE,
+        }
+    }
+
+    #[test]
+    fn alloc_returns_sequential_indices() {
+        let mut a = NodeArena::new();
+        assert_eq!(a.alloc(leaf(1)), 0);
+        assert_eq!(a.alloc(leaf(2)), 1);
+        assert_eq!(a.live_count(), 2);
+        assert_eq!(a.capacity_used(), 2);
+        assert_eq!(a.get(1).item, 2);
+    }
+
+    #[test]
+    fn free_list_reuses_slots() {
+        let mut a = NodeArena::new();
+        let x = a.alloc(leaf(1));
+        let y = a.alloc(leaf(2));
+        a.free(x);
+        assert_eq!(a.live_count(), 1);
+        let z = a.alloc(leaf(3));
+        assert_eq!(z, x, "freed slot should be reused");
+        assert_eq!(a.capacity_used(), 2);
+        assert_eq!(a.get(z).item, 3);
+        assert_eq!(a.get(y).item, 2);
+    }
+
+    #[test]
+    fn free_order_is_lifo() {
+        let mut a = NodeArena::new();
+        let x = a.alloc(leaf(1));
+        let y = a.alloc(leaf(2));
+        a.free(x);
+        a.free(y);
+        assert_eq!(a.alloc(leaf(9)), y);
+        assert_eq!(a.alloc(leaf(9)), x);
+    }
+
+    #[test]
+    fn mutation_through_get_mut() {
+        let mut a = NodeArena::new();
+        let x = a.alloc(leaf(7));
+        a.get_mut(x).supp = 42;
+        assert_eq!(a.get(x).supp, 42);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let a = NodeArena::with_capacity(64);
+        assert_eq!(a.live_count(), 0);
+        assert_eq!(a.capacity_used(), 0);
+    }
+}

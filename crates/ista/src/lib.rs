@@ -1,0 +1,43 @@
+//! # fim-ista
+//!
+//! The **IsTa** ("Intersecting Transactions") algorithm: mining closed
+//! frequent item sets with the *cumulative intersection* scheme of
+//! Borgelt et al. (EDBT 2011, §3.2–3.3).
+//!
+//! The algorithm maintains a repository of all closed item sets of the
+//! already-processed transaction prefix, exploiting the recursion
+//!
+//! ```text
+//! C(∅)       = ∅
+//! C(T ∪ {t}) = C(T) ∪ {t} ∪ { I | ∃ s ∈ C(T) : I = s ∩ t }
+//! ```
+//!
+//! The repository is a prefix tree ([`PrefixTree`]): each node carries one
+//! item, and the item set represented by a node consists of its item plus
+//! the items on the path to the root. Child items are smaller than their
+//! parent's item and sibling lists are sorted descending, so every set is
+//! stored along exactly one path (its items in descending order). Each new
+//! transaction is first inserted as a plain path, then a single selective
+//! depth-first traversal (`isect`, paper Fig. 2) simultaneously computes all
+//! intersections with stored sets and merges them into the tree, using a
+//! per-node `step` stamp and max-merge to keep every node's support exact.
+//! Finally a recursive report (paper Fig. 4) emits exactly the nodes whose
+//! support is at least the minimum support and strictly exceeds the support
+//! of every child (the closedness condition).
+//!
+//! The optional *item elimination* pruning of paper §3.2 removes items that
+//! can no longer reach minimum support from the tree mid-run, shrinking the
+//! repository (see [`IstaConfig::prune`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod miner;
+pub mod stream;
+pub mod tree;
+
+pub use arena::{Node, NodeArena, NONE};
+pub use miner::{IstaConfig, IstaMiner, PrunePolicy};
+pub use stream::IstaStream;
+pub use tree::PrefixTree;

@@ -1,0 +1,657 @@
+//! The IsTa prefix tree: insertion, the `isect` traversal (paper Fig. 2),
+//! reporting (paper Fig. 4), and item-elimination pruning (paper §3.2).
+
+use crate::arena::{Node, NodeArena, NONE};
+use fim_core::{FoundSet, Item, ItemSet};
+
+/// A position in the tree where a sibling list can be read or spliced:
+/// either the `children` field of a node or the `sibling` field of a node.
+/// This is the arena equivalent of the C implementation's `NODE **ins`.
+#[derive(Clone, Copy, Debug)]
+enum Slot {
+    /// The `children` field of the given node.
+    Child(u32),
+    /// The `sibling` field of the given node.
+    Sib(u32),
+}
+
+#[inline]
+fn slot_get(a: &NodeArena, s: Slot) -> u32 {
+    match s {
+        Slot::Child(n) => a.get(n).children,
+        Slot::Sib(n) => a.get(n).sibling,
+    }
+}
+
+#[inline]
+fn slot_set(a: &mut NodeArena, s: Slot, v: u32) {
+    match s {
+        Slot::Child(n) => a.get_mut(n).children = v,
+        Slot::Sib(n) => a.get_mut(n).sibling = v,
+    }
+}
+
+/// The cumulative-intersection prefix tree (paper §3.3).
+///
+/// Invariants (checked by [`PrefixTree::validate_invariants`]):
+///
+/// * every sibling list is strictly descending in item code,
+/// * every child's item code is strictly smaller than its parent's,
+/// * after processing `k` transactions, each node's `supp` equals the exact
+///   support of the item set it represents within those `k` transactions
+///   (as long as pruning has not removed evidence for globally infrequent
+///   sets — pruned-tree supports are only exact for sets that can still
+///   reach the minimum support; see §3.2 of the paper).
+#[derive(Clone, Debug)]
+pub struct PrefixTree {
+    arena: NodeArena,
+    root: u32,
+    step: u32,
+    trans: Vec<bool>,
+}
+
+impl PrefixTree {
+    /// Creates an empty tree over an item universe of `num_items` codes.
+    pub fn new(num_items: u32) -> Self {
+        let mut arena = NodeArena::new();
+        let root = arena.alloc(Node {
+            item: Item::MAX, // pseudo-item above every real item
+            supp: 0,
+            step: 0,
+            sibling: NONE,
+            children: NONE,
+        });
+        PrefixTree {
+            arena,
+            root,
+            step: 0,
+            trans: vec![false; num_items as usize],
+        }
+    }
+
+    /// Number of transactions processed so far.
+    pub fn transactions_processed(&self) -> u32 {
+        self.step
+    }
+
+    /// Number of live tree nodes (excluding the root).
+    pub fn node_count(&self) -> usize {
+        self.arena.live_count() - 1
+    }
+
+    /// Processes one transaction: inserts it as a path, then intersects it
+    /// with every stored set in a single `isect` traversal.
+    ///
+    /// `t` must be strictly ascending and non-empty; item codes must be
+    /// below the `num_items` the tree was created with.
+    pub fn add_transaction(&mut self, t: &[Item]) {
+        debug_assert!(t.windows(2).all(|w| w[0] < w[1]));
+        if t.is_empty() {
+            return;
+        }
+        self.step += 1;
+        self.insert_path(t);
+        for &i in t {
+            self.trans[i as usize] = true;
+        }
+        let imin = t[0];
+        let head = self.arena.get(self.root).children;
+        let ins = Slot::Child(self.root);
+        let PrefixTree {
+            arena, trans, step, ..
+        } = self;
+        isect(arena, head, ins, trans, imin, *step);
+        for &i in t {
+            self.trans[i as usize] = false;
+        }
+        self.arena.get_mut(self.root).supp = self.step;
+    }
+
+    /// Inserts the path for transaction `t` (items consumed in descending
+    /// order); nodes created on the way start with support 0 and are
+    /// counted by the subsequent `isect` self-intersection.
+    fn insert_path(&mut self, t: &[Item]) {
+        let mut parent = self.root;
+        for &item in t.iter().rev() {
+            let mut ins = Slot::Child(parent);
+            loop {
+                let d = slot_get(&self.arena, ins);
+                if d != NONE && self.arena.get(d).item > item {
+                    ins = Slot::Sib(d);
+                } else {
+                    break;
+                }
+            }
+            let d = slot_get(&self.arena, ins);
+            if d != NONE && self.arena.get(d).item == item {
+                parent = d;
+            } else {
+                let new = self.arena.alloc(Node {
+                    item,
+                    supp: 0,
+                    step: 0,
+                    sibling: d,
+                    children: NONE,
+                });
+                slot_set(&mut self.arena, ins, new);
+                parent = new;
+            }
+        }
+    }
+
+    /// Item-elimination pruning (paper §3.2): removes every item `i` from
+    /// every stored set whose node support plus `remaining[i]` (occurrences
+    /// of `i` in the yet-unprocessed transactions) cannot reach `minsupp`.
+    /// Subtrees of removed nodes are merged into their parent's child list
+    /// (max-merging supports on collisions), so reduced sets stay available
+    /// as intersection sources.
+    pub fn prune(&mut self, remaining: &[u32], minsupp: u32) {
+        let head = self.arena.get(self.root).children;
+        let new_head = prune_list(&mut self.arena, head, remaining, minsupp);
+        self.arena.get_mut(self.root).children = new_head;
+    }
+
+    /// Reports all closed item sets with support ≥ `minsupp` (paper Fig. 4):
+    /// a node is emitted iff its support reaches `minsupp` and strictly
+    /// exceeds the support of every child.
+    pub fn report(&self, minsupp: u32) -> Vec<FoundSet> {
+        let mut out = Vec::new();
+        let mut path = Vec::new();
+        let mut c = self.arena.get(self.root).children;
+        while c != NONE {
+            report_rec(&self.arena, c, minsupp, &mut path, &mut out);
+            c = self.arena.get(c).sibling;
+        }
+        out
+    }
+
+    /// Checks the structural invariants; panics with a description on
+    /// violation. Used by tests and debug assertions.
+    pub fn validate_invariants(&self) {
+        let mut visited = 0usize;
+        validate_rec(
+            &self.arena,
+            self.arena.get(self.root).children,
+            Item::MAX,
+            self.step,
+            &mut visited,
+        );
+        assert_eq!(
+            visited + 1,
+            self.arena.live_count(),
+            "node count mismatch (cycle or leak)"
+        );
+    }
+
+    /// The maximum support over all stored sets that contain `items` —
+    /// which equals the exact support of `items` in the processed prefix
+    /// whenever `items` occurs at all, because the closure of `items` is
+    /// stored with that support (paper §2.3). Returns `None` when no
+    /// stored set contains `items`.
+    pub fn max_support_of_superset(&self, items: &ItemSet) -> Option<u32> {
+        if items.is_empty() {
+            return (self.step > 0).then_some(self.step);
+        }
+        let desc: Vec<Item> = items.iter().rev().collect();
+        superset_rec(&self.arena, self.arena.get(self.root).children, &desc)
+    }
+
+    /// Lists every stored node as `(item set, support)` in depth-first
+    /// order — the tree contents, used by the Fig. 3 experiment runner and
+    /// by tests that inspect interior (non-closed) nodes.
+    pub fn dump(&self) -> Vec<(ItemSet, u32)> {
+        fn rec(a: &NodeArena, mut node: u32, path: &mut Vec<Item>, out: &mut Vec<(ItemSet, u32)>) {
+            while node != NONE {
+                let n = a.get(node);
+                path.push(n.item);
+                let mut items = path.clone();
+                items.reverse();
+                out.push((ItemSet::from_sorted(items), n.supp));
+                rec(a, n.children, path, out);
+                path.pop();
+                node = n.sibling;
+            }
+        }
+        let mut out = Vec::new();
+        rec(
+            &self.arena,
+            self.arena.get(self.root).children,
+            &mut Vec::new(),
+            &mut out,
+        );
+        out
+    }
+
+    /// Exact support lookup for an item set, by walking its descending path.
+    /// Returns `None` if the set is not (or no longer) stored.
+    pub fn lookup(&self, items: &ItemSet) -> Option<u32> {
+        let mut node = self.root;
+        for item in items.iter().rev() {
+            let mut c = self.arena.get(node).children;
+            loop {
+                if c == NONE {
+                    return None;
+                }
+                let n = self.arena.get(c);
+                match n.item.cmp(&item) {
+                    std::cmp::Ordering::Greater => c = n.sibling,
+                    std::cmp::Ordering::Equal => break,
+                    std::cmp::Ordering::Less => return None,
+                }
+            }
+            node = c;
+        }
+        Some(self.arena.get(node).supp)
+    }
+}
+
+/// The intersection traversal (paper Fig. 2).
+///
+/// Walks the sibling list starting at `node`; `ins` tracks the position in
+/// the tree representing the intersection of the processed path prefix with
+/// the current transaction (`trans` flag array, minimum item `imin`).
+fn isect(a: &mut NodeArena, mut node: u32, mut ins: Slot, trans: &[bool], imin: Item, step: u32) {
+    while node != NONE {
+        let i = a.get(node).item;
+        if trans[i as usize] {
+            // the item is in the intersection: find/create the node for it
+            loop {
+                let d = slot_get(a, ins);
+                if d != NONE && a.get(d).item > i {
+                    ins = Slot::Sib(d);
+                } else {
+                    break;
+                }
+            }
+            let d = slot_get(a, ins);
+            let target;
+            if d != NONE && a.get(d).item == i {
+                // discount first so that the aliased case (d == node, i.e.
+                // a revisit of an already-updated intersection node) is a
+                // no-op, exactly as in the C original where d and node may
+                // be the same object
+                if a.get(d).step >= step {
+                    a.get_mut(d).supp -= 1;
+                }
+                let node_supp = a.get(node).supp;
+                let dn = a.get_mut(d);
+                if dn.supp < node_supp {
+                    dn.supp = node_supp;
+                }
+                dn.supp += 1;
+                dn.step = step;
+                target = d;
+            } else {
+                let node_supp = a.get(node).supp;
+                let new = a.alloc(Node {
+                    item: i,
+                    supp: node_supp + 1,
+                    step,
+                    sibling: d,
+                    children: NONE,
+                });
+                slot_set(a, ins, new);
+                target = new;
+            }
+            if i <= imin {
+                return; // no smaller item can be in the transaction
+            }
+            let child = a.get(node).children;
+            isect(a, child, Slot::Child(target), trans, imin, step);
+        } else {
+            if i <= imin {
+                return; // later siblings only carry smaller items
+            }
+            let child = a.get(node).children;
+            isect(a, child, ins, trans, imin, step);
+        }
+        node = a.get(node).sibling;
+    }
+}
+
+/// Finds the maximum support of any path extending through `needed`
+/// (descending item codes) within the sibling list at `node`.
+fn superset_rec(a: &NodeArena, mut node: u32, needed: &[Item]) -> Option<u32> {
+    debug_assert!(!needed.is_empty());
+    let target = needed[0];
+    let mut best: Option<u32> = None;
+    while node != NONE {
+        let n = a.get(node);
+        if n.item < target {
+            // sibling lists are descending: nothing further can contain it
+            break;
+        }
+        let candidate = if n.item == target {
+            if needed.len() == 1 {
+                // the node's path contains every needed item; descendants
+                // only extend the set and cannot have larger support
+                Some(n.supp)
+            } else {
+                superset_rec(a, n.children, &needed[1..])
+            }
+        } else {
+            // n.item > target: the target may sit deeper in this subtree
+            superset_rec(a, n.children, needed)
+        };
+        if let Some(c) = candidate {
+            best = Some(best.map_or(c, |b: u32| b.max(c)));
+        }
+        node = n.sibling;
+    }
+    best
+}
+
+fn report_rec(
+    a: &NodeArena,
+    node: u32,
+    minsupp: u32,
+    path: &mut Vec<Item>,
+    out: &mut Vec<FoundSet>,
+) {
+    path.push(a.get(node).item);
+    let mut max_child = 0u32;
+    let mut c = a.get(node).children;
+    while c != NONE {
+        let cs = a.get(c).supp;
+        if cs > max_child {
+            max_child = cs;
+        }
+        report_rec(a, c, minsupp, path, out);
+        c = a.get(c).sibling;
+    }
+    let supp = a.get(node).supp;
+    if supp >= minsupp && supp > max_child {
+        let mut items = path.clone();
+        items.reverse(); // path is descending; ItemSet wants ascending
+        out.push(FoundSet::new(ItemSet::from_sorted(items), supp));
+    }
+    path.pop();
+}
+
+fn validate_rec(a: &NodeArena, mut node: u32, parent_item: Item, step: u32, visited: &mut usize) {
+    let mut prev_item = Item::MAX;
+    while node != NONE {
+        *visited += 1;
+        assert!(*visited < a.capacity_used() + 1, "cycle detected");
+        let n = a.get(node);
+        assert!(n.item < parent_item, "child item must be below parent item");
+        assert!(
+            prev_item == Item::MAX || n.item < prev_item,
+            "sibling list must be strictly descending"
+        );
+        assert!(n.supp <= step, "support cannot exceed processed prefix");
+        prev_item = n.item;
+        validate_rec(a, n.children, n.item, step, visited);
+        node = n.sibling;
+    }
+}
+
+/// Rebuilds a sibling list, dropping items that cannot reach `minsupp` and
+/// splicing their (already pruned) children into the list.
+fn prune_list(a: &mut NodeArena, head: u32, remaining: &[u32], minsupp: u32) -> u32 {
+    let mut new_head = NONE;
+    let mut cur = head;
+    while cur != NONE {
+        let next = a.get(cur).sibling;
+        a.get_mut(cur).sibling = NONE;
+        let ch = a.get(cur).children;
+        let pruned_ch = prune_list(a, ch, remaining, minsupp);
+        a.get_mut(cur).children = pruned_ch;
+        let n = a.get(cur);
+        let keep = n.supp + remaining[n.item as usize] >= minsupp;
+        if keep {
+            new_head = merge_node(a, new_head, cur);
+        } else {
+            let mut c = pruned_ch;
+            a.get_mut(cur).children = NONE;
+            while c != NONE {
+                let cnext = a.get(c).sibling;
+                a.get_mut(c).sibling = NONE;
+                new_head = merge_node(a, new_head, c);
+                c = cnext;
+            }
+            a.free(cur);
+        }
+        cur = next;
+    }
+    new_head
+}
+
+/// Inserts node `x` (with its subtree) into the descending sibling list
+/// `head`; on an item collision the supports are max-merged and the
+/// children lists merged recursively. Returns the new head.
+fn merge_node(a: &mut NodeArena, head: u32, x: u32) -> u32 {
+    let xi = a.get(x).item;
+    if head == NONE || a.get(head).item < xi {
+        a.get_mut(x).sibling = head;
+        return x;
+    }
+    if a.get(head).item == xi {
+        merge_into(a, head, x);
+        return head;
+    }
+    let mut prev = head;
+    loop {
+        let nxt = a.get(prev).sibling;
+        if nxt == NONE || a.get(nxt).item < xi {
+            a.get_mut(x).sibling = nxt;
+            a.get_mut(prev).sibling = x;
+            return head;
+        }
+        if a.get(nxt).item == xi {
+            merge_into(a, nxt, x);
+            return head;
+        }
+        prev = nxt;
+    }
+}
+
+/// Merges node `x` into `dst` (same item): max support, merged children.
+fn merge_into(a: &mut NodeArena, dst: u32, x: u32) {
+    debug_assert_eq!(a.get(dst).item, a.get(x).item);
+    let xs = a.get(x).supp;
+    if a.get(dst).supp < xs {
+        a.get_mut(dst).supp = xs;
+    }
+    let mut c = a.get(x).children;
+    a.get_mut(x).children = NONE;
+    while c != NONE {
+        let cnext = a.get(c).sibling;
+        a.get_mut(c).sibling = NONE;
+        let merged = merge_node(a, a.get(dst).children, c);
+        a.get_mut(dst).children = merged;
+        c = cnext;
+    }
+    a.free(x);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a tree from ascending-sorted transactions.
+    fn build(num_items: u32, txs: &[&[Item]]) -> PrefixTree {
+        let mut t = PrefixTree::new(num_items);
+        for tx in txs {
+            t.add_transaction(tx);
+        }
+        t.validate_invariants();
+        t
+    }
+
+    #[test]
+    fn figure3_trace() {
+        // Paper Fig. 3: transactions {e,c,a}, {e,d,b}, {d,c,b,a}
+        // with item codes a=0 b=1 c=2 d=3 e=4.
+        let mut t = PrefixTree::new(5);
+
+        t.add_transaction(&[0, 2, 4]); // {e,c,a}
+        t.validate_invariants();
+        assert_eq!(t.lookup(&ItemSet::from([4])), Some(1));
+        assert_eq!(t.lookup(&ItemSet::from([2, 4])), Some(1));
+        assert_eq!(t.lookup(&ItemSet::from([0, 2, 4])), Some(1));
+        assert_eq!(t.node_count(), 3);
+
+        t.add_transaction(&[1, 3, 4]); // {e,d,b}
+        t.validate_invariants();
+        // Fig. 3 step 2: e:2, d:1, b:1 (new path), c:1, a:1 untouched
+        assert_eq!(t.lookup(&ItemSet::from([4])), Some(2));
+        assert_eq!(t.lookup(&ItemSet::from([3, 4])), Some(1));
+        assert_eq!(t.lookup(&ItemSet::from([1, 3, 4])), Some(1));
+        assert_eq!(t.lookup(&ItemSet::from([2, 4])), Some(1));
+        assert_eq!(t.node_count(), 5);
+
+        t.add_transaction(&[0, 1, 2, 3]); // {d,c,b,a}
+        t.validate_invariants();
+        // Fig. 3 step 3.3 final supports:
+        assert_eq!(t.lookup(&ItemSet::from([4])), Some(2)); // {e}
+        assert_eq!(t.lookup(&ItemSet::from([3, 4])), Some(1)); // {e,d}
+        assert_eq!(t.lookup(&ItemSet::from([1, 3, 4])), Some(1)); // {e,d,b}
+        assert_eq!(t.lookup(&ItemSet::from([2, 4])), Some(1)); // {e,c}
+        assert_eq!(t.lookup(&ItemSet::from([0, 2, 4])), Some(1)); // {e,c,a}
+        assert_eq!(t.lookup(&ItemSet::from([3])), Some(2)); // {d}
+        assert_eq!(t.lookup(&ItemSet::from([1, 3])), Some(2)); // {d,b}
+        assert_eq!(t.lookup(&ItemSet::from([2, 3])), Some(1)); // {d,c}
+        assert_eq!(t.lookup(&ItemSet::from([1, 2, 3])), Some(1)); // {d,c,b}
+        assert_eq!(t.lookup(&ItemSet::from([0, 1, 2, 3])), Some(1)); // full
+        assert_eq!(t.lookup(&ItemSet::from([2])), Some(2)); // {c}
+        assert_eq!(t.lookup(&ItemSet::from([0, 2])), Some(2)); // {c,a}
+        // exactly the 12 nodes of Fig. 3.3
+        assert_eq!(t.node_count(), 12);
+        assert_eq!(t.transactions_processed(), 3);
+    }
+
+    #[test]
+    fn repeated_transactions_accumulate() {
+        let t = build(3, &[&[0, 1], &[0, 1], &[0, 1]]);
+        assert_eq!(t.lookup(&ItemSet::from([0, 1])), Some(3));
+        assert_eq!(t.node_count(), 2);
+    }
+
+    #[test]
+    fn every_node_support_is_exact() {
+        // random-ish fixed database; verify every stored set's support by
+        // rescanning the transactions
+        let txs: Vec<Vec<Item>> = vec![
+            vec![0, 1, 2, 5],
+            vec![1, 2, 3],
+            vec![0, 2, 3, 5],
+            vec![1, 5],
+            vec![0, 1, 2, 3, 5],
+            vec![2, 4],
+            vec![0, 4, 5],
+        ];
+        let mut t = PrefixTree::new(6);
+        for tx in &txs {
+            t.add_transaction(tx);
+        }
+        t.validate_invariants();
+        // enumerate all stored sets via report at minsupp 1 — every reported
+        // support must equal the scan support
+        for fs in t.report(1) {
+            let scan = txs
+                .iter()
+                .filter(|tx| fim_core::itemset::is_subset(fs.items.as_slice(), tx))
+                .count() as u32;
+            assert_eq!(fs.support, scan, "support of {:?}", fs.items);
+        }
+    }
+
+    #[test]
+    fn report_filters_non_closed_prefix_nodes() {
+        // {e,d} is an interior path node of {e,d,b} with equal support and
+        // must not be reported
+        let t = build(5, &[&[0, 2, 4], &[1, 3, 4], &[0, 1, 2, 3]]);
+        let r = t.report(1);
+        let sets: Vec<&ItemSet> = r.iter().map(|f| &f.items).collect();
+        assert!(!sets.contains(&&ItemSet::from([3, 4])), "{{e,d}} not closed");
+        assert!(sets.contains(&&ItemSet::from([1, 3, 4])), "{{e,d,b}} closed");
+        assert!(sets.contains(&&ItemSet::from([4])), "{{e}} closed supp 2");
+    }
+
+    #[test]
+    fn report_respects_minsupp() {
+        let t = build(5, &[&[0, 2, 4], &[1, 3, 4], &[0, 1, 2, 3]]);
+        let r = t.report(2);
+        assert!(r.iter().all(|f| f.support >= 2));
+        let sets: Vec<&ItemSet> = r.iter().map(|f| &f.items).collect();
+        // the only closed sets with support >= 2: {e}, {d,b}, {c,a}
+        // ({d} and {c} are not closed: their closures are {d,b} and {c,a})
+        assert!(sets.contains(&&ItemSet::from([4])));
+        assert!(sets.contains(&&ItemSet::from([1, 3])));
+        assert!(sets.contains(&&ItemSet::from([0, 2])));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn lookup_missing_set() {
+        let t = build(5, &[&[0, 2, 4]]);
+        assert_eq!(t.lookup(&ItemSet::from([1])), None);
+        assert_eq!(t.lookup(&ItemSet::from([0, 4])), None); // not a path
+        assert_eq!(t.lookup(&ItemSet::empty()), Some(1)); // root = prefix len
+    }
+
+    #[test]
+    fn prune_removes_hopeless_items() {
+        // items: 0 appears twice overall, 1 four times; minsupp 4
+        let mut t = PrefixTree::new(2);
+        t.add_transaction(&[0, 1]);
+        t.add_transaction(&[0, 1]);
+        // remaining transactions: {1}, {1} → remaining[0]=0, remaining[1]=2
+        t.prune(&[0, 2], 4);
+        t.validate_invariants();
+        // item 0 cannot reach support 4 → node(s) containing 0 dropped
+        assert_eq!(t.lookup(&ItemSet::from([0, 1])), None);
+        assert_eq!(t.lookup(&ItemSet::from([1])), Some(2));
+        t.add_transaction(&[1]);
+        t.add_transaction(&[1]);
+        let r = t.report(4);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].items, ItemSet::from([1]));
+        assert_eq!(r[0].support, 4);
+    }
+
+    #[test]
+    fn prune_merges_subtrees() {
+        // build paths 3→1 and 3→2→1, then eliminate item 2:
+        // node {3,2} (child 2 under 3) must merge its child 1 with the
+        // existing child 1 under 3
+        let mut t = PrefixTree::new(4);
+        t.add_transaction(&[1, 3]);
+        t.add_transaction(&[1, 2, 3]);
+        assert_eq!(t.lookup(&ItemSet::from([1, 3])), Some(2));
+        assert_eq!(t.lookup(&ItemSet::from([1, 2, 3])), Some(1));
+        // pretend item 2 never occurs again and minsupp is 2
+        t.prune(&[10, 10, 0, 10], 2);
+        t.validate_invariants();
+        assert_eq!(t.lookup(&ItemSet::from([1, 2, 3])), None);
+        // the reduced set {3,1} keeps max supp 2
+        assert_eq!(t.lookup(&ItemSet::from([1, 3])), Some(2));
+    }
+
+    #[test]
+    fn empty_transaction_is_ignored() {
+        let mut t = PrefixTree::new(3);
+        t.add_transaction(&[]);
+        assert_eq!(t.transactions_processed(), 0);
+        assert_eq!(t.node_count(), 0);
+        assert!(t.report(1).is_empty());
+    }
+
+    #[test]
+    fn single_item_universe() {
+        let t = build(1, &[&[0], &[0]]);
+        let r = t.report(1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].support, 2);
+    }
+
+    #[test]
+    fn interleaved_disjoint_transactions() {
+        let t = build(4, &[&[0, 1], &[2, 3], &[0, 1], &[2, 3]]);
+        let r = t.report(2);
+        assert_eq!(r.len(), 2);
+        assert_eq!(t.lookup(&ItemSet::from([0, 1])), Some(2));
+        assert_eq!(t.lookup(&ItemSet::from([2, 3])), Some(2));
+    }
+}

@@ -1,0 +1,56 @@
+//! Property tests: IsTa must agree with the brute-force reference miner on
+//! random databases, with and without item-elimination pruning, at every
+//! minimum support.
+
+use fim_core::reference::mine_reference;
+use fim_core::{ClosedMiner, RecodedDatabase};
+use fim_ista::{IstaConfig, IstaMiner};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy: a database of up to 14 transactions over up to 9 items.
+fn small_db() -> impl Strategy<Value = RecodedDatabase> {
+    (2u32..=9).prop_flat_map(|num_items| {
+        vec(vec(0..num_items, 0..=num_items as usize), 0..14)
+            .prop_map(move |txs| RecodedDatabase::from_dense(txs, num_items))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ista_matches_reference(db in small_db(), minsupp in 1u32..6) {
+        let want = mine_reference(&db, minsupp);
+        let got = IstaMiner::default().mine(&db, minsupp).canonicalized();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn ista_without_pruning_matches_reference(db in small_db(), minsupp in 1u32..6) {
+        let want = mine_reference(&db, minsupp);
+        let miner = IstaMiner::with_config(IstaConfig::without_pruning());
+        let got = miner.mine(&db, minsupp).canonicalized();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn ista_aggressive_pruning_matches_reference(db in small_db(), minsupp in 1u32..6) {
+        // prune after every single transaction — worst case for the
+        // reduced-set bookkeeping of paper §3.2
+        let miner = IstaMiner::with_config(IstaConfig::prune_every_transaction());
+        let want = mine_reference(&db, minsupp);
+        let got = miner.mine(&db, minsupp).canonicalized();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn ista_dense_databases(db in (3u32..=7).prop_flat_map(|m| {
+        vec(vec(0..m, (m as usize/2)..=m as usize), 1..10)
+            .prop_map(move |txs| RecodedDatabase::from_dense(txs, m))
+    }), minsupp in 1u32..4) {
+        let want = mine_reference(&db, minsupp);
+        let got = IstaMiner::default().mine(&db, minsupp).canonicalized();
+        prop_assert_eq!(got, want);
+    }
+}

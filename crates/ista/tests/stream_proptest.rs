@@ -1,0 +1,57 @@
+//! Property tests for the streaming API: at every prefix of a random
+//! stream, the reported closed sets and all support queries must match the
+//! brute-force reference over that prefix.
+
+use fim_core::reference::mine_reference;
+use fim_core::{ItemSet, RecodedDatabase};
+use fim_ista::IstaStream;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn stream_prefixes_match_reference(
+        txs in vec(vec(0u32..7, 1..8usize), 1..10),
+        minsupp in 1u32..4,
+    ) {
+        let mut stream = IstaStream::new(7);
+        for k in 0..txs.len() {
+            stream.push(&txs[k]);
+            let db = RecodedDatabase::from_dense(txs[..=k].to_vec(), 7);
+            let want = mine_reference(&db, minsupp);
+            let got = stream.closed_sets(minsupp);
+            prop_assert_eq!(got, want, "prefix {}", k + 1);
+        }
+    }
+
+    #[test]
+    fn stream_supports_match_scans(
+        txs in vec(vec(0u32..6, 1..7usize), 1..8),
+        probe_raw in vec(0u32..6, 0..4),
+    ) {
+        let probe = ItemSet::new(probe_raw);
+        let mut stream = IstaStream::new(6);
+        for k in 0..txs.len() {
+            stream.push(&txs[k]);
+            let db = RecodedDatabase::from_dense(txs[..=k].to_vec(), 6);
+            prop_assert_eq!(stream.support_of(&probe), db.support(&probe));
+        }
+    }
+
+    #[test]
+    fn stream_equals_batch_at_end(
+        txs in vec(vec(0u32..8, 1..8usize), 1..12),
+        minsupp in 1u32..4,
+    ) {
+        use fim_core::ClosedMiner;
+        let mut stream = IstaStream::new(8);
+        for t in &txs {
+            stream.push(t);
+        }
+        let db = RecodedDatabase::from_dense(txs, 8);
+        let batch = fim_ista::IstaMiner::default().mine(&db, minsupp).canonicalized();
+        prop_assert_eq!(stream.closed_sets(minsupp), batch);
+    }
+}

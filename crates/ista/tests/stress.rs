@@ -1,0 +1,126 @@
+//! Stress and shape tests for the IsTa prefix tree: very wide
+//! transactions (deep paths), wide item universes, and adversarial
+//! overlap patterns.
+
+use fim_core::reference::mine_reference;
+use fim_core::{ClosedMiner, ItemSet, RecodedDatabase};
+use fim_ista::{IstaMiner, PrefixTree};
+
+#[test]
+fn very_wide_transactions() {
+    // paths 3000 items deep exercise the recursive traversals
+    let width = 3000u32;
+    let txs: Vec<Vec<u32>> = vec![
+        (0..width).collect(),
+        (500..width + 500).collect(),
+        (0..width).step_by(2).collect(),
+    ];
+    let db = RecodedDatabase::from_dense(txs, width + 500);
+    let result = IstaMiner::default().mine(&db, 1).canonicalized();
+    // closed sets: the 3 transactions plus pairwise/triple intersections
+    assert_eq!(db.support(&result.sets[0].items), result.sets[0].support);
+    for fs in &result.sets {
+        assert_eq!(db.support(&fs.items), fs.support);
+    }
+    // t1 ∩ t2 = 500..3000, t1 ∩ t3 = t3, t2 ∩ t3 = evens in 500..3000
+    let t13: ItemSet = (0..width).step_by(2).collect();
+    assert_eq!(result.support_of(&t13), Some(2));
+}
+
+#[test]
+fn identical_transactions_many_times() {
+    let txs: Vec<Vec<u32>> = vec![(0..200).collect(); 50];
+    let db = RecodedDatabase::from_dense(txs, 200);
+    let result = IstaMiner::default().mine(&db, 25);
+    assert_eq!(result.len(), 1);
+    assert_eq!(result.sets[0].support, 50);
+    assert_eq!(result.sets[0].items.len(), 200);
+}
+
+#[test]
+fn staircase_overlap() {
+    // t_k = {k, k+1, ..., k+9}: every pairwise intersection distinct
+    let txs: Vec<Vec<u32>> = (0..40u32).map(|k| (k..k + 10).collect()).collect();
+    let db = RecodedDatabase::from_dense(txs, 50);
+    let want = mine_reference(&db, 2);
+    let got = IstaMiner::default().mine(&db, 2).canonicalized();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn nested_transactions_chain() {
+    // t_k = {0..k}: closed sets are exactly the prefixes
+    let txs: Vec<Vec<u32>> = (1..=30u32).map(|k| (0..k).collect()).collect();
+    let db = RecodedDatabase::from_dense(txs, 30);
+    let got = IstaMiner::default().mine(&db, 1).canonicalized();
+    assert_eq!(got.len(), 30);
+    for (k, fs) in got.sets.iter().enumerate() {
+        assert_eq!(fs.items.len(), k + 1);
+        assert_eq!(fs.support, (30 - k) as u32);
+    }
+}
+
+#[test]
+fn tree_prune_stability_under_random_interleave() {
+    // pruning at different intervals must agree on a fixed irregular mix
+    let txs: Vec<Vec<u32>> = vec![
+        (0..64).collect(),
+        (32..96).collect(),
+        (0..96).step_by(3).collect(),
+        (16..48).collect(),
+        (0..8).chain(88..96).collect(),
+        (0..96).step_by(5).collect(),
+        (40..56).collect(),
+        (0..96).step_by(7).collect(),
+    ];
+    let db = RecodedDatabase::from_dense(txs, 96);
+    let mut results = Vec::new();
+    for policy in [
+        fim_ista::PrunePolicy::EveryN(1),
+        fim_ista::PrunePolicy::EveryN(2),
+        fim_ista::PrunePolicy::EveryN(3),
+        fim_ista::PrunePolicy::Growth(1.5),
+        fim_ista::PrunePolicy::Never,
+    ] {
+        let miner = IstaMiner::with_config(fim_ista::IstaConfig { policy });
+        results.push(miner.mine(&db, 3).canonicalized());
+    }
+    for r in &results[1..] {
+        assert_eq!(r, &results[0]);
+    }
+    assert_eq!(results[0], mine_reference(&db, 3));
+}
+
+#[test]
+fn tree_shrinks_after_prune() {
+    let mut tree = PrefixTree::new(100);
+    for k in 0..10u32 {
+        let t: Vec<u32> = (k..k + 30).collect();
+        tree.add_transaction(&t);
+    }
+    let before = tree.node_count();
+    // pretend no item occurs again; at minsupp 11 nothing can survive
+    tree.prune(&vec![0; 100], 11);
+    tree.validate_invariants();
+    assert_eq!(tree.node_count(), 0, "all nodes below support 11");
+    assert!(before > 0);
+}
+
+#[test]
+fn supports_exact_on_dense_block_data() {
+    // block structure like the gene-expression stand-ins
+    let mut txs = Vec::new();
+    for k in 0..12u32 {
+        let mut t: Vec<u32> = (0..40).filter(|i| (i + k) % 3 != 0).collect();
+        t.extend(40 + k * 2..40 + k * 2 + 6);
+        t.sort_unstable();
+        t.dedup();
+        txs.push(t);
+    }
+    let db = RecodedDatabase::from_dense(txs, 80);
+    for minsupp in [1, 2, 4, 8] {
+        let got = IstaMiner::default().mine(&db, minsupp).canonicalized();
+        let want = mine_reference(&db, minsupp);
+        assert_eq!(got, want, "minsupp {minsupp}");
+    }
+}

@@ -1,0 +1,21 @@
+//! # fim-rules
+//!
+//! Association rule induction on top of closed frequent item sets — the
+//! application that motivated frequent item set mining in the first place
+//! (paper §1–2) and the reason closed sets are the preferred condensed
+//! representation: they preserve every frequent set's support.
+//!
+//! * [`ClosedSupportOracle`] reconstructs the support of *any* frequent
+//!   item set from the closed sets alone, using the paper's §2.3 identity:
+//!   `supp(F) = max { supp(C) : C closed, F ⊆ C }`.
+//! * [`RuleMiner`] derives association rules `X → Y` with support,
+//!   confidence, and lift from a closed-set mining result.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod oracle;
+pub mod rule;
+
+pub use oracle::ClosedSupportOracle;
+pub use rule::{AssociationRule, RuleMiner};

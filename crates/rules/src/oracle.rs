@@ -1,0 +1,201 @@
+//! Support reconstruction from closed sets (paper §2.3).
+//!
+//! Every frequent item set has a uniquely determined closed superset with
+//! the same support, so `supp(F) = max { supp(C) : C closed ⊇ F }` — the
+//! maximum, because no superset can have greater support (the apriori
+//! property). The oracle indexes the closed sets by item so that a query
+//! only scans the sets containing the query's least frequent item.
+
+use fim_core::{Item, ItemSet, MiningResult};
+
+/// Reconstructs supports of arbitrary frequent item sets from a closed-set
+/// mining result.
+#[derive(Clone, Debug)]
+pub struct ClosedSupportOracle {
+    sets: Vec<(ItemSet, u32)>,
+    /// Per item: indices into `sets` of the closed sets containing it.
+    by_item: Vec<Vec<u32>>,
+    num_items: usize,
+}
+
+impl ClosedSupportOracle {
+    /// Builds the oracle from a mining result (any item-code space; the
+    /// index adapts to the largest code present).
+    pub fn new(result: &MiningResult) -> Self {
+        let num_items = result
+            .sets
+            .iter()
+            .filter_map(|s| s.items.max_item())
+            .max()
+            .map_or(0, |m| m as usize + 1);
+        let mut by_item: Vec<Vec<u32>> = vec![Vec::new(); num_items];
+        let mut sets = Vec::with_capacity(result.sets.len());
+        for (idx, s) in result.sets.iter().enumerate() {
+            for item in s.items.iter() {
+                by_item[item as usize].push(idx as u32);
+            }
+            sets.push((s.items.clone(), s.support));
+        }
+        ClosedSupportOracle {
+            sets,
+            by_item,
+            num_items,
+        }
+    }
+
+    /// Number of indexed closed sets.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the oracle is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The support of `items`, or `None` when no closed superset exists
+    /// (the set is infrequent at the mining threshold, or out of universe).
+    pub fn support_of(&self, items: &ItemSet) -> Option<u32> {
+        let Some(first) = items.min_item() else {
+            // the empty set's support is the total transaction count, which
+            // the closed sets alone do not determine; treat as unknown
+            return None;
+        };
+        // scan the shortest per-item posting list among the query items
+        let mut best_item: Item = first;
+        let mut best_len = usize::MAX;
+        for item in items.iter() {
+            let len = self
+                .by_item
+                .get(item as usize)
+                .map_or(0, |postings| postings.len());
+            if len < best_len {
+                best_len = len;
+                best_item = item;
+            }
+        }
+        if best_len == 0 {
+            return None;
+        }
+        self.by_item[best_item as usize]
+            .iter()
+            .filter_map(|&idx| {
+                let (set, supp) = &self.sets[idx as usize];
+                items.is_subset_of(set).then_some(*supp)
+            })
+            .max()
+    }
+
+    /// The closure of `items` among the indexed sets: the smallest closed
+    /// superset carrying the maximal support, if any.
+    pub fn closure_of(&self, items: &ItemSet) -> Option<&ItemSet> {
+        let supp = self.support_of(items)?;
+        items.min_item().and_then(|_| {
+            let mut best_item = items.min_item().unwrap();
+            let mut best_len = usize::MAX;
+            for item in items.iter() {
+                let len = self.by_item[item as usize].len();
+                if len < best_len {
+                    best_len = len;
+                    best_item = item;
+                }
+            }
+            self.by_item[best_item as usize]
+                .iter()
+                .filter_map(|&idx| {
+                    let (set, s) = &self.sets[idx as usize];
+                    (*s == supp && items.is_subset_of(set)).then_some(set)
+                })
+                .min_by_key(|set| set.len())
+        })
+    }
+
+    /// The item universe size the oracle was built over.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fim_core::reference::{mine_all_frequent, mine_reference};
+    use fim_core::RecodedDatabase;
+
+    fn paper_db() -> RecodedDatabase {
+        RecodedDatabase::from_dense(
+            vec![
+                vec![0, 1, 2],
+                vec![0, 3, 4],
+                vec![1, 2, 3],
+                vec![0, 1, 2, 3],
+                vec![1, 2],
+                vec![0, 1, 3],
+                vec![3, 4],
+                vec![2, 3, 4],
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn reconstructs_every_frequent_support() {
+        let db = paper_db();
+        let closed = mine_reference(&db, 1);
+        let oracle = ClosedSupportOracle::new(&closed);
+        let all = mine_all_frequent(&db, 1);
+        for f in &all.sets {
+            assert_eq!(
+                oracle.support_of(&f.items),
+                Some(f.support),
+                "set {:?}",
+                f.items
+            );
+        }
+    }
+
+    #[test]
+    fn infrequent_sets_are_none() {
+        let db = paper_db();
+        let closed = mine_reference(&db, 3);
+        let oracle = ClosedSupportOracle::new(&closed);
+        // {a,e} has support 1 < 3 → no closed superset at this threshold
+        assert_eq!(oracle.support_of(&ItemSet::from([0, 4])), None);
+        // {b,e} never co-occurs
+        assert_eq!(oracle.support_of(&ItemSet::from([1, 4])), None);
+    }
+
+    #[test]
+    fn closure_of_returns_smallest_equal_support_superset() {
+        let db = paper_db();
+        let closed = mine_reference(&db, 1);
+        let oracle = ClosedSupportOracle::new(&closed);
+        // closure of {e} is {d,e}
+        assert_eq!(
+            oracle.closure_of(&ItemSet::from([4])),
+            Some(&ItemSet::from([3, 4]))
+        );
+        // a closed set is its own closure
+        assert_eq!(
+            oracle.closure_of(&ItemSet::from([1, 2])),
+            Some(&ItemSet::from([1, 2]))
+        );
+    }
+
+    #[test]
+    fn empty_query_and_empty_oracle() {
+        let oracle = ClosedSupportOracle::new(&MiningResult::new());
+        assert!(oracle.is_empty());
+        assert_eq!(oracle.support_of(&ItemSet::from([0])), None);
+        assert_eq!(oracle.support_of(&ItemSet::empty()), None);
+        assert_eq!(oracle.num_items(), 0);
+    }
+
+    #[test]
+    fn out_of_universe_item() {
+        let db = paper_db();
+        let closed = mine_reference(&db, 1);
+        let oracle = ClosedSupportOracle::new(&closed);
+        assert_eq!(oracle.support_of(&ItemSet::from([42])), None);
+    }
+}

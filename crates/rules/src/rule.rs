@@ -1,0 +1,248 @@
+//! Association rules from closed sets.
+//!
+//! Rules are generated in the classic single-consequent form: for every
+//! closed frequent set `Z` and every item `i ∈ Z` (with `|Z| ≥ 2`), the
+//! candidate rule is `Z \ {i} → {i}`. Antecedent supports come from the
+//! [`ClosedSupportOracle`], so no second mining pass over the database is
+//! needed. Confidence and lift are computed from absolute supports.
+
+use crate::oracle::ClosedSupportOracle;
+use fim_core::{ItemSet, MiningResult};
+
+/// One association rule `antecedent → consequent`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AssociationRule {
+    /// The rule body (non-empty).
+    pub antecedent: ItemSet,
+    /// The rule head (a single item in the generated basis).
+    pub consequent: ItemSet,
+    /// Absolute support of `antecedent ∪ consequent`.
+    pub support: u32,
+    /// `supp(A ∪ C) / supp(A)`.
+    pub confidence: f64,
+    /// `confidence / (supp(C) / n)` — how much the rule beats independence.
+    pub lift: f64,
+}
+
+impl AssociationRule {
+    /// Relative support w.r.t. `n` transactions.
+    pub fn relative_support(&self, n: u32) -> f64 {
+        f64::from(self.support) / f64::from(n.max(1))
+    }
+}
+
+/// Generates association rules from a closed-set mining result.
+#[derive(Clone, Copy, Debug)]
+pub struct RuleMiner {
+    /// Minimum confidence for a rule to be reported.
+    pub min_confidence: f64,
+    /// Minimum lift for a rule to be reported (use 0.0 to disable).
+    pub min_lift: f64,
+}
+
+impl Default for RuleMiner {
+    fn default() -> Self {
+        RuleMiner {
+            min_confidence: 0.6,
+            min_lift: 0.0,
+        }
+    }
+}
+
+impl RuleMiner {
+    /// Creates a miner with a confidence threshold.
+    pub fn with_confidence(min_confidence: f64) -> Self {
+        RuleMiner {
+            min_confidence,
+            ..Default::default()
+        }
+    }
+
+    /// Derives single-consequent rules from `closed` (a closed-set mining
+    /// result over `total_transactions` transactions).
+    ///
+    /// Rules whose antecedent support cannot be reconstructed (impossible
+    /// when `closed` is complete for its threshold) are skipped defensively.
+    pub fn derive(
+        &self,
+        closed: &MiningResult,
+        total_transactions: u32,
+    ) -> Vec<AssociationRule> {
+        let oracle = ClosedSupportOracle::new(closed);
+        let n = total_transactions.max(1);
+        let mut rules = Vec::new();
+        for z in &closed.sets {
+            if z.items.len() < 2 {
+                continue;
+            }
+            for item in z.items.iter() {
+                let consequent = ItemSet::from([item]);
+                let antecedent = z.items.minus(&consequent);
+                let Some(ante_supp) = oracle.support_of(&antecedent) else {
+                    continue;
+                };
+                let Some(cons_supp) = oracle.support_of(&consequent) else {
+                    continue;
+                };
+                let confidence = f64::from(z.support) / f64::from(ante_supp);
+                let lift = confidence / (f64::from(cons_supp) / f64::from(n));
+                if confidence >= self.min_confidence && lift >= self.min_lift {
+                    rules.push(AssociationRule {
+                        antecedent,
+                        consequent,
+                        support: z.support,
+                        confidence,
+                        lift,
+                    });
+                }
+            }
+        }
+        // deduplicate: the same rule can arise from different closed sets
+        // when the antecedent is not closed; keep the max-support instance
+        rules.sort_by(|a, b| {
+            (&a.antecedent, &a.consequent, std::cmp::Reverse(a.support)).cmp(&(
+                &b.antecedent,
+                &b.consequent,
+                std::cmp::Reverse(b.support),
+            ))
+        });
+        rules.dedup_by(|next, keep| {
+            next.antecedent == keep.antecedent && next.consequent == keep.consequent
+        });
+        // strongest first
+        rules.sort_by(|a, b| {
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.support.cmp(&a.support))
+        });
+        rules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fim_core::reference::{mine_all_frequent, mine_reference};
+    use fim_core::RecodedDatabase;
+
+    fn paper_db() -> RecodedDatabase {
+        RecodedDatabase::from_dense(
+            vec![
+                vec![0, 1, 2],
+                vec![0, 3, 4],
+                vec![1, 2, 3],
+                vec![0, 1, 2, 3],
+                vec![1, 2],
+                vec![0, 1, 3],
+                vec![3, 4],
+                vec![2, 3, 4],
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn rule_metrics_are_consistent() {
+        let db = paper_db();
+        let closed = mine_reference(&db, 2);
+        let rules = RuleMiner::with_confidence(0.0).derive(&closed, 8);
+        assert!(!rules.is_empty());
+        for r in &rules {
+            let union = r.antecedent.union(&r.consequent);
+            assert_eq!(db.support(&union), r.support, "{r:?}");
+            let ante = db.support(&r.antecedent);
+            assert!((r.confidence - f64::from(r.support) / f64::from(ante)).abs() < 1e-12);
+            let cons = db.support(&r.consequent);
+            let expected_lift = r.confidence / (f64::from(cons) / 8.0);
+            assert!((r.lift - expected_lift).abs() < 1e-9, "{r:?}");
+            assert!(r.confidence <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_rule_e_implies_d() {
+        // every transaction containing e also contains d (cover(e) = cover(de))
+        let db = paper_db();
+        let closed = mine_reference(&db, 1);
+        let rules = RuleMiner::with_confidence(0.99).derive(&closed, 8);
+        let rule = rules
+            .iter()
+            .find(|r| r.antecedent == ItemSet::from([4]) && r.consequent == ItemSet::from([3]));
+        let rule = rule.expect("rule {e} -> {d} must be found");
+        assert_eq!(rule.support, 3);
+        assert!((rule.confidence - 1.0).abs() < 1e-12);
+        // lift = 1.0 / (6/8)
+        assert!((rule.lift - 8.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confidence_threshold_filters() {
+        let db = paper_db();
+        let closed = mine_reference(&db, 1);
+        let strict = RuleMiner::with_confidence(0.95).derive(&closed, 8);
+        let lax = RuleMiner::with_confidence(0.1).derive(&closed, 8);
+        assert!(strict.len() < lax.len());
+        assert!(strict.iter().all(|r| r.confidence >= 0.95));
+    }
+
+    #[test]
+    fn lift_threshold_filters() {
+        let db = paper_db();
+        let closed = mine_reference(&db, 1);
+        let miner = RuleMiner {
+            min_confidence: 0.0,
+            min_lift: 1.5,
+        };
+        let rules = miner.derive(&closed, 8);
+        assert!(rules.iter().all(|r| r.lift >= 1.5));
+    }
+
+    #[test]
+    fn no_duplicate_rules() {
+        let db = paper_db();
+        let closed = mine_reference(&db, 1);
+        let rules = RuleMiner::with_confidence(0.0).derive(&closed, 8);
+        let mut seen = std::collections::HashSet::new();
+        for r in &rules {
+            assert!(
+                seen.insert((r.antecedent.clone(), r.consequent.clone())),
+                "duplicate {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rules_ordered_by_confidence() {
+        let db = paper_db();
+        let closed = mine_reference(&db, 1);
+        let rules = RuleMiner::with_confidence(0.0).derive(&closed, 8);
+        assert!(rules.windows(2).all(|w| w[0].confidence >= w[1].confidence));
+    }
+
+    #[test]
+    fn rules_from_closed_match_rules_from_all_frequent() {
+        // supports reconstructed from closed sets must equal direct counts,
+        // so rule metrics agree with what all-frequent mining would yield
+        let db = paper_db();
+        let closed = mine_reference(&db, 2);
+        let all = mine_all_frequent(&db, 2);
+        let rules = RuleMiner::with_confidence(0.0).derive(&closed, 8);
+        for r in &rules {
+            let union = r.antecedent.union(&r.consequent);
+            assert_eq!(all.support_of(&union), Some(r.support));
+        }
+    }
+
+    #[test]
+    fn relative_support() {
+        let r = AssociationRule {
+            antecedent: ItemSet::from([0]),
+            consequent: ItemSet::from([1]),
+            support: 4,
+            confidence: 1.0,
+            lift: 1.0,
+        };
+        assert!((r.relative_support(8) - 0.5).abs() < 1e-12);
+    }
+}

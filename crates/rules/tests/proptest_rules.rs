@@ -1,0 +1,90 @@
+//! Property tests: support reconstruction and rule metrics against direct
+//! counting on random databases.
+
+use fim_core::reference::{mine_all_frequent, mine_reference};
+use fim_core::{ItemSet, RecodedDatabase};
+use fim_rules::{ClosedSupportOracle, RuleMiner};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn small_db() -> impl Strategy<Value = RecodedDatabase> {
+    (2u32..=8).prop_flat_map(|m| {
+        vec(vec(0..m, 1..=m as usize), 1..10)
+            .prop_map(move |txs| RecodedDatabase::from_dense(txs, m))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn oracle_reconstructs_all_frequent_supports(db in small_db(), minsupp in 1u32..4) {
+        let closed = mine_reference(&db, minsupp);
+        let oracle = ClosedSupportOracle::new(&closed);
+        for f in &mine_all_frequent(&db, minsupp).sets {
+            prop_assert_eq!(oracle.support_of(&f.items), Some(f.support));
+        }
+    }
+
+    #[test]
+    fn oracle_rejects_infrequent_sets(db in small_db(), minsupp in 2u32..5) {
+        let closed = mine_reference(&db, minsupp);
+        let oracle = ClosedSupportOracle::new(&closed);
+        // any set whose true support is below minsupp must return None
+        for i in 0..db.num_items() {
+            for j in (i + 1)..db.num_items() {
+                let s = ItemSet::from([i, j]);
+                let true_supp = db.support(&s);
+                if true_supp < minsupp {
+                    prop_assert_eq!(oracle.support_of(&s), None, "set {:?}", s);
+                } else {
+                    prop_assert_eq!(oracle.support_of(&s), Some(true_supp));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rule_metrics_match_direct_counts(db in small_db(), minsupp in 1u32..4) {
+        let closed = mine_reference(&db, minsupp);
+        let n = db.num_transactions() as u32;
+        let rules = RuleMiner { min_confidence: 0.0, min_lift: 0.0 }.derive(&closed, n);
+        for r in &rules {
+            let union = r.antecedent.union(&r.consequent);
+            prop_assert_eq!(db.support(&union), r.support);
+            let ante = db.support(&r.antecedent);
+            prop_assert!(ante >= r.support);
+            let conf = f64::from(r.support) / f64::from(ante);
+            prop_assert!((r.confidence - conf).abs() < 1e-12);
+            let cons = db.support(&r.consequent);
+            let lift = conf / (f64::from(cons) / f64::from(n));
+            prop_assert!((r.lift - lift).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn thresholds_are_respected(db in small_db(), conf in 0.0f64..1.0, lift in 0.5f64..2.0) {
+        let closed = mine_reference(&db, 1);
+        let rules = RuleMiner { min_confidence: conf, min_lift: lift }
+            .derive(&closed, db.num_transactions() as u32);
+        for r in &rules {
+            prop_assert!(r.confidence >= conf);
+            prop_assert!(r.lift >= lift);
+            prop_assert!(!r.antecedent.is_empty());
+            prop_assert_eq!(r.consequent.len(), 1);
+        }
+    }
+
+    #[test]
+    fn maximal_sets_consistent_with_oracle(db in small_db(), minsupp in 1u32..4) {
+        // every frequent set is a subset of some maximal set, and the
+        // oracle agrees on its support
+        let closed = mine_reference(&db, minsupp);
+        let maximal = fim_core::maximal_from_closed(&closed);
+        let oracle = ClosedSupportOracle::new(&closed);
+        for f in &mine_all_frequent(&db, minsupp).sets {
+            prop_assert!(maximal.sets.iter().any(|m| f.items.is_subset_of(&m.items)));
+            prop_assert_eq!(oracle.support_of(&f.items), Some(f.support));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # fim-synth
+//!
+//! Synthetic data generators for the benchmark harness.
+//!
+//! The paper evaluates on four data sets (yeast compendium, NCBI60,
+//! thrombin, transposed BMS-WebView-1) that are not redistributable; this
+//! crate generates statistical stand-ins that preserve the property all of
+//! the paper's arguments rest on: **few transactions, very many items, and
+//! heavy overlap structure**, so that item set enumeration explodes at low
+//! minimum support while the number of distinct transaction intersections
+//! stays moderate. See DESIGN.md §4 for the substitution rationale.
+//!
+//! * [`expression`] — latent-block gene-expression matrices with the ±0.2
+//!   log-expression discretization used by the paper (§4),
+//! * [`quest`] — IBM-Quest-style market-basket transactions (for the
+//!   BMS-WebView-1 stand-in, used transposed),
+//! * [`sparse`] — sparse correlated binary feature records (thrombin-like),
+//! * [`presets`] — the four ready-made data sets with paper-matching shapes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expression;
+pub mod presets;
+pub mod quest;
+pub mod sparse;
+
+pub use expression::{ExpressionConfig, ExpressionMatrix};
+pub use presets::{ncbi60_like, thrombin_like, webview_like, yeast_like, Preset};
+pub use quest::QuestConfig;
+pub use sparse::SparseConfig;

@@ -1,0 +1,211 @@
+//! Ready-made data sets mirroring the shapes of the paper's evaluation
+//! (§4–5). Each preset can be built at full paper scale or scaled down for
+//! tests; generation is deterministic in the seed.
+//!
+//! | preset | paper data | shape (full scale) |
+//! |---|---|---|
+//! | [`Preset::Yeast`] | Hughes et al. compendium, ±0.2 discretized, genes as items | 300 × 12,632 |
+//! | [`Preset::Ncbi60`] | NCBI60 cancer cell lines | 60 × 2,800 |
+//! | [`Preset::Thrombin`] | KDD Cup 2001 thrombin, first 64 records | 64 × 139,351 |
+//! | [`Preset::Webview`] | BMS-WebView-1, transposed | 497 × 59,602 |
+
+use crate::expression::{ExpressionConfig, ExpressionMatrix};
+use crate::quest::{self, QuestConfig};
+use crate::sparse::{self, SparseConfig};
+use fim_core::TransactionDatabase;
+
+/// The four evaluation data sets of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Preset {
+    /// Baker's-yeast expression compendium (Fig. 5).
+    Yeast,
+    /// NCBI60 cancer cell line panel (Fig. 6).
+    Ncbi60,
+    /// Thrombin binding, first 64 records (Fig. 7).
+    Thrombin,
+    /// Transposed BMS-WebView-1 click streams (Fig. 8).
+    Webview,
+}
+
+impl Preset {
+    /// All presets, in figure order.
+    pub const ALL: [Preset; 4] = [
+        Preset::Yeast,
+        Preset::Ncbi60,
+        Preset::Thrombin,
+        Preset::Webview,
+    ];
+
+    /// Stable name used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Yeast => "yeast",
+            Preset::Ncbi60 => "ncbi60",
+            Preset::Thrombin => "thrombin",
+            Preset::Webview => "webview-tpo",
+        }
+    }
+
+    /// The figure the preset reproduces.
+    pub fn figure(self) -> &'static str {
+        match self {
+            Preset::Yeast => "Figure 5",
+            Preset::Ncbi60 => "Figure 6",
+            Preset::Thrombin => "Figure 7",
+            Preset::Webview => "Figure 8",
+        }
+    }
+
+    /// Builds the data set at a given scale (`1.0` = full paper shape;
+    /// tests use small fractions). The scale multiplies the item dimension
+    /// and, where sensible, the transaction dimension.
+    pub fn build(self, scale: f64, seed: u64) -> TransactionDatabase {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let s = |x: usize| ((x as f64 * scale).round() as usize).max(4);
+        match self {
+            Preset::Yeast => {
+                let cfg = ExpressionConfig {
+                    genes: s(6316),
+                    conditions: s(300),
+                    modules: s(40),
+                    module_genes: s(260),
+                    module_conditions: s(30).max(3),
+                    signal: 0.55,
+                    noise_sd: 0.115,
+                    coherence: 0.85,
+                    gene_bias_sd: 0.08,
+                    seed,
+                };
+                ExpressionMatrix::generate(&cfg).discretize_genes_as_items(0.2)
+            }
+            Preset::Ncbi60 => {
+                let cfg = ExpressionConfig {
+                    genes: s(1400),
+                    conditions: s(60),
+                    modules: s(25),
+                    module_genes: s(120),
+                    module_conditions: s(18).max(3),
+                    signal: 0.55,
+                    noise_sd: 0.14,
+                    coherence: 0.9,
+                    gene_bias_sd: 0.35,
+                    seed,
+                };
+                ExpressionMatrix::generate(&cfg).discretize_genes_as_items(0.2)
+            }
+            Preset::Thrombin => {
+                let cfg = SparseConfig {
+                    records: s(64),
+                    features: s(139_351),
+                    common_frac: 0.006,
+                    common_prob: (0.25, 0.85),
+                    groups: s(120),
+                    group_size: s(400),
+                    group_prob: 0.03,
+                    within_group_prob: 0.8,
+                    noise_features: s(150),
+                    seed,
+                };
+                sparse::generate(&cfg)
+            }
+            Preset::Webview => {
+                let cfg = QuestConfig {
+                    transactions: s(59_602),
+                    items: s(497),
+                    avg_transaction_len: 3,
+                    patterns: s(600),
+                    avg_pattern_len: 4,
+                    keep_prob: 0.75,
+                    zipf: 0.9,
+                    seed,
+                };
+                quest::generate(&cfg).transpose()
+            }
+        }
+    }
+
+    /// The minimum-support sweep of the corresponding paper figure
+    /// (absolute supports, high to low, matching the figures' x axes).
+    pub fn paper_sweep(self) -> Vec<u32> {
+        match self {
+            Preset::Yeast => (2..=16).rev().map(|x| x * 4).collect(), // 64..8
+            Preset::Ncbi60 => (46..=54).rev().step_by(2).collect(),   // 54..46
+            Preset::Thrombin => (12..=20).rev().map(|x| x * 2).collect(), // 40..24
+            Preset::Webview => (1..=10).rev().map(|x| x * 2).collect(), // 20..2
+        }
+    }
+}
+
+/// Full-scale yeast-like data set (paper Fig. 5 stand-in).
+pub fn yeast_like(seed: u64) -> TransactionDatabase {
+    Preset::Yeast.build(1.0, seed)
+}
+
+/// Full-scale NCBI60-like data set (paper Fig. 6 stand-in).
+pub fn ncbi60_like(seed: u64) -> TransactionDatabase {
+    Preset::Ncbi60.build(1.0, seed)
+}
+
+/// Full-scale thrombin-like data set (paper Fig. 7 stand-in).
+pub fn thrombin_like(seed: u64) -> TransactionDatabase {
+    Preset::Thrombin.build(1.0, seed)
+}
+
+/// Full-scale transposed-webview-like data set (paper Fig. 8 stand-in).
+pub fn webview_like(seed: u64) -> TransactionDatabase {
+    Preset::Webview.build(1.0, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_shapes_are_few_transactions_many_items() {
+        for p in Preset::ALL {
+            let db = p.build(0.05, 7);
+            assert!(
+                db.num_items() >= db.num_transactions(),
+                "{}: {} items vs {} transactions",
+                p.name(),
+                db.num_items(),
+                db.num_transactions()
+            );
+            assert!(db.num_transactions() > 0, "{}", p.name());
+            assert!(db.total_occurrences() > 0, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = Preset::Ncbi60.build(0.05, 3);
+        let b = Preset::Ncbi60.build(0.05, 3);
+        assert_eq!(a.transactions(), b.transactions());
+        let c = Preset::Ncbi60.build(0.05, 4);
+        assert_ne!(a.transactions(), c.transactions());
+    }
+
+    #[test]
+    fn sweeps_are_descending() {
+        for p in Preset::ALL {
+            let s = p.paper_sweep();
+            assert!(!s.is_empty());
+            assert!(s.windows(2).all(|w| w[0] > w[1]), "{:?}", s);
+            assert!(*s.last().unwrap() >= 1);
+        }
+    }
+
+    #[test]
+    fn names_and_figures() {
+        assert_eq!(Preset::Yeast.name(), "yeast");
+        assert_eq!(Preset::Webview.figure(), "Figure 8");
+        let names: Vec<_> = Preset::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be")]
+    fn zero_scale_rejected() {
+        let _ = Preset::Yeast.build(0.0, 1);
+    }
+}

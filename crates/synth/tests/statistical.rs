@@ -1,0 +1,121 @@
+//! Statistical shape tests for the synthetic generators: the presets must
+//! actually exhibit the few-transactions/many-items structure the paper's
+//! evaluation depends on, at every scale and seed.
+
+use fim_core::{ItemOrder, RecodedDatabase, TransactionOrder};
+use fim_synth::Preset;
+
+#[test]
+fn presets_have_dense_mineable_core_at_paper_sweep() {
+    // at the top of each scaled paper sweep there must be a non-trivial
+    // number of frequent items, otherwise the sweeps mine nothing
+    for p in Preset::ALL {
+        let scale = 0.25;
+        let db = p.build(scale, 1);
+        let sweep: Vec<u32> = p
+            .paper_sweep()
+            .into_iter()
+            .map(|v| ((v as f64 * scale).round() as u32).max(1))
+            .collect();
+        let top = sweep[0];
+        let freq = db.item_frequencies();
+        let frequent_items = freq.iter().filter(|&&f| f >= top).count();
+        assert!(
+            frequent_items >= 10,
+            "{}: only {frequent_items} items reach the top sweep support {top}",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn items_dominate_transactions_at_every_scale() {
+    for p in Preset::ALL {
+        for scale in [0.05, 0.25] {
+            let db = p.build(scale, 3);
+            assert!(
+                db.num_items() >= 4 * db.num_transactions(),
+                "{} at scale {scale}: {} items vs {} transactions",
+                p.name(),
+                db.num_items(),
+                db.num_transactions()
+            );
+        }
+    }
+}
+
+#[test]
+fn different_seeds_differ_same_seed_agrees() {
+    for p in Preset::ALL {
+        let a = p.build(0.05, 1);
+        let b = p.build(0.05, 1);
+        let c = p.build(0.05, 2);
+        assert_eq!(a.transactions(), b.transactions(), "{}", p.name());
+        assert_ne!(a.transactions(), c.transactions(), "{}", p.name());
+    }
+}
+
+#[test]
+fn recoding_presets_leaves_enough_structure() {
+    // after the minsupp filter the database must keep multiple items per
+    // transaction, or closed sets degenerate to singletons
+    for p in Preset::ALL {
+        let db = p.build(0.1, 5);
+        let sweep_mid = {
+            let s: Vec<u32> = p
+                .paper_sweep()
+                .into_iter()
+                .map(|v| ((v as f64 * 0.1).round() as u32).max(1))
+                .collect();
+            s[s.len() / 2]
+        };
+        let recoded = RecodedDatabase::prepare(
+            &db,
+            sweep_mid,
+            ItemOrder::AscendingFrequency,
+            TransactionOrder::AscendingSize,
+        );
+        assert!(recoded.num_transactions() > 0, "{}", p.name());
+        let avg = recoded
+            .transactions()
+            .iter()
+            .map(|t| t.len())
+            .sum::<usize>() as f64
+            / recoded.num_transactions() as f64;
+        assert!(
+            avg >= 2.0,
+            "{}: average recoded transaction width {avg} too thin",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn thrombin_is_sparse_overall_but_dense_in_core() {
+    let db = Preset::Thrombin.build(0.25, 1);
+    let density =
+        db.total_occurrences() as f64 / (db.num_transactions() * db.num_items()) as f64;
+    assert!(density < 0.03, "thrombin must be sparse, density {density}");
+    let n = db.num_transactions() as u32;
+    let dense_items = db
+        .item_frequencies()
+        .iter()
+        .filter(|&&f| 2 * f >= n)
+        .count();
+    assert!(
+        dense_items >= 20,
+        "thrombin needs a dense common core, got {dense_items}"
+    );
+}
+
+#[test]
+fn webview_transposition_shape() {
+    let db = Preset::Webview.build(0.1, 1);
+    // transactions = products, items = sessions; session supports are tiny
+    let freq = db.item_frequencies();
+    let max_f = freq.iter().copied().max().unwrap_or(0);
+    assert!(
+        max_f <= db.num_transactions() as u32 / 2,
+        "sessions must not span most products (max {max_f})"
+    );
+}
