@@ -11,7 +11,9 @@
 //! computes `d(ij) = t(i) − t(j)` from real tid lists.
 
 use crate::filter::filter_closed;
-use fim_core::{ClosedMiner, FoundSet, Item, ItemSet, MiningResult, RecodedDatabase, Tid, TidLists};
+use fim_core::{
+    ClosedMiner, FoundSet, Item, ItemSet, MiningResult, RecodedDatabase, Tid, TidLists,
+};
 
 /// The diffset-based Eclat miner (closed output via subsumption filter).
 #[derive(Clone, Copy, Debug, Default)]

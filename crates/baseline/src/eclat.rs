@@ -70,8 +70,10 @@ fn recurse(ctx: &mut Ctx<'_>, prefix: &[Item], frontier: &[(Item, Vec<Tid>)]) {
         }
 
         if perfect.is_empty() {
-            ctx.candidates
-                .push(FoundSet::new(ItemSet::new(items.clone()), tids.len() as u32));
+            ctx.candidates.push(FoundSet::new(
+                ItemSet::new(items.clone()),
+                tids.len() as u32,
+            ));
             if !next.is_empty() {
                 recurse(ctx, &items, &next);
             }
@@ -80,8 +82,10 @@ fn recurse(ctx: &mut Ctx<'_>, prefix: &[Item], frontier: &[(Item, Vec<Tid>)]) {
             // same-support supersets
             let mut maximal = items.clone();
             maximal.extend_from_slice(&perfect);
-            ctx.candidates
-                .push(FoundSet::new(ItemSet::new(maximal.clone()), tids.len() as u32));
+            ctx.candidates.push(FoundSet::new(
+                ItemSet::new(maximal.clone()),
+                tids.len() as u32,
+            ));
             if !next.is_empty() {
                 // the perfect extensions belong to every set mined below
                 maximal.sort_unstable();
@@ -126,10 +130,7 @@ mod tests {
     #[test]
     fn perfect_extension_collapse_keeps_closed_sets() {
         // every transaction contains {0,1}: perfect extension chain
-        let db = RecodedDatabase::from_dense(
-            vec![vec![0, 1, 2], vec![0, 1, 2], vec![0, 1, 3]],
-            4,
-        );
+        let db = RecodedDatabase::from_dense(vec![vec![0, 1, 2], vec![0, 1, 2], vec![0, 1, 3]], 4);
         let want = mine_reference(&db, 1);
         let got = EclatMiner.mine(&db, 1).canonicalized();
         assert_eq!(got, want);

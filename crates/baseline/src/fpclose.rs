@@ -47,11 +47,8 @@ impl ClosedMiner for FpCloseMiner {
             rank[i as usize] = pos as u32;
         }
 
-        let txs: Vec<(Vec<Item>, u32)> = db
-            .transactions()
-            .iter()
-            .map(|t| (t.to_vec(), 1))
-            .collect();
+        let txs: Vec<(Vec<Item>, u32)> =
+            db.transactions().iter().map(|t| (t.to_vec(), 1)).collect();
         let tree = FpTree::build(&txs, &rank, num_items, minsupp);
 
         let mut candidates = Vec::new();
@@ -74,7 +71,7 @@ impl ClosedMiner for FpCloseMiner {
             &rank,
             num_items,
             minsupp,
-            &mut Vec::new(),
+            &[],
             &mut candidates,
             &mut cfi,
         );
@@ -93,7 +90,7 @@ fn fpgrowth(
     rank: &[u32],
     num_items: u32,
     minsupp: u32,
-    prefix: &mut Vec<Item>,
+    prefix: &[Item],
     out: &mut Vec<FoundSet>,
     cfi: &mut CfiStore,
 ) {
@@ -114,7 +111,7 @@ fn fpgrowth(
             .filter(|&i| freq[i as usize] == h.count)
             .collect();
 
-        let mut candidate = prefix.clone();
+        let mut candidate = prefix.to_vec();
         candidate.push(h.item);
         candidate.extend_from_slice(&perfect);
         let candidate_set = ItemSet::new(candidate.clone());
@@ -154,16 +151,7 @@ fn fpgrowth(
             continue;
         }
         candidate.sort_unstable();
-        let mut cand_prefix = candidate;
-        fpgrowth(
-            &cond_tree,
-            rank,
-            num_items,
-            minsupp,
-            &mut cand_prefix,
-            out,
-            cfi,
-        );
+        fpgrowth(&cond_tree, rank, num_items, minsupp, &candidate, out, cfi);
     }
 }
 
@@ -200,10 +188,7 @@ mod tests {
 
     #[test]
     fn common_item_in_all_transactions() {
-        let db = RecodedDatabase::from_dense(
-            vec![vec![0, 1], vec![0, 2], vec![0, 1, 2]],
-            3,
-        );
+        let db = RecodedDatabase::from_dense(vec![vec![0, 1], vec![0, 2], vec![0, 1, 2]], 3);
         let want = mine_reference(&db, 1);
         let got = FpCloseMiner.mine(&db, 1).canonicalized();
         assert_eq!(got, want);

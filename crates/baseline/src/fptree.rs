@@ -207,11 +207,7 @@ mod tests {
 
     #[test]
     fn build_shares_prefixes() {
-        let txs = vec![
-            (vec![0, 1, 2], 1),
-            (vec![0, 1], 1),
-            (vec![0, 2], 1),
-        ];
+        let txs = vec![(vec![0, 1, 2], 1), (vec![0, 1], 1), (vec![0, 2], 1)];
         let t = FpTree::build(&txs, &idrank(3), 3, 1);
         // paths: 0-1-2, 0-1, 0-2 → nodes: 0,1,2,2' = 4
         assert_eq!(t.node_count(), 4);

@@ -81,10 +81,7 @@ fn sam(array: &[Entry], prefix: &mut Vec<Item>, minsupp: u32, out: &mut Vec<Foun
     }
     if support >= minsupp {
         prefix.push(e);
-        out.push(FoundSet::new(
-            ItemSet::new(prefix.clone()),
-            support,
-        ));
+        out.push(FoundSet::new(ItemSet::new(prefix.clone()), support));
         sam(&split, prefix, minsupp, out);
         prefix.pop();
     }

@@ -2,8 +2,7 @@
 //! brute-force reference miner on random databases.
 
 use fim_baseline::{
-    AprioriMiner, DEclatMiner, EclatMiner, FpCloseMiner, LcmMiner, NaiveCumulativeMiner,
-    SamMiner,
+    AprioriMiner, DEclatMiner, EclatMiner, FpCloseMiner, LcmMiner, NaiveCumulativeMiner, SamMiner,
 };
 use fim_core::reference::mine_reference;
 use fim_core::{ClosedMiner, RecodedDatabase};

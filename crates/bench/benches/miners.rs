@@ -36,14 +36,28 @@ fn miners_on_presets(c: &mut Criterion) {
     // eclat/declat are omitted on the blocky presets where frequent-set
     // enumeration (even with perfect-extension collapse) walks an
     // exponential subset space; they are micro-benchmarked on ncbi60 only
-    let field = ["ista", "carpenter-table", "carpenter-lists", "fpclose", "lcm"];
+    let field = [
+        "ista",
+        "carpenter-table",
+        "carpenter-lists",
+        "fpclose",
+        "lcm",
+    ];
     bench_preset(c, Preset::Yeast, 0.06, 6, &field);
     bench_preset(
         c,
         Preset::Ncbi60,
         0.2,
         8,
-        &["ista", "carpenter-table", "carpenter-lists", "fpclose", "lcm", "eclat", "declat"],
+        &[
+            "ista",
+            "carpenter-table",
+            "carpenter-lists",
+            "fpclose",
+            "lcm",
+            "eclat",
+            "declat",
+        ],
     );
     bench_preset(c, Preset::Thrombin, 0.06, 3, &field);
     bench_preset(c, Preset::Webview, 0.06, 3, &field);

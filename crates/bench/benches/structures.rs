@@ -79,6 +79,52 @@ fn prefix_tree(c: &mut Criterion) {
         }
         b.iter(|| tree.report(3).len())
     });
+    group.bench_function("merge/two_halves", |b| {
+        let (first, second) = recoded
+            .transactions()
+            .split_at(recoded.num_transactions() / 2);
+        b.iter(|| {
+            let mut left = PrefixTree::new(recoded.num_items());
+            for t in first {
+                left.add_transaction(t);
+            }
+            let mut right = PrefixTree::new(recoded.num_items());
+            for t in second {
+                right.add_transaction(t);
+            }
+            left.merge(&right);
+            left.node_count()
+        })
+    });
+    group.bench_function("membership_stamp/wide_universe", |b| {
+        // short transactions over a 20k-item universe: per-add cost is
+        // dominated by the transaction-membership marking that isect
+        // consults, i.e. the epoch-stamped `Vec<u32>` that replaced the
+        // cleared-per-transaction `Vec<bool>`
+        const UNIVERSE: u32 = 20_000;
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut step = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let txs: Vec<Vec<u32>> = (0..600)
+            .map(|_| {
+                let mut t: Vec<u32> = (0..40).map(|_| (step() % UNIVERSE as u64) as u32).collect();
+                t.sort_unstable();
+                t.dedup();
+                t
+            })
+            .collect();
+        b.iter(|| {
+            let mut tree = PrefixTree::new(UNIVERSE);
+            for t in &txs {
+                tree.add_transaction(t);
+            }
+            tree.node_count()
+        })
+    });
     group.finish();
 }
 

@@ -16,7 +16,13 @@ fn main() {
     let config = SweepConfig::for_figure(
         Preset::Yeast,
         0.25,
-        &["ista", "carpenter-table", "carpenter-lists", "fpclose", "lcm"],
+        &[
+            "ista",
+            "carpenter-table",
+            "carpenter-lists",
+            "fpclose",
+            "lcm",
+        ],
     );
     if let Err(e) = figure_main(config, &argv) {
         eprintln!("fig5: {e}");

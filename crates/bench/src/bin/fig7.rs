@@ -14,7 +14,13 @@ fn main() {
     let mut config = SweepConfig::for_figure(
         Preset::Thrombin,
         0.5,
-        &["ista", "carpenter-table", "carpenter-lists", "fpclose", "lcm"],
+        &[
+            "ista",
+            "carpenter-table",
+            "carpenter-lists",
+            "fpclose",
+            "lcm",
+        ],
     );
     config.timeout = std::time::Duration::from_secs(120);
     if let Err(e) = figure_main(config, &argv) {

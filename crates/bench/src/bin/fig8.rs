@@ -14,7 +14,13 @@ fn main() {
     let config = SweepConfig::for_figure(
         Preset::Webview,
         0.25,
-        &["ista", "carpenter-table", "carpenter-lists", "fpclose", "lcm"],
+        &[
+            "ista",
+            "carpenter-table",
+            "carpenter-lists",
+            "fpclose",
+            "lcm",
+        ],
     );
     if let Err(e) = figure_main(config, &argv) {
         eprintln!("fig8: {e}");

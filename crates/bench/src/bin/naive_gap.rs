@@ -75,7 +75,10 @@ fn main() {
                     "{supp:>8} {:>12.3} {:>16} {:>9}",
                     ista.seconds,
                     "timeout",
-                    format!(">{:.0}x", config.timeout.as_secs_f64() / ista.seconds.max(1e-9))
+                    format!(
+                        ">{:.0}x",
+                        config.timeout.as_secs_f64() / ista.seconds.max(1e-9)
+                    )
                 );
             }
         }

@@ -30,10 +30,15 @@ fn main() {
     // a low support keeps the tree busy enough to expose order effects
     let supp: u32 = kv
         .get("supp")
-        .map_or(((8.0 * scale).round() as u32).max(2), |s| s.parse().unwrap());
+        .map_or(((8.0 * scale).round() as u32).max(2), |s| {
+            s.parse().unwrap()
+        });
 
     println!("# E8 §3.4 order ablation — yeast-like, scale {scale}, seed {seed}, supp {supp}");
-    println!("{:>16} {:>12} {:>12} {:>10}", "item order", "tx order", "time", "sets");
+    println!(
+        "{:>16} {:>12} {:>12} {:>10}",
+        "item order", "tx order", "time", "sets"
+    );
     let mut rows = Vec::new();
     let mut reference_sets: Option<usize> = None;
     for item_order in ["asc", "desc", "orig"] {
@@ -56,7 +61,10 @@ fn main() {
                     rows.push(Row::ok(preset.name(), supp, &label, o));
                 }
                 Ok(None) => {
-                    println!("{item_order:>16} {tx_order:>12} {:>12} {:>10}", "timeout", "-");
+                    println!(
+                        "{item_order:>16} {tx_order:>12} {:>12} {:>10}",
+                        "timeout", "-"
+                    );
                     rows.push(Row::timeout(preset.name(), supp, &label));
                 }
                 Err(e) => {

@@ -1,0 +1,228 @@
+//! Experiment **E10**: thread-scaling of the data-parallel IsTa miner.
+//!
+//! Mines a dense NCBI60-like and a sparse transposed-webview-like data set
+//! with the sequential `IstaMiner` and with `ParallelIstaMiner` at a sweep
+//! of thread counts, reporting wall time, speedup over sequential, and the
+//! cross-checked closed-set count. Results go to `BENCH_scaling.json` in
+//! the current directory (plus a table on stdout).
+//!
+//! Usage: `scaling [--scale X] [--seed N] [--reps R] [--threads 1,2,4,8]
+//!                 [--supps N,M] [--out BENCH_scaling.json]`
+//!
+//! The default scale is 0.5. `--supps` overrides the per-preset minimum
+//! supports (one value per preset, in the dense,sparse order printed by
+//! the sweep).
+
+use fim_bench::{parse_kv, preset_by_name, MINE_STACK_BYTES};
+use fim_core::{ClosedMiner, ItemOrder, RecodedDatabase, TransactionOrder};
+use fim_ista::{IstaMiner, ParallelIstaMiner};
+use fim_synth::Preset;
+use std::io::Write;
+use std::time::Instant;
+
+/// One measured cell of the sweep.
+struct Measurement {
+    preset: &'static str,
+    supp: u32,
+    threads: usize, // 0 = sequential miner
+    seconds: f64,
+    sets: usize,
+}
+
+/// Per-preset cell of the sweep: the preset plus the minimum support the
+/// timing runs at (absolute, already scaled).
+struct Workload {
+    preset: Preset,
+    supp: u32,
+}
+
+fn measure(db: &RecodedDatabase, miner: &dyn ClosedMiner, supp: u32, reps: usize) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut sets = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let result = miner.mine(db, supp);
+        let t = start.elapsed().as_secs_f64();
+        best = best.min(t);
+        sets = result.len();
+    }
+    (best, sets)
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let kv = parse_kv(&argv)?;
+    let scale: f64 = kv
+        .get("scale")
+        .map_or(Ok(0.5), |s| s.parse().map_err(|e| format!("--scale: {e}")))?;
+    let seed: u64 = kv
+        .get("seed")
+        .map_or(Ok(1), |s| s.parse().map_err(|e| format!("--seed: {e}")))?;
+    let reps: usize = kv
+        .get("reps")
+        .map_or(Ok(3), |s| s.parse().map_err(|e| format!("--reps: {e}")))?;
+    let threads: Vec<usize> = match kv.get("threads") {
+        None => vec![1, 2, 4, 8],
+        Some(s) => s
+            .split(',')
+            .map(|t| t.parse().map_err(|e| format!("--threads: {e}")))
+            .collect::<Result<_, _>>()?,
+    };
+    let out_path = kv
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_scaling.json".to_owned());
+
+    // dense NCBI60-like (few long transactions) and sparse
+    // transposed-webview-like (many short transactions); the support is
+    // picked from the low end of each preset's paper sweep so the trees do
+    // real work
+    let mut workloads = [
+        Workload {
+            preset: preset_by_name("ncbi60")?,
+            supp: pick_supp(preset_by_name("ncbi60")?, scale),
+        },
+        Workload {
+            preset: preset_by_name("webview-tpo")?,
+            supp: pick_supp(preset_by_name("webview-tpo")?, scale),
+        },
+    ];
+    if let Some(s) = kv.get("supps") {
+        let supps: Vec<u32> = s
+            .split(',')
+            .map(|v| v.parse().map_err(|e| format!("--supps: {e}")))
+            .collect::<Result<_, _>>()?;
+        if supps.len() != workloads.len() {
+            return Err(format!("--supps expects {} values", workloads.len()));
+        }
+        for (w, s) in workloads.iter_mut().zip(supps) {
+            w.supp = s;
+        }
+    }
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    println!("# E10 thread scaling (scale {scale}, seed {seed}, reps {reps}, min-of-reps)");
+    for w in &workloads {
+        let name = w.preset.name();
+        let db = w.preset.build(scale, seed);
+        println!(
+            "# {name}: {} transactions, {} items, supp {}",
+            db.num_transactions(),
+            db.num_items(),
+            w.supp
+        );
+        let recoded = RecodedDatabase::prepare(
+            &db,
+            w.supp,
+            ItemOrder::AscendingFrequency,
+            TransactionOrder::AscendingSize,
+        );
+        print!("{:>14} {:>10}", "miner", "supp");
+        println!(" {:>10} {:>9} {:>9}", "seconds", "speedup", "sets");
+
+        // mining runs on a big-stack thread: tree depth is bounded by the
+        // longest transaction (harness convention, see MINE_STACK_BYTES)
+        let run_on_big_stack = |miner: Box<dyn ClosedMiner + Sync + Send>| -> (f64, usize) {
+            std::thread::scope(|s| {
+                std::thread::Builder::new()
+                    .stack_size(MINE_STACK_BYTES)
+                    .spawn_scoped(s, || measure(&recoded, miner.as_ref(), w.supp, reps))
+                    .expect("spawn failed")
+                    .join()
+                    .expect("mining thread panicked")
+            })
+        };
+
+        // one untimed warmup so the first timed miner does not absorb the
+        // cold-cache / page-fault cost of touching the data set first
+        run_on_big_stack(Box::<IstaMiner>::default());
+
+        let (seq_secs, seq_sets) = run_on_big_stack(Box::<IstaMiner>::default());
+        println!(
+            "{:>14} {:>10} {:>10.4} {:>9} {:>9}",
+            "ista", w.supp, seq_secs, "1.00x", seq_sets
+        );
+        measurements.push(Measurement {
+            preset: name,
+            supp: w.supp,
+            threads: 0,
+            seconds: seq_secs,
+            sets: seq_sets,
+        });
+
+        for &t in &threads {
+            let (secs, sets) = run_on_big_stack(Box::new(ParallelIstaMiner::with_threads(t)));
+            if sets != seq_sets {
+                return Err(format!(
+                    "CROSS-CHECK FAILED on {name}: ista-par/{t} found {sets} sets, sequential {seq_sets}"
+                ));
+            }
+            println!(
+                "{:>11}/{:<2} {:>10} {:>10.4} {:>8.2}x {:>9}",
+                "ista-par",
+                t,
+                w.supp,
+                secs,
+                seq_secs / secs,
+                sets
+            );
+            measurements.push(Measurement {
+                preset: name,
+                supp: w.supp,
+                threads: t,
+                seconds: secs,
+                sets,
+            });
+        }
+    }
+
+    write_json(&out_path, scale, seed, reps, &measurements).map_err(|e| e.to_string())?;
+    println!("# wrote {out_path}");
+    Ok(())
+}
+
+/// Picks the timing support: the second-lowest entry of the scaled paper
+/// sweep — low enough that the miner does substantial work, but not the
+/// extreme tail where a single run dominates the whole sweep.
+fn pick_supp(preset: Preset, scale: f64) -> u32 {
+    let sweep = fim_bench::scaled_sweep(preset, scale);
+    let mut sorted = sweep;
+    sorted.sort_unstable();
+    sorted.get(1).copied().unwrap_or(sorted[0])
+}
+
+fn write_json(
+    path: &str,
+    scale: f64,
+    seed: u64,
+    reps: usize,
+    measurements: &[Measurement],
+) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"experiment\": \"thread-scaling\",")?;
+    writeln!(f, "  \"scale\": {scale},")?;
+    writeln!(f, "  \"seed\": {seed},")?;
+    writeln!(f, "  \"reps\": {reps},")?;
+    writeln!(f, "  \"timing\": \"min of reps, recode excluded\",")?;
+    writeln!(f, "  \"cells\": [")?;
+    for (i, m) in measurements.iter().enumerate() {
+        let miner = if m.threads == 0 { "ista" } else { "ista-par" };
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"preset\": \"{}\", \"miner\": \"{}\", \"threads\": {}, \"supp\": {}, \"seconds\": {:.6}, \"sets\": {}}}{}",
+            m.preset, miner, m.threads, m.supp, m.seconds, m.sets, comma
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("scaling: {e}");
+        std::process::exit(1);
+    }
+}

@@ -18,7 +18,10 @@ fn main() {
     let mut entries: Vec<_> = match std::fs::read_dir(&dir) {
         Ok(rd) => rd.flatten().collect(),
         Err(e) => {
-            eprintln!("summary: cannot read {}: {e} (run the fig* binaries first)", dir.display());
+            eprintln!(
+                "summary: cannot read {}: {e} (run the fig* binaries first)",
+                dir.display()
+            );
             std::process::exit(1);
         }
     };
@@ -55,7 +58,11 @@ fn main() {
             continue;
         }
         found_any = true;
-        println!("== {} ({})", path.file_name().unwrap().to_string_lossy(), dataset);
+        println!(
+            "== {} ({})",
+            path.file_name().unwrap().to_string_lossy(),
+            dataset
+        );
         // per support (descending): winner and ista-relative factors
         for (supp, miners) in table.iter().rev() {
             let mut oks: Vec<(&String, f64)> = miners
@@ -88,7 +95,10 @@ fn main() {
         println!();
     }
     if !found_any {
-        eprintln!("summary: no CSV records in {} — run the fig* binaries first", dir.display());
+        eprintln!(
+            "summary: no CSV records in {} — run the fig* binaries first",
+            dir.display()
+        );
         std::process::exit(1);
     }
 }

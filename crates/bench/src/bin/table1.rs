@@ -2,7 +2,9 @@
 //! transaction database used by the table-based Carpenter variant
 //! (paper §3.1.2). The output is asserted byte-exact against the paper.
 
-use fim_core::{ItemOrder, RecodedDatabase, SuffixCountMatrix, TransactionDatabase, TransactionOrder};
+use fim_core::{
+    ItemOrder, RecodedDatabase, SuffixCountMatrix, TransactionDatabase, TransactionOrder,
+};
 
 fn main() {
     let db = TransactionDatabase::from_named(&[

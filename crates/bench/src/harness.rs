@@ -76,7 +76,9 @@ pub fn run_cell(
             })
         })
         .map_err(|e| e.to_string())?;
-    handle.join().map_err(|_| "mining thread panicked".to_owned())?
+    handle
+        .join()
+        .map_err(|_| "mining thread panicked".to_owned())?
 }
 
 /// If `argv` is a cell invocation (`cell <preset> <scale> <seed> <miner>

@@ -27,7 +27,8 @@ pub mod registry;
 pub mod report;
 
 pub use harness::{
-    figure_main, maybe_run_cell, run_cell, run_cell_subprocess, CellOutcome, SweepConfig,
+    figure_main, maybe_run_cell, parse_kv, preset_by_name, run_cell, run_cell_subprocess,
+    scaled_sweep, CellOutcome, SweepConfig, MINE_STACK_BYTES,
 };
 pub use registry::{all_miner_names, miner_by_name};
 pub use report::{write_csv, Row};

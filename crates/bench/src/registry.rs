@@ -5,12 +5,13 @@ use fim_baseline::{
 };
 use fim_carpenter::{CarpenterConfig, CarpenterListMiner, CarpenterTableMiner};
 use fim_core::ClosedMiner;
-use fim_ista::{IstaConfig, IstaMiner};
+use fim_ista::{IstaConfig, IstaMiner, ParallelIstaMiner};
 
 /// All registered algorithm names (plain variants first, ablations after).
 pub fn all_miner_names() -> &'static [&'static str] {
     &[
         "ista",
+        "ista-par",
         "carpenter-table",
         "carpenter-lists",
         "fpclose",
@@ -32,6 +33,7 @@ pub fn all_miner_names() -> &'static [&'static str] {
 pub fn miner_by_name(name: &str) -> Result<Box<dyn ClosedMiner>, String> {
     Ok(match name {
         "ista" => Box::new(IstaMiner::default()),
+        "ista-par" => Box::new(ParallelIstaMiner::default()),
         "ista-noprune" => Box::new(IstaMiner::with_config(IstaConfig::without_pruning())),
         "carpenter-table" => Box::new(CarpenterTableMiner::default()),
         "carpenter-lists" => Box::new(CarpenterListMiner::default()),
@@ -39,12 +41,10 @@ pub fn miner_by_name(name: &str) -> Result<Box<dyn ClosedMiner>, String> {
             item_elimination: false,
             ..CarpenterConfig::default()
         })),
-        "carpenter-table-noabsorb" => {
-            Box::new(CarpenterTableMiner::with_config(CarpenterConfig {
-                perfect_extension: false,
-                ..CarpenterConfig::default()
-            }))
-        }
+        "carpenter-table-noabsorb" => Box::new(CarpenterTableMiner::with_config(CarpenterConfig {
+            perfect_extension: false,
+            ..CarpenterConfig::default()
+        })),
         "carpenter-table-norepo" => Box::new(CarpenterTableMiner::with_config(CarpenterConfig {
             repo_prune: false,
             ..CarpenterConfig::default()

@@ -47,7 +47,14 @@ fn scaled_sweep_shrinks_with_scale() {
 fn sweep_config_overrides() {
     let mut c = SweepConfig::for_figure(Preset::Yeast, 0.25, &["ista"]);
     c.apply_args(&sv(&[
-        "--seed", "9", "--timeout", "5", "--miners", "ista,lcm", "--supps", "8,4,2",
+        "--seed",
+        "9",
+        "--timeout",
+        "5",
+        "--miners",
+        "ista,lcm",
+        "--supps",
+        "8,4,2",
     ]))
     .unwrap();
     assert_eq!(c.seed, 9);

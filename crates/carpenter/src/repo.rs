@@ -227,7 +227,7 @@ mod tests {
         assert!(r.contains(&set));
         assert!(!r.contains(&set[..31]));
         assert!(!r.contains(&set[1..]));
-        assert!(r.insert(&set[1..].to_vec()));
+        assert!(r.insert(&set[1..]));
         assert!(r.contains(&set[1..]));
     }
 

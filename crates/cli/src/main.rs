@@ -96,7 +96,24 @@ fn cmd_mine(args: &Args) -> Result<(), String> {
         }
         (other, false) => other,
     };
-    let miner: Box<dyn ClosedMiner> = miner_by_name(resolved)?;
+    // `--threads N` selects the data-parallel miner with N shards
+    // (0 = one per available core); only meaningful for ista variants
+    let miner: Box<dyn ClosedMiner> = match args.get("threads") {
+        None => miner_by_name(resolved)?,
+        Some(t) => {
+            let threads: usize = t.parse().map_err(|e| format!("bad --threads: {e}"))?;
+            match resolved {
+                "ista" | "ista-par" => Box::new(fim_ista::ParallelIstaMiner::with_threads(threads)),
+                "ista-noprune" => Box::new(fim_ista::ParallelIstaMiner::with_config(
+                    fim_ista::ParallelConfig {
+                        threads,
+                        policy: fim_ista::PrunePolicy::Never,
+                    },
+                )),
+                other => return Err(format!("--threads is not available for '{other}'")),
+            }
+        }
+    };
     let db = load_db(args)?;
     // absolute --supp N, or relative --supp-rel F (fraction of transactions)
     let supp: u32 = match (args.get("supp"), args.get("supp-rel")) {
@@ -112,8 +129,13 @@ fn cmd_mine(args: &Args) -> Result<(), String> {
         (None, None) => return Err("missing --supp (or --supp-rel)".into()),
     };
     let start = std::time::Instant::now();
-    let mut result =
-        mine_closed_with_orders(&db, supp, miner.as_ref(), item_order(args)?, tx_order(args)?);
+    let mut result = mine_closed_with_orders(
+        &db,
+        supp,
+        miner.as_ref(),
+        item_order(args)?,
+        tx_order(args)?,
+    );
     let kind = if args.flag("maximal") {
         result = fim_core::maximal_from_closed(&result);
         "maximal"
@@ -239,7 +261,9 @@ fn print_help() {
 USAGE:
   fim mine  --supp N | --supp-rel F   [--algo NAME] [--in FILE] [--out FILE]
             [--item-order asc|desc|orig] [--tx-order asc|desc|orig]
-            [--maximal] [--no-prune]
+            [--maximal] [--no-prune] [--threads N]
+            (--threads N shards the database over N threads and merges the
+             per-shard prefix trees; 0 = one shard per core; ista only)
   fim gen   --preset yeast|ncbi60|thrombin|webview [--scale X] [--seed N] [--out FILE]
   fim rules --supp N [--conf X] [--algo NAME] [--in FILE] [--out FILE]
   fim stats [--in FILE]

@@ -5,12 +5,13 @@ use fim_baseline::{
 };
 use fim_carpenter::{CarpenterConfig, CarpenterListMiner, CarpenterTableMiner};
 use fim_core::ClosedMiner;
-use fim_ista::{IstaConfig, IstaMiner};
+use fim_ista::{IstaConfig, IstaMiner, ParallelIstaMiner};
 
 /// All registered algorithm names.
 pub fn all_miner_names() -> &'static [&'static str] {
     &[
         "ista",
+        "ista-par",
         "ista-noprune",
         "carpenter-lists",
         "carpenter-table",
@@ -29,6 +30,7 @@ pub fn all_miner_names() -> &'static [&'static str] {
 pub fn miner_by_name(name: &str) -> Result<Box<dyn ClosedMiner>, String> {
     Ok(match name {
         "ista" => Box::new(IstaMiner::default()),
+        "ista-par" => Box::new(ParallelIstaMiner::default()),
         "ista-noprune" => Box::new(IstaMiner::with_config(IstaConfig::without_pruning())),
         "carpenter-lists" => Box::new(CarpenterListMiner::default()),
         "carpenter-table" => Box::new(CarpenterTableMiner::default()),

@@ -59,14 +59,26 @@ fn all_algorithms_agree_via_cli() {
 
     // generate a small preset data set
     let out = fim()
-        .args(["gen", "--preset", "ncbi60", "--scale", "0.08", "--seed", "3"])
+        .args([
+            "gen", "--preset", "ncbi60", "--scale", "0.08", "--seed", "3",
+        ])
         .args(["--out", data.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let mut results: Vec<String> = Vec::new();
-    for algo in ["ista", "carpenter-table", "carpenter-lists", "lcm", "fpclose"] {
+    for algo in [
+        "ista",
+        "carpenter-table",
+        "carpenter-lists",
+        "lcm",
+        "fpclose",
+    ] {
         let out = fim()
             .args(["mine", "--supp", "4", "--algo", algo])
             .args(["--in", data.to_str().unwrap()])

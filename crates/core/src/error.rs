@@ -58,14 +58,14 @@ mod tests {
         assert_eq!(e.to_string(), "parse error at line 3: bad item");
         let e = FimError::InvalidInput("minsupp must be positive".into());
         assert!(e.to_string().contains("minsupp"));
-        let e = FimError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let e = FimError::from(std::io::Error::other("boom"));
         assert!(e.to_string().contains("boom"));
     }
 
     #[test]
     fn io_error_has_source() {
         use std::error::Error;
-        let e = FimError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let e = FimError::from(std::io::Error::other("boom"));
         assert!(e.source().is_some());
         let e = FimError::InvalidInput("x".into());
         assert!(e.source().is_none());

@@ -102,7 +102,11 @@ mod tests {
     fn galois_adjunction_law() {
         // K ⊆ f(I)  ⇔  I ⊆ g(K)
         let db = db();
-        let sets = [ItemSet::from([1, 2]), ItemSet::from([3]), ItemSet::from([0, 3])];
+        let sets = [
+            ItemSet::from([1, 2]),
+            ItemSet::from([3]),
+            ItemSet::from([0, 3]),
+        ];
         let tidsets: [&[Tid]; 3] = [&[0, 3], &[1, 6], &[2, 7]];
         for i in &sets {
             let fi = f(&db, i);

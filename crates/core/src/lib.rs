@@ -58,8 +58,7 @@ pub use itemset::ItemSet;
 pub use matrix::{BitMatrix, SuffixCountMatrix};
 pub use maximal::maximal_from_closed;
 pub use miner::{
-    mine_closed, mine_closed_relative, mine_closed_with_orders, ClosedMiner, FoundSet,
-    MiningResult,
+    mine_closed, mine_closed_relative, mine_closed_with_orders, ClosedMiner, FoundSet, MiningResult,
 };
 pub use order::{ItemOrder, TransactionOrder};
 pub use recode::{Recode, RecodedDatabase};

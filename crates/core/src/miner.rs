@@ -62,10 +62,9 @@ impl MiningResult {
     /// Sorts the sets into canonical order (by cardinality, then items,
     /// then support) and asserts there are no duplicate item sets.
     pub fn canonicalize(&mut self) -> &mut Self {
-        self.sets
-            .sort_unstable_by(|a, b| {
-                (a.items.len(), &a.items, a.support).cmp(&(b.items.len(), &b.items, b.support))
-            });
+        self.sets.sort_unstable_by(|a, b| {
+            (a.items.len(), &a.items, a.support).cmp(&(b.items.len(), &b.items, b.support))
+        });
         debug_assert!(
             self.sets.windows(2).all(|w| w[0].items != w[1].items),
             "duplicate item sets in mining result"
@@ -174,7 +173,9 @@ pub fn mine_closed_with_orders(
     tx_order: TransactionOrder,
 ) -> MiningResult {
     let recoded = RecodedDatabase::prepare(db, minsupp, item_order, tx_order);
-    let mut result = miner.mine(&recoded, minsupp.max(1)).decode(recoded.recode());
+    let mut result = miner
+        .mine(&recoded, minsupp.max(1))
+        .decode(recoded.recode());
     result.canonicalize();
     result
 }
@@ -193,9 +194,7 @@ mod tests {
             // where every singleton happens to be closed
             (0..db.num_items())
                 .filter(|&i| db.item_supports()[i as usize] >= minsupp)
-                .filter(|&i| {
-                    crate::closure::closure(db, &ItemSet::from([i])) == ItemSet::from([i])
-                })
+                .filter(|&i| crate::closure::closure(db, &ItemSet::from([i])) == ItemSet::from([i]))
                 .map(|i| FoundSet::new(ItemSet::from([i]), db.item_supports()[i as usize]))
                 .collect()
         }
@@ -224,11 +223,8 @@ mod tests {
     #[test]
     fn mine_closed_decodes_to_raw_codes() {
         // raw items: "rare" appears once, "x" 3 times, "y" 2 times
-        let db = TransactionDatabase::from_named(&[
-            vec!["x", "rare"],
-            vec!["x", "y"],
-            vec!["x", "y"],
-        ]);
+        let db =
+            TransactionDatabase::from_named(&[vec!["x", "rare"], vec!["x", "y"], vec!["x", "y"]]);
         let r = mine_closed(&db, 2, &SingletonMiner);
         // x is closed (cover = all three); y's closure is {x,y}, so the
         // toy miner reports only {x} — decoded to raw code of "x" = 0

@@ -9,9 +9,10 @@
 //! `orders` experiment runner (E8).
 
 /// How item codes are assigned during recoding.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum ItemOrder {
     /// Rarest item gets code 0 (paper default, usually fastest).
+    #[default]
     AscendingFrequency,
     /// Most frequent item gets code 0.
     DescendingFrequency,
@@ -19,28 +20,17 @@ pub enum ItemOrder {
     Original,
 }
 
-impl Default for ItemOrder {
-    fn default() -> Self {
-        ItemOrder::AscendingFrequency
-    }
-}
-
 /// The order in which transactions are processed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum TransactionOrder {
     /// Smallest transactions first (paper default, usually fastest);
     /// ties broken lexicographically on descending item codes.
+    #[default]
     AscendingSize,
     /// Largest transactions first (the paper's slow counter-example).
     DescendingSize,
     /// Keep the input order.
     Original,
-}
-
-impl Default for TransactionOrder {
-    fn default() -> Self {
-        TransactionOrder::AscendingSize
-    }
 }
 
 impl ItemOrder {

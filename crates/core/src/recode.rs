@@ -34,12 +34,7 @@ pub struct Recode {
 impl Recode {
     /// Translates an item set over new codes back to raw catalog codes.
     pub fn decode_items(&self, items: &ItemSet) -> ItemSet {
-        ItemSet::new(
-            items
-                .iter()
-                .map(|i| self.item_to_old[i as usize])
-                .collect(),
-        )
+        ItemSet::new(items.iter().map(|i| self.item_to_old[i as usize]).collect())
     }
 
     /// Translates an item set over raw catalog codes to new codes.
@@ -282,7 +277,12 @@ mod tests {
     #[test]
     fn ascending_frequency_codes() {
         let db = paper_db();
-        let r = RecodedDatabase::prepare(&db, 1, ItemOrder::AscendingFrequency, TransactionOrder::Original);
+        let r = RecodedDatabase::prepare(
+            &db,
+            1,
+            ItemOrder::AscendingFrequency,
+            TransactionOrder::Original,
+        );
         // raw freqs: a=4 b=5 c=5 d=6 e=3  → order e(3),a(4),b(5),c(5),d(6)
         assert_eq!(r.recode().item_to_old, vec![4, 0, 1, 2, 3]);
         assert_eq!(r.item_supports(), &[3, 4, 5, 5, 6]);
@@ -292,12 +292,13 @@ mod tests {
 
     #[test]
     fn infrequent_items_filtered_and_empty_dropped() {
-        let db = TransactionDatabase::from_named(&[
-            vec!["x"],
-            vec!["a", "b"],
-            vec!["a", "b", "y"],
-        ]);
-        let r = RecodedDatabase::prepare(&db, 2, ItemOrder::AscendingFrequency, TransactionOrder::Original);
+        let db = TransactionDatabase::from_named(&[vec!["x"], vec!["a", "b"], vec!["a", "b", "y"]]);
+        let r = RecodedDatabase::prepare(
+            &db,
+            2,
+            ItemOrder::AscendingFrequency,
+            TransactionOrder::Original,
+        );
         // x and y have freq 1 < 2; transaction {x} becomes empty.
         assert_eq!(r.num_items(), 2);
         assert_eq!(r.num_transactions(), 2);
@@ -311,7 +312,8 @@ mod tests {
     #[test]
     fn transaction_order_ascending_size() {
         let db = paper_db();
-        let r = RecodedDatabase::prepare(&db, 1, ItemOrder::Original, TransactionOrder::AscendingSize);
+        let r =
+            RecodedDatabase::prepare(&db, 1, ItemOrder::Original, TransactionOrder::AscendingSize);
         let sizes: Vec<usize> = r.transactions().iter().map(|t| t.len()).collect();
         let mut sorted = sizes.clone();
         sorted.sort_unstable();
@@ -323,7 +325,12 @@ mod tests {
     #[test]
     fn transaction_order_descending_size() {
         let db = paper_db();
-        let r = RecodedDatabase::prepare(&db, 1, ItemOrder::Original, TransactionOrder::DescendingSize);
+        let r = RecodedDatabase::prepare(
+            &db,
+            1,
+            ItemOrder::Original,
+            TransactionOrder::DescendingSize,
+        );
         let sizes: Vec<usize> = r.transactions().iter().map(|t| t.len()).collect();
         let mut sorted = sizes.clone();
         sorted.sort_unstable_by(|a, b| b.cmp(a));
@@ -341,7 +348,12 @@ mod tests {
     #[test]
     fn decode_roundtrip() {
         let db = paper_db();
-        let r = RecodedDatabase::prepare(&db, 1, ItemOrder::AscendingFrequency, TransactionOrder::AscendingSize);
+        let r = RecodedDatabase::prepare(
+            &db,
+            1,
+            ItemOrder::AscendingFrequency,
+            TransactionOrder::AscendingSize,
+        );
         let raw = ItemSet::from([1, 2, 3]); // b,c,d
         let enc = r.recode().encode_items(&raw).unwrap();
         let dec = r.recode().decode_items(&enc);
@@ -359,7 +371,12 @@ mod tests {
     #[test]
     fn support_scan_matches_raw_database() {
         let db = paper_db();
-        let r = RecodedDatabase::prepare(&db, 1, ItemOrder::AscendingFrequency, TransactionOrder::AscendingSize);
+        let r = RecodedDatabase::prepare(
+            &db,
+            1,
+            ItemOrder::AscendingFrequency,
+            TransactionOrder::AscendingSize,
+        );
         // support is invariant under recoding+reordering
         let raw = ItemSet::from([1, 2]); // b,c
         let enc = r.recode().encode_items(&raw).unwrap();

@@ -1,0 +1,241 @@
+//! A minimal, dependency-free, offline drop-in for the subset of the
+//! `criterion` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves the `criterion` dev-dependency to this crate by path. Each
+//! benchmark is timed with plain wall-clock sampling (median of N samples,
+//! each sample auto-calibrated to run ≥ ~20 ms) and printed as one line —
+//! no statistics, plots, or baselines. Filters passed by `cargo bench`
+//! (substring argument) are honored.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark (`group/function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: usize,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // calibrate: find an iteration count that runs at least ~20 ms
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let t = start.elapsed();
+            if t >= Duration::from_millis(20) || iters >= 1 << 20 {
+                break t / iters as u32;
+            }
+            iters = iters.saturating_mul(2);
+        };
+        let _ = per_iter;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.elapsed.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    fn median(&mut self) -> Option<Duration> {
+        if self.elapsed.is_empty() {
+            return None;
+        }
+        self.elapsed.sort_unstable();
+        Some(self.elapsed[self.elapsed.len() / 2])
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Reads the `cargo bench` substring filter from argv (upstream
+    /// `configure_from_args` equivalent, minus option flags).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.run_one(id.to_string(), sample_size, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, full_id: String, samples: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            samples,
+            elapsed: Vec::new(),
+        };
+        f(&mut b);
+        match b.median() {
+            Some(t) => println!("bench: {full_id:<60} {t:>12.3?}/iter"),
+            None => println!("bench: {full_id:<60} (no measurement)"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(full, samples, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (upstream requires this; here it is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring upstream
+/// `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring upstream `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("parm", 3), &3u64, |b, &n| b.iter(|| n * 2));
+        group.finish();
+        c.bench_function("top", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn runs_without_panicking() {
+        let mut c = Criterion {
+            filter: Some("sum".into()),
+            sample_size: 2,
+        };
+        trivial(&mut c);
+        let mut c2 = Criterion {
+            sample_size: 1,
+            ..Default::default()
+        };
+        trivial(&mut c2);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -23,6 +23,15 @@ pub struct Node {
     /// Most recent update step (index of the transaction whose processing
     /// last touched this node); the incremental-update flag of the paper.
     pub step: u32,
+    /// Total weight of raw transactions whose (possibly pruning-reduced)
+    /// item set is exactly the set this node represents. Terminal counts
+    /// let a tree be replayed into another one with correct additive
+    /// support semantics (see [`PrefixTree::merge`]); the sum of `raw`
+    /// over all nodes (plus the root's, which absorbs transactions pruned
+    /// to the empty set) equals the processed transaction weight.
+    ///
+    /// [`PrefixTree::merge`]: crate::tree::PrefixTree::merge
+    pub raw: u32,
     /// Next node in the sibling list (descending item order), or [`NONE`].
     pub sibling: u32,
     /// Head of the child list (all child items < `item`), or [`NONE`].
@@ -116,6 +125,7 @@ mod tests {
             item,
             supp: 0,
             step: 0,
+            raw: 0,
             sibling: NONE,
             children: NONE,
         }

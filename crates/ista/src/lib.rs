@@ -34,10 +34,12 @@
 
 pub mod arena;
 pub mod miner;
+pub mod parallel;
 pub mod stream;
 pub mod tree;
 
 pub use arena::{Node, NodeArena, NONE};
 pub use miner::{IstaConfig, IstaMiner, PrunePolicy};
+pub use parallel::{ParallelConfig, ParallelIstaMiner};
 pub use stream::IstaStream;
 pub use tree::PrefixTree;

@@ -1,0 +1,416 @@
+//! Data-parallel IsTa: shard the database, mine each shard's prefix tree on
+//! its own thread, and combine the shard trees with [`PrefixTree::merge`] in
+//! a binary reduction.
+//!
+//! The decomposition rests on the additive support identity
+//!
+//! ```text
+//! supp_{D₁ ∪ D₂}(S) = supp_{D₁}(S) + supp_{D₂}(S)
+//! ```
+//!
+//! for a database split into disjoint transaction multisets: the closed sets
+//! of the union are the closed sets of the parts plus their pairwise
+//! intersections, and replaying one shard tree's (deduplicated, possibly
+//! pruning-reduced) transactions into another via the ordinary cumulative
+//! intersection update computes exactly those intersections with correct
+//! summed supports.
+//!
+//! Shards are **contiguous** transaction ranges, so the §3.4
+//! size-then-lexicographic processing order is preserved inside each shard.
+//! Item-elimination pruning keeps working per shard: a shard starts from a
+//! snapshot of the *global* item support counts and decrements only the
+//! occurrences it has itself consumed — occurrences held by other shards are
+//! still "remaining" because they arrive later through the merge, so the
+//! viability bound `supp + remaining[i] ≥ minsupp` stays safe.
+
+use crate::miner::{IstaConfig, IstaMiner, PrunePolicy};
+use crate::tree::PrefixTree;
+use fim_core::{ClosedMiner, MiningResult, RecodedDatabase};
+
+/// Stack size for shard threads. The `isect` traversal recurses to the
+/// tree depth, which is bounded by the longest transaction and can reach
+/// tens of thousands of frames on gene-expression-shaped data; the
+/// reservation is virtual and only committed as used.
+const SHARD_STACK_BYTES: usize = 256 << 20;
+
+/// Tuning knobs for [`ParallelIstaMiner`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParallelConfig {
+    /// Number of shards/threads. `0` means "use the available parallelism
+    /// of the machine"; `1` falls back to the sequential miner.
+    pub threads: usize,
+    /// Per-shard pruning placement policy (same semantics as the
+    /// sequential miner's).
+    pub policy: PrunePolicy,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            threads: 0,
+            policy: IstaConfig::default().policy,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Configuration with an explicit thread count and the default policy.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig {
+            threads,
+            ..Default::default()
+        }
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+/// Data-parallel IsTa miner: contiguous shards on scoped threads, combined
+/// by a binary merge reduction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParallelIstaMiner {
+    /// Algorithm configuration.
+    pub config: ParallelConfig,
+}
+
+impl ParallelIstaMiner {
+    /// Creates a miner with an explicit configuration.
+    pub fn with_config(config: ParallelConfig) -> Self {
+        ParallelIstaMiner { config }
+    }
+
+    /// Creates a miner with `threads` shards and the default prune policy.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelIstaMiner {
+            config: ParallelConfig::with_threads(threads),
+        }
+    }
+}
+
+/// Mines one contiguous shard `txs` of the database into its own tree.
+///
+/// `global_supports` is the item-support snapshot over the *whole* database;
+/// only this shard's own consumption is subtracted while it runs (see the
+/// module docs for why that is the correct "remaining" bound).
+///
+/// Items that are globally hopeless (`global_supports[i] < minsupp`) are
+/// filtered out of every transaction before insertion — no viable set can
+/// contain them, and dropping them up front lets the per-shard pruning use
+/// [`PrefixTree::prune_keeping_terminals`], which never reduces a stored
+/// transaction and so keeps the merge replay exact for viable sets (the
+/// plain per-node prune may eliminate locally hopeless but globally viable
+/// items from a transaction, under-counting subsets after the merge).
+fn mine_shard(
+    txs: &[Box<[fim_core::Item]>],
+    num_items: u32,
+    global_supports: &[u32],
+    policy: PrunePolicy,
+    minsupp: u32,
+) -> ShardTree {
+    let mut tree = PrefixTree::new(num_items);
+    let mut remaining: Vec<u32> = global_supports.to_vec();
+    let mut pacer = PrunePacer::new(policy);
+    let mut filtered: Vec<fim_core::Item> = Vec::new();
+    for t in txs.iter() {
+        filtered.clear();
+        for &i in t.iter() {
+            remaining[i as usize] -= 1;
+            if global_supports[i as usize] >= minsupp {
+                filtered.push(i);
+            }
+        }
+        tree.add_transaction(&filtered);
+        if pacer.due(tree.node_count()) {
+            tree.prune_keeping_terminals(&remaining, minsupp);
+            pacer.pruned(tree.node_count());
+        }
+    }
+    ShardTree { tree, remaining }
+}
+
+/// A mined shard (or partially reduced group of shards): its prefix tree
+/// plus the item occurrences *not yet folded into it* — the global
+/// support snapshot minus everything the covered transactions consumed.
+struct ShardTree {
+    tree: PrefixTree,
+    remaining: Vec<u32>,
+}
+
+/// Prune-placement bookkeeping shared by shard mining and merge replay:
+/// decides after each (replayed) transaction whether a pruning pass is due,
+/// mirroring the sequential miner's [`PrunePolicy`] semantics.
+struct PrunePacer {
+    policy: PrunePolicy,
+    processed: usize,
+    last_prune_size: usize,
+}
+
+impl PrunePacer {
+    fn new(policy: PrunePolicy) -> Self {
+        PrunePacer {
+            policy,
+            processed: 0,
+            last_prune_size: 256,
+        }
+    }
+
+    /// Call after a transaction lands; returns whether to prune now.
+    fn due(&mut self, node_count: usize) -> bool {
+        self.processed += 1;
+        match self.policy {
+            PrunePolicy::Never => false,
+            PrunePolicy::EveryN(n) => n > 0 && self.processed.is_multiple_of(n),
+            PrunePolicy::Growth(factor) => {
+                node_count as f64 >= self.last_prune_size as f64 * factor
+            }
+        }
+    }
+
+    /// Call after a pruning pass with the post-prune tree size.
+    fn pruned(&mut self, node_count: usize) {
+        self.last_prune_size = node_count.max(256);
+    }
+}
+
+/// Folds `right` into `left`, pruning mid-replay so the combined tree does
+/// not balloon past what the per-shard pruning kept bounded. The remaining
+/// counts are decremented transaction by transaction during the replay —
+/// decrementing them all up front would over-prune nodes whose support has
+/// not yet absorbed the still-unreplayed occurrences.
+///
+/// `is_final` marks the root of the reduction: its result is only reported,
+/// never merged again, so the replay may use the plain (terminal-reducing)
+/// prune, which shrinks the tree harder than the terminal-keeping variant
+/// every intermediate level must use.
+fn merge_pruned(
+    left: &mut ShardTree,
+    mut right: ShardTree,
+    policy: PrunePolicy,
+    minsupp: u32,
+    is_final: bool,
+) {
+    // replay the lighter side into the heavier one: replay cost is one
+    // isect pass per distinct stored transaction of the source
+    if right.tree.transactions_processed() > left.tree.transactions_processed() {
+        std::mem::swap(left, &mut right);
+    }
+    let ShardTree { tree, remaining } = left;
+    let mut pacer = PrunePacer::new(policy);
+    // prune before replaying anything: shard trees are pruned against
+    // near-global remaining counts (weak), while here `remaining` already
+    // excludes everything this side consumed — the final merge in
+    // particular can use the plain (terminal-reducing) prune and slash the
+    // tree before the expensive replay passes begin
+    if !matches!(policy, PrunePolicy::Never) {
+        if is_final {
+            tree.prune(remaining, minsupp);
+        } else {
+            tree.prune_keeping_terminals(remaining, minsupp);
+        }
+    }
+    pacer.pruned(tree.node_count());
+    tree.merge_with(&right.tree, |tree, t, w| {
+        for &i in t {
+            remaining[i as usize] -= w;
+        }
+        if pacer.due(tree.node_count()) {
+            if is_final {
+                tree.prune(remaining, minsupp);
+            } else {
+                tree.prune_keeping_terminals(remaining, minsupp);
+            }
+            pacer.pruned(tree.node_count());
+        }
+    });
+}
+
+/// Mines the shards of `chunks` and reduces them to a single tree.
+///
+/// Recursive binary split: the right half runs on a freshly spawned scoped
+/// thread while the left half runs on the current one, so the reduction
+/// forms a balanced binary tree whose merges at different levels proceed
+/// concurrently as their inputs finish — no global barrier between the
+/// mining and merging phases.
+fn mine_reduce(
+    chunks: &[&[Box<[fim_core::Item]>]],
+    num_items: u32,
+    global_supports: &[u32],
+    policy: PrunePolicy,
+    minsupp: u32,
+    is_final: bool,
+) -> ShardTree {
+    match chunks.len() {
+        0 => ShardTree {
+            tree: PrefixTree::new(num_items),
+            remaining: global_supports.to_vec(),
+        },
+        1 => mine_shard(chunks[0], num_items, global_supports, policy, minsupp),
+        n => {
+            let mid = n / 2;
+            let (mut left, right) = std::thread::scope(|s| {
+                let right = std::thread::Builder::new()
+                    .name("ista-shard".into())
+                    .stack_size(SHARD_STACK_BYTES)
+                    .spawn_scoped(s, || {
+                        mine_reduce(
+                            &chunks[mid..],
+                            num_items,
+                            global_supports,
+                            policy,
+                            minsupp,
+                            false,
+                        )
+                    })
+                    .expect("failed to spawn shard thread");
+                let left = mine_reduce(
+                    &chunks[..mid],
+                    num_items,
+                    global_supports,
+                    policy,
+                    minsupp,
+                    false,
+                );
+                (left, right.join().expect("shard thread panicked"))
+            });
+            merge_pruned(&mut left, right, policy, minsupp, is_final);
+            left
+        }
+    }
+}
+
+impl ClosedMiner for ParallelIstaMiner {
+    fn name(&self) -> &'static str {
+        "ista-par"
+    }
+
+    fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult {
+        let minsupp = minsupp.max(1);
+        let threads = self.config.effective_threads();
+        if threads <= 1 || db.transactions().len() <= 1 {
+            return IstaMiner::with_config(IstaConfig {
+                policy: self.config.policy,
+            })
+            .mine(db, minsupp);
+        }
+        let txs = db.transactions();
+        let chunk = txs.len().div_ceil(threads);
+        let chunks: Vec<&[Box<[fim_core::Item]>]> = txs.chunks(chunk).collect();
+        let reduced = mine_reduce(
+            &chunks,
+            db.num_items(),
+            db.item_supports(),
+            self.config.policy,
+            minsupp,
+            true,
+        );
+        MiningResult {
+            sets: reduced.tree.report(minsupp),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fim_core::reference::mine_reference;
+
+    fn paper_db() -> RecodedDatabase {
+        RecodedDatabase::from_dense(
+            vec![
+                vec![0, 1, 2],
+                vec![0, 3, 4],
+                vec![1, 2, 3],
+                vec![0, 1, 2, 3],
+                vec![1, 2],
+                vec![0, 1, 3],
+                vec![3, 4],
+                vec![2, 3, 4],
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn matches_reference_across_thread_counts() {
+        let db = paper_db();
+        for threads in [1, 2, 3, 4, 7, 16] {
+            for minsupp in 1..=8 {
+                let want = mine_reference(&db, minsupp);
+                let got = ParallelIstaMiner::with_threads(threads)
+                    .mine(&db, minsupp)
+                    .canonicalized();
+                assert_eq!(got, want, "threads={threads} minsupp={minsupp}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_transactions() {
+        let db = RecodedDatabase::from_dense(vec![vec![0, 1], vec![1, 2]], 3);
+        let want = mine_reference(&db, 1);
+        let got = ParallelIstaMiner::with_threads(64)
+            .mine(&db, 1)
+            .canonicalized();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = RecodedDatabase::from_dense(vec![], 0);
+        assert!(ParallelIstaMiner::with_threads(4).mine(&db, 1).is_empty());
+    }
+
+    #[test]
+    fn single_transaction() {
+        let db = RecodedDatabase::from_dense(vec![vec![0, 2, 4]], 5);
+        let want = mine_reference(&db, 1);
+        let got = ParallelIstaMiner::with_threads(4)
+            .mine(&db, 1)
+            .canonicalized();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pruning_policies_agree_with_reference() {
+        let db = paper_db();
+        let policies = [
+            PrunePolicy::Never,
+            PrunePolicy::EveryN(1),
+            PrunePolicy::EveryN(2),
+            PrunePolicy::Growth(1.1),
+        ];
+        for policy in policies {
+            for threads in [2, 3] {
+                for minsupp in 1..=8 {
+                    let want = mine_reference(&db, minsupp);
+                    let got = ParallelIstaMiner::with_config(ParallelConfig { threads, policy })
+                        .mine(&db, minsupp)
+                        .canonicalized();
+                    assert_eq!(
+                        got, want,
+                        "policy={policy:?} threads={threads} ms={minsupp}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threads_uses_available_parallelism() {
+        let db = paper_db();
+        let want = mine_reference(&db, 2);
+        let got = ParallelIstaMiner::default().mine(&db, 2).canonicalized();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn miner_name() {
+        assert_eq!(ParallelIstaMiner::default().name(), "ista-par");
+    }
+}

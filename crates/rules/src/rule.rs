@@ -63,11 +63,7 @@ impl RuleMiner {
     ///
     /// Rules whose antecedent support cannot be reconstructed (impossible
     /// when `closed` is complete for its threshold) are skipped defensively.
-    pub fn derive(
-        &self,
-        closed: &MiningResult,
-        total_transactions: u32,
-    ) -> Vec<AssociationRule> {
+    pub fn derive(&self, closed: &MiningResult, total_transactions: u32) -> Vec<AssociationRule> {
         let oracle = ClosedSupportOracle::new(closed);
         let n = total_transactions.max(1);
         let mut rules = Vec::new();

@@ -182,7 +182,10 @@ mod tests {
         let max = *freq.iter().max().unwrap() as f64;
         let nonzero = freq.iter().filter(|&&f| f > 0).count() as f64;
         let mean = freq.iter().sum::<u32>() as f64 / nonzero;
-        assert!(max > 3.0 * mean, "Zipf skew expected (max {max}, mean {mean})");
+        assert!(
+            max > 3.0 * mean,
+            "Zipf skew expected (max {max}, mean {mean})"
+        );
     }
 
     #[test]

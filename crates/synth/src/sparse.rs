@@ -146,7 +146,10 @@ mod tests {
         let density =
             db.total_occurrences() as f64 / (db.num_transactions() * db.num_items()) as f64;
         assert!(density < 0.2, "sparse data expected, density {density}");
-        assert!(density > 0.002, "records must not be empty, density {density}");
+        assert!(
+            density > 0.002,
+            "records must not be empty, density {density}"
+        );
     }
 
     #[test]
@@ -172,8 +175,11 @@ mod tests {
         };
         let db = generate(&cfg);
         let freq = db.item_frequencies();
-        let mut by_freq: Vec<(u32, u32)> =
-            freq.iter().enumerate().map(|(i, &f)| (f, i as u32)).collect();
+        let mut by_freq: Vec<(u32, u32)> = freq
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, i as u32))
+            .collect();
         by_freq.sort_unstable_by(|a, b| b.cmp(a));
         let (f0, i0) = by_freq[0];
         assert!(f0 > 0);

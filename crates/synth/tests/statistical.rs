@@ -93,8 +93,7 @@ fn recoding_presets_leaves_enough_structure() {
 #[test]
 fn thrombin_is_sparse_overall_but_dense_in_core() {
     let db = Preset::Thrombin.build(0.25, 1);
-    let density =
-        db.total_occurrences() as f64 / (db.num_transactions() * db.num_items()) as f64;
+    let density = db.total_occurrences() as f64 / (db.num_transactions() * db.num_items()) as f64;
     assert!(density < 0.03, "thrombin must be sparse, density {density}");
     let n = db.num_transactions() as u32;
     let dense_items = db

@@ -24,7 +24,11 @@ fn main() {
     let probe: ItemSet = {
         // track an arbitrary frequent pair of gene states
         let freq = db.item_frequencies();
-        let mut by: Vec<(u32, u32)> = freq.iter().enumerate().map(|(i, &f)| (f, i as u32)).collect();
+        let mut by: Vec<(u32, u32)> = freq
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, i as u32))
+            .collect();
         by.sort_unstable_by(|a, b| b.cmp(a));
         ItemSet::from([by[0].1, by[1].1])
     };
@@ -54,5 +58,8 @@ fn main() {
     // batch results are decoded to raw codes; the stream already works on
     // raw codes because we pushed raw transactions
     assert_eq!(batch, streamed);
-    println!("\nstream result equals batch mining: {} closed sets", batch.len());
+    println!(
+        "\nstream result equals batch mining: {} closed sets",
+        batch.len()
+    );
 }

@@ -87,17 +87,19 @@ mod tests {
     fn correct_in_both_regimes() {
         let auto = AutoMiner::default();
         let wide = RecodedDatabase::from_dense(
-            vec![vec![0, 2, 4, 6, 8], vec![0, 1, 2, 3, 4], vec![4, 5, 6, 7, 8]],
+            vec![
+                vec![0, 2, 4, 6, 8],
+                vec![0, 1, 2, 3, 4],
+                vec![4, 5, 6, 7, 8],
+            ],
             9,
         );
         assert_eq!(
             auto.mine(&wide, 1).canonicalized(),
             mine_reference(&wide, 1)
         );
-        let tall = RecodedDatabase::from_dense(
-            (0..12).map(|k| vec![k % 3, (k + 1) % 3]).collect(),
-            3,
-        );
+        let tall =
+            RecodedDatabase::from_dense((0..12).map(|k| vec![k % 3, (k + 1) % 3]).collect(), 3);
         assert_eq!(
             auto.mine(&tall, 2).canonicalized(),
             mine_reference(&tall, 2)

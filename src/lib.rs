@@ -40,9 +40,8 @@ pub mod prelude {
     };
     pub use fim_carpenter::{CarpenterListMiner, CarpenterTableMiner};
     pub use fim_core::{
-        mine_closed, mine_closed_with_orders, closure, is_closed, ClosedMiner, FoundSet,
-        ItemOrder, ItemSet, MiningResult, RecodedDatabase, TransactionDatabase,
-        TransactionOrder,
+        closure, is_closed, mine_closed, mine_closed_with_orders, ClosedMiner, FoundSet, ItemOrder,
+        ItemSet, MiningResult, RecodedDatabase, TransactionDatabase, TransactionOrder,
     };
     pub use fim_ista::IstaMiner;
     pub use fim_rules::{AssociationRule, RuleMiner};

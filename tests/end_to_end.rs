@@ -71,16 +71,8 @@ fn matrix_io_roundtrip_to_mining() {
     let mut buf = Vec::new();
     closed_fim::io::write_matrix(&m, &mut buf).unwrap();
     let m2 = closed_fim::io::read_matrix(&buf[..]).unwrap();
-    let a = mine_closed(
-        &m.discretize_genes_as_items(0.2),
-        3,
-        &IstaMiner::default(),
-    );
-    let b = mine_closed(
-        &m2.discretize_genes_as_items(0.2),
-        3,
-        &IstaMiner::default(),
-    );
+    let a = mine_closed(&m.discretize_genes_as_items(0.2), 3, &IstaMiner::default());
+    let b = mine_closed(&m2.discretize_genes_as_items(0.2), 3, &IstaMiner::default());
     assert_eq!(a, b);
 }
 
