@@ -128,6 +128,78 @@ fn prefix_tree(c: &mut Criterion) {
     group.finish();
 }
 
+fn hotpath(c: &mut Criterion) {
+    let db = Preset::Ncbi60.build(0.25, 1);
+    let recoded = RecodedDatabase::prepare(
+        &db,
+        3,
+        ItemOrder::AscendingFrequency,
+        TransactionOrder::AscendingSize,
+    );
+    let mut group = c.benchmark_group("hotpath");
+    group.sample_size(10);
+
+    // fragmented arena: insert everything, then prune with no future
+    // occurrences left — every subtree below the final support threshold
+    // is freed in place, leaving holes the DFS walk has to jump over
+    let mut fragmented = PrefixTree::new(recoded.num_items());
+    for t in recoded.transactions() {
+        fragmented.add_transaction(t);
+    }
+    let spent = vec![0u32; recoded.num_items() as usize];
+    fragmented.prune(&spent, 3);
+    let mut compacted = fragmented.clone();
+    compacted.compact();
+    assert_eq!(
+        fragmented.report(3).len(),
+        compacted.report(3).len(),
+        "compaction must not change reported sets"
+    );
+
+    // the shim has no iter_batched, so the compact cost is measured as
+    // clone+compact with a clone-only baseline to subtract
+    group.bench_function("compact/clone_baseline", |b| {
+        b.iter(|| criterion::black_box(fragmented.clone()).node_count())
+    });
+    group.bench_function("compact/clone_and_compact", |b| {
+        b.iter(|| {
+            let mut t = fragmented.clone();
+            t.compact();
+            t.node_count()
+        })
+    });
+    group.bench_function("report/fragmented_arena", |b| {
+        b.iter(|| fragmented.report(3).len())
+    });
+    group.bench_function("report/compacted_arena", |b| {
+        b.iter(|| compacted.report(3).len())
+    });
+
+    // weighted vs repeated insertion: the coalescing win is one support
+    // bump per duplicate instead of a full isect traversal
+    group.bench_function("insert/repeated_x4", |b| {
+        b.iter(|| {
+            let mut tree = PrefixTree::new(recoded.num_items());
+            for t in recoded.transactions() {
+                for _ in 0..4 {
+                    tree.add_transaction(t);
+                }
+            }
+            tree.node_count()
+        })
+    });
+    group.bench_function("insert/weighted_x4", |b| {
+        b.iter(|| {
+            let mut tree = PrefixTree::new(recoded.num_items());
+            for t in recoded.transactions() {
+                tree.add_transaction_weighted(t, 4);
+            }
+            tree.node_count()
+        })
+    });
+    group.finish();
+}
+
 fn generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("generate");
     group.sample_size(10);
@@ -148,5 +220,12 @@ fn generators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, itemset_ops, database_reps, prefix_tree, generators);
+criterion_group!(
+    benches,
+    itemset_ops,
+    database_reps,
+    prefix_tree,
+    hotpath,
+    generators
+);
 criterion_main!(benches);

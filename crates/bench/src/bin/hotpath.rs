@@ -1,0 +1,583 @@
+//! Experiment **E11**: single-core hot-path ablation — transaction
+//! coalescing × arena compaction for the IsTa miner, and early-stopping
+//! intersections for the list-based Carpenter, on a dense (ncbi60-like)
+//! and a sparse (transposed-webview-like) preset.
+//!
+//! Every configuration's output is cross-checked two ways: full
+//! canonicalized identity against the all-features-off baseline at the
+//! benchmark scale, and exact identity against `mine_reference` on a
+//! transaction-truncated slice of each preset (the brute-force reference
+//! is quadratic in the closed-set count, so it only fits the slice).
+//! Results go to `BENCH_hotpath.json` plus a table on stdout.
+//!
+//! Each timed repetition runs in a fresh subprocess (like the figure
+//! sweeps): memory-layout variants contaminate each other through
+//! allocator state when timed back-to-back in one process — a
+//! no-compaction run that recycles the freed blocks of a previous
+//! compacted run inherits its locality, hiding the very effect under
+//! measurement. Each subprocess does one untimed warmup, then one timed
+//! mine.
+//!
+//! Usage: `hotpath [--scale X] [--seed N] [--reps R] [--supps N,M]
+//!                 [--check-txs T] [--phases true] [--out BENCH_hotpath.json]`
+//!
+//! `--phases true` additionally prints a per-preset phase breakdown
+//! (insert+prune walk, final compact, report walk) for the IsTa miner
+//! with compaction off and on — diagnostic only, not part of the JSON.
+
+use fim_bench::{parse_kv, preset_by_name, MINE_STACK_BYTES};
+use fim_carpenter::{CarpenterConfig, CarpenterListMiner};
+use fim_core::reference::mine_reference;
+use fim_core::{
+    ClosedMiner, ItemOrder, MiningResult, RecodedDatabase, TransactionDatabase, TransactionOrder,
+};
+use fim_ista::{IstaConfig, IstaMiner, PrefixTree, PrunePacer, PrunePolicy};
+use fim_synth::Preset;
+use std::io::Write;
+use std::time::Instant;
+
+/// Which hot-path switches one measured cell toggles.
+#[derive(Clone, Copy)]
+enum Variant {
+    /// IsTa with the coalescing / compaction toggles.
+    Ista { coalesce: bool, compact: bool },
+    /// List-based Carpenter with the early-stop toggle.
+    Lists { early_stop: bool },
+}
+
+impl Variant {
+    fn label(self) -> String {
+        match self {
+            Variant::Ista { coalesce, compact } => format!(
+                "ista c={}/m={}",
+                if coalesce { "on" } else { "off" },
+                if compact { "on" } else { "off" }
+            ),
+            Variant::Lists { early_stop } => {
+                format!("lists es={}", if early_stop { "on" } else { "off" })
+            }
+        }
+    }
+
+    fn miner(self) -> Box<dyn ClosedMiner + Sync + Send> {
+        match self {
+            Variant::Ista { coalesce, compact } => Box::new(IstaMiner::with_config(IstaConfig {
+                coalesce,
+                compact,
+                ..IstaConfig::default()
+            })),
+            Variant::Lists { early_stop } => {
+                Box::new(CarpenterListMiner::with_config(CarpenterConfig {
+                    early_stop,
+                    ..CarpenterConfig::default()
+                }))
+            }
+        }
+    }
+}
+
+/// The full on/off sweep: the IsTa 2×2 grid, then the Carpenter A/B. The
+/// first entry is the all-off baseline the others are checked against.
+const VARIANTS: [Variant; 6] = [
+    Variant::Ista {
+        coalesce: false,
+        compact: false,
+    },
+    Variant::Ista {
+        coalesce: true,
+        compact: false,
+    },
+    Variant::Ista {
+        coalesce: false,
+        compact: true,
+    },
+    Variant::Ista {
+        coalesce: true,
+        compact: true,
+    },
+    Variant::Lists { early_stop: false },
+    Variant::Lists { early_stop: true },
+];
+
+/// One measured cell.
+struct Measurement {
+    preset: &'static str,
+    variant: Variant,
+    supp: u32,
+    seconds: f64,
+    sets: usize,
+}
+
+/// Summary speedup factor recorded in the JSON.
+struct Speedup {
+    preset: &'static str,
+    metric: &'static str,
+    factor: f64,
+}
+
+/// Outcome of one preset's `mine_reference` slice check.
+struct RefCheck {
+    preset: &'static str,
+    transactions: usize,
+    minsupp: u32,
+    reference_sets: usize,
+}
+
+fn measure_once(db: &RecodedDatabase, miner: &dyn ClosedMiner, supp: u32) -> (f64, MiningResult) {
+    let start = Instant::now();
+    let result = miner.mine(db, supp);
+    let secs = start.elapsed().as_secs_f64();
+    (secs, result.canonicalized())
+}
+
+/// If `argv` is a cell invocation (`hotcell <preset> <scale> <seed>
+/// <variant-index> <supp>`), measures that one variant in this process
+/// (one untimed warmup, one timed mine, both on a big-stack thread),
+/// prints `RESULT <seconds> <sets>`, and returns `true`.
+fn maybe_run_hotcell(argv: &[String]) -> Result<bool, String> {
+    if argv.first().map(String::as_str) != Some("hotcell") {
+        return Ok(false);
+    }
+    if argv.len() != 6 {
+        return Err(format!(
+            "hotcell expects 5 operands, got {}",
+            argv.len() - 1
+        ));
+    }
+    let preset = preset_by_name(&argv[1])?;
+    let scale: f64 = argv[2].parse().map_err(|e| format!("scale: {e}"))?;
+    let seed: u64 = argv[3].parse().map_err(|e| format!("seed: {e}"))?;
+    let vi: usize = argv[4].parse().map_err(|e| format!("variant: {e}"))?;
+    let supp: u32 = argv[5].parse().map_err(|e| format!("supp: {e}"))?;
+    let variant = *VARIANTS
+        .get(vi)
+        .ok_or_else(|| format!("variant index {vi} out of range"))?;
+    let db = preset.build(scale, seed);
+    let recoded = RecodedDatabase::prepare(
+        &db,
+        supp,
+        ItemOrder::AscendingFrequency,
+        TransactionOrder::AscendingSize,
+    );
+    let (secs, sets) = std::thread::scope(|s| {
+        std::thread::Builder::new()
+            .stack_size(MINE_STACK_BYTES)
+            .spawn_scoped(s, || {
+                let miner = variant.miner();
+                drop(miner.mine(&recoded, supp)); // warmup, untimed
+                let start = Instant::now();
+                let result = miner.mine(&recoded, supp);
+                (start.elapsed().as_secs_f64(), result.len())
+            })
+            .expect("spawn failed")
+            .join()
+            .expect("mining thread panicked")
+    });
+    println!("RESULT {secs:.6} {sets}");
+    Ok(true)
+}
+
+/// Spawns the current executable as a `hotcell` subprocess and parses its
+/// `RESULT` line.
+fn run_hotcell_subprocess(
+    preset: Preset,
+    scale: f64,
+    seed: u64,
+    vi: usize,
+    supp: u32,
+) -> Result<(f64, usize), String> {
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let out = std::process::Command::new(exe)
+        .arg("hotcell")
+        .arg(preset.name())
+        .arg(scale.to_string())
+        .arg(seed.to_string())
+        .arg(vi.to_string())
+        .arg(supp.to_string())
+        .stderr(std::process::Stdio::inherit())
+        .output()
+        .map_err(|e| e.to_string())?;
+    if !out.status.success() {
+        return Err(format!("hotcell failed with {}", out.status));
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("RESULT "))
+        .ok_or("hotcell produced no RESULT line")?;
+    let mut parts = line.split_whitespace().skip(1);
+    let seconds: f64 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or("bad RESULT seconds")?;
+    let sets: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or("bad RESULT sets")?;
+    Ok((seconds, sets))
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if maybe_run_hotcell(&argv)? {
+        return Ok(());
+    }
+    let kv = parse_kv(&argv)?;
+    let scale: f64 = kv
+        .get("scale")
+        .map_or(Ok(0.5), |s| s.parse().map_err(|e| format!("--scale: {e}")))?;
+    let seed: u64 = kv
+        .get("seed")
+        .map_or(Ok(1), |s| s.parse().map_err(|e| format!("--seed: {e}")))?;
+    let reps: usize = kv
+        .get("reps")
+        .map_or(Ok(5), |s| s.parse().map_err(|e| format!("--reps: {e}")))?;
+    let check_txs: usize = kv.get("check-txs").map_or(Ok(10), |s| {
+        s.parse().map_err(|e| format!("--check-txs: {e}"))
+    })?;
+    let out_path = kv
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_owned());
+
+    let mut supps = vec![
+        pick_supp(preset_by_name("ncbi60")?, scale),
+        pick_supp(preset_by_name("webview-tpo")?, scale),
+    ];
+    if let Some(s) = kv.get("supps") {
+        let parsed: Vec<u32> = s
+            .split(',')
+            .map(|v| v.parse().map_err(|e| format!("--supps: {e}")))
+            .collect::<Result<_, _>>()?;
+        if parsed.len() != supps.len() {
+            return Err(format!("--supps expects {} values", supps.len()));
+        }
+        supps = parsed;
+    }
+    let workloads = [
+        (preset_by_name("ncbi60")?, supps[0]),
+        (preset_by_name("webview-tpo")?, supps[1]),
+    ];
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    let mut speedups: Vec<Speedup> = Vec::new();
+    let mut ref_checks: Vec<RefCheck> = Vec::new();
+    println!(
+        "# E11 hot-path ablation (scale {scale}, seed {seed}, reps {reps}, \
+         median-of-reps, one subprocess per rep)"
+    );
+    for (preset, supp) in workloads {
+        let name = preset.name();
+        let db = preset.build(scale, seed);
+        println!(
+            "# {name}: {} transactions, {} items, supp {supp}",
+            db.num_transactions(),
+            db.num_items()
+        );
+        let recoded = RecodedDatabase::prepare(
+            &db,
+            supp,
+            ItemOrder::AscendingFrequency,
+            TransactionOrder::AscendingSize,
+        );
+
+        // identity pass (untimed, in-process): every variant's canonical
+        // output must equal the all-off baseline at the benchmark scale
+        let run_on_big_stack = |variant: Variant| -> (f64, MiningResult) {
+            std::thread::scope(|s| {
+                std::thread::Builder::new()
+                    .stack_size(MINE_STACK_BYTES)
+                    .spawn_scoped(s, || measure_once(&recoded, variant.miner().as_ref(), supp))
+                    .expect("spawn failed")
+                    .join()
+                    .expect("mining thread panicked")
+            })
+        };
+        let mut baseline: Option<MiningResult> = None;
+        for &variant in VARIANTS.iter() {
+            let (_, canon) = run_on_big_stack(variant);
+            match &baseline {
+                None => baseline = Some(canon),
+                Some(want) => {
+                    if &canon != want {
+                        return Err(format!(
+                            "CROSS-CHECK FAILED on {name}: '{}' output differs from baseline",
+                            variant.label()
+                        ));
+                    }
+                }
+            }
+        }
+        let sets = baseline.as_ref().map_or(0, MiningResult::len);
+
+        // timing: each rep of each variant is a fresh subprocess (see the
+        // module docs — back-to-back in-process runs share allocator state
+        // and cross-contaminate memory-layout variants). The aggregate is
+        // the *median* over reps: with per-process variance (page
+        // placement, huge-page luck) the minimum just rewards whichever
+        // variant drew the luckiest layout once.
+        let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); VARIANTS.len()];
+        for _rep in 0..reps {
+            for (vi, _) in VARIANTS.iter().enumerate() {
+                let (secs, cell_sets) = run_hotcell_subprocess(preset, scale, seed, vi, supp)?;
+                if cell_sets != sets {
+                    return Err(format!(
+                        "CROSS-CHECK FAILED on {name}: subprocess cell found {cell_sets} sets, expected {sets}"
+                    ));
+                }
+                samples[vi].push(secs);
+            }
+        }
+        let times: Vec<f64> = samples.iter().map(|s| median(s)).collect();
+        println!(
+            "{:>18} {:>10} {:>10} {:>9} {:>9}",
+            "config", "supp", "seconds", "vs off", "sets"
+        );
+        for (vi, &variant) in VARIANTS.iter().enumerate() {
+            let off_time = match variant {
+                Variant::Ista { .. } => times[0],
+                Variant::Lists { .. } => times[4],
+            };
+            println!(
+                "{:>18} {:>10} {:>10.4} {:>8.2}x {:>9}",
+                variant.label(),
+                supp,
+                times[vi],
+                off_time / times[vi],
+                sets
+            );
+            measurements.push(Measurement {
+                preset: name,
+                variant,
+                supp,
+                seconds: times[vi],
+                sets,
+            });
+        }
+        speedups.push(Speedup {
+            preset: name,
+            metric: "ista coalesce+compact vs off",
+            factor: times[0] / times[3],
+        });
+        speedups.push(Speedup {
+            preset: name,
+            metric: "lists early-stop vs off",
+            factor: times[4] / times[5],
+        });
+
+        if kv.get("phases").map(String::as_str) == Some("true") {
+            std::thread::scope(|s| {
+                std::thread::Builder::new()
+                    .stack_size(MINE_STACK_BYTES)
+                    .spawn_scoped(s, || print_phases(name, &recoded, supp))
+                    .expect("spawn failed")
+                    .join()
+                    .expect("phases thread panicked")
+            });
+        }
+
+        // reference slice: the brute-force miner is quadratic in the
+        // closed-set count, so the exact-identity check runs on the first
+        // `check_txs` transactions at a deliberately low support
+        let check_supp = 2u32.min(check_txs as u32).max(1);
+        let slice: Vec<Vec<fim_core::Item>> = db
+            .transactions()
+            .iter()
+            .take(check_txs)
+            .map(|t| t.as_slice().to_vec())
+            .collect();
+        let slice_len = slice.len();
+        let small = TransactionDatabase::from_codes_with_base(slice, db.num_items());
+        let small_recoded = RecodedDatabase::prepare(
+            &small,
+            check_supp,
+            ItemOrder::AscendingFrequency,
+            TransactionOrder::AscendingSize,
+        );
+        let want = std::thread::scope(|s| {
+            std::thread::Builder::new()
+                .stack_size(MINE_STACK_BYTES)
+                .spawn_scoped(s, || mine_reference(&small_recoded, check_supp))
+                .expect("spawn failed")
+                .join()
+                .expect("reference thread panicked")
+        });
+        for variant in VARIANTS {
+            let got = std::thread::scope(|s| {
+                std::thread::Builder::new()
+                    .stack_size(MINE_STACK_BYTES)
+                    .spawn_scoped(s, || {
+                        variant
+                            .miner()
+                            .mine(&small_recoded, check_supp)
+                            .canonicalized()
+                    })
+                    .expect("spawn failed")
+                    .join()
+                    .expect("mining thread panicked")
+            });
+            if got != want {
+                return Err(format!(
+                    "REFERENCE CHECK FAILED on {name} slice: '{}' differs from mine_reference",
+                    variant.label()
+                ));
+            }
+        }
+        println!(
+            "# {name} reference slice: {slice_len} transactions, supp {check_supp}, {} sets, all {} configs exact",
+            want.len(),
+            VARIANTS.len()
+        );
+        ref_checks.push(RefCheck {
+            preset: name,
+            transactions: slice_len,
+            minsupp: check_supp,
+            reference_sets: want.len(),
+        });
+    }
+
+    for s in &speedups {
+        println!("# {} {}: {:.2}x", s.preset, s.metric, s.factor);
+    }
+    write_json(
+        &out_path,
+        scale,
+        seed,
+        reps,
+        &measurements,
+        &speedups,
+        &ref_checks,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("# wrote {out_path}");
+    Ok(())
+}
+
+/// Diagnostic phase breakdown: replays the sequential miner loop with the
+/// public tree API so the insert+prune walk, the final compaction, and the
+/// report walk can be timed separately, with compaction off and on.
+fn print_phases(name: &str, recoded: &RecodedDatabase, supp: u32) {
+    for compact in [false, true] {
+        let t0 = Instant::now();
+        let mut tree = PrefixTree::new(recoded.num_items());
+        let mut remaining = recoded.item_supports().to_vec();
+        let mut pacer = PrunePacer::new(PrunePolicy::Growth(2.0));
+        for t in recoded.transactions() {
+            for &i in t.as_ref() {
+                remaining[i as usize] -= 1;
+            }
+            tree.add_transaction(t.as_ref());
+            if pacer.due(tree.node_count()) {
+                tree.prune(&remaining, supp);
+                pacer.pruned(tree.node_count());
+                if compact {
+                    tree.compact_if_fragmented();
+                }
+            }
+        }
+        let insert_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        if compact {
+            tree.compact_if_fragmented();
+        }
+        let compact_s = t1.elapsed().as_secs_f64();
+        let t2 = Instant::now();
+        let sets = tree.report(supp).len();
+        let report_s = t2.elapsed().as_secs_f64();
+        println!(
+            "# {name} phases (compact {}): insert+prune {insert_s:.4}s, final compact {compact_s:.4}s, report {report_s:.4}s, {sets} sets, {} nodes",
+            if compact { "on" } else { "off" },
+            tree.node_count()
+        );
+    }
+}
+
+/// Median of a non-empty sample list (mean of the middle pair when even).
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Picks the timing support: the second-lowest entry of the scaled paper
+/// sweep (same convention as the E10 scaling bin).
+fn pick_supp(preset: Preset, scale: f64) -> u32 {
+    let mut sorted = fim_bench::scaled_sweep(preset, scale);
+    sorted.sort_unstable();
+    sorted.get(1).copied().unwrap_or(sorted[0])
+}
+
+fn write_json(
+    path: &str,
+    scale: f64,
+    seed: u64,
+    reps: usize,
+    measurements: &[Measurement],
+    speedups: &[Speedup],
+    ref_checks: &[RefCheck],
+) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"experiment\": \"hotpath-ablation\",")?;
+    writeln!(f, "  \"scale\": {scale},")?;
+    writeln!(f, "  \"seed\": {seed},")?;
+    writeln!(f, "  \"reps\": {reps},")?;
+    writeln!(
+        f,
+        "  \"timing\": \"median of reps, one subprocess per rep, warmup untimed, recode excluded\","
+    )?;
+    writeln!(f, "  \"cells\": [")?;
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        let features = match m.variant {
+            Variant::Ista { coalesce, compact } => {
+                format!("\"miner\": \"ista\", \"coalesce\": {coalesce}, \"compact\": {compact}")
+            }
+            Variant::Lists { early_stop } => {
+                format!("\"miner\": \"carpenter-lists\", \"early_stop\": {early_stop}")
+            }
+        };
+        writeln!(
+            f,
+            "    {{\"preset\": \"{}\", {features}, \"supp\": {}, \"seconds\": {:.6}, \"sets\": {}}}{comma}",
+            m.preset, m.supp, m.seconds, m.sets
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    writeln!(f, "  \"speedups\": [")?;
+    for (i, s) in speedups.iter().enumerate() {
+        let comma = if i + 1 == speedups.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"preset\": \"{}\", \"metric\": \"{}\", \"factor\": {:.4}}}{comma}",
+            s.preset, s.metric, s.factor
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    // exact-output checks vs mine_reference on the truncated slices; the
+    // run aborts before writing this file if any configuration disagrees
+    writeln!(f, "  \"reference_checks\": [")?;
+    for (i, r) in ref_checks.iter().enumerate() {
+        let comma = if i + 1 == ref_checks.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"preset\": \"{}\", \"transactions\": {}, \"minsupp\": {}, \"reference_sets\": {}, \"status\": \"ok\"}}{comma}",
+            r.preset, r.transactions, r.minsupp, r.reference_sets
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("hotpath: {e}");
+        std::process::exit(1);
+    }
+}

@@ -15,7 +15,7 @@
 
 use fim_bench::{parse_kv, preset_by_name, MINE_STACK_BYTES};
 use fim_core::{ClosedMiner, ItemOrder, RecodedDatabase, TransactionOrder};
-use fim_ista::{IstaMiner, ParallelIstaMiner};
+use fim_ista::{IstaMiner, MineStats, ParallelIstaMiner};
 use fim_synth::Preset;
 use std::io::Write;
 use std::time::Instant;
@@ -101,6 +101,7 @@ fn run() -> Result<(), String> {
     }
 
     let mut measurements: Vec<Measurement> = Vec::new();
+    let mut tree_memory: Vec<(&'static str, MineStats)> = Vec::new();
     println!("# E10 thread scaling (scale {scale}, seed {seed}, reps {reps}, min-of-reps)");
     for w in &workloads {
         let name = w.preset.name();
@@ -134,8 +135,28 @@ fn run() -> Result<(), String> {
         };
 
         // one untimed warmup so the first timed miner does not absorb the
-        // cold-cache / page-fault cost of touching the data set first
-        run_on_big_stack(Box::<IstaMiner>::default());
+        // cold-cache / page-fault cost of touching the data set first;
+        // doubles as the stats run capturing the final tree occupancy
+        let stats: MineStats = std::thread::scope(|s| {
+            std::thread::Builder::new()
+                .stack_size(MINE_STACK_BYTES)
+                .spawn_scoped(s, || {
+                    IstaMiner::default().mine_with_stats(&recoded, w.supp).1
+                })
+                .expect("spawn failed")
+                .join()
+                .expect("mining thread panicked")
+        });
+        println!(
+            "# {name} final tree: {} live nodes / {} slots ({} free), ~{:.1} KiB, {} prunes, {} compactions",
+            stats.memory.live_nodes,
+            stats.memory.total_slots,
+            stats.memory.free_slots,
+            stats.memory.approx_bytes as f64 / 1024.0,
+            stats.prune_passes,
+            stats.compactions
+        );
+        tree_memory.push((name, stats));
 
         let (seq_secs, seq_sets) = run_on_big_stack(Box::<IstaMiner>::default());
         println!(
@@ -176,7 +197,8 @@ fn run() -> Result<(), String> {
         }
     }
 
-    write_json(&out_path, scale, seed, reps, &measurements).map_err(|e| e.to_string())?;
+    write_json(&out_path, scale, seed, reps, &measurements, &tree_memory)
+        .map_err(|e| e.to_string())?;
     println!("# wrote {out_path}");
     Ok(())
 }
@@ -197,6 +219,7 @@ fn write_json(
     seed: u64,
     reps: usize,
     measurements: &[Measurement],
+    tree_memory: &[(&'static str, MineStats)],
 ) -> std::io::Result<()> {
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     writeln!(f, "{{")?;
@@ -213,6 +236,24 @@ fn write_json(
             f,
             "    {{\"preset\": \"{}\", \"miner\": \"{}\", \"threads\": {}, \"supp\": {}, \"seconds\": {:.6}, \"sets\": {}}}{}",
             m.preset, miner, m.threads, m.supp, m.seconds, m.sets, comma
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    // final sequential-miner tree occupancy per preset (memory_stats())
+    writeln!(f, "  \"tree_memory\": [")?;
+    for (i, (preset, s)) in tree_memory.iter().enumerate() {
+        let comma = if i + 1 == tree_memory.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"preset\": \"{}\", \"live_nodes\": {}, \"total_slots\": {}, \"free_slots\": {}, \"approx_bytes\": {}, \"prune_passes\": {}, \"compactions\": {}}}{}",
+            preset,
+            s.memory.live_nodes,
+            s.memory.total_slots,
+            s.memory.free_slots,
+            s.memory.approx_bytes,
+            s.prune_passes,
+            s.compactions,
+            comma
         )?;
     }
     writeln!(f, "  ]")?;

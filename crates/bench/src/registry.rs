@@ -22,10 +22,13 @@ pub fn all_miner_names() -> &'static [&'static str] {
         "apriori",
         "naive-cumulative",
         "ista-noprune",
+        "ista-nocoalesce",
+        "ista-nocompact",
         "carpenter-table-noelim",
         "carpenter-table-noabsorb",
         "carpenter-table-norepo",
         "carpenter-lists-noelim",
+        "carpenter-lists-noearly",
     ]
 }
 
@@ -35,6 +38,8 @@ pub fn miner_by_name(name: &str) -> Result<Box<dyn ClosedMiner>, String> {
         "ista" => Box::new(IstaMiner::default()),
         "ista-par" => Box::new(ParallelIstaMiner::default()),
         "ista-noprune" => Box::new(IstaMiner::with_config(IstaConfig::without_pruning())),
+        "ista-nocoalesce" => Box::new(IstaMiner::with_config(IstaConfig::without_coalescing())),
+        "ista-nocompact" => Box::new(IstaMiner::with_config(IstaConfig::without_compaction())),
         "carpenter-table" => Box::new(CarpenterTableMiner::default()),
         "carpenter-lists" => Box::new(CarpenterListMiner::default()),
         "carpenter-table-noelim" => Box::new(CarpenterTableMiner::with_config(CarpenterConfig {
@@ -51,6 +56,10 @@ pub fn miner_by_name(name: &str) -> Result<Box<dyn ClosedMiner>, String> {
         })),
         "carpenter-lists-noelim" => Box::new(CarpenterListMiner::with_config(CarpenterConfig {
             item_elimination: false,
+            ..CarpenterConfig::default()
+        })),
+        "carpenter-lists-noearly" => Box::new(CarpenterListMiner::with_config(CarpenterConfig {
+            early_stop: false,
             ..CarpenterConfig::default()
         })),
         "fpclose" => Box::new(FpCloseMiner),

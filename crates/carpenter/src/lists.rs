@@ -26,6 +26,44 @@ impl ListRep {
             num_items: db.num_items(),
         }
     }
+
+    /// The probe loop of [`Representation::intersect`], monomorphized over
+    /// the early-stop check so the plain scan carries no bound arithmetic.
+    fn scan<const EARLY: bool>(
+        &self,
+        state: &mut [(Item, u32)],
+        tid: Tid,
+        k_new: u32,
+        need: u32,
+        minsupp: u32,
+        config: CarpenterConfig,
+    ) -> (usize, Vec<(Item, u32)>) {
+        let mut raw = 0usize;
+        let mut sub = Vec::with_capacity(state.len());
+        for (item, cur) in state.iter_mut() {
+            let list = self.lists.list(*item);
+            if EARLY && (list.len() as u32 - *cur) < need {
+                // Early stop: even if every unscanned entry of this item's
+                // list matched a future transaction, no set containing the
+                // item can reach `minsupp` below this node — skip both the
+                // cursor advance and the probe. The cursor may lag behind
+                // `tid`, so `len - cur` only ever overestimates the true
+                // remaining count: a skipped item is genuinely hopeless.
+                continue;
+            }
+            while (*cur as usize) < list.len() && list[*cur as usize] < tid {
+                *cur += 1;
+            }
+            if (*cur as usize) < list.len() && list[*cur as usize] == tid {
+                raw += 1;
+                let remaining_after = (list.len() - *cur as usize - 1) as u32;
+                if !config.item_elimination || k_new + remaining_after >= minsupp {
+                    sub.push((*item, *cur + 1));
+                }
+            }
+        }
+        (raw, sub)
+    }
 }
 
 impl Representation for ListRep {
@@ -50,24 +88,20 @@ impl Representation for ListRep {
         tid: Tid,
         k_new: u32,
         minsupp: u32,
-        eliminate: bool,
+        config: CarpenterConfig,
     ) -> (usize, Self::State) {
-        let mut raw = 0usize;
-        let mut sub = Vec::with_capacity(state.len());
-        for (item, cur) in state.iter_mut() {
-            let list = self.lists.list(*item);
-            while (*cur as usize) < list.len() && list[*cur as usize] < tid {
-                *cur += 1;
-            }
-            if (*cur as usize) < list.len() && list[*cur as usize] == tid {
-                raw += 1;
-                let remaining_after = (list.len() - *cur as usize - 1) as u32;
-                if !eliminate || k_new + remaining_after >= minsupp {
-                    sub.push((*item, *cur + 1));
-                }
-            }
+        // `need` is how many more matches the current intersection still
+        // requires; once `k_new >= minsupp` the early-stop bound can never
+        // fire, so the scan can drop the per-item check entirely. The
+        // split is monomorphized so the checking code costs nothing when
+        // it cannot trigger (the bound is a rare event on dense data, but
+        // it sat on every probe of every item).
+        let need = minsupp.saturating_sub(k_new);
+        if config.early_stop && need > 0 {
+            self.scan::<true>(state, tid, k_new, need, minsupp, config)
+        } else {
+            self.scan::<false>(state, tid, k_new, need, minsupp, config)
         }
-        (raw, sub)
     }
 
     fn items_of(&self, state: &Self::State) -> ItemSet {
@@ -151,6 +185,19 @@ mod tests {
                 repo_prune: false,
                 ..CarpenterConfig::default()
             },
+            CarpenterConfig {
+                early_stop: false,
+                ..CarpenterConfig::default()
+            },
+            CarpenterConfig {
+                early_stop: true,
+                ..CarpenterConfig::unpruned()
+            },
+            CarpenterConfig {
+                early_stop: true,
+                item_elimination: false,
+                ..CarpenterConfig::default()
+            },
         ];
         for minsupp in 1..=6 {
             let want = mine_reference(&db, minsupp);
@@ -168,7 +215,7 @@ mod tests {
         let db = paper_db();
         let rep = ListRep::from_database(&db);
         let mut s = rep.initial_state();
-        let (_, _) = rep.intersect(&mut s, 3, 1, 1, false);
+        let (_, _) = rep.intersect(&mut s, 3, 1, 1, CarpenterConfig::unpruned());
         // after probing tid 3, every cursor sits at the first tid >= 3
         for &(item, cur) in &s {
             let list = rep.lists.list(item);
@@ -182,20 +229,48 @@ mod tests {
 
     #[test]
     fn item_elimination_drops_doomed_items() {
+        let elim_only = CarpenterConfig {
+            early_stop: false,
+            ..CarpenterConfig::default()
+        };
         let db = paper_db();
         let rep = ListRep::from_database(&db);
         let mut s = rep.initial_state();
         // intersect with t5 (= tid 4, items {1,2}) at k_new=1, minsupp=5:
         // item 1 occurs in tids 0,2,3,4,5 → 1 remaining after tid 4 → 1+1 < 5 drop
         // item 2 occurs in tids 0,2,3,4,7 → 1 remaining after       → drop
-        let (raw, sub) = rep.intersect(&mut s, 4, 1, 5, true);
+        let (raw, sub) = rep.intersect(&mut s, 4, 1, 5, elim_only);
         assert_eq!(raw, 2);
         assert!(sub.is_empty());
         // without elimination both stay
         let mut s = rep.initial_state();
-        let (raw, sub) = rep.intersect(&mut s, 4, 1, 5, false);
+        let (raw, sub) = rep.intersect(&mut s, 4, 1, 5, CarpenterConfig::unpruned());
         assert_eq!(raw, 2);
         assert_eq!(rep.items_of(&sub), ItemSet::from([1, 2]));
+    }
+
+    #[test]
+    fn early_stop_skips_hopeless_probes() {
+        let es_only = CarpenterConfig {
+            early_stop: true,
+            ..CarpenterConfig::unpruned()
+        };
+        let db = paper_db();
+        let rep = ListRep::from_database(&db);
+        // intersect with tid 1 ({0,3,4}) at k_new=1, minsupp=5: item 4 has
+        // a 3-entry tid list (1,6,7) → 1 + 3 < 5, so its probe is skipped
+        // entirely — it matches tid 1 yet counts toward neither raw nor sub,
+        // and its cursor stays untouched
+        let mut s = rep.initial_state();
+        let (raw, sub) = rep.intersect(&mut s, 1, 1, 5, es_only);
+        assert_eq!(raw, 2, "item 4 matched but was skipped");
+        assert_eq!(rep.items_of(&sub), ItemSet::from([0, 3]));
+        assert_eq!(s[4], (4, 0), "skipped cursor must not advance");
+        // without early stop the same probe counts item 4
+        let mut s = rep.initial_state();
+        let (raw, sub) = rep.intersect(&mut s, 1, 1, 5, CarpenterConfig::unpruned());
+        assert_eq!(raw, 3);
+        assert_eq!(rep.items_of(&sub), ItemSet::from([0, 3, 4]));
     }
 
     #[test]

@@ -30,6 +30,14 @@ pub struct CarpenterConfig {
     /// Cut a subtree as soon as its intersection is already in the
     /// repository.
     pub repo_prune: bool,
+    /// Early-stopping intersections (Nguyen 2019): skip probing an item
+    /// whose count of already-matched transactions plus a cheap upper
+    /// bound on its remaining occurrences (the unscanned tail of its tid
+    /// list, or the suffix-count entry) cannot reach minimum support. The
+    /// bound may lag behind the exact remaining count, so it only ever
+    /// *overestimates* — a skipped item is genuinely hopeless, making the
+    /// skip output-neutral like item elimination.
+    pub early_stop: bool,
 }
 
 impl Default for CarpenterConfig {
@@ -38,6 +46,7 @@ impl Default for CarpenterConfig {
             perfect_extension: true,
             item_elimination: true,
             repo_prune: true,
+            early_stop: true,
         }
     }
 }
@@ -49,6 +58,7 @@ impl CarpenterConfig {
             perfect_extension: false,
             item_elimination: false,
             repo_prune: false,
+            early_stop: false,
         }
     }
 }
@@ -71,17 +81,21 @@ pub trait Representation {
 
     /// Intersects `state` with transaction `tid` (advancing any internal
     /// cursors in `state`). Returns the sub-state of matched items and the
-    /// raw match count *before* item elimination. When `eliminate` is set,
-    /// items whose `k_new` included occurrences plus occurrences in
-    /// transactions after `tid` cannot reach `minsupp` are dropped from the
-    /// returned state.
+    /// raw match count *before* item elimination. When
+    /// `config.item_elimination` is set, items whose `k_new` included
+    /// occurrences plus occurrences in transactions after `tid` cannot
+    /// reach `minsupp` are dropped from the returned state. When
+    /// `config.early_stop` is set, the representation may skip probing a
+    /// hopeless item entirely (it then counts toward neither the raw match
+    /// count nor the sub-state; undercounting the raw matches only
+    /// disables perfect-extension absorption, which is output-neutral).
     fn intersect(
         &self,
         state: &mut Self::State,
         tid: Tid,
         k_new: u32,
         minsupp: u32,
-        eliminate: bool,
+        config: CarpenterConfig,
     ) -> (usize, Self::State);
 
     /// The item set represented by a state (strictly ascending codes).
@@ -130,7 +144,7 @@ fn recurse<R: Representation>(
         if k + (n - tid) < minsupp {
             return;
         }
-        let (raw_len, mut sub) = rep.intersect(state, tid, k + 1, minsupp, config.item_elimination);
+        let (raw_len, mut sub) = rep.intersect(state, tid, k + 1, minsupp, config);
         if raw_len == state_len {
             // transaction contains the whole intersection
             if config.perfect_extension {
@@ -188,7 +202,7 @@ mod tests {
             tid: Tid,
             _k_new: u32,
             _minsupp: u32,
-            _eliminate: bool,
+            _config: CarpenterConfig,
         ) -> (usize, Vec<u32>) {
             let t = &self.txs[tid as usize];
             let matched: Vec<u32> = state.iter().copied().filter(|i| t.contains(i)).collect();
@@ -238,6 +252,7 @@ mod tests {
                     perfect_extension: pe,
                     item_elimination: false, // NaiveRep does not implement it
                     repo_prune: rp,
+                    early_stop: false, // nor this
                 };
                 for minsupp in 1..=5 {
                     let want = mine_reference(&db, minsupp);

@@ -56,8 +56,12 @@ impl Representation for TableRep {
         tid: Tid,
         k_new: u32,
         minsupp: u32,
-        eliminate: bool,
+        config: CarpenterConfig,
     ) -> (usize, Self::State) {
+        // In the matrix representation the suffix count *is* the exact
+        // remaining-occurrence bound, so early stopping and item
+        // elimination coincide — either switch activates the same drop.
+        let drop_hopeless = config.item_elimination || config.early_stop;
         let mut raw = 0usize;
         let mut sub = Vec::with_capacity(state.len());
         for &item in state.iter() {
@@ -65,7 +69,7 @@ impl Representation for TableRep {
             if entry != 0 {
                 raw += 1;
                 // `entry` counts occurrences from `tid` on, including `tid`
-                if !eliminate || k_new + (entry - 1) >= minsupp {
+                if !drop_hopeless || k_new + (entry - 1) >= minsupp {
                     sub.push(item);
                 }
             }
@@ -157,15 +161,24 @@ mod tests {
         let rep = TableRep::from_database(&db);
         // t2 (tid 1) = {a,d,e} = {0,3,4}; matrix row: a=3, d=6, e=3
         let mut state = rep.initial_state();
-        let (raw, sub) = rep.intersect(&mut state, 1, 1, 1, false);
+        let (raw, sub) = rep.intersect(&mut state, 1, 1, 1, CarpenterConfig::unpruned());
         assert_eq!(raw, 3);
         assert_eq!(rep.items_of(&sub), ItemSet::from([0, 3, 4]));
         // with minsupp 5 and k_new 1: a: 1+(3-1)=3 <5 drop; d: 1+5=6 keep;
-        // e: 1+2=3 <5 drop
-        let mut state = rep.initial_state();
-        let (raw, sub) = rep.intersect(&mut state, 1, 1, 5, true);
-        assert_eq!(raw, 3);
-        assert_eq!(rep.items_of(&sub), ItemSet::from([3]));
+        // e: 1+2=3 <5 drop — via item elimination or (equivalently here)
+        // early stopping
+        for config in [
+            CarpenterConfig::default(),
+            CarpenterConfig {
+                early_stop: true,
+                ..CarpenterConfig::unpruned()
+            },
+        ] {
+            let mut state = rep.initial_state();
+            let (raw, sub) = rep.intersect(&mut state, 1, 1, 5, config);
+            assert_eq!(raw, 3);
+            assert_eq!(rep.items_of(&sub), ItemSet::from([3]));
+        }
     }
 
     #[test]

@@ -38,11 +38,13 @@ proptest! {
         pe in any::<bool>(),
         ie in any::<bool>(),
         rp in any::<bool>(),
+        es in any::<bool>(),
     ) {
         let config = CarpenterConfig {
             perfect_extension: pe,
             item_elimination: ie,
             repo_prune: rp,
+            early_stop: es,
         };
         let want = mine_reference(&db, minsupp);
         let list = CarpenterListMiner::with_config(config).mine(&db, minsupp).canonicalized();

@@ -87,32 +87,46 @@ fn tx_order(args: &Args) -> Result<TransactionOrder, String> {
 
 fn cmd_mine(args: &Args) -> Result<(), String> {
     let algo = args.get("algo").unwrap_or("ista");
-    // `--no-prune` maps the pruned algorithms to their ablation variants
-    let resolved = match (algo, args.flag("no-prune")) {
-        ("ista", true) => "ista-noprune",
-        ("carpenter-table", true) => "carpenter-table-noprune",
-        (other, true) => {
-            return Err(format!("--no-prune is not available for '{other}'"));
+    let is_ista = matches!(algo, "ista" | "ista-par" | "ista-noprune");
+    for f in ["no-coalesce", "no-compact", "stats"] {
+        if args.flag(f) && !is_ista {
+            return Err(format!("--{f} is only available for ista variants"));
         }
-        (other, false) => other,
-    };
+    }
     // `--threads N` selects the data-parallel miner with N shards
     // (0 = one per available core); only meaningful for ista variants
-    let miner: Box<dyn ClosedMiner> = match args.get("threads") {
-        None => miner_by_name(resolved)?,
-        Some(t) => {
-            let threads: usize = t.parse().map_err(|e| format!("bad --threads: {e}"))?;
-            match resolved {
-                "ista" | "ista-par" => Box::new(fim_ista::ParallelIstaMiner::with_threads(threads)),
-                "ista-noprune" => Box::new(fim_ista::ParallelIstaMiner::with_config(
-                    fim_ista::ParallelConfig {
-                        threads,
-                        policy: fim_ista::PrunePolicy::Never,
-                    },
-                )),
-                other => return Err(format!("--threads is not available for '{other}'")),
-            }
+    let threads: Option<usize> = match args.get("threads") {
+        None => None,
+        Some(t) => Some(t.parse().map_err(|e| format!("bad --threads: {e}"))?),
+    };
+    if threads.is_some() && !is_ista {
+        return Err(format!("--threads is not available for '{algo}'"));
+    }
+    let ista_config = fim_ista::IstaConfig {
+        policy: if algo == "ista-noprune" || args.flag("no-prune") {
+            fim_ista::PrunePolicy::Never
+        } else {
+            fim_ista::IstaConfig::default().policy
+        },
+        coalesce: !args.flag("no-coalesce"),
+        compact: !args.flag("no-compact"),
+    };
+    let miner: Box<dyn ClosedMiner> = if is_ista {
+        match (threads, algo) {
+            (Some(t), _) => parallel_ista(t, ista_config),
+            (None, "ista-par") => parallel_ista(0, ista_config),
+            (None, _) => Box::new(fim_ista::IstaMiner::with_config(ista_config)),
         }
+    } else {
+        // `--no-prune` maps the pruned algorithms to their ablation variants
+        let resolved = match (algo, args.flag("no-prune")) {
+            ("carpenter-table", true) => "carpenter-table-noprune",
+            (other, true) => {
+                return Err(format!("--no-prune is not available for '{other}'"));
+            }
+            (other, false) => other,
+        };
+        miner_by_name(resolved)?
     };
     let db = load_db(args)?;
     // absolute --supp N, or relative --supp-rel F (fraction of transactions)
@@ -128,6 +142,12 @@ fn cmd_mine(args: &Args) -> Result<(), String> {
         }
         (None, None) => return Err("missing --supp (or --supp-rel)".into()),
     };
+    if args.flag("stats") {
+        if threads.is_some() || algo == "ista-par" {
+            return Err("--stats requires the sequential ista miner".into());
+        }
+        return mine_ista_with_stats(args, &db, supp, ista_config);
+    }
     let start = std::time::Instant::now();
     let mut result = mine_closed_with_orders(
         &db,
@@ -151,6 +171,65 @@ fn cmd_mine(args: &Args) -> Result<(), String> {
         miner.name(),
         result.len(),
         elapsed.as_secs_f64()
+    );
+    Ok(())
+}
+
+/// Builds a data-parallel ista miner carrying the sequential hot-path
+/// toggles over to its shards.
+fn parallel_ista(threads: usize, cfg: fim_ista::IstaConfig) -> Box<dyn ClosedMiner> {
+    Box::new(fim_ista::ParallelIstaMiner::with_config(
+        fim_ista::ParallelConfig {
+            threads,
+            policy: cfg.policy,
+            coalesce: cfg.coalesce,
+            compact: cfg.compact,
+        },
+    ))
+}
+
+/// The `--stats` mining path: sequential ista via
+/// [`fim_ista::IstaMiner::mine_with_stats`], reporting run counters and
+/// tree memory occupancy on stderr alongside the normal result output.
+fn mine_ista_with_stats(
+    args: &Args,
+    db: &TransactionDatabase,
+    supp: u32,
+    config: fim_ista::IstaConfig,
+) -> Result<(), String> {
+    let start = std::time::Instant::now();
+    let recoded = fim_core::RecodedDatabase::prepare(db, supp, item_order(args)?, tx_order(args)?);
+    let (res, stats) = fim_ista::IstaMiner::with_config(config).mine_with_stats(&recoded, supp);
+    let mut result = res.decode(recoded.recode());
+    result.canonicalize();
+    let kind = if args.flag("maximal") {
+        result = fim_core::maximal_from_closed(&result);
+        "maximal"
+    } else {
+        "closed"
+    };
+    let elapsed = start.elapsed();
+    write_out(args, |w| {
+        fim_io::write_results(&result, db, w).map_err(|e| e.to_string())
+    })?;
+    eprintln!(
+        "ista: {} {kind} sets at supp >= {supp} in {:.3}s",
+        result.len(),
+        elapsed.as_secs_f64()
+    );
+    eprintln!(
+        "stats: transactions={} distinct={} prune_passes={} compactions={}",
+        stats.total_transactions,
+        stats.distinct_transactions,
+        stats.prune_passes,
+        stats.compactions
+    );
+    eprintln!(
+        "stats: tree live_nodes={} total_slots={} free_slots={} approx_bytes={}",
+        stats.memory.live_nodes,
+        stats.memory.total_slots,
+        stats.memory.free_slots,
+        stats.memory.approx_bytes
     );
     Ok(())
 }
@@ -262,8 +341,13 @@ USAGE:
   fim mine  --supp N | --supp-rel F   [--algo NAME] [--in FILE] [--out FILE]
             [--item-order asc|desc|orig] [--tx-order asc|desc|orig]
             [--maximal] [--no-prune] [--threads N]
+            [--no-coalesce] [--no-compact] [--stats]
             (--threads N shards the database over N threads and merges the
              per-shard prefix trees; 0 = one shard per core; ista only)
+            (--no-coalesce disables merging identical transactions into
+             weighted pairs; --no-compact disables post-prune arena
+             compaction; --stats prints run counters and tree memory
+             occupancy on stderr; all three are ista only)
   fim gen   --preset yeast|ncbi60|thrombin|webview [--scale X] [--seed N] [--out FILE]
   fim rules --supp N [--conf X] [--algo NAME] [--in FILE] [--out FILE]
   fim stats [--in FILE]

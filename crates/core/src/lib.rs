@@ -46,6 +46,7 @@ pub mod matrix;
 pub mod maximal;
 pub mod miner;
 pub mod order;
+pub mod prepare;
 pub mod recode;
 pub mod reference;
 
@@ -61,6 +62,7 @@ pub use miner::{
     mine_closed, mine_closed_relative, mine_closed_with_orders, ClosedMiner, FoundSet, MiningResult,
 };
 pub use order::{ItemOrder, TransactionOrder};
+pub use prepare::{cmp_size_then_desc_lex, coalesce};
 pub use recode::{Recode, RecodedDatabase};
 
 /// Dense item code used throughout the workspace.

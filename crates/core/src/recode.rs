@@ -16,9 +16,9 @@ use crate::{
     database::TransactionDatabase,
     itemset::ItemSet,
     order::{ItemOrder, TransactionOrder},
+    prepare::cmp_size_then_desc_lex,
     Item, Tid,
 };
-use std::cmp::Ordering;
 
 /// The code and transaction mappings produced by recoding.
 #[derive(Clone, Debug)]
@@ -243,20 +243,6 @@ impl RecodedDatabase {
     }
 }
 
-/// Compare by size first, then lexicographically on the items written in
-/// descending order (paper §3.4 tie-break).
-fn cmp_size_then_desc_lex(a: &[Item], b: &[Item]) -> Ordering {
-    a.len().cmp(&b.len()).then_with(|| {
-        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
-            match x.cmp(y) {
-                Ordering::Equal => continue,
-                other => return other,
-            }
-        }
-        Ordering::Equal
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,14 +321,6 @@ mod tests {
         let mut sorted = sizes.clone();
         sorted.sort_unstable_by(|a, b| b.cmp(a));
         assert_eq!(sizes, sorted);
-    }
-
-    #[test]
-    fn desc_lex_tie_break() {
-        assert_eq!(cmp_size_then_desc_lex(&[1, 5], &[2, 5]), Ordering::Less);
-        assert_eq!(cmp_size_then_desc_lex(&[2, 5], &[1, 5]), Ordering::Greater);
-        assert_eq!(cmp_size_then_desc_lex(&[1, 2], &[1, 2, 3]), Ordering::Less);
-        assert_eq!(cmp_size_then_desc_lex(&[3, 4], &[3, 4]), Ordering::Equal);
     }
 
     #[test]

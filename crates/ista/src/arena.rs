@@ -103,6 +103,62 @@ impl NodeArena {
         self.nodes.len()
     }
 
+    /// Number of slots currently parked on the free list.
+    pub fn free_count(&self) -> usize {
+        self.nodes.len() - self.live
+    }
+
+    /// Relocates the live nodes reachable from `root` into depth-first
+    /// order — each node directly followed by its subtree, then by its next
+    /// sibling — truncating freed slots and emptying the free list. Returns
+    /// the new index of `root` (always `0`).
+    ///
+    /// After heavy pruning churn the free list scatters live nodes across
+    /// the slot vector, so the `isect`/`report` traversals (which walk
+    /// exactly this depth-first order) stride unpredictably through memory;
+    /// compaction restores a nearly-sequential walk and returns the freed
+    /// tail to the allocator. All `sibling`/`children` links are remapped;
+    /// every other field is preserved bit-for-bit.
+    ///
+    /// The caller must ensure every live node is reachable from `root`
+    /// (checked in debug builds).
+    pub fn compact(&mut self, root: u32) -> u32 {
+        debug_assert!(root != NONE);
+        // Pass 1: assign new indices in depth-first visitation order. The
+        // explicit stack mirrors the recursion of `isect`: a frame is a
+        // node whose subtree-then-right-siblings remain to be numbered.
+        let mut order: Vec<u32> = Vec::with_capacity(self.live);
+        let mut remap: Vec<u32> = vec![NONE; self.nodes.len()];
+        let mut stack: Vec<u32> = vec![root];
+        while let Some(mut node) = stack.pop() {
+            while node != NONE {
+                remap[node as usize] = order.len() as u32;
+                order.push(node);
+                let n = &self.nodes[node as usize];
+                if n.sibling != NONE {
+                    stack.push(n.sibling);
+                }
+                node = n.children;
+            }
+        }
+        debug_assert_eq!(order.len(), self.live, "unreachable live nodes");
+        // Pass 2: emit the nodes in their new order with remapped links.
+        let mut nodes: Vec<Node> = Vec::with_capacity(order.len());
+        for &old in &order {
+            let mut n = self.nodes[old as usize];
+            if n.sibling != NONE {
+                n.sibling = remap[n.sibling as usize];
+            }
+            if n.children != NONE {
+                n.children = remap[n.children as usize];
+            }
+            nodes.push(n);
+        }
+        self.nodes = nodes;
+        self.free_head = NONE;
+        remap[root as usize]
+    }
+
     /// Immutable node access.
     #[inline]
     pub fn get(&self, idx: u32) -> &Node {
@@ -179,5 +235,69 @@ mod tests {
         let a = NodeArena::with_capacity(64);
         assert_eq!(a.live_count(), 0);
         assert_eq!(a.capacity_used(), 0);
+    }
+
+    #[test]
+    fn compact_reorders_depth_first_and_truncates() {
+        // build root → (b → (c), a) with scattered slots: alloc extra nodes
+        // and free them so live nodes land on non-contiguous indices
+        let mut a = NodeArena::new();
+        let junk1 = a.alloc(leaf(90));
+        let root = a.alloc(leaf(99));
+        let junk2 = a.alloc(leaf(91));
+        let nb = a.alloc(leaf(2));
+        let junk3 = a.alloc(leaf(92));
+        let na = a.alloc(leaf(1));
+        let nc = a.alloc(leaf(0));
+        a.get_mut(root).children = nb;
+        a.get_mut(nb).sibling = na;
+        a.get_mut(nb).children = nc;
+        a.free(junk1);
+        a.free(junk2);
+        a.free(junk3);
+        assert_eq!(a.live_count(), 4);
+        assert_eq!(a.capacity_used(), 7);
+        assert_eq!(a.free_count(), 3);
+
+        let new_root = a.compact(root);
+        assert_eq!(new_root, 0);
+        assert_eq!(a.live_count(), 4);
+        assert_eq!(a.capacity_used(), 4, "freed slots truncated");
+        assert_eq!(a.free_count(), 0);
+        // depth-first order: root, b, c (b's child), a (b's sibling)
+        assert_eq!(a.get(0).item, 99);
+        assert_eq!(a.get(1).item, 2);
+        assert_eq!(a.get(2).item, 0);
+        assert_eq!(a.get(3).item, 1);
+        // links remapped consistently
+        assert_eq!(a.get(0).children, 1);
+        assert_eq!(a.get(1).children, 2);
+        assert_eq!(a.get(1).sibling, 3);
+        assert_eq!(a.get(3).sibling, NONE);
+    }
+
+    #[test]
+    fn compact_allocates_fresh_slots_afterwards() {
+        let mut a = NodeArena::new();
+        let root = a.alloc(leaf(9));
+        let x = a.alloc(leaf(5));
+        a.get_mut(root).children = x;
+        let y = a.alloc(leaf(3));
+        a.free(y);
+        let root = a.compact(root);
+        // the free list is gone: the next alloc extends the vector
+        let z = a.alloc(leaf(7));
+        assert_eq!(z, 2);
+        assert_eq!(a.get(z).item, 7);
+        assert_eq!(a.get(root).item, 9);
+    }
+
+    #[test]
+    fn compact_single_node() {
+        let mut a = NodeArena::new();
+        let root = a.alloc(leaf(42));
+        assert_eq!(a.compact(root), 0);
+        assert_eq!(a.capacity_used(), 1);
+        assert_eq!(a.get(0).item, 42);
     }
 }

@@ -39,7 +39,7 @@ pub mod stream;
 pub mod tree;
 
 pub use arena::{Node, NodeArena, NONE};
-pub use miner::{IstaConfig, IstaMiner, PrunePolicy};
+pub use miner::{IstaConfig, IstaMiner, MineStats, PrunePacer, PrunePolicy};
 pub use parallel::{ParallelConfig, ParallelIstaMiner};
 pub use stream::IstaStream;
-pub use tree::PrefixTree;
+pub use tree::{PrefixTree, TreeMemoryStats};

@@ -1,7 +1,7 @@
 //! The [`IstaMiner`]: driving the prefix tree over a recoded database.
 
-use crate::tree::PrefixTree;
-use fim_core::{ClosedMiner, MiningResult, RecodedDatabase};
+use crate::tree::{PrefixTree, TreeMemoryStats};
+use fim_core::{prepare, ClosedMiner, Item, MiningResult, RecodedDatabase};
 
 /// When to run the item-elimination pruning pass (paper §3.2).
 ///
@@ -13,7 +13,7 @@ use fim_core::{ClosedMiner, MiningResult, RecodedDatabase};
 pub enum PrunePolicy {
     /// Never prune (ablation baseline).
     Never,
-    /// Prune after every `n` transactions.
+    /// Prune after every `n` processed (weighted) transactions.
     EveryN(usize),
     /// Prune whenever the tree has grown by this factor since the last
     /// pass (amortizes the walk against the growth it removes). This is
@@ -21,17 +21,67 @@ pub enum PrunePolicy {
     Growth(f64),
 }
 
+/// Prune-placement bookkeeping shared by the sequential miner, shard
+/// mining, and merge replay: decides after each (replayed) transaction
+/// whether a pruning pass is due, implementing the [`PrunePolicy`]
+/// semantics in one place.
+#[derive(Clone, Copy, Debug)]
+pub struct PrunePacer {
+    policy: PrunePolicy,
+    processed: usize,
+    last_prune_size: usize,
+}
+
+impl PrunePacer {
+    /// A pacer implementing `policy`, starting from an empty tree.
+    pub fn new(policy: PrunePolicy) -> Self {
+        PrunePacer {
+            policy,
+            processed: 0,
+            last_prune_size: 256,
+        }
+    }
+
+    /// Call after a transaction lands; returns whether to prune now.
+    pub fn due(&mut self, node_count: usize) -> bool {
+        self.processed += 1;
+        match self.policy {
+            PrunePolicy::Never => false,
+            PrunePolicy::EveryN(n) => n > 0 && self.processed.is_multiple_of(n),
+            PrunePolicy::Growth(factor) => {
+                node_count as f64 >= self.last_prune_size as f64 * factor
+            }
+        }
+    }
+
+    /// Call after a pruning pass with the post-prune tree size.
+    pub fn pruned(&mut self, node_count: usize) {
+        self.last_prune_size = node_count.max(256);
+    }
+}
+
 /// Tuning knobs for [`IstaMiner`].
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct IstaConfig {
     /// Pruning placement policy.
     pub policy: PrunePolicy,
+    /// Merge identical transactions into `(items, weight)` pairs up front
+    /// (see [`fim_core::coalesce`]) and process each distinct transaction
+    /// with one weighted cumulative-intersection pass. Output-invariant;
+    /// on dense data recoding collapses many rows, so this is the default.
+    pub coalesce: bool,
+    /// Compact the node arena into depth-first order after each pruning
+    /// pass that freed slots ([`PrefixTree::compact`]), so the `isect`
+    /// traversal walks nearly-sequential memory. Output-invariant.
+    pub compact: bool,
 }
 
 impl Default for IstaConfig {
     fn default() -> Self {
         IstaConfig {
             policy: PrunePolicy::Growth(2.0),
+            coalesce: true,
+            compact: true,
         }
     }
 }
@@ -41,6 +91,7 @@ impl IstaConfig {
     pub fn without_pruning() -> Self {
         IstaConfig {
             policy: PrunePolicy::Never,
+            ..Default::default()
         }
     }
 
@@ -48,8 +99,43 @@ impl IstaConfig {
     pub fn prune_every_transaction() -> Self {
         IstaConfig {
             policy: PrunePolicy::EveryN(1),
+            ..Default::default()
         }
     }
+
+    /// Configuration with transaction coalescing disabled (for ablations).
+    pub fn without_coalescing() -> Self {
+        IstaConfig {
+            coalesce: false,
+            ..Default::default()
+        }
+    }
+
+    /// Configuration with arena compaction disabled (for ablations).
+    pub fn without_compaction() -> Self {
+        IstaConfig {
+            compact: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Counters and final memory occupancy of one [`IstaMiner`] run, reported
+/// by [`IstaMiner::mine_with_stats`] (surfaced by the CLI `--stats` flag
+/// and the bench harness).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MineStats {
+    /// Transactions in the database (total weight processed).
+    pub total_transactions: usize,
+    /// Distinct transactions after coalescing (equals
+    /// `total_transactions` when coalescing is off).
+    pub distinct_transactions: usize,
+    /// Item-elimination pruning passes executed.
+    pub prune_passes: usize,
+    /// Arena compactions executed.
+    pub compactions: usize,
+    /// Arena occupancy after the last transaction, before reporting.
+    pub memory: TreeMemoryStats,
 }
 
 /// The IsTa closed frequent item set miner (paper §3.2–3.3).
@@ -64,6 +150,49 @@ impl IstaMiner {
     pub fn with_config(config: IstaConfig) -> Self {
         IstaMiner { config }
     }
+
+    /// Like [`ClosedMiner::mine`], but also reports run counters and the
+    /// final tree memory occupancy.
+    pub fn mine_with_stats(&self, db: &RecodedDatabase, minsupp: u32) -> (MiningResult, MineStats) {
+        let minsupp = minsupp.max(1);
+        let txs: Vec<(&[Item], u32)> = if self.config.coalesce {
+            prepare::coalesce(db.transactions())
+        } else {
+            db.transactions().iter().map(|t| (t.as_ref(), 1)).collect()
+        };
+        let mut stats = MineStats {
+            total_transactions: db.transactions().len(),
+            distinct_transactions: txs.len(),
+            ..MineStats::default()
+        };
+        let mut tree = PrefixTree::new(db.num_items());
+        let mut remaining: Vec<u32> = db.item_supports().to_vec();
+        let mut pacer = PrunePacer::new(self.config.policy);
+        for (t, w) in &txs {
+            for &i in t.iter() {
+                remaining[i as usize] -= w;
+            }
+            tree.add_transaction_weighted(t, *w);
+            if pacer.due(tree.node_count()) {
+                tree.prune(&remaining, minsupp);
+                pacer.pruned(tree.node_count());
+                stats.prune_passes += 1;
+                if self.config.compact && tree.compact_if_fragmented() {
+                    stats.compactions += 1;
+                }
+            }
+        }
+        // one last compaction before reporting: `report` walks the whole
+        // tree in DFS order, which is exactly the order compact lays out
+        if self.config.compact && tree.compact_if_fragmented() {
+            stats.compactions += 1;
+        }
+        stats.memory = tree.memory_stats();
+        let result = MiningResult {
+            sets: tree.report(minsupp),
+        };
+        (result, stats)
+    }
 }
 
 impl ClosedMiner for IstaMiner {
@@ -72,30 +201,7 @@ impl ClosedMiner for IstaMiner {
     }
 
     fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult {
-        let minsupp = minsupp.max(1);
-        let mut tree = PrefixTree::new(db.num_items());
-        let mut remaining: Vec<u32> = db.item_supports().to_vec();
-        let mut last_prune_size = 256usize;
-        for (k, t) in db.transactions().iter().enumerate() {
-            for &i in t.iter() {
-                remaining[i as usize] -= 1;
-            }
-            tree.add_transaction(t);
-            let due = match self.config.policy {
-                PrunePolicy::Never => false,
-                PrunePolicy::EveryN(n) => n > 0 && (k + 1) % n == 0,
-                PrunePolicy::Growth(factor) => {
-                    tree.node_count() as f64 >= last_prune_size as f64 * factor
-                }
-            };
-            if due {
-                tree.prune(&remaining, minsupp);
-                last_prune_size = tree.node_count().max(256);
-            }
-        }
-        MiningResult {
-            sets: tree.report(minsupp),
-        }
+        self.mine_with_stats(db, minsupp).0
     }
 }
 
@@ -121,6 +227,21 @@ mod tests {
         )
     }
 
+    /// A database with heavy row duplication, so coalescing actually
+    /// collapses transactions.
+    fn duplicated_db() -> RecodedDatabase {
+        let mut rows: Vec<Vec<Item>> = Vec::new();
+        for _ in 0..4 {
+            rows.push(vec![0, 1, 2]);
+            rows.push(vec![1, 2, 3]);
+        }
+        for _ in 0..3 {
+            rows.push(vec![0, 2, 4]);
+        }
+        rows.push(vec![2, 3, 4]);
+        RecodedDatabase::from_dense(rows, 5)
+    }
+
     #[test]
     fn matches_reference_on_paper_example() {
         let db = paper_db();
@@ -144,12 +265,67 @@ mod tests {
         for minsupp in 1..=8 {
             let want = mine_reference(&db, minsupp);
             for policy in policies {
-                let got = IstaMiner::with_config(IstaConfig { policy })
-                    .mine(&db, minsupp)
-                    .canonicalized();
-                assert_eq!(got, want, "policy={policy:?} minsupp={minsupp}");
+                for coalesce in [false, true] {
+                    for compact in [false, true] {
+                        let got = IstaMiner::with_config(IstaConfig {
+                            policy,
+                            coalesce,
+                            compact,
+                        })
+                        .mine(&db, minsupp)
+                        .canonicalized();
+                        assert_eq!(
+                            got, want,
+                            "policy={policy:?} coalesce={coalesce} compact={compact} \
+                             minsupp={minsupp}"
+                        );
+                    }
+                }
             }
         }
+    }
+
+    #[test]
+    fn coalescing_is_output_invariant_on_duplicated_rows() {
+        let db = duplicated_db();
+        for minsupp in 1..=6 {
+            let want = mine_reference(&db, minsupp);
+            let on = IstaMiner::default().mine(&db, minsupp).canonicalized();
+            let off = IstaMiner::with_config(IstaConfig::without_coalescing())
+                .mine(&db, minsupp)
+                .canonicalized();
+            assert_eq!(on, want, "coalesced, minsupp={minsupp}");
+            assert_eq!(off, want, "uncoalesced, minsupp={minsupp}");
+        }
+    }
+
+    #[test]
+    fn stats_report_coalescing_and_pruning() {
+        let db = duplicated_db();
+        let (result, stats) = IstaMiner::with_config(IstaConfig {
+            policy: PrunePolicy::EveryN(2),
+            coalesce: true,
+            compact: true,
+        })
+        .mine_with_stats(&db, 4);
+        assert!(!result.sets.is_empty());
+        assert_eq!(stats.total_transactions, 12);
+        assert_eq!(stats.distinct_transactions, 4);
+        assert!(stats.prune_passes >= 1);
+        assert!(stats.memory.live_nodes >= 1);
+        assert!(stats.memory.approx_bytes > 0);
+        // compaction leaves no fragmentation behind after the final prune
+        // unless the last prune freed nothing; either way slots are bounded
+        assert!(stats.memory.free_slots <= stats.memory.total_slots);
+    }
+
+    #[test]
+    fn stats_without_coalescing_keep_all_rows_distinct() {
+        let db = duplicated_db();
+        let (_, stats) =
+            IstaMiner::with_config(IstaConfig::without_coalescing()).mine_with_stats(&db, 1);
+        assert_eq!(stats.distinct_transactions, stats.total_transactions);
+        assert_eq!(stats.compactions, 0, "nothing pruned, nothing compacted");
     }
 
     #[test]

@@ -23,9 +23,9 @@
 //! still "remaining" because they arrive later through the merge, so the
 //! viability bound `supp + remaining[i] ≥ minsupp` stays safe.
 
-use crate::miner::{IstaConfig, IstaMiner, PrunePolicy};
+use crate::miner::{IstaConfig, IstaMiner, PrunePacer, PrunePolicy};
 use crate::tree::PrefixTree;
-use fim_core::{ClosedMiner, MiningResult, RecodedDatabase};
+use fim_core::{ClosedMiner, Item, MiningResult, RecodedDatabase};
 
 /// Stack size for shard threads. The `isect` traversal recurses to the
 /// tree depth, which is bounded by the longest transaction and can reach
@@ -42,13 +42,23 @@ pub struct ParallelConfig {
     /// Per-shard pruning placement policy (same semantics as the
     /// sequential miner's).
     pub policy: PrunePolicy,
+    /// Coalesce each shard's (hopeless-item-filtered) transactions into
+    /// `(items, weight)` pairs before insertion (same semantics as
+    /// [`IstaConfig::coalesce`]).
+    pub coalesce: bool,
+    /// Compact shard/merge trees after pruning passes that freed slots
+    /// (same semantics as [`IstaConfig::compact`]).
+    pub compact: bool,
 }
 
 impl Default for ParallelConfig {
     fn default() -> Self {
+        let seq = IstaConfig::default();
         ParallelConfig {
             threads: 0,
-            policy: IstaConfig::default().policy,
+            policy: seq.policy,
+            coalesce: seq.coalesce,
+            compact: seq.compact,
         }
     }
 }
@@ -107,28 +117,46 @@ impl ParallelIstaMiner {
 /// plain per-node prune may eliminate locally hopeless but globally viable
 /// items from a transaction, under-counting subsets after the merge).
 fn mine_shard(
-    txs: &[Box<[fim_core::Item]>],
+    txs: &[Box<[Item]>],
     num_items: u32,
     global_supports: &[u32],
-    policy: PrunePolicy,
+    cfg: ParallelConfig,
     minsupp: u32,
 ) -> ShardTree {
     let mut tree = PrefixTree::new(num_items);
     let mut remaining: Vec<u32> = global_supports.to_vec();
-    let mut pacer = PrunePacer::new(policy);
-    let mut filtered: Vec<fim_core::Item> = Vec::new();
+    let mut pacer = PrunePacer::new(cfg.policy);
+    // Filter globally hopeless items out of every transaction. Their
+    // remaining counts can be settled immediately: no tree node ever
+    // carries a hopeless item, so pruning never consults those entries.
+    let mut filtered: Vec<Vec<Item>> = Vec::with_capacity(txs.len());
     for t in txs.iter() {
-        filtered.clear();
+        let mut f = Vec::with_capacity(t.len());
         for &i in t.iter() {
-            remaining[i as usize] -= 1;
             if global_supports[i as usize] >= minsupp {
-                filtered.push(i);
+                f.push(i);
+            } else {
+                remaining[i as usize] -= 1;
             }
         }
-        tree.add_transaction(&filtered);
+        filtered.push(f);
+    }
+    let weighted: Vec<(&[Item], u32)> = if cfg.coalesce {
+        fim_core::coalesce(&filtered)
+    } else {
+        filtered.iter().map(|t| (t.as_slice(), 1)).collect()
+    };
+    for (t, w) in &weighted {
+        for &i in t.iter() {
+            remaining[i as usize] -= w;
+        }
+        tree.add_transaction_weighted(t, *w);
         if pacer.due(tree.node_count()) {
             tree.prune_keeping_terminals(&remaining, minsupp);
             pacer.pruned(tree.node_count());
+            if cfg.compact {
+                tree.compact_if_fragmented();
+            }
         }
     }
     ShardTree { tree, remaining }
@@ -140,42 +168,6 @@ fn mine_shard(
 struct ShardTree {
     tree: PrefixTree,
     remaining: Vec<u32>,
-}
-
-/// Prune-placement bookkeeping shared by shard mining and merge replay:
-/// decides after each (replayed) transaction whether a pruning pass is due,
-/// mirroring the sequential miner's [`PrunePolicy`] semantics.
-struct PrunePacer {
-    policy: PrunePolicy,
-    processed: usize,
-    last_prune_size: usize,
-}
-
-impl PrunePacer {
-    fn new(policy: PrunePolicy) -> Self {
-        PrunePacer {
-            policy,
-            processed: 0,
-            last_prune_size: 256,
-        }
-    }
-
-    /// Call after a transaction lands; returns whether to prune now.
-    fn due(&mut self, node_count: usize) -> bool {
-        self.processed += 1;
-        match self.policy {
-            PrunePolicy::Never => false,
-            PrunePolicy::EveryN(n) => n > 0 && self.processed.is_multiple_of(n),
-            PrunePolicy::Growth(factor) => {
-                node_count as f64 >= self.last_prune_size as f64 * factor
-            }
-        }
-    }
-
-    /// Call after a pruning pass with the post-prune tree size.
-    fn pruned(&mut self, node_count: usize) {
-        self.last_prune_size = node_count.max(256);
-    }
 }
 
 /// Folds `right` into `left`, pruning mid-replay so the combined tree does
@@ -191,7 +183,7 @@ impl PrunePacer {
 fn merge_pruned(
     left: &mut ShardTree,
     mut right: ShardTree,
-    policy: PrunePolicy,
+    cfg: ParallelConfig,
     minsupp: u32,
     is_final: bool,
 ) {
@@ -201,17 +193,20 @@ fn merge_pruned(
         std::mem::swap(left, &mut right);
     }
     let ShardTree { tree, remaining } = left;
-    let mut pacer = PrunePacer::new(policy);
+    let mut pacer = PrunePacer::new(cfg.policy);
     // prune before replaying anything: shard trees are pruned against
     // near-global remaining counts (weak), while here `remaining` already
     // excludes everything this side consumed — the final merge in
     // particular can use the plain (terminal-reducing) prune and slash the
     // tree before the expensive replay passes begin
-    if !matches!(policy, PrunePolicy::Never) {
+    if !matches!(cfg.policy, PrunePolicy::Never) {
         if is_final {
             tree.prune(remaining, minsupp);
         } else {
             tree.prune_keeping_terminals(remaining, minsupp);
+        }
+        if cfg.compact {
+            tree.compact_if_fragmented();
         }
     }
     pacer.pruned(tree.node_count());
@@ -226,6 +221,9 @@ fn merge_pruned(
                 tree.prune_keeping_terminals(remaining, minsupp);
             }
             pacer.pruned(tree.node_count());
+            if cfg.compact {
+                tree.compact_if_fragmented();
+            }
         }
     });
 }
@@ -238,10 +236,10 @@ fn merge_pruned(
 /// concurrently as their inputs finish — no global barrier between the
 /// mining and merging phases.
 fn mine_reduce(
-    chunks: &[&[Box<[fim_core::Item]>]],
+    chunks: &[&[Box<[Item]>]],
     num_items: u32,
     global_supports: &[u32],
-    policy: PrunePolicy,
+    cfg: ParallelConfig,
     minsupp: u32,
     is_final: bool,
 ) -> ShardTree {
@@ -250,7 +248,7 @@ fn mine_reduce(
             tree: PrefixTree::new(num_items),
             remaining: global_supports.to_vec(),
         },
-        1 => mine_shard(chunks[0], num_items, global_supports, policy, minsupp),
+        1 => mine_shard(chunks[0], num_items, global_supports, cfg, minsupp),
         n => {
             let mid = n / 2;
             let (mut left, right) = std::thread::scope(|s| {
@@ -262,7 +260,7 @@ fn mine_reduce(
                             &chunks[mid..],
                             num_items,
                             global_supports,
-                            policy,
+                            cfg,
                             minsupp,
                             false,
                         )
@@ -272,13 +270,13 @@ fn mine_reduce(
                     &chunks[..mid],
                     num_items,
                     global_supports,
-                    policy,
+                    cfg,
                     minsupp,
                     false,
                 );
                 (left, right.join().expect("shard thread panicked"))
             });
-            merge_pruned(&mut left, right, policy, minsupp, is_final);
+            merge_pruned(&mut left, right, cfg, minsupp, is_final);
             left
         }
     }
@@ -295,17 +293,19 @@ impl ClosedMiner for ParallelIstaMiner {
         if threads <= 1 || db.transactions().len() <= 1 {
             return IstaMiner::with_config(IstaConfig {
                 policy: self.config.policy,
+                coalesce: self.config.coalesce,
+                compact: self.config.compact,
             })
             .mine(db, minsupp);
         }
         let txs = db.transactions();
         let chunk = txs.len().div_ceil(threads);
-        let chunks: Vec<&[Box<[fim_core::Item]>]> = txs.chunks(chunk).collect();
+        let chunks: Vec<&[Box<[Item]>]> = txs.chunks(chunk).collect();
         let reduced = mine_reduce(
             &chunks,
             db.num_items(),
             db.item_supports(),
-            self.config.policy,
+            self.config,
             minsupp,
             true,
         );
@@ -389,12 +389,40 @@ mod tests {
             for threads in [2, 3] {
                 for minsupp in 1..=8 {
                     let want = mine_reference(&db, minsupp);
-                    let got = ParallelIstaMiner::with_config(ParallelConfig { threads, policy })
-                        .mine(&db, minsupp)
-                        .canonicalized();
+                    let got = ParallelIstaMiner::with_config(ParallelConfig {
+                        threads,
+                        policy,
+                        ..Default::default()
+                    })
+                    .mine(&db, minsupp)
+                    .canonicalized();
                     assert_eq!(
                         got, want,
                         "policy={policy:?} threads={threads} ms={minsupp}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coalesce_and_compact_toggles_agree_with_reference() {
+        let db = paper_db();
+        for coalesce in [false, true] {
+            for compact in [false, true] {
+                for minsupp in 1..=8 {
+                    let want = mine_reference(&db, minsupp);
+                    let got = ParallelIstaMiner::with_config(ParallelConfig {
+                        threads: 3,
+                        policy: PrunePolicy::EveryN(1),
+                        coalesce,
+                        compact,
+                    })
+                    .mine(&db, minsupp)
+                    .canonicalized();
+                    assert_eq!(
+                        got, want,
+                        "coalesce={coalesce} compact={compact} ms={minsupp}"
                     );
                 }
             }

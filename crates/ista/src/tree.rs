@@ -4,6 +4,21 @@
 use crate::arena::{Node, NodeArena, NONE};
 use fim_core::{FoundSet, Item, ItemSet};
 
+/// Snapshot of a [`PrefixTree`]'s arena occupancy, for memory accounting
+/// in benchmarks and the CLI `--stats` report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TreeMemoryStats {
+    /// Live nodes, including the pseudo-root.
+    pub live_nodes: usize,
+    /// Total arena slots (live + free-listed).
+    pub total_slots: usize,
+    /// Slots parked on the free list (reclaimable by [`PrefixTree::compact`]).
+    pub free_slots: usize,
+    /// Approximate resident bytes: slot storage plus the per-item
+    /// membership-stamp array.
+    pub approx_bytes: usize,
+}
+
 /// A position in the tree where a sibling list can be read or spliced:
 /// either the `children` field of a node or the `sibling` field of a node.
 /// This is the arena equivalent of the C implementation's `NODE **ins`.
@@ -91,6 +106,43 @@ impl PrefixTree {
     /// Number of live tree nodes (excluding the root).
     pub fn node_count(&self) -> usize {
         self.arena.live_count() - 1
+    }
+
+    /// Current arena occupancy (live nodes, slots, free list, approximate
+    /// bytes). Free slots accumulate through pruning churn; [`compact`]
+    /// returns them to the allocator.
+    ///
+    /// [`compact`]: Self::compact
+    pub fn memory_stats(&self) -> TreeMemoryStats {
+        let total_slots = self.arena.capacity_used();
+        TreeMemoryStats {
+            live_nodes: self.arena.live_count(),
+            total_slots,
+            free_slots: self.arena.free_count(),
+            approx_bytes: total_slots * std::mem::size_of::<Node>()
+                + self.trans.len() * std::mem::size_of::<u32>(),
+        }
+    }
+
+    /// Relocates the live nodes into depth-first order and drops the freed
+    /// slots (see [`NodeArena::compact`]). Reported sets, supports, and
+    /// stored transactions are unchanged — only node placement moves, so
+    /// the `isect`/`report` traversals walk nearly-sequential memory again
+    /// after pruning has scattered live nodes across the slot vector.
+    pub fn compact(&mut self) {
+        self.root = self.arena.compact(self.root);
+    }
+
+    /// [`compact`](Self::compact)s only when the free list is non-empty
+    /// (a fresh or already-compact arena is left untouched). Returns
+    /// whether a compaction ran.
+    pub fn compact_if_fragmented(&mut self) -> bool {
+        if self.arena.free_count() > 0 {
+            self.compact();
+            true
+        } else {
+            false
+        }
     }
 
     /// Processes one transaction: inserts it as a path, then intersects it
@@ -390,11 +442,7 @@ impl PrefixTree {
             "merge requires identical item universes"
         );
         let mut txs = other.weighted_transactions();
-        txs.sort_unstable_by(|a, b| {
-            a.0.len()
-                .cmp(&b.0.len())
-                .then_with(|| a.0.iter().rev().cmp(b.0.iter().rev()))
-        });
+        txs.sort_unstable_by(|a, b| fim_core::cmp_size_then_desc_lex(&a.0, &b.0));
         for (t, w) in &txs {
             self.add_transaction_weighted(t, *w);
             after_each(self, t, *w);
@@ -1078,5 +1126,75 @@ mod tests {
         let mut a = PrefixTree::new(3);
         let b = PrefixTree::new(4);
         a.merge(&b);
+    }
+
+    #[test]
+    fn compact_preserves_reports_after_pruning_churn() {
+        let txs: Vec<Vec<Item>> = vec![
+            vec![0, 1, 2, 5],
+            vec![1, 2, 3],
+            vec![0, 2, 3, 5],
+            vec![1, 5],
+            vec![0, 1, 2, 3, 5],
+            vec![2, 4],
+            vec![0, 4, 5],
+        ];
+        let mut t = PrefixTree::new(6);
+        for (k, tx) in txs.iter().enumerate() {
+            t.add_transaction(tx);
+            if k == 3 {
+                // mid-stream prune scatters live nodes via the free list
+                let mut remaining = vec![0u32; 6];
+                for later in &txs[k + 1..] {
+                    for &i in later {
+                        remaining[i as usize] += 1;
+                    }
+                }
+                t.prune(&remaining, 3);
+            }
+        }
+        t.validate_invariants();
+        let before = canon(&t, 3);
+        let stats_before = t.memory_stats();
+        t.compact();
+        t.validate_invariants();
+        assert_eq!(canon(&t, 3), before);
+        let stats_after = t.memory_stats();
+        assert_eq!(stats_after.free_slots, 0);
+        assert_eq!(stats_after.live_nodes, stats_before.live_nodes);
+        assert_eq!(stats_after.total_slots, stats_before.live_nodes);
+        // mining continues seamlessly on the compacted tree
+        t.add_transaction(&[1, 2, 3]);
+        t.validate_invariants();
+    }
+
+    #[test]
+    fn compact_on_empty_tree() {
+        let mut t = PrefixTree::new(3);
+        t.compact();
+        t.add_transaction(&[0, 2]);
+        t.validate_invariants();
+        assert_eq!(t.lookup(&ItemSet::from([0, 2])), Some(1));
+    }
+
+    #[test]
+    fn memory_stats_tracks_free_list() {
+        let mut t = PrefixTree::new(4);
+        t.add_transaction(&[1, 3]);
+        t.add_transaction(&[1, 2, 3]);
+        let fresh = t.memory_stats();
+        assert_eq!(fresh.free_slots, 0);
+        assert_eq!(fresh.live_nodes, fresh.total_slots);
+        assert_eq!(
+            fresh.approx_bytes,
+            fresh.total_slots * std::mem::size_of::<Node>() + 4 * 4
+        );
+        // drops the {2,3} node and merges its child {1,2,3} into the
+        // existing {1,3} node — two slots return to the free list
+        t.prune(&[10, 10, 0, 10], 2);
+        let pruned = t.memory_stats();
+        assert_eq!(pruned.total_slots, fresh.total_slots);
+        assert_eq!(pruned.free_slots, 2);
+        assert_eq!(pruned.live_nodes, fresh.live_nodes - 2);
     }
 }

@@ -87,9 +87,13 @@ proptest! {
         threads in prop_oneof![Just(2usize), Just(3), Just(7)],
     ) {
         let want = mine_reference(&db, minsupp).canonicalized();
-        let got = ParallelIstaMiner::with_config(ParallelConfig { threads, policy })
-            .mine(&db, minsupp)
-            .canonicalized();
+        let got = ParallelIstaMiner::with_config(ParallelConfig {
+            threads,
+            policy,
+            ..Default::default()
+        })
+        .mine(&db, minsupp)
+        .canonicalized();
         prop_assert_eq!(got, want, "threads = {}, policy = {:?}", threads, policy);
     }
 

@@ -82,7 +82,10 @@ fn tree_prune_stability_under_random_interleave() {
         fim_ista::PrunePolicy::Growth(1.5),
         fim_ista::PrunePolicy::Never,
     ] {
-        let miner = IstaMiner::with_config(fim_ista::IstaConfig { policy });
+        let miner = IstaMiner::with_config(fim_ista::IstaConfig {
+            policy,
+            ..Default::default()
+        });
         results.push(miner.mine(&db, 3).canonicalized());
     }
     for r in &results[1..] {
