@@ -11,8 +11,8 @@
 
 use crate::filter::filter_closed;
 use fim_core::{
-    itemset::intersect_into, ClosedMiner, FoundSet, Item, ItemSet, MiningResult, RecodedDatabase,
-    Tid, TidLists,
+    checkpoint, itemset::intersect_into, Budget, ClosedMiner, FoundSet, Governor, Item, ItemSet,
+    MineOutcome, MiningResult, Progress, RecodedDatabase, Tid, TidLists, TripReason,
 };
 
 /// The Eclat-based closed-set miner (frequent enumeration + closed filter).
@@ -23,6 +23,7 @@ struct Ctx<'a> {
     minsupp: u32,
     candidates: Vec<FoundSet>,
     lists: &'a TidLists,
+    gov: Option<Governor>,
 }
 
 impl ClosedMiner for EclatMiner {
@@ -37,22 +38,103 @@ impl ClosedMiner for EclatMiner {
             minsupp,
             candidates: Vec::new(),
             lists: &lists,
+            gov: None,
         };
         // items with their full tid lists, ascending item order
         let frontier: Vec<(Item, Vec<Tid>)> = (0..db.num_items())
             .filter(|&i| lists.item_support(i) >= minsupp)
             .map(|i| (i, lists.list(i).to_vec()))
             .collect();
-        recurse(&mut ctx, &[], &frontier);
+        let ungoverned = recurse(&mut ctx, &[], &frontier);
+        debug_assert!(ungoverned.is_ok());
         filter_closed(ctx.candidates)
     }
+
+    /// Governed Eclat. On a trip, the candidate list covers only part of
+    /// the lattice, so closedness cannot be decided by comparing candidates
+    /// against each other (a set's same-support superset may not have been
+    /// enumerated yet). The interrupted partial is instead verified against
+    /// the database directly — every surviving set is a closed frequent set
+    /// of the full database with its exact support.
+    fn mine_governed(&self, db: &RecodedDatabase, minsupp: u32, budget: &Budget) -> MineOutcome {
+        let minsupp = minsupp.max(1);
+        let mut gov = Some(budget.start());
+        if let Some(reason) = checkpoint!(gov, 0, 0, 0) {
+            return MineOutcome::Interrupted {
+                partial: MiningResult::new(),
+                reason,
+                progress: Progress {
+                    processed: 0,
+                    total: None,
+                },
+            };
+        }
+        let lists = TidLists::from_database(db);
+        let mut ctx = Ctx {
+            minsupp,
+            candidates: Vec::new(),
+            lists: &lists,
+            gov,
+        };
+        let frontier: Vec<(Item, Vec<Tid>)> = (0..db.num_items())
+            .filter(|&i| lists.item_support(i) >= minsupp)
+            .map(|i| (i, lists.list(i).to_vec()))
+            .collect();
+        match recurse(&mut ctx, &[], &frontier) {
+            Ok(()) => MineOutcome::complete(filter_closed(ctx.candidates)),
+            Err(reason) => {
+                let processed = ctx.gov.as_ref().map_or(0, Governor::processed);
+                MineOutcome::Interrupted {
+                    partial: verified_closed(db, ctx.candidates),
+                    reason,
+                    progress: Progress {
+                        processed,
+                        total: None,
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// Keeps only the candidates that are closed in the full database: a set
+/// survives iff no single-item extension has equal support. Used on the
+/// interrupted path, where the candidate collection is incomplete and the
+/// collection-internal [`filter_closed`] could keep non-closed sets.
+fn verified_closed(db: &RecodedDatabase, candidates: Vec<FoundSet>) -> MiningResult {
+    let mut out = MiningResult::new();
+    let mut seen = std::collections::HashSet::new();
+    for fs in candidates {
+        if !seen.insert(fs.items.clone()) {
+            continue;
+        }
+        let closed = (0..db.num_items())
+            .filter(|&i| !fs.items.contains(i))
+            .all(|i| {
+                let mut ext = fs.items.clone();
+                ext.insert(i);
+                db.support(&ext) < fs.support
+            });
+        if closed {
+            out.sets.push(fs);
+        }
+    }
+    out
 }
 
 /// Processes the conditional database `frontier` (items with their tid lists
 /// restricted to transactions containing `prefix`).
-fn recurse(ctx: &mut Ctx<'_>, prefix: &[Item], frontier: &[(Item, Vec<Tid>)]) {
+fn recurse(
+    ctx: &mut Ctx<'_>,
+    prefix: &[Item],
+    frontier: &[(Item, Vec<Tid>)],
+) -> Result<(), TripReason> {
     let mut buf: Vec<Tid> = Vec::new();
     for (idx, (item, tids)) in frontier.iter().enumerate() {
+        // one lattice node per frontier element: the natural checkpoint
+        if let Some(reason) = checkpoint!(ctx.gov, 0, 0, ctx.candidates.len()) {
+            return Err(reason);
+        }
         // the item set prefix ∪ {item} is frequent with support |tids|
         let mut items: Vec<Item> = prefix.to_vec();
         items.push(*item);
@@ -74,8 +156,11 @@ fn recurse(ctx: &mut Ctx<'_>, prefix: &[Item], frontier: &[(Item, Vec<Tid>)]) {
                 ItemSet::new(items.clone()),
                 tids.len() as u32,
             ));
+            if let Some(g) = ctx.gov.as_mut() {
+                g.add_processed(1);
+            }
             if !next.is_empty() {
-                recurse(ctx, &items, &next);
+                recurse(ctx, &items, &next)?;
             }
         } else {
             // only prefix ∪ {item} ∪ perfect can be closed among the 2^|E|
@@ -86,14 +171,18 @@ fn recurse(ctx: &mut Ctx<'_>, prefix: &[Item], frontier: &[(Item, Vec<Tid>)]) {
                 ItemSet::new(maximal.clone()),
                 tids.len() as u32,
             ));
+            if let Some(g) = ctx.gov.as_mut() {
+                g.add_processed(1);
+            }
             if !next.is_empty() {
                 // the perfect extensions belong to every set mined below
                 maximal.sort_unstable();
-                recurse(ctx, &maximal, &next);
+                recurse(ctx, &maximal, &next)?;
             }
         }
     }
     let _ = &ctx.lists; // lists kept for potential diffsets extension
+    Ok(())
 }
 
 #[cfg(test)]
@@ -145,5 +234,53 @@ mod tests {
     #[test]
     fn miner_name() {
         assert_eq!(EclatMiner.name(), "eclat");
+    }
+
+    #[test]
+    fn governed_unlimited_matches_ungoverned() {
+        let db = paper_db();
+        for minsupp in 1..=4 {
+            let want = EclatMiner.mine(&db, minsupp).canonicalized();
+            let outcome = EclatMiner.mine_governed(&db, minsupp, &fim_core::Budget::unlimited());
+            assert!(!outcome.is_interrupted());
+            assert_eq!(outcome.into_result().canonicalized(), want);
+        }
+    }
+
+    #[test]
+    fn set_budget_partial_contains_only_true_closed_sets() {
+        let db = paper_db();
+        let full = mine_reference(&db, 1);
+        for cap in 0..6 {
+            let budget = fim_core::Budget::unlimited().with_max_closed_sets(cap);
+            let outcome = EclatMiner.mine_governed(&db, 1, &budget);
+            match outcome {
+                fim_core::MineOutcome::Interrupted {
+                    partial, reason, ..
+                } => {
+                    assert_eq!(reason, fim_core::TripReason::ClosedSetBudget);
+                    for fs in &partial.sets {
+                        assert_eq!(
+                            full.support_of(&fs.items),
+                            Some(fs.support),
+                            "cap {cap}: {:?} must be closed with exact support",
+                            fs.items
+                        );
+                    }
+                }
+                other => panic!("cap {cap}: expected interruption, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_token_interrupts_eclat() {
+        let db = paper_db();
+        let token = fim_core::CancelToken::new();
+        token.cancel();
+        let outcome =
+            EclatMiner.mine_governed(&db, 1, &fim_core::Budget::unlimited().with_cancel(token));
+        assert!(outcome.is_interrupted());
+        assert!(outcome.result().is_empty());
     }
 }

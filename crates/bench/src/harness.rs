@@ -2,7 +2,7 @@
 
 use crate::registry::miner_by_name;
 use crate::report::{write_csv, Row};
-use fim_core::{ItemOrder, RecodedDatabase, TransactionOrder};
+use fim_core::{Budget, ItemOrder, MineOutcome, RecodedDatabase, TransactionOrder, TripReason};
 use fim_synth::Preset;
 use std::collections::HashMap;
 use std::process::{Command, Stdio};
@@ -20,6 +20,16 @@ pub struct CellOutcome {
     pub seconds: f64,
     /// Number of closed sets found (identical across correct algorithms).
     pub sets: usize,
+}
+
+/// How a governed cell run ended.
+#[derive(Clone, Copy, Debug)]
+pub enum CellRun {
+    /// The mine finished within its budget.
+    Done(CellOutcome),
+    /// A budget tripped; the partial result is discarded (sweep tables
+    /// cross-check exact set counts, so partials count as timeouts).
+    Tripped(TripReason),
 }
 
 /// Parses a preset name.
@@ -48,7 +58,9 @@ fn order_by_names(item: &str, tx: &str) -> Result<(ItemOrder, TransactionOrder),
 }
 
 /// Runs one cell in-process on a big-stack thread: generate the data set
-/// (untimed), then recode + mine (timed).
+/// (untimed), then recode + mine (timed). With a `budget_timeout` the mine
+/// runs governed and trips cooperatively instead of relying on the caller
+/// to kill the process.
 #[allow(clippy::too_many_arguments)]
 pub fn run_cell(
     preset: Preset,
@@ -58,22 +70,37 @@ pub fn run_cell(
     supp: u32,
     item_order: ItemOrder,
     tx_order: TransactionOrder,
-) -> Result<CellOutcome, String> {
+    budget_timeout: Option<Duration>,
+) -> Result<CellRun, String> {
     let miner_name = miner_name.to_owned();
     let handle = std::thread::Builder::new()
         .name(format!("mine-{miner_name}-{supp}"))
         .stack_size(MINE_STACK_BYTES)
-        .spawn(move || -> Result<CellOutcome, String> {
+        .spawn(move || -> Result<CellRun, String> {
             let db = preset.build(scale, seed);
             let miner = miner_by_name(&miner_name)?;
             let start = Instant::now();
             let recoded = RecodedDatabase::prepare(&db, supp, item_order, tx_order);
-            let result = miner.mine(&recoded, supp);
-            let seconds = start.elapsed().as_secs_f64();
-            Ok(CellOutcome {
-                seconds,
-                sets: result.len(),
-            })
+            let run = match budget_timeout {
+                Some(t) => {
+                    let budget = Budget::unlimited().with_timeout(t);
+                    match miner.mine_governed(&recoded, supp, &budget) {
+                        MineOutcome::Complete { result, .. } => CellRun::Done(CellOutcome {
+                            seconds: start.elapsed().as_secs_f64(),
+                            sets: result.len(),
+                        }),
+                        MineOutcome::Interrupted { reason, .. } => CellRun::Tripped(reason),
+                    }
+                }
+                None => {
+                    let result = miner.mine(&recoded, supp);
+                    CellRun::Done(CellOutcome {
+                        seconds: start.elapsed().as_secs_f64(),
+                        sets: result.len(),
+                    })
+                }
+            };
+            Ok(run)
         })
         .map_err(|e| e.to_string())?;
     handle
@@ -82,25 +109,36 @@ pub fn run_cell(
 }
 
 /// If `argv` is a cell invocation (`cell <preset> <scale> <seed> <miner>
-/// <supp> <item-order> <tx-order>`), runs it, prints
-/// `RESULT <seconds> <sets>`, and returns `true`.
+/// <supp> <item-order> <tx-order> [timeout-secs]`), runs it, prints
+/// `RESULT <seconds> <sets>` (or `TRIPPED <reason>` when the optional
+/// cooperative timeout fired), and returns `true`.
 pub fn maybe_run_cell(argv: &[String]) -> bool {
     if argv.first().map(String::as_str) != Some("cell") {
         return false;
     }
-    let run = || -> Result<CellOutcome, String> {
-        if argv.len() != 8 {
-            return Err(format!("cell expects 7 operands, got {}", argv.len() - 1));
+    let run = || -> Result<CellRun, String> {
+        if !(8..=9).contains(&argv.len()) {
+            return Err(format!(
+                "cell expects 7 or 8 operands, got {}",
+                argv.len() - 1
+            ));
         }
         let preset = preset_by_name(&argv[1])?;
         let scale: f64 = argv[2].parse().map_err(|e| format!("scale: {e}"))?;
         let seed: u64 = argv[3].parse().map_err(|e| format!("seed: {e}"))?;
         let supp: u32 = argv[5].parse().map_err(|e| format!("supp: {e}"))?;
         let (io, to) = order_by_names(&argv[6], &argv[7])?;
-        run_cell(preset, scale, seed, &argv[4], supp, io, to)
+        let timeout = match argv.get(8) {
+            Some(t) => Some(Duration::from_secs_f64(
+                t.parse().map_err(|e| format!("timeout: {e}"))?,
+            )),
+            None => None,
+        };
+        run_cell(preset, scale, seed, &argv[4], supp, io, to, timeout)
     };
     match run() {
-        Ok(out) => println!("RESULT {:.6} {}", out.seconds, out.sets),
+        Ok(CellRun::Done(out)) => println!("RESULT {:.6} {}", out.seconds, out.sets),
+        Ok(CellRun::Tripped(reason)) => println!("TRIPPED {reason}"),
         Err(e) => {
             eprintln!("cell error: {e}");
             std::process::exit(2);
@@ -110,7 +148,12 @@ pub fn maybe_run_cell(argv: &[String]) -> bool {
 }
 
 /// Spawns the current executable as a cell subprocess with a timeout.
-/// Returns `Ok(None)` on timeout (the child is killed).
+/// Returns `Ok(None)` on timeout.
+///
+/// The timeout is passed into the cell, where the governed miners trip it
+/// cooperatively and report `TRIPPED` with a clean exit; the hard
+/// kill-after-deadline remains only as a backstop for miners without a
+/// governed hot loop (with a grace period so the cooperative path wins).
 #[allow(clippy::too_many_arguments)]
 pub fn run_cell_subprocess(
     preset: Preset,
@@ -132,11 +175,12 @@ pub fn run_cell_subprocess(
         .arg(supp.to_string())
         .arg(item_order)
         .arg(tx_order)
+        .arg(timeout.as_secs_f64().to_string())
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()
         .map_err(|e| e.to_string())?;
-    let deadline = Instant::now() + timeout;
+    let deadline = Instant::now() + timeout + Duration::from_secs(5);
     loop {
         match child.try_wait().map_err(|e| e.to_string())? {
             Some(status) => {
@@ -147,6 +191,9 @@ pub fn run_cell_subprocess(
                 }
                 if !status.success() {
                     return Err(format!("cell failed with {status}"));
+                }
+                if out.lines().any(|l| l.starts_with("TRIPPED ")) {
+                    return Ok(None);
                 }
                 let line = out
                     .lines()

@@ -2,9 +2,17 @@
 //! on: argument parsing, sweep scaling, and in-process cell execution.
 
 use fim_bench::harness::{parse_kv, preset_by_name, scaled_sweep};
-use fim_bench::{miner_by_name, run_cell, SweepConfig};
+use fim_bench::{miner_by_name, run_cell, CellOutcome, CellRun, SweepConfig};
 use fim_core::{ItemOrder, TransactionOrder};
 use fim_synth::Preset;
+use std::time::Duration;
+
+fn done(run: CellRun) -> CellOutcome {
+    match run {
+        CellRun::Done(out) => out,
+        CellRun::Tripped(reason) => panic!("cell unexpectedly tripped: {reason}"),
+    }
+}
 
 fn sv(parts: &[&str]) -> Vec<String> {
     parts.iter().map(|s| s.to_string()).collect()
@@ -66,6 +74,40 @@ fn sweep_config_overrides() {
 
 #[test]
 fn run_cell_executes_and_counts() {
+    let out = done(
+        run_cell(
+            Preset::Ncbi60,
+            0.08,
+            3,
+            "ista",
+            4,
+            ItemOrder::AscendingFrequency,
+            TransactionOrder::AscendingSize,
+            None,
+        )
+        .unwrap(),
+    );
+    assert!(out.sets > 0);
+    assert!(out.seconds >= 0.0);
+    // a second run with another algorithm must agree on the count
+    let out2 = done(
+        run_cell(
+            Preset::Ncbi60,
+            0.08,
+            3,
+            "carpenter-table",
+            4,
+            ItemOrder::AscendingFrequency,
+            TransactionOrder::AscendingSize,
+            None,
+        )
+        .unwrap(),
+    );
+    assert_eq!(out.sets, out2.sets);
+}
+
+#[test]
+fn run_cell_generous_budget_still_completes() {
     let out = run_cell(
         Preset::Ncbi60,
         0.08,
@@ -74,22 +116,26 @@ fn run_cell_executes_and_counts() {
         4,
         ItemOrder::AscendingFrequency,
         TransactionOrder::AscendingSize,
+        Some(Duration::from_secs(600)),
     )
     .unwrap();
-    assert!(out.sets > 0);
-    assert!(out.seconds >= 0.0);
-    // a second run with another algorithm must agree on the count
-    let out2 = run_cell(
+    assert!(matches!(out, CellRun::Done(_)), "{out:?}");
+}
+
+#[test]
+fn run_cell_zero_budget_trips_cooperatively() {
+    let out = run_cell(
         Preset::Ncbi60,
         0.08,
         3,
-        "carpenter-table",
+        "ista",
         4,
         ItemOrder::AscendingFrequency,
         TransactionOrder::AscendingSize,
+        Some(Duration::ZERO),
     )
     .unwrap();
-    assert_eq!(out.sets, out2.sets);
+    assert!(matches!(out, CellRun::Tripped(_)), "{out:?}");
 }
 
 #[test]
@@ -102,6 +148,7 @@ fn run_cell_unknown_miner_is_error() {
         2,
         ItemOrder::AscendingFrequency,
         TransactionOrder::AscendingSize,
+        None,
     )
     .is_err());
     assert!(miner_by_name("bogus").is_err());

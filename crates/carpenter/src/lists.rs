@@ -9,8 +9,10 @@
 //! in C. The cursor also yields the remaining-occurrence count for item
 //! elimination in O(1).
 
-use crate::search::{search, CarpenterConfig, Representation};
-use fim_core::{ClosedMiner, Item, ItemSet, MiningResult, RecodedDatabase, Tid, TidLists};
+use crate::search::{search, search_governed, CarpenterConfig, Representation};
+use fim_core::{
+    Budget, ClosedMiner, Item, ItemSet, MineOutcome, MiningResult, RecodedDatabase, Tid, TidLists,
+};
 
 /// The vertical (tid-list) representation.
 pub struct ListRep {
@@ -131,6 +133,11 @@ impl ClosedMiner for CarpenterListMiner {
     fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult {
         let rep = ListRep::from_database(db);
         search(&rep, db.num_items(), minsupp, self.config)
+    }
+
+    fn mine_governed(&self, db: &RecodedDatabase, minsupp: u32, budget: &Budget) -> MineOutcome {
+        let rep = ListRep::from_database(db);
+        search_governed(&rep, db.num_items(), minsupp, self.config, budget)
     }
 }
 

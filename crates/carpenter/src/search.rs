@@ -10,7 +10,10 @@
 //! the [`Repository`] and is suppressed.
 
 use crate::repo::Repository;
-use fim_core::{FoundSet, ItemSet, MiningResult, Tid};
+use fim_core::{
+    checkpoint, Budget, FoundSet, Governor, ItemSet, MineOutcome, MiningResult, Progress, Tid,
+    TripReason,
+};
 
 /// Pruning switches for the Carpenter search (all on by default).
 ///
@@ -115,9 +118,67 @@ pub fn search<R: Representation>(
     let mut out = Vec::new();
     let mut root = rep.initial_state();
     if rep.state_len(&root) > 0 && rep.num_transactions() > 0 {
-        recurse(rep, &mut root, 0, 0, minsupp, config, &mut repo, &mut out);
+        // with no governor installed the recursion cannot trip
+        let ungoverned: Result<(), TripReason> = recurse(
+            rep, &mut root, 0, 0, minsupp, config, &mut repo, &mut out, &mut None,
+        );
+        debug_assert!(ungoverned.is_ok());
     }
     MiningResult { sets: out }
+}
+
+/// Like [`search`], under a resource [`Budget`]. The enumeration checks the
+/// governor once per search-tree node and once per emitted set; on a trip
+/// the partial result is the subset of the answer emitted so far — every
+/// set in it is a closed frequent set of the full database with its exact
+/// support (the include-first order makes every emission final).
+///
+/// The [`Progress`] counts emitted sets; the search-space size is unknown
+/// up front, so `total` is `None`.
+pub fn search_governed<R: Representation>(
+    rep: &R,
+    num_items: u32,
+    minsupp: u32,
+    config: CarpenterConfig,
+    budget: &Budget,
+) -> MineOutcome {
+    let minsupp = minsupp.max(1);
+    let mut gov = Some(budget.start());
+    if let Some(reason) = checkpoint!(gov, 0, 0, 0) {
+        return MineOutcome::Interrupted {
+            partial: MiningResult::new(),
+            reason,
+            progress: Progress {
+                processed: 0,
+                total: None,
+            },
+        };
+    }
+    let mut repo = Repository::new(num_items);
+    let mut out = Vec::new();
+    let mut root = rep.initial_state();
+    let tripped = if rep.state_len(&root) > 0 && rep.num_transactions() > 0 {
+        recurse(
+            rep, &mut root, 0, 0, minsupp, config, &mut repo, &mut out, &mut gov,
+        )
+        .err()
+    } else {
+        None
+    };
+    match tripped {
+        Some(reason) => {
+            let processed = gov.as_ref().map_or(0, Governor::processed);
+            MineOutcome::Interrupted {
+                partial: MiningResult { sets: out },
+                reason,
+                progress: Progress {
+                    processed,
+                    total: None,
+                },
+            }
+        }
+        None => MineOutcome::complete(MiningResult { sets: out }),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -130,19 +191,23 @@ fn recurse<R: Representation>(
     config: CarpenterConfig,
     repo: &mut Repository,
     out: &mut Vec<FoundSet>,
-) {
+    gov: &mut Option<Governor>,
+) -> Result<(), TripReason> {
+    if let Some(reason) = checkpoint!(gov, 0, 0, out.len()) {
+        return Err(reason);
+    }
     let n = rep.num_transactions();
     let state_len = rep.state_len(state);
     if config.repo_prune {
         let items = rep.items_of(state);
         if repo.contains(items.as_slice()) {
-            return; // everything below was already explored earlier
+            return Ok(()); // everything below was already explored earlier
         }
     }
     for tid in start..n {
         // nothing below can reach minimum support anymore
         if k + (n - tid) < minsupp {
-            return;
+            return Ok(());
         }
         let (raw_len, mut sub) = rep.intersect(state, tid, k + 1, minsupp, config);
         if raw_len == state_len {
@@ -156,12 +221,32 @@ fn recurse<R: Representation>(
             // have emptied the sub-state, in which case nothing below the
             // include branch can be frequent)
             if rep.state_len(&sub) > 0 {
-                recurse(rep, &mut sub, k + 1, tid + 1, minsupp, config, repo, out);
+                recurse(
+                    rep,
+                    &mut sub,
+                    k + 1,
+                    tid + 1,
+                    minsupp,
+                    config,
+                    repo,
+                    out,
+                    gov,
+                )?;
             }
             continue;
         }
         if rep.state_len(&sub) > 0 {
-            recurse(rep, &mut sub, k + 1, tid + 1, minsupp, config, repo, out);
+            recurse(
+                rep,
+                &mut sub,
+                k + 1,
+                tid + 1,
+                minsupp,
+                config,
+                repo,
+                out,
+                gov,
+            )?;
         }
     }
     // leaf for the current intersection: `k` now counts every transaction
@@ -170,8 +255,18 @@ fn recurse<R: Representation>(
         let items = rep.items_of(state);
         if repo.insert(items.as_slice()) {
             out.push(FoundSet::new(items, k));
+            if let Some(g) = gov.as_mut() {
+                g.add_processed(1);
+            }
+            // emissions also happen while the stack unwinds, where no node
+            // entry intervenes — checkpoint here too, so a set budget trips
+            // promptly
+            if let Some(reason) = checkpoint!(gov, 0, 0, out.len()) {
+                return Err(reason);
+            }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -275,6 +370,81 @@ mod tests {
             num_items: 0,
         };
         assert!(search(&rep, 0, 1, CarpenterConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn governed_unlimited_matches_ungoverned() {
+        let rep = paper_rep();
+        for minsupp in 1..=5 {
+            let want = search(&rep, 5, minsupp, CarpenterConfig::default()).canonicalized();
+            let outcome = search_governed(
+                &rep,
+                5,
+                minsupp,
+                CarpenterConfig::default(),
+                &Budget::unlimited(),
+            );
+            assert!(!outcome.is_interrupted());
+            assert_eq!(outcome.into_result().canonicalized(), want);
+        }
+    }
+
+    #[test]
+    fn set_budget_partial_is_a_subset_of_the_answer() {
+        use fim_core::{recode::RecodedDatabase, reference::mine_reference};
+        let rep = paper_rep();
+        let db = RecodedDatabase::from_dense(rep.txs.clone(), 5);
+        let full = mine_reference(&db, 1);
+        for cap in 0..full.len() {
+            let budget = Budget::unlimited().with_max_closed_sets(cap);
+            let outcome = search_governed(&rep, 5, 1, CarpenterConfig::default(), &budget);
+            match outcome {
+                MineOutcome::Interrupted {
+                    partial,
+                    reason,
+                    progress,
+                } => {
+                    assert_eq!(reason, TripReason::ClosedSetBudget);
+                    assert_eq!(progress.processed, partial.len() as u64);
+                    assert!(partial.len() <= cap + 1, "cap {cap}");
+                    for fs in &partial.sets {
+                        assert_eq!(
+                            full.support_of(&fs.items),
+                            Some(fs.support),
+                            "cap {cap}: {:?} must be a closed set with exact support",
+                            fs.items
+                        );
+                    }
+                }
+                other => panic!("cap {cap}: expected interruption, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_before_start_returns_empty_partial() {
+        let rep = paper_rep();
+        let token = fim_core::CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(token);
+        let outcome = search_governed(&rep, 5, 1, CarpenterConfig::default(), &budget);
+        match outcome {
+            MineOutcome::Interrupted {
+                partial, reason, ..
+            } => {
+                assert!(partial.is_empty());
+                assert_eq!(reason, TripReason::Cancelled);
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_timeout_trips_the_search() {
+        let rep = paper_rep();
+        let budget = Budget::unlimited().with_timeout(std::time::Duration::from_secs(0));
+        let outcome = search_governed(&rep, 5, 1, CarpenterConfig::default(), &budget);
+        assert!(outcome.is_interrupted());
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //! the recursion, which is why the paper reports it consistently faster
 //! than the list variant.
 
-use crate::search::{search, CarpenterConfig, Representation};
-use fim_core::{ClosedMiner, Item, ItemSet, MiningResult, RecodedDatabase, SuffixCountMatrix, Tid};
+use crate::search::{search, search_governed, CarpenterConfig, Representation};
+use fim_core::{
+    Budget, ClosedMiner, Item, ItemSet, MineOutcome, MiningResult, RecodedDatabase,
+    SuffixCountMatrix, Tid,
+};
 
 /// The matrix (Table 1) representation.
 pub struct TableRep {
@@ -104,6 +107,11 @@ impl ClosedMiner for CarpenterTableMiner {
     fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult {
         let rep = TableRep::from_database(db);
         search(&rep, db.num_items(), minsupp, self.config)
+    }
+
+    fn mine_governed(&self, db: &RecodedDatabase, minsupp: u32, budget: &Budget) -> MineOutcome {
+        let rep = TableRep::from_database(db);
+        search_governed(&rep, db.num_items(), minsupp, self.config, budget)
     }
 }
 

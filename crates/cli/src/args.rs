@@ -82,40 +82,45 @@ mod tests {
     }
 
     #[test]
-    fn key_value_pairs() {
-        let a = Args::parse(&sv(&["--supp", "8", "--algo", "ista"])).unwrap();
+    fn key_value_pairs() -> Result<(), String> {
+        let a = Args::parse(&sv(&["--supp", "8", "--algo", "ista"]))?;
         assert_eq!(a.get("supp"), Some("8"));
         assert_eq!(a.get("algo"), Some("ista"));
         assert_eq!(a.get("missing"), None);
+        Ok(())
     }
 
     #[test]
-    fn bare_flags() {
-        let a = Args::parse(&sv(&["--verbose", "--supp", "3"])).unwrap();
+    fn bare_flags() -> Result<(), String> {
+        let a = Args::parse(&sv(&["--verbose", "--supp", "3"]))?;
         assert!(a.flag("verbose"));
-        assert_eq!(a.require_parsed::<u32>("supp").unwrap(), 3);
+        assert_eq!(a.require_parsed::<u32>("supp")?, 3);
+        Ok(())
     }
 
     #[test]
-    fn trailing_flag() {
-        let a = Args::parse(&sv(&["--supp", "3", "--no-prune"])).unwrap();
+    fn trailing_flag() -> Result<(), String> {
+        let a = Args::parse(&sv(&["--supp", "3", "--no-prune"]))?;
         assert!(a.flag("no-prune"));
+        Ok(())
     }
 
     #[test]
-    fn errors() {
+    fn errors() -> Result<(), String> {
         assert!(Args::parse(&sv(&["supp", "8"])).is_err());
         assert!(Args::parse(&sv(&["--"])).is_err());
-        let a = Args::parse(&sv(&["--supp", "x"])).unwrap();
+        let a = Args::parse(&sv(&["--supp", "x"]))?;
         assert!(a.require_parsed::<u32>("supp").is_err());
         assert!(a.require("absent").is_err());
+        Ok(())
     }
 
     #[test]
-    fn parse_or_default() {
-        let a = Args::parse(&sv(&[])).unwrap();
-        assert_eq!(a.parse_or("scale", 1.5).unwrap(), 1.5);
-        let a = Args::parse(&sv(&["--scale", "0.25"])).unwrap();
-        assert_eq!(a.parse_or("scale", 1.5).unwrap(), 0.25);
+    fn parse_or_default() -> Result<(), String> {
+        let a = Args::parse(&sv(&[]))?;
+        assert_eq!(a.parse_or("scale", 1.5)?, 1.5);
+        let a = Args::parse(&sv(&["--scale", "0.25"]))?;
+        assert_eq!(a.parse_or("scale", 1.5)?, 0.25);
+        Ok(())
     }
 }

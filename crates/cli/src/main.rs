@@ -8,33 +8,40 @@
 //! fim algos
 //! ```
 //!
-//! See `fim help` for the full option list. The argument parser is
-//! hand-rolled to keep the dependency set minimal.
+//! See `fim help` for the full option list, including the resource budgets
+//! (`--timeout`, `--max-nodes`, `--max-sets`, `--degrade`) and stream
+//! checkpointing (`--checkpoint`, `--resume`). Failures map to documented
+//! exit codes (see [`errors`]). The argument parser is hand-rolled to keep
+//! the dependency set minimal.
 
 use fim_core::{
-    mine_closed_with_orders, ClosedMiner, ItemOrder, TransactionDatabase, TransactionOrder,
+    mine_closed_with_orders, Budget, ClosedMiner, ItemCatalog, ItemOrder, MineOutcome,
+    TransactionDatabase, TransactionOrder, TripReason,
 };
 use std::io::Write;
 use std::process::ExitCode;
+use std::time::Duration;
 
 mod args;
+mod errors;
 mod registry;
 
 use args::Args;
+use errors::{usage, CliError};
 use registry::{all_miner_names, miner_by_name};
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("fim: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("fim: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<(), CliError> {
     let Some((command, rest)) = argv.split_first() else {
         print_help();
         return Ok(());
@@ -55,52 +62,98 @@ fn run(argv: &[String]) -> Result<(), String> {
             print_help();
             Ok(())
         }
-        other => Err(format!("unknown command '{other}' (try 'fim help')")),
+        other => Err(usage(format!("unknown command '{other}'"))),
     }
 }
 
-fn load_db(args: &Args) -> Result<TransactionDatabase, String> {
+fn load_db(args: &Args) -> Result<TransactionDatabase, CliError> {
     match args.get("in") {
         Some("-") | None => fim_io::read_fimi(std::io::stdin().lock()),
         Some(path) => fim_io::read_fimi_path(path),
     }
-    .map_err(|e| e.to_string())
+    .map_err(CliError::from)
 }
 
-fn item_order(args: &Args) -> Result<ItemOrder, String> {
+fn item_order(args: &Args) -> Result<ItemOrder, CliError> {
     match args.get("item-order").unwrap_or("asc") {
         "asc" => Ok(ItemOrder::AscendingFrequency),
         "desc" => Ok(ItemOrder::DescendingFrequency),
         "orig" => Ok(ItemOrder::Original),
-        other => Err(format!("bad --item-order '{other}' (asc|desc|orig)")),
+        other => Err(usage(format!("bad --item-order '{other}' (asc|desc|orig)"))),
     }
 }
 
-fn tx_order(args: &Args) -> Result<TransactionOrder, String> {
+fn tx_order(args: &Args) -> Result<TransactionOrder, CliError> {
     match args.get("tx-order").unwrap_or("asc") {
         "asc" => Ok(TransactionOrder::AscendingSize),
         "desc" => Ok(TransactionOrder::DescendingSize),
         "orig" => Ok(TransactionOrder::Original),
-        other => Err(format!("bad --tx-order '{other}' (asc|desc|orig)")),
+        other => Err(usage(format!("bad --tx-order '{other}' (asc|desc|orig)"))),
     }
 }
 
-fn cmd_mine(args: &Args) -> Result<(), String> {
+/// Builds the mining [`Budget`] from `--timeout` / `--max-nodes` /
+/// `--max-sets` / `--degrade`. Unlimited when none are given.
+fn budget_from(args: &Args) -> Result<Budget, CliError> {
+    let mut budget = Budget::unlimited();
+    if let Some(t) = args.get("timeout") {
+        let secs: f64 = t
+            .parse()
+            .map_err(|e| usage(format!("bad --timeout: {e}")))?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(usage("--timeout must be a non-negative number of seconds"));
+        }
+        budget = budget.with_timeout(Duration::from_secs_f64(secs));
+    }
+    if let Some(n) = args.get("max-nodes") {
+        let nodes: usize = n
+            .parse()
+            .map_err(|e| usage(format!("bad --max-nodes: {e}")))?;
+        budget = budget.with_max_nodes(nodes);
+    }
+    if let Some(n) = args.get("max-sets") {
+        let sets: usize = n
+            .parse()
+            .map_err(|e| usage(format!("bad --max-sets: {e}")))?;
+        budget = budget.with_max_closed_sets(sets);
+    }
+    if args.flag("degrade") {
+        if budget.max_nodes.is_none() {
+            return Err(usage("--degrade needs --max-nodes (it raises the support threshold until the tree fits the node budget)"));
+        }
+        budget = budget.with_degradation();
+    }
+    Ok(budget)
+}
+
+fn cmd_mine(args: &Args) -> Result<(), CliError> {
     let algo = args.get("algo").unwrap_or("ista");
+    if args.get("checkpoint").is_some() || args.get("resume").is_some() {
+        return cmd_mine_stream(args, algo);
+    }
     let is_ista = matches!(algo, "ista" | "ista-par" | "ista-noprune");
     for f in ["no-coalesce", "no-compact", "stats"] {
         if args.flag(f) && !is_ista {
-            return Err(format!("--{f} is only available for ista variants"));
+            return Err(usage(format!("--{f} is only available for ista variants")));
         }
     }
     // `--threads N` selects the data-parallel miner with N shards
     // (0 = one per available core); only meaningful for ista variants
     let threads: Option<usize> = match args.get("threads") {
         None => None,
-        Some(t) => Some(t.parse().map_err(|e| format!("bad --threads: {e}"))?),
+        Some(t) => Some(
+            t.parse()
+                .map_err(|e| usage(format!("bad --threads: {e}")))?,
+        ),
     };
     if threads.is_some() && !is_ista {
-        return Err(format!("--threads is not available for '{algo}'"));
+        return Err(usage(format!("--threads is not available for '{algo}'")));
+    }
+    let budget = budget_from(args)?;
+    if budget.degrade && (!is_ista || threads.is_some() || algo == "ista-par") {
+        return Err(usage(
+            "--degrade is only available for the sequential ista miner",
+        ));
     }
     let ista_config = fim_ista::IstaConfig {
         policy: if algo == "ista-noprune" || args.flag("no-prune") {
@@ -122,31 +175,25 @@ fn cmd_mine(args: &Args) -> Result<(), String> {
         let resolved = match (algo, args.flag("no-prune")) {
             ("carpenter-table", true) => "carpenter-table-noprune",
             (other, true) => {
-                return Err(format!("--no-prune is not available for '{other}'"));
+                return Err(usage(format!("--no-prune is not available for '{other}'")));
             }
             (other, false) => other,
         };
         miner_by_name(resolved)?
     };
     let db = load_db(args)?;
-    // absolute --supp N, or relative --supp-rel F (fraction of transactions)
-    let supp: u32 = match (args.get("supp"), args.get("supp-rel")) {
-        (Some(_), Some(_)) => return Err("--supp and --supp-rel are exclusive".into()),
-        (Some(s), None) => s.parse().map_err(|e| format!("bad --supp: {e}"))?,
-        (None, Some(f)) => {
-            let frac: f64 = f.parse().map_err(|e| format!("bad --supp-rel: {e}"))?;
-            if !(0.0..=1.0).contains(&frac) {
-                return Err("--supp-rel must be in [0, 1]".into());
-            }
-            ((frac * db.num_transactions() as f64).ceil() as u32).max(1)
-        }
-        (None, None) => return Err("missing --supp (or --supp-rel)".into()),
-    };
+    let supp = resolve_supp(args, &db)?;
     if args.flag("stats") {
         if threads.is_some() || algo == "ista-par" {
-            return Err("--stats requires the sequential ista miner".into());
+            return Err(usage("--stats requires the sequential ista miner"));
+        }
+        if !budget.is_unlimited() {
+            return Err(usage("--stats cannot be combined with budget flags"));
         }
         return mine_ista_with_stats(args, &db, supp, ista_config);
+    }
+    if !budget.is_unlimited() {
+        return mine_governed(args, &db, supp, miner.as_ref(), &budget);
     }
     let start = std::time::Instant::now();
     let mut result = mine_closed_with_orders(
@@ -164,7 +211,7 @@ fn cmd_mine(args: &Args) -> Result<(), String> {
     };
     let elapsed = start.elapsed();
     write_out(args, |w| {
-        fim_io::write_results(&result, &db, w).map_err(|e| e.to_string())
+        fim_io::write_results(&result, &db, w).map_err(CliError::from)
     })?;
     eprintln!(
         "{}: {} {kind} sets at supp >= {supp} in {:.3}s",
@@ -173,6 +220,219 @@ fn cmd_mine(args: &Args) -> Result<(), String> {
         elapsed.as_secs_f64()
     );
     Ok(())
+}
+
+/// Resolves absolute `--supp N` or relative `--supp-rel F` (fraction of
+/// transactions) against the loaded database.
+fn resolve_supp(args: &Args, db: &TransactionDatabase) -> Result<u32, CliError> {
+    match (args.get("supp"), args.get("supp-rel")) {
+        (Some(_), Some(_)) => Err(usage("--supp and --supp-rel are exclusive")),
+        (Some(s), None) => s.parse().map_err(|e| usage(format!("bad --supp: {e}"))),
+        (None, Some(f)) => {
+            let frac: f64 = f
+                .parse()
+                .map_err(|e| usage(format!("bad --supp-rel: {e}")))?;
+            if !(0.0..=1.0).contains(&frac) {
+                return Err(usage("--supp-rel must be in [0, 1]"));
+            }
+            Ok(((frac * db.num_transactions() as f64).ceil() as u32).max(1))
+        }
+        (None, None) => Err(usage("missing --supp (or --supp-rel)")),
+    }
+}
+
+/// The governed batch path: mines under the budget, writes whatever result
+/// (complete, degraded, or the exact partial of the processed prefix) and
+/// exits 4 when a budget tripped.
+fn mine_governed(
+    args: &Args,
+    db: &TransactionDatabase,
+    supp: u32,
+    miner: &dyn ClosedMiner,
+    budget: &Budget,
+) -> Result<(), CliError> {
+    let start = std::time::Instant::now();
+    let outcome =
+        fim_core::mine_closed_governed(db, supp, miner, budget, item_order(args)?, tx_order(args)?);
+    let elapsed = start.elapsed();
+    let maximal = args.flag("maximal");
+    let kind = if maximal { "maximal" } else { "closed" };
+    match outcome {
+        MineOutcome::Complete {
+            mut result,
+            degradation,
+        } => {
+            if maximal {
+                result = fim_core::maximal_from_closed(&result);
+            }
+            write_out(args, |w| {
+                fim_io::write_results(&result, db, w).map_err(CliError::from)
+            })?;
+            if let Some(d) = degradation {
+                eprintln!(
+                    "fim: degraded to fit the node budget: effective supp {} (requested {}, {} steps)",
+                    d.effective_minsupp, d.requested_minsupp, d.steps
+                );
+            }
+            eprintln!(
+                "{}: {} {kind} sets at supp >= {supp} in {:.3}s",
+                miner.name(),
+                result.len(),
+                elapsed.as_secs_f64()
+            );
+            Ok(())
+        }
+        MineOutcome::Interrupted {
+            mut partial,
+            reason,
+            progress,
+        } => {
+            if maximal {
+                partial = fim_core::maximal_from_closed(&partial);
+            }
+            write_out(args, |w| {
+                fim_io::write_results(&partial, db, w).map_err(CliError::from)
+            })?;
+            Err(CliError::Budget(format!(
+                "{} interrupted ({reason}) at progress {progress}; wrote {} {kind} sets with exact supports",
+                miner.name(),
+                partial.len()
+            )))
+        }
+    }
+}
+
+/// The streaming path behind `--checkpoint` / `--resume`: feeds the input
+/// through an [`fim_ista::IstaStream`] one transaction at a time, so a
+/// budget trip leaves a resumable checkpoint and an exact prefix answer.
+fn cmd_mine_stream(args: &Args, algo: &str) -> Result<(), CliError> {
+    if algo != "ista" {
+        return Err(usage(format!(
+            "--checkpoint/--resume stream through the cumulative ista miner, not '{algo}'"
+        )));
+    }
+    for f in [
+        "threads",
+        "stats",
+        "no-prune",
+        "no-coalesce",
+        "no-compact",
+        "degrade",
+        "item-order",
+        "tx-order",
+        "supp-rel",
+    ] {
+        if args.get(f).is_some() {
+            return Err(usage(format!(
+                "--{f} is not available with --checkpoint/--resume"
+            )));
+        }
+    }
+    let supp: u32 = args.require_parsed("supp")?;
+    let budget = budget_from(args)?;
+    let (mut stream, mut catalog) = match args.get("resume") {
+        Some(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| CliError::Other(format!("cannot open --resume {path}: {e}")))?;
+            let mut reader = std::io::BufReader::new(file);
+            let (s, c) = fim_io::read_stream_checkpoint(&mut reader)?;
+            eprintln!(
+                "fim: resumed from {path} at {} transactions",
+                s.transactions_processed()
+            );
+            (s, c)
+        }
+        None => (fim_ista::IstaStream::new(0), ItemCatalog::new()),
+    };
+    let skip = stream.transactions_processed();
+    let db = load_db(args)?;
+    // the stream counts only non-empty transactions; skip on the same basis
+    // so resuming against the same input continues exactly where it stopped
+    let total = db.transactions().iter().filter(|t| !t.is_empty()).count() as u64;
+    let start = std::time::Instant::now();
+    let mut gov = budget.start();
+    gov.add_processed(u64::from(skip));
+    let mut tripped: Option<TripReason> = None;
+    let mut seen = 0u32;
+    for t in db.transactions() {
+        if t.is_empty() {
+            continue;
+        }
+        seen += 1;
+        if seen <= skip {
+            continue;
+        }
+        if let Some(reason) = gov.check(stream.node_count(), stream.memory_stats().approx_bytes, 0)
+        {
+            tripped = Some(reason);
+            break;
+        }
+        let coded: Result<Vec<u32>, CliError> = t
+            .iter()
+            .map(|item| {
+                db.catalog()
+                    .name(item)
+                    .map(|name| catalog.intern(name))
+                    .ok_or_else(|| CliError::Other(format!("item code {item} has no name")))
+            })
+            .collect();
+        let coded = coded?;
+        stream.grow_universe(catalog.len() as u32);
+        stream.push(&coded);
+        gov.add_processed(1);
+    }
+    let processed = stream.transactions_processed();
+    if let Some(path) = args.get("checkpoint") {
+        write_checkpoint_atomically(&mut stream, &catalog, path)?;
+    }
+    let mut result = stream.closed_sets(supp);
+    let kind = if args.flag("maximal") {
+        result = fim_core::maximal_from_closed(&result);
+        "maximal"
+    } else {
+        "closed"
+    };
+    write_out(args, |w| {
+        fim_io::write_results_named(&result, &catalog, w).map_err(CliError::from)
+    })?;
+    match tripped {
+        None => {
+            eprintln!(
+                "ista-stream: {} {kind} sets at supp >= {supp} over {processed} transactions in {:.3}s",
+                result.len(),
+                start.elapsed().as_secs_f64()
+            );
+            Ok(())
+        }
+        Some(reason) => {
+            let resume_hint = match args.get("checkpoint") {
+                Some(path) => format!("; checkpoint written, resume with --resume {path}"),
+                None => String::new(),
+            };
+            Err(CliError::Budget(format!(
+                "stream interrupted ({reason}) at progress {processed}/{total}; wrote the exact {kind} sets of the processed prefix{resume_hint}"
+            )))
+        }
+    }
+}
+
+/// Writes the stream checkpoint to `path` via a sibling temporary file and
+/// an atomic rename, so a crash mid-write never clobbers the previous good
+/// checkpoint with a torn one.
+fn write_checkpoint_atomically(
+    stream: &mut fim_ista::IstaStream,
+    catalog: &ItemCatalog,
+    path: &str,
+) -> Result<(), CliError> {
+    let tmp = format!("{path}.tmp");
+    let io_err = |what: &str, e: std::io::Error| CliError::Other(format!("{what} {tmp}: {e}"));
+    let file = std::fs::File::create(&tmp).map_err(|e| io_err("cannot create", e))?;
+    let mut w = std::io::BufWriter::new(file);
+    fim_io::write_stream_checkpoint(stream, catalog, &mut w)?;
+    w.flush().map_err(|e| io_err("cannot flush", e))?;
+    drop(w);
+    std::fs::rename(&tmp, path)
+        .map_err(|e| CliError::Other(format!("cannot rename {tmp} to {path}: {e}")))
 }
 
 /// Builds a data-parallel ista miner carrying the sequential hot-path
@@ -196,7 +456,7 @@ fn mine_ista_with_stats(
     db: &TransactionDatabase,
     supp: u32,
     config: fim_ista::IstaConfig,
-) -> Result<(), String> {
+) -> Result<(), CliError> {
     let start = std::time::Instant::now();
     let recoded = fim_core::RecodedDatabase::prepare(db, supp, item_order(args)?, tx_order(args)?);
     let (res, stats) = fim_ista::IstaMiner::with_config(config).mine_with_stats(&recoded, supp);
@@ -210,7 +470,7 @@ fn mine_ista_with_stats(
     };
     let elapsed = start.elapsed();
     write_out(args, |w| {
-        fim_io::write_results(&result, db, w).map_err(|e| e.to_string())
+        fim_io::write_results(&result, db, w).map_err(CliError::from)
     })?;
     eprintln!(
         "ista: {} {kind} sets at supp >= {supp} in {:.3}s",
@@ -234,21 +494,19 @@ fn mine_ista_with_stats(
     Ok(())
 }
 
-fn cmd_gen(args: &Args) -> Result<(), String> {
+fn cmd_gen(args: &Args) -> Result<(), CliError> {
     use fim_synth::Preset;
     let preset = match args.require("preset")? {
         "yeast" => Preset::Yeast,
         "ncbi60" => Preset::Ncbi60,
         "thrombin" => Preset::Thrombin,
         "webview" => Preset::Webview,
-        other => return Err(format!("unknown preset '{other}'")),
+        other => return Err(usage(format!("unknown preset '{other}'"))),
     };
     let scale: f64 = args.parse_or("scale", 1.0)?;
     let seed: u64 = args.parse_or("seed", 1)?;
     let db = preset.build(scale, seed);
-    write_out(args, |w| {
-        fim_io::write_fimi(&db, w).map_err(|e| e.to_string())
-    })?;
+    write_out(args, |w| fim_io::write_fimi(&db, w).map_err(CliError::from))?;
     eprintln!(
         "{}: {} transactions, {} items, {} occurrences",
         preset.name(),
@@ -259,7 +517,7 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_rules(args: &Args) -> Result<(), String> {
+fn cmd_rules(args: &Args) -> Result<(), CliError> {
     let supp: u32 = args.require_parsed("supp")?;
     let conf: f64 = args.parse_or("conf", 0.6)?;
     let db = load_db(args)?;
@@ -285,7 +543,7 @@ fn cmd_rules(args: &Args) -> Result<(), String> {
                 r.confidence,
                 r.lift
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::Other(e.to_string()))?;
         }
         Ok(())
     })?;
@@ -293,7 +551,7 @@ fn cmd_rules(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(args: &Args) -> Result<(), String> {
+fn cmd_stats(args: &Args) -> Result<(), CliError> {
     let db = load_db(args)?;
     let freq = db.item_frequencies();
     let nonzero = freq.iter().filter(|&&f| f > 0).count();
@@ -315,9 +573,9 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn write_out<F>(args: &Args, f: F) -> Result<(), String>
+fn write_out<F>(args: &Args, f: F) -> Result<(), CliError>
 where
-    F: FnOnce(&mut dyn Write) -> Result<(), String>,
+    F: FnOnce(&mut dyn Write) -> Result<(), CliError>,
 {
     match args.get("out") {
         Some("-") | None => {
@@ -326,7 +584,7 @@ where
             f(&mut lock)
         }
         Some(path) => {
-            let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            let file = std::fs::File::create(path).map_err(|e| CliError::Other(e.to_string()))?;
             let mut w = std::io::BufWriter::new(file);
             f(&mut w)
         }
@@ -342,17 +600,34 @@ USAGE:
             [--item-order asc|desc|orig] [--tx-order asc|desc|orig]
             [--maximal] [--no-prune] [--threads N]
             [--no-coalesce] [--no-compact] [--stats]
+            [--timeout SECS] [--max-nodes N] [--max-sets N] [--degrade]
+            [--checkpoint FILE] [--resume FILE]
             (--threads N shards the database over N threads and merges the
              per-shard prefix trees; 0 = one shard per core; ista only)
             (--no-coalesce disables merging identical transactions into
              weighted pairs; --no-compact disables post-prune arena
              compaction; --stats prints run counters and tree memory
              occupancy on stderr; all three are ista only)
+            (budgets: --timeout caps wall-clock seconds, --max-nodes caps
+             live prefix-tree nodes, --max-sets caps emitted sets; on a
+             trip the exact sets of the processed prefix are written and
+             the exit code is 4. --degrade instead raises the effective
+             support until the tree fits --max-nodes; sequential ista only)
+            (--checkpoint writes a resumable stream snapshot — atomically,
+             on completion or on a budget trip; --resume loads one and
+             skips the transactions it already covers; ista only)
   fim gen   --preset yeast|ncbi60|thrombin|webview [--scale X] [--seed N] [--out FILE]
   fim rules --supp N [--conf X] [--algo NAME] [--in FILE] [--out FILE]
   fim stats [--in FILE]
   fim algos
 
-FILE defaults to stdin/stdout ('-'). Algorithms: run 'fim algos'."
+FILE defaults to stdin/stdout ('-'). Algorithms: run 'fim algos'.
+
+EXIT CODES:
+  0  success
+  1  I/O or other failure
+  2  usage error (bad command line)
+  3  parse error (malformed input data or corrupt checkpoint)
+  4  a resource budget tripped (partial results were still written)"
     );
 }

@@ -1,0 +1,217 @@
+//! End-to-end tests of the `fim` binary's documented exit codes:
+//! 0 success, 1 other, 2 usage, 3 parse, 4 budget tripped. The CI
+//! fault-injection job re-asserts the same contract from the shell against
+//! the malformed corpus, so these codes are a stable interface.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fim"))
+        .args(args)
+        .output()
+        .expect("spawn fim")
+}
+
+/// The io crate's test corpus, shared instead of duplicated.
+fn data(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../io/tests/data")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A per-test scratch path, cleaned up on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("fim_cli_{}_{name}", std::process::id()));
+        Scratch(p)
+    }
+    fn path(&self) -> String {
+        self.0.to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.0).ok();
+    }
+}
+
+#[test]
+fn success_is_exit_zero() {
+    let out = fim(&["mine", "--supp", "1", "--in", &data("valid.fimi")]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(!out.stdout.is_empty());
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    for argv in [
+        vec!["frobnicate"],
+        vec!["mine", "--in", &data("valid.fimi")], // missing --supp
+        vec![
+            "mine",
+            "--supp",
+            "not-a-number",
+            "--in",
+            &data("valid.fimi"),
+        ],
+        vec![
+            "mine",
+            "--supp",
+            "1",
+            "--in",
+            &data("valid.fimi"),
+            "--degrade",
+        ],
+        vec![
+            "mine",
+            "--supp",
+            "1",
+            "--algo",
+            "no-such-algo",
+            "--in",
+            &data("valid.fimi"),
+        ],
+        vec![
+            "mine",
+            "--supp",
+            "1",
+            "--algo",
+            "eclat",
+            "--in",
+            &data("valid.fimi"),
+            "--checkpoint",
+            "/tmp/x",
+        ],
+    ] {
+        let out = fim(&argv);
+        assert_eq!(code(&out), 2, "argv {argv:?}: {}", stderr(&out));
+        assert!(stderr(&out).contains("fim help"), "argv {argv:?}");
+    }
+}
+
+#[test]
+fn malformed_input_exits_3_with_line_number() {
+    for file in [
+        "malformed/control_char.fimi",
+        "malformed/huge_code.fimi",
+        "malformed/negative_code.fimi",
+        "malformed/not_utf8.fimi",
+    ] {
+        let out = fim(&["mine", "--supp", "1", "--in", &data(file)]);
+        assert_eq!(code(&out), 3, "{file}: {}", stderr(&out));
+        assert!(stderr(&out).contains("line 2"), "{file}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn tripped_timeout_exits_4_for_every_governed_algo() {
+    for algo in ["ista", "carpenter-lists", "eclat"] {
+        let out = fim(&[
+            "mine",
+            "--supp",
+            "1",
+            "--algo",
+            algo,
+            "--in",
+            &data("valid.fimi"),
+            "--timeout",
+            "0",
+        ]);
+        assert_eq!(code(&out), 4, "{algo}: {}", stderr(&out));
+        assert!(stderr(&out).contains("timeout"), "{algo}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn degradation_completes_with_exit_zero() {
+    let out = fim(&[
+        "mine",
+        "--supp",
+        "1",
+        "--in",
+        &data("valid.fimi"),
+        "--max-nodes",
+        "1",
+        "--degrade",
+    ]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    assert!(stderr(&out).contains("degraded"), "{}", stderr(&out));
+}
+
+#[test]
+fn checkpoint_trip_then_resume_matches_straight_run() {
+    let ck = Scratch::new("resume.ck");
+    let straight = fim(&["mine", "--supp", "1", "--in", &data("valid.fimi")]);
+    assert_eq!(code(&straight), 0, "{}", stderr(&straight));
+
+    // a 1-node budget trips after the first transaction builds its path
+    let tripped = fim(&[
+        "mine",
+        "--supp",
+        "1",
+        "--in",
+        &data("valid.fimi"),
+        "--checkpoint",
+        &ck.path(),
+        "--max-nodes",
+        "1",
+    ]);
+    assert_eq!(code(&tripped), 4, "{}", stderr(&tripped));
+    assert!(
+        stderr(&tripped).contains("--resume"),
+        "{}",
+        stderr(&tripped)
+    );
+
+    let resumed = fim(&[
+        "mine",
+        "--supp",
+        "1",
+        "--in",
+        &data("valid.fimi"),
+        "--resume",
+        &ck.path(),
+    ]);
+    assert_eq!(code(&resumed), 0, "{}", stderr(&resumed));
+    assert_eq!(
+        String::from_utf8_lossy(&resumed.stdout),
+        String::from_utf8_lossy(&straight.stdout),
+        "resumed run diverged from the uninterrupted one"
+    );
+}
+
+#[test]
+fn corrupt_checkpoint_exits_3() {
+    let ck = Scratch::new("corrupt.ck");
+    std::fs::write(&ck.0, b"ISTC garbage that is no checkpoint").expect("write scratch");
+    let out = fim(&[
+        "mine",
+        "--supp",
+        "1",
+        "--in",
+        &data("valid.fimi"),
+        "--resume",
+        &ck.path(),
+    ]);
+    assert_eq!(code(&out), 3, "{}", stderr(&out));
+}
+
+#[test]
+fn missing_input_file_exits_1() {
+    let out = fim(&["mine", "--supp", "1", "--in", "/nonexistent/nowhere.fimi"]);
+    assert_eq!(code(&out), 1, "{}", stderr(&out));
+}

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::govern::TripReason;
+
 /// Errors raised by database construction, parsing, and mining entry points.
 #[derive(Debug)]
 pub enum FimError {
@@ -16,6 +18,15 @@ pub enum FimError {
     },
     /// Invalid parameters or inconsistent inputs supplied by the caller.
     InvalidInput(String),
+    /// A governed mining run tripped its [`Budget`](crate::Budget) — used
+    /// by entry points that cannot return a partial
+    /// [`MineOutcome`](crate::MineOutcome) and must surface the trip as an
+    /// error instead.
+    Interrupted(TripReason),
+    /// A persisted artifact (checkpoint snapshot) failed validation:
+    /// unknown magic, unsupported version, CRC mismatch, or inconsistent
+    /// structure.
+    Corrupt(String),
 }
 
 impl fmt::Display for FimError {
@@ -26,6 +37,8 @@ impl fmt::Display for FimError {
                 write!(f, "parse error at line {line}: {message}")
             }
             FimError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            FimError::Interrupted(reason) => write!(f, "interrupted: {reason}"),
+            FimError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
         }
     }
 }
@@ -34,7 +47,10 @@ impl std::error::Error for FimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FimError::Io(e) => Some(e),
-            _ => None,
+            FimError::Parse { .. }
+            | FimError::InvalidInput(_)
+            | FimError::Interrupted(_)
+            | FimError::Corrupt(_) => None,
         }
     }
 }
@@ -69,5 +85,35 @@ mod tests {
         assert!(e.source().is_some());
         let e = FimError::InvalidInput("x".into());
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn interrupted_and_corrupt_display() {
+        let e = FimError::Interrupted(TripReason::Timeout);
+        assert_eq!(e.to_string(), "interrupted: timeout");
+        let e = FimError::Interrupted(TripReason::NodeBudget);
+        assert_eq!(e.to_string(), "interrupted: node budget");
+        let e = FimError::Corrupt("crc mismatch".into());
+        assert_eq!(e.to_string(), "corrupt snapshot: crc mismatch");
+    }
+
+    #[test]
+    fn source_covers_every_variant() {
+        use std::error::Error;
+        let variants = [
+            FimError::Parse {
+                line: 1,
+                message: "x".into(),
+            },
+            FimError::InvalidInput("x".into()),
+            FimError::Interrupted(TripReason::Cancelled),
+            FimError::Corrupt("x".into()),
+        ];
+        for v in variants {
+            assert!(v.source().is_none(), "{v}");
+        }
+        assert!(FimError::from(std::io::Error::other("io"))
+            .source()
+            .is_some());
     }
 }

@@ -21,6 +21,9 @@
 //!   connection (paper §2.4–2.5) in [`galois`],
 //! * the [`ClosedMiner`] trait with [`MiningResult`]/[`FoundSet`] result
 //!   types so that all algorithms are interchangeable and comparable,
+//! * the [`govern`] resource-governance layer: [`Budget`]s (wall-clock
+//!   deadline, node/byte caps, cancellation), the [`checkpoint!`] hot-loop
+//!   macro, and structured [`MineOutcome`]s with exact partial results,
 //! * a brute-force [`reference`] miner used as ground truth in tests.
 //!
 //! Item codes inside a [`RecodedDatabase`] are dense `u32` values
@@ -41,6 +44,7 @@ pub mod cover;
 pub mod database;
 pub mod error;
 pub mod galois;
+pub mod govern;
 pub mod itemset;
 pub mod matrix;
 pub mod maximal;
@@ -55,11 +59,13 @@ pub use closure::{closure, is_closed};
 pub use cover::{cover, support, TidLists};
 pub use database::TransactionDatabase;
 pub use error::FimError;
+pub use govern::{Budget, CancelToken, Degradation, Governor, MineOutcome, Progress, TripReason};
 pub use itemset::ItemSet;
 pub use matrix::{BitMatrix, SuffixCountMatrix};
 pub use maximal::maximal_from_closed;
 pub use miner::{
-    mine_closed, mine_closed_relative, mine_closed_with_orders, ClosedMiner, FoundSet, MiningResult,
+    mine_closed, mine_closed_governed, mine_closed_relative, mine_closed_with_orders, ClosedMiner,
+    FoundSet, MiningResult,
 };
 pub use order::{ItemOrder, TransactionOrder};
 pub use prepare::{cmp_size_then_desc_lex, coalesce};

@@ -4,6 +4,7 @@
 
 use crate::{
     database::TransactionDatabase,
+    govern::{Budget, MineOutcome, Progress},
     itemset::ItemSet,
     order::{ItemOrder, TransactionOrder},
     recode::{Recode, RecodedDatabase},
@@ -125,6 +126,30 @@ pub trait ClosedMiner {
 
     /// Mines all closed frequent item sets of `db` at `minsupp ≥ 1`.
     fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult;
+
+    /// Mines under a resource [`Budget`], returning a structured
+    /// [`MineOutcome`].
+    ///
+    /// The default implementation checks the budget once up front and then
+    /// runs [`ClosedMiner::mine`] to completion, so miners without a
+    /// governed hot loop still honour an already-expired deadline or an
+    /// already-cancelled token. Miners with governed hot loops (IsTa,
+    /// Carpenter, Eclat) override this to interrupt mid-run and return the
+    /// exact closed sets of the processed prefix.
+    fn mine_governed(&self, db: &RecodedDatabase, minsupp: u32, budget: &Budget) -> MineOutcome {
+        let mut gov = budget.start();
+        if let Some(reason) = gov.check(0, 0, 0) {
+            return MineOutcome::Interrupted {
+                partial: MiningResult::new(),
+                reason,
+                progress: Progress {
+                    processed: 0,
+                    total: Some(db.transactions().len() as u64),
+                },
+            };
+        }
+        MineOutcome::complete(self.mine(db, minsupp))
+    }
 }
 
 /// End-to-end convenience: recode `db` with the miner-friendly default
@@ -162,6 +187,27 @@ pub fn mine_closed_relative(
     );
     let minsupp = (fraction * db.num_transactions() as f64).ceil() as u32;
     mine_closed(db, minsupp.max(1), miner)
+}
+
+/// Like [`mine_closed_with_orders`], but governed by a resource [`Budget`]:
+/// recodes `db`, runs [`ClosedMiner::mine_governed`], and decodes +
+/// canonicalizes whichever result (complete or partial) comes back.
+pub fn mine_closed_governed(
+    db: &TransactionDatabase,
+    minsupp: u32,
+    miner: &dyn ClosedMiner,
+    budget: &Budget,
+    item_order: ItemOrder,
+    tx_order: TransactionOrder,
+) -> MineOutcome {
+    let recoded = RecodedDatabase::prepare(db, minsupp, item_order, tx_order);
+    miner
+        .mine_governed(&recoded, minsupp.max(1), budget)
+        .map_result(|r| {
+            let mut decoded = r.decode(recoded.recode());
+            decoded.canonicalize();
+            decoded
+        })
 }
 
 /// Like [`mine_closed`], with explicit orders (for the §3.4 ablations).
@@ -244,6 +290,48 @@ mod tests {
         let d = r.decode(&recode);
         assert_eq!(d.sets[0].items, ItemSet::from([0, 2]));
         assert_eq!(d.sets[0].support, 7);
+    }
+
+    #[test]
+    fn default_mine_governed_honours_expired_budget() {
+        let db = TransactionDatabase::from_named(&[vec!["x", "y"], vec!["x"]]);
+        let recoded =
+            RecodedDatabase::prepare(&db, 1, ItemOrder::default(), TransactionOrder::default());
+        let cancel = crate::CancelToken::new();
+        cancel.cancel();
+        let budget = crate::Budget::unlimited().with_cancel(cancel);
+        let outcome = SingletonMiner.mine_governed(&recoded, 1, &budget);
+        match outcome {
+            crate::MineOutcome::Interrupted {
+                partial,
+                reason,
+                progress,
+            } => {
+                assert!(partial.is_empty());
+                assert_eq!(reason, crate::TripReason::Cancelled);
+                assert_eq!(progress.total, Some(2));
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
+        // an unlimited budget falls through to a plain complete mine
+        let outcome = SingletonMiner.mine_governed(&recoded, 1, &crate::Budget::unlimited());
+        assert!(!outcome.is_interrupted());
+    }
+
+    #[test]
+    fn mine_closed_governed_decodes_and_canonicalizes() {
+        let db =
+            TransactionDatabase::from_named(&[vec!["x", "rare"], vec!["x", "y"], vec!["x", "y"]]);
+        let outcome = mine_closed_governed(
+            &db,
+            2,
+            &SingletonMiner,
+            &crate::Budget::unlimited(),
+            ItemOrder::default(),
+            TransactionOrder::default(),
+        );
+        assert!(!outcome.is_interrupted());
+        assert_eq!(outcome.result().support_of(&ItemSet::from([0])), Some(3));
     }
 
     #[test]

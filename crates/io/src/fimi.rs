@@ -2,25 +2,91 @@
 //! whitespace-separated tokens. Tokens are treated as opaque item names
 //! (they need not be numbers); blank lines are empty transactions and lines
 //! starting with `#` are comments.
+//!
+//! The reader is hardened against hostile input: every line is read through
+//! a byte-bounded window (a single newline-free multi-gigabyte "line"
+//! cannot buffer unbounded memory), and configurable [`FimiLimits`] cap the
+//! line length, the items per transaction, and the magnitude of numeric
+//! item codes. Every violation — including invalid UTF-8 and stray control
+//! characters — is a [`FimError::Parse`] carrying the 1-based line number,
+//! never a panic.
 
 use fim_core::{FimError, TransactionDatabase};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
-/// Reads a transaction database from FIMI-format text.
+/// Input caps for the FIMI reader (see [`read_fimi_with_limits`]).
+///
+/// The defaults are far above anything in the public FIMI benchmark files
+/// but low enough to stop a hostile file from exhausting memory: 1 MiB per
+/// line, 65 536 items per transaction, and numeric item codes up to
+/// `u32::MAX` (the workspace-wide [`fim_core::Item`] range).
+#[derive(Clone, Copy, Debug)]
+pub struct FimiLimits {
+    /// Maximum content bytes per line (excluding the line terminator).
+    pub max_line_bytes: usize,
+    /// Maximum item tokens in one transaction line.
+    pub max_items_per_transaction: usize,
+    /// Maximum value of a fully numeric item token. Non-numeric tokens are
+    /// opaque names and not affected.
+    pub max_item_code: u64,
+}
+
+impl Default for FimiLimits {
+    fn default() -> Self {
+        FimiLimits {
+            max_line_bytes: 1 << 20,
+            max_items_per_transaction: 1 << 16,
+            max_item_code: u64::from(u32::MAX),
+        }
+    }
+}
+
+/// Reads a transaction database from FIMI-format text with the default
+/// [`FimiLimits`].
 pub fn read_fimi<R: Read>(reader: R) -> Result<TransactionDatabase, FimError> {
+    read_fimi_with_limits(reader, &FimiLimits::default())
+}
+
+/// Reads a transaction database from FIMI-format text, enforcing `limits`.
+///
+/// Violations are reported as [`FimError::Parse`] with the 1-based line
+/// number; I/O failures stay [`FimError::Io`].
+pub fn read_fimi_with_limits<R: Read>(
+    reader: R,
+    limits: &FimiLimits,
+) -> Result<TransactionDatabase, FimError> {
     let mut db = TransactionDatabase::new();
-    let mut line = String::new();
     let mut reader = BufReader::new(reader);
+    let mut buf: Vec<u8> = Vec::new();
     let mut lineno = 0usize;
     loop {
-        line.clear();
-        let n = reader.read_line(&mut line)?;
+        buf.clear();
+        // bounded read: never buffer more than the cap plus the room needed
+        // to tell "exactly at the cap" from "over it"
+        let window = limits.max_line_bytes.saturating_add(2) as u64;
+        let n = (&mut reader).take(window).read_until(b'\n', &mut buf)?;
         if n == 0 {
             break;
         }
         lineno += 1;
-        let trimmed = line.trim();
+        if buf.last() == Some(&b'\n') {
+            buf.pop();
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+        }
+        if buf.len() > limits.max_line_bytes {
+            return Err(FimError::Parse {
+                line: lineno,
+                message: format!("line exceeds {} bytes", limits.max_line_bytes),
+            });
+        }
+        let text = std::str::from_utf8(&buf).map_err(|_| FimError::Parse {
+            line: lineno,
+            message: "invalid UTF-8".into(),
+        })?;
+        let trimmed = text.trim();
         if trimmed.starts_with('#') {
             continue;
         }
@@ -31,14 +97,61 @@ pub fn read_fimi<R: Read>(reader: R) -> Result<TransactionDatabase, FimError> {
             });
         }
         let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+        if tokens.len() > limits.max_items_per_transaction {
+            return Err(FimError::Parse {
+                line: lineno,
+                message: format!(
+                    "{} items in one transaction exceeds the cap of {}",
+                    tokens.len(),
+                    limits.max_items_per_transaction
+                ),
+            });
+        }
+        for token in &tokens {
+            check_token(token, limits, lineno)?;
+        }
         db.push_named(&tokens);
     }
     Ok(db)
 }
 
-/// Reads a FIMI file from disk.
+/// Rejects numeric tokens outside the configured item-code range. A token
+/// is *numeric* when it is all ASCII digits (or a `-` followed by digits);
+/// anything else is an opaque item name and passes.
+fn check_token(token: &str, limits: &FimiLimits, lineno: usize) -> Result<(), FimError> {
+    let body = token.strip_prefix('-').unwrap_or(token);
+    if body.is_empty() || !body.bytes().all(|b| b.is_ascii_digit()) {
+        return Ok(());
+    }
+    if token.starts_with('-') {
+        return Err(FimError::Parse {
+            line: lineno,
+            message: format!("negative item code `{token}`"),
+        });
+    }
+    match token.parse::<u64>() {
+        Ok(code) if code <= limits.max_item_code => Ok(()),
+        _ => Err(FimError::Parse {
+            line: lineno,
+            message: format!(
+                "item code `{token}` exceeds the cap of {}",
+                limits.max_item_code
+            ),
+        }),
+    }
+}
+
+/// Reads a FIMI file from disk with the default [`FimiLimits`].
 pub fn read_fimi_path<P: AsRef<Path>>(path: P) -> Result<TransactionDatabase, FimError> {
     read_fimi(std::fs::File::open(path)?)
+}
+
+/// Reads a FIMI file from disk, enforcing `limits`.
+pub fn read_fimi_path_with_limits<P: AsRef<Path>>(
+    path: P,
+    limits: &FimiLimits,
+) -> Result<TransactionDatabase, FimError> {
+    read_fimi_with_limits(std::fs::File::open(path)?, limits)
 }
 
 /// Writes a transaction database in FIMI format (item names as tokens).
@@ -128,5 +241,81 @@ mod tests {
     fn missing_file_is_io_error() {
         let e = read_fimi_path("/nonexistent/nowhere.fimi").unwrap_err();
         assert!(matches!(e, FimError::Io(_)));
+    }
+
+    fn parse_line(e: FimError) -> usize {
+        match e {
+            FimError::Parse { line, .. } => line,
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn long_line_rejected_with_line_number() {
+        let limits = FimiLimits {
+            max_line_bytes: 16,
+            ..FimiLimits::default()
+        };
+        let text = "a b\nc d e f g h i j k l m n o p\nq\n";
+        let e = read_fimi_with_limits(text.as_bytes(), &limits).unwrap_err();
+        assert_eq!(parse_line(e), 2);
+        // exactly at the cap is fine
+        let ok = read_fimi_with_limits("0123456789abcdef\n".as_bytes(), &limits).unwrap();
+        assert_eq!(ok.num_transactions(), 1);
+    }
+
+    #[test]
+    fn unbounded_line_without_newline_is_rejected_not_buffered() {
+        let limits = FimiLimits {
+            max_line_bytes: 8,
+            ..FimiLimits::default()
+        };
+        // no trailing newline at all: the bounded window must still trip
+        let e = read_fimi_with_limits("aaaaaaaaaaaaaaaaaaaaaaaa".as_bytes(), &limits).unwrap_err();
+        assert_eq!(parse_line(e), 1);
+    }
+
+    #[test]
+    fn too_many_items_rejected() {
+        let limits = FimiLimits {
+            max_items_per_transaction: 3,
+            ..FimiLimits::default()
+        };
+        assert!(read_fimi_with_limits("a b c\n".as_bytes(), &limits).is_ok());
+        let e = read_fimi_with_limits("x\na b c d\n".as_bytes(), &limits).unwrap_err();
+        assert_eq!(parse_line(e), 2);
+    }
+
+    #[test]
+    fn numeric_code_magnitude_capped() {
+        // default cap is u32::MAX
+        let e = read_fimi("1 2 4294967296\n".as_bytes()).unwrap_err();
+        assert_eq!(parse_line(e), 1);
+        assert!(read_fimi("1 2 4294967295\n".as_bytes()).is_ok());
+        // numbers too large for u64 must not panic either
+        let e = read_fimi("99999999999999999999999999\n".as_bytes()).unwrap_err();
+        assert_eq!(parse_line(e), 1);
+    }
+
+    #[test]
+    fn negative_codes_rejected_but_names_with_dashes_pass() {
+        let e = read_fimi("3 -7\n".as_bytes()).unwrap_err();
+        assert_eq!(parse_line(e), 1);
+        // not numeric: opaque names
+        let db = read_fimi("gene-7 -x- -\n".as_bytes()).unwrap();
+        assert_eq!(db.num_items(), 3);
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_parse_error_with_line_number() {
+        let bytes: &[u8] = b"a b\n\xff\xfe\n";
+        let e = read_fimi(bytes).unwrap_err();
+        assert_eq!(parse_line(e), 2);
+    }
+
+    #[test]
+    fn control_character_line_number_is_exact() {
+        let e = read_fimi("a\nb\nc\x07 d\n".as_bytes()).unwrap_err();
+        assert_eq!(parse_line(e), 3);
     }
 }

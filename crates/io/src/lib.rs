@@ -10,15 +10,23 @@
 //!   matrices (genes × conditions of log expression values),
 //! * [`results`] — writers for mined closed sets (the output format of
 //!   Borgelt's `ista`/`carpenter` programs: items then `(support)`), plus a
-//!   CSV writer for the experiment harness.
+//!   CSV writer for the experiment harness,
+//! * [`checkpoint`] — self-validating stream checkpoints that persist an
+//!   [`fim_ista::IstaStream`] together with its item-name catalog, so an
+//!   interrupted run can resume in a fresh process.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod fimi;
 pub mod matrix_io;
 pub mod results;
 
-pub use fimi::{read_fimi, read_fimi_path, write_fimi, write_fimi_path};
+pub use checkpoint::{read_stream_checkpoint, write_stream_checkpoint};
+pub use fimi::{
+    read_fimi, read_fimi_path, read_fimi_path_with_limits, read_fimi_with_limits, write_fimi,
+    write_fimi_path, FimiLimits,
+};
 pub use matrix_io::{read_matrix, write_matrix};
-pub use results::{write_results, write_results_csv};
+pub use results::{write_results, write_results_csv, write_results_named};

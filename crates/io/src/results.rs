@@ -9,7 +9,7 @@
 //! d e (3)
 //! ```
 
-use fim_core::{FimError, MiningResult, TransactionDatabase};
+use fim_core::{FimError, ItemCatalog, MiningResult, TransactionDatabase};
 use std::io::Write;
 
 /// Writes a mining result (over raw catalog codes) with item names from
@@ -17,12 +17,23 @@ use std::io::Write;
 pub fn write_results<W: Write>(
     result: &MiningResult,
     db: &TransactionDatabase,
+    writer: W,
+) -> Result<(), FimError> {
+    write_results_named(result, db.catalog(), writer)
+}
+
+/// Like [`write_results`], naming items from a bare [`ItemCatalog`] — for
+/// results whose codes were minted outside a [`TransactionDatabase`], such
+/// as a resumed stream checkpoint.
+pub fn write_results_named<W: Write>(
+    result: &MiningResult,
+    catalog: &ItemCatalog,
     mut writer: W,
 ) -> Result<(), FimError> {
     for s in &result.sets {
         let mut first = true;
         for item in s.items.iter() {
-            let name = db.catalog().name(item).ok_or_else(|| {
+            let name = catalog.name(item).ok_or_else(|| {
                 FimError::InvalidInput(format!("item code {item} has no catalog name"))
             })?;
             if !first {

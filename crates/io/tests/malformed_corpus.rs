@@ -1,0 +1,94 @@
+//! The malformed-input corpus under `tests/data/malformed/`: every file
+//! must be rejected with a [`FimError::Parse`] carrying the right line
+//! number — never a panic, never a silent partial read. The same corpus is
+//! fed to the CLI by the CI fault-injection job, which asserts the
+//! documented parse exit code.
+
+use fim_core::FimError;
+use fim_io::fimi::{read_fimi_path_with_limits, FimiLimits};
+use fim_io::read_fimi_path;
+use std::path::PathBuf;
+
+fn data(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name)
+}
+
+fn expect_parse_at(result: Result<fim_core::TransactionDatabase, FimError>, line: usize) {
+    match result {
+        Err(FimError::Parse { line: got, message }) => {
+            assert_eq!(got, line, "wrong line in: {message}");
+        }
+        Err(other) => panic!("expected a parse error, got {other}"),
+        Ok(db) => panic!(
+            "malformed file was accepted ({} transactions)",
+            db.num_transactions()
+        ),
+    }
+}
+
+#[test]
+fn valid_file_parses() {
+    let db = read_fimi_path(data("valid.fimi")).expect("valid corpus file");
+    assert_eq!(db.num_transactions(), 3);
+    assert_eq!(db.num_items(), 4);
+}
+
+#[test]
+fn control_char_rejected() {
+    expect_parse_at(read_fimi_path(data("malformed/control_char.fimi")), 2);
+}
+
+#[test]
+fn huge_item_code_rejected() {
+    expect_parse_at(read_fimi_path(data("malformed/huge_code.fimi")), 2);
+}
+
+#[test]
+fn negative_item_code_rejected() {
+    expect_parse_at(read_fimi_path(data("malformed/negative_code.fimi")), 2);
+}
+
+#[test]
+fn invalid_utf8_rejected() {
+    expect_parse_at(read_fimi_path(data("malformed/not_utf8.fimi")), 2);
+}
+
+#[test]
+fn over_long_line_rejected_under_tight_limit() {
+    let limits = FimiLimits {
+        max_line_bytes: 1024,
+        ..FimiLimits::default()
+    };
+    expect_parse_at(
+        read_fimi_path_with_limits(data("malformed/long_line.fimi"), &limits),
+        2,
+    );
+}
+
+#[test]
+fn corpus_is_complete() {
+    // guard against corpus files being added without a matching test
+    let dir = data("malformed");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("malformed corpus directory")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    names.sort();
+    assert_eq!(
+        names,
+        vec![
+            "control_char.fimi",
+            "huge_code.fimi",
+            "long_line.fimi",
+            "negative_code.fimi",
+            "not_utf8.fimi",
+        ]
+    );
+}

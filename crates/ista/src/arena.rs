@@ -159,6 +159,14 @@ impl NodeArena {
         remap[root as usize]
     }
 
+    /// All slots in index order, live and free-listed alike (free slots are
+    /// distinguishable only through the free list, so callers should
+    /// [`compact`](Self::compact) first when they need live nodes only —
+    /// the snapshot writer does).
+    pub fn slots(&self) -> &[Node] {
+        &self.nodes
+    }
+
     /// Immutable node access.
     #[inline]
     pub fn get(&self, idx: u32) -> &Node {

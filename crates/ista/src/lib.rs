@@ -35,11 +35,12 @@
 pub mod arena;
 pub mod miner;
 pub mod parallel;
+pub mod snapshot;
 pub mod stream;
 pub mod tree;
 
 pub use arena::{Node, NodeArena, NONE};
 pub use miner::{IstaConfig, IstaMiner, MineStats, PrunePacer, PrunePolicy};
-pub use parallel::{ParallelConfig, ParallelIstaMiner};
+pub use parallel::{ParallelConfig, ParallelIstaMiner, ParallelMineStats};
 pub use stream::IstaStream;
 pub use tree::{PrefixTree, TreeMemoryStats};

@@ -1,7 +1,10 @@
 //! The [`IstaMiner`]: driving the prefix tree over a recoded database.
 
 use crate::tree::{PrefixTree, TreeMemoryStats};
-use fim_core::{prepare, ClosedMiner, Item, MiningResult, RecodedDatabase};
+use fim_core::{
+    checkpoint, prepare, Budget, ClosedMiner, Degradation, Governor, Item, MineOutcome,
+    MiningResult, Progress, RecodedDatabase, TripReason,
+};
 
 /// When to run the item-elimination pruning pass (paper §3.2).
 ///
@@ -154,7 +157,44 @@ impl IstaMiner {
     /// Like [`ClosedMiner::mine`], but also reports run counters and the
     /// final tree memory occupancy.
     pub fn mine_with_stats(&self, db: &RecodedDatabase, minsupp: u32) -> (MiningResult, MineStats) {
-        let minsupp = minsupp.max(1);
+        let (outcome, stats) = self.run(db, minsupp, None, false);
+        (outcome.into_result(), stats)
+    }
+
+    /// Governed mining with run counters: like
+    /// [`ClosedMiner::mine_governed`] with the [`MineStats`] of
+    /// [`mine_with_stats`](Self::mine_with_stats) alongside. On a trip the
+    /// stats describe the tree at the trip point.
+    pub fn mine_governed_with_stats(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        budget: &Budget,
+    ) -> (MineOutcome, MineStats) {
+        self.run(db, minsupp, Some(budget.start()), budget.degrade)
+    }
+
+    /// The one mining loop behind both entry points. `gov` is `None` for
+    /// ungoverned runs, whose per-transaction checkpoint is then a single
+    /// pattern match (see [`checkpoint!`]).
+    ///
+    /// The partial result on interruption is *exact*: the tree after `k`
+    /// (weighted) transactions holds the closed sets of that prefix, and
+    /// item-elimination pruning never removes a set that is frequent in
+    /// any prefix — a pruned set has `supp + remaining < minsupp` against
+    /// the *full* database, which bounds its support in every prefix below
+    /// `minsupp` too. So `report(minsupp)` on the interrupted tree equals
+    /// mining the processed prefix alone.
+    fn run(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        mut gov: Option<Governor>,
+        degrade: bool,
+    ) -> (MineOutcome, MineStats) {
+        let requested = minsupp.max(1);
+        let mut minsupp_eff = requested;
+        let mut degradation: Option<Degradation> = None;
         let txs: Vec<(&[Item], u32)> = if self.config.coalesce {
             prepare::coalesce(db.transactions())
         } else {
@@ -165,16 +205,77 @@ impl IstaMiner {
             distinct_transactions: txs.len(),
             ..MineStats::default()
         };
+        let total_weight = db.transactions().len() as u64;
         let mut tree = PrefixTree::new(db.num_items());
         let mut remaining: Vec<u32> = db.item_supports().to_vec();
         let mut pacer = PrunePacer::new(self.config.policy);
+        if let Some(reason) = checkpoint!(gov, 0, 0, 0) {
+            // already expired/cancelled before the first transaction
+            stats.memory = tree.memory_stats();
+            let outcome = MineOutcome::Interrupted {
+                partial: MiningResult::new(),
+                reason,
+                progress: Progress {
+                    processed: 0,
+                    total: Some(total_weight),
+                },
+            };
+            return (outcome, stats);
+        }
         for (t, w) in &txs {
             for &i in t.iter() {
                 remaining[i as usize] -= w;
             }
             tree.add_transaction_weighted(t, *w);
+            if let Some(g) = gov.as_mut() {
+                g.add_processed(u64::from(*w));
+            }
+            if let Some(reason) =
+                checkpoint!(gov, tree.node_count(), tree.memory_stats().approx_bytes, 0)
+            {
+                if degrade && reason == TripReason::NodeBudget {
+                    let g = gov.as_mut().expect("a tripped governor is present");
+                    let cap = g.node_budget().unwrap_or(0);
+                    let d = degradation.get_or_insert(Degradation {
+                        requested_minsupp: requested,
+                        effective_minsupp: minsupp_eff,
+                        steps: 0,
+                    });
+                    // raise the threshold until the tree fits again; the
+                    // reported sets become exactly the closed sets at the
+                    // raised threshold (pruning keeps those supports exact)
+                    while tree.node_count() > cap && minsupp_eff != u32::MAX {
+                        minsupp_eff = minsupp_eff
+                            .saturating_mul(2)
+                            .max(minsupp_eff.saturating_add(1));
+                        tree.prune(&remaining, minsupp_eff);
+                        d.steps += 1;
+                        stats.prune_passes += 1;
+                    }
+                    d.effective_minsupp = minsupp_eff;
+                    if self.config.compact && tree.compact_if_fragmented() {
+                        stats.compactions += 1;
+                    }
+                    pacer.pruned(tree.node_count());
+                } else {
+                    stats.memory = tree.memory_stats();
+                    let partial = MiningResult {
+                        sets: tree.report(minsupp_eff),
+                    };
+                    let processed = gov.as_ref().map_or(0, Governor::processed);
+                    let outcome = MineOutcome::Interrupted {
+                        partial,
+                        reason,
+                        progress: Progress {
+                            processed,
+                            total: Some(total_weight),
+                        },
+                    };
+                    return (outcome, stats);
+                }
+            }
             if pacer.due(tree.node_count()) {
-                tree.prune(&remaining, minsupp);
+                tree.prune(&remaining, minsupp_eff);
                 pacer.pruned(tree.node_count());
                 stats.prune_passes += 1;
                 if self.config.compact && tree.compact_if_fragmented() {
@@ -189,9 +290,13 @@ impl IstaMiner {
         }
         stats.memory = tree.memory_stats();
         let result = MiningResult {
-            sets: tree.report(minsupp),
+            sets: tree.report(minsupp_eff),
         };
-        (result, stats)
+        let outcome = MineOutcome::Complete {
+            result,
+            degradation,
+        };
+        (outcome, stats)
     }
 }
 
@@ -202,6 +307,10 @@ impl ClosedMiner for IstaMiner {
 
     fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult {
         self.mine_with_stats(db, minsupp).0
+    }
+
+    fn mine_governed(&self, db: &RecodedDatabase, minsupp: u32, budget: &Budget) -> MineOutcome {
+        self.mine_governed_with_stats(db, minsupp, budget).0
     }
 }
 
@@ -363,6 +472,118 @@ mod tests {
     #[test]
     fn miner_name() {
         assert_eq!(IstaMiner::default().name(), "ista");
+    }
+
+    #[test]
+    fn governed_unlimited_budget_is_complete_and_identical() {
+        let db = paper_db();
+        for minsupp in 1..=4 {
+            let want = IstaMiner::default().mine(&db, minsupp).canonicalized();
+            let outcome =
+                IstaMiner::default().mine_governed(&db, minsupp, &fim_core::Budget::unlimited());
+            assert!(!outcome.is_interrupted());
+            assert_eq!(outcome.into_result().canonicalized(), want);
+        }
+    }
+
+    #[test]
+    fn transaction_budget_yields_exact_prefix_result() {
+        let db = paper_db();
+        let miner = IstaMiner::with_config(IstaConfig::without_coalescing());
+        for k in 1..db.transactions().len() {
+            let budget = fim_core::Budget::unlimited().with_max_transactions(k as u64);
+            let (outcome, _) = miner.mine_governed_with_stats(&db, 2, &budget);
+            let prefix = RecodedDatabase::from_dense(
+                db.transactions()[..k].iter().map(|t| t.to_vec()).collect(),
+                db.num_items(),
+            );
+            let want = mine_reference(&prefix, 2);
+            match outcome {
+                fim_core::MineOutcome::Interrupted {
+                    partial,
+                    reason,
+                    progress,
+                } => {
+                    assert_eq!(reason, fim_core::TripReason::TransactionBudget);
+                    assert_eq!(progress.processed, k as u64);
+                    assert_eq!(progress.total, Some(8));
+                    assert_eq!(partial.canonicalized(), want, "prefix {k}");
+                }
+                other => panic!("expected interruption at k={k}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_token_interrupts_before_first_transaction() {
+        let db = paper_db();
+        let token = fim_core::CancelToken::new();
+        token.cancel();
+        let budget = fim_core::Budget::unlimited().with_cancel(token);
+        let (outcome, _) = IstaMiner::default().mine_governed_with_stats(&db, 1, &budget);
+        match outcome {
+            fim_core::MineOutcome::Interrupted {
+                partial,
+                reason,
+                progress,
+            } => {
+                assert!(partial.is_empty());
+                assert_eq!(reason, fim_core::TripReason::Cancelled);
+                assert_eq!(progress.processed, 0);
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_budget_without_degradation_interrupts() {
+        let db = paper_db();
+        let budget = fim_core::Budget::unlimited().with_max_nodes(3);
+        let (outcome, _) = IstaMiner::default().mine_governed_with_stats(&db, 1, &budget);
+        match outcome {
+            fim_core::MineOutcome::Interrupted { reason, .. } => {
+                assert_eq!(reason, fim_core::TripReason::NodeBudget);
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_budget_with_degradation_completes_at_raised_threshold() {
+        let db = paper_db();
+        let budget = fim_core::Budget::unlimited()
+            .with_max_nodes(6)
+            .with_degradation();
+        let (outcome, stats) = IstaMiner::default().mine_governed_with_stats(&db, 1, &budget);
+        match outcome {
+            fim_core::MineOutcome::Complete {
+                result,
+                degradation: Some(d),
+            } => {
+                assert_eq!(d.requested_minsupp, 1);
+                assert!(d.effective_minsupp > 1, "threshold must have been raised");
+                assert!(d.steps >= 1);
+                // the degraded result is exactly the answer at the raised
+                // threshold
+                let want = mine_reference(&db, d.effective_minsupp);
+                assert_eq!(result.canonicalized(), want);
+                assert!(stats.memory.live_nodes - 1 <= 6 || d.effective_minsupp == u32::MAX);
+            }
+            other => panic!("expected degraded completion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn byte_budget_trips() {
+        let db = paper_db();
+        let budget = fim_core::Budget::unlimited().with_max_bytes(64);
+        let (outcome, _) = IstaMiner::default().mine_governed_with_stats(&db, 1, &budget);
+        match outcome {
+            fim_core::MineOutcome::Interrupted { reason, .. } => {
+                assert_eq!(reason, fim_core::TripReason::ByteBudget);
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
     }
 
     #[test]

@@ -24,8 +24,46 @@
 //! viability bound `supp + remaining[i] ≥ minsupp` stays safe.
 
 use crate::miner::{IstaConfig, IstaMiner, PrunePacer, PrunePolicy};
-use crate::tree::PrefixTree;
-use fim_core::{ClosedMiner, Item, MiningResult, RecodedDatabase};
+use crate::tree::{PrefixTree, TreeMemoryStats};
+use fim_core::{
+    checkpoint, Budget, CancelToken, ClosedMiner, Governor, Item, MineOutcome, MiningResult,
+    Progress, RecodedDatabase, TripReason,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Test-only fault injection for the shard threads.
+///
+/// Hidden from the public API surface: integration tests arm a one-shot
+/// panic in a chosen shard to exercise the `catch_unwind` recovery path;
+/// production code never touches this.
+#[doc(hidden)]
+pub mod test_hooks {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static PANIC_SHARD: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+    /// Arms a one-shot panic: the next time shard `idx` starts mining it
+    /// panics (once — the recovery re-mine of the same data is spared).
+    pub fn arm_shard_panic(idx: usize) {
+        PANIC_SHARD.store(idx, Ordering::SeqCst);
+    }
+
+    /// Disarms any pending injected panic.
+    pub fn disarm() {
+        PANIC_SHARD.store(usize::MAX, Ordering::SeqCst);
+    }
+
+    pub(super) fn maybe_panic(idx: usize) {
+        if PANIC_SHARD
+            .compare_exchange(idx, usize::MAX, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            panic!("injected shard panic (test hook) in shard {idx}");
+        }
+    }
+}
 
 /// Stack size for shard threads. The `isect` traversal recurses to the
 /// tree depth, which is bounded by the longest transaction and can reach
@@ -81,6 +119,18 @@ impl ParallelConfig {
     }
 }
 
+/// Run report of one [`ParallelIstaMiner`] mining run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParallelMineStats {
+    /// Shards the database was split into (1 for the sequential fallback).
+    pub shards: usize,
+    /// Shards whose thread panicked and whose data was re-mined
+    /// sequentially by the panic-isolation path. `0` on a healthy run.
+    pub shards_recovered: usize,
+    /// Arena occupancy of the fully reduced tree, before reporting.
+    pub memory: TreeMemoryStats,
+}
+
 /// Data-parallel IsTa miner: contiguous shards on scoped threads, combined
 /// by a binary merge reduction.
 #[derive(Clone, Copy, Debug, Default)]
@@ -101,6 +151,150 @@ impl ParallelIstaMiner {
             config: ParallelConfig::with_threads(threads),
         }
     }
+
+    /// Like [`ClosedMiner::mine`], but also reports the shard count, the
+    /// panic-recovery count, and the final tree occupancy.
+    ///
+    /// A shard thread that panics does not take the run down: the panic is
+    /// caught at the reduction step ([`catch_unwind`]), the lost shard's
+    /// transactions are re-mined sequentially once on the surviving
+    /// thread, and the incident is surfaced as
+    /// [`shards_recovered`](ParallelMineStats::shards_recovered) — the
+    /// mined result is identical to an unpanicked run. A panic during the
+    /// re-mine itself (a deterministic bug, not a fault) propagates.
+    pub fn mine_with_stats(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+    ) -> (MiningResult, ParallelMineStats) {
+        let (outcome, stats) = self.mine_governed_with_stats(db, minsupp, &Budget::unlimited());
+        (outcome.into_result(), stats)
+    }
+
+    /// Governed parallel mining (see [`ClosedMiner::mine_governed`]).
+    ///
+    /// Every shard and every merge step runs under its own [`Governor`]
+    /// sharing one internal [`CancelToken`]: the first shard to trip
+    /// records the reason and cancels its siblings, so the whole reduction
+    /// winds down at the next checkpoint instead of running to completion.
+    /// Node/byte budgets bound each shard (and merge) tree individually,
+    /// and the transaction budget is likewise per shard. The partial
+    /// result is exact for the processed transaction subset. Graceful
+    /// degradation (`Budget::degrade`) is a sequential-miner feature and
+    /// is ignored here — a per-shard raised threshold would be unsound to
+    /// merge.
+    pub fn mine_governed_with_stats(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        budget: &Budget,
+    ) -> (MineOutcome, ParallelMineStats) {
+        let minsupp = minsupp.max(1);
+        let threads = self.config.effective_threads();
+        let txs = db.transactions();
+        if threads <= 1 || txs.len() <= 1 {
+            let seq = IstaMiner::with_config(IstaConfig {
+                policy: self.config.policy,
+                coalesce: self.config.coalesce,
+                compact: self.config.compact,
+            });
+            let (outcome, stats) = seq.mine_governed_with_stats(db, minsupp, budget);
+            let stats = ParallelMineStats {
+                shards: 1,
+                shards_recovered: 0,
+                memory: stats.memory,
+            };
+            return (outcome, stats);
+        }
+        let chunk = txs.len().div_ceil(threads);
+        let nchunks = txs.len().div_ceil(chunk);
+        let ctx = RunCtx {
+            num_items: db.num_items(),
+            global_supports: db.item_supports(),
+            cfg: self.config,
+            minsupp,
+            chunk,
+            recovered: AtomicUsize::new(0),
+            gov: (!budget.is_unlimited()).then(|| GovShared {
+                budget: budget.clone(),
+                shared: CancelToken::new(),
+                tripped: Mutex::new(None),
+                processed: AtomicU64::new(0),
+            }),
+        };
+        let reduced = mine_reduce(txs, nchunks, 0, &ctx, true);
+        let stats = ParallelMineStats {
+            shards: nchunks,
+            shards_recovered: ctx.recovered.load(Ordering::SeqCst),
+            memory: reduced.tree.memory_stats(),
+        };
+        let result = MiningResult {
+            sets: reduced.tree.report(minsupp),
+        };
+        let tripped = ctx.gov.as_ref().and_then(GovShared::take_trip);
+        let outcome = match tripped {
+            Some(reason) => MineOutcome::Interrupted {
+                partial: result,
+                reason,
+                progress: Progress {
+                    processed: ctx
+                        .gov
+                        .as_ref()
+                        .map_or(0, |g| g.processed.load(Ordering::SeqCst)),
+                    total: Some(txs.len() as u64),
+                },
+            },
+            None => MineOutcome::complete(result),
+        };
+        (outcome, stats)
+    }
+}
+
+/// Everything a shard or merge step needs, shared across the reduction.
+struct RunCtx<'a> {
+    num_items: u32,
+    global_supports: &'a [u32],
+    cfg: ParallelConfig,
+    minsupp: u32,
+    /// Transactions per shard (the last shard may be shorter).
+    chunk: usize,
+    /// Shards recovered after a thread panic.
+    recovered: AtomicUsize,
+    /// Governance state; `None` on an unlimited budget (zero off-path
+    /// cost: shards then carry no governor at all).
+    gov: Option<GovShared>,
+}
+
+/// Shared governance state of one governed parallel run.
+struct GovShared {
+    budget: Budget,
+    /// Internal secondary token: the first tripped shard cancels it so
+    /// sibling shards and pending merges stop at their next checkpoint.
+    shared: CancelToken,
+    /// First tripped reason (later `Cancelled` trips of the siblings do
+    /// not overwrite it).
+    tripped: Mutex<Option<TripReason>>,
+    /// Total (weighted) transactions consumed by shard mining.
+    processed: AtomicU64,
+}
+
+impl GovShared {
+    fn governor(&self) -> Governor {
+        self.budget.start_with_secondary(Some(self.shared.clone()))
+    }
+
+    fn note_trip(&self, reason: TripReason) {
+        let mut t = self.tripped.lock().unwrap_or_else(|e| e.into_inner());
+        if t.is_none() {
+            *t = Some(reason);
+        }
+        drop(t);
+        self.shared.cancel();
+    }
+
+    fn take_trip(&self) -> Option<TripReason> {
+        *self.tripped.lock().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 /// Mines one contiguous shard `txs` of the database into its own tree.
@@ -116,13 +310,15 @@ impl ParallelIstaMiner {
 /// transaction and so keeps the merge replay exact for viable sets (the
 /// plain per-node prune may eliminate locally hopeless but globally viable
 /// items from a transaction, under-counting subsets after the merge).
-fn mine_shard(
-    txs: &[Box<[Item]>],
-    num_items: u32,
-    global_supports: &[u32],
-    cfg: ParallelConfig,
-    minsupp: u32,
-) -> ShardTree {
+fn mine_shard(txs: &[Box<[Item]>], ctx: &RunCtx) -> ShardTree {
+    let RunCtx {
+        num_items,
+        global_supports,
+        cfg,
+        minsupp,
+        ..
+    } = *ctx;
+    let mut gov = ctx.gov.as_ref().map(GovShared::governor);
     let mut tree = PrefixTree::new(num_items);
     let mut remaining: Vec<u32> = global_supports.to_vec();
     let mut pacer = PrunePacer::new(cfg.policy);
@@ -151,6 +347,21 @@ fn mine_shard(
             remaining[i as usize] -= w;
         }
         tree.add_transaction_weighted(t, *w);
+        if let Some(g) = gov.as_mut() {
+            g.add_processed(u64::from(*w));
+        }
+        if let Some(reason) =
+            checkpoint!(gov, tree.node_count(), tree.memory_stats().approx_bytes, 0)
+        {
+            // stop inserting; the tree stays merge-safe (terminal-keeping
+            // pruning only) and represents exactly the inserted prefix.
+            // `remaining` still carries the unconsumed occurrences, which
+            // can only make later pruning more conservative — sound.
+            if let Some(gs) = ctx.gov.as_ref() {
+                gs.note_trip(reason);
+            }
+            break;
+        }
         if pacer.due(tree.node_count()) {
             tree.prune_keeping_terminals(&remaining, minsupp);
             pacer.pruned(tree.node_count());
@@ -158,6 +369,9 @@ fn mine_shard(
                 tree.compact_if_fragmented();
             }
         }
+    }
+    if let (Some(gs), Some(g)) = (ctx.gov.as_ref(), gov.as_ref()) {
+        gs.processed.fetch_add(g.processed(), Ordering::SeqCst);
     }
     ShardTree { tree, remaining }
 }
@@ -180,13 +394,9 @@ struct ShardTree {
 /// never merged again, so the replay may use the plain (terminal-reducing)
 /// prune, which shrinks the tree harder than the terminal-keeping variant
 /// every intermediate level must use.
-fn merge_pruned(
-    left: &mut ShardTree,
-    mut right: ShardTree,
-    cfg: ParallelConfig,
-    minsupp: u32,
-    is_final: bool,
-) {
+fn merge_pruned(left: &mut ShardTree, mut right: ShardTree, ctx: &RunCtx, is_final: bool) {
+    let RunCtx { cfg, minsupp, .. } = *ctx;
+    let mut gov = ctx.gov.as_ref().map(GovShared::governor);
     // replay the lighter side into the heavier one: replay cost is one
     // isect pass per distinct stored transaction of the source
     if right.tree.transactions_processed() > left.tree.transactions_processed() {
@@ -210,7 +420,7 @@ fn merge_pruned(
         }
     }
     pacer.pruned(tree.node_count());
-    tree.merge_with(&right.tree, |tree, t, w| {
+    let replay: Result<(), TripReason> = tree.try_merge_with(&right.tree, |tree, t, w| {
         for &i in t {
             remaining[i as usize] -= w;
         }
@@ -225,7 +435,18 @@ fn merge_pruned(
                 tree.compact_if_fragmented();
             }
         }
+        match checkpoint!(gov, tree.node_count(), tree.memory_stats().approx_bytes, 0) {
+            Some(reason) => Err(reason),
+            None => Ok(()),
+        }
     });
+    if let Err(reason) = replay {
+        // the merged tree holds the replayed prefix exactly; the rest of
+        // `right` is dropped and the reduction winds down via the token
+        if let Some(gs) = ctx.gov.as_ref() {
+            gs.note_trip(reason);
+        }
+    }
 }
 
 /// Mines the shards of `chunks` and reduces them to a single tree.
@@ -236,50 +457,67 @@ fn merge_pruned(
 /// concurrently as their inputs finish — no global barrier between the
 /// mining and merging phases.
 fn mine_reduce(
-    chunks: &[&[Box<[Item]>]],
-    num_items: u32,
-    global_supports: &[u32],
-    cfg: ParallelConfig,
-    minsupp: u32,
+    txs: &[Box<[Item]>],
+    nchunks: usize,
+    shard_base: usize,
+    ctx: &RunCtx,
     is_final: bool,
 ) -> ShardTree {
-    match chunks.len() {
+    match nchunks {
         0 => ShardTree {
-            tree: PrefixTree::new(num_items),
-            remaining: global_supports.to_vec(),
+            tree: PrefixTree::new(ctx.num_items),
+            remaining: ctx.global_supports.to_vec(),
         },
-        1 => mine_shard(chunks[0], num_items, global_supports, cfg, minsupp),
+        1 => {
+            test_hooks::maybe_panic(shard_base);
+            mine_shard(txs, ctx)
+        }
         n => {
             let mid = n / 2;
-            let (mut left, right) = std::thread::scope(|s| {
+            let tx_mid = (mid * ctx.chunk).min(txs.len());
+            let (left, right) = std::thread::scope(|s| {
                 let right = std::thread::Builder::new()
                     .name("ista-shard".into())
                     .stack_size(SHARD_STACK_BYTES)
                     .spawn_scoped(s, || {
-                        mine_reduce(
-                            &chunks[mid..],
-                            num_items,
-                            global_supports,
-                            cfg,
-                            minsupp,
-                            false,
-                        )
+                        catch_unwind(AssertUnwindSafe(|| {
+                            mine_reduce(&txs[tx_mid..], n - mid, shard_base + mid, ctx, false)
+                        }))
                     })
                     .expect("failed to spawn shard thread");
-                let left = mine_reduce(
-                    &chunks[..mid],
-                    num_items,
-                    global_supports,
-                    cfg,
-                    minsupp,
-                    false,
-                );
-                (left, right.join().expect("shard thread panicked"))
+                let left = catch_unwind(AssertUnwindSafe(|| {
+                    mine_reduce(&txs[..tx_mid], mid, shard_base, ctx, false)
+                }));
+                // a panic that escaped the catch (impossible in practice)
+                // still surfaces as Err through join
+                (left, right.join().unwrap_or_else(Err))
             });
-            merge_pruned(&mut left, right, cfg, minsupp, is_final);
+            // Panic isolation: a poisoned half is re-mined sequentially
+            // once, as one flat shard over the same contiguous range — the
+            // result is identical because shard boundaries only affect
+            // scheduling, not the mined sets (additive-support merge).
+            let mut left = left.unwrap_or_else(|_| recover_range(txs, 0, tx_mid, mid, ctx));
+            let right =
+                right.unwrap_or_else(|_| recover_range(txs, tx_mid, txs.len(), n - mid, ctx));
+            merge_pruned(&mut left, right, ctx, is_final);
             left
         }
     }
+}
+
+/// Re-mines the transaction range `[lo, hi)` (covering `nshards` lost
+/// shards) sequentially after its thread panicked. Runs on the surviving
+/// thread with no further catch: a second panic over the same data is a
+/// deterministic bug and must propagate.
+fn recover_range(
+    txs: &[Box<[Item]>],
+    lo: usize,
+    hi: usize,
+    nshards: usize,
+    ctx: &RunCtx,
+) -> ShardTree {
+    ctx.recovered.fetch_add(nshards, Ordering::SeqCst);
+    mine_shard(&txs[lo..hi], ctx)
 }
 
 impl ClosedMiner for ParallelIstaMiner {
@@ -288,30 +526,11 @@ impl ClosedMiner for ParallelIstaMiner {
     }
 
     fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult {
-        let minsupp = minsupp.max(1);
-        let threads = self.config.effective_threads();
-        if threads <= 1 || db.transactions().len() <= 1 {
-            return IstaMiner::with_config(IstaConfig {
-                policy: self.config.policy,
-                coalesce: self.config.coalesce,
-                compact: self.config.compact,
-            })
-            .mine(db, minsupp);
-        }
-        let txs = db.transactions();
-        let chunk = txs.len().div_ceil(threads);
-        let chunks: Vec<&[Box<[Item]>]> = txs.chunks(chunk).collect();
-        let reduced = mine_reduce(
-            &chunks,
-            db.num_items(),
-            db.item_supports(),
-            self.config,
-            minsupp,
-            true,
-        );
-        MiningResult {
-            sets: reduced.tree.report(minsupp),
-        }
+        self.mine_with_stats(db, minsupp).0
+    }
+
+    fn mine_governed(&self, db: &RecodedDatabase, minsupp: u32, budget: &Budget) -> MineOutcome {
+        self.mine_governed_with_stats(db, minsupp, budget).0
     }
 }
 
@@ -440,5 +659,84 @@ mod tests {
     #[test]
     fn miner_name() {
         assert_eq!(ParallelIstaMiner::default().name(), "ista-par");
+    }
+
+    #[test]
+    fn healthy_run_reports_zero_recoveries() {
+        let db = paper_db();
+        let (result, stats) = ParallelIstaMiner::with_threads(3).mine_with_stats(&db, 2);
+        assert_eq!(result.canonicalized(), mine_reference(&db, 2));
+        assert_eq!(stats.shards, 3);
+        assert_eq!(stats.shards_recovered, 0);
+        assert!(stats.memory.live_nodes >= 1);
+    }
+
+    // Injected-panic recovery is exercised in tests/fault_injection.rs —
+    // its process-global hook must not race the other parallel tests here.
+
+    #[test]
+    fn governed_unlimited_is_complete() {
+        let db = paper_db();
+        let (outcome, _) = ParallelIstaMiner::with_threads(3).mine_governed_with_stats(
+            &db,
+            2,
+            &Budget::unlimited(),
+        );
+        assert!(!outcome.is_interrupted());
+        assert_eq!(
+            outcome.into_result().canonicalized(),
+            mine_reference(&db, 2)
+        );
+    }
+
+    #[test]
+    fn cancelled_token_stops_all_shards() {
+        let db = paper_db();
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(token);
+        let (outcome, _) =
+            ParallelIstaMiner::with_threads(3).mine_governed_with_stats(&db, 1, &budget);
+        match outcome {
+            MineOutcome::Interrupted { reason, .. } => {
+                assert_eq!(reason, TripReason::Cancelled);
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_budget_interrupts_with_sound_partial() {
+        let db = paper_db();
+        let budget = Budget::unlimited().with_max_nodes(2);
+        let (outcome, _) =
+            ParallelIstaMiner::with_threads(3).mine_governed_with_stats(&db, 1, &budget);
+        match outcome {
+            MineOutcome::Interrupted {
+                partial, reason, ..
+            } => {
+                assert_eq!(reason, TripReason::NodeBudget);
+                // every reported support is exact for a transaction subset:
+                // it can never exceed the support over the full database
+                for fs in &partial.sets {
+                    assert!(
+                        fs.support <= db.support(&fs.items),
+                        "partial support of {:?} exceeds the full-database support",
+                        fs.items
+                    );
+                }
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn governed_sequential_fallback_still_governs() {
+        let db = paper_db();
+        let budget = Budget::unlimited().with_max_transactions(2);
+        let (outcome, stats) =
+            ParallelIstaMiner::with_threads(1).mine_governed_with_stats(&db, 1, &budget);
+        assert_eq!(stats.shards, 1);
+        assert!(outcome.is_interrupted());
     }
 }

@@ -15,8 +15,10 @@
 //! mining with a fixed threshold should use [`IstaMiner`](crate::IstaMiner)
 //! instead, which prunes.
 
-use crate::tree::PrefixTree;
-use fim_core::{Item, ItemSet, MiningResult};
+use crate::snapshot;
+use crate::tree::{PrefixTree, TreeMemoryStats};
+use fim_core::{FimError, Item, ItemSet, MiningResult};
+use std::io::{Read, Write};
 
 /// An online closed-set miner over a growing transaction stream.
 ///
@@ -106,6 +108,46 @@ impl IstaStream {
     /// Read access to the underlying prefix tree (for inspection).
     pub fn tree(&self) -> &PrefixTree {
         &self.tree
+    }
+
+    /// Current repository occupancy, for callers that bound the stream's
+    /// memory externally (the stream itself never prunes; see the module
+    /// docs for why).
+    pub fn memory_stats(&self) -> TreeMemoryStats {
+        self.tree.memory_stats()
+    }
+
+    /// Extends the item universe to `num_items` codes: streams over named
+    /// items discover new items over time, and a stream resumed from a
+    /// snapshot must accept codes minted after the checkpoint. Smaller
+    /// values are ignored; existing supports and sets are untouched.
+    pub fn grow_universe(&mut self, num_items: u32) {
+        if num_items > self.num_items {
+            self.tree.grow_universe(num_items);
+            self.num_items = num_items;
+        }
+    }
+
+    /// Serializes the stream state as a versioned, CRC-protected binary
+    /// snapshot (see [`snapshot`](crate::snapshot) for the format). A
+    /// stream reloaded with [`read_snapshot`](Self::read_snapshot) and fed
+    /// the same subsequent transactions produces byte-identical results to
+    /// one that was never persisted. Compacts the tree first
+    /// (output-invariant).
+    pub fn write_snapshot(&mut self, w: &mut dyn Write) -> Result<(), FimError> {
+        snapshot::write_tree(&mut self.tree, w)
+    }
+
+    /// Reloads a stream from a snapshot written by
+    /// [`write_snapshot`](Self::write_snapshot), validating the format
+    /// version, the CRC, and the full tree structure; any mismatch is a
+    /// [`FimError::Corrupt`].
+    pub fn read_snapshot(r: &mut dyn Read) -> Result<Self, FimError> {
+        let tree = snapshot::read_tree(r)?;
+        Ok(IstaStream {
+            num_items: tree.num_items(),
+            tree,
+        })
     }
 }
 
@@ -199,5 +241,67 @@ mod tests {
     fn out_of_universe_rejected() {
         let mut stream = IstaStream::new(2);
         stream.push(&[5]);
+    }
+
+    #[test]
+    fn snapshot_resume_equals_uninterrupted_run() {
+        let txs = txs();
+        for split in 0..txs.len() {
+            let mut uninterrupted = IstaStream::new(5);
+            let mut first_half = IstaStream::new(5);
+            for t in &txs[..split] {
+                uninterrupted.push(t);
+                first_half.push(t);
+            }
+            let mut buf = Vec::new();
+            first_half.write_snapshot(&mut buf).expect("write");
+            let mut resumed = IstaStream::read_snapshot(&mut buf.as_slice()).expect("read");
+            assert_eq!(resumed.num_items(), 5);
+            assert_eq!(resumed.transactions_processed(), split as u32);
+            for t in &txs[split..] {
+                uninterrupted.push(t);
+                resumed.push(t);
+            }
+            resumed.tree().validate_invariants();
+            for minsupp in 1..=3 {
+                assert_eq!(
+                    resumed.closed_sets(minsupp),
+                    uninterrupted.closed_sets(minsupp),
+                    "split {split} minsupp {minsupp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption() {
+        let mut stream = IstaStream::new(4);
+        stream.push(&[0, 1, 3]);
+        stream.push(&[1, 2]);
+        let mut buf = Vec::new();
+        stream.write_snapshot(&mut buf).expect("write");
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0xFF;
+        let err = IstaStream::read_snapshot(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, fim_core::FimError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn grow_universe_accepts_new_items_after_resume() {
+        let mut stream = IstaStream::new(2);
+        stream.push(&[0, 1]);
+        let mut buf = Vec::new();
+        stream.write_snapshot(&mut buf).expect("write");
+        let mut resumed = IstaStream::read_snapshot(&mut buf.as_slice()).expect("read");
+        resumed.grow_universe(4);
+        assert_eq!(resumed.num_items(), 4);
+        resumed.push(&[0, 1, 3]);
+        resumed.tree().validate_invariants();
+        assert_eq!(resumed.support_of(&ItemSet::from([0, 1])), 2);
+        assert_eq!(resumed.support_of(&ItemSet::from([3])), 1);
+        // shrinking is ignored
+        resumed.grow_universe(1);
+        assert_eq!(resumed.num_items(), 4);
+        assert!(resumed.memory_stats().live_nodes >= 1);
     }
 }

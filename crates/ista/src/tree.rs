@@ -103,6 +103,67 @@ impl PrefixTree {
         self.weight
     }
 
+    /// Number of item codes in the universe this tree was created over.
+    pub fn num_items(&self) -> u32 {
+        self.trans.len() as u32
+    }
+
+    /// Extends the item universe to `num_items` codes (streaming use:
+    /// later transactions may introduce items unseen when the tree — or
+    /// the snapshot it was reloaded from — was created). Shrinking is not
+    /// possible; a smaller value is ignored.
+    pub fn grow_universe(&mut self, num_items: u32) {
+        if num_items as usize > self.trans.len() {
+            self.trans.resize(num_items as usize, 0);
+        }
+    }
+
+    /// The arena and the root index, for the snapshot writer.
+    pub(crate) fn arena(&self) -> &NodeArena {
+        &self.arena
+    }
+
+    /// Rebuilds a tree from reloaded parts (snapshot reader), running the
+    /// full structural validation instead of trusting the input: the arena
+    /// must hold no free slots, `root` must be the pseudo-root, every slot
+    /// must be reachable exactly once with ordered links and in-universe
+    /// items, and the terminal counts must partition `weight`. Per-node
+    /// `step` stamps are reset; the first transaction added afterwards
+    /// starts a fresh epoch.
+    pub(crate) fn from_raw_parts(
+        mut arena: NodeArena,
+        root: u32,
+        weight: u32,
+        num_items: u32,
+    ) -> Result<Self, String> {
+        if arena.capacity_used() == 0 || root as usize >= arena.capacity_used() {
+            return Err("missing root node".into());
+        }
+        if arena.free_count() != 0 {
+            return Err("arena holds free slots".into());
+        }
+        if arena.get(root).item != Item::MAX {
+            return Err("root slot does not hold the pseudo-root".into());
+        }
+        if arena.get(root).sibling != NONE {
+            return Err("root must not have siblings".into());
+        }
+        if arena.get(root).supp != weight {
+            return Err("root support must equal the processed weight".into());
+        }
+        check_structure(&arena, root, num_items, weight)?;
+        for idx in 0..arena.capacity_used() as u32 {
+            arena.get_mut(idx).step = 0;
+        }
+        Ok(PrefixTree {
+            arena,
+            root,
+            step: 0,
+            weight,
+            trans: vec![0; num_items as usize],
+        })
+    }
+
     /// Number of live tree nodes (excluding the root).
     pub fn node_count(&self) -> usize {
         self.arena.live_count() - 1
@@ -436,6 +497,25 @@ impl PrefixTree {
     where
         F: FnMut(&mut PrefixTree, &[Item], u32),
     {
+        let infallible: Result<(), std::convert::Infallible> =
+            self.try_merge_with(other, |tree, t, w| {
+                after_each(tree, t, w);
+                Ok(())
+            });
+        let _ = infallible; // Infallible: the replay cannot stop early
+    }
+
+    /// Fallible [`merge_with`](Self::merge_with): `after_each` may return
+    /// `Err` to stop the replay (a governed merge checkpoint). On an early
+    /// stop the tree is left in a consistent state representing `self` plus
+    /// the replayed prefix of `other`'s transactions — its reported sets
+    /// are the exact closed sets of that combined multiset — and `other`'s
+    /// remaining transactions (including its empty-set weight) are *not*
+    /// accounted.
+    pub fn try_merge_with<E, F>(&mut self, other: &PrefixTree, mut after_each: F) -> Result<(), E>
+    where
+        F: FnMut(&mut PrefixTree, &[Item], u32) -> Result<(), E>,
+    {
         assert_eq!(
             self.trans.len(),
             other.trans.len(),
@@ -445,14 +525,69 @@ impl PrefixTree {
         txs.sort_unstable_by(|a, b| fim_core::cmp_size_then_desc_lex(&a.0, &b.0));
         for (t, w) in &txs {
             self.add_transaction_weighted(t, *w);
-            after_each(self, t, *w);
+            after_each(self, t, *w)?;
         }
         // transactions of `other` that pruning reduced to the empty set
         // carry no items but still count toward the total weight
         self.weight += other.empty_weight();
         self.arena.get_mut(self.root).raw += other.empty_weight();
         self.arena.get_mut(self.root).supp = self.weight;
+        Ok(())
     }
+}
+
+/// Non-panicking structural validation used by the snapshot reader: the
+/// same invariants as [`PrefixTree::validate_invariants`], reported as
+/// `Err` descriptions instead of panics, plus link-bounds checking (a
+/// corrupt snapshot can contain arbitrary indices).
+fn check_structure(a: &NodeArena, root: u32, num_items: u32, weight: u32) -> Result<(), String> {
+    let slots = a.capacity_used();
+    let mut visited = 1usize; // the root
+    let mut raw_sum = u64::from(a.get(root).raw);
+    // (node, parent_item, preceding sibling item) work list
+    let mut stack: Vec<(u32, Item, Item)> = Vec::new();
+    if a.get(root).children != NONE {
+        stack.push((a.get(root).children, Item::MAX, Item::MAX));
+    }
+    while let Some((node, parent_item, prev_item)) = stack.pop() {
+        if node as usize >= slots {
+            return Err(format!("link {node} out of bounds ({slots} slots)"));
+        }
+        visited += 1;
+        if visited > slots {
+            return Err("cycle detected".into());
+        }
+        let n = a.get(node);
+        if n.item >= num_items {
+            return Err(format!("item {} outside universe {num_items}", n.item));
+        }
+        if n.item >= parent_item {
+            return Err("child item must be below parent item".into());
+        }
+        if prev_item != Item::MAX && n.item >= prev_item {
+            return Err("sibling list must be strictly descending".into());
+        }
+        if n.supp > weight {
+            return Err("support exceeds processed weight".into());
+        }
+        if n.raw > n.supp {
+            return Err("terminal count exceeds support".into());
+        }
+        raw_sum += u64::from(n.raw);
+        if n.sibling != NONE {
+            stack.push((n.sibling, parent_item, n.item));
+        }
+        if n.children != NONE {
+            stack.push((n.children, n.item, Item::MAX));
+        }
+    }
+    if visited != slots {
+        return Err(format!("{} of {slots} slots reachable", visited));
+    }
+    if raw_sum != u64::from(weight) {
+        return Err("terminal counts do not partition the weight".into());
+    }
+    Ok(())
 }
 
 /// The intersection traversal (paper Fig. 2), generalized to a transaction
