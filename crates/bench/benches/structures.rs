@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fim_core::{
     ItemOrder, ItemSet, RecodedDatabase, SuffixCountMatrix, TidLists, TransactionOrder,
 };
-use fim_ista::PrefixTree;
+use fim_ista::{intersect_segment, PrefixTree};
 use fim_synth::{ExpressionConfig, ExpressionMatrix, Preset};
 
 fn itemset_ops(c: &mut Criterion) {
@@ -200,6 +200,61 @@ fn hotpath(c: &mut Criterion) {
     group.finish();
 }
 
+/// The Patricia descending-merge kernel (`intersect_segment`) at the
+/// segment lengths the two preset families actually produce: 1 (fully
+/// fragmented, the plain-layout equivalent), 4 (dense ncbi-like trees
+/// after split churn), 16 and 64 (sparse webview-like transposed data,
+/// where transactions are long item runs).
+fn segment_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segment_kernel");
+    const UNIVERSE: u32 = 4096;
+    for len in [1usize, 4, 16, 64] {
+        // membership stamps that match every other item: the kernel scans
+        // the whole segment without the early `imin` exit
+        let mut trans = vec![0u32; UNIVERSE as usize];
+        for i in (0..UNIVERSE).step_by(2) {
+            trans[i as usize] = 1;
+        }
+        // one tree's worth of segments laid end to end, descending within
+        // each segment like the real arena item store
+        let segs: Vec<Vec<u32>> = (0..256)
+            .map(|s| {
+                let hi = UNIVERSE - 1 - (s % 32) * 96;
+                (0..len as u32).map(|j| hi - j).collect()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("scan", len), &segs, |b, segs| {
+            let mut out = Vec::with_capacity(len);
+            b.iter(|| {
+                let mut pushed = 0usize;
+                for seg in segs {
+                    out.clear();
+                    intersect_segment(seg, &trans, 1, 0, &mut out);
+                    pushed += out.len();
+                }
+                pushed
+            })
+        });
+        // early-exit variant: `imin` sits in the middle of each segment,
+        // the case the tight loop's bound check is meant to keep cheap
+        group.bench_with_input(BenchmarkId::new("early_exit", len), &segs, |b, segs| {
+            let mut out = Vec::with_capacity(len);
+            b.iter(|| {
+                let mut stops = 0usize;
+                for seg in segs {
+                    out.clear();
+                    let imin = seg[seg.len() / 2];
+                    if intersect_segment(seg, &trans, 1, imin, &mut out) {
+                        stops += 1;
+                    }
+                }
+                stops
+            })
+        });
+    }
+    group.finish();
+}
+
 fn generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("generate");
     group.sample_size(10);
@@ -226,6 +281,7 @@ criterion_group!(
     database_reps,
     prefix_tree,
     hotpath,
+    segment_kernel,
     generators
 );
 criterion_main!(benches);

@@ -1,0 +1,492 @@
+//! Experiment **E12**: Patricia path compression A/B — the segment-based
+//! prefix tree (`ista`) against the uncompressed one-item-per-node layout
+//! (`ista-plain`) on a dense (ncbi60-like) and a sparse
+//! (transposed-webview-like) preset.
+//!
+//! Each cell records wall time *and* the structural effect the compression
+//! is meant to buy: the peak physical node count over the whole run and
+//! the final arena occupancy (live nodes, segment items and bytes). Both
+//! layouts are cross-checked for canonical output identity against each
+//! other at the benchmark scale and against `mine_reference` on a
+//! transaction-truncated slice.
+//!
+//! Each timed repetition runs in a fresh subprocess (same rationale as the
+//! E11 hot-path ablation: the two layouts have very different allocation
+//! patterns and contaminate each other through allocator state when timed
+//! back-to-back in one process). One untimed warmup, then one timed mine
+//! per subprocess; the aggregate is the median over reps.
+//!
+//! Usage: `patricia [--scale X] [--seed N] [--reps R] [--supps N,M]
+//!                  [--check-txs T] [--out BENCH_patricia.json]`
+
+use fim_bench::{parse_kv, preset_by_name, MINE_STACK_BYTES};
+use fim_core::reference::mine_reference;
+use fim_core::{
+    ClosedMiner, ItemOrder, MiningResult, RecodedDatabase, TransactionDatabase, TransactionOrder,
+};
+use fim_ista::{IstaConfig, IstaMiner, MineStats};
+use fim_synth::Preset;
+use std::io::Write;
+use std::time::Instant;
+
+/// The A/B sweep: the uncompressed baseline first, Patricia second.
+const VARIANTS: [bool; 2] = [false, true];
+
+fn variant_name(patricia: bool) -> &'static str {
+    if patricia {
+        "ista"
+    } else {
+        "ista-plain"
+    }
+}
+
+fn variant_miner(patricia: bool) -> IstaMiner {
+    IstaMiner::with_config(IstaConfig {
+        patricia,
+        ..IstaConfig::default()
+    })
+}
+
+/// One measured cell (median seconds plus the stats of one representative
+/// subprocess run — node counts are deterministic, timings are not).
+struct Measurement {
+    preset: &'static str,
+    patricia: bool,
+    supp: u32,
+    seconds: f64,
+    sets: usize,
+    stats: CellStats,
+}
+
+/// The structural numbers a `patcell` subprocess reports alongside time.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct CellStats {
+    sets: usize,
+    peak_nodes: usize,
+    live_nodes: usize,
+    total_slots: usize,
+    free_slots: usize,
+    seg_items: usize,
+    seg_bytes: usize,
+    approx_bytes: usize,
+}
+
+impl CellStats {
+    fn from_mine(sets: usize, s: &MineStats) -> Self {
+        CellStats {
+            sets,
+            peak_nodes: s.peak_nodes,
+            live_nodes: s.memory.live_nodes,
+            total_slots: s.memory.total_slots,
+            free_slots: s.memory.free_slots,
+            seg_items: s.memory.seg_items,
+            seg_bytes: s.memory.seg_bytes,
+            approx_bytes: s.memory.approx_bytes,
+        }
+    }
+}
+
+/// If `argv` is a cell invocation (`patcell <preset> <scale> <seed>
+/// <patricia 0|1> <supp>`), measures that one layout in this process (one
+/// untimed warmup, one timed mine, both on a big-stack thread), prints
+/// `RESULT <seconds> <sets> <peak> <live> <total> <free> <segitems>
+/// <segbytes> <approx>`, and returns `true`.
+fn maybe_run_patcell(argv: &[String]) -> Result<bool, String> {
+    if argv.first().map(String::as_str) != Some("patcell") {
+        return Ok(false);
+    }
+    if argv.len() != 6 {
+        return Err(format!(
+            "patcell expects 5 operands, got {}",
+            argv.len() - 1
+        ));
+    }
+    let preset = preset_by_name(&argv[1])?;
+    let scale: f64 = argv[2].parse().map_err(|e| format!("scale: {e}"))?;
+    let seed: u64 = argv[3].parse().map_err(|e| format!("seed: {e}"))?;
+    let patricia = match argv[4].as_str() {
+        "0" => false,
+        "1" => true,
+        other => return Err(format!("patricia flag must be 0 or 1, got '{other}'")),
+    };
+    let supp: u32 = argv[5].parse().map_err(|e| format!("supp: {e}"))?;
+    let db = preset.build(scale, seed);
+    let recoded = RecodedDatabase::prepare(
+        &db,
+        supp,
+        ItemOrder::AscendingFrequency,
+        TransactionOrder::AscendingSize,
+    );
+    let (secs, cell) = std::thread::scope(|s| {
+        std::thread::Builder::new()
+            .stack_size(MINE_STACK_BYTES)
+            .spawn_scoped(s, || {
+                let miner = variant_miner(patricia);
+                drop(miner.mine(&recoded, supp)); // warmup, untimed
+                let start = Instant::now();
+                let (result, stats) = miner.mine_with_stats(&recoded, supp);
+                (
+                    start.elapsed().as_secs_f64(),
+                    CellStats::from_mine(result.len(), &stats),
+                )
+            })
+            .expect("spawn failed")
+            .join()
+            .expect("mining thread panicked")
+    });
+    println!(
+        "RESULT {secs:.6} {} {} {} {} {} {} {} {}",
+        cell.sets,
+        cell.peak_nodes,
+        cell.live_nodes,
+        cell.total_slots,
+        cell.free_slots,
+        cell.seg_items,
+        cell.seg_bytes,
+        cell.approx_bytes
+    );
+    Ok(true)
+}
+
+/// Spawns the current executable as a `patcell` subprocess and parses its
+/// `RESULT` line.
+fn run_patcell_subprocess(
+    preset: Preset,
+    scale: f64,
+    seed: u64,
+    patricia: bool,
+    supp: u32,
+) -> Result<(f64, CellStats), String> {
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let out = std::process::Command::new(exe)
+        .arg("patcell")
+        .arg(preset.name())
+        .arg(scale.to_string())
+        .arg(seed.to_string())
+        .arg(if patricia { "1" } else { "0" })
+        .arg(supp.to_string())
+        .stderr(std::process::Stdio::inherit())
+        .output()
+        .map_err(|e| e.to_string())?;
+    if !out.status.success() {
+        return Err(format!("patcell failed with {}", out.status));
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("RESULT "))
+        .ok_or("patcell produced no RESULT line")?;
+    let fields: Vec<usize> = line
+        .split_whitespace()
+        .skip(2)
+        .map(|s| s.parse().map_err(|e| format!("bad RESULT field: {e}")))
+        .collect::<Result<_, _>>()?;
+    let seconds: f64 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or("bad RESULT seconds")?;
+    if fields.len() != 8 {
+        return Err(format!(
+            "RESULT carries {} fields, expected 8",
+            fields.len()
+        ));
+    }
+    Ok((
+        seconds,
+        CellStats {
+            sets: fields[0],
+            peak_nodes: fields[1],
+            live_nodes: fields[2],
+            total_slots: fields[3],
+            free_slots: fields[4],
+            seg_items: fields[5],
+            seg_bytes: fields[6],
+            approx_bytes: fields[7],
+        },
+    ))
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if maybe_run_patcell(&argv)? {
+        return Ok(());
+    }
+    let kv = parse_kv(&argv)?;
+    let scale: f64 = kv
+        .get("scale")
+        .map_or(Ok(0.5), |s| s.parse().map_err(|e| format!("--scale: {e}")))?;
+    let seed: u64 = kv
+        .get("seed")
+        .map_or(Ok(1), |s| s.parse().map_err(|e| format!("--seed: {e}")))?;
+    let reps: usize = kv
+        .get("reps")
+        .map_or(Ok(9), |s| s.parse().map_err(|e| format!("--reps: {e}")))?;
+    let check_txs: usize = kv.get("check-txs").map_or(Ok(10), |s| {
+        s.parse().map_err(|e| format!("--check-txs: {e}"))
+    })?;
+    let out_path = kv
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_patricia.json".to_owned());
+
+    let mut supps = vec![
+        pick_supp(preset_by_name("ncbi60")?, scale),
+        pick_supp(preset_by_name("webview-tpo")?, scale),
+    ];
+    if let Some(s) = kv.get("supps") {
+        let parsed: Vec<u32> = s
+            .split(',')
+            .map(|v| v.parse().map_err(|e| format!("--supps: {e}")))
+            .collect::<Result<_, _>>()?;
+        if parsed.len() != supps.len() {
+            return Err(format!("--supps expects {} values", supps.len()));
+        }
+        supps = parsed;
+    }
+    let workloads = [
+        (preset_by_name("ncbi60")?, supps[0]),
+        (preset_by_name("webview-tpo")?, supps[1]),
+    ];
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    let mut ratios: Vec<(&'static str, f64, f64)> = Vec::new();
+    println!(
+        "# E12 Patricia layout A/B (scale {scale}, seed {seed}, reps {reps}, \
+         median-of-reps, one subprocess per rep)"
+    );
+    for (preset, supp) in workloads {
+        let name = preset.name();
+        let db = preset.build(scale, seed);
+        println!(
+            "# {name}: {} transactions, {} items, supp {supp}",
+            db.num_transactions(),
+            db.num_items()
+        );
+        let recoded = RecodedDatabase::prepare(
+            &db,
+            supp,
+            ItemOrder::AscendingFrequency,
+            TransactionOrder::AscendingSize,
+        );
+
+        // identity pass (untimed, in-process): canonical output of both
+        // layouts must agree at the benchmark scale
+        let canon_of = |patricia: bool| -> MiningResult {
+            std::thread::scope(|s| {
+                std::thread::Builder::new()
+                    .stack_size(MINE_STACK_BYTES)
+                    .spawn_scoped(s, || {
+                        variant_miner(patricia).mine(&recoded, supp).canonicalized()
+                    })
+                    .expect("spawn failed")
+                    .join()
+                    .expect("mining thread panicked")
+            })
+        };
+        let plain_out = canon_of(false);
+        if canon_of(true) != plain_out {
+            return Err(format!(
+                "CROSS-CHECK FAILED on {name}: patricia output differs from ista-plain"
+            ));
+        }
+        let sets = plain_out.len();
+
+        // timing: each rep of each layout is a fresh subprocess; structural
+        // stats must be identical across reps (the mine is deterministic)
+        let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(reps); VARIANTS.len()];
+        let mut cell_stats: Vec<Option<CellStats>> = vec![None; VARIANTS.len()];
+        for _rep in 0..reps {
+            for (vi, &patricia) in VARIANTS.iter().enumerate() {
+                let (secs, cell) = run_patcell_subprocess(preset, scale, seed, patricia, supp)?;
+                if cell.sets != sets {
+                    return Err(format!(
+                        "CROSS-CHECK FAILED on {name}: subprocess cell found {} sets, expected {sets}",
+                        cell.sets
+                    ));
+                }
+                match cell_stats[vi] {
+                    None => cell_stats[vi] = Some(cell),
+                    Some(first) if first != cell => {
+                        return Err(format!(
+                            "NONDETERMINISM on {name}: {} stats differ between reps",
+                            variant_name(patricia)
+                        ));
+                    }
+                    Some(_) => {}
+                }
+                samples[vi].push(secs);
+            }
+        }
+        let times: Vec<f64> = samples.iter().map(|s| median(s)).collect();
+        println!(
+            "{:>12} {:>8} {:>10} {:>9} {:>10} {:>10} {:>10} {:>9}",
+            "layout", "supp", "seconds", "vs plain", "peak", "live", "seg items", "sets"
+        );
+        for (vi, &patricia) in VARIANTS.iter().enumerate() {
+            let cell = cell_stats[vi].expect("reps >= 1");
+            println!(
+                "{:>12} {:>8} {:>10.4} {:>8.2}x {:>10} {:>10} {:>10} {:>9}",
+                variant_name(patricia),
+                supp,
+                times[vi],
+                times[0] / times[vi],
+                cell.peak_nodes,
+                cell.live_nodes,
+                cell.seg_items,
+                sets
+            );
+            measurements.push(Measurement {
+                preset: name,
+                patricia,
+                supp,
+                seconds: times[vi],
+                sets,
+                stats: cell,
+            });
+        }
+        let node_ratio = cell_stats[0].expect("reps >= 1").peak_nodes as f64
+            / cell_stats[1].expect("reps >= 1").peak_nodes as f64;
+        println!(
+            "# {name}: plain/patricia time {:.2}x, peak nodes {:.2}x",
+            times[0] / times[1],
+            node_ratio
+        );
+        ratios.push((name, times[0] / times[1], node_ratio));
+
+        // reference slice: exact-identity check against the brute-force
+        // miner on the first `check_txs` transactions at a low support
+        let check_supp = 2u32.min(check_txs as u32).max(1);
+        let slice: Vec<Vec<fim_core::Item>> = db
+            .transactions()
+            .iter()
+            .take(check_txs)
+            .map(|t| t.as_slice().to_vec())
+            .collect();
+        let slice_len = slice.len();
+        let small = TransactionDatabase::from_codes_with_base(slice, db.num_items());
+        let small_recoded = RecodedDatabase::prepare(
+            &small,
+            check_supp,
+            ItemOrder::AscendingFrequency,
+            TransactionOrder::AscendingSize,
+        );
+        let want = mine_reference(&small_recoded, check_supp);
+        for patricia in VARIANTS {
+            let got = variant_miner(patricia)
+                .mine(&small_recoded, check_supp)
+                .canonicalized();
+            if got != want {
+                return Err(format!(
+                    "REFERENCE CHECK FAILED on {name} slice: '{}' differs from mine_reference",
+                    variant_name(patricia)
+                ));
+            }
+        }
+        println!(
+            "# {name} reference slice: {slice_len} transactions, supp {check_supp}, {} sets, both layouts exact",
+            want.len()
+        );
+    }
+
+    write_json(&out_path, scale, seed, reps, &measurements, &ratios).map_err(|e| e.to_string())?;
+    println!("# wrote {out_path}");
+    Ok(())
+}
+
+/// Median of a non-empty sample list (mean of the middle pair when even).
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Picks the timing support: the second-lowest entry of the scaled paper
+/// sweep (same convention as the E10/E11 bins).
+fn pick_supp(preset: Preset, scale: f64) -> u32 {
+    let mut sorted = fim_bench::scaled_sweep(preset, scale);
+    sorted.sort_unstable();
+    sorted.get(1).copied().unwrap_or(sorted[0])
+}
+
+fn write_json(
+    path: &str,
+    scale: f64,
+    seed: u64,
+    reps: usize,
+    measurements: &[Measurement],
+    ratios: &[(&'static str, f64, f64)],
+) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"experiment\": \"patricia-ab\",")?;
+    writeln!(f, "  \"scale\": {scale},")?;
+    writeln!(f, "  \"seed\": {seed},")?;
+    writeln!(f, "  \"reps\": {reps},")?;
+    writeln!(
+        f,
+        "  \"timing\": \"median of reps, one subprocess per rep, warmup untimed, recode excluded\","
+    )?;
+    writeln!(f, "  \"cells\": [")?;
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"preset\": \"{}\", \"miner\": \"{}\", \"supp\": {}, \"seconds\": {:.6}, \"sets\": {}, \"peak_nodes\": {}, \"live_nodes\": {}, \"seg_items\": {}, \"seg_bytes\": {}, \"approx_bytes\": {}}}{comma}",
+            m.preset,
+            variant_name(m.patricia),
+            m.supp,
+            m.seconds,
+            m.sets,
+            m.stats.peak_nodes,
+            m.stats.live_nodes,
+            m.stats.seg_items,
+            m.stats.seg_bytes,
+            m.stats.approx_bytes
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    writeln!(f, "  \"ratios\": [")?;
+    for (i, (preset, time, nodes)) in ratios.iter().enumerate() {
+        let comma = if i + 1 == ratios.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"preset\": \"{preset}\", \"metric\": \"plain/patricia\", \"time_factor\": {time:.4}, \"peak_node_factor\": {nodes:.4}}}{comma}"
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    // final Patricia-tree occupancy per preset, in the same shape the E10
+    // scaling bin emits so the `summary` bin renders it in its footer
+    writeln!(f, "  \"tree_memory\": [")?;
+    let pat_cells: Vec<&Measurement> = measurements.iter().filter(|m| m.patricia).collect();
+    for (i, m) in pat_cells.iter().enumerate() {
+        let comma = if i + 1 == pat_cells.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"preset\": \"{}\", \"live_nodes\": {}, \"total_slots\": {}, \"free_slots\": {}, \"seg_items\": {}, \"seg_bytes\": {}, \"avg_seg_len\": {:.3}, \"approx_bytes\": {}}}{comma}",
+            m.preset,
+            m.stats.live_nodes,
+            m.stats.total_slots,
+            m.stats.free_slots,
+            m.stats.seg_items,
+            m.stats.seg_bytes,
+            m.stats.seg_items as f64 / m.stats.live_nodes.saturating_sub(1).max(1) as f64,
+            m.stats.approx_bytes
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("patricia: {e}");
+        std::process::exit(1);
+    }
+}

@@ -148,10 +148,12 @@ fn run() -> Result<(), String> {
                 .expect("mining thread panicked")
         });
         println!(
-            "# {name} final tree: {} live nodes / {} slots ({} free), ~{:.1} KiB, {} prunes, {} compactions",
+            "# {name} final tree: {} live nodes / {} slots ({} free), {} seg items ({} B), ~{:.1} KiB, {} prunes, {} compactions",
             stats.memory.live_nodes,
             stats.memory.total_slots,
             stats.memory.free_slots,
+            stats.memory.seg_items,
+            stats.memory.seg_bytes,
             stats.memory.approx_bytes as f64 / 1024.0,
             stats.prune_passes,
             stats.compactions
@@ -245,11 +247,14 @@ fn write_json(
         let comma = if i + 1 == tree_memory.len() { "" } else { "," };
         writeln!(
             f,
-            "    {{\"preset\": \"{}\", \"live_nodes\": {}, \"total_slots\": {}, \"free_slots\": {}, \"approx_bytes\": {}, \"prune_passes\": {}, \"compactions\": {}}}{}",
+            "    {{\"preset\": \"{}\", \"live_nodes\": {}, \"total_slots\": {}, \"free_slots\": {}, \"seg_items\": {}, \"seg_bytes\": {}, \"avg_seg_len\": {:.3}, \"approx_bytes\": {}, \"prune_passes\": {}, \"compactions\": {}}}{}",
             preset,
             s.memory.live_nodes,
             s.memory.total_slots,
             s.memory.free_slots,
+            s.memory.seg_items,
+            s.memory.seg_bytes,
+            s.memory.seg_items as f64 / s.memory.live_nodes.saturating_sub(1).max(1) as f64,
             s.memory.approx_bytes,
             s.prune_passes,
             s.compactions,

@@ -118,7 +118,11 @@ fn json_field(line: &str, key: &str) -> Option<u64> {
 /// found in the current directory or the experiments directory. Purely
 /// informational — absence is not an error.
 fn print_tree_memory(dir: &Path) {
-    let names = ["BENCH_scaling.json", "BENCH_hotpath.json"];
+    let names = [
+        "BENCH_scaling.json",
+        "BENCH_hotpath.json",
+        "BENCH_patricia.json",
+    ];
     let mut printed_header = false;
     for name in names {
         let path = [Path::new(name).to_path_buf(), dir.join(name)]
@@ -157,8 +161,17 @@ fn print_tree_memory(dir: &Path) {
                 println!("== final prefix-tree memory (sequential ista)");
                 printed_header = true;
             }
+            // segment fields are present once the layout is Patricia
+            // (v2 JSON records); older records print without them
+            let seg = match (json_field(t, "seg_items"), json_field(t, "seg_bytes")) {
+                (Some(items), Some(bytes)) => format!(
+                    ", {items} seg items ({bytes} B, avg len {:.2})",
+                    items as f64 / (live.saturating_sub(1).max(1)) as f64
+                ),
+                _ => String::new(),
+            };
             println!(
-                "  {:<24} {preset:<14} {live:>9} live / {total:>9} slots ({free} free), ~{:.1} KiB, {} prunes, {} compactions",
+                "  {:<24} {preset:<14} {live:>9} live / {total:>9} slots ({free} free){seg}, ~{:.1} KiB, {} prunes, {} compactions",
                 path.file_name().unwrap().to_string_lossy(),
                 json_field(t, "approx_bytes").unwrap_or(0) as f64 / 1024.0,
                 json_field(t, "prune_passes").unwrap_or(0),

@@ -24,6 +24,7 @@ pub fn all_miner_names() -> &'static [&'static str] {
         "ista-noprune",
         "ista-nocoalesce",
         "ista-nocompact",
+        "ista-plain",
         "carpenter-table-noelim",
         "carpenter-table-noabsorb",
         "carpenter-table-norepo",
@@ -40,6 +41,7 @@ pub fn miner_by_name(name: &str) -> Result<Box<dyn ClosedMiner>, String> {
         "ista-noprune" => Box::new(IstaMiner::with_config(IstaConfig::without_pruning())),
         "ista-nocoalesce" => Box::new(IstaMiner::with_config(IstaConfig::without_coalescing())),
         "ista-nocompact" => Box::new(IstaMiner::with_config(IstaConfig::without_compaction())),
+        "ista-plain" => Box::new(IstaMiner::with_config(IstaConfig::without_patricia())),
         "carpenter-table" => Box::new(CarpenterTableMiner::default()),
         "carpenter-lists" => Box::new(CarpenterListMiner::default()),
         "carpenter-table-noelim" => Box::new(CarpenterTableMiner::with_config(CarpenterConfig {

@@ -131,8 +131,8 @@ fn cmd_mine(args: &Args) -> Result<(), CliError> {
     if args.get("checkpoint").is_some() || args.get("resume").is_some() {
         return cmd_mine_stream(args, algo);
     }
-    let is_ista = matches!(algo, "ista" | "ista-par" | "ista-noprune");
-    for f in ["no-coalesce", "no-compact", "stats"] {
+    let is_ista = matches!(algo, "ista" | "ista-par" | "ista-noprune" | "ista-plain");
+    for f in ["no-coalesce", "no-compact", "no-patricia", "stats"] {
         if args.flag(f) && !is_ista {
             return Err(usage(format!("--{f} is only available for ista variants")));
         }
@@ -155,6 +155,12 @@ fn cmd_mine(args: &Args) -> Result<(), CliError> {
             "--degrade is only available for the sequential ista miner",
         ));
     }
+    let plain = algo == "ista-plain" || args.flag("no-patricia");
+    if plain && (threads.is_some() || algo == "ista-par") {
+        return Err(usage(
+            "the uncompressed tree (--no-patricia / ista-plain) is sequential only",
+        ));
+    }
     let ista_config = fim_ista::IstaConfig {
         policy: if algo == "ista-noprune" || args.flag("no-prune") {
             fim_ista::PrunePolicy::Never
@@ -163,6 +169,7 @@ fn cmd_mine(args: &Args) -> Result<(), CliError> {
         },
         coalesce: !args.flag("no-coalesce"),
         compact: !args.flag("no-compact"),
+        patricia: !plain,
     };
     let miner: Box<dyn ClosedMiner> = if is_ista {
         match (threads, algo) {
@@ -317,6 +324,7 @@ fn cmd_mine_stream(args: &Args, algo: &str) -> Result<(), CliError> {
         "no-prune",
         "no-coalesce",
         "no-compact",
+        "no-patricia",
         "degrade",
         "item-order",
         "tx-order",
@@ -459,7 +467,8 @@ fn mine_ista_with_stats(
 ) -> Result<(), CliError> {
     let start = std::time::Instant::now();
     let recoded = fim_core::RecodedDatabase::prepare(db, supp, item_order(args)?, tx_order(args)?);
-    let (res, stats) = fim_ista::IstaMiner::with_config(config).mine_with_stats(&recoded, supp);
+    let miner = fim_ista::IstaMiner::with_config(config);
+    let (res, stats) = miner.mine_with_stats(&recoded, supp);
     let mut result = res.decode(recoded.recode());
     result.canonicalize();
     let kind = if args.flag("maximal") {
@@ -473,22 +482,31 @@ fn mine_ista_with_stats(
         fim_io::write_results(&result, db, w).map_err(CliError::from)
     })?;
     eprintln!(
-        "ista: {} {kind} sets at supp >= {supp} in {:.3}s",
+        "{}: {} {kind} sets at supp >= {supp} in {:.3}s",
+        miner.name(),
         result.len(),
         elapsed.as_secs_f64()
     );
     eprintln!(
-        "stats: transactions={} distinct={} prune_passes={} compactions={}",
+        "stats: transactions={} distinct={} prune_passes={} compactions={} peak_nodes={}",
         stats.total_transactions,
         stats.distinct_transactions,
         stats.prune_passes,
-        stats.compactions
+        stats.compactions,
+        stats.peak_nodes
     );
+    // avg_seg_len is the path-compression ratio: conceptual (per-item)
+    // nodes per physical node; exactly 1.0 on the uncompressed layout
+    let interior = stats.memory.live_nodes.saturating_sub(1);
     eprintln!(
-        "stats: tree live_nodes={} total_slots={} free_slots={} approx_bytes={}",
+        "stats: tree live_nodes={} total_slots={} free_slots={} seg_items={} seg_bytes={} \
+         avg_seg_len={:.2} approx_bytes={}",
         stats.memory.live_nodes,
         stats.memory.total_slots,
         stats.memory.free_slots,
+        stats.memory.seg_items,
+        stats.memory.seg_bytes,
+        stats.memory.seg_items as f64 / interior.max(1) as f64,
         stats.memory.approx_bytes
     );
     Ok(())
@@ -599,15 +617,18 @@ USAGE:
   fim mine  --supp N | --supp-rel F   [--algo NAME] [--in FILE] [--out FILE]
             [--item-order asc|desc|orig] [--tx-order asc|desc|orig]
             [--maximal] [--no-prune] [--threads N]
-            [--no-coalesce] [--no-compact] [--stats]
+            [--no-coalesce] [--no-compact] [--no-patricia] [--stats]
             [--timeout SECS] [--max-nodes N] [--max-sets N] [--degrade]
             [--checkpoint FILE] [--resume FILE]
             (--threads N shards the database over N threads and merges the
              per-shard prefix trees; 0 = one shard per core; ista only)
             (--no-coalesce disables merging identical transactions into
              weighted pairs; --no-compact disables post-prune arena
-             compaction; --stats prints run counters and tree memory
-             occupancy on stderr; all three are ista only)
+             compaction; --no-patricia mines on the uncompressed
+             one-item-per-node tree instead of the path-compressed
+             Patricia layout (equivalent to --algo ista-plain; sequential
+             only); --stats prints run counters and tree memory occupancy
+             on stderr; all are ista only)
             (budgets: --timeout caps wall-clock seconds, --max-nodes caps
              live prefix-tree nodes, --max-sets caps emitted sets; on a
              trip the exact sets of the processed prefix are written and

@@ -13,6 +13,7 @@ pub fn all_miner_names() -> &'static [&'static str] {
         "ista",
         "ista-par",
         "ista-noprune",
+        "ista-plain",
         "carpenter-lists",
         "carpenter-table",
         "carpenter-table-noprune",
@@ -32,6 +33,7 @@ pub fn miner_by_name(name: &str) -> Result<Box<dyn ClosedMiner>, String> {
         "ista" => Box::new(IstaMiner::default()),
         "ista-par" => Box::new(ParallelIstaMiner::default()),
         "ista-noprune" => Box::new(IstaMiner::with_config(IstaConfig::without_pruning())),
+        "ista-plain" => Box::new(IstaMiner::with_config(IstaConfig::without_patricia())),
         "carpenter-lists" => Box::new(CarpenterListMiner::default()),
         "carpenter-table" => Box::new(CarpenterTableMiner::default()),
         "carpenter-table-noprune" => {

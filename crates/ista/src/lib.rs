@@ -12,18 +12,26 @@
 //! C(T ∪ {t}) = C(T) ∪ {t} ∪ { I | ∃ s ∈ C(T) : I = s ∩ t }
 //! ```
 //!
-//! The repository is a prefix tree ([`PrefixTree`]): each node carries one
-//! item, and the item set represented by a node consists of its item plus
-//! the items on the path to the root. Child items are smaller than their
-//! parent's item and sibling lists are sorted descending, so every set is
-//! stored along exactly one path (its items in descending order). Each new
-//! transaction is first inserted as a plain path, then a single selective
-//! depth-first traversal (`isect`, paper Fig. 2) simultaneously computes all
+//! The repository is a prefix tree ([`PrefixTree`]): the item set
+//! represented by a node consists of its items plus the items on the path
+//! to the root. Child items are smaller than their parent's items and
+//! sibling lists are sorted descending, so every set is stored along
+//! exactly one path (its items in descending order). Each new transaction
+//! is first inserted as a plain path, then a single selective depth-first
+//! traversal (`isect`, paper Fig. 2) simultaneously computes all
 //! intersections with stored sets and merges them into the tree, using a
 //! per-node `step` stamp and max-merge to keep every node's support exact.
 //! Finally a recursive report (paper Fig. 4) emits exactly the nodes whose
 //! support is at least the minimum support and strictly exceeds the support
 //! of every child (the closedness condition).
+//!
+//! Of the three repository implementations the paper compares, this crate
+//! provides two: the default [`PrefixTree`] is the §3.3 **Patricia tree**
+//! (path compression: each node stores a whole item *segment* in a shared
+//! arena, collapsing unary chains), and [`plain::PlainPrefixTree`] is the
+//! uncompressed one-item-per-node layout, kept registered as `ista-plain`
+//! (CLI `--no-patricia`) for A/B comparison. Both produce canonically
+//! identical output.
 //!
 //! The optional *item elimination* pruning of paper §3.2 removes items that
 //! can no longer reach minimum support from the tree mid-run, shrinking the
@@ -35,12 +43,14 @@
 pub mod arena;
 pub mod miner;
 pub mod parallel;
+pub mod plain;
 pub mod snapshot;
 pub mod stream;
 pub mod tree;
 
-pub use arena::{Node, NodeArena, NONE};
+pub use arena::{Node, NodeArena, PatNode, SegArena, NONE};
 pub use miner::{IstaConfig, IstaMiner, MineStats, PrunePacer, PrunePolicy};
 pub use parallel::{ParallelConfig, ParallelIstaMiner, ParallelMineStats};
+pub use plain::PlainPrefixTree;
 pub use stream::IstaStream;
-pub use tree::{PrefixTree, TreeMemoryStats};
+pub use tree::{intersect_segment, PrefixTree, TreeMemoryStats};

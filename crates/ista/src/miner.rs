@@ -1,10 +1,56 @@
 //! The [`IstaMiner`]: driving the prefix tree over a recoded database.
 
+use crate::plain::PlainPrefixTree;
 use crate::tree::{PrefixTree, TreeMemoryStats};
 use fim_core::{
-    checkpoint, prepare, Budget, ClosedMiner, Degradation, Governor, Item, MineOutcome,
+    checkpoint, prepare, Budget, ClosedMiner, Degradation, FoundSet, Governor, Item, MineOutcome,
     MiningResult, Progress, RecodedDatabase, TripReason,
 };
+
+/// The tree operations the mining loop needs, implemented by both the
+/// Patricia [`PrefixTree`] (default) and the uncompressed
+/// [`PlainPrefixTree`] (`ista-plain`, CLI `--no-patricia`) so one loop
+/// serves both layouts without dynamic dispatch.
+trait MiningTree {
+    fn create(num_items: u32) -> Self;
+    fn add_transaction_weighted(&mut self, t: &[Item], weight: u32);
+    fn node_count(&self) -> usize;
+    fn memory_stats(&self) -> TreeMemoryStats;
+    fn prune(&mut self, remaining: &[u32], minsupp: u32);
+    fn compact_if_fragmented(&mut self) -> bool;
+    fn report(&self, minsupp: u32) -> Vec<FoundSet>;
+}
+
+macro_rules! impl_mining_tree {
+    ($ty:ty) => {
+        impl MiningTree for $ty {
+            fn create(num_items: u32) -> Self {
+                <$ty>::new(num_items)
+            }
+            fn add_transaction_weighted(&mut self, t: &[Item], weight: u32) {
+                <$ty>::add_transaction_weighted(self, t, weight)
+            }
+            fn node_count(&self) -> usize {
+                <$ty>::node_count(self)
+            }
+            fn memory_stats(&self) -> TreeMemoryStats {
+                <$ty>::memory_stats(self)
+            }
+            fn prune(&mut self, remaining: &[u32], minsupp: u32) {
+                <$ty>::prune(self, remaining, minsupp)
+            }
+            fn compact_if_fragmented(&mut self) -> bool {
+                <$ty>::compact_if_fragmented(self)
+            }
+            fn report(&self, minsupp: u32) -> Vec<FoundSet> {
+                <$ty>::report(self, minsupp)
+            }
+        }
+    };
+}
+
+impl_mining_tree!(PrefixTree);
+impl_mining_tree!(PlainPrefixTree);
 
 /// When to run the item-elimination pruning pass (paper §3.2).
 ///
@@ -77,6 +123,11 @@ pub struct IstaConfig {
     /// pass that freed slots ([`PrefixTree::compact`]), so the `isect`
     /// traversal walks nearly-sequential memory. Output-invariant.
     pub compact: bool,
+    /// Use the path-compressed Patricia tree (paper §3.3); when `false`
+    /// the miner runs on the uncompressed one-item-per-node
+    /// [`PlainPrefixTree`] layout instead (ablation baseline, registered
+    /// as `ista-plain`). Output-invariant.
+    pub patricia: bool,
 }
 
 impl Default for IstaConfig {
@@ -85,6 +136,7 @@ impl Default for IstaConfig {
             policy: PrunePolicy::Growth(2.0),
             coalesce: true,
             compact: true,
+            patricia: true,
         }
     }
 }
@@ -121,6 +173,15 @@ impl IstaConfig {
             ..Default::default()
         }
     }
+
+    /// Configuration mining on the uncompressed one-item-per-node tree
+    /// instead of the Patricia layout (for A/B comparison).
+    pub fn without_patricia() -> Self {
+        IstaConfig {
+            patricia: false,
+            ..Default::default()
+        }
+    }
 }
 
 /// Counters and final memory occupancy of one [`IstaMiner`] run, reported
@@ -137,6 +198,10 @@ pub struct MineStats {
     pub prune_passes: usize,
     /// Arena compactions executed.
     pub compactions: usize,
+    /// Largest node count the tree reached after any transaction (physical
+    /// nodes: with the Patricia layout a node holds a whole segment, so
+    /// this is the number the path compression is meant to shrink).
+    pub peak_nodes: usize,
     /// Arena occupancy after the last transaction, before reporting.
     pub memory: TreeMemoryStats,
 }
@@ -189,6 +254,21 @@ impl IstaMiner {
         &self,
         db: &RecodedDatabase,
         minsupp: u32,
+        gov: Option<Governor>,
+        degrade: bool,
+    ) -> (MineOutcome, MineStats) {
+        if self.config.patricia {
+            self.run_impl::<PrefixTree>(db, minsupp, gov, degrade)
+        } else {
+            self.run_impl::<PlainPrefixTree>(db, minsupp, gov, degrade)
+        }
+    }
+
+    /// The mining loop itself, monomorphized per tree layout.
+    fn run_impl<T: MiningTree>(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
         mut gov: Option<Governor>,
         degrade: bool,
     ) -> (MineOutcome, MineStats) {
@@ -206,7 +286,7 @@ impl IstaMiner {
             ..MineStats::default()
         };
         let total_weight = db.transactions().len() as u64;
-        let mut tree = PrefixTree::new(db.num_items());
+        let mut tree = T::create(db.num_items());
         let mut remaining: Vec<u32> = db.item_supports().to_vec();
         let mut pacer = PrunePacer::new(self.config.policy);
         if let Some(reason) = checkpoint!(gov, 0, 0, 0) {
@@ -227,6 +307,7 @@ impl IstaMiner {
                 remaining[i as usize] -= w;
             }
             tree.add_transaction_weighted(t, *w);
+            stats.peak_nodes = stats.peak_nodes.max(tree.node_count());
             if let Some(g) = gov.as_mut() {
                 g.add_processed(u64::from(*w));
             }
@@ -302,7 +383,11 @@ impl IstaMiner {
 
 impl ClosedMiner for IstaMiner {
     fn name(&self) -> &'static str {
-        "ista"
+        if self.config.patricia {
+            "ista"
+        } else {
+            "ista-plain"
+        }
     }
 
     fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult {
@@ -376,18 +461,21 @@ mod tests {
             for policy in policies {
                 for coalesce in [false, true] {
                     for compact in [false, true] {
-                        let got = IstaMiner::with_config(IstaConfig {
-                            policy,
-                            coalesce,
-                            compact,
-                        })
-                        .mine(&db, minsupp)
-                        .canonicalized();
-                        assert_eq!(
-                            got, want,
-                            "policy={policy:?} coalesce={coalesce} compact={compact} \
-                             minsupp={minsupp}"
-                        );
+                        for patricia in [false, true] {
+                            let got = IstaMiner::with_config(IstaConfig {
+                                policy,
+                                coalesce,
+                                compact,
+                                patricia,
+                            })
+                            .mine(&db, minsupp)
+                            .canonicalized();
+                            assert_eq!(
+                                got, want,
+                                "policy={policy:?} coalesce={coalesce} compact={compact} \
+                                 patricia={patricia} minsupp={minsupp}"
+                            );
+                        }
                     }
                 }
             }
@@ -415,12 +503,14 @@ mod tests {
             policy: PrunePolicy::EveryN(2),
             coalesce: true,
             compact: true,
+            patricia: true,
         })
         .mine_with_stats(&db, 4);
         assert!(!result.sets.is_empty());
         assert_eq!(stats.total_transactions, 12);
         assert_eq!(stats.distinct_transactions, 4);
         assert!(stats.prune_passes >= 1);
+        assert!(stats.peak_nodes >= stats.memory.live_nodes - 1);
         assert!(stats.memory.live_nodes >= 1);
         assert!(stats.memory.approx_bytes > 0);
         // compaction leaves no fragmentation behind after the final prune
@@ -472,6 +562,45 @@ mod tests {
     #[test]
     fn miner_name() {
         assert_eq!(IstaMiner::default().name(), "ista");
+        assert_eq!(
+            IstaMiner::with_config(IstaConfig::without_patricia()).name(),
+            "ista-plain"
+        );
+    }
+
+    #[test]
+    fn patricia_compresses_long_chains() {
+        // wide transactions build long unary chains: the uncompressed
+        // layout pays one node per item, the Patricia layout one node per
+        // branch — same output, far fewer (peak) nodes
+        let db = RecodedDatabase::from_dense(
+            vec![
+                (0..50).collect(),
+                (10..60).collect(),
+                (20..70).collect(),
+                (0..30).chain(50..70).collect(),
+            ],
+            70,
+        );
+        let (pat_result, pat) = IstaMiner::default().mine_with_stats(&db, 1);
+        let (plain_result, plain) =
+            IstaMiner::with_config(IstaConfig::without_patricia()).mine_with_stats(&db, 1);
+        assert_eq!(
+            pat_result.canonicalized(),
+            plain_result.canonicalized(),
+            "layouts must agree exactly"
+        );
+        assert!(
+            pat.peak_nodes * 2 <= plain.peak_nodes,
+            "expected ≥2× peak-node reduction, got {} vs {}",
+            pat.peak_nodes,
+            plain.peak_nodes
+        );
+        // conceptual node counts agree; the plain layout reports no
+        // segment bytes
+        assert_eq!(pat.memory.seg_items, plain.memory.seg_items);
+        assert_eq!(plain.memory.seg_bytes, 0);
+        assert!(pat.memory.seg_bytes > 0);
     }
 
     #[test]

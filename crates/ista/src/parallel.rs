@@ -197,6 +197,7 @@ impl ParallelIstaMiner {
                 policy: self.config.policy,
                 coalesce: self.config.coalesce,
                 compact: self.config.compact,
+                patricia: true,
             });
             let (outcome, stats) = seq.mine_governed_with_stats(db, minsupp, budget);
             let stats = ParallelMineStats {

@@ -1,7 +1,23 @@
-//! The IsTa prefix tree: insertion, the `isect` traversal (paper Fig. 2),
+//! The path-compressed (Patricia) IsTa prefix tree: insertion, the
+//! segment-aware `isect` traversal (paper Fig. 2 over whole segments),
 //! reporting (paper Fig. 4), and item-elimination pruning (paper §3.2).
+//!
+//! This is the paper's §3.3 Patricia variant — the implementation the
+//! authors report as the most memory- and time-efficient on sparse data.
+//! Each node holds a strictly descending item *segment* (a slice into the
+//! [`SegArena`]'s shared item store) instead of a single item, so unary
+//! chains collapse into one node. The uncompressed reference layout lives
+//! in [`crate::plain`] (`ista-plain`, CLI `--no-patricia`) and the two are
+//! proptested to report identical closed sets.
+//!
+//! The core invariant that makes segment-at-a-time updates sound: all
+//! conceptual (per-item) nodes within one segment share the same `supp`
+//! and the same `step`, and the terminal count `raw` belongs to the
+//! deepest conceptual node. Any update that would touch only a proper
+//! prefix of a segment *splits* the node first (both halves keep `supp`
+//! and `step`), so the invariant is maintained eagerly.
 
-use crate::arena::{Node, NodeArena, NONE};
+use crate::arena::{PatNode, SegArena, NONE};
 use fim_core::{FoundSet, Item, ItemSet};
 
 /// Snapshot of a [`PrefixTree`]'s arena occupancy, for memory accounting
@@ -14,8 +30,15 @@ pub struct TreeMemoryStats {
     pub total_slots: usize,
     /// Slots parked on the free list (reclaimable by [`PrefixTree::compact`]).
     pub free_slots: usize,
-    /// Approximate resident bytes: slot storage plus the per-item
-    /// membership-stamp array.
+    /// Items referenced by live segments — the *conceptual* node count
+    /// (excluding the pseudo-root); `seg_items / (live_nodes - 1)` is the
+    /// average segment length, the path-compression ratio.
+    pub seg_items: usize,
+    /// Bytes held by the segment item store, live and garbage alike
+    /// (0 for the uncompressed plain tree).
+    pub seg_bytes: usize,
+    /// Approximate resident bytes: slot storage plus segment storage plus
+    /// the per-item membership-stamp array.
     pub approx_bytes: usize,
 }
 
@@ -31,7 +54,7 @@ enum Slot {
 }
 
 #[inline]
-fn slot_get(a: &NodeArena, s: Slot) -> u32 {
+fn slot_get(a: &SegArena, s: Slot) -> u32 {
     match s {
         Slot::Child(n) => a.get(n).children,
         Slot::Sib(n) => a.get(n).sibling,
@@ -39,27 +62,57 @@ fn slot_get(a: &NodeArena, s: Slot) -> u32 {
 }
 
 #[inline]
-fn slot_set(a: &mut NodeArena, s: Slot, v: u32) {
+fn slot_set(a: &mut SegArena, s: Slot, v: u32) {
     match s {
         Slot::Child(n) => a.get_mut(n).children = v,
         Slot::Sib(n) => a.get_mut(n).sibling = v,
     }
 }
 
-/// The cumulative-intersection prefix tree (paper §3.3).
+/// The descending-merge segment intersection kernel: appends to `out` the
+/// items of the strictly descending segment `seg` that are members of the
+/// current transaction (epoch-stamped: item `i` is in the transaction iff
+/// `trans[i] == step`). The scan stops at the first item `<= imin` — the
+/// transaction's minimum item; nothing below it can be a member, and
+/// nothing below it in the tree needs visiting (PR 2's early-stop idea
+/// applied per segment). Returns whether the scan stopped early, i.e. the
+/// traversal must not descend below this segment.
+#[inline]
+pub fn intersect_segment(
+    seg: &[Item],
+    trans: &[u32],
+    step: u32,
+    imin: Item,
+    out: &mut Vec<Item>,
+) -> bool {
+    for &i in seg {
+        if trans[i as usize] == step {
+            out.push(i);
+            if i <= imin {
+                return true;
+            }
+        } else if i <= imin {
+            return true;
+        }
+    }
+    false
+}
+
+/// The cumulative-intersection prefix tree (paper §3.3, Patricia layout).
 ///
 /// Invariants (checked by [`PrefixTree::validate_invariants`]):
 ///
-/// * every sibling list is strictly descending in item code,
-/// * every child's item code is strictly smaller than its parent's,
-/// * after processing `k` transactions, each node's `supp` equals the exact
-///   support of the item set it represents within those `k` transactions
-///   (as long as pruning has not removed evidence for globally infrequent
-///   sets — pruned-tree supports are only exact for sets that can still
-///   reach the minimum support; see §3.2 of the paper).
+/// * every segment is strictly descending in item code, non-empty except
+///   at the pseudo-root, with uniform `supp` and `step` per segment,
+/// * every sibling list is strictly descending in first item,
+/// * every child's first item is strictly smaller than its parent's
+///   *last* item,
+/// * after processing `k` transactions, each node's `supp` equals the
+///   exact support of every item set its segment prefixes represent
+///   within those `k` transactions (modulo the §3.2 pruning caveat).
 #[derive(Clone, Debug)]
 pub struct PrefixTree {
-    arena: NodeArena,
+    arena: SegArena,
     root: u32,
     /// Monotone per-call stamp used by `isect` to detect nodes already
     /// updated while processing the current transaction, and as the epoch
@@ -70,18 +123,19 @@ pub struct PrefixTree {
     weight: u32,
     /// Epoch-stamped membership flags of the transaction currently being
     /// processed: item `i` is in the transaction iff `trans[i] == step`.
-    /// Stamping replaces the set-then-clear flag loops of a plain
-    /// `Vec<bool>` — the stale stamps of earlier transactions never need
-    /// to be cleared because `step` strictly increases.
     trans: Vec<u32>,
+    /// Reusable run buffer for the segment scans of `isect` (stack
+    /// discipline: each recursion level truncates back to its base).
+    scratch: Vec<Item>,
 }
 
 impl PrefixTree {
     /// Creates an empty tree over an item universe of `num_items` codes.
     pub fn new(num_items: u32) -> Self {
-        let mut arena = NodeArena::new();
-        let root = arena.alloc(Node {
-            item: Item::MAX, // pseudo-item above every real item
+        let mut arena = SegArena::new();
+        let root = arena.alloc_node(PatNode {
+            seg_off: 0,
+            seg_len: 0, // the empty segment sits above every real item
             supp: 0,
             step: 0,
             raw: 0,
@@ -94,6 +148,7 @@ impl PrefixTree {
             step: 0,
             weight: 0,
             trans: vec![0; num_items as usize],
+            scratch: Vec::new(),
         }
     }
 
@@ -119,19 +174,19 @@ impl PrefixTree {
     }
 
     /// The arena and the root index, for the snapshot writer.
-    pub(crate) fn arena(&self) -> &NodeArena {
+    pub(crate) fn arena(&self) -> &SegArena {
         &self.arena
     }
 
     /// Rebuilds a tree from reloaded parts (snapshot reader), running the
     /// full structural validation instead of trusting the input: the arena
     /// must hold no free slots, `root` must be the pseudo-root, every slot
-    /// must be reachable exactly once with ordered links and in-universe
-    /// items, and the terminal counts must partition `weight`. Per-node
-    /// `step` stamps are reset; the first transaction added afterwards
-    /// starts a fresh epoch.
+    /// must be reachable exactly once with ordered links, in-bounds
+    /// in-universe segments that exactly cover the item store, and the
+    /// terminal counts must partition `weight`. Per-node `step` stamps are
+    /// reset; the first transaction added afterwards starts a fresh epoch.
     pub(crate) fn from_raw_parts(
-        mut arena: NodeArena,
+        mut arena: SegArena,
         root: u32,
         weight: u32,
         num_items: u32,
@@ -142,7 +197,7 @@ impl PrefixTree {
         if arena.free_count() != 0 {
             return Err("arena holds free slots".into());
         }
-        if arena.get(root).item != Item::MAX {
+        if arena.get(root).seg_len != 0 {
             return Err("root slot does not hold the pseudo-root".into());
         }
         if arena.get(root).sibling != NONE {
@@ -161,44 +216,51 @@ impl PrefixTree {
             step: 0,
             weight,
             trans: vec![0; num_items as usize],
+            scratch: Vec::new(),
         })
     }
 
-    /// Number of live tree nodes (excluding the root).
+    /// Number of live tree nodes (excluding the root). With path
+    /// compression this counts *physical* nodes; the conceptual (per-item)
+    /// node count is [`memory_stats`](Self::memory_stats)`.seg_items`.
     pub fn node_count(&self) -> usize {
         self.arena.live_count() - 1
     }
 
-    /// Current arena occupancy (live nodes, slots, free list, approximate
-    /// bytes). Free slots accumulate through pruning churn; [`compact`]
-    /// returns them to the allocator.
+    /// Current arena occupancy (live nodes, slots, free list, segment
+    /// storage, approximate bytes). Free slots and garbage segment items
+    /// accumulate through pruning churn; [`compact`](Self::compact)
+    /// returns both to the allocator.
     ///
     /// [`compact`]: Self::compact
     pub fn memory_stats(&self) -> TreeMemoryStats {
         let total_slots = self.arena.capacity_used();
+        let seg_bytes = self.arena.items_len() * std::mem::size_of::<Item>();
         TreeMemoryStats {
             live_nodes: self.arena.live_count(),
             total_slots,
             free_slots: self.arena.free_count(),
-            approx_bytes: total_slots * std::mem::size_of::<Node>()
+            seg_items: self.arena.live_items(),
+            seg_bytes,
+            approx_bytes: total_slots * std::mem::size_of::<PatNode>()
+                + seg_bytes
                 + self.trans.len() * std::mem::size_of::<u32>(),
         }
     }
 
-    /// Relocates the live nodes into depth-first order and drops the freed
-    /// slots (see [`NodeArena::compact`]). Reported sets, supports, and
-    /// stored transactions are unchanged — only node placement moves, so
-    /// the `isect`/`report` traversals walk nearly-sequential memory again
-    /// after pruning has scattered live nodes across the slot vector.
+    /// Relocates the live nodes into depth-first order — and their
+    /// segments into the same order in a garbage-free item store — and
+    /// drops the freed slots (see [`SegArena::compact`]). Reported sets,
+    /// supports, and stored transactions are unchanged.
     pub fn compact(&mut self) {
         self.root = self.arena.compact(self.root);
     }
 
-    /// [`compact`](Self::compact)s only when the free list is non-empty
-    /// (a fresh or already-compact arena is left untouched). Returns
-    /// whether a compaction ran.
+    /// [`compact`](Self::compact)s only when the free list or the segment
+    /// garbage is non-empty (a fresh or already-compact arena is left
+    /// untouched). Returns whether a compaction ran.
     pub fn compact_if_fragmented(&mut self) -> bool {
-        if self.arena.free_count() > 0 {
+        if self.arena.free_count() > 0 || self.arena.garbage_items() > 0 {
             self.compact();
             true
         } else {
@@ -236,64 +298,102 @@ impl PrefixTree {
         let head = self.arena.get(self.root).children;
         let ins = Slot::Child(self.root);
         let PrefixTree {
-            arena, trans, step, ..
+            arena,
+            trans,
+            step,
+            scratch,
+            ..
         } = self;
-        isect(arena, head, ins, trans, imin, *step, weight);
+        scratch.clear();
+        isect(arena, head, ins, trans, imin, *step, weight, scratch);
         self.weight += weight;
         self.arena.get_mut(self.root).supp = self.weight;
     }
 
     /// Inserts the path for transaction `t` (items consumed in descending
-    /// order); nodes created on the way start with support 0 and are
+    /// order), splitting a node when `t` diverges inside its segment and
+    /// creating at most one new node — the whole unmatched suffix becomes
+    /// a single segment. Created nodes start with support 0 and are
     /// counted by the subsequent `isect` self-intersection. Returns the
-    /// terminal node (deepest item of `t`).
+    /// terminal node (its segment ends at the deepest item of `t`).
     fn insert_path(&mut self, t: &[Item]) -> u32 {
+        let a = &mut self.arena;
         let mut parent = self.root;
-        for &item in t.iter().rev() {
+        let mut pos = t.len();
+        loop {
+            debug_assert!(pos > 0);
+            let item = t[pos - 1];
             let mut ins = Slot::Child(parent);
             loop {
-                let d = slot_get(&self.arena, ins);
-                if d != NONE && self.arena.get(d).item > item {
+                let d = slot_get(a, ins);
+                if d != NONE && a.first_item(d) > item {
                     ins = Slot::Sib(d);
                 } else {
                     break;
                 }
             }
-            let d = slot_get(&self.arena, ins);
-            if d != NONE && self.arena.get(d).item == item {
-                parent = d;
-            } else {
-                let new = self.arena.alloc(Node {
-                    item,
-                    supp: 0,
-                    step: 0,
-                    raw: 0,
-                    sibling: d,
-                    children: NONE,
-                });
-                slot_set(&mut self.arena, ins, new);
-                parent = new;
+            let d = slot_get(a, ins);
+            if d != NONE && a.first_item(d) == item {
+                // consume the matching prefix of d's segment
+                let len = a.get(d).seg_len as usize;
+                let mut k = 1usize;
+                pos -= 1;
+                while k < len && pos > 0 && a.item_at(d, k) == t[pos - 1] {
+                    k += 1;
+                    pos -= 1;
+                }
+                if k == len {
+                    if pos == 0 {
+                        return d; // t ends exactly at this segment's end
+                    }
+                    parent = d;
+                    continue;
+                }
+                // t diverged from (or ended inside) d's segment: split so
+                // the shared prefix becomes its own node
+                let tail = a.split(d, k as u32);
+                if pos == 0 {
+                    return d; // t ends at the split point: the head
+                }
+                // hang the remaining suffix as one node beside the tail,
+                // keeping the child list descending by first item
+                let seg: Vec<Item> = t[..pos].iter().rev().copied().collect();
+                return if seg[0] > a.first_item(tail) {
+                    let new = a.alloc_seg(&seg, 0, 0, 0, tail, NONE);
+                    a.get_mut(d).children = new;
+                    new
+                } else {
+                    let new = a.alloc_seg(&seg, 0, 0, 0, NONE, NONE);
+                    a.get_mut(tail).sibling = new;
+                    new
+                };
             }
+            // no child starts with `item`: one node takes the whole suffix
+            let seg: Vec<Item> = t[..pos].iter().rev().copied().collect();
+            let new = a.alloc_seg(&seg, 0, 0, 0, d, NONE);
+            slot_set(a, ins, new);
+            return new;
         }
-        parent
     }
 
     /// Item-elimination pruning (paper §3.2): removes every item `i` from
     /// every stored set whose node support plus `remaining[i]` (occurrences
     /// of `i` in the yet-unprocessed transactions) cannot reach `minsupp`.
-    /// Subtrees of removed nodes are merged into their parent's child list
-    /// (max-merging supports on collisions), so reduced sets stay available
-    /// as intersection sources.
+    /// Since supports are uniform per segment, the test runs per segment
+    /// item: fully hopeless nodes are freed (subtrees merged into the
+    /// parent's child list), partially hopeless segments are rewritten to
+    /// their kept subsequence in place.
     pub fn prune(&mut self, remaining: &[u32], minsupp: u32) {
         let head = self.arena.get(self.root).children;
         let root = self.root;
-        let new_head = prune_list(&mut self.arena, head, remaining, minsupp, root);
+        let mut buf = Vec::new();
+        let new_head = prune_list(&mut self.arena, head, remaining, minsupp, root, &mut buf);
         self.arena.get_mut(self.root).children = new_head;
     }
 
     /// Item-elimination pruning that never reduces a stored transaction:
     /// every node whose subtree carries a terminal count (`raw > 0`) is
-    /// kept even when its set is hopeless, so
+    /// kept whole even when its set is hopeless, so
     /// [`weighted_transactions`](Self::weighted_transactions) still lists
     /// the processed transactions verbatim afterwards.
     ///
@@ -310,13 +410,17 @@ impl PrefixTree {
     /// [`ParallelIstaMiner`]: crate::parallel::ParallelIstaMiner
     pub fn prune_keeping_terminals(&mut self, remaining: &[u32], minsupp: u32) {
         let head = self.arena.get(self.root).children;
-        let (new_head, _) = prune_list_keep(&mut self.arena, head, remaining, minsupp);
+        let mut buf = Vec::new();
+        let (new_head, _) = prune_list_keep(&mut self.arena, head, remaining, minsupp, &mut buf);
         self.arena.get_mut(self.root).children = new_head;
     }
 
     /// Reports all closed item sets with support ≥ `minsupp` (paper Fig. 4):
     /// a node is emitted iff its support reaches `minsupp` and strictly
-    /// exceeds the support of every child.
+    /// exceeds the support of every child. Only the deepest conceptual
+    /// node of a segment can be closed — every interior prefix has exactly
+    /// one (conceptual) child with the same support — so the walk stays
+    /// physical and pushes whole segments.
     pub fn report(&self, minsupp: u32) -> Vec<FoundSet> {
         let mut out = Vec::new();
         let mut path = Vec::new();
@@ -333,6 +437,7 @@ impl PrefixTree {
     pub fn validate_invariants(&self) {
         let mut visited = 0usize;
         let mut raw_sum = u64::from(self.arena.get(self.root).raw);
+        let mut seg_items = 0usize;
         validate_rec(
             &self.arena,
             self.arena.get(self.root).children,
@@ -340,6 +445,7 @@ impl PrefixTree {
             self.weight,
             &mut visited,
             &mut raw_sum,
+            &mut seg_items,
         );
         assert_eq!(
             visited + 1,
@@ -350,6 +456,11 @@ impl PrefixTree {
             raw_sum,
             u64::from(self.weight),
             "terminal raw counts must partition the processed weight"
+        );
+        assert_eq!(
+            seg_items,
+            self.arena.live_items(),
+            "live segment item accounting out of sync"
         );
     }
 
@@ -366,19 +477,23 @@ impl PrefixTree {
         superset_rec(&self.arena, self.arena.get(self.root).children, &desc)
     }
 
-    /// Lists every stored node as `(item set, support)` in depth-first
-    /// order — the tree contents, used by the Fig. 3 experiment runner and
-    /// by tests that inspect interior (non-closed) nodes.
+    /// Lists every stored *conceptual* node as `(item set, support)` in
+    /// depth-first order — each prefix of each segment, exactly the node
+    /// enumeration of the uncompressed tree. Used by the Fig. 3 experiment
+    /// runner and by tests that inspect interior (non-closed) nodes.
     pub fn dump(&self) -> Vec<(ItemSet, u32)> {
-        fn rec(a: &NodeArena, mut node: u32, path: &mut Vec<Item>, out: &mut Vec<(ItemSet, u32)>) {
+        fn rec(a: &SegArena, mut node: u32, path: &mut Vec<Item>, out: &mut Vec<(ItemSet, u32)>) {
             while node != NONE {
                 let n = a.get(node);
-                path.push(n.item);
-                let mut items = path.clone();
-                items.reverse();
-                out.push((ItemSet::from_sorted(items), n.supp));
+                let len = n.seg_len as usize;
+                for j in 0..len {
+                    path.push(a.item_at(node, j));
+                    let mut items = path.clone();
+                    items.reverse();
+                    out.push((ItemSet::from_sorted(items), n.supp));
+                }
                 rec(a, n.children, path, out);
-                path.pop();
+                path.truncate(path.len() - len);
                 node = n.sibling;
             }
         }
@@ -392,26 +507,37 @@ impl PrefixTree {
         out
     }
 
-    /// Exact support lookup for an item set, by walking its descending path.
-    /// Returns `None` if the set is not (or no longer) stored.
+    /// Exact support lookup for an item set, by walking its descending
+    /// path through the segments. Returns `None` if the set is not (or no
+    /// longer) stored.
     pub fn lookup(&self, items: &ItemSet) -> Option<u32> {
+        let a = &self.arena;
         let mut node = self.root;
+        let mut jpos = 0u32; // position inside node's segment; root len is 0
         for item in items.iter().rev() {
-            let mut c = self.arena.get(node).children;
+            if jpos < a.get(node).seg_len {
+                // mid-segment: the only continuation is the next item
+                if a.item_at(node, jpos as usize) != item {
+                    return None;
+                }
+                jpos += 1;
+                continue;
+            }
+            let mut c = a.get(node).children;
             loop {
                 if c == NONE {
                     return None;
                 }
-                let n = self.arena.get(c);
-                match n.item.cmp(&item) {
-                    std::cmp::Ordering::Greater => c = n.sibling,
+                match a.first_item(c).cmp(&item) {
+                    std::cmp::Ordering::Greater => c = a.get(c).sibling,
                     std::cmp::Ordering::Equal => break,
                     std::cmp::Ordering::Less => return None,
                 }
             }
             node = c;
+            jpos = 1;
         }
-        Some(self.arena.get(node).supp)
+        Some(a.get(node).supp)
     }
 
     /// The distinct (pruning-reduced) transactions stored in this tree,
@@ -424,22 +550,18 @@ impl PrefixTree {
     /// support the tree was pruned against (see §3.2 of the paper for the
     /// pruning caveat).
     pub fn weighted_transactions(&self) -> Vec<(Vec<Item>, u32)> {
-        fn rec(
-            a: &NodeArena,
-            mut node: u32,
-            path: &mut Vec<Item>,
-            out: &mut Vec<(Vec<Item>, u32)>,
-        ) {
+        fn rec(a: &SegArena, mut node: u32, path: &mut Vec<Item>, out: &mut Vec<(Vec<Item>, u32)>) {
             while node != NONE {
                 let n = a.get(node);
-                path.push(n.item);
+                let len = n.seg_len as usize;
+                path.extend_from_slice(a.seg(node));
                 if n.raw > 0 {
                     let mut t = path.clone();
                     t.reverse(); // path is descending; transactions ascend
                     out.push((t, n.raw));
                 }
                 rec(a, n.children, path, out);
-                path.pop();
+                path.truncate(path.len() - len);
                 node = n.sibling;
             }
         }
@@ -473,7 +595,9 @@ impl PrefixTree {
     /// (and pruning-reduced) transaction multiset through the ordinary
     /// cumulative-intersection update, smallest transactions first
     /// (paper §3.4); replay cost therefore shrinks with how much `other`
-    /// was pruned.
+    /// was pruned. Replaying over segments needs no special casing: each
+    /// replayed transaction is re-inserted and re-intersected, splitting
+    /// and extending segments exactly as ordinary insertion does.
     ///
     /// If `other` was pruned with the plain [`prune`](Self::prune), its
     /// stored transactions may have been reduced by items that are only
@@ -538,18 +662,21 @@ impl PrefixTree {
 
 /// Non-panicking structural validation used by the snapshot reader: the
 /// same invariants as [`PrefixTree::validate_invariants`], reported as
-/// `Err` descriptions instead of panics, plus link-bounds checking (a
-/// corrupt snapshot can contain arbitrary indices).
-fn check_structure(a: &NodeArena, root: u32, num_items: u32, weight: u32) -> Result<(), String> {
+/// `Err` descriptions instead of panics, plus link- and segment-bounds
+/// checking (a corrupt snapshot can contain arbitrary indices) and the
+/// requirement that the segments exactly cover the item store (a snapshot
+/// is written compacted, so no garbage items can hide in it).
+fn check_structure(a: &SegArena, root: u32, num_items: u32, weight: u32) -> Result<(), String> {
     let slots = a.capacity_used();
     let mut visited = 1usize; // the root
     let mut raw_sum = u64::from(a.get(root).raw);
-    // (node, parent_item, preceding sibling item) work list
+    let mut seg_total = 0usize;
+    // (node, parent's last item, preceding sibling's first item) work list
     let mut stack: Vec<(u32, Item, Item)> = Vec::new();
     if a.get(root).children != NONE {
         stack.push((a.get(root).children, Item::MAX, Item::MAX));
     }
-    while let Some((node, parent_item, prev_item)) = stack.pop() {
+    while let Some((node, parent_last, prev_first)) = stack.pop() {
         if node as usize >= slots {
             return Err(format!("link {node} out of bounds ({slots} slots)"));
         }
@@ -558,13 +685,23 @@ fn check_structure(a: &NodeArena, root: u32, num_items: u32, weight: u32) -> Res
             return Err("cycle detected".into());
         }
         let n = a.get(node);
-        if n.item >= num_items {
-            return Err(format!("item {} outside universe {num_items}", n.item));
+        if n.seg_len == 0 {
+            return Err("empty segment outside the root".into());
         }
-        if n.item >= parent_item {
+        if u64::from(n.seg_off) + u64::from(n.seg_len) > a.items_len() as u64 {
+            return Err("segment out of bounds of the item store".into());
+        }
+        let seg = a.seg(node);
+        if !seg.windows(2).all(|w| w[0] > w[1]) {
+            return Err("segment must be strictly descending".into());
+        }
+        if seg[0] >= num_items {
+            return Err(format!("item {} outside universe {num_items}", seg[0]));
+        }
+        if seg[0] >= parent_last {
             return Err("child item must be below parent item".into());
         }
-        if prev_item != Item::MAX && n.item >= prev_item {
+        if prev_first != Item::MAX && seg[0] >= prev_first {
             return Err("sibling list must be strictly descending".into());
         }
         if n.supp > weight {
@@ -574,15 +711,19 @@ fn check_structure(a: &NodeArena, root: u32, num_items: u32, weight: u32) -> Res
             return Err("terminal count exceeds support".into());
         }
         raw_sum += u64::from(n.raw);
+        seg_total += seg.len();
         if n.sibling != NONE {
-            stack.push((n.sibling, parent_item, n.item));
+            stack.push((n.sibling, parent_last, seg[0]));
         }
         if n.children != NONE {
-            stack.push((n.children, n.item, Item::MAX));
+            stack.push((n.children, seg[seg.len() - 1], Item::MAX));
         }
     }
     if visited != slots {
         return Err(format!("{} of {slots} slots reachable", visited));
+    }
+    if seg_total != a.items_len() {
+        return Err("segments do not exactly cover the item store".into());
     }
     if raw_sum != u64::from(weight) {
         return Err("terminal counts do not partition the weight".into());
@@ -591,120 +732,216 @@ fn check_structure(a: &NodeArena, root: u32, num_items: u32, weight: u32) -> Res
 }
 
 /// The intersection traversal (paper Fig. 2), generalized to a transaction
-/// weight `w` (all support increments add `w` instead of 1).
+/// weight `w` and to whole segments: each source node contributes the
+/// *run* of its segment items that are in the transaction, and the run is
+/// merged into the intersection tree in one pass (`merge_run`) instead of
+/// one recursion level per item.
 ///
 /// Walks the sibling list starting at `node`; `ins` tracks the position in
 /// the tree representing the intersection of the processed path prefix with
-/// the current transaction. Membership is epoch-stamped: item `i` is in the
-/// transaction iff `trans[i] == step` (minimum item `imin`).
+/// the current transaction, advancing (as in the uncompressed walk) only
+/// when a run starts at a segment's *first* item — deeper run items update
+/// positions local to `merge_run`, mirroring how the per-item recursion
+/// kept deeper `ins` values in callee frames.
+#[allow(clippy::too_many_arguments)]
 fn isect(
-    a: &mut NodeArena,
+    a: &mut SegArena,
     mut node: u32,
     mut ins: Slot,
     trans: &[u32],
     imin: Item,
     step: u32,
     w: u32,
+    scratch: &mut Vec<Item>,
 ) {
     while node != NONE {
-        let i = a.get(node).item;
-        if trans[i as usize] == step {
-            // the item is in the intersection: find/create the node for it
-            loop {
-                let d = slot_get(a, ins);
-                if d != NONE && a.get(d).item > i {
-                    ins = Slot::Sib(d);
-                } else {
-                    break;
-                }
-            }
-            let d = slot_get(a, ins);
-            let target;
-            if d != NONE && a.get(d).item == i {
-                // discount first so that the aliased case (d == node, i.e.
-                // a revisit of an already-updated intersection node) is a
-                // no-op, exactly as in the C original where d and node may
-                // be the same object
-                if a.get(d).step >= step {
-                    a.get_mut(d).supp -= w;
-                }
-                let node_supp = a.get(node).supp;
-                let dn = a.get_mut(d);
-                if dn.supp < node_supp {
-                    dn.supp = node_supp;
-                }
-                dn.supp += w;
-                dn.step = step;
-                target = d;
+        let base = scratch.len();
+        let stopped = intersect_segment(a.seg(node), trans, step, imin, scratch);
+        let first = a.first_item(node);
+        if scratch.len() > base {
+            // the advance of `ins` persists to this sibling walk only when
+            // the run starts at the segment head (= this sibling level)
+            let mut local = ins;
+            let ins_ref = if scratch[base] == first {
+                &mut ins
             } else {
-                let node_supp = a.get(node).supp;
-                let new = a.alloc(Node {
-                    item: i,
-                    supp: node_supp + w,
-                    step,
-                    raw: 0,
-                    sibling: d,
-                    children: NONE,
-                });
-                slot_set(a, ins, new);
-                target = new;
-            }
-            if i <= imin {
-                return; // no smaller item can be in the transaction
-            }
-            let child = a.get(node).children;
-            isect(a, child, Slot::Child(target), trans, imin, step, w);
-        } else {
-            if i <= imin {
+                &mut local
+            };
+            let (target, src_cont) = merge_run(a, ins_ref, scratch, base, node, step, w);
+            scratch.truncate(base);
+            if first <= imin {
                 return; // later siblings only carry smaller items
             }
-            let child = a.get(node).children;
-            isect(a, child, ins, trans, imin, step, w);
+            if !stopped {
+                // descend through the source *continuation*: if an aliased
+                // split relocated this node's deeper items to the tail, the
+                // children now hang off the tail
+                let child = a.get(src_cont).children;
+                isect(a, child, Slot::Child(target), trans, imin, step, w, scratch);
+            }
+        } else {
+            if first <= imin {
+                return;
+            }
+            if !stopped {
+                let child = a.get(node).children;
+                isect(a, child, ins, trans, imin, step, w, scratch);
+            }
         }
+        // the sibling link stays on the original slot: a split keeps the
+        // head (and its links) in place
         node = a.get(node).sibling;
     }
 }
 
+/// Merges `run` — `scratch[base..]`, the members of one source segment in
+/// the current transaction, in descending order — into the intersection
+/// tree at slot position `ins`, replicating the per-item find / discount /
+/// max-merge / `+w` update of the uncompressed `isect` one whole matched
+/// segment prefix at a time:
+///
+/// * a target matching a *proper prefix* of its segment is split first
+///   (both halves keep `supp` and `step`, preserving the uniformity
+///   invariant); when that target aliases the source node itself — the
+///   revisit case the C original handles with `d == node` — the source
+///   continuation relocates to the split tail,
+/// * the discount (`step >= cur_step ⇒ supp -= w`) is applied before the
+///   source support is read, so a full aliased revisit is a no-op exactly
+///   as in the per-item walk,
+/// * a run suffix with no matching target becomes a *single* fresh node
+///   holding the whole remaining run.
+///
+/// Returns `(deepest updated-or-created target, source continuation)`.
+fn merge_run(
+    a: &mut SegArena,
+    ins: &mut Slot,
+    scratch: &[Item],
+    base: usize,
+    src: u32,
+    step: u32,
+    w: u32,
+) -> (u32, u32) {
+    let run = &scratch[base..];
+    let mut src_cur = src;
+    let mut cur_ins = *ins;
+    let mut pos = 0usize;
+    let mut at_head = true;
+    let mut target = NONE;
+    while pos < run.len() {
+        let i = run[pos];
+        loop {
+            let d = slot_get(a, cur_ins);
+            if d != NONE && a.first_item(d) > i {
+                cur_ins = Slot::Sib(d);
+            } else {
+                break;
+            }
+        }
+        if at_head {
+            *ins = cur_ins;
+            at_head = false;
+        }
+        let d = slot_get(a, cur_ins);
+        if d != NONE && a.first_item(d) == i {
+            // longest common prefix of d's segment and the remaining run
+            let dlen = a.get(d).seg_len as usize;
+            let mut k = 1usize;
+            while k < dlen && pos + k < run.len() && a.item_at(d, k) == run[pos + k] {
+                k += 1;
+            }
+            if k < dlen {
+                // an aliased source updated this step is always fully
+                // matched (its whole segment is in the transaction), so
+                // the split cannot race the discount below
+                debug_assert!(d != src_cur || a.get(d).step < step);
+                let tail = a.split(d, k as u32);
+                if d == src_cur {
+                    src_cur = tail;
+                }
+            }
+            // discount first so the aliased full revisit is a no-op: the
+            // source support is read only afterwards, and when d is the
+            // source the discounted value is what the per-item walk reads
+            if a.get(d).step >= step {
+                a.get_mut(d).supp -= w;
+            }
+            let s = a.get(src_cur).supp;
+            let dn = a.get_mut(d);
+            if dn.supp < s {
+                dn.supp = s;
+            }
+            dn.supp += w;
+            dn.step = step;
+            target = d;
+            pos += k;
+            cur_ins = Slot::Child(d);
+        } else {
+            // no target starts with i: the whole remaining run becomes one
+            // fresh segment node
+            let s = a.get(src_cur).supp;
+            let new = a.alloc_seg(&run[pos..], s + w, step, 0, d, NONE);
+            slot_set(a, cur_ins, new);
+            target = new;
+            pos = run.len();
+        }
+    }
+    (target, src_cur)
+}
+
 /// Finds the maximum support of any path extending through `needed`
-/// (descending item codes) within the sibling list at `node`.
-fn superset_rec(a: &NodeArena, mut node: u32, needed: &[Item]) -> Option<u32> {
+/// (descending item codes) within the sibling list at `node`, consuming
+/// needed items against whole segments.
+fn superset_rec(a: &SegArena, mut node: u32, needed: &[Item]) -> Option<u32> {
     debug_assert!(!needed.is_empty());
     let target = needed[0];
     let mut best: Option<u32> = None;
     while node != NONE {
-        let n = a.get(node);
-        if n.item < target {
+        if a.first_item(node) < target {
             // sibling lists are descending: nothing further can contain it
             break;
         }
-        let candidate = if n.item == target {
-            if needed.len() == 1 {
-                // the node's path contains every needed item; descendants
-                // only extend the set and cannot have larger support
-                Some(n.supp)
-            } else {
-                superset_rec(a, n.children, &needed[1..])
+        // scan the segment: a needed item is consumed on match, skipped
+        // items only extend the set; an item below the next needed one
+        // means the whole subtree misses it
+        let mut idx = 0usize;
+        let mut failed = false;
+        for &it in a.seg(node) {
+            if idx == needed.len() {
+                break;
             }
+            if it == needed[idx] {
+                idx += 1;
+            } else if it < needed[idx] {
+                failed = true;
+                break;
+            }
+        }
+        let candidate = if failed {
+            None
+        } else if idx == needed.len() {
+            // every needed item consumed; descendants (and deeper segment
+            // items) only extend the set and cannot have larger support
+            Some(a.get(node).supp)
         } else {
-            // n.item > target: the target may sit deeper in this subtree
-            superset_rec(a, n.children, needed)
+            superset_rec(a, a.get(node).children, &needed[idx..])
         };
         if let Some(c) = candidate {
             best = Some(best.map_or(c, |b: u32| b.max(c)));
         }
-        node = n.sibling;
+        node = a.get(node).sibling;
     }
     best
 }
 
 fn report_rec(
-    a: &NodeArena,
+    a: &SegArena,
     node: u32,
     minsupp: u32,
     path: &mut Vec<Item>,
     out: &mut Vec<FoundSet>,
 ) {
-    path.push(a.get(node).item);
+    let len = a.get(node).seg_len as usize;
+    path.extend_from_slice(a.seg(node));
     let mut max_child = 0u32;
     let mut c = a.get(node).children;
     while c != NONE {
@@ -721,58 +958,87 @@ fn report_rec(
         items.reverse(); // path is descending; ItemSet wants ascending
         out.push(FoundSet::new(ItemSet::from_sorted(items), supp));
     }
-    path.pop();
+    path.truncate(path.len() - len);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn validate_rec(
-    a: &NodeArena,
+    a: &SegArena,
     mut node: u32,
-    parent_item: Item,
+    parent_last: Item,
     weight: u32,
     visited: &mut usize,
     raw_sum: &mut u64,
+    seg_items: &mut usize,
 ) {
-    let mut prev_item = Item::MAX;
+    let mut prev_first = Item::MAX;
     while node != NONE {
         *visited += 1;
         assert!(*visited < a.capacity_used() + 1, "cycle detected");
         let n = a.get(node);
-        assert!(n.item < parent_item, "child item must be below parent item");
+        assert!(n.seg_len >= 1, "only the root may hold an empty segment");
+        let seg = a.seg(node);
         assert!(
-            prev_item == Item::MAX || n.item < prev_item,
+            seg.windows(2).all(|w| w[0] > w[1]),
+            "segment must be strictly descending"
+        );
+        assert!(seg[0] < parent_last, "child item must be below parent item");
+        assert!(
+            prev_first == Item::MAX || seg[0] < prev_first,
             "sibling list must be strictly descending"
         );
         assert!(n.supp <= weight, "support cannot exceed processed prefix");
         assert!(n.raw <= n.supp, "terminal count cannot exceed support");
         *raw_sum += u64::from(n.raw);
-        prev_item = n.item;
-        validate_rec(a, n.children, n.item, weight, visited, raw_sum);
+        *seg_items += seg.len();
+        prev_first = seg[0];
+        let last = seg[seg.len() - 1];
+        validate_rec(a, n.children, last, weight, visited, raw_sum, seg_items);
         node = n.sibling;
     }
 }
 
-/// Rebuilds a sibling list, dropping items that cannot reach `minsupp` and
-/// splicing their (already pruned) children into the list. `parent` is the
-/// node owning the list: a dropped node's terminal count moves there,
-/// because the reduced form of a transaction ending at the dropped node is
-/// exactly the parent's item set.
-fn prune_list(a: &mut NodeArena, head: u32, remaining: &[u32], minsupp: u32, parent: u32) -> u32 {
+/// Rebuilds a sibling list, dropping segment items that cannot reach
+/// `minsupp` and splicing the subtrees of fully-eliminated nodes into the
+/// list. `parent` is the node owning the list: a fully-dropped node's
+/// terminal count moves there (a partially-rewritten segment keeps its
+/// terminal count — the deepest *kept* item is exactly the reduced form of
+/// the stored transaction, which matches the per-item raw cascade of the
+/// uncompressed prune).
+fn prune_list(
+    a: &mut SegArena,
+    head: u32,
+    remaining: &[u32],
+    minsupp: u32,
+    parent: u32,
+    buf: &mut Vec<Item>,
+) -> u32 {
     let mut new_head = NONE;
     let mut cur = head;
     while cur != NONE {
         let next = a.get(cur).sibling;
         a.get_mut(cur).sibling = NONE;
         let ch = a.get(cur).children;
-        let pruned_ch = prune_list(a, ch, remaining, minsupp, cur);
+        let pruned_ch = prune_list(a, ch, remaining, minsupp, cur, buf);
         a.get_mut(cur).children = pruned_ch;
-        let n = a.get(cur);
-        let keep = n.supp + remaining[n.item as usize] >= minsupp;
-        if keep {
+        // supports are uniform per segment, so the §3.2 viability test
+        // runs per item with one support read
+        let supp = a.get(cur).supp;
+        buf.clear();
+        for &it in a.seg(cur) {
+            if supp + remaining[it as usize] >= minsupp {
+                buf.push(it);
+            }
+        }
+        if buf.len() == a.get(cur).seg_len as usize {
+            new_head = merge_node(a, new_head, cur);
+        } else if !buf.is_empty() {
+            a.rewrite_seg(cur, buf);
             new_head = merge_node(a, new_head, cur);
         } else {
             let raw = a.get(cur).raw;
             a.get_mut(parent).raw += raw;
-            let mut c = pruned_ch;
+            let mut c = a.get(cur).children;
             a.get_mut(cur).children = NONE;
             while c != NONE {
                 let cnext = a.get(c).sibling;
@@ -788,9 +1054,17 @@ fn prune_list(a: &mut NodeArena, head: u32, remaining: &[u32], minsupp: u32, par
 }
 
 /// Like [`prune_list`] but keeps every node whose subtree carries a
-/// terminal count, so no stored transaction is reduced. Returns the new
-/// list head and whether the list's subtrees contain any `raw > 0` node.
-fn prune_list_keep(a: &mut NodeArena, head: u32, remaining: &[u32], minsupp: u32) -> (u32, bool) {
+/// terminal count *whole* — `raw` sits at the deepest conceptual node, so
+/// terminal-ness is uniform over a segment and no segment rewrite can be
+/// needed for a terminal-carrying node. Returns the new list head and
+/// whether the list's subtrees contain any `raw > 0` node.
+fn prune_list_keep(
+    a: &mut SegArena,
+    head: u32,
+    remaining: &[u32],
+    minsupp: u32,
+    buf: &mut Vec<Item>,
+) -> (u32, bool) {
     let mut new_head = NONE;
     let mut any_raw = false;
     let mut cur = head;
@@ -798,18 +1072,31 @@ fn prune_list_keep(a: &mut NodeArena, head: u32, remaining: &[u32], minsupp: u32
         let next = a.get(cur).sibling;
         a.get_mut(cur).sibling = NONE;
         let ch = a.get(cur).children;
-        let (pruned_ch, ch_raw) = prune_list_keep(a, ch, remaining, minsupp);
+        let (pruned_ch, ch_raw) = prune_list_keep(a, ch, remaining, minsupp, buf);
         a.get_mut(cur).children = pruned_ch;
-        let n = a.get(cur);
-        let has_raw = ch_raw || n.raw > 0;
-        let keep = has_raw || n.supp + remaining[n.item as usize] >= minsupp;
-        if keep {
-            any_raw |= has_raw;
+        let has_raw = ch_raw || a.get(cur).raw > 0;
+        if has_raw {
+            any_raw = true;
+            new_head = merge_node(a, new_head, cur);
+            cur = next;
+            continue;
+        }
+        let supp = a.get(cur).supp;
+        buf.clear();
+        for &it in a.seg(cur) {
+            if supp + remaining[it as usize] >= minsupp {
+                buf.push(it);
+            }
+        }
+        if buf.len() == a.get(cur).seg_len as usize {
+            new_head = merge_node(a, new_head, cur);
+        } else if !buf.is_empty() {
+            a.rewrite_seg(cur, buf);
             new_head = merge_node(a, new_head, cur);
         } else {
-            // a dropped node never carries terminals (has_raw is false),
+            // a dropped node never carries terminals here (has_raw false),
             // so no raw transfer is needed — only the child splice
-            let mut c = pruned_ch;
+            let mut c = a.get(cur).children;
             a.get_mut(cur).children = NONE;
             while c != NONE {
                 let cnext = a.get(c).sibling;
@@ -825,27 +1112,27 @@ fn prune_list_keep(a: &mut NodeArena, head: u32, remaining: &[u32], minsupp: u32
 }
 
 /// Inserts node `x` (with its subtree) into the descending sibling list
-/// `head`; on an item collision the supports are max-merged and the
-/// children lists merged recursively. Returns the new head.
-fn merge_node(a: &mut NodeArena, head: u32, x: u32) -> u32 {
-    let xi = a.get(x).item;
-    if head == NONE || a.get(head).item < xi {
+/// `head`; on a first-item collision the nodes are aligned on their
+/// longest common segment prefix and merged. Returns the new head.
+fn merge_node(a: &mut SegArena, head: u32, x: u32) -> u32 {
+    let xi = a.first_item(x);
+    if head == NONE || a.first_item(head) < xi {
         a.get_mut(x).sibling = head;
         return x;
     }
-    if a.get(head).item == xi {
+    if a.first_item(head) == xi {
         merge_into(a, head, x);
         return head;
     }
     let mut prev = head;
     loop {
         let nxt = a.get(prev).sibling;
-        if nxt == NONE || a.get(nxt).item < xi {
+        if nxt == NONE || a.first_item(nxt) < xi {
             a.get_mut(x).sibling = nxt;
             a.get_mut(prev).sibling = x;
             return head;
         }
-        if a.get(nxt).item == xi {
+        if a.first_item(nxt) == xi {
             merge_into(a, nxt, x);
             return head;
         }
@@ -853,9 +1140,24 @@ fn merge_node(a: &mut NodeArena, head: u32, x: u32) -> u32 {
     }
 }
 
-/// Merges node `x` into `dst` (same item): max support, merged children.
-fn merge_into(a: &mut NodeArena, dst: u32, x: u32) {
-    debug_assert_eq!(a.get(dst).item, a.get(x).item);
+/// Merges node `x` into `dst` (same first item): both nodes are split down
+/// to their longest common segment prefix, after which the (now identical)
+/// heads fold — terminal counts add, supports max-merge — and `x`'s
+/// children (including its own split-off tail) merge into `dst`'s child
+/// list recursively.
+fn merge_into(a: &mut SegArena, dst: u32, x: u32) {
+    debug_assert_eq!(a.first_item(dst), a.first_item(x));
+    let max = a.get(dst).seg_len.min(a.get(x).seg_len) as usize;
+    let mut k = 1usize;
+    while k < max && a.item_at(dst, k) == a.item_at(x, k) {
+        k += 1;
+    }
+    if (a.get(dst).seg_len as usize) > k {
+        a.split(dst, k as u32);
+    }
+    if (a.get(x).seg_len as usize) > k {
+        a.split(x, k as u32);
+    }
     let xr = a.get(x).raw;
     a.get_mut(dst).raw += xr;
     let xs = a.get(x).supp;
@@ -891,7 +1193,10 @@ mod tests {
     #[test]
     fn figure3_trace() {
         // Paper Fig. 3: transactions {e,c,a}, {e,d,b}, {d,c,b,a}
-        // with item codes a=0 b=1 c=2 d=3 e=4.
+        // with item codes a=0 b=1 c=2 d=3 e=4. The *conceptual* node
+        // counts match the uncompressed trace (see plain.rs for the
+        // physical version); path compression packs them into fewer
+        // physical nodes.
         let mut t = PrefixTree::new(5);
 
         t.add_transaction(&[0, 2, 4]); // {e,c,a}
@@ -899,7 +1204,8 @@ mod tests {
         assert_eq!(t.lookup(&ItemSet::from([4])), Some(1));
         assert_eq!(t.lookup(&ItemSet::from([2, 4])), Some(1));
         assert_eq!(t.lookup(&ItemSet::from([0, 2, 4])), Some(1));
-        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.memory_stats().seg_items, 3);
+        assert_eq!(t.node_count(), 1, "one chain = one segment");
 
         t.add_transaction(&[1, 3, 4]); // {e,d,b}
         t.validate_invariants();
@@ -908,7 +1214,8 @@ mod tests {
         assert_eq!(t.lookup(&ItemSet::from([3, 4])), Some(1));
         assert_eq!(t.lookup(&ItemSet::from([1, 3, 4])), Some(1));
         assert_eq!(t.lookup(&ItemSet::from([2, 4])), Some(1));
-        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.memory_stats().seg_items, 5);
+        assert_eq!(t.node_count(), 3, "split [4|2,0] plus suffix [3,1]");
 
         t.add_transaction(&[0, 1, 2, 3]); // {d,c,b,a}
         t.validate_invariants();
@@ -925,16 +1232,67 @@ mod tests {
         assert_eq!(t.lookup(&ItemSet::from([0, 1, 2, 3])), Some(1)); // full
         assert_eq!(t.lookup(&ItemSet::from([2])), Some(2)); // {c}
         assert_eq!(t.lookup(&ItemSet::from([0, 2])), Some(2)); // {c,a}
-                                                               // exactly the 12 nodes of Fig. 3.3
-        assert_eq!(t.node_count(), 12);
+                                                               // exactly the 12 conceptual nodes of Fig. 3.3, in 7 segments
+        assert_eq!(t.memory_stats().seg_items, 12);
+        assert_eq!(t.node_count(), 7);
         assert_eq!(t.transactions_processed(), 3);
+        // the conceptual enumeration matches the uncompressed layout
+        assert_eq!(t.dump().len(), 12);
     }
 
     #[test]
     fn repeated_transactions_accumulate() {
         let t = build(3, &[&[0, 1], &[0, 1], &[0, 1]]);
         assert_eq!(t.lookup(&ItemSet::from([0, 1])), Some(3));
-        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.node_count(), 1, "repeats never split the segment");
+        assert_eq!(t.memory_stats().seg_items, 2);
+    }
+
+    #[test]
+    fn intersect_segment_kernel() {
+        // trans epoch-stamps items 9, 5, 2 at step 7
+        let mut trans = vec![0u32; 10];
+        for i in [9, 5, 2] {
+            trans[i] = 7;
+        }
+        let mut out = Vec::new();
+        // full scan, partial membership
+        assert!(!intersect_segment(&[9, 7, 5, 3], &trans, 7, 0, &mut out));
+        assert_eq!(out, vec![9, 5]);
+        // early stop on a member == imin (the item is still collected)
+        out.clear();
+        assert!(intersect_segment(&[9, 5, 3], &trans, 7, 5, &mut out));
+        assert_eq!(out, vec![9, 5]);
+        // early stop on a non-member below imin
+        out.clear();
+        assert!(intersect_segment(&[9, 4, 2], &trans, 7, 5, &mut out));
+        assert_eq!(out, vec![9]);
+        // stale stamps are not members
+        out.clear();
+        assert!(!intersect_segment(&[9, 5], &trans, 8, 0, &mut out));
+        assert_eq!(out, Vec::<Item>::new());
+    }
+
+    #[test]
+    fn insert_splits_on_divergence_and_on_contained_prefix() {
+        // [0,1,2] then [0,2]: the second path ends inside the first's
+        // segment after diverging — forces a split with a suffix node
+        let t = build(3, &[&[0, 1, 2], &[0, 2]]);
+        assert_eq!(t.lookup(&ItemSet::from([0, 1, 2])), Some(1));
+        assert_eq!(t.lookup(&ItemSet::from([0, 2])), Some(2));
+        assert_eq!(t.lookup(&ItemSet::from([2])), Some(2));
+        // [2|1,0] + [0] beside the tail
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.memory_stats().seg_items, 4);
+
+        // a transaction that is a strict prefix of a stored segment ends
+        // at the split head, which takes the terminal weight
+        let t2 = build(4, &[&[0, 1, 2, 3], &[2, 3]]);
+        assert_eq!(t2.lookup(&ItemSet::from([2, 3])), Some(2));
+        assert_eq!(t2.lookup(&ItemSet::from([0, 1, 2, 3])), Some(1));
+        let mut ws = t2.weighted_transactions();
+        ws.sort();
+        assert_eq!(ws, vec![(vec![0, 1, 2, 3], 1), (vec![2, 3], 1)]);
     }
 
     #[test]
@@ -955,14 +1313,14 @@ mod tests {
             t.add_transaction(tx);
         }
         t.validate_invariants();
-        // enumerate all stored sets via report at minsupp 1 — every reported
-        // support must equal the scan support
-        for fs in t.report(1) {
+        // every *conceptual* stored set's support must equal the scan
+        // support (dump enumerates all segment prefixes)
+        for (set, supp) in t.dump() {
             let scan = txs
                 .iter()
-                .filter(|tx| fim_core::itemset::is_subset(fs.items.as_slice(), tx))
+                .filter(|tx| fim_core::itemset::is_subset(set.as_slice(), tx))
                 .count() as u32;
-            assert_eq!(fs.support, scan, "support of {:?}", fs.items);
+            assert_eq!(supp, scan, "support of {:?}", set);
         }
     }
 
@@ -1015,7 +1373,7 @@ mod tests {
         // remaining transactions: {1}, {1} → remaining[0]=0, remaining[1]=2
         t.prune(&[0, 2], 4);
         t.validate_invariants();
-        // item 0 cannot reach support 4 → node(s) containing 0 dropped
+        // item 0 cannot reach support 4 → dropped from the stored segment
         assert_eq!(t.lookup(&ItemSet::from([0, 1])), None);
         assert_eq!(t.lookup(&ItemSet::from([1])), Some(2));
         t.add_transaction(&[1]);
@@ -1029,8 +1387,9 @@ mod tests {
     #[test]
     fn prune_merges_subtrees() {
         // build paths 3→1 and 3→2→1, then eliminate item 2:
-        // node {3,2} (child 2 under 3) must merge its child 1 with the
-        // existing child 1 under 3
+        // the set {3,2,1} loses its middle item and must merge with the
+        // existing {3,1} — a mid-segment rewrite followed by a sibling
+        // collision
         let mut t = PrefixTree::new(4);
         t.add_transaction(&[1, 3]);
         t.add_transaction(&[1, 2, 3]);
@@ -1042,6 +1401,26 @@ mod tests {
         assert_eq!(t.lookup(&ItemSet::from([1, 2, 3])), None);
         // the reduced set {3,1} keeps max supp 2
         assert_eq!(t.lookup(&ItemSet::from([1, 3])), Some(2));
+    }
+
+    #[test]
+    fn prune_rewrites_segment_interior() {
+        // one long chain [5,4,3,2,1,0]; items 4 and 2 become hopeless →
+        // the segment is rewritten in place to [5,3,1,0], no node freed
+        let mut t = PrefixTree::new(6);
+        t.add_transaction(&[0, 1, 2, 3, 4, 5]);
+        assert_eq!(t.node_count(), 1);
+        let rem = [9, 9, 0, 9, 0, 9];
+        t.prune(&rem, 2);
+        t.validate_invariants();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.memory_stats().seg_items, 4);
+        assert_eq!(t.lookup(&ItemSet::from([0, 1, 3, 5])), Some(1));
+        assert_eq!(t.lookup(&ItemSet::from([0, 1, 2, 3, 4, 5])), None);
+        // the terminal stays at the deepest kept item
+        let mut ws = t.weighted_transactions();
+        ws.sort();
+        assert_eq!(ws, vec![(vec![0, 1, 3, 5], 1)]);
     }
 
     #[test]
@@ -1229,9 +1608,6 @@ mod tests {
         let mut ws = t.weighted_transactions();
         ws.sort();
         assert_eq!(ws, vec![(vec![0, 1], 1), (vec![1, 2], 1)]);
-        // a genuinely terminal-free hopeless node still gets pruned: the
-        // intersection node {1} has raw 0 … but it is viable here; check
-        // instead that pruning with everything viable keeps the tree intact
         assert_eq!(t.lookup(&ItemSet::from([1])), Some(2));
     }
 
@@ -1244,11 +1620,15 @@ mod tests {
         t.add_transaction(&[0, 1, 3]);
         t.add_transaction(&[0, 2, 3]);
         assert_eq!(t.lookup(&ItemSet::from([0, 3])), Some(2));
-        let before = t.node_count();
+        let before = t.memory_stats().seg_items;
         // node {0,3}: supp 2 + remaining[0]=1 < 9 → hopeless, raw-free
         t.prune_keeping_terminals(&[1, 9, 9, 9], 9);
         t.validate_invariants();
-        assert_eq!(t.node_count(), before - 1, "raw-free node dropped");
+        assert_eq!(
+            t.memory_stats().seg_items,
+            before - 1,
+            "raw-free conceptual node dropped"
+        );
         assert_eq!(t.lookup(&ItemSet::from([0, 3])), None);
         let mut ws = t.weighted_transactions();
         ws.sort();
@@ -1290,14 +1670,22 @@ mod tests {
         }
         t.validate_invariants();
         let before = canon(&t, 3);
+        let dump_before = t.dump();
         let stats_before = t.memory_stats();
         t.compact();
         t.validate_invariants();
         assert_eq!(canon(&t, 3), before);
+        assert_eq!(t.dump(), dump_before);
         let stats_after = t.memory_stats();
         assert_eq!(stats_after.free_slots, 0);
         assert_eq!(stats_after.live_nodes, stats_before.live_nodes);
         assert_eq!(stats_after.total_slots, stats_before.live_nodes);
+        assert_eq!(stats_after.seg_items, stats_before.seg_items);
+        assert_eq!(
+            stats_after.seg_bytes,
+            stats_after.seg_items * std::mem::size_of::<Item>(),
+            "compaction drops segment garbage"
+        );
         // mining continues seamlessly on the compacted tree
         t.add_transaction(&[1, 2, 3]);
         t.validate_invariants();
@@ -1313,23 +1701,35 @@ mod tests {
     }
 
     #[test]
-    fn memory_stats_tracks_free_list() {
+    fn memory_stats_tracks_free_list_and_garbage() {
         let mut t = PrefixTree::new(4);
         t.add_transaction(&[1, 3]);
         t.add_transaction(&[1, 2, 3]);
         let fresh = t.memory_stats();
         assert_eq!(fresh.free_slots, 0);
         assert_eq!(fresh.live_nodes, fresh.total_slots);
+        assert_eq!(fresh.seg_items, 4, "split [3|1] + suffix [2,1]");
         assert_eq!(
             fresh.approx_bytes,
-            fresh.total_slots * std::mem::size_of::<Node>() + 4 * 4
+            fresh.total_slots * std::mem::size_of::<PatNode>() + fresh.seg_bytes + 4 * 4
         );
-        // drops the {2,3} node and merges its child {1,2,3} into the
-        // existing {1,3} node — two slots return to the free list
+        // item 2 hopeless: [2,1] rewrites to [1] and collides with the
+        // split tail [1], freeing one slot and leaving garbage items
         t.prune(&[10, 10, 0, 10], 2);
+        t.validate_invariants();
         let pruned = t.memory_stats();
         assert_eq!(pruned.total_slots, fresh.total_slots);
-        assert_eq!(pruned.free_slots, 2);
-        assert_eq!(pruned.live_nodes, fresh.live_nodes - 2);
+        assert_eq!(pruned.free_slots, 1);
+        assert_eq!(pruned.live_nodes, fresh.live_nodes - 1);
+        assert_eq!(pruned.seg_items, 2, "[3] and the merged [1]");
+        assert!(pruned.seg_bytes > pruned.seg_items * std::mem::size_of::<Item>());
+        assert!(t.compact_if_fragmented());
+        let compacted = t.memory_stats();
+        assert_eq!(compacted.free_slots, 0);
+        assert_eq!(
+            compacted.seg_bytes,
+            compacted.seg_items * std::mem::size_of::<Item>()
+        );
+        assert!(!t.compact_if_fragmented(), "already compact");
     }
 }

@@ -53,7 +53,12 @@ proptest! {
         let k = cut % (db.transactions().len() + 1);
         // coalescing reorders transactions, so "prefix of the processed
         // sequence" only matches "prefix of the database" without it
-        let miner = IstaMiner::with_config(IstaConfig { policy, coalesce: false, compact });
+        let miner = IstaMiner::with_config(IstaConfig {
+            policy,
+            coalesce: false,
+            compact,
+            ..IstaConfig::default()
+        });
         let budget = Budget::unlimited().with_max_transactions(k as u64);
         let (outcome, _) = miner.mine_governed_with_stats(&db, minsupp, &budget);
         let prefix = RecodedDatabase::from_dense(

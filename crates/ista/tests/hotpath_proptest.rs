@@ -82,7 +82,7 @@ proptest! {
         let want = mine_reference(&db, minsupp).canonicalized();
         for coalesce in [false, true] {
             for compact in [false, true] {
-                let got = IstaMiner::with_config(IstaConfig { policy, coalesce, compact })
+                let got = IstaMiner::with_config(IstaConfig { policy, coalesce, compact, ..IstaConfig::default() })
                     .mine(&db, minsupp)
                     .canonicalized();
                 prop_assert_eq!(
