@@ -14,6 +14,7 @@ use fim_core::{
     checkpoint, itemset::intersect_into, Budget, ClosedMiner, FoundSet, Governor, Item, ItemSet,
     MineOutcome, MiningResult, Progress, RecodedDatabase, Tid, TidLists, TripReason,
 };
+use fim_obs::{Counter, Counters};
 
 /// The Eclat-based closed-set miner (frequent enumeration + closed filter).
 #[derive(Clone, Copy, Debug, Default)]
@@ -24,6 +25,7 @@ struct Ctx<'a> {
     candidates: Vec<FoundSet>,
     lists: &'a TidLists,
     gov: Option<Governor>,
+    counters: Counters,
 }
 
 impl ClosedMiner for EclatMiner {
@@ -32,22 +34,7 @@ impl ClosedMiner for EclatMiner {
     }
 
     fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult {
-        let minsupp = minsupp.max(1);
-        let lists = TidLists::from_database(db);
-        let mut ctx = Ctx {
-            minsupp,
-            candidates: Vec::new(),
-            lists: &lists,
-            gov: None,
-        };
-        // items with their full tid lists, ascending item order
-        let frontier: Vec<(Item, Vec<Tid>)> = (0..db.num_items())
-            .filter(|&i| lists.item_support(i) >= minsupp)
-            .map(|i| (i, lists.list(i).to_vec()))
-            .collect();
-        let ungoverned = recurse(&mut ctx, &[], &frontier);
-        debug_assert!(ungoverned.is_ok());
-        filter_closed(ctx.candidates)
+        self.mine_with_stats(db, minsupp).0
     }
 
     /// Governed Eclat. On a trip, the candidate list covers only part of
@@ -75,6 +62,7 @@ impl ClosedMiner for EclatMiner {
             candidates: Vec::new(),
             lists: &lists,
             gov,
+            counters: Counters::new(),
         };
         let frontier: Vec<(Item, Vec<Tid>)> = (0..db.num_items())
             .filter(|&i| lists.item_support(i) >= minsupp)
@@ -94,6 +82,30 @@ impl ClosedMiner for EclatMiner {
                 }
             }
         }
+    }
+}
+
+impl EclatMiner {
+    /// Like [`ClosedMiner::mine`] but also returns the search counters
+    /// (lattice nodes visited, tid-list intersections, perfect extensions).
+    pub fn mine_with_stats(&self, db: &RecodedDatabase, minsupp: u32) -> (MiningResult, Counters) {
+        let minsupp = minsupp.max(1);
+        let lists = TidLists::from_database(db);
+        let mut ctx = Ctx {
+            minsupp,
+            candidates: Vec::new(),
+            lists: &lists,
+            gov: None,
+            counters: Counters::new(),
+        };
+        // items with their full tid lists, ascending item order
+        let frontier: Vec<(Item, Vec<Tid>)> = (0..db.num_items())
+            .filter(|&i| lists.item_support(i) >= minsupp)
+            .map(|i| (i, lists.list(i).to_vec()))
+            .collect();
+        let ungoverned = recurse(&mut ctx, &[], &frontier);
+        debug_assert!(ungoverned.is_ok());
+        (filter_closed(ctx.candidates), ctx.counters)
     }
 }
 
@@ -135,6 +147,7 @@ fn recurse(
         if let Some(reason) = checkpoint!(ctx.gov, 0, 0, ctx.candidates.len()) {
             return Err(reason);
         }
+        ctx.counters.bump(Counter::SearchSteps);
         // the item set prefix ∪ {item} is frequent with support |tids|
         let mut items: Vec<Item> = prefix.to_vec();
         items.push(*item);
@@ -143,8 +156,10 @@ fn recurse(
         let mut next: Vec<(Item, Vec<Tid>)> = Vec::new();
         let mut perfect: Vec<Item> = Vec::new();
         for (other, other_tids) in &frontier[idx + 1..] {
+            ctx.counters.bump(Counter::TidIntersections);
             intersect_into(tids, other_tids, &mut buf);
             if buf.len() == tids.len() {
+                ctx.counters.bump(Counter::PerfectExtensions);
                 perfect.push(*other);
             } else if buf.len() >= ctx.minsupp as usize {
                 next.push((*other, buf.clone()));

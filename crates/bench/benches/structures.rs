@@ -255,6 +255,93 @@ fn segment_kernel(c: &mut Criterion) {
     group.finish();
 }
 
+/// The observability primitives the miners keep on their hot path: the
+/// always-on counter bump, the strided heartbeat tick, and a span
+/// enter/exit pair. Guards the zero-off-path-cost contract with a hard
+/// assertion: a counter bump must stay within 100 ns amortized (a plain
+/// u64 add — tripping this means an atomic, a lock, or I/O crept into the
+/// counter path), and identical runs must produce identical counters.
+fn obs_overhead(c: &mut Criterion) {
+    use fim_ista::IstaMiner;
+    use fim_obs::{Counter, Counters, ProgressEmitter, ProgressSnapshot, ProgressStyle};
+    use std::time::{Duration, Instant};
+
+    // determinism + liveness: two identical mined runs, identical nonzero
+    // counters (the counters are always on, so this is the regression
+    // guard for accidental nondeterminism in the instrumented hot loop)
+    let db = Preset::Ncbi60.build(0.1, 1);
+    let recoded = RecodedDatabase::prepare(
+        &db,
+        2,
+        ItemOrder::AscendingFrequency,
+        TransactionOrder::AscendingSize,
+    );
+    let (_, first) = IstaMiner::default().mine_with_stats(&recoded, 2);
+    let (_, second) = IstaMiner::default().mine_with_stats(&recoded, 2);
+    assert_eq!(
+        first.counters, second.counters,
+        "hot-loop counters must be deterministic"
+    );
+    assert!(
+        first.counters.get(Counter::SegScans) > 0 && first.counters.get(Counter::NodeAllocs) > 0,
+        "mining must exercise the counters"
+    );
+
+    // the overhead assertion: 2^20 bumps in under ~105 ms (100 ns each)
+    const BUMPS: u64 = 1 << 20;
+    let mut counters = Counters::new();
+    let start = Instant::now();
+    for _ in 0..BUMPS {
+        criterion::black_box(&mut counters).bump(Counter::SegScans);
+    }
+    let per_bump = start.elapsed().as_nanos() as f64 / BUMPS as f64;
+    assert_eq!(counters.get(Counter::SegScans), BUMPS);
+    assert!(
+        per_bump < 100.0,
+        "counter bump costs {per_bump:.1} ns — the zero-off-path-cost contract is broken"
+    );
+
+    let mut group = c.benchmark_group("obs");
+    group.bench_function("counters/bump_x1024", |b| {
+        let mut counters = Counters::new();
+        b.iter(|| {
+            for _ in 0..1024 {
+                criterion::black_box(&mut counters).bump(Counter::SegScans);
+            }
+            counters.get(Counter::SegScans)
+        })
+    });
+    group.bench_function("progress/tick_strided_x1024", |b| {
+        // an hour-long interval: every tick takes the strided fast path
+        let mut emitter = ProgressEmitter::with_writer(
+            Duration::from_secs(3600),
+            ProgressStyle::JsonLines,
+            Box::new(std::io::sink()),
+        );
+        let snap = ProgressSnapshot {
+            processed: 1,
+            total: Some(1000),
+            peak_nodes: 10,
+            sets: 5,
+        };
+        b.iter(|| {
+            for _ in 0..1024 {
+                emitter.tick(criterion::black_box(&snap));
+            }
+            emitter.emitted()
+        })
+    });
+    group.bench_function("span/enter_exit", |b| {
+        let mut spans = fim_obs::SpanRecorder::new();
+        b.iter(|| {
+            spans.enter("bench");
+            spans.exit();
+            spans.num_spans()
+        })
+    });
+    group.finish();
+}
+
 fn generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("generate");
     group.sample_size(10);
@@ -282,6 +369,7 @@ criterion_group!(
     prefix_tree,
     hotpath,
     segment_kernel,
+    obs_overhead,
     generators
 );
 criterion_main!(benches);

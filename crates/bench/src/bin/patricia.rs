@@ -72,6 +72,19 @@ struct CellStats {
 }
 
 impl CellStats {
+    /// This cell's occupancy as the shared fim-metrics/1 tree section.
+    fn to_metrics(self) -> fim_obs::TreeMetrics {
+        fim_obs::TreeMetrics {
+            peak_nodes: self.peak_nodes as u64,
+            live_nodes: self.live_nodes as u64,
+            total_slots: self.total_slots as u64,
+            free_slots: self.free_slots as u64,
+            seg_items: self.seg_items as u64,
+            seg_bytes: self.seg_bytes as u64,
+            approx_bytes: self.approx_bytes as u64,
+        }
+    }
+
     fn from_mine(sets: usize, s: &MineStats) -> Self {
         CellStats {
             sets,
@@ -468,15 +481,8 @@ fn write_json(
         let comma = if i + 1 == pat_cells.len() { "" } else { "," };
         writeln!(
             f,
-            "    {{\"preset\": \"{}\", \"live_nodes\": {}, \"total_slots\": {}, \"free_slots\": {}, \"seg_items\": {}, \"seg_bytes\": {}, \"avg_seg_len\": {:.3}, \"approx_bytes\": {}}}{comma}",
-            m.preset,
-            m.stats.live_nodes,
-            m.stats.total_slots,
-            m.stats.free_slots,
-            m.stats.seg_items,
-            m.stats.seg_bytes,
-            m.stats.seg_items as f64 / m.stats.live_nodes.saturating_sub(1).max(1) as f64,
-            m.stats.approx_bytes
+            "    {}{comma}",
+            fim_bench::report::tree_memory_json(m.preset, &m.stats.to_metrics(), None)
         )?;
     }
     writeln!(f, "  ]")?;

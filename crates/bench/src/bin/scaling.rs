@@ -13,6 +13,7 @@
 //! supports (one value per preset, in the dense,sparse order printed by
 //! the sweep).
 
+use fim_bench::report::{tree_memory_json, tree_memory_line};
 use fim_bench::{parse_kv, preset_by_name, MINE_STACK_BYTES};
 use fim_core::{ClosedMiner, ItemOrder, RecodedDatabase, TransactionOrder};
 use fim_ista::{IstaMiner, MineStats, ParallelIstaMiner};
@@ -148,15 +149,12 @@ fn run() -> Result<(), String> {
                 .expect("mining thread panicked")
         });
         println!(
-            "# {name} final tree: {} live nodes / {} slots ({} free), {} seg items ({} B), ~{:.1} KiB, {} prunes, {} compactions",
-            stats.memory.live_nodes,
-            stats.memory.total_slots,
-            stats.memory.free_slots,
-            stats.memory.seg_items,
-            stats.memory.seg_bytes,
-            stats.memory.approx_bytes as f64 / 1024.0,
-            stats.prune_passes,
-            stats.compactions
+            "# {name} final tree: {}",
+            tree_memory_line(
+                &stats.memory.to_metrics(stats.peak_nodes),
+                stats.prune_passes as u64,
+                stats.compactions as u64
+            )
         );
         tree_memory.push((name, stats));
 
@@ -247,18 +245,12 @@ fn write_json(
         let comma = if i + 1 == tree_memory.len() { "" } else { "," };
         writeln!(
             f,
-            "    {{\"preset\": \"{}\", \"live_nodes\": {}, \"total_slots\": {}, \"free_slots\": {}, \"seg_items\": {}, \"seg_bytes\": {}, \"avg_seg_len\": {:.3}, \"approx_bytes\": {}, \"prune_passes\": {}, \"compactions\": {}}}{}",
-            preset,
-            s.memory.live_nodes,
-            s.memory.total_slots,
-            s.memory.free_slots,
-            s.memory.seg_items,
-            s.memory.seg_bytes,
-            s.memory.seg_items as f64 / s.memory.live_nodes.saturating_sub(1).max(1) as f64,
-            s.memory.approx_bytes,
-            s.prune_passes,
-            s.compactions,
-            comma
+            "    {}{comma}",
+            tree_memory_json(
+                preset,
+                &s.memory.to_metrics(s.peak_nodes),
+                Some((s.prune_passes as u64, s.compactions as u64))
+            )
         )?;
     }
     writeln!(f, "  ]")?;

@@ -162,20 +162,24 @@ fn print_tree_memory(dir: &Path) {
                 printed_header = true;
             }
             // segment fields are present once the layout is Patricia
-            // (v2 JSON records); older records print without them
-            let seg = match (json_field(t, "seg_items"), json_field(t, "seg_bytes")) {
-                (Some(items), Some(bytes)) => format!(
-                    ", {items} seg items ({bytes} B, avg len {:.2})",
-                    items as f64 / (live.saturating_sub(1).max(1)) as f64
-                ),
-                _ => String::new(),
+            // (v2 JSON records); older records render as zero
+            let tree = fim_obs::TreeMetrics {
+                peak_nodes: json_field(t, "peak_nodes").unwrap_or(0),
+                live_nodes: live,
+                total_slots: total,
+                free_slots: free,
+                seg_items: json_field(t, "seg_items").unwrap_or(0),
+                seg_bytes: json_field(t, "seg_bytes").unwrap_or(0),
+                approx_bytes: json_field(t, "approx_bytes").unwrap_or(0),
             };
             println!(
-                "  {:<24} {preset:<14} {live:>9} live / {total:>9} slots ({free} free){seg}, ~{:.1} KiB, {} prunes, {} compactions",
+                "  {:<24} {preset:<14} {}",
                 path.file_name().unwrap().to_string_lossy(),
-                json_field(t, "approx_bytes").unwrap_or(0) as f64 / 1024.0,
-                json_field(t, "prune_passes").unwrap_or(0),
-                json_field(t, "compactions").unwrap_or(0),
+                fim_bench::report::tree_memory_line(
+                    &tree,
+                    json_field(t, "prune_passes").unwrap_or(0),
+                    json_field(t, "compactions").unwrap_or(0),
+                ),
             );
         }
     }

@@ -9,10 +9,14 @@
 //! in C. The cursor also yields the remaining-occurrence count for item
 //! elimination in O(1).
 
-use crate::search::{search, search_governed, CarpenterConfig, Representation};
+use crate::search::{
+    search, search_governed, search_governed_with_stats, search_with_stats, CarpenterConfig,
+    Representation,
+};
 use fim_core::{
     Budget, ClosedMiner, Item, ItemSet, MineOutcome, MiningResult, RecodedDatabase, Tid, TidLists,
 };
+use fim_obs::{Counter, Counters};
 
 /// The vertical (tid-list) representation.
 pub struct ListRep {
@@ -31,6 +35,7 @@ impl ListRep {
 
     /// The probe loop of [`Representation::intersect`], monomorphized over
     /// the early-stop check so the plain scan carries no bound arithmetic.
+    #[allow(clippy::too_many_arguments)]
     fn scan<const EARLY: bool>(
         &self,
         state: &mut [(Item, u32)],
@@ -39,6 +44,7 @@ impl ListRep {
         need: u32,
         minsupp: u32,
         config: CarpenterConfig,
+        counters: &mut Counters,
     ) -> (usize, Vec<(Item, u32)>) {
         let mut raw = 0usize;
         let mut sub = Vec::with_capacity(state.len());
@@ -51,6 +57,7 @@ impl ListRep {
                 // cursor advance and the probe. The cursor may lag behind
                 // `tid`, so `len - cur` only ever overestimates the true
                 // remaining count: a skipped item is genuinely hopeless.
+                counters.bump(Counter::TidEarlyStops);
                 continue;
             }
             while (*cur as usize) < list.len() && list[*cur as usize] < tid {
@@ -61,6 +68,8 @@ impl ListRep {
                 let remaining_after = (list.len() - *cur as usize - 1) as u32;
                 if !config.item_elimination || k_new + remaining_after >= minsupp {
                     sub.push((*item, *cur + 1));
+                } else {
+                    counters.bump(Counter::Eliminations);
                 }
             }
         }
@@ -91,6 +100,7 @@ impl Representation for ListRep {
         k_new: u32,
         minsupp: u32,
         config: CarpenterConfig,
+        counters: &mut Counters,
     ) -> (usize, Self::State) {
         // `need` is how many more matches the current intersection still
         // requires; once `k_new >= minsupp` the early-stop bound can never
@@ -100,9 +110,9 @@ impl Representation for ListRep {
         // it sat on every probe of every item).
         let need = minsupp.saturating_sub(k_new);
         if config.early_stop && need > 0 {
-            self.scan::<true>(state, tid, k_new, need, minsupp, config)
+            self.scan::<true>(state, tid, k_new, need, minsupp, config, counters)
         } else {
-            self.scan::<false>(state, tid, k_new, need, minsupp, config)
+            self.scan::<false>(state, tid, k_new, need, minsupp, config, counters)
         }
     }
 
@@ -122,6 +132,24 @@ impl CarpenterListMiner {
     /// Creates a miner with an explicit configuration.
     pub fn with_config(config: CarpenterConfig) -> Self {
         CarpenterListMiner { config }
+    }
+
+    /// Like [`ClosedMiner::mine`] but also returns the search counters
+    /// (steps, absorptions, eliminations, early stops, repository probes).
+    pub fn mine_with_stats(&self, db: &RecodedDatabase, minsupp: u32) -> (MiningResult, Counters) {
+        let rep = ListRep::from_database(db);
+        search_with_stats(&rep, db.num_items(), minsupp, self.config)
+    }
+
+    /// Like [`ClosedMiner::mine_governed`] but also returns the counters.
+    pub fn mine_governed_with_stats(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        budget: &Budget,
+    ) -> (MineOutcome, Counters) {
+        let rep = ListRep::from_database(db);
+        search_governed_with_stats(&rep, db.num_items(), minsupp, self.config, budget)
     }
 }
 
@@ -222,7 +250,8 @@ mod tests {
         let db = paper_db();
         let rep = ListRep::from_database(&db);
         let mut s = rep.initial_state();
-        let (_, _) = rep.intersect(&mut s, 3, 1, 1, CarpenterConfig::unpruned());
+        let mut c = Counters::new();
+        let (_, _) = rep.intersect(&mut s, 3, 1, 1, CarpenterConfig::unpruned(), &mut c);
         // after probing tid 3, every cursor sits at the first tid >= 3
         for &(item, cur) in &s {
             let list = rep.lists.list(item);
@@ -246,14 +275,18 @@ mod tests {
         // intersect with t5 (= tid 4, items {1,2}) at k_new=1, minsupp=5:
         // item 1 occurs in tids 0,2,3,4,5 → 1 remaining after tid 4 → 1+1 < 5 drop
         // item 2 occurs in tids 0,2,3,4,7 → 1 remaining after       → drop
-        let (raw, sub) = rep.intersect(&mut s, 4, 1, 5, elim_only);
+        let mut c = Counters::new();
+        let (raw, sub) = rep.intersect(&mut s, 4, 1, 5, elim_only, &mut c);
         assert_eq!(raw, 2);
         assert!(sub.is_empty());
+        assert_eq!(c.get(Counter::Eliminations), 2);
         // without elimination both stay
         let mut s = rep.initial_state();
-        let (raw, sub) = rep.intersect(&mut s, 4, 1, 5, CarpenterConfig::unpruned());
+        let mut c = Counters::new();
+        let (raw, sub) = rep.intersect(&mut s, 4, 1, 5, CarpenterConfig::unpruned(), &mut c);
         assert_eq!(raw, 2);
         assert_eq!(rep.items_of(&sub), ItemSet::from([1, 2]));
+        assert_eq!(c.get(Counter::Eliminations), 0);
     }
 
     #[test]
@@ -269,13 +302,16 @@ mod tests {
         // entirely — it matches tid 1 yet counts toward neither raw nor sub,
         // and its cursor stays untouched
         let mut s = rep.initial_state();
-        let (raw, sub) = rep.intersect(&mut s, 1, 1, 5, es_only);
+        let mut c = Counters::new();
+        let (raw, sub) = rep.intersect(&mut s, 1, 1, 5, es_only, &mut c);
         assert_eq!(raw, 2, "item 4 matched but was skipped");
         assert_eq!(rep.items_of(&sub), ItemSet::from([0, 3]));
         assert_eq!(s[4], (4, 0), "skipped cursor must not advance");
+        assert!(c.get(Counter::TidEarlyStops) >= 1);
         // without early stop the same probe counts item 4
         let mut s = rep.initial_state();
-        let (raw, sub) = rep.intersect(&mut s, 1, 1, 5, CarpenterConfig::unpruned());
+        let mut c = Counters::new();
+        let (raw, sub) = rep.intersect(&mut s, 1, 1, 5, CarpenterConfig::unpruned(), &mut c);
         assert_eq!(raw, 3);
         assert_eq!(rep.items_of(&sub), ItemSet::from([0, 3, 4]));
     }

@@ -14,6 +14,7 @@ use fim_core::{
     checkpoint, Budget, FoundSet, Governor, ItemSet, MineOutcome, MiningResult, Progress, Tid,
     TripReason,
 };
+use fim_obs::{Counter, Counters};
 
 /// Pruning switches for the Carpenter search (all on by default).
 ///
@@ -92,6 +93,9 @@ pub trait Representation {
     /// hopeless item entirely (it then counts toward neither the raw match
     /// count nor the sub-state; undercounting the raw matches only
     /// disables perfect-extension absorption, which is output-neutral).
+    ///
+    /// `counters` receives the representation's per-probe accounting
+    /// ([`Counter::TidEarlyStops`], [`Counter::Eliminations`]).
     fn intersect(
         &self,
         state: &mut Self::State,
@@ -99,6 +103,7 @@ pub trait Representation {
         k_new: u32,
         minsupp: u32,
         config: CarpenterConfig,
+        counters: &mut Counters,
     ) -> (usize, Self::State);
 
     /// The item set represented by a state (strictly ascending codes).
@@ -113,18 +118,40 @@ pub fn search<R: Representation>(
     minsupp: u32,
     config: CarpenterConfig,
 ) -> MiningResult {
+    search_with_stats(rep, num_items, minsupp, config).0
+}
+
+/// Like [`search`], also returning the hot-loop counters of the run:
+/// search steps, absorptions, eliminations, early stops, and repository
+/// probes/hits (the accounting the paper's §4 evaluation asks about).
+pub fn search_with_stats<R: Representation>(
+    rep: &R,
+    num_items: u32,
+    minsupp: u32,
+    config: CarpenterConfig,
+) -> (MiningResult, Counters) {
     let minsupp = minsupp.max(1);
     let mut repo = Repository::new(num_items);
     let mut out = Vec::new();
+    let mut counters = Counters::new();
     let mut root = rep.initial_state();
     if rep.state_len(&root) > 0 && rep.num_transactions() > 0 {
         // with no governor installed the recursion cannot trip
         let ungoverned: Result<(), TripReason> = recurse(
-            rep, &mut root, 0, 0, minsupp, config, &mut repo, &mut out, &mut None,
+            rep,
+            &mut root,
+            0,
+            0,
+            minsupp,
+            config,
+            &mut repo,
+            &mut out,
+            &mut None,
+            &mut counters,
         );
         debug_assert!(ungoverned.is_ok());
     }
-    MiningResult { sets: out }
+    (MiningResult { sets: out }, counters)
 }
 
 /// Like [`search`], under a resource [`Budget`]. The enumeration checks the
@@ -142,10 +169,23 @@ pub fn search_governed<R: Representation>(
     config: CarpenterConfig,
     budget: &Budget,
 ) -> MineOutcome {
+    search_governed_with_stats(rep, num_items, minsupp, config, budget).0
+}
+
+/// Like [`search_governed`], also returning the hot-loop counters (they
+/// describe the work done up to the trip point on an interrupted run).
+pub fn search_governed_with_stats<R: Representation>(
+    rep: &R,
+    num_items: u32,
+    minsupp: u32,
+    config: CarpenterConfig,
+    budget: &Budget,
+) -> (MineOutcome, Counters) {
     let minsupp = minsupp.max(1);
+    let mut counters = Counters::new();
     let mut gov = Some(budget.start());
     if let Some(reason) = checkpoint!(gov, 0, 0, 0) {
-        return MineOutcome::Interrupted {
+        let outcome = MineOutcome::Interrupted {
             partial: MiningResult::new(),
             reason,
             progress: Progress {
@@ -153,19 +193,29 @@ pub fn search_governed<R: Representation>(
                 total: None,
             },
         };
+        return (outcome, counters);
     }
     let mut repo = Repository::new(num_items);
     let mut out = Vec::new();
     let mut root = rep.initial_state();
     let tripped = if rep.state_len(&root) > 0 && rep.num_transactions() > 0 {
         recurse(
-            rep, &mut root, 0, 0, minsupp, config, &mut repo, &mut out, &mut gov,
+            rep,
+            &mut root,
+            0,
+            0,
+            minsupp,
+            config,
+            &mut repo,
+            &mut out,
+            &mut gov,
+            &mut counters,
         )
         .err()
     } else {
         None
     };
-    match tripped {
+    let outcome = match tripped {
         Some(reason) => {
             let processed = gov.as_ref().map_or(0, Governor::processed);
             MineOutcome::Interrupted {
@@ -178,7 +228,8 @@ pub fn search_governed<R: Representation>(
             }
         }
         None => MineOutcome::complete(MiningResult { sets: out }),
-    }
+    };
+    (outcome, counters)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -192,15 +243,19 @@ fn recurse<R: Representation>(
     repo: &mut Repository,
     out: &mut Vec<FoundSet>,
     gov: &mut Option<Governor>,
+    counters: &mut Counters,
 ) -> Result<(), TripReason> {
     if let Some(reason) = checkpoint!(gov, 0, 0, out.len()) {
         return Err(reason);
     }
+    counters.bump(Counter::SearchSteps);
     let n = rep.num_transactions();
     let state_len = rep.state_len(state);
     if config.repo_prune {
+        counters.bump(Counter::RepoLookups);
         let items = rep.items_of(state);
         if repo.contains(items.as_slice()) {
+            counters.bump(Counter::RepoHits);
             return Ok(()); // everything below was already explored earlier
         }
     }
@@ -209,10 +264,11 @@ fn recurse<R: Representation>(
         if k + (n - tid) < minsupp {
             return Ok(());
         }
-        let (raw_len, mut sub) = rep.intersect(state, tid, k + 1, minsupp, config);
+        let (raw_len, mut sub) = rep.intersect(state, tid, k + 1, minsupp, config, counters);
         if raw_len == state_len {
             // transaction contains the whole intersection
             if config.perfect_extension {
+                counters.bump(Counter::AbsorptionHits);
                 k += 1; // absorb: no exclude branch can produce output
                 continue;
             }
@@ -231,6 +287,7 @@ fn recurse<R: Representation>(
                     repo,
                     out,
                     gov,
+                    counters,
                 )?;
             }
             continue;
@@ -246,6 +303,7 @@ fn recurse<R: Representation>(
                 repo,
                 out,
                 gov,
+                counters,
             )?;
         }
     }
@@ -298,6 +356,7 @@ mod tests {
             _k_new: u32,
             _minsupp: u32,
             _config: CarpenterConfig,
+            _counters: &mut Counters,
         ) -> (usize, Vec<u32>) {
             let t = &self.txs[tid as usize];
             let matched: Vec<u32> = state.iter().copied().filter(|i| t.contains(i)).collect();

@@ -10,11 +10,15 @@
 //! the recursion, which is why the paper reports it consistently faster
 //! than the list variant.
 
-use crate::search::{search, search_governed, CarpenterConfig, Representation};
+use crate::search::{
+    search, search_governed, search_governed_with_stats, search_with_stats, CarpenterConfig,
+    Representation,
+};
 use fim_core::{
     Budget, ClosedMiner, Item, ItemSet, MineOutcome, MiningResult, RecodedDatabase,
     SuffixCountMatrix, Tid,
 };
+use fim_obs::{Counter, Counters};
 
 /// The matrix (Table 1) representation.
 pub struct TableRep {
@@ -60,6 +64,7 @@ impl Representation for TableRep {
         k_new: u32,
         minsupp: u32,
         config: CarpenterConfig,
+        counters: &mut Counters,
     ) -> (usize, Self::State) {
         // In the matrix representation the suffix count *is* the exact
         // remaining-occurrence bound, so early stopping and item
@@ -74,6 +79,8 @@ impl Representation for TableRep {
                 // `entry` counts occurrences from `tid` on, including `tid`
                 if !drop_hopeless || k_new + (entry - 1) >= minsupp {
                     sub.push(item);
+                } else {
+                    counters.bump(Counter::Eliminations);
                 }
             }
         }
@@ -96,6 +103,24 @@ impl CarpenterTableMiner {
     /// Creates a miner with an explicit configuration.
     pub fn with_config(config: CarpenterConfig) -> Self {
         CarpenterTableMiner { config }
+    }
+
+    /// Like [`ClosedMiner::mine`] but also returns the search counters
+    /// (steps, absorptions, eliminations, repository probes).
+    pub fn mine_with_stats(&self, db: &RecodedDatabase, minsupp: u32) -> (MiningResult, Counters) {
+        let rep = TableRep::from_database(db);
+        search_with_stats(&rep, db.num_items(), minsupp, self.config)
+    }
+
+    /// Like [`ClosedMiner::mine_governed`] but also returns the counters.
+    pub fn mine_governed_with_stats(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        budget: &Budget,
+    ) -> (MineOutcome, Counters) {
+        let rep = TableRep::from_database(db);
+        search_governed_with_stats(&rep, db.num_items(), minsupp, self.config, budget)
     }
 }
 
@@ -169,9 +194,11 @@ mod tests {
         let rep = TableRep::from_database(&db);
         // t2 (tid 1) = {a,d,e} = {0,3,4}; matrix row: a=3, d=6, e=3
         let mut state = rep.initial_state();
-        let (raw, sub) = rep.intersect(&mut state, 1, 1, 1, CarpenterConfig::unpruned());
+        let mut c = Counters::new();
+        let (raw, sub) = rep.intersect(&mut state, 1, 1, 1, CarpenterConfig::unpruned(), &mut c);
         assert_eq!(raw, 3);
         assert_eq!(rep.items_of(&sub), ItemSet::from([0, 3, 4]));
+        assert_eq!(c.get(Counter::Eliminations), 0);
         // with minsupp 5 and k_new 1: a: 1+(3-1)=3 <5 drop; d: 1+5=6 keep;
         // e: 1+2=3 <5 drop — via item elimination or (equivalently here)
         // early stopping
@@ -183,9 +210,11 @@ mod tests {
             },
         ] {
             let mut state = rep.initial_state();
-            let (raw, sub) = rep.intersect(&mut state, 1, 1, 5, config);
+            let mut c = Counters::new();
+            let (raw, sub) = rep.intersect(&mut state, 1, 1, 5, config, &mut c);
             assert_eq!(raw, 3);
             assert_eq!(rep.items_of(&sub), ItemSet::from([3]));
+            assert_eq!(c.get(Counter::Eliminations), 2);
         }
     }
 

@@ -24,10 +24,13 @@ use std::time::Duration;
 
 mod args;
 mod errors;
+mod observe;
 mod registry;
 
 use args::Args;
 use errors::{usage, CliError};
+use fim_obs::{MetricsReport, PassMetrics, ProgressSnapshot, ShardMetrics};
+use observe::ObsArgs;
 use registry::{all_miner_names, miner_by_name};
 
 fn main() -> ExitCode {
@@ -132,7 +135,7 @@ fn cmd_mine(args: &Args) -> Result<(), CliError> {
         return cmd_mine_stream(args, algo);
     }
     let is_ista = matches!(algo, "ista" | "ista-par" | "ista-noprune" | "ista-plain");
-    for f in ["no-coalesce", "no-compact", "no-patricia", "stats"] {
+    for f in ["no-coalesce", "no-compact", "no-patricia"] {
         if args.flag(f) && !is_ista {
             return Err(usage(format!("--{f} is only available for ista variants")));
         }
@@ -190,14 +193,14 @@ fn cmd_mine(args: &Args) -> Result<(), CliError> {
     };
     let db = load_db(args)?;
     let supp = resolve_supp(args, &db)?;
-    if args.flag("stats") {
-        if threads.is_some() || algo == "ista-par" {
-            return Err(usage("--stats requires the sequential ista miner"));
-        }
+    let obs_args = ObsArgs::from_args(args)?;
+    if obs_args.any() {
         if !budget.is_unlimited() {
-            return Err(usage("--stats cannot be combined with budget flags"));
+            return Err(usage(
+                "--stats/--metrics/--progress/--profile cannot be combined with budget flags",
+            ));
         }
-        return mine_ista_with_stats(args, &db, supp, ista_config);
+        return mine_observed(args, &db, supp, algo, threads, ista_config, &obs_args);
     }
     if !budget.is_unlimited() {
         return mine_governed(args, &db, supp, miner.as_ref(), &budget);
@@ -321,6 +324,7 @@ fn cmd_mine_stream(args: &Args, algo: &str) -> Result<(), CliError> {
     for f in [
         "threads",
         "stats",
+        "profile",
         "no-prune",
         "no-coalesce",
         "no-compact",
@@ -338,6 +342,8 @@ fn cmd_mine_stream(args: &Args, algo: &str) -> Result<(), CliError> {
     }
     let supp: u32 = args.require_parsed("supp")?;
     let budget = budget_from(args)?;
+    let obs_args = ObsArgs::from_args(args)?;
+    let mut obs = obs_args.build();
     let (mut stream, mut catalog) = match args.get("resume") {
         Some(path) => {
             let file = std::fs::File::open(path)
@@ -388,6 +394,14 @@ fn cmd_mine_stream(args: &Args, algo: &str) -> Result<(), CliError> {
         stream.grow_universe(catalog.len() as u32);
         stream.push(&coded);
         gov.add_processed(1);
+        obs.tick(&ProgressSnapshot {
+            processed: u64::from(stream.transactions_processed()),
+            // on a resumed run the stream total is not knowable from this
+            // input alone, so the heartbeat reports no ETA
+            total: (skip == 0).then_some(total),
+            peak_nodes: stream.node_count() as u64,
+            sets: 0,
+        });
     }
     let processed = stream.transactions_processed();
     if let Some(path) = args.get("checkpoint") {
@@ -403,6 +417,26 @@ fn cmd_mine_stream(args: &Args, algo: &str) -> Result<(), CliError> {
     write_out(args, |w| {
         fim_io::write_results_named(&result, &catalog, w).map_err(CliError::from)
     })?;
+    obs.finish(&ProgressSnapshot {
+        processed: u64::from(processed),
+        total: (skip == 0 && tripped.is_none()).then_some(total),
+        peak_nodes: stream.node_count() as u64,
+        sets: result.len() as u64,
+    });
+    if obs_args.metrics.is_some() {
+        let mem = stream.memory_stats();
+        let mut report = MetricsReport::new(
+            "ista-stream",
+            supp,
+            start.elapsed().as_secs_f64(),
+            result.len() as u64,
+            u64::from(processed),
+        );
+        // the stream never prunes, so the arena high-water is the peak
+        report.tree = Some(mem.to_metrics(mem.total_slots));
+        report.counters = *stream.counters();
+        obs_args.emit_metrics(&report)?;
+    }
     match tripped {
         None => {
             eprintln!(
@@ -456,19 +490,99 @@ fn parallel_ista(threads: usize, cfg: fim_ista::IstaConfig) -> Box<dyn ClosedMin
     ))
 }
 
-/// The `--stats` mining path: sequential ista via
-/// [`fim_ista::IstaMiner::mine_with_stats`], reporting run counters and
-/// tree memory occupancy on stderr alongside the normal result output.
-fn mine_ista_with_stats(
+/// The observed mining path behind `--stats`/`--metrics`/`--progress`/
+/// `--profile`: mines with an [`fim_obs::Obs`] handle threaded through the
+/// miner where supported (sequential ista records phase spans and emits
+/// the heartbeat from inside the transaction loop; the parallel, Carpenter
+/// and Eclat miners report their counters at the end), then writes one
+/// schema-versioned metrics JSON document and, if requested, a
+/// collapsed-stack profile.
+fn mine_observed(
     args: &Args,
     db: &TransactionDatabase,
     supp: u32,
-    config: fim_ista::IstaConfig,
+    algo: &str,
+    threads: Option<usize>,
+    ista_config: fim_ista::IstaConfig,
+    obs_args: &ObsArgs,
 ) -> Result<(), CliError> {
+    let mut obs = obs_args.build();
     let start = std::time::Instant::now();
+    obs.span_enter("recode");
     let recoded = fim_core::RecodedDatabase::prepare(db, supp, item_order(args)?, tx_order(args)?);
-    let miner = fim_ista::IstaMiner::with_config(config);
-    let (res, stats) = miner.mine_with_stats(&recoded, supp);
+    obs.span_exit();
+    let is_ista = matches!(algo, "ista" | "ista-par" | "ista-noprune" | "ista-plain");
+    let parallel = threads.is_some() || algo == "ista-par";
+    let mut report = MetricsReport::new("", supp, 0.0, 0, recoded.num_transactions() as u64);
+    obs.span_enter("mine");
+    // sequential ista drives the heartbeat itself; every other miner gets
+    // one final progress line after the fact
+    let mut heartbeat_done = false;
+    let res = if parallel {
+        let miner = fim_ista::ParallelIstaMiner::with_config(fim_ista::ParallelConfig {
+            threads: threads.unwrap_or(0),
+            policy: ista_config.policy,
+            coalesce: ista_config.coalesce,
+            compact: ista_config.compact,
+        });
+        let (res, stats) = miner.mine_with_stats(&recoded, supp);
+        report.miner = "ista-par";
+        // no cross-shard peak is tracked; the reduced tree's arena
+        // high-water (total slots) is the closest honest figure
+        report.tree = Some(stats.memory.to_metrics(stats.memory.total_slots));
+        report.shards = Some(ShardMetrics {
+            shards: stats.shards as u64,
+            recovered: stats.shards_recovered as u64,
+        });
+        report.counters = stats.counters;
+        res
+    } else if is_ista {
+        let miner = fim_ista::IstaMiner::with_config(ista_config);
+        let (res, stats) = miner.mine_with_obs(&recoded, supp, &mut obs);
+        report.miner = miner.name();
+        report.transactions_total = stats.total_transactions as u64;
+        report.transactions_distinct = Some(stats.distinct_transactions as u64);
+        report.tree = Some(stats.memory.to_metrics(stats.peak_nodes));
+        report.passes = Some(PassMetrics {
+            prune_passes: stats.prune_passes as u64,
+            compactions: stats.compactions as u64,
+        });
+        report.counters = stats.counters;
+        heartbeat_done = true;
+        res
+    } else {
+        let noprune = args.flag("no-prune");
+        let (res, counters) = match (algo, noprune) {
+            ("carpenter-lists", false) => {
+                report.miner = "carpenter-lists";
+                fim_carpenter::CarpenterListMiner::default().mine_with_stats(&recoded, supp)
+            }
+            ("carpenter-table", false) => {
+                report.miner = "carpenter-table";
+                fim_carpenter::CarpenterTableMiner::default().mine_with_stats(&recoded, supp)
+            }
+            ("carpenter-table", true) => {
+                report.miner = "carpenter-table-noprune";
+                fim_carpenter::CarpenterTableMiner::with_config(
+                    fim_carpenter::CarpenterConfig::unpruned(),
+                )
+                .mine_with_stats(&recoded, supp)
+            }
+            ("eclat", false) => {
+                report.miner = "eclat";
+                fim_baseline::EclatMiner.mine_with_stats(&recoded, supp)
+            }
+            (other, _) => {
+                return Err(usage(format!(
+                    "--stats/--metrics/--progress/--profile are not available for '{other}'"
+                )));
+            }
+        };
+        report.counters = counters;
+        res
+    };
+    obs.span_exit();
+    obs.span_enter("report");
     let mut result = res.decode(recoded.recode());
     result.canonicalize();
     let kind = if args.flag("maximal") {
@@ -477,37 +591,27 @@ fn mine_ista_with_stats(
     } else {
         "closed"
     };
-    let elapsed = start.elapsed();
     write_out(args, |w| {
         fim_io::write_results(&result, db, w).map_err(CliError::from)
     })?;
+    obs.span_exit();
+    if !heartbeat_done {
+        obs.finish(&ProgressSnapshot {
+            processed: report.transactions_total,
+            total: Some(report.transactions_total),
+            peak_nodes: report.tree.map_or(0, |t| t.peak_nodes),
+            sets: result.len() as u64,
+        });
+    }
+    report.seconds = start.elapsed().as_secs_f64();
+    report.sets = result.len() as u64;
+    obs_args.emit_metrics(&report)?;
+    obs_args.emit_profile(&obs)?;
     eprintln!(
         "{}: {} {kind} sets at supp >= {supp} in {:.3}s",
-        miner.name(),
+        report.miner,
         result.len(),
-        elapsed.as_secs_f64()
-    );
-    eprintln!(
-        "stats: transactions={} distinct={} prune_passes={} compactions={} peak_nodes={}",
-        stats.total_transactions,
-        stats.distinct_transactions,
-        stats.prune_passes,
-        stats.compactions,
-        stats.peak_nodes
-    );
-    // avg_seg_len is the path-compression ratio: conceptual (per-item)
-    // nodes per physical node; exactly 1.0 on the uncompressed layout
-    let interior = stats.memory.live_nodes.saturating_sub(1);
-    eprintln!(
-        "stats: tree live_nodes={} total_slots={} free_slots={} seg_items={} seg_bytes={} \
-         avg_seg_len={:.2} approx_bytes={}",
-        stats.memory.live_nodes,
-        stats.memory.total_slots,
-        stats.memory.free_slots,
-        stats.memory.seg_items,
-        stats.memory.seg_bytes,
-        stats.memory.seg_items as f64 / interior.max(1) as f64,
-        stats.memory.approx_bytes
+        report.seconds
     );
     Ok(())
 }
@@ -617,7 +721,8 @@ USAGE:
   fim mine  --supp N | --supp-rel F   [--algo NAME] [--in FILE] [--out FILE]
             [--item-order asc|desc|orig] [--tx-order asc|desc|orig]
             [--maximal] [--no-prune] [--threads N]
-            [--no-coalesce] [--no-compact] [--no-patricia] [--stats]
+            [--no-coalesce] [--no-compact] [--no-patricia]
+            [--stats] [--metrics PATH|-] [--progress SECS] [--profile FILE]
             [--timeout SECS] [--max-nodes N] [--max-sets N] [--degrade]
             [--checkpoint FILE] [--resume FILE]
             (--threads N shards the database over N threads and merges the
@@ -627,8 +732,16 @@ USAGE:
              compaction; --no-patricia mines on the uncompressed
              one-item-per-node tree instead of the path-compressed
              Patricia layout (equivalent to --algo ista-plain; sequential
-             only); --stats prints run counters and tree memory occupancy
-             on stderr; all are ista only)
+             only); all are ista only)
+            (observability: --metrics writes one fim-metrics/1 JSON
+             document with run counters and tree occupancy to PATH, or to
+             stderr with '-'; --stats is shorthand for --metrics -;
+             --progress emits a heartbeat line every SECS seconds on
+             stderr (JSON lines when stderr is not a terminal);
+             --profile writes phase timings as collapsed stacks for
+             flamegraph tools; available for the ista variants,
+             carpenter-lists, carpenter-table, and eclat; stdout stays
+             clean result output throughout)
             (budgets: --timeout caps wall-clock seconds, --max-nodes caps
              live prefix-tree nodes, --max-sets caps emitted sets; on a
              trip the exact sets of the processed prefix are written and

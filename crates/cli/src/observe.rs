@@ -1,0 +1,112 @@
+//! Observability plumbing behind `--metrics`, `--progress`, and
+//! `--profile` (plus the `--stats` shorthand): flag parsing, the [`Obs`]
+//! handle construction, and the metrics/profile writers. All
+//! machine-readable output goes to stderr or an explicit file — stdout
+//! stays clean result output for piping.
+
+use crate::args::Args;
+use crate::errors::{usage, CliError};
+use fim_obs::{MetricsReport, Obs, ProgressEmitter, ProgressStyle, SpanRecorder};
+use std::io::{IsTerminal, Write};
+use std::time::Duration;
+
+/// Parsed observability flags.
+pub struct ObsArgs {
+    /// `--metrics <path|->` destination (`-` means stderr); `--stats` is
+    /// shorthand for `--metrics -`.
+    pub metrics: Option<String>,
+    /// `--progress <secs>` heartbeat interval.
+    pub progress: Option<Duration>,
+    /// `--profile <path>` collapsed-stack output file.
+    pub profile: Option<String>,
+}
+
+impl ObsArgs {
+    /// Extracts and validates the observability flags.
+    pub fn from_args(args: &Args) -> Result<ObsArgs, CliError> {
+        let metrics = match (args.get("metrics"), args.flag("stats")) {
+            (Some(m), _) => Some(m.to_owned()),
+            (None, true) => Some("-".to_owned()),
+            (None, false) => None,
+        };
+        let progress = match args.get("progress") {
+            None => None,
+            Some(s) => {
+                let secs: f64 = s
+                    .parse()
+                    .map_err(|e| usage(format!("bad --progress: {e}")))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(usage("--progress must be a positive number of seconds"));
+                }
+                Some(Duration::from_secs_f64(secs))
+            }
+        };
+        let profile = args.get("profile").map(str::to_owned);
+        Ok(ObsArgs {
+            metrics,
+            progress,
+            profile,
+        })
+    }
+
+    /// Whether any observability output was requested.
+    pub fn any(&self) -> bool {
+        self.metrics.is_some() || self.progress.is_some() || self.profile.is_some()
+    }
+
+    /// Builds the [`Obs`] handle the miners thread through their hot path:
+    /// spans only when a profile is wanted (each span costs clock reads),
+    /// the heartbeat only when an interval was given.
+    pub fn build(&self) -> Obs {
+        let mut obs = Obs::new();
+        if self.profile.is_some() {
+            obs.spans = Some(SpanRecorder::new());
+        }
+        if let Some(interval) = self.progress {
+            // a terminal gets the human line; a pipe gets JSON lines
+            let style = if std::io::stderr().is_terminal() {
+                ProgressStyle::Human
+            } else {
+                ProgressStyle::JsonLines
+            };
+            obs.progress = Some(ProgressEmitter::stderr(interval, style));
+        }
+        obs
+    }
+
+    /// Writes the metrics document to the `--metrics` destination.
+    pub fn emit_metrics(&self, report: &MetricsReport<'_>) -> Result<(), CliError> {
+        let Some(dest) = self.metrics.as_deref() else {
+            return Ok(());
+        };
+        let io_err = |e: std::io::Error| CliError::Other(format!("cannot write --metrics: {e}"));
+        if dest == "-" {
+            let stderr = std::io::stderr();
+            let mut lock = stderr.lock();
+            report.write_json(&mut lock).map_err(io_err)
+        } else {
+            let file = std::fs::File::create(dest)
+                .map_err(|e| CliError::Other(format!("cannot create --metrics {dest}: {e}")))?;
+            let mut w = std::io::BufWriter::new(file);
+            report.write_json(&mut w).map_err(io_err)?;
+            w.flush().map_err(io_err)
+        }
+    }
+
+    /// Writes the recorded spans as collapsed stacks (`path;to;span N`
+    /// lines, self-time micros) to the `--profile` path.
+    pub fn emit_profile(&self, obs: &Obs) -> Result<(), CliError> {
+        let Some(path) = self.profile.as_deref() else {
+            return Ok(());
+        };
+        let Some(spans) = obs.spans.as_ref() else {
+            return Ok(());
+        };
+        let io_err = |e: std::io::Error| CliError::Other(format!("cannot write --profile: {e}"));
+        let file = std::fs::File::create(path)
+            .map_err(|e| CliError::Other(format!("cannot create --profile {path}: {e}")))?;
+        let mut w = std::io::BufWriter::new(file);
+        spans.write_collapsed(&mut w).map_err(io_err)?;
+        w.flush().map_err(io_err)
+    }
+}

@@ -1,0 +1,147 @@
+//! End-to-end tests of the observability flags: `--stats`, `--metrics`,
+//! `--progress`, `--profile`. The central invariant is output routing —
+//! stdout carries only item sets no matter which observability output is
+//! enabled, so `fim mine ... > out.txt` stays pipeable.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn fim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fim"))
+}
+
+const DATA: &[u8] = b"a b c\na d e\nb c d\na b c d\nb c\na b d\nd e\nc d e\n";
+
+fn run_mine(extra: &[&str]) -> std::process::Output {
+    let mut child = fim()
+        .args(["mine", "--supp", "3"])
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child.stdin.as_mut().unwrap().write_all(DATA).unwrap();
+    child.wait_with_output().unwrap()
+}
+
+/// Every stdout line must be an item-set line: `name name ... (support)`.
+fn assert_only_item_sets(stdout: &[u8]) {
+    let text = String::from_utf8(stdout.to_vec()).unwrap();
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        let (items, supp) = line.rsplit_once(" (").expect("no support suffix");
+        assert!(supp.ends_with(')'), "bad line: {line}");
+        assert!(
+            supp[..supp.len() - 1].parse::<u32>().is_ok(),
+            "bad support in: {line}"
+        );
+        assert!(
+            items.split(' ').all(|w| !w.is_empty() && !w.contains('{')),
+            "bad items in: {line}"
+        );
+    }
+}
+
+#[test]
+fn stdout_stays_clean_with_all_observability_on() {
+    let dir = std::env::temp_dir().join("fim_obs_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let profile = dir.join("profile.folded");
+    let plain = run_mine(&[]);
+    assert!(plain.status.success());
+    let observed = run_mine(&[
+        "--metrics",
+        "-",
+        "--progress",
+        "1",
+        "--profile",
+        profile.to_str().unwrap(),
+    ]);
+    assert!(observed.status.success());
+    assert_only_item_sets(&observed.stdout);
+    // observability must not change the mined result, byte for byte
+    assert_eq!(plain.stdout, observed.stdout);
+    // ... and all machine-readable output lands on stderr
+    let err = String::from_utf8(observed.stderr).unwrap();
+    assert!(
+        err.contains("\"schema\": \"fim-metrics/1\""),
+        "stderr: {err}"
+    );
+    // the profile is collapsed-stack: `path;to;span <micros>` lines
+    let folded = std::fs::read_to_string(&profile).unwrap();
+    assert!(folded.lines().count() >= 2, "profile too small: {folded}");
+    for line in folded.lines() {
+        let (path, micros) = line.rsplit_once(' ').unwrap();
+        assert!(!path.is_empty());
+        assert!(micros.parse::<u64>().is_ok(), "bad line: {line}");
+    }
+    assert!(folded.contains("mine;"), "missing miner phases: {folded}");
+    std::fs::remove_file(&profile).ok();
+}
+
+#[test]
+fn metrics_file_passes_schema_validation() {
+    let dir = std::env::temp_dir().join("fim_obs_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    for algo in [
+        "ista",
+        "ista-plain",
+        "ista-par",
+        "carpenter-lists",
+        "carpenter-table",
+        "eclat",
+    ] {
+        let path = dir.join(format!("metrics-{algo}.json"));
+        let out = run_mine(&["--algo", algo, "--metrics", path.to_str().unwrap()]);
+        assert!(out.status.success(), "{algo}");
+        assert_only_item_sets(&out.stdout);
+        let doc = std::fs::read_to_string(&path).unwrap();
+        fim_obs::validate_metrics_json(&doc).unwrap_or_else(|e| panic!("{algo}: {e}"));
+        assert!(doc.contains(&format!("\"miner\": \"{algo}\"")), "{doc}");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn stats_is_shorthand_for_metrics_on_stderr() {
+    for algo in ["ista", "carpenter-lists", "carpenter-table", "eclat"] {
+        let out = run_mine(&["--algo", algo, "--stats"]);
+        assert!(out.status.success(), "{algo}");
+        assert_only_item_sets(&out.stdout);
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            err.contains("\"schema\": \"fim-metrics/1\""),
+            "{algo}: {err}"
+        );
+        assert!(err.contains("\"counters\""), "{algo}: {err}");
+    }
+}
+
+#[test]
+fn progress_lines_are_json_when_piped() {
+    let out = run_mine(&["--progress", "0.0001"]);
+    assert!(out.status.success());
+    assert_only_item_sets(&out.stdout);
+    let err = String::from_utf8(out.stderr).unwrap();
+    let progress: Vec<&str> = err
+        .lines()
+        .filter(|l| l.starts_with("{\"type\":\"progress\""))
+        .collect();
+    assert!(!progress.is_empty(), "no heartbeat: {err}");
+    for line in &progress {
+        assert!(line.contains("\"processed\":"), "bad line: {line}");
+        assert!(line.ends_with('}'), "bad line: {line}");
+    }
+}
+
+#[test]
+fn observability_rejected_for_unsupported_algo_and_budgets() {
+    let out = run_mine(&["--algo", "fpclose", "--stats"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not available for 'fpclose'"));
+
+    let out = run_mine(&["--stats", "--timeout", "10"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("budget flags"));
+}

@@ -14,6 +14,7 @@
 //! unary chains collapse into single nodes (paper §3.3's Patricia variant).
 
 use fim_core::Item;
+use fim_obs::{Counter, Counters};
 
 /// Sentinel index meaning "no node".
 pub const NONE: u32 = u32::MAX;
@@ -51,6 +52,7 @@ pub struct NodeArena {
     nodes: Vec<Node>,
     free_head: u32,
     live: usize,
+    counters: Counters,
 }
 
 impl NodeArena {
@@ -60,6 +62,7 @@ impl NodeArena {
             nodes: Vec::new(),
             free_head: NONE,
             live: 0,
+            counters: Counters::new(),
         }
     }
 
@@ -69,11 +72,13 @@ impl NodeArena {
             nodes: Vec::with_capacity(cap),
             free_head: NONE,
             live: 0,
+            counters: Counters::new(),
         }
     }
 
     /// Allocates a node, reusing a freed slot when available.
     pub fn alloc(&mut self, node: Node) -> u32 {
+        self.counters.bump(Counter::NodeAllocs);
         self.live += 1;
         if self.free_head != NONE {
             let idx = self.free_head;
@@ -113,6 +118,18 @@ impl NodeArena {
     /// Number of slots currently parked on the free list.
     pub fn free_count(&self) -> usize {
         self.nodes.len() - self.live
+    }
+
+    /// Hot-loop counters accumulated by this arena (allocations plus the
+    /// traversal counts the owning tree pushes in).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Mutable counter access for the owning tree's traversal loops.
+    #[inline]
+    pub fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.counters
     }
 
     /// Relocates the live nodes reachable from `root` into depth-first
@@ -229,6 +246,7 @@ pub struct SegArena {
     live: usize,
     items: Vec<Item>,
     live_items: usize,
+    counters: Counters,
 }
 
 impl Default for SegArena {
@@ -246,6 +264,7 @@ impl SegArena {
             live: 0,
             items: Vec::new(),
             live_items: 0,
+            counters: Counters::new(),
         }
     }
 
@@ -254,6 +273,7 @@ impl SegArena {
     /// which reuses the split node's existing item region). Does not touch
     /// the item store.
     pub fn alloc_node(&mut self, node: PatNode) -> u32 {
+        self.counters.bump(Counter::NodeAllocs);
         self.live += 1;
         if self.free_head != NONE {
             let idx = self.free_head;
@@ -318,6 +338,7 @@ impl SegArena {
     /// no item is copied: head and tail describe disjoint halves of the
     /// original item region. Returns the tail index.
     pub fn split(&mut self, idx: u32, k: u32) -> u32 {
+        self.counters.bump(Counter::Splits);
         let n = self.nodes[idx as usize];
         debug_assert!(k > 0 && k < n.seg_len);
         let tail = self.alloc_node(PatNode {
@@ -412,6 +433,26 @@ impl SegArena {
     /// [`rewrite_seg`](Self::rewrite_seg).
     pub fn garbage_items(&self) -> usize {
         self.items.len() - self.live_items
+    }
+
+    /// Hot-loop counters accumulated by this arena (allocations, splits,
+    /// plus the segment-scan counts `isect` pushes in). Survives
+    /// [`compact`](Self::compact); snapshot loads start from zero.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Mutable counter access for the owning tree's traversal loops.
+    #[inline]
+    pub fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.counters
+    }
+
+    /// Adds another arena's counters into this one (shard-merge
+    /// aggregation: replayed work lands here, the donor's own history is
+    /// absorbed explicitly).
+    pub fn absorb_counters(&mut self, other: &Counters) {
+        self.counters.merge(other);
     }
 
     /// Relocates the live nodes reachable from `root` into depth-first

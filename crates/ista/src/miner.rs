@@ -6,6 +6,7 @@ use fim_core::{
     checkpoint, prepare, Budget, ClosedMiner, Degradation, FoundSet, Governor, Item, MineOutcome,
     MiningResult, Progress, RecodedDatabase, TripReason,
 };
+use fim_obs::{Counters, Obs, ProgressSnapshot};
 
 /// The tree operations the mining loop needs, implemented by both the
 /// Patricia [`PrefixTree`] (default) and the uncompressed
@@ -19,6 +20,7 @@ trait MiningTree {
     fn prune(&mut self, remaining: &[u32], minsupp: u32);
     fn compact_if_fragmented(&mut self) -> bool;
     fn report(&self, minsupp: u32) -> Vec<FoundSet>;
+    fn counters(&self) -> Counters;
 }
 
 macro_rules! impl_mining_tree {
@@ -45,12 +47,32 @@ macro_rules! impl_mining_tree {
             fn report(&self, minsupp: u32) -> Vec<FoundSet> {
                 <$ty>::report(self, minsupp)
             }
+            fn counters(&self) -> Counters {
+                *<$ty>::counters(self)
+            }
         }
     };
 }
 
 impl_mining_tree!(PrefixTree);
 impl_mining_tree!(PlainPrefixTree);
+
+/// Opens a span when an observability bundle is attached; a `None` bundle
+/// costs one branch (same discipline as [`checkpoint!`]).
+#[inline]
+fn span_enter(obs: &mut Option<&mut Obs>, name: &'static str) {
+    if let Some(o) = obs.as_deref_mut() {
+        o.span_enter(name);
+    }
+}
+
+/// Closes the current span when an observability bundle is attached.
+#[inline]
+fn span_exit(obs: &mut Option<&mut Obs>) {
+    if let Some(o) = obs.as_deref_mut() {
+        o.span_exit();
+    }
+}
 
 /// When to run the item-elimination pruning pass (paper §3.2).
 ///
@@ -204,6 +226,9 @@ pub struct MineStats {
     pub peak_nodes: usize,
     /// Arena occupancy after the last transaction, before reporting.
     pub memory: TreeMemoryStats,
+    /// Hot-loop counters (segment scans, early exits, splits, allocations)
+    /// accumulated by the tree while mining.
+    pub counters: Counters,
 }
 
 /// The IsTa closed frequent item set miner (paper §3.2–3.3).
@@ -222,7 +247,21 @@ impl IstaMiner {
     /// Like [`ClosedMiner::mine`], but also reports run counters and the
     /// final tree memory occupancy.
     pub fn mine_with_stats(&self, db: &RecodedDatabase, minsupp: u32) -> (MiningResult, MineStats) {
-        let (outcome, stats) = self.run(db, minsupp, None, false);
+        let (outcome, stats) = self.run(db, minsupp, None, false, None);
+        (outcome.into_result(), stats)
+    }
+
+    /// Like [`mine_with_stats`](Self::mine_with_stats) with an
+    /// observability bundle attached: phase spans and heartbeat progress
+    /// land in `obs`, counters in the returned [`MineStats`]. Observation
+    /// never changes the mined output (proptested).
+    pub fn mine_with_obs(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        obs: &mut Obs,
+    ) -> (MiningResult, MineStats) {
+        let (outcome, stats) = self.run(db, minsupp, None, false, Some(obs));
         (outcome.into_result(), stats)
     }
 
@@ -236,7 +275,18 @@ impl IstaMiner {
         minsupp: u32,
         budget: &Budget,
     ) -> (MineOutcome, MineStats) {
-        self.run(db, minsupp, Some(budget.start()), budget.degrade)
+        self.run(db, minsupp, Some(budget.start()), budget.degrade, None)
+    }
+
+    /// Governed mining with both run counters and an observability bundle.
+    pub fn mine_governed_with_obs(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        budget: &Budget,
+        obs: &mut Obs,
+    ) -> (MineOutcome, MineStats) {
+        self.run(db, minsupp, Some(budget.start()), budget.degrade, Some(obs))
     }
 
     /// The one mining loop behind both entry points. `gov` is `None` for
@@ -256,11 +306,12 @@ impl IstaMiner {
         minsupp: u32,
         gov: Option<Governor>,
         degrade: bool,
+        obs: Option<&mut Obs>,
     ) -> (MineOutcome, MineStats) {
         if self.config.patricia {
-            self.run_impl::<PrefixTree>(db, minsupp, gov, degrade)
+            self.run_impl::<PrefixTree>(db, minsupp, gov, degrade, obs)
         } else {
-            self.run_impl::<PlainPrefixTree>(db, minsupp, gov, degrade)
+            self.run_impl::<PlainPrefixTree>(db, minsupp, gov, degrade, obs)
         }
     }
 
@@ -271,15 +322,18 @@ impl IstaMiner {
         minsupp: u32,
         mut gov: Option<Governor>,
         degrade: bool,
+        mut obs: Option<&mut Obs>,
     ) -> (MineOutcome, MineStats) {
         let requested = minsupp.max(1);
         let mut minsupp_eff = requested;
         let mut degradation: Option<Degradation> = None;
+        span_enter(&mut obs, "coalesce");
         let txs: Vec<(&[Item], u32)> = if self.config.coalesce {
             prepare::coalesce(db.transactions())
         } else {
             db.transactions().iter().map(|t| (t.as_ref(), 1)).collect()
         };
+        span_exit(&mut obs);
         let mut stats = MineStats {
             total_transactions: db.transactions().len(),
             distinct_transactions: txs.len(),
@@ -292,6 +346,7 @@ impl IstaMiner {
         if let Some(reason) = checkpoint!(gov, 0, 0, 0) {
             // already expired/cancelled before the first transaction
             stats.memory = tree.memory_stats();
+            stats.counters = tree.counters();
             let outcome = MineOutcome::Interrupted {
                 partial: MiningResult::new(),
                 reason,
@@ -302,6 +357,8 @@ impl IstaMiner {
             };
             return (outcome, stats);
         }
+        span_enter(&mut obs, "transactions");
+        let mut processed: u64 = 0;
         for (t, w) in &txs {
             for &i in t.iter() {
                 remaining[i as usize] -= w;
@@ -310,6 +367,15 @@ impl IstaMiner {
             stats.peak_nodes = stats.peak_nodes.max(tree.node_count());
             if let Some(g) = gov.as_mut() {
                 g.add_processed(u64::from(*w));
+            }
+            processed += u64::from(*w);
+            if let Some(o) = obs.as_deref_mut() {
+                o.tick(&ProgressSnapshot {
+                    processed,
+                    total: Some(total_weight),
+                    peak_nodes: stats.peak_nodes as u64,
+                    sets: tree.node_count() as u64,
+                });
             }
             if let Some(reason) =
                 checkpoint!(gov, tree.node_count(), tree.memory_stats().approx_bytes, 0)
@@ -339,10 +405,14 @@ impl IstaMiner {
                     }
                     pacer.pruned(tree.node_count());
                 } else {
+                    span_exit(&mut obs); // transactions
                     stats.memory = tree.memory_stats();
+                    stats.counters = tree.counters();
+                    span_enter(&mut obs, "report");
                     let partial = MiningResult {
                         sets: tree.report(minsupp_eff),
                     };
+                    span_exit(&mut obs);
                     let processed = gov.as_ref().map_or(0, Governor::processed);
                     let outcome = MineOutcome::Interrupted {
                         partial,
@@ -356,23 +426,46 @@ impl IstaMiner {
                 }
             }
             if pacer.due(tree.node_count()) {
+                span_enter(&mut obs, "prune");
                 tree.prune(&remaining, minsupp_eff);
+                span_exit(&mut obs);
                 pacer.pruned(tree.node_count());
                 stats.prune_passes += 1;
-                if self.config.compact && tree.compact_if_fragmented() {
-                    stats.compactions += 1;
+                if self.config.compact {
+                    span_enter(&mut obs, "compact");
+                    if tree.compact_if_fragmented() {
+                        stats.compactions += 1;
+                    }
+                    span_exit(&mut obs);
                 }
             }
         }
+        span_exit(&mut obs); // transactions
+
         // one last compaction before reporting: `report` walks the whole
         // tree in DFS order, which is exactly the order compact lays out
-        if self.config.compact && tree.compact_if_fragmented() {
-            stats.compactions += 1;
+        if self.config.compact {
+            span_enter(&mut obs, "compact");
+            if tree.compact_if_fragmented() {
+                stats.compactions += 1;
+            }
+            span_exit(&mut obs);
         }
         stats.memory = tree.memory_stats();
+        stats.counters = tree.counters();
+        span_enter(&mut obs, "report");
         let result = MiningResult {
             sets: tree.report(minsupp_eff),
         };
+        span_exit(&mut obs);
+        if let Some(o) = obs {
+            o.finish(&ProgressSnapshot {
+                processed,
+                total: Some(total_weight),
+                peak_nodes: stats.peak_nodes as u64,
+                sets: result.sets.len() as u64,
+            });
+        }
         let outcome = MineOutcome::Complete {
             result,
             degradation,

@@ -29,6 +29,7 @@ use fim_core::{
     checkpoint, Budget, CancelToken, ClosedMiner, Governor, Item, MineOutcome, MiningResult,
     Progress, RecodedDatabase, TripReason,
 };
+use fim_obs::Counters;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -129,6 +130,10 @@ pub struct ParallelMineStats {
     pub shards_recovered: usize,
     /// Arena occupancy of the fully reduced tree, before reporting.
     pub memory: TreeMemoryStats,
+    /// Hot-loop counters summed over every shard and every merge replay:
+    /// each merge absorbs the donor tree's counters into the receiver, so
+    /// the reduced tree accounts for all work done across threads.
+    pub counters: Counters,
 }
 
 /// Data-parallel IsTa miner: contiguous shards on scoped threads, combined
@@ -204,6 +209,7 @@ impl ParallelIstaMiner {
                 shards: 1,
                 shards_recovered: 0,
                 memory: stats.memory,
+                counters: stats.counters,
             };
             return (outcome, stats);
         }
@@ -228,6 +234,7 @@ impl ParallelIstaMiner {
             shards: nchunks,
             shards_recovered: ctx.recovered.load(Ordering::SeqCst),
             memory: reduced.tree.memory_stats(),
+            counters: *reduced.tree.counters(),
         };
         let result = MiningResult {
             sets: reduced.tree.report(minsupp),
@@ -448,6 +455,10 @@ fn merge_pruned(left: &mut ShardTree, mut right: ShardTree, ctx: &RunCtx, is_fin
             gs.note_trip(reason);
         }
     }
+    // the replay itself counted in `tree`; carrying over the donor's own
+    // mining history makes the reduced tree's counters the total work of
+    // every shard and merge level
+    tree.absorb_counters(right.tree.counters());
 }
 
 /// Mines the shards of `chunks` and reduces them to a single tree.

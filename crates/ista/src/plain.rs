@@ -7,6 +7,7 @@
 use crate::arena::{Node, NodeArena, NONE};
 use crate::tree::TreeMemoryStats;
 use fim_core::{FoundSet, Item, ItemSet};
+use fim_obs::{Counter, Counters};
 
 /// A position in the tree where a sibling list can be read or spliced:
 /// either the `children` field of a node or the `sibling` field of a node.
@@ -152,6 +153,12 @@ impl PlainPrefixTree {
         } else {
             false
         }
+    }
+
+    /// Hot-loop counters accumulated while building this tree (node scans
+    /// reported as length-1 segment scans, early exits, allocations).
+    pub fn counters(&self) -> &Counters {
+        self.arena.counters()
     }
 
     /// Processes one transaction: inserts it as a path, then intersects it
@@ -505,6 +512,9 @@ fn isect(
     w: u32,
 ) {
     while node != NONE {
+        // one node visited = one length-1 segment scanned, so the plain
+        // layout reports through the same counter slots as Patricia
+        a.counters_mut().bump(Counter::SegScans);
         let i = a.get(node).item;
         if trans[i as usize] == step {
             // the item is in the intersection: find/create the node for it
@@ -548,12 +558,14 @@ fn isect(
                 target = new;
             }
             if i <= imin {
+                a.counters_mut().bump(Counter::IsectEarlyExits);
                 return; // no smaller item can be in the transaction
             }
             let child = a.get(node).children;
             isect(a, child, Slot::Child(target), trans, imin, step, w);
         } else {
             if i <= imin {
+                a.counters_mut().bump(Counter::IsectEarlyExits);
                 return; // later siblings only carry smaller items
             }
             let child = a.get(node).children;

@@ -110,6 +110,12 @@ impl IstaStream {
         &self.tree
     }
 
+    /// The cumulative hot-loop counters (segment scans, early exits, splits,
+    /// node allocations) of all insertions so far.
+    pub fn counters(&self) -> &fim_obs::Counters {
+        self.tree.counters()
+    }
+
     /// Current repository occupancy, for callers that bound the stream's
     /// memory externally (the stream itself never prunes; see the module
     /// docs for why).

@@ -19,6 +19,7 @@
 
 use crate::arena::{PatNode, SegArena, NONE};
 use fim_core::{FoundSet, Item, ItemSet};
+use fim_obs::{Counter, Counters};
 
 /// Snapshot of a [`PrefixTree`]'s arena occupancy, for memory accounting
 /// in benchmarks and the CLI `--stats` report.
@@ -40,6 +41,24 @@ pub struct TreeMemoryStats {
     /// Approximate resident bytes: slot storage plus segment storage plus
     /// the per-item membership-stamp array.
     pub approx_bytes: usize,
+}
+
+impl TreeMemoryStats {
+    /// This snapshot as the fim-metrics/1 `tree` section, with the given
+    /// peak node count (pass the arena high-water when no peak was
+    /// tracked). One conversion point keeps the CLI metrics documents and
+    /// the BENCH_* files rendering identical field sets.
+    pub fn to_metrics(self, peak_nodes: usize) -> fim_obs::TreeMetrics {
+        fim_obs::TreeMetrics {
+            peak_nodes: peak_nodes as u64,
+            live_nodes: self.live_nodes as u64,
+            total_slots: self.total_slots as u64,
+            free_slots: self.free_slots as u64,
+            seg_items: self.seg_items as u64,
+            seg_bytes: self.seg_bytes as u64,
+            approx_bytes: self.approx_bytes as u64,
+        }
+    }
 }
 
 /// A position in the tree where a sibling list can be read or spliced:
@@ -254,6 +273,21 @@ impl PrefixTree {
     /// supports, and stored transactions are unchanged.
     pub fn compact(&mut self) {
         self.root = self.arena.compact(self.root);
+    }
+
+    /// Hot-loop counters accumulated while building this tree: segment
+    /// scans and early exits of the `isect` kernel, splits, and node
+    /// allocations. Merge replays count in the receiving tree; use
+    /// [`absorb_counters`](Self::absorb_counters) to also carry over the
+    /// donor's history.
+    pub fn counters(&self) -> &Counters {
+        self.arena.counters()
+    }
+
+    /// Adds another tree's counters into this one (parallel shard
+    /// aggregation after a merge).
+    pub fn absorb_counters(&mut self, other: &Counters) {
+        self.arena.absorb_counters(other);
     }
 
     /// [`compact`](Self::compact)s only when the free list or the segment
@@ -757,6 +791,11 @@ fn isect(
     while node != NONE {
         let base = scratch.len();
         let stopped = intersect_segment(a.seg(node), trans, step, imin, scratch);
+        let c = a.counters_mut();
+        c.bump(Counter::SegScans);
+        if stopped {
+            c.bump(Counter::IsectEarlyExits);
+        }
         let first = a.first_item(node);
         if scratch.len() > base {
             // the advance of `ins` persists to this sibling walk only when

@@ -1,0 +1,103 @@
+//! Unified observability for the closed-set miners.
+//!
+//! Four instrumentation islands grew up with the repo — `MineStats`,
+//! `TreeMemoryStats`, governor progress, and the per-bench JSON written by
+//! the bench bins — each with its own field names and plumbing. This crate
+//! replaces the reporting side of all of them with one layer:
+//!
+//! * [`Counters`]: a fixed registry of hot-loop counters ([`Counter`])
+//!   incremented as plain adjacent `u64` adds (no atomics, no locks, no
+//!   indirection — the counter array lives inside the structure the hot
+//!   loop already mutates, so the always-on cost is a single add next to
+//!   memory that is already in cache).
+//! * [`SpanRecorder`]: hierarchical phase spans (read/recode → insert/isect
+//!   → prune/compact → report) with monotonic timing, exported in the
+//!   collapsed-stack format that `flamegraph.pl`/inferno consume.
+//! * [`ProgressEmitter`]: a heartbeat line (transactions processed, peak
+//!   nodes, sets, ETA) on a wall-clock interval, rendered human-readable or
+//!   as JSON lines, always on `stderr` or an explicit writer so `stdout`
+//!   stays clean result output.
+//! * [`MetricsReport`]: the schema-versioned metrics JSON
+//!   ([`METRICS_SCHEMA`]) that the CLI `--metrics` flag and the `BENCH_*`
+//!   files share, plus [`validate_metrics_json`] pinning its required keys.
+//!
+//! The discipline matches `fim_core::govern::checkpoint!`: everything that
+//! costs a clock read or a write is behind an `Option` that is `None` when
+//! the feature is off, so the off path is a branch on a register. The
+//! counters are the one always-on piece, and they are sized so that the
+//! fully-disabled overhead stays under the 1% budget measured in
+//! EXPERIMENTS.md E13.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod metrics;
+mod progress;
+mod span;
+
+pub use counters::{Counter, Counters, NUM_COUNTERS};
+pub use metrics::{
+    validate_metrics_json, MetricsReport, PassMetrics, ShardMetrics, TreeMetrics, METRICS_SCHEMA,
+    REQUIRED_METRICS_KEYS,
+};
+pub use progress::{ProgressEmitter, ProgressSnapshot, ProgressStyle};
+pub use span::SpanRecorder;
+
+/// Per-run observability bundle threaded through the miners.
+///
+/// Both members default to `None`; a miner handed `None::<&mut Obs>` (or an
+/// `Obs` with both members off) does no observability work beyond the
+/// always-on counters. Spans and the heartbeat are only recorded when the
+/// corresponding member is populated.
+#[derive(Default)]
+pub struct Obs {
+    /// Phase spans, populated when a profile was requested.
+    pub spans: Option<SpanRecorder>,
+    /// Heartbeat emitter, populated when live progress was requested.
+    pub progress: Option<ProgressEmitter>,
+}
+
+impl Obs {
+    /// An empty bundle (no spans, no progress).
+    pub fn new() -> Self {
+        Obs::default()
+    }
+
+    /// Whether anything is switched on.
+    pub fn enabled(&self) -> bool {
+        self.spans.is_some() || self.progress.is_some()
+    }
+
+    /// Enters a span if spans are on.
+    #[inline]
+    pub fn span_enter(&mut self, name: &'static str) {
+        if let Some(s) = self.spans.as_mut() {
+            s.enter(name);
+        }
+    }
+
+    /// Exits the current span if spans are on.
+    #[inline]
+    pub fn span_exit(&mut self) {
+        if let Some(s) = self.spans.as_mut() {
+            s.exit();
+        }
+    }
+
+    /// Offers a heartbeat tick if progress is on (strided internally, so
+    /// this is safe to call once per transaction).
+    #[inline]
+    pub fn tick(&mut self, snap: &ProgressSnapshot) {
+        if let Some(p) = self.progress.as_mut() {
+            p.tick(snap);
+        }
+    }
+
+    /// Emits a final heartbeat line if progress is on.
+    pub fn finish(&mut self, snap: &ProgressSnapshot) {
+        if let Some(p) = self.progress.as_mut() {
+            p.finish(snap);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Schema-versioned metrics JSON.
+//!
+//! One JSON document describes a finished mining run. The CLI `--metrics`
+//! flag, the `--stats` flag, and the bench bins all emit this shape, so
+//! `BENCH_*` files and CLI output agree on field names. The schema is
+//! pinned: [`METRICS_SCHEMA`] names the version and
+//! [`REQUIRED_METRICS_KEYS`] the keys every document must carry;
+//! [`validate_metrics_json`] enforces both (the CI smoke step and the
+//! schema unit test share it).
+
+use crate::counters::Counters;
+use std::io::{self, Write};
+
+/// Version tag carried in the `schema` field. Bump when a required key
+/// changes meaning or disappears; adding optional keys is compatible.
+pub const METRICS_SCHEMA: &str = "fim-metrics/1";
+
+/// Keys every metrics document must contain.
+pub const REQUIRED_METRICS_KEYS: [&str; 7] = [
+    "schema",
+    "miner",
+    "supp",
+    "seconds",
+    "sets",
+    "transactions",
+    "counters",
+];
+
+/// Repository-size metrics (IsTa miners only).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TreeMetrics {
+    /// Largest node count the repository reached while mining.
+    pub peak_nodes: u64,
+    /// Live nodes at the end.
+    pub live_nodes: u64,
+    /// Arena slots allocated (live + free).
+    pub total_slots: u64,
+    /// Free-listed slots.
+    pub free_slots: u64,
+    /// Items in the segment store (Patricia layout; plain: one per node).
+    pub seg_items: u64,
+    /// Bytes of the segment store.
+    pub seg_bytes: u64,
+    /// Approximate resident bytes of the whole tree.
+    pub approx_bytes: u64,
+}
+
+impl TreeMetrics {
+    /// Mean items per live node (the Patricia compression ratio).
+    pub fn avg_seg_len(&self) -> f64 {
+        if self.live_nodes == 0 {
+            0.0
+        } else {
+            self.seg_items as f64 / self.live_nodes as f64
+        }
+    }
+}
+
+/// Maintenance-pass metrics (IsTa miners only).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PassMetrics {
+    /// Pruning passes run.
+    pub prune_passes: u64,
+    /// Arena compactions run.
+    pub compactions: u64,
+}
+
+/// Shard metrics (parallel miner only).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardMetrics {
+    /// Shards mined.
+    pub shards: u64,
+    /// Shards re-mined sequentially after a worker panic.
+    pub recovered: u64,
+}
+
+/// Everything one metrics document reports. Optional sections are omitted
+/// from the JSON when `None`.
+#[derive(Debug)]
+pub struct MetricsReport<'a> {
+    /// Miner registry name (`ista`, `carpenter-lists`, ...).
+    pub miner: &'a str,
+    /// Minimum support used.
+    pub supp: u32,
+    /// Wall-clock mining seconds.
+    pub seconds: f64,
+    /// Closed sets reported.
+    pub sets: u64,
+    /// Transactions mined (after reading, before coalescing).
+    pub transactions_total: u64,
+    /// Distinct weighted transactions after coalescing, when coalescing ran.
+    pub transactions_distinct: Option<u64>,
+    /// Repository size section.
+    pub tree: Option<TreeMetrics>,
+    /// Maintenance-pass section.
+    pub passes: Option<PassMetrics>,
+    /// Parallel-shard section.
+    pub shards: Option<ShardMetrics>,
+    /// Hot-loop counters; zero slots are omitted from the JSON.
+    pub counters: Counters,
+}
+
+impl<'a> MetricsReport<'a> {
+    /// A report with only the required fields populated.
+    pub fn new(miner: &'a str, supp: u32, seconds: f64, sets: u64, transactions: u64) -> Self {
+        MetricsReport {
+            miner,
+            supp,
+            seconds,
+            sets,
+            transactions_total: transactions,
+            transactions_distinct: None,
+            tree: None,
+            passes: None,
+            shards: None,
+            counters: Counters::new(),
+        }
+    }
+
+    /// Writes the document as pretty-printed JSON followed by a newline.
+    pub fn write_json(&self, w: &mut dyn Write) -> io::Result<()> {
+        writeln!(w, "{{")?;
+        writeln!(w, "  \"schema\": \"{METRICS_SCHEMA}\",")?;
+        writeln!(w, "  \"miner\": \"{}\",", escape(self.miner))?;
+        writeln!(w, "  \"supp\": {},", self.supp)?;
+        writeln!(w, "  \"seconds\": {:.6},", self.seconds)?;
+        writeln!(w, "  \"sets\": {},", self.sets)?;
+        write!(
+            w,
+            "  \"transactions\": {{\"total\": {}",
+            self.transactions_total
+        )?;
+        if let Some(d) = self.transactions_distinct {
+            write!(w, ", \"distinct\": {d}")?;
+        }
+        writeln!(w, "}},")?;
+        if let Some(t) = &self.tree {
+            writeln!(w, "  \"tree\": {{")?;
+            writeln!(w, "    \"peak_nodes\": {},", t.peak_nodes)?;
+            writeln!(w, "    \"live_nodes\": {},", t.live_nodes)?;
+            writeln!(w, "    \"total_slots\": {},", t.total_slots)?;
+            writeln!(w, "    \"free_slots\": {},", t.free_slots)?;
+            writeln!(w, "    \"seg_items\": {},", t.seg_items)?;
+            writeln!(w, "    \"seg_bytes\": {},", t.seg_bytes)?;
+            writeln!(w, "    \"avg_seg_len\": {:.3},", t.avg_seg_len())?;
+            writeln!(w, "    \"approx_bytes\": {}", t.approx_bytes)?;
+            writeln!(w, "  }},")?;
+        }
+        if let Some(p) = &self.passes {
+            writeln!(
+                w,
+                "  \"passes\": {{\"prune_passes\": {}, \"compactions\": {}}},",
+                p.prune_passes, p.compactions
+            )?;
+        }
+        if let Some(s) = &self.shards {
+            writeln!(
+                w,
+                "  \"shards\": {{\"total\": {}, \"recovered\": {}}},",
+                s.shards, s.recovered
+            )?;
+        }
+        write!(w, "  \"counters\": {{")?;
+        let mut first = true;
+        for (name, value) in self.counters.iter_nonzero() {
+            if !first {
+                write!(w, ", ")?;
+            }
+            first = false;
+            write!(w, "\"{name}\": {value}")?;
+        }
+        writeln!(w, "}}")?;
+        writeln!(w, "}}")
+    }
+
+    /// The document as a `String` (same bytes as [`write_json`](Self::write_json)).
+    pub fn to_json(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_json(&mut buf).expect("in-memory write");
+        String::from_utf8(buf).expect("metrics JSON is UTF-8")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Checks a metrics document against the pinned schema: the `schema` field
+/// must equal [`METRICS_SCHEMA`] and every key in
+/// [`REQUIRED_METRICS_KEYS`] must be present. Returns a description of the
+/// first violation. This is a structural lint, not a JSON parser — it
+/// matches the `"key":` spellings [`MetricsReport::write_json`] emits.
+pub fn validate_metrics_json(doc: &str) -> Result<(), String> {
+    let trimmed = doc.trim_start();
+    if !trimmed.starts_with('{') {
+        return Err("document does not start with '{'".into());
+    }
+    let tag = format!("\"schema\": \"{METRICS_SCHEMA}\"");
+    if !doc.contains(&tag) {
+        return Err(format!(
+            "missing or wrong schema tag (want {METRICS_SCHEMA})"
+        ));
+    }
+    for key in REQUIRED_METRICS_KEYS {
+        if !doc.contains(&format!("\"{key}\":")) {
+            return Err(format!("missing required key \"{key}\""));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::Counter;
+
+    fn sample() -> MetricsReport<'static> {
+        let mut r = MetricsReport::new("ista", 2, 1.25, 345, 1000);
+        r.transactions_distinct = Some(800);
+        r.tree = Some(TreeMetrics {
+            peak_nodes: 53406,
+            live_nodes: 1200,
+            total_slots: 1500,
+            free_slots: 300,
+            seg_items: 4800,
+            seg_bytes: 19200,
+            approx_bytes: 60000,
+        });
+        r.passes = Some(PassMetrics {
+            prune_passes: 3,
+            compactions: 1,
+        });
+        r.counters.add(Counter::SegScans, 123456);
+        r.counters.add(Counter::IsectEarlyExits, 4567);
+        r
+    }
+
+    #[test]
+    fn schema_pins_version_and_required_keys() {
+        let doc = sample().to_json();
+        assert!(doc.contains("\"schema\": \"fim-metrics/1\""));
+        for key in REQUIRED_METRICS_KEYS {
+            assert!(
+                doc.contains(&format!("\"{key}\":")),
+                "missing {key}:\n{doc}"
+            );
+        }
+        validate_metrics_json(&doc).expect("sample validates");
+    }
+
+    #[test]
+    fn optional_sections_come_and_go() {
+        let bare = MetricsReport::new("carpenter-lists", 3, 0.5, 10, 60).to_json();
+        validate_metrics_json(&bare).expect("bare report validates");
+        assert!(!bare.contains("\"tree\""));
+        assert!(!bare.contains("\"passes\""));
+        assert!(!bare.contains("\"shards\""));
+        assert!(bare.contains("\"counters\": {}"));
+        let full = sample().to_json();
+        assert!(full.contains("\"tree\""));
+        assert!(full.contains("\"avg_seg_len\": 4.000"));
+        assert!(full.contains("\"seg_scans\": 123456"));
+        assert!(full.contains("\"distinct\": 800"));
+    }
+
+    #[test]
+    fn validator_rejects_violations() {
+        assert!(validate_metrics_json("not json").is_err());
+        assert!(validate_metrics_json("{\"schema\": \"fim-metrics/0\"}").is_err());
+        let doc = sample().to_json();
+        let no_sets = doc.replace("\"sets\":", "\"fsets\":");
+        let err = validate_metrics_json(&no_sets).unwrap_err();
+        assert!(err.contains("sets"), "{err}");
+    }
+
+    #[test]
+    fn miner_name_is_escaped() {
+        let r = MetricsReport::new("we\"ird\\name", 1, 0.0, 0, 0);
+        let doc = r.to_json();
+        assert!(doc.contains("we\\\"ird\\\\name"));
+    }
+}

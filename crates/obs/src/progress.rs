@@ -1,0 +1,270 @@
+//! Heartbeat progress emission.
+//!
+//! The miners call [`ProgressEmitter::tick`] once per transaction (or
+//! search step). Ticks are strided — only every [`STRIDE`]th call reads the
+//! clock, mirroring the governor's deadline stride — and a line is only
+//! written once the configured interval has elapsed, so a 1 s heartbeat
+//! costs a handful of clock reads per second of mining.
+
+use std::io::{self, Write};
+use std::time::{Duration, Instant};
+
+/// How many ticks pass between clock reads.
+pub(crate) const STRIDE: u32 = 64;
+
+/// What a heartbeat line reports. Populated by the caller at each tick.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProgressSnapshot {
+    /// Transactions (or search steps) processed so far.
+    pub processed: u64,
+    /// Total work items when known (enables the percentage and the ETA).
+    pub total: Option<u64>,
+    /// Peak repository size in nodes so far (0 when not applicable).
+    pub peak_nodes: u64,
+    /// Current result-set size: repository nodes for IsTa (an upper bound
+    /// on closed sets), emitted sets for the enumeration miners.
+    pub sets: u64,
+}
+
+/// Rendering style for heartbeat lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProgressStyle {
+    /// One human-readable line per heartbeat.
+    Human,
+    /// One JSON object per line (`{"type":"progress",...}`).
+    JsonLines,
+}
+
+/// Interval-gated heartbeat writer.
+pub struct ProgressEmitter {
+    interval: Duration,
+    style: ProgressStyle,
+    out: Box<dyn Write + Send>,
+    started: Instant,
+    last_emit: Instant,
+    ticks_since_check: u32,
+    emitted: u64,
+}
+
+impl std::fmt::Debug for ProgressEmitter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressEmitter")
+            .field("interval", &self.interval)
+            .field("style", &self.style)
+            .field("emitted", &self.emitted)
+            .finish()
+    }
+}
+
+impl ProgressEmitter {
+    /// Heartbeat to `stderr` every `interval`.
+    pub fn stderr(interval: Duration, style: ProgressStyle) -> Self {
+        ProgressEmitter::with_writer(interval, style, Box::new(io::stderr()))
+    }
+
+    /// Heartbeat to an arbitrary writer (tests, log files).
+    pub fn with_writer(
+        interval: Duration,
+        style: ProgressStyle,
+        out: Box<dyn Write + Send>,
+    ) -> Self {
+        let now = Instant::now();
+        ProgressEmitter {
+            interval,
+            style,
+            out,
+            started: now,
+            last_emit: now,
+            ticks_since_check: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Number of heartbeat lines written so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Offers a tick; emits a line if the interval has elapsed. Strided so
+    /// the per-call cost between clock reads is one compare and one add.
+    #[inline]
+    pub fn tick(&mut self, snap: &ProgressSnapshot) {
+        self.ticks_since_check += 1;
+        if self.ticks_since_check < STRIDE {
+            return;
+        }
+        self.ticks_since_check = 0;
+        self.tick_checked(snap);
+    }
+
+    #[inline(never)]
+    fn tick_checked(&mut self, snap: &ProgressSnapshot) {
+        let now = Instant::now();
+        if now.duration_since(self.last_emit) < self.interval {
+            return;
+        }
+        self.last_emit = now;
+        self.emit(snap, now.duration_since(self.started));
+    }
+
+    /// Writes a final line regardless of the interval, so short runs still
+    /// produce at least one heartbeat.
+    pub fn finish(&mut self, snap: &ProgressSnapshot) {
+        let elapsed = self.started.elapsed();
+        self.emit(snap, elapsed);
+    }
+
+    fn emit(&mut self, snap: &ProgressSnapshot, elapsed: Duration) {
+        let eta = eta(snap, elapsed);
+        let secs = elapsed.as_secs_f64();
+        let res = match self.style {
+            ProgressStyle::Human => {
+                let pct = snap
+                    .total
+                    .filter(|&t| t > 0)
+                    .map(|t| 100.0 * snap.processed as f64 / t as f64);
+                let mut line = format!("[progress] {} tx", snap.processed);
+                if let Some(pct) = pct {
+                    line.push_str(&format!(" ({pct:.1}%)"));
+                }
+                line.push_str(&format!(
+                    ", peak {} nodes, {} sets, {:.1}s elapsed",
+                    snap.peak_nodes, snap.sets, secs
+                ));
+                match eta {
+                    Some(e) => line.push_str(&format!(", eta {:.1}s", e.as_secs_f64())),
+                    None => line.push_str(", eta ?"),
+                }
+                writeln!(self.out, "{line}")
+            }
+            ProgressStyle::JsonLines => {
+                let mut line = format!(
+                    "{{\"type\":\"progress\",\"processed\":{},\"peak_nodes\":{},\"sets\":{},\"elapsed_secs\":{:.3}",
+                    snap.processed, snap.peak_nodes, snap.sets, secs
+                );
+                if let Some(t) = snap.total {
+                    line.push_str(&format!(",\"total\":{t}"));
+                }
+                if let Some(e) = eta {
+                    line.push_str(&format!(",\"eta_secs\":{:.3}", e.as_secs_f64()));
+                }
+                line.push('}');
+                writeln!(self.out, "{line}")
+            }
+        };
+        if res.is_ok() {
+            self.emitted += 1;
+            let _ = self.out.flush();
+        }
+    }
+}
+
+/// Linear remaining-work estimate; `None` until there is enough signal.
+fn eta(snap: &ProgressSnapshot, elapsed: Duration) -> Option<Duration> {
+    let total = snap.total?;
+    if snap.processed == 0 || total <= snap.processed {
+        return None;
+    }
+    let per_item = elapsed.as_secs_f64() / snap.processed as f64;
+    Some(Duration::from_secs_f64(
+        per_item * (total - snap.processed) as f64,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// Shared sink so the test can read what the boxed writer received.
+    #[derive(Clone, Default)]
+    struct Sink(Arc<Mutex<Vec<u8>>>);
+    impl Write for Sink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+    impl Sink {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    fn snap(processed: u64, total: Option<u64>) -> ProgressSnapshot {
+        ProgressSnapshot {
+            processed,
+            total,
+            peak_nodes: 42,
+            sets: 7,
+        }
+    }
+
+    #[test]
+    fn zero_interval_emits_after_stride() {
+        let sink = Sink::default();
+        let mut p = ProgressEmitter::with_writer(
+            Duration::ZERO,
+            ProgressStyle::Human,
+            Box::new(sink.clone()),
+        );
+        for i in 0..(STRIDE as u64 * 2) {
+            p.tick(&snap(i, Some(1000)));
+        }
+        assert_eq!(p.emitted(), 2, "one line per stride at interval 0");
+        let text = sink.text();
+        assert!(text.lines().all(|l| l.starts_with("[progress] ")), "{text}");
+        assert!(text.contains("peak 42 nodes"));
+        assert!(text.contains("eta "));
+    }
+
+    #[test]
+    fn long_interval_suppresses_midrun_lines() {
+        let sink = Sink::default();
+        let mut p = ProgressEmitter::with_writer(
+            Duration::from_secs(3600),
+            ProgressStyle::Human,
+            Box::new(sink.clone()),
+        );
+        for i in 0..1000 {
+            p.tick(&snap(i, None));
+        }
+        assert_eq!(p.emitted(), 0);
+        p.finish(&snap(1000, None));
+        assert_eq!(p.emitted(), 1, "finish always emits");
+        assert!(sink.text().contains("eta ?"));
+    }
+
+    #[test]
+    fn json_lines_are_json_shaped() {
+        let sink = Sink::default();
+        let mut p = ProgressEmitter::with_writer(
+            Duration::ZERO,
+            ProgressStyle::JsonLines,
+            Box::new(sink.clone()),
+        );
+        p.finish(&snap(10, Some(100)));
+        p.finish(&snap(100, Some(100)));
+        let text = sink.text();
+        for line in text.lines() {
+            assert!(line.starts_with("{\"type\":\"progress\","), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+        assert!(text.contains("\"total\":100"));
+        assert!(text.contains("\"eta_secs\":"));
+        // completed run: no ETA on the final line
+        assert!(!text.lines().last().unwrap().contains("eta_secs"));
+    }
+
+    #[test]
+    fn eta_math() {
+        let e = eta(&snap(50, Some(100)), Duration::from_secs(5)).unwrap();
+        assert!((e.as_secs_f64() - 5.0).abs() < 1e-9);
+        assert!(eta(&snap(0, Some(100)), Duration::from_secs(5)).is_none());
+        assert!(eta(&snap(100, Some(100)), Duration::from_secs(5)).is_none());
+        assert!(eta(&snap(50, None), Duration::from_secs(5)).is_none());
+    }
+}
