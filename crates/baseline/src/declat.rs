@@ -9,83 +9,119 @@
 //! workspace targets. The recurrence between siblings `i < j` of prefix
 //! `P` is `d(P ∪ {i,j}) = d(P ∪ {j}) − d(P ∪ {i})`; only the first level
 //! computes `d(ij) = t(i) − t(j)` from real tid lists.
+//!
+//! The diffsets run behind the same [`TidSetKernel`] as Eclat's tid sets:
+//! linear-merge lists (`declat`), galloping lists (`declat-gallop`), or
+//! packed bitsets with word-ANDNOT (`declat-bitset`), all output-identical.
 
 use crate::filter::filter_closed;
+use crate::kernel::{with_kernel, TidSetKernel};
 use fim_core::{
-    ClosedMiner, FoundSet, Item, ItemSet, MiningResult, RecodedDatabase, Tid, TidLists,
+    ClosedMiner, FoundSet, Item, ItemSet, MiningResult, RecodedDatabase, Representation, TidLists,
 };
+use fim_obs::{Counter, Counters};
+
+pub use crate::kernel::diff_into;
 
 /// The diffset-based Eclat miner (closed output via subsumption filter).
 #[derive(Clone, Copy, Debug, Default)]
-pub struct DEclatMiner;
+pub struct DEclatMiner {
+    /// Physical diffset layout driving the lattice walk. Output-invariant.
+    pub rep: Representation,
+}
 
-/// `out = a − b` on strictly ascending slices.
-fn diff_into(a: &[Tid], b: &[Tid], out: &mut Vec<Tid>) {
-    out.clear();
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() {
-        if j == b.len() || a[i] < b[j] {
-            out.push(a[i]);
-            i += 1;
-        } else if a[i] == b[j] {
-            i += 1;
-            j += 1;
-        } else {
-            j += 1;
-        }
+impl DEclatMiner {
+    /// A miner with an explicit diffset representation.
+    pub fn with_rep(rep: Representation) -> Self {
+        DEclatMiner { rep }
+    }
+
+    /// Like [`ClosedMiner::mine`] but also returns the search counters
+    /// (lattice nodes, diffset merges, and the kernel accounting of the
+    /// selected representation).
+    pub fn mine_with_stats(&self, db: &RecodedDatabase, minsupp: u32) -> (MiningResult, Counters) {
+        let minsupp = minsupp.max(1);
+        with_kernel!(self.rep, db.transactions().len() as u32, |k| drive(
+            &k, db, minsupp
+        ))
     }
 }
 
 struct Ctx {
     minsupp: u32,
     candidates: Vec<FoundSet>,
+    counters: Counters,
 }
 
 impl ClosedMiner for DEclatMiner {
     fn name(&self) -> &'static str {
-        "declat"
+        match self.rep {
+            Representation::Scalar => "declat",
+            Representation::Bitset => "declat-bitset",
+            Representation::Gallop => "declat-gallop",
+        }
     }
 
     fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult {
-        let minsupp = minsupp.max(1);
-        let lists = TidLists::from_database(db);
-        let mut ctx = Ctx {
-            minsupp,
-            candidates: Vec::new(),
-        };
-        let frequent: Vec<Item> = (0..db.num_items())
-            .filter(|&i| lists.item_support(i) >= minsupp)
-            .collect();
-        // first level: tid lists; children switch to diffsets
-        let mut buf: Vec<Tid> = Vec::new();
-        for (idx, &i) in frequent.iter().enumerate() {
-            let t_i = lists.list(i);
-            let supp_i = t_i.len() as u32;
-            let mut next: Vec<(Item, Vec<Tid>, u32)> = Vec::new();
-            let mut perfect: Vec<Item> = Vec::new();
-            for &j in &frequent[idx + 1..] {
-                diff_into(t_i, lists.list(j), &mut buf);
-                let supp_ij = supp_i - buf.len() as u32;
-                if supp_ij == supp_i {
-                    perfect.push(j);
-                } else if supp_ij >= ctx.minsupp {
-                    next.push((j, buf.clone(), supp_ij));
-                }
-            }
-            emit_and_recurse(&mut ctx, &[i], supp_i, perfect, next);
-        }
-        filter_closed(ctx.candidates)
+        self.mine_with_stats(db, minsupp).0
     }
+}
+
+/// First level (tid lists → first diffsets) plus the diffset recursion,
+/// monomorphized per kernel.
+fn drive<K: TidSetKernel>(
+    kernel: &K,
+    db: &RecodedDatabase,
+    minsupp: u32,
+) -> (MiningResult, Counters) {
+    let lists = TidLists::from_database(db);
+    let mut ctx = Ctx {
+        minsupp,
+        candidates: Vec::new(),
+        counters: Counters::new(),
+    };
+    let frequent: Vec<Item> = (0..db.num_items())
+        .filter(|&i| lists.item_support(i) >= minsupp)
+        .collect();
+    // first level: tid lists; children switch to diffsets
+    let sets: Vec<K::Set> = frequent
+        .iter()
+        .map(|&i| kernel.pack_list(lists.list(i)))
+        .collect();
+    let mut buf = kernel.empty();
+    for (idx, &i) in frequent.iter().enumerate() {
+        ctx.counters.bump(Counter::SearchSteps);
+        let supp_i = lists.item_support(i);
+        let mut next: Vec<(Item, K::Set, u32)> = Vec::new();
+        let mut perfect: Vec<Item> = Vec::new();
+        for (j_idx, &j) in frequent.iter().enumerate().skip(idx + 1) {
+            // d(ij) = t(i) − t(j)
+            let d = kernel.diff(&sets[idx], &sets[j_idx], &mut buf, &mut ctx.counters);
+            let supp_ij = supp_i - d;
+            if supp_ij == supp_i {
+                ctx.counters.bump(Counter::PerfectExtensions);
+                perfect.push(j);
+            } else if supp_ij >= ctx.minsupp {
+                next.push((j, buf.clone(), supp_ij));
+            }
+        }
+        emit_and_recurse(&mut ctx, kernel, &[i], supp_i, perfect, next);
+    }
+    (
+        filter_closed(std::mem::take(&mut ctx.candidates)),
+        ctx.counters,
+    )
 }
 
 /// Emits the perfect-extension-collapsed candidate for `prefix` and
 /// recurses over the diffset frontier.
-fn emit_and_recurse(
+fn emit_and_recurse<K: TidSetKernel>(
     ctx: &mut Ctx,
+    kernel: &K,
     prefix: &[Item],
     prefix_supp: u32,
     perfect: Vec<Item>,
-    frontier: Vec<(Item, Vec<Tid>, u32)>,
+    frontier: Vec<(Item, K::Set, u32)>,
 ) {
     let mut maximal: Vec<Item> = prefix.to_vec();
     maximal.extend_from_slice(&perfect);
@@ -95,21 +131,28 @@ fn emit_and_recurse(
         return;
     }
     maximal.sort_unstable();
-    recurse(ctx, &maximal, &frontier);
+    recurse(ctx, kernel, &maximal, &frontier);
 }
 
 /// Diffset recursion: `frontier` holds `(item, diffset w.r.t. prefix,
 /// support)` triples in ascending item order.
-fn recurse(ctx: &mut Ctx, prefix: &[Item], frontier: &[(Item, Vec<Tid>, u32)]) {
-    let mut buf: Vec<Tid> = Vec::new();
+fn recurse<K: TidSetKernel>(
+    ctx: &mut Ctx,
+    kernel: &K,
+    prefix: &[Item],
+    frontier: &[(Item, K::Set, u32)],
+) {
+    let mut buf = kernel.empty();
     for (idx, (i, d_i, supp_i)) in frontier.iter().enumerate() {
-        let mut next: Vec<(Item, Vec<Tid>, u32)> = Vec::new();
+        ctx.counters.bump(Counter::SearchSteps);
+        let mut next: Vec<(Item, K::Set, u32)> = Vec::new();
         let mut perfect: Vec<Item> = Vec::new();
         for (j, d_j, _) in &frontier[idx + 1..] {
             // d(P ∪ {i,j}) = d(P ∪ {j}) − d(P ∪ {i})
-            diff_into(d_j, d_i, &mut buf);
-            let supp_ij = supp_i - buf.len() as u32;
+            let d = kernel.diff(d_j, d_i, &mut buf, &mut ctx.counters);
+            let supp_ij = supp_i - d;
             if supp_ij == *supp_i {
+                ctx.counters.bump(Counter::PerfectExtensions);
                 perfect.push(*j);
             } else if supp_ij >= ctx.minsupp {
                 next.push((*j, buf.clone(), supp_ij));
@@ -117,7 +160,7 @@ fn recurse(ctx: &mut Ctx, prefix: &[Item], frontier: &[(Item, Vec<Tid>, u32)]) {
         }
         let mut new_prefix = prefix.to_vec();
         new_prefix.push(*i);
-        emit_and_recurse(ctx, &new_prefix, *supp_i, perfect, next);
+        emit_and_recurse(ctx, kernel, &new_prefix, *supp_i, perfect, next);
     }
 }
 
@@ -148,8 +191,16 @@ mod tests {
         let db = paper_db();
         for minsupp in 1..=8 {
             let want = mine_reference(&db, minsupp);
-            let got = DEclatMiner.mine(&db, minsupp).canonicalized();
-            assert_eq!(got, want, "minsupp={minsupp}");
+            for rep in [
+                Representation::Scalar,
+                Representation::Bitset,
+                Representation::Gallop,
+            ] {
+                let got = DEclatMiner::with_rep(rep)
+                    .mine(&db, minsupp)
+                    .canonicalized();
+                assert_eq!(got, want, "rep={rep} minsupp={minsupp}");
+            }
         }
     }
 
@@ -166,8 +217,8 @@ mod tests {
             5,
         );
         for minsupp in 1..=5 {
-            let a = DEclatMiner.mine(&db, minsupp).canonicalized();
-            let b = EclatMiner.mine(&db, minsupp).canonicalized();
+            let a = DEclatMiner::default().mine(&db, minsupp).canonicalized();
+            let b = EclatMiner::default().mine(&db, minsupp).canonicalized();
             assert_eq!(a, b, "minsupp={minsupp}");
         }
     }
@@ -184,23 +235,51 @@ mod tests {
     }
 
     #[test]
+    fn bitset_diffsets_count_words() {
+        let db = paper_db();
+        let (_, scalar) = DEclatMiner::default().mine_with_stats(&db, 1);
+        let (_, bitset) = DEclatMiner::with_rep(Representation::Bitset).mine_with_stats(&db, 1);
+        assert_eq!(scalar.get(Counter::WordsAnded), 0);
+        assert!(bitset.get(Counter::WordsAnded) > 0);
+        assert_eq!(
+            scalar.get(Counter::TidIntersections),
+            bitset.get(Counter::TidIntersections),
+            "same lattice walk, same number of diffset merges"
+        );
+    }
+
+    #[test]
     fn dense_database_small_diffsets() {
         // on a dense database the support bookkeeping must stay exact
         let db = RecodedDatabase::from_dense(vec![(0..12).collect::<Vec<u32>>(); 6], 12);
-        let got = DEclatMiner.mine(&db, 3).canonicalized();
-        assert_eq!(got.len(), 1);
-        assert_eq!(got.sets[0].support, 6);
-        assert_eq!(got.sets[0].items.len(), 12);
+        for rep in [
+            Representation::Scalar,
+            Representation::Bitset,
+            Representation::Gallop,
+        ] {
+            let got = DEclatMiner::with_rep(rep).mine(&db, 3).canonicalized();
+            assert_eq!(got.len(), 1, "rep={rep}");
+            assert_eq!(got.sets[0].support, 6);
+            assert_eq!(got.sets[0].items.len(), 12);
+        }
     }
 
     #[test]
     fn empty_database() {
         let db = RecodedDatabase::from_dense(vec![], 3);
-        assert!(DEclatMiner.mine(&db, 1).is_empty());
+        assert!(DEclatMiner::default().mine(&db, 1).is_empty());
     }
 
     #[test]
     fn miner_name() {
-        assert_eq!(DEclatMiner.name(), "declat");
+        assert_eq!(DEclatMiner::default().name(), "declat");
+        assert_eq!(
+            DEclatMiner::with_rep(Representation::Bitset).name(),
+            "declat-bitset"
+        );
+        assert_eq!(
+            DEclatMiner::with_rep(Representation::Gallop).name(),
+            "declat-gallop"
+        );
     }
 }

@@ -8,29 +8,49 @@
 //! all `2^|E|` supersets they span share the prefix's support, and only the
 //! maximal one (prefix ∪ all perfect extensions) can be closed, so the
 //! expansion is never materialized.
+//!
+//! The tid sets are carried behind a [`TidSetKernel`], so the same search
+//! runs on sorted lists with linear merges (`eclat`), galloping merges
+//! (`eclat-gallop`), or packed bitsets with word-AND + popcount
+//! (`eclat-bitset`) — selected by the [`Representation`] field, all
+//! output-identical.
 
 use crate::filter::filter_closed;
+use crate::kernel::{with_kernel, TidSetKernel};
 use fim_core::{
-    checkpoint, itemset::intersect_into, Budget, ClosedMiner, FoundSet, Governor, Item, ItemSet,
-    MineOutcome, MiningResult, Progress, RecodedDatabase, Tid, TidLists, TripReason,
+    checkpoint, BitCover, Budget, ClosedMiner, FoundSet, Governor, Item, ItemSet, MineOutcome,
+    MiningResult, Progress, RecodedDatabase, Representation, TidLists, TripReason,
 };
 use fim_obs::{Counter, Counters};
 
 /// The Eclat-based closed-set miner (frequent enumeration + closed filter).
 #[derive(Clone, Copy, Debug, Default)]
-pub struct EclatMiner;
+pub struct EclatMiner {
+    /// Physical tid-set layout driving the lattice walk. Output-invariant.
+    pub rep: Representation,
+}
 
-struct Ctx<'a> {
+impl EclatMiner {
+    /// A miner with an explicit tid-set representation.
+    pub fn with_rep(rep: Representation) -> Self {
+        EclatMiner { rep }
+    }
+}
+
+struct Ctx {
     minsupp: u32,
     candidates: Vec<FoundSet>,
-    lists: &'a TidLists,
     gov: Option<Governor>,
     counters: Counters,
 }
 
 impl ClosedMiner for EclatMiner {
     fn name(&self) -> &'static str {
-        "eclat"
+        match self.rep {
+            Representation::Scalar => "eclat",
+            Representation::Bitset => "eclat-bitset",
+            Representation::Gallop => "eclat-gallop",
+        }
     }
 
     fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult {
@@ -56,24 +76,15 @@ impl ClosedMiner for EclatMiner {
                 },
             };
         }
-        let lists = TidLists::from_database(db);
-        let mut ctx = Ctx {
-            minsupp,
-            candidates: Vec::new(),
-            lists: &lists,
-            gov,
-            counters: Counters::new(),
-        };
-        let frontier: Vec<(Item, Vec<Tid>)> = (0..db.num_items())
-            .filter(|&i| lists.item_support(i) >= minsupp)
-            .map(|i| (i, lists.list(i).to_vec()))
-            .collect();
-        match recurse(&mut ctx, &[], &frontier) {
-            Ok(()) => MineOutcome::complete(filter_closed(ctx.candidates)),
-            Err(reason) => {
-                let processed = ctx.gov.as_ref().map_or(0, Governor::processed);
+        let n = db.transactions().len() as u32;
+        let (candidates, gov, tripped, _) =
+            with_kernel!(self.rep, n, |k| drive(&k, db, minsupp, gov));
+        match tripped {
+            None => MineOutcome::complete(filter_closed(candidates)),
+            Some(reason) => {
+                let processed = gov.as_ref().map_or(0, Governor::processed);
                 MineOutcome::Interrupted {
-                    partial: verified_closed(db, ctx.candidates),
+                    partial: verified_closed(db, candidates),
                     reason,
                     progress: Progress {
                         processed,
@@ -87,33 +98,56 @@ impl ClosedMiner for EclatMiner {
 
 impl EclatMiner {
     /// Like [`ClosedMiner::mine`] but also returns the search counters
-    /// (lattice nodes visited, tid-list intersections, perfect extensions).
+    /// (lattice nodes visited, tid-list intersections, perfect extensions,
+    /// and the kernel accounting of the selected representation).
     pub fn mine_with_stats(&self, db: &RecodedDatabase, minsupp: u32) -> (MiningResult, Counters) {
         let minsupp = minsupp.max(1);
-        let lists = TidLists::from_database(db);
-        let mut ctx = Ctx {
-            minsupp,
-            candidates: Vec::new(),
-            lists: &lists,
-            gov: None,
-            counters: Counters::new(),
-        };
-        // items with their full tid lists, ascending item order
-        let frontier: Vec<(Item, Vec<Tid>)> = (0..db.num_items())
-            .filter(|&i| lists.item_support(i) >= minsupp)
-            .map(|i| (i, lists.list(i).to_vec()))
-            .collect();
-        let ungoverned = recurse(&mut ctx, &[], &frontier);
-        debug_assert!(ungoverned.is_ok());
-        (filter_closed(ctx.candidates), ctx.counters)
+        let n = db.transactions().len() as u32;
+        let (candidates, _, tripped, counters) =
+            with_kernel!(self.rep, n, |k| drive(&k, db, minsupp, None));
+        debug_assert!(tripped.is_none());
+        (filter_closed(candidates), counters)
     }
+}
+
+/// Builds the first frontier and runs the lattice walk with one kernel.
+/// Returns the raw candidates, the governor, the trip reason (if any), and
+/// the counters.
+fn drive<K: TidSetKernel>(
+    kernel: &K,
+    db: &RecodedDatabase,
+    minsupp: u32,
+    gov: Option<Governor>,
+) -> (
+    Vec<FoundSet>,
+    Option<Governor>,
+    Option<TripReason>,
+    Counters,
+) {
+    let lists = TidLists::from_database(db);
+    let mut ctx = Ctx {
+        minsupp,
+        candidates: Vec::new(),
+        gov,
+        counters: Counters::new(),
+    };
+    // items with their full tid sets, ascending item order
+    let frontier: Vec<(Item, K::Set)> = (0..db.num_items())
+        .filter(|&i| lists.item_support(i) >= minsupp)
+        .map(|i| (i, kernel.pack_list(lists.list(i))))
+        .collect();
+    let tripped = recurse(&mut ctx, kernel, &[], &frontier).err();
+    (ctx.candidates, ctx.gov, tripped, ctx.counters)
 }
 
 /// Keeps only the candidates that are closed in the full database: a set
 /// survives iff no single-item extension has equal support. Used on the
 /// interrupted path, where the candidate collection is incomplete and the
-/// collection-internal [`filter_closed`] could keep non-closed sets.
+/// collection-internal [`filter_closed`] could keep non-closed sets. The
+/// per-extension support probes run on a transposed [`BitCover`] (one
+/// word-AND pass per extension) instead of rescanning the horizontal rows.
 fn verified_closed(db: &RecodedDatabase, candidates: Vec<FoundSet>) -> MiningResult {
+    let bits = BitCover::from_database(db);
     let mut out = MiningResult::new();
     let mut seen = std::collections::HashSet::new();
     for fs in candidates {
@@ -125,7 +159,7 @@ fn verified_closed(db: &RecodedDatabase, candidates: Vec<FoundSet>) -> MiningRes
             .all(|i| {
                 let mut ext = fs.items.clone();
                 ext.insert(i);
-                db.support(&ext) < fs.support
+                bits.support(&ext) < fs.support
             });
         if closed {
             out.sets.push(fs);
@@ -134,69 +168,65 @@ fn verified_closed(db: &RecodedDatabase, candidates: Vec<FoundSet>) -> MiningRes
     out
 }
 
-/// Processes the conditional database `frontier` (items with their tid lists
+/// Processes the conditional database `frontier` (items with their tid sets
 /// restricted to transactions containing `prefix`).
-fn recurse(
-    ctx: &mut Ctx<'_>,
+fn recurse<K: TidSetKernel>(
+    ctx: &mut Ctx,
+    kernel: &K,
     prefix: &[Item],
-    frontier: &[(Item, Vec<Tid>)],
+    frontier: &[(Item, K::Set)],
 ) -> Result<(), TripReason> {
-    let mut buf: Vec<Tid> = Vec::new();
+    let mut buf = kernel.empty();
     for (idx, (item, tids)) in frontier.iter().enumerate() {
         // one lattice node per frontier element: the natural checkpoint
         if let Some(reason) = checkpoint!(ctx.gov, 0, 0, ctx.candidates.len()) {
             return Err(reason);
         }
         ctx.counters.bump(Counter::SearchSteps);
-        // the item set prefix ∪ {item} is frequent with support |tids|
+        let supp = kernel.support(tids);
+        // the item set prefix ∪ {item} is frequent with support `supp`
         let mut items: Vec<Item> = prefix.to_vec();
         items.push(*item);
 
         // build the conditional frontier and collect perfect extensions
-        let mut next: Vec<(Item, Vec<Tid>)> = Vec::new();
+        let mut next: Vec<(Item, K::Set)> = Vec::new();
         let mut perfect: Vec<Item> = Vec::new();
         for (other, other_tids) in &frontier[idx + 1..] {
-            ctx.counters.bump(Counter::TidIntersections);
-            intersect_into(tids, other_tids, &mut buf);
-            if buf.len() == tids.len() {
+            let s = kernel.intersect(tids, other_tids, &mut buf, &mut ctx.counters);
+            if s == supp {
                 ctx.counters.bump(Counter::PerfectExtensions);
                 perfect.push(*other);
-            } else if buf.len() >= ctx.minsupp as usize {
+            } else if s >= ctx.minsupp {
                 next.push((*other, buf.clone()));
             }
         }
 
         if perfect.is_empty() {
-            ctx.candidates.push(FoundSet::new(
-                ItemSet::new(items.clone()),
-                tids.len() as u32,
-            ));
+            ctx.candidates
+                .push(FoundSet::new(ItemSet::new(items.clone()), supp));
             if let Some(g) = ctx.gov.as_mut() {
                 g.add_processed(1);
             }
             if !next.is_empty() {
-                recurse(ctx, &items, &next)?;
+                recurse(ctx, kernel, &items, &next)?;
             }
         } else {
             // only prefix ∪ {item} ∪ perfect can be closed among the 2^|E|
             // same-support supersets
             let mut maximal = items.clone();
             maximal.extend_from_slice(&perfect);
-            ctx.candidates.push(FoundSet::new(
-                ItemSet::new(maximal.clone()),
-                tids.len() as u32,
-            ));
+            ctx.candidates
+                .push(FoundSet::new(ItemSet::new(maximal.clone()), supp));
             if let Some(g) = ctx.gov.as_mut() {
                 g.add_processed(1);
             }
             if !next.is_empty() {
                 // the perfect extensions belong to every set mined below
                 maximal.sort_unstable();
-                recurse(ctx, &maximal, &next)?;
+                recurse(ctx, kernel, &maximal, &next)?;
             }
         }
     }
-    let _ = &ctx.lists; // lists kept for potential diffsets extension
     Ok(())
 }
 
@@ -226,8 +256,14 @@ mod tests {
         let db = paper_db();
         for minsupp in 1..=8 {
             let want = mine_reference(&db, minsupp);
-            let got = EclatMiner.mine(&db, minsupp).canonicalized();
-            assert_eq!(got, want, "minsupp={minsupp}");
+            for rep in [
+                Representation::Scalar,
+                Representation::Bitset,
+                Representation::Gallop,
+            ] {
+                let got = EclatMiner::with_rep(rep).mine(&db, minsupp).canonicalized();
+                assert_eq!(got, want, "rep={rep} minsupp={minsupp}");
+            }
         }
     }
 
@@ -236,29 +272,73 @@ mod tests {
         // every transaction contains {0,1}: perfect extension chain
         let db = RecodedDatabase::from_dense(vec![vec![0, 1, 2], vec![0, 1, 2], vec![0, 1, 3]], 4);
         let want = mine_reference(&db, 1);
-        let got = EclatMiner.mine(&db, 1).canonicalized();
+        let got = EclatMiner::default().mine(&db, 1).canonicalized();
         assert_eq!(got, want);
     }
 
     #[test]
     fn empty_database() {
         let db = RecodedDatabase::from_dense(vec![], 3);
-        assert!(EclatMiner.mine(&db, 1).is_empty());
+        for rep in [
+            Representation::Scalar,
+            Representation::Bitset,
+            Representation::Gallop,
+        ] {
+            assert!(EclatMiner::with_rep(rep).mine(&db, 1).is_empty());
+        }
     }
 
     #[test]
     fn miner_name() {
-        assert_eq!(EclatMiner.name(), "eclat");
+        assert_eq!(EclatMiner::default().name(), "eclat");
+        assert_eq!(
+            EclatMiner::with_rep(Representation::Bitset).name(),
+            "eclat-bitset"
+        );
+        assert_eq!(
+            EclatMiner::with_rep(Representation::Gallop).name(),
+            "eclat-gallop"
+        );
+    }
+
+    #[test]
+    fn kernel_counters_reflect_the_selected_layout() {
+        let db = paper_db();
+        let (_, scalar) = EclatMiner::default().mine_with_stats(&db, 1);
+        let (_, bitset) = EclatMiner::with_rep(Representation::Bitset).mine_with_stats(&db, 1);
+        let (_, gallop) = EclatMiner::with_rep(Representation::Gallop).mine_with_stats(&db, 1);
+        assert_eq!(scalar.get(Counter::WordsAnded), 0);
+        assert_eq!(scalar.get(Counter::GallopProbes), 0);
+        assert!(scalar.get(Counter::TidIntersections) > 0);
+        assert!(bitset.get(Counter::WordsAnded) > 0);
+        assert!(bitset.get(Counter::PopcountCalls) > 0);
+        assert!(gallop.get(Counter::GallopProbes) > 0);
+        // the walk itself is identical: same lattice nodes, same merges
+        assert_eq!(
+            scalar.get(Counter::TidIntersections),
+            bitset.get(Counter::TidIntersections)
+        );
+        assert_eq!(
+            scalar.get(Counter::SearchSteps),
+            gallop.get(Counter::SearchSteps)
+        );
     }
 
     #[test]
     fn governed_unlimited_matches_ungoverned() {
         let db = paper_db();
         for minsupp in 1..=4 {
-            let want = EclatMiner.mine(&db, minsupp).canonicalized();
-            let outcome = EclatMiner.mine_governed(&db, minsupp, &fim_core::Budget::unlimited());
-            assert!(!outcome.is_interrupted());
-            assert_eq!(outcome.into_result().canonicalized(), want);
+            for rep in [
+                Representation::Scalar,
+                Representation::Bitset,
+                Representation::Gallop,
+            ] {
+                let miner = EclatMiner::with_rep(rep);
+                let want = miner.mine(&db, minsupp).canonicalized();
+                let outcome = miner.mine_governed(&db, minsupp, &fim_core::Budget::unlimited());
+                assert!(!outcome.is_interrupted());
+                assert_eq!(outcome.into_result().canonicalized(), want, "rep={rep}");
+            }
         }
     }
 
@@ -268,7 +348,7 @@ mod tests {
         let full = mine_reference(&db, 1);
         for cap in 0..6 {
             let budget = fim_core::Budget::unlimited().with_max_closed_sets(cap);
-            let outcome = EclatMiner.mine_governed(&db, 1, &budget);
+            let outcome = EclatMiner::default().mine_governed(&db, 1, &budget);
             match outcome {
                 fim_core::MineOutcome::Interrupted {
                     partial, reason, ..
@@ -293,8 +373,11 @@ mod tests {
         let db = paper_db();
         let token = fim_core::CancelToken::new();
         token.cancel();
-        let outcome =
-            EclatMiner.mine_governed(&db, 1, &fim_core::Budget::unlimited().with_cancel(token));
+        let outcome = EclatMiner::default().mine_governed(
+            &db,
+            1,
+            &fim_core::Budget::unlimited().with_cancel(token),
+        );
         assert!(outcome.is_interrupted());
         assert!(outcome.result().is_empty());
     }

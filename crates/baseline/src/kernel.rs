@@ -1,0 +1,279 @@
+//! Density-adaptive tid-set kernels shared by the vertical miners.
+//!
+//! [`EclatMiner`](crate::EclatMiner) and [`DEclatMiner`](crate::DEclatMiner)
+//! both walk the item set lattice carrying one transaction-id set per
+//! frontier item; the only operations they need are "how many transactions"
+//! (support), set intersection, and set difference. [`TidSetKernel`]
+//! abstracts those three so one recursion serves three physical layouts:
+//!
+//! * [`ScalarKernel`] — sorted `Vec<Tid>` with linear merges (the classic
+//!   layout, and the baseline every other kernel must match exactly).
+//! * [`GallopKernel`] — sorted `Vec<Tid>` with galloping (exponential
+//!   search) merges, which win when one operand is much shorter than the
+//!   other — the sparse-database regime.
+//! * [`BitsetKernel`] — packed [`WordSet`] bitsets with word-AND/ANDNOT
+//!   plus popcount, which win when tid sets cover a sizable fraction of a
+//!   small transaction universe — the dense few-transaction regime this
+//!   workspace targets.
+//!
+//! All kernels are output-invariant: the cross-kernel proptest suite pins
+//! byte-identical [`fim_core::MiningResult`]s. The kernels account their
+//! work in the shared [`Counters`] registry (`tid_intersections` for every
+//! merge regardless of layout, plus `words_anded`/`popcount_calls` for the
+//! bitset layout and `gallop_probes` for the galloping one), which is what
+//! the `kernel` section of the metrics JSON reports.
+
+use fim_core::{gallop_advance, gallop_intersect_into, itemset::intersect_into, Tid, WordSet};
+use fim_obs::{Counter, Counters};
+
+/// The tid-set operations a vertical lattice walk needs, monomorphized per
+/// physical layout.
+pub trait TidSetKernel {
+    /// The physical transaction-id set.
+    type Set: Clone;
+
+    /// Builds a set from a strictly ascending tid list.
+    fn pack_list(&self, tids: &[Tid]) -> Self::Set;
+
+    /// An empty set (reused as the merge scratch buffer).
+    fn empty(&self) -> Self::Set;
+
+    /// Number of transactions in the set.
+    fn support(&self, s: &Self::Set) -> u32;
+
+    /// `buf = a ∩ b`; returns the support of the result.
+    fn intersect(&self, a: &Self::Set, b: &Self::Set, buf: &mut Self::Set, c: &mut Counters)
+        -> u32;
+
+    /// `buf = a − b`; returns the size of the result (for the diffset
+    /// recurrence `supp(P ∪ {i,j}) = supp(P ∪ {i}) − |d(P ∪ {i,j})|`).
+    fn diff(&self, a: &Self::Set, b: &Self::Set, buf: &mut Self::Set, c: &mut Counters) -> u32;
+}
+
+/// `out = a − b` on strictly ascending slices (linear merge).
+pub fn diff_into(a: &[Tid], b: &[Tid], out: &mut Vec<Tid>) {
+    out.clear();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() {
+        if j == b.len() || a[i] < b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else if a[i] == b[j] {
+            i += 1;
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+}
+
+/// `out = a − b` with galloping cursor advances through `b`; returns the
+/// probe count. Output-identical to [`diff_into`].
+pub fn gallop_diff_into(a: &[Tid], b: &[Tid], out: &mut Vec<Tid>) -> u64 {
+    out.clear();
+    let mut probes = 0u64;
+    let mut j = 0usize;
+    for &x in a {
+        let (nj, p) = gallop_advance(b, j, x);
+        probes += p;
+        j = nj;
+        if j == b.len() || b[j] != x {
+            out.push(x);
+        }
+    }
+    probes
+}
+
+/// Sorted `Vec<Tid>` with linear merges.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScalarKernel;
+
+impl TidSetKernel for ScalarKernel {
+    type Set = Vec<Tid>;
+
+    fn pack_list(&self, tids: &[Tid]) -> Vec<Tid> {
+        tids.to_vec()
+    }
+
+    fn empty(&self) -> Vec<Tid> {
+        Vec::new()
+    }
+
+    fn support(&self, s: &Vec<Tid>) -> u32 {
+        s.len() as u32
+    }
+
+    fn intersect(&self, a: &Vec<Tid>, b: &Vec<Tid>, buf: &mut Vec<Tid>, c: &mut Counters) -> u32 {
+        c.bump(Counter::TidIntersections);
+        intersect_into(a, b, buf);
+        buf.len() as u32
+    }
+
+    fn diff(&self, a: &Vec<Tid>, b: &Vec<Tid>, buf: &mut Vec<Tid>, c: &mut Counters) -> u32 {
+        c.bump(Counter::TidIntersections);
+        diff_into(a, b, buf);
+        buf.len() as u32
+    }
+}
+
+/// Sorted `Vec<Tid>` with galloping merges.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GallopKernel;
+
+impl TidSetKernel for GallopKernel {
+    type Set = Vec<Tid>;
+
+    fn pack_list(&self, tids: &[Tid]) -> Vec<Tid> {
+        tids.to_vec()
+    }
+
+    fn empty(&self) -> Vec<Tid> {
+        Vec::new()
+    }
+
+    fn support(&self, s: &Vec<Tid>) -> u32 {
+        s.len() as u32
+    }
+
+    fn intersect(&self, a: &Vec<Tid>, b: &Vec<Tid>, buf: &mut Vec<Tid>, c: &mut Counters) -> u32 {
+        c.bump(Counter::TidIntersections);
+        let probes = gallop_intersect_into(a, b, buf);
+        c.add(Counter::GallopProbes, probes);
+        buf.len() as u32
+    }
+
+    fn diff(&self, a: &Vec<Tid>, b: &Vec<Tid>, buf: &mut Vec<Tid>, c: &mut Counters) -> u32 {
+        c.bump(Counter::TidIntersections);
+        let probes = gallop_diff_into(a, b, buf);
+        c.add(Counter::GallopProbes, probes);
+        buf.len() as u32
+    }
+}
+
+/// Packed [`WordSet`] bitsets over a fixed transaction universe.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BitsetKernel {
+    /// Number of transactions (the bitset universe).
+    pub universe: u32,
+}
+
+impl BitsetKernel {
+    /// Per-call accounting shared by [`Self::intersect`] and [`Self::diff`]:
+    /// one fused AND(-NOT)+popcount pass over the whole word array.
+    fn account(&self, buf: &WordSet, c: &mut Counters) {
+        c.bump(Counter::TidIntersections);
+        c.add(Counter::WordsAnded, buf.words().len() as u64);
+        c.bump(Counter::PopcountCalls);
+    }
+}
+
+impl TidSetKernel for BitsetKernel {
+    type Set = WordSet;
+
+    fn pack_list(&self, tids: &[Tid]) -> WordSet {
+        WordSet::from_sorted(tids, self.universe as usize)
+    }
+
+    fn empty(&self) -> WordSet {
+        WordSet::new(self.universe as usize)
+    }
+
+    fn support(&self, s: &WordSet) -> u32 {
+        s.count()
+    }
+
+    fn intersect(&self, a: &WordSet, b: &WordSet, buf: &mut WordSet, c: &mut Counters) -> u32 {
+        buf.clone_from(a);
+        let supp = buf.and_in_place(b);
+        self.account(buf, c);
+        supp
+    }
+
+    fn diff(&self, a: &WordSet, b: &WordSet, buf: &mut WordSet, c: &mut Counters) -> u32 {
+        buf.clone_from(a);
+        let size = buf.andnot_in_place(b);
+        self.account(buf, c);
+        size
+    }
+}
+
+/// Runs `$body` with `$k` bound to the kernel matching
+/// `$rep: fim_core::Representation` (each arm monomorphizes separately).
+macro_rules! with_kernel {
+    ($rep:expr, $n:expr, |$k:ident| $body:expr) => {
+        match $rep {
+            fim_core::Representation::Bitset => {
+                let $k = $crate::kernel::BitsetKernel { universe: $n };
+                $body
+            }
+            fim_core::Representation::Gallop => {
+                let $k = $crate::kernel::GallopKernel;
+                $body
+            }
+            fim_core::Representation::Scalar => {
+                let $k = $crate::kernel::ScalarKernel;
+                $body
+            }
+        }
+    };
+}
+pub(crate) use with_kernel;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: &[Tid] = &[0, 3, 5, 63, 64, 65, 100];
+    const B: &[Tid] = &[3, 5, 64, 99, 100, 101];
+
+    fn check_kernel<K: TidSetKernel>(kernel: &K) {
+        let mut c = Counters::new();
+        let a = kernel.pack_list(A);
+        let b = kernel.pack_list(B);
+        assert_eq!(kernel.support(&a), 7);
+        let mut buf = kernel.empty();
+        assert_eq!(kernel.intersect(&a, &b, &mut buf, &mut c), 4); // 3,5,64,100
+        assert_eq!(kernel.diff(&a, &b, &mut buf, &mut c), 3); // 0,63,65
+        assert_eq!(kernel.diff(&b, &a, &mut buf, &mut c), 2); // 99,101
+        assert!(c.get(Counter::TidIntersections) == 3);
+    }
+
+    #[test]
+    fn all_kernels_agree_on_the_same_lists() {
+        check_kernel(&ScalarKernel);
+        check_kernel(&GallopKernel);
+        check_kernel(&BitsetKernel { universe: 102 });
+    }
+
+    #[test]
+    fn gallop_diff_matches_linear_diff() {
+        let mut lin = Vec::new();
+        let mut gal = Vec::new();
+        let cases: &[(&[Tid], &[Tid])] = &[
+            (A, B),
+            (B, A),
+            (&[], B),
+            (A, &[]),
+            (&[1, 2, 3], &[1, 2, 3]),
+            (&[0, 200], &[1, 2, 3, 4, 5, 6, 7, 8, 9, 100, 150, 200]),
+        ];
+        for (a, b) in cases {
+            diff_into(a, b, &mut lin);
+            let probes = gallop_diff_into(a, b, &mut gal);
+            assert_eq!(lin, gal, "a={a:?} b={b:?}");
+            assert!(a.is_empty() || probes > 0);
+        }
+    }
+
+    #[test]
+    fn bitset_kernel_accounts_words_and_popcounts() {
+        let k = BitsetKernel { universe: 130 };
+        let mut c = Counters::new();
+        let a = k.pack_list(&[0, 64, 128]);
+        let b = k.pack_list(&[64]);
+        let mut buf = k.empty();
+        assert_eq!(k.intersect(&a, &b, &mut buf, &mut c), 1);
+        assert_eq!(c.get(Counter::WordsAnded), 3); // ⌈130/64⌉ words
+        assert_eq!(c.get(Counter::PopcountCalls), 1);
+    }
+}

@@ -34,6 +34,7 @@ pub mod eclat;
 pub mod filter;
 pub mod fpclose;
 pub mod fptree;
+pub mod kernel;
 pub mod lcm;
 pub mod naive;
 pub mod sam;

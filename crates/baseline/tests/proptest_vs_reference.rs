@@ -32,8 +32,24 @@ macro_rules! baseline_matches {
 
 baseline_matches!(fpclose_matches_reference, FpCloseMiner);
 baseline_matches!(lcm_matches_reference, LcmMiner);
-baseline_matches!(eclat_matches_reference, EclatMiner);
-baseline_matches!(declat_matches_reference, DEclatMiner);
+baseline_matches!(eclat_matches_reference, EclatMiner::default());
+baseline_matches!(declat_matches_reference, DEclatMiner::default());
+baseline_matches!(
+    eclat_bitset_matches_reference,
+    EclatMiner::with_rep(fim_core::Representation::Bitset)
+);
+baseline_matches!(
+    eclat_gallop_matches_reference,
+    EclatMiner::with_rep(fim_core::Representation::Gallop)
+);
+baseline_matches!(
+    declat_bitset_matches_reference,
+    DEclatMiner::with_rep(fim_core::Representation::Bitset)
+);
+baseline_matches!(
+    declat_gallop_matches_reference,
+    DEclatMiner::with_rep(fim_core::Representation::Gallop)
+);
 baseline_matches!(sam_matches_reference, SamMiner);
 baseline_matches!(apriori_matches_reference, AprioriMiner);
 baseline_matches!(naive_matches_reference, NaiveCumulativeMiner);
@@ -48,8 +64,10 @@ proptest! {
             .prop_map(move |txs| RecodedDatabase::from_dense(txs, m))
     }), minsupp in 1u32..4) {
         let want = mine_reference(&db, minsupp);
+        let eclat = EclatMiner::default();
+        let declat = DEclatMiner::default();
         let miners: [&dyn ClosedMiner; 7] = [
-            &FpCloseMiner, &LcmMiner, &EclatMiner, &DEclatMiner, &SamMiner, &AprioriMiner,
+            &FpCloseMiner, &LcmMiner, &eclat, &declat, &SamMiner, &AprioriMiner,
             &NaiveCumulativeMiner,
         ];
         for m in miners {

@@ -4,9 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fim_core::{
-    ItemOrder, ItemSet, RecodedDatabase, SuffixCountMatrix, TidLists, TransactionOrder,
+    gallop_intersect_into, ItemOrder, ItemSet, RecodedDatabase, SuffixCountMatrix, TidLists,
+    TransactionOrder,
 };
-use fim_ista::{intersect_segment, PrefixTree};
+use fim_ista::{intersect_segment, intersect_segment_words, PrefixTree};
 use fim_synth::{ExpressionConfig, ExpressionMatrix, Preset};
 
 fn itemset_ops(c: &mut Criterion) {
@@ -249,6 +250,55 @@ fn segment_kernel(c: &mut Criterion) {
                     }
                 }
                 stops
+            })
+        });
+        // bitset variant: the same segments probed against the packed-word
+        // transaction (the ista `--rep bitset` hot loop); contiguous runs
+        // collapse to whole-word ANDs, so this is the kernel's best case
+        // at len 64 and its worst at len 1
+        let twords: Vec<u64> = {
+            let mut w = vec![0u64; UNIVERSE.div_ceil(64) as usize];
+            for (i, &m) in trans.iter().enumerate() {
+                if m == 1 {
+                    w[i / 64] |= 1u64 << (i % 64);
+                }
+            }
+            w
+        };
+        group.bench_with_input(BenchmarkId::new("bitset", len), &segs, |b, segs| {
+            let mut out = Vec::with_capacity(len);
+            b.iter(|| {
+                let mut pushed = 0usize;
+                for seg in segs {
+                    out.clear();
+                    intersect_segment_words(seg, &twords, 0, &mut out);
+                    pushed += out.len();
+                }
+                pushed
+            })
+        });
+        // galloping variant: the same segment contents as sorted ascending
+        // lists intersected against the transaction's item list (the
+        // tid-list `--rep gallop` shape: short side walks, long side is
+        // searched exponentially)
+        let tlist: Vec<u32> = (0..UNIVERSE).step_by(2).collect();
+        let asc_segs: Vec<Vec<u32>> = segs
+            .iter()
+            .map(|s| {
+                let mut v = s.clone();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("gallop", len), &asc_segs, |b, segs| {
+            let mut out = Vec::with_capacity(len);
+            b.iter(|| {
+                let mut pushed = 0usize;
+                for seg in segs {
+                    gallop_intersect_into(seg, &tlist, &mut out);
+                    pushed += out.len();
+                }
+                pushed
             })
         });
     }

@@ -1,0 +1,692 @@
+//! Experiment **E14**: intersection-kernel A/B — the scalar sorted-list
+//! kernels against the `u64` bitset (word-AND + popcount) and galloping
+//! (exponential-search) kernels, on the dense `ncbi60` and sparse
+//! `webview-tpo` presets, each measured along **both axes**:
+//!
+//! * **row axis** (the paper orientation: few transactions, many items) —
+//!   the home regime of the transaction-axis algorithms, so `ista` and
+//!   `carpenter-lists` run here. `eclat`/`declat` are *excluded* on this
+//!   axis, and honestly so: item-set enumeration over thousands of frequent
+//!   items diverges at the paper's support levels (the paper's own
+//!   motivating observation, cf. E5/fig8) — an orientation economics fact,
+//!   not a kernel property.
+//! * **column axis** (the same data transposed back to the classic
+//!   many-transactions basket shape) — the home regime of the tid-list
+//!   enumeration miners, so `eclat` and `declat` run here with all three
+//!   kernels. `ncbi60-cols` is the intersection-dominated dense cell the
+//!   bitset speedup claim rests on; `webview-basket` is the honest sparse
+//!   counterpart (fill ~1.6%).
+//!
+//! Every cell records wall time *and* the kernel work counters (words
+//! ANDed, gallop probes, popcounts), and all representations are
+//! cross-checked for canonical output identity — the kernels are
+//! alternative physical layouts of the same search, so any output
+//! difference is a bug, not a trade-off. Cells where a non-scalar kernel
+//! *loses* (carpenter-lists bitset on both row-axis workloads, for one)
+//! are measured and reported like any other; ratios below 1 are the point
+//! of the experiment, not an embarrassment to hide.
+//!
+//! The run also verifies the density-based auto selection
+//! ([`Representation::select`]): on each workload, for each miner family
+//! measured there, the representation the rule picks must be within a
+//! noise tolerance of that family's fastest measured cell — which is
+//! exactly the claim the `--rep auto` CLI default rests on. (`ista` has no
+//! galloping kernel and runs the scalar probe under `Gallop`, so a gallop
+//! pick is scored against its scalar cell.)
+//!
+//! Each timed repetition runs in a fresh subprocess (same rationale as
+//! E11/E12: allocator state contaminates back-to-back timings). One
+//! untimed warmup, then one timed mine per subprocess; the aggregate is
+//! the median over reps.
+//!
+//! Usage: `kernels [--scale X] [--seed N] [--reps R] [--supps A,B,C,D]
+//!                 [--check-txs T] [--tolerance F] [--out BENCH_kernels.json]`
+
+use fim_baseline::{DEclatMiner, EclatMiner};
+use fim_bench::report::{kernel_json, kernel_line};
+use fim_bench::{parse_kv, preset_by_name, MINE_STACK_BYTES};
+use fim_carpenter::CarpenterListMiner;
+use fim_core::reference::mine_reference;
+use fim_core::{
+    ClosedMiner, Item, ItemOrder, MiningResult, RecodedDatabase, Representation,
+    TransactionDatabase, TransactionOrder,
+};
+use fim_ista::{IstaConfig, IstaMiner};
+use fim_obs::{Counters, KernelMetrics};
+use fim_synth::Preset;
+use std::io::Write;
+use std::time::Instant;
+
+const ALL_REPS: [Representation; 3] = [
+    Representation::Scalar,
+    Representation::Bitset,
+    Representation::Gallop,
+];
+
+/// The transaction-axis families measured on the paper orientation. `ista`
+/// has no galloping kernel (`Gallop` runs its scalar epoch probe), so its
+/// rep list is shorter by design, not omission.
+const ROW_FAMILIES: [(&str, &[Representation]); 2] = [
+    ("ista", &[Representation::Scalar, Representation::Bitset]),
+    ("carpenter-lists", &ALL_REPS),
+];
+
+/// The tid-list enumeration families measured on the transposed axis.
+const COL_FAMILIES: [(&str, &[Representation]); 2] = [("eclat", &ALL_REPS), ("declat", &ALL_REPS)];
+
+/// One benchmark workload: a preset, an axis, and the miner families whose
+/// home regime that axis is.
+struct Workload {
+    name: &'static str,
+    axis: &'static str,
+    families: &'static [(&'static str, &'static [Representation])],
+}
+
+const WORKLOADS: [Workload; 4] = [
+    Workload {
+        name: "ncbi60",
+        axis: "rows",
+        families: &ROW_FAMILIES,
+    },
+    Workload {
+        name: "ncbi60-cols",
+        axis: "cols",
+        families: &COL_FAMILIES,
+    },
+    Workload {
+        name: "webview-tpo",
+        axis: "rows",
+        families: &ROW_FAMILIES,
+    },
+    Workload {
+        name: "webview-basket",
+        axis: "cols",
+        families: &COL_FAMILIES,
+    },
+];
+
+/// Swaps the row/column axes: transaction `t` of the result lists every
+/// original transaction that contained item `t`. Tids are appended in
+/// ascending scan order, so the rows come out sorted.
+fn transpose(db: &TransactionDatabase) -> TransactionDatabase {
+    let mut rows: Vec<Vec<Item>> = vec![Vec::new(); db.num_items()];
+    for (tid, t) in db.transactions().iter().enumerate() {
+        for &item in t.as_slice() {
+            rows[item as usize].push(tid as Item);
+        }
+    }
+    TransactionDatabase::from_codes_with_base(rows, db.num_transactions())
+}
+
+/// Builds a workload database by name. The `-cols`/`-basket` variants are
+/// the presets transposed in-process (deterministic given scale and seed),
+/// so subprocesses reconstruct the identical database from the name alone.
+fn build_workload(name: &str, scale: f64, seed: u64) -> Result<TransactionDatabase, String> {
+    match name {
+        "ncbi60" => Ok(preset_by_name("ncbi60")?.build(scale, seed)),
+        "ncbi60-cols" => Ok(transpose(&preset_by_name("ncbi60")?.build(scale, seed))),
+        "webview-tpo" => Ok(preset_by_name("webview-tpo")?.build(scale, seed)),
+        "webview-basket" => Ok(transpose(
+            &preset_by_name("webview-tpo")?.build(scale, seed),
+        )),
+        other => Err(format!("unknown workload '{other}'")),
+    }
+}
+
+/// The timing support for one workload. Row-axis workloads use the paper
+/// sweep convention (second-lowest scaled support, as in E10–E12); the
+/// transposed workloads are not paper figures, so their supports are set
+/// relative to their own row counts to land in the intersection-heavy but
+/// tractable band (~rows/7 dense, ~0.1% of rows sparse).
+fn default_supp(name: &str, db: &TransactionDatabase, scale: f64) -> Result<u32, String> {
+    let rows = db.num_transactions() as u32;
+    Ok(match name {
+        "ncbi60" => pick_supp(preset_by_name("ncbi60")?, scale),
+        "webview-tpo" => pick_supp(preset_by_name("webview-tpo")?, scale),
+        "ncbi60-cols" => (rows / 7).max(2),
+        "webview-basket" => (rows / 1000).max(2),
+        other => return Err(format!("unknown workload '{other}'")),
+    })
+}
+
+/// Builds the miner for one (family, representation) cell.
+fn cell_miner(family: &str, rep: Representation) -> Result<Box<dyn ClosedMiner>, String> {
+    Ok(match family {
+        "eclat" => Box::new(EclatMiner::with_rep(rep)),
+        "declat" => Box::new(DEclatMiner::with_rep(rep)),
+        "carpenter-lists" => Box::new(CarpenterListMiner::with_rep(rep)),
+        "ista" => Box::new(IstaMiner::with_config(IstaConfig::with_rep(rep))),
+        other => return Err(format!("unknown family '{other}'")),
+    })
+}
+
+/// Mines one cell and returns its result plus the kernel counters.
+fn mine_cell(
+    family: &str,
+    rep: Representation,
+    db: &RecodedDatabase,
+    supp: u32,
+) -> Result<(MiningResult, Counters), String> {
+    Ok(match family {
+        "eclat" => EclatMiner::with_rep(rep).mine_with_stats(db, supp),
+        "declat" => DEclatMiner::with_rep(rep).mine_with_stats(db, supp),
+        "carpenter-lists" => CarpenterListMiner::with_rep(rep).mine_with_stats(db, supp),
+        "ista" => {
+            let (res, stats) =
+                IstaMiner::with_config(IstaConfig::with_rep(rep)).mine_with_stats(db, supp);
+            (res, stats.counters)
+        }
+        other => return Err(format!("unknown family '{other}'")),
+    })
+}
+
+/// One measured cell (median seconds plus the counters of one
+/// representative subprocess run — counters are deterministic, timings
+/// are not).
+struct Measurement {
+    workload: &'static str,
+    family: &'static str,
+    rep: Representation,
+    supp: u32,
+    seconds: f64,
+    vs_scalar: f64,
+    sets: usize,
+    kernel: KernelMetrics,
+}
+
+/// The counter snapshot a `kcell` subprocess reports alongside time.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct CellStats {
+    sets: usize,
+    tid_intersections: u64,
+    words_anded: u64,
+    gallop_probes: u64,
+    popcount_calls: u64,
+}
+
+impl CellStats {
+    fn from_counters(sets: usize, c: &Counters) -> Self {
+        use fim_obs::Counter;
+        CellStats {
+            sets,
+            tid_intersections: c.get(Counter::TidIntersections),
+            words_anded: c.get(Counter::WordsAnded),
+            gallop_probes: c.get(Counter::GallopProbes),
+            popcount_calls: c.get(Counter::PopcountCalls),
+        }
+    }
+
+    fn to_kernel(self, rep: Representation) -> KernelMetrics {
+        KernelMetrics {
+            rep: rep.name(),
+            words_anded: self.words_anded,
+            gallop_probes: self.gallop_probes,
+            popcount_calls: self.popcount_calls,
+        }
+    }
+}
+
+/// If `argv` is a cell invocation (`kcell <workload> <scale> <seed>
+/// <family> <rep> <supp>`), measures that one kernel in this process (one
+/// untimed warmup, one timed mine, both on a big-stack thread), prints
+/// `RESULT <seconds> <sets> <tid_isects> <words> <probes> <popcounts>`,
+/// and returns `true`.
+fn maybe_run_kcell(argv: &[String]) -> Result<bool, String> {
+    if argv.first().map(String::as_str) != Some("kcell") {
+        return Ok(false);
+    }
+    if argv.len() != 7 {
+        return Err(format!("kcell expects 6 operands, got {}", argv.len() - 1));
+    }
+    let scale: f64 = argv[2].parse().map_err(|e| format!("scale: {e}"))?;
+    let seed: u64 = argv[3].parse().map_err(|e| format!("seed: {e}"))?;
+    let family = argv[4].as_str();
+    let rep: Representation = argv[5].parse()?;
+    let supp: u32 = argv[6].parse().map_err(|e| format!("supp: {e}"))?;
+    let db = build_workload(&argv[1], scale, seed)?;
+    let recoded = RecodedDatabase::prepare(
+        &db,
+        supp,
+        ItemOrder::AscendingFrequency,
+        TransactionOrder::AscendingSize,
+    );
+    let (secs, cell) = std::thread::scope(|s| {
+        std::thread::Builder::new()
+            .stack_size(MINE_STACK_BYTES)
+            .spawn_scoped(s, || -> Result<(f64, CellStats), String> {
+                drop(mine_cell(family, rep, &recoded, supp)?); // warmup, untimed
+                let start = Instant::now();
+                let (result, counters) = mine_cell(family, rep, &recoded, supp)?;
+                Ok((
+                    start.elapsed().as_secs_f64(),
+                    CellStats::from_counters(result.len(), &counters),
+                ))
+            })
+            .expect("spawn failed")
+            .join()
+            .expect("mining thread panicked")
+    })?;
+    println!(
+        "RESULT {secs:.6} {} {} {} {} {}",
+        cell.sets,
+        cell.tid_intersections,
+        cell.words_anded,
+        cell.gallop_probes,
+        cell.popcount_calls
+    );
+    Ok(true)
+}
+
+/// Spawns the current executable as a `kcell` subprocess and parses its
+/// `RESULT` line.
+fn run_kcell_subprocess(
+    workload: &str,
+    scale: f64,
+    seed: u64,
+    family: &str,
+    rep: Representation,
+    supp: u32,
+) -> Result<(f64, CellStats), String> {
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let out = std::process::Command::new(exe)
+        .arg("kcell")
+        .arg(workload)
+        .arg(scale.to_string())
+        .arg(seed.to_string())
+        .arg(family)
+        .arg(rep.name())
+        .arg(supp.to_string())
+        .stderr(std::process::Stdio::inherit())
+        .output()
+        .map_err(|e| e.to_string())?;
+    if !out.status.success() {
+        return Err(format!("kcell failed with {}", out.status));
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("RESULT "))
+        .ok_or("kcell produced no RESULT line")?;
+    let fields: Vec<u64> = line
+        .split_whitespace()
+        .skip(2)
+        .map(|s| s.parse().map_err(|e| format!("bad RESULT field: {e}")))
+        .collect::<Result<_, _>>()?;
+    let seconds: f64 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or("bad RESULT seconds")?;
+    if fields.len() != 5 {
+        return Err(format!(
+            "RESULT carries {} fields, expected 5",
+            fields.len()
+        ));
+    }
+    Ok((
+        seconds,
+        CellStats {
+            sets: fields[0] as usize,
+            tid_intersections: fields[1],
+            words_anded: fields[2],
+            gallop_probes: fields[3],
+            popcount_calls: fields[4],
+        },
+    ))
+}
+
+/// The auto-selection verdict for one (workload, family) pair.
+struct AutoVerdict {
+    workload: &'static str,
+    family: &'static str,
+    fill: f64,
+    rows: usize,
+    picked: Representation,
+    /// What the family actually runs under `picked` (`ista` maps `Gallop`
+    /// to its scalar probe).
+    effective: Representation,
+    fastest: Representation,
+    picked_seconds: f64,
+    fastest_seconds: f64,
+    ok: bool,
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if maybe_run_kcell(&argv)? {
+        return Ok(());
+    }
+    let kv = parse_kv(&argv)?;
+    let scale: f64 = kv
+        .get("scale")
+        .map_or(Ok(0.5), |s| s.parse().map_err(|e| format!("--scale: {e}")))?;
+    let seed: u64 = kv
+        .get("seed")
+        .map_or(Ok(1), |s| s.parse().map_err(|e| format!("--seed: {e}")))?;
+    let reps: usize = kv
+        .get("reps")
+        .map_or(Ok(9), |s| s.parse().map_err(|e| format!("--reps: {e}")))?;
+    let check_txs: usize = kv.get("check-txs").map_or(Ok(10), |s| {
+        s.parse().map_err(|e| format!("--check-txs: {e}"))
+    })?;
+    // the auto pick passes when its cell is within this factor of the
+    // fastest cell — scalar and bitset are near-ties on the 249-row
+    // workload and subprocess timing noise should not flip the verdict
+    let tolerance: f64 = kv.get("tolerance").map_or(Ok(1.10), |s| {
+        s.parse().map_err(|e| format!("--tolerance: {e}"))
+    })?;
+    let out_path = kv
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernels.json".to_owned());
+
+    let dbs: Vec<TransactionDatabase> = WORKLOADS
+        .iter()
+        .map(|w| build_workload(w.name, scale, seed))
+        .collect::<Result<_, _>>()?;
+    let mut supps: Vec<u32> = WORKLOADS
+        .iter()
+        .zip(&dbs)
+        .map(|(w, db)| default_supp(w.name, db, scale))
+        .collect::<Result<_, _>>()?;
+    if let Some(s) = kv.get("supps") {
+        let parsed: Vec<u32> = s
+            .split(',')
+            .map(|v| v.parse().map_err(|e| format!("--supps: {e}")))
+            .collect::<Result<_, _>>()?;
+        if parsed.len() != supps.len() {
+            return Err(format!("--supps expects {} values", supps.len()));
+        }
+        supps = parsed;
+    }
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    let mut verdicts: Vec<AutoVerdict> = Vec::new();
+    println!(
+        "# E14 intersection-kernel A/B (scale {scale}, seed {seed}, reps {reps}, \
+         median-of-reps, one subprocess per rep)"
+    );
+    println!(
+        "# row-axis workloads run ista + carpenter-lists; eclat/declat run on the \
+         transposed (-cols/-basket) axis only, where enumeration is tractable (cf. E5)"
+    );
+    for (wi, workload) in WORKLOADS.iter().enumerate() {
+        let name = workload.name;
+        let supp = supps[wi];
+        let db = &dbs[wi];
+        let recoded = RecodedDatabase::prepare(
+            db,
+            supp,
+            ItemOrder::AscendingFrequency,
+            TransactionOrder::AscendingSize,
+        );
+        let density = recoded.density();
+        println!(
+            "# {name} ({} axis): {} transactions, {} items, fill {:.4}, supp {supp}",
+            workload.axis,
+            db.num_transactions(),
+            db.num_items(),
+            density.fill
+        );
+
+        // reference slice: exact-identity check against the brute-force
+        // miner on the first `check_txs` transactions at a low support
+        let check_supp = 2u32.min(check_txs as u32).max(1);
+        let slice: Vec<Vec<Item>> = db
+            .transactions()
+            .iter()
+            .take(check_txs)
+            .map(|t| t.as_slice().to_vec())
+            .collect();
+        let small = TransactionDatabase::from_codes_with_base(slice, db.num_items());
+        let small_recoded = RecodedDatabase::prepare(
+            &small,
+            check_supp,
+            ItemOrder::AscendingFrequency,
+            TransactionOrder::AscendingSize,
+        );
+        let want = mine_reference(&small_recoded, check_supp);
+        for &(family, family_reps) in workload.families {
+            for &rep in family_reps {
+                let got = cell_miner(family, rep)?
+                    .mine(&small_recoded, check_supp)
+                    .canonicalized();
+                if got != want {
+                    return Err(format!(
+                        "REFERENCE CHECK FAILED on {name} slice: {family}/{rep} differs from mine_reference"
+                    ));
+                }
+            }
+        }
+
+        // identity pass (untimed, in-process): canonical output of every
+        // kernel must agree at the benchmark scale
+        let canon_of = |family: &str, rep: Representation| -> Result<MiningResult, String> {
+            std::thread::scope(|s| {
+                std::thread::Builder::new()
+                    .stack_size(MINE_STACK_BYTES)
+                    .spawn_scoped(s, || {
+                        Ok(cell_miner(family, rep)?
+                            .mine(&recoded, supp)
+                            .canonicalized())
+                    })
+                    .expect("spawn failed")
+                    .join()
+                    .expect("mining thread panicked")
+            })
+        };
+        let anchor_family = workload.families[0].0;
+        let scalar_out = canon_of(anchor_family, Representation::Scalar)?;
+        let sets = scalar_out.len();
+        for &(family, family_reps) in workload.families {
+            for &rep in family_reps {
+                if canon_of(family, rep)? != scalar_out {
+                    return Err(format!(
+                        "CROSS-CHECK FAILED on {name}: {family}/{rep} output differs from {anchor_family}/scalar"
+                    ));
+                }
+            }
+        }
+
+        // timing: each rep of each kernel is a fresh subprocess; counter
+        // snapshots must be identical across reps (the mine is
+        // deterministic)
+        let picked = Representation::select(&density);
+        for &(family, family_reps) in workload.families {
+            println!(
+                "{:>18} {:>8} {:>8} {:>10} {:>10} {:>9}  kernel",
+                "miner", "rep", "supp", "seconds", "vs scalar", "sets"
+            );
+            let mut scalar_secs = f64::NAN;
+            let mut family_times: Vec<(Representation, f64)> = Vec::new();
+            for &rep in family_reps {
+                let mut samples = Vec::with_capacity(reps);
+                let mut first: Option<CellStats> = None;
+                for _rep in 0..reps {
+                    let (secs, cell) = run_kcell_subprocess(name, scale, seed, family, rep, supp)?;
+                    if cell.sets != sets {
+                        return Err(format!(
+                            "CROSS-CHECK FAILED on {name}: {family}/{rep} cell found {} sets, expected {sets}",
+                            cell.sets
+                        ));
+                    }
+                    match first {
+                        None => first = Some(cell),
+                        Some(f) if f != cell => {
+                            return Err(format!(
+                                "NONDETERMINISM on {name}: {family}/{rep} counters differ between reps"
+                            ));
+                        }
+                        Some(_) => {}
+                    }
+                    samples.push(secs);
+                }
+                let secs = median(&samples);
+                if rep == Representation::Scalar {
+                    scalar_secs = secs;
+                }
+                let cell = first.expect("reps >= 1");
+                let vs_scalar = scalar_secs / secs;
+                let kernel = cell.to_kernel(rep);
+                println!(
+                    "{:>18} {:>8} {:>8} {:>10.4} {:>9.2}x {:>9}  {}",
+                    family,
+                    rep.name(),
+                    supp,
+                    secs,
+                    vs_scalar,
+                    sets,
+                    kernel_line(&kernel)
+                );
+                family_times.push((rep, secs));
+                measurements.push(Measurement {
+                    workload: name,
+                    family,
+                    rep,
+                    supp,
+                    seconds: secs,
+                    vs_scalar,
+                    sets,
+                    kernel,
+                });
+            }
+
+            // auto-selection verdict: the density rule's pick must be
+            // within tolerance of this family's fastest measured cell
+            let effective = if family_reps.contains(&picked) {
+                picked
+            } else {
+                Representation::Scalar
+            };
+            let &(fastest, fastest_secs) = family_times
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN timings"))
+                .expect("family cells measured");
+            let picked_secs = family_times
+                .iter()
+                .find(|(r, _)| *r == effective)
+                .expect("effective rep was measured")
+                .1;
+            let ok = picked_secs <= fastest_secs * tolerance;
+            println!(
+                "# {name}/{family}: auto picks {picked} (runs {effective}, {picked_secs:.4}s), \
+                 fastest is {fastest} ({fastest_secs:.4}s) -> {}",
+                if ok { "OK" } else { "MISPICK" }
+            );
+            verdicts.push(AutoVerdict {
+                workload: name,
+                family,
+                fill: density.fill,
+                rows: density.rows,
+                picked,
+                effective,
+                fastest,
+                picked_seconds: picked_secs,
+                fastest_seconds: fastest_secs,
+                ok,
+            });
+        }
+    }
+
+    write_json(&out_path, scale, seed, reps, &measurements, &verdicts)
+        .map_err(|e| e.to_string())?;
+    println!("# wrote {out_path}");
+    if let Some(v) = verdicts.iter().find(|v| !v.ok) {
+        return Err(format!(
+            "AUTO MISPICK on {}/{}: density rule picked {} ({:.4}s) but {} is fastest ({:.4}s); \
+             recalibrate the thresholds in fim-core/src/rep.rs",
+            v.workload, v.family, v.picked, v.picked_seconds, v.fastest, v.fastest_seconds
+        ));
+    }
+    Ok(())
+}
+
+/// Median of a non-empty sample list (mean of the middle pair when even).
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+/// Picks the paper-axis timing support: the second-lowest entry of the
+/// scaled paper sweep (same convention as the E10–E12 bins).
+fn pick_supp(preset: Preset, scale: f64) -> u32 {
+    let mut sorted = fim_bench::scaled_sweep(preset, scale);
+    sorted.sort_unstable();
+    sorted.get(1).copied().unwrap_or(sorted[0])
+}
+
+fn write_json(
+    path: &str,
+    scale: f64,
+    seed: u64,
+    reps: usize,
+    measurements: &[Measurement],
+    verdicts: &[AutoVerdict],
+) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"experiment\": \"kernel-ab\",")?;
+    writeln!(f, "  \"scale\": {scale},")?;
+    writeln!(f, "  \"seed\": {seed},")?;
+    writeln!(f, "  \"reps\": {reps},")?;
+    writeln!(
+        f,
+        "  \"timing\": \"median of reps, one subprocess per rep, warmup untimed, recode excluded\","
+    )?;
+    writeln!(
+        f,
+        "  \"axes\": \"row-axis workloads (paper orientation) run ista+carpenter-lists; \
+         -cols/-basket are the same presets transposed, running eclat+declat\","
+    )?;
+    writeln!(f, "  \"cells\": [")?;
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"workload\": \"{}\", \"miner\": \"{}\", \"rep\": \"{}\", \"supp\": {}, \"seconds\": {:.6}, \"vs_scalar\": {:.4}, \"sets\": {}, \"kernel\": {}}}{comma}",
+            m.workload,
+            m.family,
+            m.rep,
+            m.supp,
+            m.seconds,
+            m.vs_scalar,
+            m.sets,
+            kernel_json(&m.kernel)
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    writeln!(f, "  \"auto\": [")?;
+    for (i, v) in verdicts.iter().enumerate() {
+        let comma = if i + 1 == verdicts.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"workload\": \"{}\", \"miner\": \"{}\", \"fill\": {:.6}, \"rows\": {}, \"picked\": \"{}\", \"effective\": \"{}\", \"fastest\": \"{}\", \"picked_seconds\": {:.6}, \"fastest_seconds\": {:.6}, \"ok\": {}}}{comma}",
+            v.workload,
+            v.family,
+            v.fill,
+            v.rows,
+            v.picked,
+            v.effective,
+            v.fastest,
+            v.picked_seconds,
+            v.fastest_seconds,
+            v.ok
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("kernels: {e}");
+        std::process::exit(1);
+    }
+}

@@ -4,7 +4,7 @@ use fim_baseline::{
     AprioriMiner, DEclatMiner, EclatMiner, FpCloseMiner, LcmMiner, NaiveCumulativeMiner, SamMiner,
 };
 use fim_carpenter::{CarpenterConfig, CarpenterListMiner, CarpenterTableMiner};
-use fim_core::ClosedMiner;
+use fim_core::{ClosedMiner, Representation};
 use fim_ista::{IstaConfig, IstaMiner, ParallelIstaMiner};
 
 /// All registered algorithm names (plain variants first, ablations after).
@@ -21,6 +21,13 @@ pub fn all_miner_names() -> &'static [&'static str] {
         "sam",
         "apriori",
         "naive-cumulative",
+        "ista-bitset",
+        "eclat-bitset",
+        "eclat-gallop",
+        "declat-bitset",
+        "declat-gallop",
+        "carpenter-lists-bitset",
+        "carpenter-lists-gallop",
         "ista-noprune",
         "ista-nocoalesce",
         "ista-nocompact",
@@ -64,10 +71,17 @@ pub fn miner_by_name(name: &str) -> Result<Box<dyn ClosedMiner>, String> {
             early_stop: false,
             ..CarpenterConfig::default()
         })),
+        "ista-bitset" => Box::new(IstaMiner::with_config(IstaConfig::bitset())),
         "fpclose" => Box::new(FpCloseMiner),
         "lcm" => Box::new(LcmMiner),
-        "eclat" => Box::new(EclatMiner),
-        "declat" => Box::new(DEclatMiner),
+        "eclat" => Box::new(EclatMiner::default()),
+        "eclat-bitset" => Box::new(EclatMiner::with_rep(Representation::Bitset)),
+        "eclat-gallop" => Box::new(EclatMiner::with_rep(Representation::Gallop)),
+        "declat" => Box::new(DEclatMiner::default()),
+        "declat-bitset" => Box::new(DEclatMiner::with_rep(Representation::Bitset)),
+        "declat-gallop" => Box::new(DEclatMiner::with_rep(Representation::Gallop)),
+        "carpenter-lists-bitset" => Box::new(CarpenterListMiner::with_rep(Representation::Bitset)),
+        "carpenter-lists-gallop" => Box::new(CarpenterListMiner::with_rep(Representation::Gallop)),
         "sam" => Box::new(SamMiner),
         "apriori" => Box::new(AprioriMiner),
         "naive-cumulative" => Box::new(NaiveCumulativeMiner),

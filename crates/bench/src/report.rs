@@ -2,7 +2,7 @@
 //! renderers the bench bins and the `summary` footer all use.
 
 use crate::harness::CellOutcome;
-use fim_obs::TreeMetrics;
+use fim_obs::{KernelMetrics, TreeMetrics};
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -26,6 +26,26 @@ pub fn tree_memory_json(preset: &str, t: &TreeMetrics, passes: Option<(u64, u64)
         t.seg_bytes,
         t.avg_seg_len(),
         t.approx_bytes
+    )
+}
+
+/// Renders an intersection-kernel snapshot as one `kernel` JSON object for
+/// the BENCH_* files — field names matching the fim-metrics/1 `kernel`
+/// section, so E14 records and `fim mine --metrics` documents agree
+/// field-for-field.
+pub fn kernel_json(k: &KernelMetrics) -> String {
+    format!(
+        "{{\"rep\": \"{}\", \"words_anded\": {}, \"gallop_probes\": {}, \"popcount_calls\": {}}}",
+        k.rep, k.words_anded, k.gallop_probes, k.popcount_calls
+    )
+}
+
+/// One-line human rendering of the same kernel snapshot, shared between
+/// the E14 table and the `summary` footer.
+pub fn kernel_line(k: &KernelMetrics) -> String {
+    format!(
+        "rep {}: {} words ANDed, {} gallop probes, {} popcounts",
+        k.rep, k.words_anded, k.gallop_probes, k.popcount_calls
     )
 }
 
@@ -222,6 +242,33 @@ mod tests {
         assert!(doc.starts_with('{') && doc.ends_with('}'));
         let bare = tree_memory_json("yeast", &sample_tree(), None);
         assert!(!bare.contains("prune_passes"));
+    }
+
+    #[test]
+    fn kernel_json_matches_metrics_field_names() {
+        let k = KernelMetrics {
+            rep: "bitset",
+            words_anded: 123,
+            gallop_probes: 0,
+            popcount_calls: 45,
+        };
+        let doc = kernel_json(&k);
+        // identical field spelling to the fim-metrics/1 kernel section
+        let mut report = fim_obs::MetricsReport::new("eclat", 2, 0.1, 5, 10);
+        report.kernel = Some(k);
+        let metrics = report.to_json();
+        for key in ["rep", "words_anded", "gallop_probes", "popcount_calls"] {
+            assert!(doc.contains(&format!("\"{key}\":")), "missing {key}: {doc}");
+            assert!(
+                metrics.contains(&format!("\"{key}\":")),
+                "metrics missing {key}"
+            );
+        }
+        assert!(metrics.contains(doc.trim_start_matches('{').trim_end_matches('}')));
+        let line = kernel_line(&k);
+        assert!(!line.contains('\n'));
+        assert!(line.contains("rep bitset"));
+        assert!(line.contains("123 words ANDed"));
     }
 
     #[test]

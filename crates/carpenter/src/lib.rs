@@ -37,7 +37,7 @@ pub mod repo;
 pub mod search;
 pub mod table;
 
-pub use lists::CarpenterListMiner;
+pub use lists::{BitsetListRep, CarpenterListMiner, ListRep};
 pub use repo::Repository;
 pub use search::{search_governed, search_governed_with_stats, search_with_stats, CarpenterConfig};
 pub use table::CarpenterTableMiner;

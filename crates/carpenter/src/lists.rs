@@ -14,7 +14,8 @@ use crate::search::{
     Representation,
 };
 use fim_core::{
-    Budget, ClosedMiner, Item, ItemSet, MineOutcome, MiningResult, RecodedDatabase, Tid, TidLists,
+    gallop_advance, Budget, ClosedMiner, Item, ItemSet, MineOutcome, MiningResult, RecodedDatabase,
+    Representation as KernelRep, Tid, TidLists, WordSet,
 };
 use fim_obs::{Counter, Counters};
 
@@ -22,6 +23,7 @@ use fim_obs::{Counter, Counters};
 pub struct ListRep {
     lists: TidLists,
     num_items: u32,
+    gallop: bool,
 }
 
 impl ListRep {
@@ -30,13 +32,26 @@ impl ListRep {
         ListRep {
             lists: TidLists::from_database(db),
             num_items: db.num_items(),
+            gallop: false,
+        }
+    }
+
+    /// Like [`from_database`](Self::from_database) but with galloping
+    /// (exponential-search) cursor advances instead of the linear walk.
+    /// The cursor lands on exactly the same index either way, so every
+    /// downstream decision — probe, early stop, elimination — is identical.
+    pub fn from_database_gallop(db: &RecodedDatabase) -> Self {
+        ListRep {
+            gallop: true,
+            ..ListRep::from_database(db)
         }
     }
 
     /// The probe loop of [`Representation::intersect`], monomorphized over
-    /// the early-stop check so the plain scan carries no bound arithmetic.
+    /// the early-stop check (so the plain scan carries no bound arithmetic)
+    /// and the cursor-advance kernel.
     #[allow(clippy::too_many_arguments)]
-    fn scan<const EARLY: bool>(
+    fn scan<const EARLY: bool, const GALLOP: bool>(
         &self,
         state: &mut [(Item, u32)],
         tid: Tid,
@@ -60,8 +75,14 @@ impl ListRep {
                 counters.bump(Counter::TidEarlyStops);
                 continue;
             }
-            while (*cur as usize) < list.len() && list[*cur as usize] < tid {
-                *cur += 1;
+            if GALLOP {
+                let (next, probes) = gallop_advance(list, *cur as usize, tid);
+                counters.add(Counter::GallopProbes, probes);
+                *cur = next as u32;
+            } else {
+                while (*cur as usize) < list.len() && list[*cur as usize] < tid {
+                    *cur += 1;
+                }
             }
             if (*cur as usize) < list.len() && list[*cur as usize] == tid {
                 raw += 1;
@@ -109,10 +130,19 @@ impl Representation for ListRep {
         // it cannot trigger (the bound is a rare event on dense data, but
         // it sat on every probe of every item).
         let need = minsupp.saturating_sub(k_new);
-        if config.early_stop && need > 0 {
-            self.scan::<true>(state, tid, k_new, need, minsupp, config, counters)
-        } else {
-            self.scan::<false>(state, tid, k_new, need, minsupp, config, counters)
+        match (config.early_stop && need > 0, self.gallop) {
+            (true, false) => {
+                self.scan::<true, false>(state, tid, k_new, need, minsupp, config, counters)
+            }
+            (false, false) => {
+                self.scan::<false, false>(state, tid, k_new, need, minsupp, config, counters)
+            }
+            (true, true) => {
+                self.scan::<true, true>(state, tid, k_new, need, minsupp, config, counters)
+            }
+            (false, true) => {
+                self.scan::<false, true>(state, tid, k_new, need, minsupp, config, counters)
+            }
         }
     }
 
@@ -121,24 +151,164 @@ impl Representation for ListRep {
     }
 }
 
+/// The vertical bitset representation: one packed [`WordSet`] of
+/// transaction ids per item, with per-word prefix popcounts so the exact
+/// remaining-occurrence count `supp − rank(tid)` is one popcount away.
+///
+/// Unlike [`ListRep`] there are no cursors to advance — a membership probe
+/// is a word test — and the early-stop/elimination bounds are *exact*
+/// rather than the cursor-lag overestimate (both are sound: they only ever
+/// skip items that genuinely cannot reach minimum support).
+pub struct BitsetListRep {
+    sets: Vec<WordSet>,
+    ranks: Vec<Vec<u32>>,
+    supports: Vec<u32>,
+    num_items: u32,
+    num_transactions: u32,
+}
+
+impl BitsetListRep {
+    /// Builds the representation from a recoded database.
+    pub fn from_database(db: &RecodedDatabase) -> Self {
+        let lists = TidLists::from_database(db);
+        let n = lists.num_transactions();
+        let sets: Vec<WordSet> = (0..db.num_items())
+            .map(|i| WordSet::from_sorted(lists.list(i), n as usize))
+            .collect();
+        let ranks = sets.iter().map(WordSet::prefix_ranks).collect();
+        let supports = sets.iter().map(WordSet::count).collect();
+        BitsetListRep {
+            sets,
+            ranks,
+            supports,
+            num_items: db.num_items(),
+            num_transactions: n,
+        }
+    }
+
+    /// Number of the item's transactions with id < `tid`, in O(1) via the
+    /// precomputed per-word prefix ranks plus one partial-word popcount.
+    fn rank_at(&self, item: Item, tid: Tid) -> u32 {
+        let w = (tid / 64) as usize;
+        let below = self.sets[item as usize].words()[w] & ((1u64 << (tid % 64)) - 1);
+        self.ranks[item as usize][w] + below.count_ones()
+    }
+}
+
+impl Representation for BitsetListRep {
+    /// The items of the current intersection, strictly ascending. No
+    /// cursors: the prefix ranks replace them.
+    type State = Vec<Item>;
+
+    fn initial_state(&self) -> Self::State {
+        (0..self.num_items).collect()
+    }
+
+    fn state_len(&self, state: &Self::State) -> usize {
+        state.len()
+    }
+
+    fn num_transactions(&self) -> u32 {
+        self.num_transactions
+    }
+
+    fn intersect(
+        &self,
+        state: &mut Self::State,
+        tid: Tid,
+        k_new: u32,
+        minsupp: u32,
+        config: CarpenterConfig,
+        counters: &mut Counters,
+    ) -> (usize, Self::State) {
+        let need = minsupp.saturating_sub(k_new);
+        let mut raw = 0usize;
+        let mut sub = Vec::with_capacity(state.len());
+        for &item in state.iter() {
+            let supp = self.supports[item as usize];
+            let rank = self.rank_at(item, tid);
+            counters.bump(Counter::PopcountCalls);
+            if config.early_stop && need > 0 && supp - rank < need {
+                // exact remaining count: every one of the item's tids ≥ tid
+                // matching could not lift the intersection to minsupp
+                counters.bump(Counter::TidEarlyStops);
+                continue;
+            }
+            if self.sets[item as usize].contains(tid) {
+                raw += 1;
+                let remaining_after = supp - rank - 1;
+                if !config.item_elimination || k_new + remaining_after >= minsupp {
+                    sub.push(item);
+                } else {
+                    counters.bump(Counter::Eliminations);
+                }
+            }
+        }
+        (raw, sub)
+    }
+
+    fn items_of(&self, state: &Self::State) -> ItemSet {
+        ItemSet::from_sorted(state.clone())
+    }
+}
+
 /// The list-based Carpenter miner.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CarpenterListMiner {
     /// Pruning configuration.
     pub config: CarpenterConfig,
+    /// Physical tid-set layout driving the search. Output-invariant.
+    pub rep: KernelRep,
+}
+
+/// Runs `$body` with `$rep` bound to the representation matching the
+/// miner's kernel selection (each arm monomorphizes the search separately).
+macro_rules! dispatch_rep {
+    ($self:ident, $db:ident, |$rep:ident| $body:expr) => {
+        match $self.rep {
+            KernelRep::Bitset => {
+                let $rep = BitsetListRep::from_database($db);
+                $body
+            }
+            KernelRep::Gallop => {
+                let $rep = ListRep::from_database_gallop($db);
+                $body
+            }
+            KernelRep::Scalar => {
+                let $rep = ListRep::from_database($db);
+                $body
+            }
+        }
+    };
 }
 
 impl CarpenterListMiner {
     /// Creates a miner with an explicit configuration.
     pub fn with_config(config: CarpenterConfig) -> Self {
-        CarpenterListMiner { config }
+        CarpenterListMiner {
+            config,
+            ..Default::default()
+        }
+    }
+
+    /// Creates a miner with an explicit tid-set representation.
+    pub fn with_rep(rep: KernelRep) -> Self {
+        CarpenterListMiner {
+            rep,
+            ..Default::default()
+        }
     }
 
     /// Like [`ClosedMiner::mine`] but also returns the search counters
-    /// (steps, absorptions, eliminations, early stops, repository probes).
+    /// (steps, absorptions, eliminations, early stops, repository probes,
+    /// and the kernel accounting of the selected representation).
     pub fn mine_with_stats(&self, db: &RecodedDatabase, minsupp: u32) -> (MiningResult, Counters) {
-        let rep = ListRep::from_database(db);
-        search_with_stats(&rep, db.num_items(), minsupp, self.config)
+        dispatch_rep!(self, db, |rep| search_with_stats(
+            &rep,
+            db.num_items(),
+            minsupp,
+            self.config
+        ))
     }
 
     /// Like [`ClosedMiner::mine_governed`] but also returns the counters.
@@ -148,24 +318,42 @@ impl CarpenterListMiner {
         minsupp: u32,
         budget: &Budget,
     ) -> (MineOutcome, Counters) {
-        let rep = ListRep::from_database(db);
-        search_governed_with_stats(&rep, db.num_items(), minsupp, self.config, budget)
+        dispatch_rep!(self, db, |rep| search_governed_with_stats(
+            &rep,
+            db.num_items(),
+            minsupp,
+            self.config,
+            budget
+        ))
     }
 }
 
 impl ClosedMiner for CarpenterListMiner {
     fn name(&self) -> &'static str {
-        "carpenter-lists"
+        match self.rep {
+            KernelRep::Scalar => "carpenter-lists",
+            KernelRep::Bitset => "carpenter-lists-bitset",
+            KernelRep::Gallop => "carpenter-lists-gallop",
+        }
     }
 
     fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult {
-        let rep = ListRep::from_database(db);
-        search(&rep, db.num_items(), minsupp, self.config)
+        dispatch_rep!(self, db, |rep| search(
+            &rep,
+            db.num_items(),
+            minsupp,
+            self.config
+        ))
     }
 
     fn mine_governed(&self, db: &RecodedDatabase, minsupp: u32, budget: &Budget) -> MineOutcome {
-        let rep = ListRep::from_database(db);
-        search_governed(&rep, db.num_items(), minsupp, self.config, budget)
+        dispatch_rep!(self, db, |rep| search_governed(
+            &rep,
+            db.num_items(),
+            minsupp,
+            self.config,
+            budget
+        ))
     }
 }
 
@@ -319,5 +507,84 @@ mod tests {
     #[test]
     fn miner_name() {
         assert_eq!(CarpenterListMiner::default().name(), "carpenter-lists");
+        assert_eq!(
+            CarpenterListMiner::with_rep(KernelRep::Bitset).name(),
+            "carpenter-lists-bitset"
+        );
+        assert_eq!(
+            CarpenterListMiner::with_rep(KernelRep::Gallop).name(),
+            "carpenter-lists-gallop"
+        );
+    }
+
+    #[test]
+    fn all_representations_match_reference() {
+        let db = paper_db();
+        for minsupp in 1..=8 {
+            let want = mine_reference(&db, minsupp);
+            for rep in [KernelRep::Scalar, KernelRep::Bitset, KernelRep::Gallop] {
+                let got = CarpenterListMiner::with_rep(rep)
+                    .mine(&db, minsupp)
+                    .canonicalized();
+                assert_eq!(got, want, "rep={rep} minsupp={minsupp}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_rep_pruning_ablations_agree() {
+        let db = paper_db();
+        let configs = [
+            CarpenterConfig::default(),
+            CarpenterConfig::unpruned(),
+            CarpenterConfig {
+                item_elimination: false,
+                ..CarpenterConfig::default()
+            },
+            CarpenterConfig {
+                early_stop: false,
+                ..CarpenterConfig::default()
+            },
+        ];
+        for minsupp in 1..=6 {
+            let want = mine_reference(&db, minsupp);
+            for c in configs {
+                let miner = CarpenterListMiner {
+                    config: c,
+                    rep: KernelRep::Bitset,
+                };
+                let got = miner.mine(&db, minsupp).canonicalized();
+                assert_eq!(got, want, "config={c:?} minsupp={minsupp}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_rank_is_exact_remaining_bound() {
+        let db = paper_db();
+        let bits = BitsetListRep::from_database(&db);
+        let lists = TidLists::from_database(&db);
+        for item in 0..db.num_items() {
+            for tid in 0..db.transactions().len() as Tid {
+                let want = lists.list(item).iter().filter(|&&t| t < tid).count() as u32;
+                assert_eq!(bits.rank_at(item, tid), want, "item={item} tid={tid}");
+            }
+        }
+    }
+
+    #[test]
+    fn gallop_cursor_lands_where_linear_does() {
+        let db = paper_db();
+        let lin = ListRep::from_database(&db);
+        let gal = ListRep::from_database_gallop(&db);
+        let mut s_lin = lin.initial_state();
+        let mut s_gal = gal.initial_state();
+        let mut c = Counters::new();
+        for tid in [1, 3, 6] {
+            lin.intersect(&mut s_lin, tid, 1, 1, CarpenterConfig::unpruned(), &mut c);
+            gal.intersect(&mut s_gal, tid, 1, 1, CarpenterConfig::unpruned(), &mut c);
+            assert_eq!(s_lin, s_gal, "after tid {tid}");
+        }
+        assert!(c.get(Counter::GallopProbes) > 0);
     }
 }

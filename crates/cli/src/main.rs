@@ -15,8 +15,8 @@
 //! the dependency set minimal.
 
 use fim_core::{
-    mine_closed_with_orders, Budget, ClosedMiner, ItemCatalog, ItemOrder, MineOutcome,
-    TransactionDatabase, TransactionOrder, TripReason,
+    mine_closed_with_orders, Budget, ClosedMiner, Density, ItemCatalog, ItemOrder, MineOutcome,
+    Representation, TransactionDatabase, TransactionOrder, TripReason,
 };
 use std::io::Write;
 use std::process::ExitCode;
@@ -129,10 +129,29 @@ fn budget_from(args: &Args) -> Result<Budget, CliError> {
     Ok(budget)
 }
 
+/// Splits a `-bitset`/`-gallop` registry suffix off an algorithm name, so
+/// `--algo eclat-bitset` reaches the same code path as
+/// `--algo eclat --rep bitset` (including `--stats`/`--metrics`).
+fn split_rep_suffix(algo: &str) -> (&str, Option<Representation>) {
+    match algo {
+        "ista-bitset" => ("ista", Some(Representation::Bitset)),
+        "eclat-bitset" => ("eclat", Some(Representation::Bitset)),
+        "eclat-gallop" => ("eclat", Some(Representation::Gallop)),
+        "declat-bitset" => ("declat", Some(Representation::Bitset)),
+        "declat-gallop" => ("declat", Some(Representation::Gallop)),
+        "carpenter-lists-bitset" => ("carpenter-lists", Some(Representation::Bitset)),
+        "carpenter-lists-gallop" => ("carpenter-lists", Some(Representation::Gallop)),
+        other => (other, None),
+    }
+}
+
 fn cmd_mine(args: &Args) -> Result<(), CliError> {
-    let algo = args.get("algo").unwrap_or("ista");
+    let raw_algo = args.get("algo").unwrap_or("ista");
+    let (algo, name_rep) = split_rep_suffix(raw_algo);
     if args.get("checkpoint").is_some() || args.get("resume").is_some() {
-        return cmd_mine_stream(args, algo);
+        // the raw name, so 'ista-bitset --checkpoint' is rejected rather
+        // than silently streamed through the scalar kernel
+        return cmd_mine_stream(args, raw_algo);
     }
     let is_ista = matches!(algo, "ista" | "ista-par" | "ista-noprune" | "ista-plain");
     for f in ["no-coalesce", "no-compact", "no-patricia"] {
@@ -164,6 +183,12 @@ fn cmd_mine(args: &Args) -> Result<(), CliError> {
             "the uncompressed tree (--no-patricia / ista-plain) is sequential only",
         ));
     }
+    // `--rep auto` needs the database shape, so the load happens before
+    // miner construction (every flag-validation error above still fires
+    // without touching the input)
+    let db = load_db(args)?;
+    let supp = resolve_supp(args, &db)?;
+    let rep = resolve_rep(args, name_rep, &db, algo, threads)?;
     let ista_config = fim_ista::IstaConfig {
         policy: if algo == "ista-noprune" || args.flag("no-prune") {
             fim_ista::PrunePolicy::Never
@@ -173,12 +198,25 @@ fn cmd_mine(args: &Args) -> Result<(), CliError> {
         coalesce: !args.flag("no-coalesce"),
         compact: !args.flag("no-compact"),
         patricia: !plain,
+        rep: rep.unwrap_or_default(),
     };
     let miner: Box<dyn ClosedMiner> = if is_ista {
         match (threads, algo) {
             (Some(t), _) => parallel_ista(t, ista_config),
             (None, "ista-par") => parallel_ista(0, ista_config),
             (None, _) => Box::new(fim_ista::IstaMiner::with_config(ista_config)),
+        }
+    } else if let Some(r) = rep {
+        if args.flag("no-prune") {
+            return Err(usage(format!("--no-prune is not available for '{algo}'")));
+        }
+        // resolve_rep only lets a kernel selection through for the
+        // kernelized enumeration miners
+        match algo {
+            "eclat" => Box::new(fim_baseline::EclatMiner::with_rep(r)),
+            "declat" => Box::new(fim_baseline::DEclatMiner::with_rep(r)),
+            "carpenter-lists" => Box::new(fim_carpenter::CarpenterListMiner::with_rep(r)),
+            other => return Err(usage(format!("--rep is not available for '{other}'"))),
         }
     } else {
         // `--no-prune` maps the pruned algorithms to their ablation variants
@@ -191,8 +229,6 @@ fn cmd_mine(args: &Args) -> Result<(), CliError> {
         };
         miner_by_name(resolved)?
     };
-    let db = load_db(args)?;
-    let supp = resolve_supp(args, &db)?;
     let obs_args = ObsArgs::from_args(args)?;
     if obs_args.any() {
         if !budget.is_unlimited() {
@@ -200,7 +236,7 @@ fn cmd_mine(args: &Args) -> Result<(), CliError> {
                 "--stats/--metrics/--progress/--profile cannot be combined with budget flags",
             ));
         }
-        return mine_observed(args, &db, supp, algo, threads, ista_config, &obs_args);
+        return mine_observed(args, &db, supp, algo, threads, ista_config, rep, &obs_args);
     }
     if !budget.is_unlimited() {
         return mine_governed(args, &db, supp, miner.as_ref(), &budget);
@@ -230,6 +266,85 @@ fn cmd_mine(args: &Args) -> Result<(), CliError> {
         elapsed.as_secs_f64()
     );
     Ok(())
+}
+
+/// Resolves `--rep auto|scalar|bitset|gallop` (and the `-bitset`/`-gallop`
+/// algorithm-name suffixes, which are the same selection spelled as a
+/// registry name) to a tid-set kernel.
+///
+/// `auto` applies [`Representation::select`] to the density of the raw
+/// database — the same rule the library's `AutoMiner` applies after
+/// recoding; the pre-recode estimate is used here so the choice is made
+/// once, before any miner runs. `None` means no selection was made and the
+/// algorithm's default (scalar) kernel runs.
+///
+/// The kernelized algorithms are the sequential ista variants, eclat,
+/// declat, and carpenter-lists; everything else rejects an explicit
+/// selection. Note that ista has no galloping kernel (its epoch probe is
+/// already O(1)) and the plain layout has no bitset kernel: those
+/// combinations run the scalar path, as documented on
+/// [`fim_ista::IstaConfig`].
+fn resolve_rep(
+    args: &Args,
+    name_rep: Option<Representation>,
+    db: &TransactionDatabase,
+    algo: &str,
+    threads: Option<usize>,
+) -> Result<Option<Representation>, CliError> {
+    let flag = match args.get("rep") {
+        None => None,
+        Some("auto") => {
+            let rows = db.num_transactions();
+            let cols = db.num_items();
+            let ones = db.total_occurrences() as u64;
+            let cells = rows as u64 * cols as u64;
+            let density = Density {
+                rows,
+                cols,
+                ones,
+                fill: if cells == 0 {
+                    0.0
+                } else {
+                    ones as f64 / cells as f64
+                },
+                avg_row_len: if rows == 0 {
+                    0.0
+                } else {
+                    ones as f64 / rows as f64
+                },
+            };
+            Some(Representation::select(&density))
+        }
+        Some(s) => Some(
+            s.parse::<Representation>()
+                .map_err(|e| usage(format!("bad --rep: {e} (or auto)")))?,
+        ),
+    };
+    if let (Some(f), Some(n)) = (flag, name_rep) {
+        if f != n {
+            return Err(usage(format!(
+                "--rep {f} conflicts with the '-{n}' algorithm-name suffix"
+            )));
+        }
+    }
+    let rep = flag.or(name_rep);
+    if rep.is_some() {
+        let kernelized = matches!(
+            algo,
+            "ista" | "ista-noprune" | "ista-plain" | "eclat" | "declat" | "carpenter-lists"
+        );
+        if threads.is_some() || algo == "ista-par" {
+            return Err(usage(
+                "--rep is not available for the parallel miner (the shards run the scalar kernel)",
+            ));
+        }
+        if !kernelized {
+            return Err(usage(format!(
+                "--rep is not available for '{algo}' (kernelized: ista, eclat, declat, carpenter-lists)"
+            )));
+        }
+    }
+    Ok(rep)
 }
 
 /// Resolves absolute `--supp N` or relative `--supp-rel F` (fraction of
@@ -329,6 +444,7 @@ fn cmd_mine_stream(args: &Args, algo: &str) -> Result<(), CliError> {
         "no-coalesce",
         "no-compact",
         "no-patricia",
+        "rep",
         "degrade",
         "item-order",
         "tx-order",
@@ -497,6 +613,7 @@ fn parallel_ista(threads: usize, cfg: fim_ista::IstaConfig) -> Box<dyn ClosedMin
 /// and Eclat miners report their counters at the end), then writes one
 /// schema-versioned metrics JSON document and, if requested, a
 /// collapsed-stack profile.
+#[allow(clippy::too_many_arguments)]
 fn mine_observed(
     args: &Args,
     db: &TransactionDatabase,
@@ -504,6 +621,7 @@ fn mine_observed(
     algo: &str,
     threads: Option<usize>,
     ista_config: fim_ista::IstaConfig,
+    rep: Option<Representation>,
     obs_args: &ObsArgs,
 ) -> Result<(), CliError> {
     let mut obs = obs_args.build();
@@ -552,10 +670,12 @@ fn mine_observed(
         res
     } else {
         let noprune = args.flag("no-prune");
+        let kernel_rep = rep.unwrap_or_default();
         let (res, counters) = match (algo, noprune) {
             ("carpenter-lists", false) => {
-                report.miner = "carpenter-lists";
-                fim_carpenter::CarpenterListMiner::default().mine_with_stats(&recoded, supp)
+                let miner = fim_carpenter::CarpenterListMiner::with_rep(kernel_rep);
+                report.miner = miner.name();
+                miner.mine_with_stats(&recoded, supp)
             }
             ("carpenter-table", false) => {
                 report.miner = "carpenter-table";
@@ -569,8 +689,14 @@ fn mine_observed(
                 .mine_with_stats(&recoded, supp)
             }
             ("eclat", false) => {
-                report.miner = "eclat";
-                fim_baseline::EclatMiner.mine_with_stats(&recoded, supp)
+                let miner = fim_baseline::EclatMiner::with_rep(kernel_rep);
+                report.miner = miner.name();
+                miner.mine_with_stats(&recoded, supp)
+            }
+            ("declat", false) => {
+                let miner = fim_baseline::DEclatMiner::with_rep(kernel_rep);
+                report.miner = miner.name();
+                miner.mine_with_stats(&recoded, supp)
             }
             (other, _) => {
                 return Err(usage(format!(
@@ -581,6 +707,12 @@ fn mine_observed(
         report.counters = counters;
         res
     };
+    // the kernel section names the selected representation and its work
+    // counters; the parallel miner has no kernel selection and stays scalar
+    report.kernel = Some(fim_obs::KernelMetrics::from_counters(
+        rep.unwrap_or_default().name(),
+        &report.counters,
+    ));
     obs.span_exit();
     obs.span_enter("report");
     let mut result = res.decode(recoded.recode());
@@ -721,6 +853,7 @@ USAGE:
   fim mine  --supp N | --supp-rel F   [--algo NAME] [--in FILE] [--out FILE]
             [--item-order asc|desc|orig] [--tx-order asc|desc|orig]
             [--maximal] [--no-prune] [--threads N]
+            [--rep auto|scalar|bitset|gallop]
             [--no-coalesce] [--no-compact] [--no-patricia]
             [--stats] [--metrics PATH|-] [--progress SECS] [--profile FILE]
             [--timeout SECS] [--max-nodes N] [--max-sets N] [--degrade]
@@ -733,15 +866,24 @@ USAGE:
              one-item-per-node tree instead of the path-compressed
              Patricia layout (equivalent to --algo ista-plain; sequential
              only); all are ista only)
+            (--rep selects the physical tid-set kernel for the sequential
+             ista variants, eclat, declat, and carpenter-lists: scalar
+             sorted-list merges (the default), bitset word-AND + popcount,
+             gallop exponential-search merges; auto picks by database
+             density. Output is identical across kernels; only the work
+             profile changes. Spelling the kernel as an algorithm-name
+             suffix (e.g. --algo eclat-bitset) is equivalent)
             (observability: --metrics writes one fim-metrics/1 JSON
-             document with run counters and tree occupancy to PATH, or to
-             stderr with '-'; --stats is shorthand for --metrics -;
+             document with run counters, tree occupancy, and the kernel
+             section (selected representation, words ANDed, gallop
+             probes, popcounts) to PATH, or to stderr with '-';
+             --stats is shorthand for --metrics -;
              --progress emits a heartbeat line every SECS seconds on
              stderr (JSON lines when stderr is not a terminal);
              --profile writes phase timings as collapsed stacks for
              flamegraph tools; available for the ista variants,
-             carpenter-lists, carpenter-table, and eclat; stdout stays
-             clean result output throughout)
+             carpenter-lists, carpenter-table, eclat, and declat; stdout
+             stays clean result output throughout)
             (budgets: --timeout caps wall-clock seconds, --max-nodes caps
              live prefix-tree nodes, --max-sets caps emitted sets; on a
              trip the exact sets of the processed prefix are written and

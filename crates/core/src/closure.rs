@@ -6,7 +6,7 @@
 //! neutral element of intersection), matching the Galois-connection view of
 //! paper §2.5.
 
-use crate::{itemset::ItemSet, recode::RecodedDatabase, Item};
+use crate::{cover::BitCover, itemset::ItemSet, recode::RecodedDatabase, Item};
 
 /// The closure `(f ∘ g)(I)`: the intersection of all transactions containing
 /// `I`, or the full item base if no transaction contains `I`.
@@ -35,12 +35,47 @@ pub fn closure(db: &RecodedDatabase, items: &ItemSet) -> ItemSet {
     }
 }
 
+/// [`closure`] against a prebuilt [`BitCover`]: the cover is found by
+/// word-AND + popcount bit iteration instead of a per-transaction subset
+/// scan, and only the covering transactions are intersected. Identical
+/// output to [`closure`]; build the `BitCover` once when computing many
+/// closures over the same database.
+pub fn closure_with(db: &RecodedDatabase, bits: &BitCover, items: &ItemSet) -> ItemSet {
+    let tids = bits.cover(items);
+    let mut acc: Option<Vec<Item>> = None;
+    let mut buf: Vec<Item> = Vec::new();
+    for &tid in &tids {
+        let t = db.transaction(tid);
+        match acc.as_mut() {
+            None => acc = Some(t.to_vec()),
+            Some(a) => {
+                crate::itemset::intersect_into(a, t, &mut buf);
+                std::mem::swap(a, &mut buf);
+                if a.len() == items.len() {
+                    break;
+                }
+            }
+        }
+    }
+    match acc {
+        Some(a) => ItemSet::from_sorted(a),
+        None => ItemSet::from_sorted((0..db.num_items()).collect()),
+    }
+}
+
 /// Whether `items` is closed: non-empty cover and equal to its closure.
 ///
 /// Note that this is closedness irrespective of a support threshold; a
 /// *closed frequent* item set additionally needs support ≥ minsupp.
+/// The support check and the cover run on a [`BitCover`] (popcount
+/// kernels); use [`is_closed_with`] to amortise its construction.
 pub fn is_closed(db: &RecodedDatabase, items: &ItemSet) -> bool {
-    db.support(items) > 0 && &closure(db, items) == items
+    is_closed_with(db, &BitCover::from_database(db), items)
+}
+
+/// [`is_closed`] against a prebuilt [`BitCover`].
+pub fn is_closed_with(db: &RecodedDatabase, bits: &BitCover, items: &ItemSet) -> bool {
+    bits.support(items) > 0 && &closure_with(db, bits, items) == items
 }
 
 #[cfg(test)]
@@ -103,6 +138,35 @@ mod tests {
         assert!(!is_closed(&db, &ItemSet::from([4]))); // {e} → {d,e}
         assert!(is_closed(&db, &ItemSet::from([3, 4]))); // {d,e}
         assert!(!is_closed(&db, &ItemSet::from([1, 4]))); // empty cover
+    }
+
+    #[test]
+    fn closure_with_bits_matches_scan() {
+        let db = db();
+        let bits = BitCover::from_database(&db);
+        let mut sets: Vec<ItemSet> = vec![ItemSet::empty()];
+        for i in 0..5u32 {
+            sets.push(ItemSet::from([i]));
+            for j in 0..5u32 {
+                sets.push(ItemSet::from([i, j]));
+            }
+        }
+        sets.push(ItemSet::from([1, 4])); // empty cover
+        for s in &sets {
+            assert_eq!(closure_with(&db, &bits, s), closure(&db, s), "{s}");
+            assert_eq!(
+                is_closed_with(&db, &bits, s),
+                db.support(s) > 0 && &closure(&db, s) == s,
+                "{s}"
+            );
+        }
+        // empty database: closure of anything is the full item base
+        let empty = RecodedDatabase::from_dense(vec![], 3);
+        let ebits = BitCover::from_database(&empty);
+        assert_eq!(
+            closure_with(&empty, &ebits, &ItemSet::empty()),
+            closure(&empty, &ItemSet::empty())
+        );
     }
 
     #[test]

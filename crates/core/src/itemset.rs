@@ -186,6 +186,58 @@ pub fn intersect_into(a: &[Item], b: &[Item], out: &mut Vec<Item>) {
     }
 }
 
+/// First index `>= start` in strictly ascending `list` whose value is
+/// `>= target`, found by exponential (galloping) search followed by a
+/// binary search over the bracketed range. Returns the index and the
+/// number of probes spent (for kernel accounting). `O(log d)` in the
+/// distance `d` advanced, against `O(d)` for a linear cursor.
+#[inline]
+pub fn gallop_advance(list: &[Item], start: usize, target: Item) -> (usize, u64) {
+    if start >= list.len() || list[start] >= target {
+        return (start, 1);
+    }
+    // Double the offset until it overshoots; invariant after the loop:
+    // list[start + hi/2] < target (probed, or start itself) and
+    // list[start + hi] >= target when in range.
+    let mut probes = 1u64;
+    let mut hi = 1usize;
+    while start + hi < list.len() && list[start + hi] < target {
+        probes += 1;
+        hi *= 2;
+    }
+    let lo_b = start + hi / 2;
+    let hi_b = (start + hi).min(list.len());
+    let within = list[lo_b..hi_b].partition_point(|&x| x < target);
+    probes += (hi_b - lo_b).max(1).ilog2() as u64 + 1;
+    (lo_b + within, probes)
+}
+
+/// Intersects two strictly ascending slices into `out` (cleared first) by
+/// galloping through the longer slice for each element of the shorter one.
+/// Output is identical to [`intersect_into`]; returns the probe count.
+/// Wins when the lengths are badly skewed (`long/short ≳ 8`), loses to the
+/// linear merge when they are comparable — callers choose adaptively.
+pub fn gallop_intersect_into(a: &[Item], b: &[Item], out: &mut Vec<Item>) -> u64 {
+    out.clear();
+    // walk the shorter slice, gallop in the longer
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut probes = 0u64;
+    let mut j = 0usize;
+    for &x in short {
+        let (nj, p) = gallop_advance(long, j, x);
+        probes += p;
+        j = nj;
+        if j == long.len() {
+            break;
+        }
+        if long[j] == x {
+            out.push(x);
+            j += 1;
+        }
+    }
+    probes
+}
+
 impl From<Vec<Item>> for ItemSet {
     fn from(v: Vec<Item>) -> Self {
         ItemSet::new(v)
@@ -312,6 +364,42 @@ mod tests {
     fn from_iterator() {
         let s: ItemSet = [5u32, 1, 5, 2].into_iter().collect();
         assert_eq!(s.as_slice(), &[1, 2, 5]);
+    }
+
+    #[test]
+    fn gallop_advance_finds_lower_bound() {
+        let list: Vec<Item> = (0..100).map(|x| x * 3).collect();
+        for start in [0usize, 1, 17, 50, 99, 100] {
+            for target in [0u32, 1, 3, 148, 149, 150, 296, 297, 298, 500] {
+                let (idx, probes) = gallop_advance(&list, start, target);
+                let want = start.max(list.partition_point(|&x| x < target));
+                assert_eq!(idx, want, "start={start} target={target}");
+                assert!(probes >= 1);
+            }
+        }
+        assert_eq!(gallop_advance(&[], 0, 5), (0, 1));
+    }
+
+    #[test]
+    fn gallop_intersect_matches_linear() {
+        let cases: Vec<(Vec<Item>, Vec<Item>)> = vec![
+            (vec![], vec![1, 2, 3]),
+            (vec![5], (0..1000).collect()),
+            (vec![999], (0..1000).collect()),
+            (vec![1000], (0..1000).collect()),
+            ((0..50).map(|x| x * 7).collect(), (0..300).collect()),
+            ((0..300).collect(), (0..50).map(|x| x * 7).collect()),
+            (vec![1, 2, 3], vec![1, 2, 3]),
+            (vec![0, 63, 64, 127, 128], vec![63, 64, 65, 128]),
+        ];
+        for (a, b) in cases {
+            let mut lin = Vec::new();
+            let mut gal = vec![42]; // must be cleared
+            intersect_into(&a, &b, &mut lin);
+            let probes = gallop_intersect_into(&a, &b, &mut gal);
+            assert_eq!(lin, gal, "a={a:?} b={b:?}");
+            assert!(probes > 0 || a.is_empty() || b.is_empty());
+        }
     }
 
     #[test]

@@ -53,15 +53,16 @@ pub mod order;
 pub mod prepare;
 pub mod recode;
 pub mod reference;
+pub mod rep;
 
 pub use catalog::ItemCatalog;
-pub use closure::{closure, is_closed};
-pub use cover::{cover, support, TidLists};
+pub use closure::{closure, closure_with, is_closed, is_closed_with};
+pub use cover::{cover, support, BitCover, TidLists};
 pub use database::TransactionDatabase;
 pub use error::FimError;
 pub use govern::{Budget, CancelToken, Degradation, Governor, MineOutcome, Progress, TripReason};
-pub use itemset::ItemSet;
-pub use matrix::{BitMatrix, SuffixCountMatrix};
+pub use itemset::{gallop_advance, gallop_intersect_into, ItemSet};
+pub use matrix::{BitMatrix, BitsetRow, SuffixCountMatrix, WordSet};
 pub use maximal::maximal_from_closed;
 pub use miner::{
     mine_closed, mine_closed_governed, mine_closed_relative, mine_closed_with_orders, ClosedMiner,
@@ -69,7 +70,8 @@ pub use miner::{
 };
 pub use order::{ItemOrder, TransactionOrder};
 pub use prepare::{cmp_size_then_desc_lex, coalesce};
-pub use recode::{Recode, RecodedDatabase};
+pub use recode::{Density, Recode, RecodedDatabase};
+pub use rep::Representation;
 
 /// Dense item code used throughout the workspace.
 pub type Item = u32;

@@ -11,9 +11,257 @@
 //! A non-zero entry simultaneously answers the membership test `i ∈ t_k` and
 //! provides the remaining-occurrence counter used for item elimination.
 //! [`BitMatrix`] is a packed boolean membership matrix used where only the
-//! membership test is needed.
+//! membership test is needed. [`WordSet`] is a single owned packed row — a
+//! set of small integers at 64 per `u64` word — with the word-parallel
+//! kernels (in-place AND, AND+popcount, bit iteration) shared by the bitset
+//! representations of every miner; [`BitsetRow`] is its borrowed view over a
+//! [`BitMatrix`] row.
 
 use crate::{recode::RecodedDatabase, Item, Tid};
+
+/// A set of small unsigned integers packed 64 per `u64` word.
+///
+/// Element `x` lives at bit `x % 64` of word `x / 64`. The universe (maximum
+/// element + 1) is fixed at construction; all word-parallel operations
+/// require both operands to share it. Used as a transaction representation
+/// (elements are item codes) by the IsTa bitset path and as a tid-set
+/// representation (elements are transaction indices) by the Carpenter and
+/// eclat bitset paths.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WordSet {
+    words: Vec<u64>,
+    universe: usize,
+}
+
+impl WordSet {
+    /// The empty set over a universe of `universe` elements.
+    pub fn new(universe: usize) -> Self {
+        WordSet {
+            words: vec![0u64; universe.div_ceil(64)],
+            universe,
+        }
+    }
+
+    /// Builds a set from strictly ascending elements, all `< universe`.
+    pub fn from_sorted(elems: &[u32], universe: usize) -> Self {
+        debug_assert!(elems.windows(2).all(|w| w[0] < w[1]));
+        let mut s = WordSet::new(universe);
+        for &x in elems {
+            s.insert(x);
+        }
+        s
+    }
+
+    /// The universe size fixed at construction.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// The packed words, low elements first.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Inserts an element.
+    #[inline]
+    pub fn insert(&mut self, x: u32) {
+        debug_assert!((x as usize) < self.universe);
+        self.words[x as usize / 64] |= 1u64 << (x % 64);
+    }
+
+    /// Removes an element.
+    #[inline]
+    pub fn remove(&mut self, x: u32) {
+        debug_assert!((x as usize) < self.universe);
+        self.words[x as usize / 64] &= !(1u64 << (x % 64));
+    }
+
+    /// Membership test: one shift and mask.
+    #[inline]
+    pub fn contains(&self, x: u32) -> bool {
+        debug_assert!((x as usize) < self.universe);
+        self.words[x as usize / 64] >> (x % 64) & 1 != 0
+    }
+
+    /// Number of elements (popcount over all words).
+    pub fn count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// In-place intersection `self &= other`, returning the surviving
+    /// element count. One AND and one popcount per word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn and_in_place(&mut self, other: &WordSet) -> u32 {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let mut count = 0u32;
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= b;
+            count += a.count_ones();
+        }
+        count
+    }
+
+    /// `|self ∩ other|` without materialising the intersection: fused
+    /// AND+popcount per word. This is the bitset support-counting kernel —
+    /// exact because every element is exactly one bit, so the popcount of
+    /// the AND *is* the intersection cardinality.
+    pub fn and_count(&self, other: &WordSet) -> u32 {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(&a, &b)| (a & b).count_ones())
+            .sum()
+    }
+
+    /// In-place difference `self &= !other`, returning the surviving
+    /// element count (the dEclat diffset kernel).
+    pub fn andnot_in_place(&mut self, other: &WordSet) -> u32 {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let mut count = 0u32;
+        for (a, &b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !b;
+            count += a.count_ones();
+        }
+        count
+    }
+
+    /// `|self \ other|` without materialising: fused ANDNOT+popcount.
+    pub fn andnot_count(&self, other: &WordSet) -> u32 {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(&a, &b)| (a & !b).count_ones())
+            .sum()
+    }
+
+    /// Number of elements strictly below `x` (prefix popcount). Linear in
+    /// words up to `x`; callers needing O(1) should precompute
+    /// [`prefix_ranks`](Self::prefix_ranks).
+    pub fn rank(&self, x: u32) -> u32 {
+        let (w, b) = (x as usize / 64, x % 64);
+        let full: u32 = self.words[..w.min(self.words.len())]
+            .iter()
+            .map(|w| w.count_ones())
+            .sum();
+        if w < self.words.len() && b != 0 {
+            full + (self.words[w] & ((1u64 << b) - 1)).count_ones()
+        } else {
+            full
+        }
+    }
+
+    /// Per-word prefix popcounts: `ranks[w]` = number of elements in words
+    /// `0..w`. Combined with a masked popcount of word `w` this gives O(1)
+    /// exact rank queries on a frozen set (the Carpenter bitset
+    /// remaining-occurrence bound).
+    pub fn prefix_ranks(&self) -> Vec<u32> {
+        let mut ranks = Vec::with_capacity(self.words.len() + 1);
+        let mut acc = 0u32;
+        ranks.push(0);
+        for w in &self.words {
+            acc += w.count_ones();
+            ranks.push(acc);
+        }
+        ranks
+    }
+
+    /// Iterates the elements in ascending order (per-word
+    /// `trailing_zeros`, clearing the lowest set bit each step).
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            std::iter::successors(if word == 0 { None } else { Some(word) }, |w| {
+                let w = w & (w - 1); // clear lowest set bit
+                if w == 0 {
+                    None
+                } else {
+                    Some(w)
+                }
+            })
+            .map(move |w| wi as u32 * 64 + w.trailing_zeros())
+        })
+    }
+
+    /// Iterates the elements in descending order (per-word
+    /// `leading_zeros`, clearing the highest set bit each step).
+    pub fn iter_desc(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().rev().flat_map(|(wi, &word)| {
+            std::iter::successors(if word == 0 { None } else { Some(word) }, |w| {
+                let w = w & !(1u64 << (63 - w.leading_zeros())); // clear highest set bit
+                if w == 0 {
+                    None
+                } else {
+                    Some(w)
+                }
+            })
+            .map(move |w| wi as u32 * 64 + 63 - w.leading_zeros())
+        })
+    }
+
+    /// Appends the elements in ascending order to `out` (not cleared).
+    pub fn collect_into(&self, out: &mut Vec<u32>) {
+        out.extend(self.iter());
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+}
+
+/// A borrowed packed bit row: the same probe kernels as [`WordSet`] over
+/// words owned elsewhere (typically one [`BitMatrix`] row).
+#[derive(Clone, Copy, Debug)]
+pub struct BitsetRow<'a> {
+    words: &'a [u64],
+}
+
+impl<'a> BitsetRow<'a> {
+    /// Wraps a word slice (element `x` at bit `x % 64` of word `x / 64`).
+    pub fn new(words: &'a [u64]) -> Self {
+        BitsetRow { words }
+    }
+
+    /// The packed words.
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Membership test; elements at or beyond the word capacity are absent.
+    #[inline]
+    pub fn contains(&self, x: u32) -> bool {
+        let w = x as usize / 64;
+        w < self.words.len() && self.words[w] >> (x % 64) & 1 != 0
+    }
+
+    /// Number of elements (popcount over all words).
+    pub fn count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Fused AND+popcount against another row (shorter operand wins).
+    pub fn and_count(&self, other: &BitsetRow<'_>) -> u32 {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(&a, &b)| (a & b).count_ones())
+            .sum()
+    }
+}
 
 /// A packed row-major bit matrix (`rows × cols` bits).
 #[derive(Clone, Debug)]
@@ -36,16 +284,47 @@ impl BitMatrix {
         }
     }
 
-    /// Builds the transaction-membership matrix of a recoded database
-    /// (rows = transactions, columns = items).
-    pub fn from_database(db: &RecodedDatabase) -> Self {
-        let mut m = BitMatrix::zeros(db.num_transactions(), db.num_items() as usize);
+    /// Packs every `(tid, item)` pair of a recoded database into a zeroed
+    /// matrix through `bit`, which maps the pair to the `(row, col)` to set.
+    /// The one packing loop behind both database constructors.
+    fn pack_database(
+        db: &RecodedDatabase,
+        rows: usize,
+        cols: usize,
+        bit: impl Fn(usize, usize) -> (usize, usize),
+    ) -> Self {
+        let mut m = BitMatrix::zeros(rows, cols);
         for (tid, t) in db.transactions().iter().enumerate() {
             for &i in t.iter() {
-                m.set(tid, i as usize);
+                let (r, c) = bit(tid, i as usize);
+                m.set(r, c);
             }
         }
         m
+    }
+
+    /// Builds the transaction-membership matrix of a recoded database
+    /// (rows = transactions, columns = items).
+    pub fn from_database(db: &RecodedDatabase) -> Self {
+        Self::pack_database(
+            db,
+            db.num_transactions(),
+            db.num_items() as usize,
+            |tid, i| (tid, i),
+        )
+    }
+
+    /// Builds the transposed (vertical) membership matrix of a recoded
+    /// database: rows = items, columns = transactions. Row `i` is the tid
+    /// set of item `i` as a packed bit row — the dense counterpart of
+    /// [`TidLists`](crate::cover::TidLists).
+    pub fn from_database_transposed(db: &RecodedDatabase) -> Self {
+        Self::pack_database(
+            db,
+            db.num_items() as usize,
+            db.num_transactions(),
+            |tid, i| (i, tid),
+        )
     }
 
     /// Number of rows.
@@ -78,11 +357,14 @@ impl BitMatrix {
 
     /// Number of set bits in a row.
     pub fn row_count(&self, row: usize) -> u32 {
+        self.row_words(row).count()
+    }
+
+    /// One row as a borrowed packed bit view.
+    pub fn row_words(&self, row: usize) -> BitsetRow<'_> {
+        debug_assert!(row < self.rows);
         let start = row * self.words_per_row;
-        self.data[start..start + self.words_per_row]
-            .iter()
-            .map(|w| w.count_ones())
-            .sum()
+        BitsetRow::new(&self.data[start..start + self.words_per_row])
     }
 
     /// Approximate heap size in bytes.
@@ -280,5 +562,102 @@ mod tests {
         assert_eq!(m.num_items(), 5);
         assert_eq!(m.heap_bytes(), 8 * 5 * 4);
         assert_eq!(m.row(0), &[4, 5, 5, 0, 0]);
+    }
+
+    #[test]
+    fn transposed_matrix_is_vertical() {
+        let db = paper_db();
+        let m = BitMatrix::from_database_transposed(&db);
+        assert_eq!(m.rows(), 5);
+        assert_eq!(m.cols(), 8);
+        for (tid, t) in db.transactions().iter().enumerate() {
+            for i in 0..db.num_items() {
+                assert_eq!(m.get(i as usize, tid), t.contains(&i));
+            }
+        }
+        // item supports are the row counts of the transpose
+        for i in 0..db.num_items() {
+            assert_eq!(m.row_count(i as usize), db.item_supports()[i as usize]);
+        }
+    }
+
+    #[test]
+    fn word_set_basic_ops() {
+        let mut s = WordSet::new(200);
+        assert!(s.is_empty());
+        for x in [0u32, 63, 64, 65, 128, 199] {
+            s.insert(x);
+        }
+        assert_eq!(s.count(), 6);
+        assert!(s.contains(63));
+        assert!(s.contains(64));
+        assert!(!s.contains(62));
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 65, 128, 199]);
+        assert_eq!(s.iter_desc().collect::<Vec<_>>(), vec![199, 128, 65, 63, 0]);
+        let mut out = Vec::new();
+        s.collect_into(&mut out);
+        assert_eq!(out, vec![0, 63, 65, 128, 199]);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(s.heap_bytes() >= 4 * 8);
+    }
+
+    #[test]
+    fn word_set_and_kernels() {
+        let a = WordSet::from_sorted(&[1, 63, 64, 100, 130], 131);
+        let b = WordSet::from_sorted(&[0, 63, 100, 129, 130], 131);
+        assert_eq!(a.and_count(&b), 3);
+        assert_eq!(a.andnot_count(&b), 2);
+        let mut c = a.clone();
+        assert_eq!(c.and_in_place(&b), 3);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![63, 100, 130]);
+        let mut d = a.clone();
+        assert_eq!(d.andnot_in_place(&b), 2);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 64]);
+        // empty/single-word edge cases
+        let e = WordSet::new(0);
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.iter().count(), 0);
+        let one = WordSet::from_sorted(&[5], 64);
+        assert_eq!(one.and_count(&WordSet::from_sorted(&[5], 64)), 1);
+    }
+
+    #[test]
+    fn word_set_rank_is_prefix_count() {
+        let s = WordSet::from_sorted(&[0, 1, 63, 64, 127, 128, 190], 191);
+        assert_eq!(s.rank(0), 0);
+        assert_eq!(s.rank(1), 1);
+        assert_eq!(s.rank(64), 3);
+        assert_eq!(s.rank(65), 4);
+        assert_eq!(s.rank(190), 6);
+        let ranks = s.prefix_ranks();
+        assert_eq!(ranks, vec![0, 3, 5, 7]);
+        // O(1) rank via prefix ranks matches the linear rank
+        for x in 0..191u32 {
+            let (w, b) = (x as usize / 64, x % 64);
+            let fast = ranks[w]
+                + if b == 0 {
+                    0
+                } else {
+                    (s.words()[w] & ((1u64 << b) - 1)).count_ones()
+                };
+            assert_eq!(fast, s.rank(x), "rank({x})");
+        }
+    }
+
+    #[test]
+    fn bitset_row_matches_word_set() {
+        let s = WordSet::from_sorted(&[2, 64, 66], 100);
+        let r = BitsetRow::new(s.words());
+        assert!(r.contains(2));
+        assert!(r.contains(66));
+        assert!(!r.contains(3));
+        assert!(!r.contains(1000)); // beyond capacity: absent, not a panic
+        assert_eq!(r.count(), 3);
+        let t = WordSet::from_sorted(&[2, 66, 99], 100);
+        assert_eq!(r.and_count(&BitsetRow::new(t.words())), 2);
     }
 }

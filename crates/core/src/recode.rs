@@ -241,6 +241,57 @@ impl RecodedDatabase {
     pub fn max_transaction_len(&self) -> usize {
         self.transactions.iter().map(|t| t.len()).max().unwrap_or(0)
     }
+
+    /// The fill-rate estimate driving representation selection.
+    ///
+    /// `O(num_items)` — supports are already counted, so no pass over the
+    /// transactions is needed.
+    pub fn density(&self) -> Density {
+        let rows = self.num_transactions();
+        let cols = self.num_items as usize;
+        let ones: u64 = self.item_supports.iter().map(|&s| s as u64).sum();
+        let cells = rows as u64 * cols as u64;
+        Density {
+            rows,
+            cols,
+            ones,
+            fill: if cells == 0 {
+                0.0
+            } else {
+                ones as f64 / cells as f64
+            },
+            avg_row_len: if rows == 0 {
+                0.0
+            } else {
+                ones as f64 / rows as f64
+            },
+        }
+    }
+}
+
+/// Shape and fill statistics of a [`RecodedDatabase`], the input to
+/// representation selection (`fill` = ones ÷ rows×cols).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Density {
+    /// Number of transactions.
+    pub rows: usize,
+    /// Number of items.
+    pub cols: usize,
+    /// Total item occurrences (sum of transaction lengths).
+    pub ones: u64,
+    /// `ones / (rows × cols)`, in `[0, 1]`; `0.0` for a degenerate
+    /// (empty) database.
+    pub fill: f64,
+    /// Mean transaction length (`ones / rows`; `0.0` when empty).
+    pub avg_row_len: f64,
+}
+
+impl Density {
+    /// Whether the database has no cells at all (no transactions, no
+    /// items, or no occurrences).
+    pub fn is_degenerate(&self) -> bool {
+        self.rows == 0 || self.cols == 0 || self.ones == 0
+    }
 }
 
 #[cfg(test)]
@@ -369,6 +420,23 @@ mod tests {
         assert_eq!(r.item_supports(), &[1, 1, 1]);
         assert_eq!(r.original_transactions(), 3);
         assert_eq!(r.max_transaction_len(), 2);
+    }
+
+    #[test]
+    fn density_counts_fill() {
+        let r = RecodedDatabase::from_dense(vec![vec![0, 1, 2], vec![0, 1], vec![2]], 4);
+        let d = r.density();
+        assert_eq!(d.rows, 3);
+        assert_eq!(d.cols, 4);
+        assert_eq!(d.ones, 6);
+        assert!((d.fill - 0.5).abs() < 1e-12);
+        assert!((d.avg_row_len - 2.0).abs() < 1e-12);
+        assert!(!d.is_degenerate());
+        let empty = RecodedDatabase::from_dense(vec![], 5);
+        let de = empty.density();
+        assert!(de.is_degenerate());
+        assert_eq!(de.fill, 0.0);
+        assert_eq!(de.avg_row_len, 0.0);
     }
 
     #[test]

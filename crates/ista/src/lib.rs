@@ -53,4 +53,4 @@ pub use miner::{IstaConfig, IstaMiner, MineStats, PrunePacer, PrunePolicy};
 pub use parallel::{ParallelConfig, ParallelIstaMiner, ParallelMineStats};
 pub use plain::PlainPrefixTree;
 pub use stream::IstaStream;
-pub use tree::{intersect_segment, PrefixTree, TreeMemoryStats};
+pub use tree::{intersect_segment, intersect_segment_words, PrefixTree, TreeMemoryStats};

@@ -4,7 +4,7 @@ use crate::plain::PlainPrefixTree;
 use crate::tree::{PrefixTree, TreeMemoryStats};
 use fim_core::{
     checkpoint, prepare, Budget, ClosedMiner, Degradation, FoundSet, Governor, Item, MineOutcome,
-    MiningResult, Progress, RecodedDatabase, TripReason,
+    MiningResult, Progress, RecodedDatabase, Representation, TripReason,
 };
 use fim_obs::{Counters, Obs, ProgressSnapshot};
 
@@ -14,6 +14,7 @@ use fim_obs::{Counters, Obs, ProgressSnapshot};
 /// serves both layouts without dynamic dispatch.
 trait MiningTree {
     fn create(num_items: u32) -> Self;
+    fn set_bitset(&mut self, on: bool);
     fn add_transaction_weighted(&mut self, t: &[Item], weight: u32);
     fn node_count(&self) -> usize;
     fn memory_stats(&self) -> TreeMemoryStats;
@@ -28,6 +29,9 @@ macro_rules! impl_mining_tree {
         impl MiningTree for $ty {
             fn create(num_items: u32) -> Self {
                 <$ty>::new(num_items)
+            }
+            fn set_bitset(&mut self, on: bool) {
+                <$ty>::set_bitset(self, on)
             }
             fn add_transaction_weighted(&mut self, t: &[Item], weight: u32) {
                 <$ty>::add_transaction_weighted(self, t, weight)
@@ -150,6 +154,12 @@ pub struct IstaConfig {
     /// [`PlainPrefixTree`] layout instead (ablation baseline, registered
     /// as `ista-plain`). Output-invariant.
     pub patricia: bool,
+    /// Segment-scan kernel selection. [`Representation::Bitset`] switches
+    /// the Patricia `isect` walk to packed-word membership probes (plus a
+    /// whole-run word-AND for contiguous segments); `Gallop` has no IsTa
+    /// kernel and runs the scalar epoch probe, as does the plain layout.
+    /// Output-invariant (proptested against the scalar path).
+    pub rep: Representation,
 }
 
 impl Default for IstaConfig {
@@ -159,6 +169,7 @@ impl Default for IstaConfig {
             coalesce: true,
             compact: true,
             patricia: true,
+            rep: Representation::Scalar,
         }
     }
 }
@@ -203,6 +214,20 @@ impl IstaConfig {
             patricia: false,
             ..Default::default()
         }
+    }
+
+    /// Configuration with an explicit segment-scan kernel.
+    pub fn with_rep(rep: Representation) -> Self {
+        IstaConfig {
+            rep,
+            ..Default::default()
+        }
+    }
+
+    /// Configuration using the bit-parallel segment kernel (registered as
+    /// `ista-bitset`).
+    pub fn bitset() -> Self {
+        IstaConfig::with_rep(Representation::Bitset)
     }
 }
 
@@ -341,6 +366,7 @@ impl IstaMiner {
         };
         let total_weight = db.transactions().len() as u64;
         let mut tree = T::create(db.num_items());
+        tree.set_bitset(self.config.rep == Representation::Bitset);
         let mut remaining: Vec<u32> = db.item_supports().to_vec();
         let mut pacer = PrunePacer::new(self.config.policy);
         if let Some(reason) = checkpoint!(gov, 0, 0, 0) {
@@ -476,10 +502,12 @@ impl IstaMiner {
 
 impl ClosedMiner for IstaMiner {
     fn name(&self) -> &'static str {
-        if self.config.patricia {
-            "ista"
-        } else {
+        if !self.config.patricia {
             "ista-plain"
+        } else if self.config.rep == Representation::Bitset {
+            "ista-bitset"
+        } else {
+            "ista"
         }
     }
 
@@ -555,19 +583,22 @@ mod tests {
                 for coalesce in [false, true] {
                     for compact in [false, true] {
                         for patricia in [false, true] {
-                            let got = IstaMiner::with_config(IstaConfig {
-                                policy,
-                                coalesce,
-                                compact,
-                                patricia,
-                            })
-                            .mine(&db, minsupp)
-                            .canonicalized();
-                            assert_eq!(
-                                got, want,
-                                "policy={policy:?} coalesce={coalesce} compact={compact} \
-                                 patricia={patricia} minsupp={minsupp}"
-                            );
+                            for rep in [Representation::Scalar, Representation::Bitset] {
+                                let got = IstaMiner::with_config(IstaConfig {
+                                    policy,
+                                    coalesce,
+                                    compact,
+                                    patricia,
+                                    rep,
+                                })
+                                .mine(&db, minsupp)
+                                .canonicalized();
+                                assert_eq!(
+                                    got, want,
+                                    "policy={policy:?} coalesce={coalesce} compact={compact} \
+                                     patricia={patricia} rep={rep} minsupp={minsupp}"
+                                );
+                            }
                         }
                     }
                 }
@@ -597,6 +628,7 @@ mod tests {
             coalesce: true,
             compact: true,
             patricia: true,
+            rep: Representation::Scalar,
         })
         .mine_with_stats(&db, 4);
         assert!(!result.sets.is_empty());
@@ -659,6 +691,20 @@ mod tests {
             IstaMiner::with_config(IstaConfig::without_patricia()).name(),
             "ista-plain"
         );
+        assert_eq!(
+            IstaMiner::with_config(IstaConfig::bitset()).name(),
+            "ista-bitset"
+        );
+    }
+
+    #[test]
+    fn bitset_kernel_counts_words_anded() {
+        let db = paper_db();
+        let (_, scalar) = IstaMiner::default().mine_with_stats(&db, 1);
+        let (_, bitset) = IstaMiner::with_config(IstaConfig::bitset()).mine_with_stats(&db, 1);
+        use fim_obs::Counter;
+        assert_eq!(scalar.counters.get(Counter::WordsAnded), 0);
+        assert!(bitset.counters.get(Counter::WordsAnded) > 0);
     }
 
     #[test]

@@ -203,6 +203,7 @@ impl ParallelIstaMiner {
                 coalesce: self.config.coalesce,
                 compact: self.config.compact,
                 patricia: true,
+                rep: fim_core::Representation::Scalar,
             });
             let (outcome, stats) = seq.mine_governed_with_stats(db, minsupp, budget);
             let stats = ParallelMineStats {

@@ -161,6 +161,12 @@ impl PlainPrefixTree {
         self.arena.counters()
     }
 
+    /// Kernel-selection no-op: the uncompressed layout only has the scalar
+    /// per-item walk (there are no segments to intersect word-parallel), so
+    /// the bitset representation request is ignored. Present so the mining
+    /// loop can drive both layouts through one interface.
+    pub fn set_bitset(&mut self, _on: bool) {}
+
     /// Processes one transaction: inserts it as a path, then intersects it
     /// with every stored set in a single `isect` traversal.
     ///

@@ -117,6 +117,109 @@ pub fn intersect_segment(
     false
 }
 
+/// Word-probe variant of [`intersect_segment`]: the transaction is a packed
+/// bitset (`words[i/64]` bit `i%64`), so membership is one shift-and-mask,
+/// and a segment that is a *contiguous* descending run is intersected whole
+/// — the transaction words covering the run's range are masked (word-AND
+/// against the range mask) and their surviving bits iterated from the top
+/// via `leading_zeros` — instead of one probe per item. Output and
+/// early-stop behaviour are bit-for-bit identical to [`intersect_segment`].
+///
+/// Returns `(stopped, words_anded)` where `words_anded` counts the words
+/// the contiguous fast path masked (the per-item probes touch one word each
+/// but perform no AND).
+#[inline]
+pub fn intersect_segment_words(
+    seg: &[Item],
+    words: &[u64],
+    imin: Item,
+    out: &mut Vec<Item>,
+) -> (bool, u64) {
+    let len = seg.len();
+    if len == 0 {
+        return (false, 0);
+    }
+    let (hi, lo) = (seg[0], seg[len - 1]);
+    if (hi - lo) as usize + 1 == len {
+        // Contiguous descending run [lo..=hi]. The scalar walk processes
+        // items from `hi` down to the first item `<= imin` inclusive (every
+        // integer in the range is present, so that boundary is
+        // `min(hi, imin)`), or the whole run when `lo > imin`.
+        let stopped = lo <= imin;
+        let bound = if stopped { imin.min(hi) } else { lo };
+        let wh = (hi / 64) as usize;
+        let wl = (bound / 64) as usize;
+        let mut words_anded = 0u64;
+        for wi in (wl..=wh).rev() {
+            let mut word = words.get(wi).copied().unwrap_or(0);
+            if wi == wh && hi % 64 < 63 {
+                word &= (1u64 << (hi % 64 + 1)) - 1;
+            }
+            if wi == wl {
+                word &= !0u64 << (bound % 64);
+            }
+            words_anded += 1;
+            while word != 0 {
+                let b = 63 - word.leading_zeros();
+                out.push(wi as u32 * 64 + b);
+                word &= !(1u64 << b);
+            }
+        }
+        return (stopped, words_anded);
+    }
+    for &i in seg {
+        if words[i as usize / 64] >> (i % 64) & 1 != 0 {
+            out.push(i);
+            if i <= imin {
+                return (true, 0);
+            }
+        } else if i <= imin {
+            return (true, 0);
+        }
+    }
+    (false, 0)
+}
+
+/// The segment-scan kernel `isect` is monomorphized over: scalar epoch
+/// probes ([`EpochKernel`]) or packed-word probes ([`WordKernel`]). Both
+/// must produce bit-for-bit identical runs and early stops — the traversal
+/// and `merge_run` are representation-blind.
+trait SegKernel {
+    /// Appends the segment items present in the current transaction to
+    /// `out`; returns whether the scan stopped at the `imin` bound.
+    fn scan(&mut self, seg: &[Item], imin: Item, out: &mut Vec<Item>) -> bool;
+}
+
+/// The scalar kernel: epoch-stamped membership array (the reference path).
+struct EpochKernel<'a> {
+    trans: &'a [u32],
+    step: u32,
+}
+
+impl SegKernel for EpochKernel<'_> {
+    #[inline]
+    fn scan(&mut self, seg: &[Item], imin: Item, out: &mut Vec<Item>) -> bool {
+        intersect_segment(seg, self.trans, self.step, imin, out)
+    }
+}
+
+/// The bitset kernel: packed transaction words, accumulating word-kernel
+/// counters locally (folded into the arena counters once per transaction,
+/// keeping the hot loop free of a second mutable borrow).
+struct WordKernel<'a> {
+    words: &'a [u64],
+    words_anded: u64,
+}
+
+impl SegKernel for WordKernel<'_> {
+    #[inline]
+    fn scan(&mut self, seg: &[Item], imin: Item, out: &mut Vec<Item>) -> bool {
+        let (stopped, anded) = intersect_segment_words(seg, self.words, imin, out);
+        self.words_anded += anded;
+        stopped
+    }
+}
+
 /// The cumulative-intersection prefix tree (paper §3.3, Patricia layout).
 ///
 /// Invariants (checked by [`PrefixTree::validate_invariants`]):
@@ -146,6 +249,10 @@ pub struct PrefixTree {
     /// Reusable run buffer for the segment scans of `isect` (stack
     /// discipline: each recursion level truncates back to its base).
     scratch: Vec<Item>,
+    /// Packed-word transaction buffer: `Some` switches `isect` to the
+    /// bitset segment kernel ([`intersect_segment_words`]); `None` (the
+    /// default) runs the scalar epoch kernel. Output-invariant.
+    twords: Option<Vec<u64>>,
 }
 
 impl PrefixTree {
@@ -168,6 +275,23 @@ impl PrefixTree {
             weight: 0,
             trans: vec![0; num_items as usize],
             scratch: Vec::new(),
+            twords: None,
+        }
+    }
+
+    /// Switches the segment-scan kernel: `true` selects the bitset kernel
+    /// (packed-word transaction, [`intersect_segment_words`]), `false` the
+    /// scalar epoch kernel. Output-invariant (proptested); safe to flip
+    /// between transactions.
+    pub fn set_bitset(&mut self, on: bool) {
+        if on {
+            let words = self.trans.len().div_ceil(64);
+            match self.twords.as_mut() {
+                Some(w) => w.resize(words, 0),
+                None => self.twords = Some(vec![0u64; words]),
+            }
+        } else {
+            self.twords = None;
         }
     }
 
@@ -189,6 +313,9 @@ impl PrefixTree {
     pub fn grow_universe(&mut self, num_items: u32) {
         if num_items as usize > self.trans.len() {
             self.trans.resize(num_items as usize, 0);
+            if let Some(w) = self.twords.as_mut() {
+                w.resize(self.trans.len().div_ceil(64), 0);
+            }
         }
     }
 
@@ -236,6 +363,7 @@ impl PrefixTree {
             weight,
             trans: vec![0; num_items as usize],
             scratch: Vec::new(),
+            twords: None,
         })
     }
 
@@ -325,9 +453,6 @@ impl PrefixTree {
         self.step += 1;
         let terminal = self.insert_path(t);
         self.arena.get_mut(terminal).raw += weight;
-        for &i in t {
-            self.trans[i as usize] = self.step;
-        }
         let imin = t[0];
         let head = self.arena.get(self.root).children;
         let ins = Slot::Child(self.root);
@@ -336,10 +461,30 @@ impl PrefixTree {
             trans,
             step,
             scratch,
+            twords,
             ..
         } = self;
         scratch.clear();
-        isect(arena, head, ins, trans, imin, *step, weight, scratch);
+        if let Some(words) = twords.as_mut() {
+            words.fill(0);
+            for &i in t {
+                words[i as usize / 64] |= 1u64 << (i % 64);
+            }
+            let mut kernel = WordKernel {
+                words,
+                words_anded: 0,
+            };
+            isect(arena, head, ins, &mut kernel, imin, *step, weight, scratch);
+            arena
+                .counters_mut()
+                .add(Counter::WordsAnded, kernel.words_anded);
+        } else {
+            for &i in t {
+                trans[i as usize] = *step;
+            }
+            let mut kernel = EpochKernel { trans, step: *step };
+            isect(arena, head, ins, &mut kernel, imin, *step, weight, scratch);
+        }
         self.weight += weight;
         self.arena.get_mut(self.root).supp = self.weight;
     }
@@ -778,11 +923,11 @@ fn check_structure(a: &SegArena, root: u32, num_items: u32, weight: u32) -> Resu
 /// positions local to `merge_run`, mirroring how the per-item recursion
 /// kept deeper `ins` values in callee frames.
 #[allow(clippy::too_many_arguments)]
-fn isect(
+fn isect<K: SegKernel>(
     a: &mut SegArena,
     mut node: u32,
     mut ins: Slot,
-    trans: &[u32],
+    kernel: &mut K,
     imin: Item,
     step: u32,
     w: u32,
@@ -790,7 +935,7 @@ fn isect(
 ) {
     while node != NONE {
         let base = scratch.len();
-        let stopped = intersect_segment(a.seg(node), trans, step, imin, scratch);
+        let stopped = kernel.scan(a.seg(node), imin, scratch);
         let c = a.counters_mut();
         c.bump(Counter::SegScans);
         if stopped {
@@ -816,7 +961,16 @@ fn isect(
                 // split relocated this node's deeper items to the tail, the
                 // children now hang off the tail
                 let child = a.get(src_cont).children;
-                isect(a, child, Slot::Child(target), trans, imin, step, w, scratch);
+                isect(
+                    a,
+                    child,
+                    Slot::Child(target),
+                    kernel,
+                    imin,
+                    step,
+                    w,
+                    scratch,
+                );
             }
         } else {
             if first <= imin {
@@ -824,7 +978,7 @@ fn isect(
             }
             if !stopped {
                 let child = a.get(node).children;
-                isect(a, child, ins, trans, imin, step, w, scratch);
+                isect(a, child, ins, kernel, imin, step, w, scratch);
             }
         }
         // the sibling link stays on the original slot: a split keeps the

@@ -43,10 +43,18 @@ pub enum Counter {
     TidIntersections = 10,
     /// Eclat: perfect extensions collapsed into the prefix.
     PerfectExtensions = 11,
+    /// Bitset kernels: `u64` words ANDed (in-place or fused with popcount).
+    WordsAnded = 12,
+    /// Gallop kernels: exponential/binary-search probes spent advancing
+    /// cursors (compare against the elements a linear scan would touch).
+    GallopProbes = 13,
+    /// Bitset kernels: popcount invocations (support counts and surviving
+    /// word counts).
+    PopcountCalls = 14,
 }
 
 /// Number of counter slots.
-pub const NUM_COUNTERS: usize = 12;
+pub const NUM_COUNTERS: usize = 15;
 
 impl Counter {
     /// Every counter, in slot order.
@@ -63,6 +71,9 @@ impl Counter {
         Counter::Eliminations,
         Counter::TidIntersections,
         Counter::PerfectExtensions,
+        Counter::WordsAnded,
+        Counter::GallopProbes,
+        Counter::PopcountCalls,
     ];
 
     /// The stable snake_case name used in metrics JSON.
@@ -80,6 +91,9 @@ impl Counter {
             Counter::Eliminations => "eliminations",
             Counter::TidIntersections => "tid_intersections",
             Counter::PerfectExtensions => "perfect_extensions",
+            Counter::WordsAnded => "words_anded",
+            Counter::GallopProbes => "gallop_probes",
+            Counter::PopcountCalls => "popcount_calls",
         }
     }
 }
@@ -170,7 +184,7 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), NUM_COUNTERS, "duplicate counter name");
         assert_eq!(names[0], "seg_scans");
-        assert_eq!(names[NUM_COUNTERS - 1], "perfect_extensions");
+        assert_eq!(names[NUM_COUNTERS - 1], "popcount_calls");
     }
 
     #[test]

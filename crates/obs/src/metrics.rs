@@ -74,6 +74,36 @@ pub struct ShardMetrics {
     pub recovered: u64,
 }
 
+/// Intersection-kernel metrics: which representation ran and how hard the
+/// word-parallel / galloping kernels were driven. Present whenever the
+/// miner supports representation selection (even when the scalar kernels
+/// ran, so the choice itself is visible).
+#[derive(Clone, Copy, Debug)]
+pub struct KernelMetrics {
+    /// The representation mined with (`scalar`, `bitset`, `gallop`).
+    pub rep: &'static str,
+    /// `u64` words ANDed by the bitset kernels.
+    pub words_anded: u64,
+    /// Exponential/binary-search probes spent by the galloping kernels.
+    pub gallop_probes: u64,
+    /// Popcount invocations by the bitset kernels.
+    pub popcount_calls: u64,
+}
+
+impl KernelMetrics {
+    /// A kernel section for `rep` with the three kernel counters read out
+    /// of a counter registry.
+    pub fn from_counters(rep: &'static str, counters: &Counters) -> Self {
+        use crate::counters::Counter;
+        KernelMetrics {
+            rep,
+            words_anded: counters.get(Counter::WordsAnded),
+            gallop_probes: counters.get(Counter::GallopProbes),
+            popcount_calls: counters.get(Counter::PopcountCalls),
+        }
+    }
+}
+
 /// Everything one metrics document reports. Optional sections are omitted
 /// from the JSON when `None`.
 #[derive(Debug)]
@@ -96,6 +126,8 @@ pub struct MetricsReport<'a> {
     pub passes: Option<PassMetrics>,
     /// Parallel-shard section.
     pub shards: Option<ShardMetrics>,
+    /// Intersection-kernel section (representation-aware miners).
+    pub kernel: Option<KernelMetrics>,
     /// Hot-loop counters; zero slots are omitted from the JSON.
     pub counters: Counters,
 }
@@ -113,6 +145,7 @@ impl<'a> MetricsReport<'a> {
             tree: None,
             passes: None,
             shards: None,
+            kernel: None,
             counters: Counters::new(),
         }
     }
@@ -158,6 +191,13 @@ impl<'a> MetricsReport<'a> {
                 w,
                 "  \"shards\": {{\"total\": {}, \"recovered\": {}}},",
                 s.shards, s.recovered
+            )?;
+        }
+        if let Some(k) = &self.kernel {
+            writeln!(
+                w,
+                "  \"kernel\": {{\"rep\": \"{}\", \"words_anded\": {}, \"gallop_probes\": {}, \"popcount_calls\": {}}},",
+                escape(k.rep), k.words_anded, k.gallop_probes, k.popcount_calls
             )?;
         }
         write!(w, "  \"counters\": {{")?;
@@ -237,6 +277,12 @@ mod tests {
             prune_passes: 3,
             compactions: 1,
         });
+        r.kernel = Some(KernelMetrics {
+            rep: "bitset",
+            words_anded: 777,
+            gallop_probes: 0,
+            popcount_calls: 555,
+        });
         r.counters.add(Counter::SegScans, 123456);
         r.counters.add(Counter::IsectEarlyExits, 4567);
         r
@@ -262,12 +308,29 @@ mod tests {
         assert!(!bare.contains("\"tree\""));
         assert!(!bare.contains("\"passes\""));
         assert!(!bare.contains("\"shards\""));
+        assert!(!bare.contains("\"kernel\""));
         assert!(bare.contains("\"counters\": {}"));
         let full = sample().to_json();
         assert!(full.contains("\"tree\""));
         assert!(full.contains("\"avg_seg_len\": 4.000"));
         assert!(full.contains("\"seg_scans\": 123456"));
         assert!(full.contains("\"distinct\": 800"));
+        assert!(full.contains(
+            "\"kernel\": {\"rep\": \"bitset\", \"words_anded\": 777, \
+             \"gallop_probes\": 0, \"popcount_calls\": 555}"
+        ));
+    }
+
+    #[test]
+    fn kernel_section_reads_counters() {
+        let mut c = Counters::new();
+        c.add(Counter::WordsAnded, 10);
+        c.add(Counter::PopcountCalls, 4);
+        let k = KernelMetrics::from_counters("gallop", &c);
+        assert_eq!(k.rep, "gallop");
+        assert_eq!(k.words_anded, 10);
+        assert_eq!(k.gallop_probes, 0);
+        assert_eq!(k.popcount_calls, 4);
     }
 
     #[test]

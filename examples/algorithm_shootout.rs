@@ -25,7 +25,7 @@ fn main() {
         ("carpenter-lists", Box::new(CarpenterListMiner::default())),
         ("fpclose", Box::new(FpCloseMiner)),
         ("lcm", Box::new(LcmMiner)),
-        ("eclat", Box::new(EclatMiner)),
+        ("eclat", Box::new(EclatMiner::default())),
         ("naive-cumulative", Box::new(NaiveCumulativeMiner)),
     ];
 

@@ -16,8 +16,8 @@ fn all_miners() -> Vec<Box<dyn ClosedMiner>> {
         Box::new(CarpenterTableMiner::default()),
         Box::new(FpCloseMiner),
         Box::new(LcmMiner),
-        Box::new(EclatMiner),
-        Box::new(DEclatMiner),
+        Box::new(EclatMiner::default()),
+        Box::new(DEclatMiner::default()),
         Box::new(SamMiner),
         Box::new(AprioriMiner),
         Box::new(NaiveCumulativeMiner),
