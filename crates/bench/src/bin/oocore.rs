@@ -1,0 +1,488 @@
+//! Experiment **E15**: out-of-core shard-spill mining — peak RSS versus
+//! shard count under a fixed byte budget.
+//!
+//! The workload is the *basket* (untransposed) form of the webview preset:
+//! the same IBM-Quest generator the `webview-tpo` preset transposes, kept
+//! as a long stream of short transactions — the many-transactions shape
+//! the out-of-core slicer is built for. One FIMI file is written to disk
+//! once; every cell is a fresh subprocess that mines that file end to end
+//! (read through report serialization) and reports its wall time and its
+//! peak resident set (`VmHWM` from `/proc/self/status`), so allocator
+//! state never leaks between cells and the RSS number is the number the
+//! kernel actually charged the process.
+//!
+//! Cells: one in-memory baseline (`fim_core::mine_closed_with_orders` over
+//! the materialized database) and one out-of-core run per byte budget
+//! (fractions of the estimated resident size of the transaction slice, so
+//! the budgets map to ~4, ~8, and ~16 shards). Every cell's serialized
+//! report is FNV-hashed and cross-checked against the baseline — the
+//! pipeline must be byte-identical at every budget, every rep.
+//!
+//! The honest trade-off this experiment records: the out-of-core pipeline
+//! reads the input twice and pays spill/reload I/O, so it *loses* wall
+//! time; what it buys is the peak-RSS bound (DESIGN.md §17).
+//!
+//! Usage: `oocore [--scale X] [--seed N] [--reps R] [--supp S]
+//!                [--out BENCH_oocore.json]`
+
+use fim_bench::{parse_kv, MINE_STACK_BYTES};
+use fim_core::{mine_closed_with_orders, Budget, ItemOrder, TransactionOrder};
+use fim_io::FimiLimits;
+use fim_ista::{IstaMiner, OutOfCoreConfig};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Byte-budget cells, as divisors of the estimated in-memory transaction
+/// slice: `est / 4` ≈ 4-5 shards, up to `est / 16` ≈ 16-17 shards.
+const BUDGET_DIVISORS: [u64; 3] = [4, 8, 16];
+
+/// Support threshold as a fraction of the transaction count when `--supp`
+/// is not given (sparse basket data: short transactions, Zipf items).
+const DEFAULT_SUPP_FRAC: f64 = 0.005;
+
+/// What one `oocell` subprocess reports.
+#[derive(Clone, Copy)]
+struct CellResult {
+    seconds: f64,
+    sets: usize,
+    vmhwm_kb: u64,
+    shards: u64,
+    spilled: u64,
+    merge_passes: u64,
+    spill_bytes: u64,
+    hash: u64,
+}
+
+/// One aggregated row of the experiment (medians over reps; structure and
+/// hash are deterministic and verified identical across reps).
+struct Measurement {
+    mode: &'static str,
+    mem_budget: u64,
+    seconds: f64,
+    vmhwm_kb: u64,
+    cell: CellResult,
+}
+
+/// FNV-1a over the serialized report — the cheap stand-in for byte
+/// identity across cells (collisions are irrelevant at n = a few dozen).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Peak resident set of this process in kB, from `/proc/self/status`
+/// (`VmHWM`). Linux-only by construction; any parse failure is an error
+/// rather than a silent zero, so the JSON never carries fake numbers.
+fn vmhwm_kb() -> Result<u64, String> {
+    let status = std::fs::read_to_string("/proc/self/status")
+        .map_err(|e| format!("/proc/self/status: {e}"))?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
+        .ok_or_else(|| "no VmHWM line in /proc/self/status".to_owned())
+}
+
+/// The basket-form webview workload: the quest generator of
+/// [`fim_synth::Preset::Webview`] *without* the transpose.
+fn basket_config(scale: f64, seed: u64) -> fim_synth::QuestConfig {
+    let s = |x: usize| ((x as f64 * scale).round() as usize).max(4);
+    fim_synth::QuestConfig {
+        transactions: s(59_602),
+        items: s(497),
+        avg_transaction_len: 3,
+        patterns: s(600),
+        avg_pattern_len: 4,
+        keep_prob: 0.75,
+        zipf: 0.9,
+        seed,
+    }
+}
+
+/// If `argv` is a cell invocation (`oocell <data> <supp> <mode mem|ooc>
+/// <mem_budget> <spill_dir>`), mines the FIMI file end to end in this
+/// process on a big-stack thread, prints `RESULT <secs> <sets> <vmhwm_kb>
+/// <shards> <spilled> <merges> <spill_bytes> <hash>`, and returns `true`.
+fn maybe_run_oocell(argv: &[String]) -> Result<bool, String> {
+    if argv.first().map(String::as_str) != Some("oocell") {
+        return Ok(false);
+    }
+    if argv.len() != 6 {
+        return Err(format!("oocell expects 5 operands, got {}", argv.len() - 1));
+    }
+    let data = PathBuf::from(&argv[1]);
+    let supp: u32 = argv[2].parse().map_err(|e| format!("supp: {e}"))?;
+    let mode = argv[3].as_str();
+    let mem_budget: u64 = argv[4].parse().map_err(|e| format!("mem_budget: {e}"))?;
+    let spill_dir = PathBuf::from(&argv[5]);
+    let cell = std::thread::scope(|s| {
+        std::thread::Builder::new()
+            .stack_size(MINE_STACK_BYTES)
+            .spawn_scoped(s, || {
+                run_one_cell(&data, supp, mode, mem_budget, &spill_dir)
+            })
+            .expect("spawn failed")
+            .join()
+            .expect("mining thread panicked")
+    })?;
+    println!(
+        "RESULT {:.6} {} {} {} {} {} {} {:016x}",
+        cell.seconds,
+        cell.sets,
+        cell.vmhwm_kb,
+        cell.shards,
+        cell.spilled,
+        cell.merge_passes,
+        cell.spill_bytes,
+        cell.hash
+    );
+    Ok(true)
+}
+
+/// Mines the file once, end to end, and measures this process.
+fn run_one_cell(
+    data: &Path,
+    supp: u32,
+    mode: &str,
+    mem_budget: u64,
+    spill_dir: &Path,
+) -> Result<CellResult, String> {
+    let start = Instant::now();
+    let (report, sets, shards, spilled, merge_passes, spill_bytes) = match mode {
+        "mem" => {
+            let db = fim_io::read_fimi_path(data).map_err(|e| e.to_string())?;
+            let result = mine_closed_with_orders(
+                &db,
+                supp,
+                &IstaMiner::default(),
+                ItemOrder::AscendingFrequency,
+                TransactionOrder::Original,
+            );
+            let mut buf = Vec::new();
+            fim_io::write_results(&result, &db, &mut buf).map_err(|e| e.to_string())?;
+            (buf, result.len(), 1, 0, 0, 0)
+        }
+        "ooc" => {
+            let run = fim_io::mine_fimi_out_of_core(
+                data,
+                &FimiLimits::default(),
+                supp,
+                ItemOrder::AscendingFrequency,
+                OutOfCoreConfig::new(mem_budget, spill_dir),
+                &Budget::unlimited(),
+            )
+            .map_err(|e| e.to_string())?;
+            if run.outcome.is_interrupted() {
+                return Err("unlimited budget must not interrupt".to_owned());
+            }
+            let result = run.outcome.result();
+            let mut buf = Vec::new();
+            fim_io::write_results_named(result, &run.catalog, &mut buf)
+                .map_err(|e| e.to_string())?;
+            let leftovers = std::fs::read_dir(spill_dir).map_or(0, |d| d.count());
+            if leftovers != 0 {
+                return Err(format!("{leftovers} files left in the spill dir"));
+            }
+            let s = run.stats;
+            (
+                buf,
+                result.len(),
+                s.shards,
+                s.spilled,
+                s.merge_passes,
+                s.spill_bytes,
+            )
+        }
+        other => return Err(format!("mode must be mem or ooc, got '{other}'")),
+    };
+    let seconds = start.elapsed().as_secs_f64();
+    Ok(CellResult {
+        seconds,
+        sets,
+        vmhwm_kb: vmhwm_kb()?,
+        shards,
+        spilled,
+        merge_passes,
+        spill_bytes,
+        hash: fnv1a(&report),
+    })
+}
+
+/// Spawns the current executable as an `oocell` subprocess and parses its
+/// `RESULT` line.
+fn run_oocell_subprocess(
+    data: &Path,
+    supp: u32,
+    mode: &str,
+    mem_budget: u64,
+    spill_dir: &Path,
+) -> Result<CellResult, String> {
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let out = std::process::Command::new(exe)
+        .arg("oocell")
+        .arg(data)
+        .arg(supp.to_string())
+        .arg(mode)
+        .arg(mem_budget.to_string())
+        .arg(spill_dir)
+        .stderr(std::process::Stdio::inherit())
+        .output()
+        .map_err(|e| e.to_string())?;
+    if !out.status.success() {
+        return Err(format!("oocell failed with {}", out.status));
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("RESULT "))
+        .ok_or("oocell produced no RESULT line")?;
+    let f: Vec<&str> = line.split_whitespace().skip(1).collect();
+    if f.len() != 8 {
+        return Err(format!("RESULT carries {} fields, expected 8", f.len()));
+    }
+    let num = |i: usize| -> Result<u64, String> {
+        f[i].parse()
+            .map_err(|e| format!("bad RESULT field {i}: {e}"))
+    };
+    Ok(CellResult {
+        seconds: f[0].parse().map_err(|e| format!("bad seconds: {e}"))?,
+        sets: num(1)? as usize,
+        vmhwm_kb: num(2)?,
+        shards: num(3)?,
+        spilled: num(4)?,
+        merge_passes: num(5)?,
+        spill_bytes: num(6)?,
+        hash: u64::from_str_radix(f[7], 16).map_err(|e| format!("bad hash: {e}"))?,
+    })
+}
+
+fn median_u64(samples: &mut [u64]) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn median_f64(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if maybe_run_oocell(&argv)? {
+        return Ok(());
+    }
+    let kv = parse_kv(&argv)?;
+    let scale: f64 = kv
+        .get("scale")
+        .map_or(Ok(1.0), |s| s.parse().map_err(|e| format!("--scale: {e}")))?;
+    let seed: u64 = kv
+        .get("seed")
+        .map_or(Ok(1), |s| s.parse().map_err(|e| format!("--seed: {e}")))?;
+    let reps: usize = kv
+        .get("reps")
+        .map_or(Ok(5), |s| s.parse().map_err(|e| format!("--reps: {e}")))?;
+    let out_path = kv
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_oocore.json".to_owned());
+
+    // one FIMI file on disk, shared by every cell
+    let db = fim_synth::quest::generate(&basket_config(scale, seed));
+    let supp: u32 = match kv.get("supp") {
+        Some(s) => s.parse().map_err(|e| format!("--supp: {e}"))?,
+        None => (((db.num_transactions() as f64) * DEFAULT_SUPP_FRAC).ceil() as u32).max(2),
+    };
+    let tag = std::process::id();
+    let data = std::env::temp_dir().join(format!("fim-oocore-bench-{tag}.fimi"));
+    let spill_dir = std::env::temp_dir().join(format!("fim-oocore-bench-{tag}-spill"));
+    fim_io::write_fimi_path(&db, &data).map_err(|e| e.to_string())?;
+    let fimi_bytes = std::fs::metadata(&data).map_err(|e| e.to_string())?.len();
+    // same resident-size estimate the pipeline's slicer applies
+    let est_bytes = db.total_occurrences() as u64 * 4 + db.num_transactions() as u64 * 32;
+    println!(
+        "# E15 out-of-core RSS (webview-basket, scale {scale}, seed {seed}, supp {supp}, \
+         reps {reps}, median-of-reps, one subprocess per rep)"
+    );
+    println!(
+        "# {} transactions, {} items, {} occurrences, {fimi_bytes} FIMI bytes, \
+         ~{est_bytes} resident bytes in memory",
+        db.num_transactions(),
+        db.num_items(),
+        db.total_occurrences()
+    );
+
+    // modes: the in-memory baseline, then one budget per divisor
+    let mut modes: Vec<(&'static str, u64)> = vec![("in-memory", 0)];
+    for d in BUDGET_DIVISORS {
+        modes.push(("out-of-core", (est_bytes / d).max(1)));
+    }
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for (mode, mem_budget) in modes {
+        let cell_mode = if mode == "in-memory" { "mem" } else { "ooc" };
+        let mut secs = Vec::with_capacity(reps);
+        let mut hwm = Vec::with_capacity(reps);
+        let mut first: Option<CellResult> = None;
+        for _rep in 0..reps {
+            let cell = run_oocell_subprocess(&data, supp, cell_mode, mem_budget, &spill_dir)?;
+            match first {
+                None => first = Some(cell),
+                Some(f) => {
+                    if f.hash != cell.hash || f.sets != cell.sets || f.shards != cell.shards {
+                        return Err(format!(
+                            "NONDETERMINISM in {mode} budget {mem_budget}: reps disagree"
+                        ));
+                    }
+                }
+            }
+            secs.push(cell.seconds);
+            hwm.push(cell.vmhwm_kb);
+        }
+        let cell = first.expect("reps >= 1");
+        measurements.push(Measurement {
+            mode,
+            mem_budget,
+            seconds: median_f64(&secs),
+            vmhwm_kb: median_u64(&mut hwm),
+            cell,
+        });
+    }
+
+    // canonical cross-check at every cell: byte-identical to the baseline
+    let base = &measurements[0];
+    for m in &measurements[1..] {
+        if m.cell.hash != base.cell.hash || m.cell.sets != base.cell.sets {
+            return Err(format!(
+                "CROSS-CHECK FAILED: budget {} output differs from the in-memory run",
+                m.mem_budget
+            ));
+        }
+    }
+    let max_shards = measurements
+        .iter()
+        .map(|m| m.cell.shards)
+        .max()
+        .unwrap_or(0);
+    if max_shards < 4 {
+        return Err(format!(
+            "smallest budget produced only {max_shards} shards; expected >= 4"
+        ));
+    }
+
+    println!(
+        "{:>12} {:>12} {:>8} {:>10} {:>10} {:>8} {:>10} {:>8}",
+        "mode", "mem-budget", "shards", "seconds", "vmhwm kB", "vs mem", "spill B", "sets"
+    );
+    for m in &measurements {
+        println!(
+            "{:>12} {:>12} {:>8} {:>10.4} {:>10} {:>7.2}x {:>10} {:>8}",
+            m.mode,
+            m.mem_budget,
+            m.cell.shards,
+            m.seconds,
+            m.vmhwm_kb,
+            m.vmhwm_kb as f64 / base.vmhwm_kb as f64,
+            m.cell.spill_bytes,
+            m.cell.sets
+        );
+    }
+    println!(
+        "# identity: all {} cells hash 0x{:016x}",
+        measurements.len(),
+        base.cell.hash
+    );
+
+    write_json(
+        &out_path,
+        scale,
+        seed,
+        reps,
+        supp,
+        &db,
+        fimi_bytes,
+        est_bytes,
+        &measurements,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("# wrote {out_path}");
+    let _ = std::fs::remove_file(&data);
+    let _ = std::fs::remove_dir_all(&spill_dir);
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    path: &str,
+    scale: f64,
+    seed: u64,
+    reps: usize,
+    supp: u32,
+    db: &fim_core::TransactionDatabase,
+    fimi_bytes: u64,
+    est_bytes: u64,
+    measurements: &[Measurement],
+) -> std::io::Result<()> {
+    let base = &measurements[0];
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"experiment\": \"oocore-rss\",")?;
+    writeln!(f, "  \"preset\": \"webview-basket\",")?;
+    writeln!(f, "  \"scale\": {scale},")?;
+    writeln!(f, "  \"seed\": {seed},")?;
+    writeln!(f, "  \"reps\": {reps},")?;
+    writeln!(f, "  \"supp\": {supp},")?;
+    writeln!(
+        f,
+        "  \"database\": {{\"transactions\": {}, \"items\": {}, \"occurrences\": {}, \"fimi_bytes\": {fimi_bytes}, \"est_resident_bytes\": {est_bytes}}},",
+        db.num_transactions(),
+        db.num_items(),
+        db.total_occurrences()
+    )?;
+    writeln!(
+        f,
+        "  \"timing\": \"median of reps, one subprocess per rep, end-to-end file-to-report, VmHWM from /proc/self/status\","
+    )?;
+    writeln!(
+        f,
+        "  \"identity\": \"all cells byte-identical (fnv1a 0x{:016x})\",",
+        base.cell.hash
+    )?;
+    writeln!(f, "  \"cells\": [")?;
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"mode\": \"{}\", \"mem_budget\": {}, \"shards\": {}, \"spilled\": {}, \"merge_passes\": {}, \"spill_bytes\": {}, \"seconds\": {:.6}, \"vmhwm_kb\": {}, \"vmhwm_vs_memory\": {:.4}, \"sets\": {}}}{comma}",
+            m.mode,
+            m.mem_budget,
+            m.cell.shards,
+            m.cell.spilled,
+            m.cell.merge_passes,
+            m.cell.spill_bytes,
+            m.seconds,
+            m.vmhwm_kb,
+            m.vmhwm_kb as f64 / base.vmhwm_kb as f64,
+            m.cell.sets
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("oocore: {e}");
+        std::process::exit(1);
+    }
+}

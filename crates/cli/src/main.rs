@@ -29,7 +29,7 @@ mod registry;
 
 use args::Args;
 use errors::{usage, CliError};
-use fim_obs::{MetricsReport, PassMetrics, ProgressSnapshot, ShardMetrics};
+use fim_obs::{MetricsReport, PassMetrics, ProgressSnapshot, ShardMetrics, SpillMetrics};
 use observe::ObsArgs;
 use registry::{all_miner_names, miner_by_name};
 
@@ -148,6 +148,15 @@ fn split_rep_suffix(algo: &str) -> (&str, Option<Representation>) {
 fn cmd_mine(args: &Args) -> Result<(), CliError> {
     let raw_algo = args.get("algo").unwrap_or("ista");
     let (algo, name_rep) = split_rep_suffix(raw_algo);
+    if args.flag("out-of-core") {
+        // the raw name, so 'ista-bitset --out-of-core' is rejected
+        return cmd_mine_oocore(args, raw_algo);
+    }
+    for f in ["mem-budget", "spill-dir"] {
+        if args.get(f).is_some() {
+            return Err(usage(format!("--{f} needs --out-of-core")));
+        }
+    }
     if args.get("checkpoint").is_some() || args.get("resume").is_some() {
         // the raw name, so 'ista-bitset --checkpoint' is rejected rather
         // than silently streamed through the scalar kernel
@@ -350,6 +359,13 @@ fn resolve_rep(
 /// Resolves absolute `--supp N` or relative `--supp-rel F` (fraction of
 /// transactions) against the loaded database.
 fn resolve_supp(args: &Args, db: &TransactionDatabase) -> Result<u32, CliError> {
+    resolve_supp_n(args, db.num_transactions() as u64)
+}
+
+/// [`resolve_supp`] against a bare transaction count — for the out-of-core
+/// path, where the count comes from the streaming pass 1 and no database
+/// is ever materialized.
+fn resolve_supp_n(args: &Args, transactions: u64) -> Result<u32, CliError> {
     match (args.get("supp"), args.get("supp-rel")) {
         (Some(_), Some(_)) => Err(usage("--supp and --supp-rel are exclusive")),
         (Some(s), None) => s.parse().map_err(|e| usage(format!("bad --supp: {e}"))),
@@ -360,7 +376,7 @@ fn resolve_supp(args: &Args, db: &TransactionDatabase) -> Result<u32, CliError> 
             if !(0.0..=1.0).contains(&frac) {
                 return Err(usage("--supp-rel must be in [0, 1]"));
             }
-            Ok(((frac * db.num_transactions() as f64).ceil() as u32).max(1))
+            Ok(((frac * transactions as f64).ceil() as u32).max(1))
         }
         (None, None) => Err(usage("missing --supp (or --supp-rel)")),
     }
@@ -591,6 +607,132 @@ fn write_checkpoint_atomically(
     drop(w);
     std::fs::rename(&tmp, path)
         .map_err(|e| CliError::Other(format!("cannot rename {tmp} to {path}: {e}")))
+}
+
+/// The out-of-core batch path behind `--out-of-core`: two streaming passes
+/// over the input file (item counts, then an on-the-fly recode into
+/// contiguous shards sized to the `--mem-budget` byte target), each shard
+/// mined and spilled to `--spill-dir` as a validated snapshot, the spills
+/// merge-reduced pairwise from disk. The output is identical to an
+/// in-memory run over the same file; spill files are written atomically
+/// and removed on every exit path, budget trips included.
+fn cmd_mine_oocore(args: &Args, algo: &str) -> Result<(), CliError> {
+    if algo != "ista" {
+        return Err(usage(format!(
+            "--out-of-core streams through the shard-spill ista pipeline, not '{algo}'"
+        )));
+    }
+    for f in [
+        "threads",
+        "checkpoint",
+        "resume",
+        "rep",
+        "no-patricia",
+        "tx-order",
+        "degrade",
+        "profile",
+        "progress",
+    ] {
+        if args.get(f).is_some() {
+            return Err(usage(format!("--{f} is not available with --out-of-core")));
+        }
+    }
+    let input = match args.get("in") {
+        Some("-") | None => {
+            return Err(usage(
+                "--out-of-core needs a real --in file (the pipeline reads it twice)",
+            ))
+        }
+        Some(p) => p,
+    };
+    let mem_budget: u64 = args.require_parsed("mem-budget")?;
+    let spill_dir = args.require("spill-dir")?;
+    let budget = budget_from(args)?;
+    let obs_args = ObsArgs::from_args(args)?;
+    if obs_args.any() && !budget.is_unlimited() {
+        return Err(usage(
+            "--stats/--metrics cannot be combined with budget flags",
+        ));
+    }
+    let limits = fim_io::FimiLimits::default();
+    let counts = fim_io::count_fimi_path(input, &limits)?;
+    let supp = resolve_supp_n(args, counts.transactions)?;
+    let mut config = fim_ista::OutOfCoreConfig::new(mem_budget, spill_dir);
+    if args.flag("no-prune") {
+        config.policy = fim_ista::PrunePolicy::Never;
+    }
+    config.coalesce = !args.flag("no-coalesce");
+    config.compact = !args.flag("no-compact");
+    let start = std::time::Instant::now();
+    let run = fim_io::mine_fimi_with_counts(
+        input,
+        &limits,
+        counts,
+        supp,
+        item_order(args)?,
+        config,
+        &budget,
+    )?;
+    let elapsed = start.elapsed();
+    let maximal = args.flag("maximal");
+    let kind = if maximal { "maximal" } else { "closed" };
+    let stats = run.stats;
+    let shard_note = format!(
+        "{} shards ({} spilled, {} merge passes)",
+        stats.shards, stats.spilled, stats.merge_passes
+    );
+    match run.outcome {
+        MineOutcome::Complete { mut result, .. } => {
+            if maximal {
+                result = fim_core::maximal_from_closed(&result);
+            }
+            write_out(args, |w| {
+                fim_io::write_results_named(&result, &run.catalog, w).map_err(CliError::from)
+            })?;
+            if obs_args.metrics.is_some() {
+                let mut report = MetricsReport::new(
+                    "ista-oocore",
+                    supp,
+                    elapsed.as_secs_f64(),
+                    result.len() as u64,
+                    run.transactions,
+                );
+                // no cross-shard peak is tracked; the reduced tree's arena
+                // high-water (total slots) is the closest honest figure
+                report.tree = Some(stats.memory.to_metrics(stats.memory.total_slots));
+                report.shards = Some(ShardMetrics {
+                    shards: stats.shards,
+                    recovered: 0,
+                });
+                report.spill = Some(SpillMetrics::from_counters(&stats.counters));
+                report.counters = stats.counters;
+                obs_args.emit_metrics(&report)?;
+            }
+            eprintln!(
+                "ista-oocore: {} {kind} sets at supp >= {supp} over {shard_note} in {:.3}s",
+                result.len(),
+                elapsed.as_secs_f64()
+            );
+            Ok(())
+        }
+        MineOutcome::Interrupted {
+            mut partial,
+            reason,
+            progress,
+        } => {
+            if maximal {
+                partial = fim_core::maximal_from_closed(&partial);
+            }
+            write_out(args, |w| {
+                fim_io::write_results_named(&partial, &run.catalog, w).map_err(CliError::from)
+            })?;
+            Err(CliError::Budget(format!(
+                "ista-oocore interrupted ({reason}) at progress {progress} over {shard_note}; \
+                 wrote {} {kind} sets with exact supports; spill files were cleaned up",
+                partial.len()
+            )))
+        }
+    }
 }
 
 /// Builds a data-parallel ista miner carrying the sequential hot-path
@@ -858,6 +1000,7 @@ USAGE:
             [--stats] [--metrics PATH|-] [--progress SECS] [--profile FILE]
             [--timeout SECS] [--max-nodes N] [--max-sets N] [--degrade]
             [--checkpoint FILE] [--resume FILE]
+            [--out-of-core --mem-budget BYTES --spill-dir DIR]
             (--threads N shards the database over N threads and merges the
              per-shard prefix trees; 0 = one shard per core; ista only)
             (--no-coalesce disables merging identical transactions into
@@ -892,6 +1035,15 @@ USAGE:
             (--checkpoint writes a resumable stream snapshot — atomically,
              on completion or on a budget trip; --resume loads one and
              skips the transactions it already covers; ista only)
+            (--out-of-core mines a file larger than memory: two streaming
+             passes over --in (item counts, then a recode into contiguous
+             shards sized to the --mem-budget byte target), each shard
+             mined and spilled to --spill-dir as a validated snapshot,
+             the spills merge-reduced pairwise from disk, so peak memory
+             tracks one shard's slice plus two trees instead of the whole
+             database. Output is identical to an in-memory run; spill
+             files are written atomically and removed on every exit,
+             budget trips included; ista only, needs a real --in file)
   fim gen   --preset yeast|ncbi60|thrombin|webview [--scale X] [--seed N] [--out FILE]
   fim rules --supp N [--conf X] [--algo NAME] [--in FILE] [--out FILE]
   fim stats [--in FILE]

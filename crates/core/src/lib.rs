@@ -70,7 +70,7 @@ pub use miner::{
 };
 pub use order::{ItemOrder, TransactionOrder};
 pub use prepare::{cmp_size_then_desc_lex, coalesce};
-pub use recode::{Density, Recode, RecodedDatabase};
+pub use recode::{Density, Recode, RecodedDatabase, StreamingRecode};
 pub use rep::Representation;
 
 /// Dense item code used throughout the workspace.

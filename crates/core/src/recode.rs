@@ -49,6 +49,104 @@ impl Recode {
     }
 }
 
+/// The streaming half of recoding: everything [`RecodedDatabase::prepare`]
+/// derives from the item-frequency histogram, without the transactions.
+///
+/// The out-of-core pipeline cannot materialize the database, so recoding
+/// splits into two passes: pass 1 streams the input once and counts item
+/// frequencies (a `Vec<u32>` over raw catalog codes — the only state whose
+/// size is bounded by the item universe, not the transaction count); this
+/// constructor then fixes the surviving items, their dense codes, and the
+/// global support snapshot; pass 2 re-reads the input and feeds each
+/// transaction through [`encode_transaction`](Self::encode_transaction).
+///
+/// The item selection and ordering are exactly `prepare`'s: items with
+/// frequency `< minsupp` are dropped (lossless for frequent closed sets),
+/// survivors are ordered by `item_order` with the raw code as tie-breaker.
+/// Because dropping infrequent items never changes a surviving item's
+/// support, the dense-code support snapshot is the raw histogram restricted
+/// to the survivors — no second counting pass is needed.
+#[derive(Clone, Debug)]
+pub struct StreamingRecode {
+    item_to_new: Vec<Option<Item>>,
+    item_to_old: Vec<Item>,
+    item_supports: Vec<u32>,
+    minsupp_used: u32,
+}
+
+impl StreamingRecode {
+    /// Fixes the recoding from a raw item-frequency histogram (indexed by
+    /// raw catalog code; the frequency counts each transaction once per
+    /// item it contains). `minsupp` is clamped to at least 1.
+    pub fn from_counts(freq: &[u32], minsupp: u32, item_order: ItemOrder) -> Self {
+        let minsupp = minsupp.max(1);
+        let mut surviving: Vec<Item> = (0..freq.len() as Item)
+            .filter(|&i| freq[i as usize] >= minsupp)
+            .collect();
+        match item_order {
+            ItemOrder::AscendingFrequency => {
+                surviving.sort_by_key(|&i| (freq[i as usize], i));
+            }
+            ItemOrder::DescendingFrequency => {
+                surviving.sort_by_key(|&i| (std::cmp::Reverse(freq[i as usize]), i));
+            }
+            ItemOrder::Original => {}
+        }
+        let mut item_to_new: Vec<Option<Item>> = vec![None; freq.len()];
+        for (new, &old) in surviving.iter().enumerate() {
+            item_to_new[old as usize] = Some(new as Item);
+        }
+        let item_supports = surviving.iter().map(|&old| freq[old as usize]).collect();
+        StreamingRecode {
+            item_to_new,
+            item_to_old: surviving,
+            item_supports,
+            minsupp_used: minsupp,
+        }
+    }
+
+    /// Recodes one transaction of raw catalog codes into sorted dense
+    /// codes, dropping filtered items, into `out` (cleared first). Returns
+    /// `false` when the transaction became empty (the caller skips it, as
+    /// `prepare` drops empties).
+    pub fn encode_transaction(&self, raw: &[Item], out: &mut Vec<Item>) -> bool {
+        out.clear();
+        for &i in raw {
+            if let Some(new) = self.item_to_new.get(i as usize).copied().flatten() {
+                out.push(new);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        !out.is_empty()
+    }
+
+    /// Number of surviving dense item codes.
+    pub fn num_items(&self) -> u32 {
+        self.item_to_old.len() as u32
+    }
+
+    /// Global support of every dense item code over the whole database.
+    pub fn item_supports(&self) -> &[u32] {
+        &self.item_supports
+    }
+
+    /// Dense code → raw catalog code.
+    pub fn item_to_old(&self) -> &[Item] {
+        &self.item_to_old
+    }
+
+    /// The minimum support the recoding was fixed for.
+    pub fn minsupp_used(&self) -> u32 {
+        self.minsupp_used
+    }
+
+    /// Translates an item set over dense codes back to raw catalog codes.
+    pub fn decode_items(&self, items: &ItemSet) -> ItemSet {
+        ItemSet::new(items.iter().map(|i| self.item_to_old[i as usize]).collect())
+    }
+}
+
 /// A mining-ready database: dense recoded items, ordered transactions.
 ///
 /// All miner implementations in this workspace take a `&RecodedDatabase`.
@@ -437,6 +535,56 @@ mod tests {
         assert!(de.is_degenerate());
         assert_eq!(de.fill, 0.0);
         assert_eq!(de.avg_row_len, 0.0);
+    }
+
+    /// The streaming recode must agree with `prepare` on item selection,
+    /// dense codes, per-item supports, and per-transaction encodings.
+    #[test]
+    fn streaming_recode_matches_prepare() {
+        let db = paper_db();
+        for minsupp in [1, 2, 4, 5] {
+            for order in [
+                ItemOrder::AscendingFrequency,
+                ItemOrder::DescendingFrequency,
+                ItemOrder::Original,
+            ] {
+                let want =
+                    RecodedDatabase::prepare(&db, minsupp, order, TransactionOrder::Original);
+                let sr = StreamingRecode::from_counts(&db.item_frequencies(), minsupp, order);
+                assert_eq!(sr.num_items(), want.num_items());
+                assert_eq!(sr.item_to_old(), &want.recode().item_to_old[..]);
+                assert_eq!(sr.item_supports(), want.item_supports());
+                assert_eq!(sr.minsupp_used(), want.minsupp_used());
+                let mut buf = Vec::new();
+                let mut encoded: Vec<Vec<Item>> = Vec::new();
+                for t in db.transactions() {
+                    if sr.encode_transaction(t.as_slice(), &mut buf) {
+                        encoded.push(buf.clone());
+                    }
+                }
+                let want_txs: Vec<Vec<Item>> =
+                    want.transactions().iter().map(|t| t.to_vec()).collect();
+                assert_eq!(encoded, want_txs, "minsupp={minsupp} order={order:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_recode_decodes_and_handles_out_of_range() {
+        let sr = StreamingRecode::from_counts(&[3, 1, 2], 2, ItemOrder::AscendingFrequency);
+        // survivors: item 2 (freq 2), item 0 (freq 3) → dense 0 = raw 2
+        assert_eq!(sr.num_items(), 2);
+        assert_eq!(sr.item_to_old(), &[2, 0]);
+        assert_eq!(sr.item_supports(), &[2, 3]);
+        let mut buf = Vec::new();
+        // raw code 9 is beyond the histogram: treated as filtered, not a panic
+        assert!(sr.encode_transaction(&[0, 1, 9], &mut buf));
+        assert_eq!(buf, vec![1]);
+        assert!(!sr.encode_transaction(&[1, 9], &mut buf));
+        assert_eq!(
+            sr.decode_items(&ItemSet::from([0, 1])),
+            ItemSet::from([0, 2])
+        );
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! characters — is a [`FimError::Parse`] carrying the 1-based line number,
 //! never a panic.
 
-use fim_core::{FimError, TransactionDatabase};
-use std::io::{BufRead, BufReader, Read, Write};
+use fim_core::{FimError, Item, ItemCatalog, TransactionDatabase};
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// Input caps for the FIMI reader (see [`read_fimi_with_limits`]).
@@ -61,58 +61,87 @@ pub fn read_fimi_with_limits<R: Read>(
     let mut buf: Vec<u8> = Vec::new();
     let mut lineno = 0usize;
     loop {
-        buf.clear();
-        // bounded read: never buffer more than the cap plus the room needed
-        // to tell "exactly at the cap" from "over it"
-        let window = limits.max_line_bytes.saturating_add(2) as u64;
-        let n = (&mut reader).take(window).read_until(b'\n', &mut buf)?;
-        if n == 0 {
+        if !read_bounded_line(&mut reader, &mut buf, limits, lineno + 1)? {
             break;
         }
         lineno += 1;
-        if buf.last() == Some(&b'\n') {
-            buf.pop();
-            if buf.last() == Some(&b'\r') {
-                buf.pop();
-            }
-        }
-        if buf.len() > limits.max_line_bytes {
-            return Err(FimError::Parse {
-                line: lineno,
-                message: format!("line exceeds {} bytes", limits.max_line_bytes),
-            });
-        }
-        let text = std::str::from_utf8(&buf).map_err(|_| FimError::Parse {
-            line: lineno,
-            message: "invalid UTF-8".into(),
-        })?;
-        let trimmed = text.trim();
-        if trimmed.starts_with('#') {
+        let Some(tokens) = validate_line(&buf, limits, lineno)? else {
             continue;
-        }
-        if trimmed.chars().any(|c| c.is_control() && c != '\t') {
-            return Err(FimError::Parse {
-                line: lineno,
-                message: "unexpected control character".into(),
-            });
-        }
-        let tokens: Vec<&str> = trimmed.split_whitespace().collect();
-        if tokens.len() > limits.max_items_per_transaction {
-            return Err(FimError::Parse {
-                line: lineno,
-                message: format!(
-                    "{} items in one transaction exceeds the cap of {}",
-                    tokens.len(),
-                    limits.max_items_per_transaction
-                ),
-            });
-        }
-        for token in &tokens {
-            check_token(token, limits, lineno)?;
-        }
+        };
         db.push_named(&tokens);
     }
     Ok(db)
+}
+
+/// Reads one newline-terminated line through the byte-bounded window into
+/// `buf` (cleared first, terminator stripped). Returns `false` at end of
+/// input; rejects over-long lines as [`FimError::Parse`] at `lineno`.
+fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    limits: &FimiLimits,
+    lineno: usize,
+) -> Result<bool, FimError> {
+    buf.clear();
+    // bounded read: never buffer more than the cap plus the room needed
+    // to tell "exactly at the cap" from "over it"
+    let window = limits.max_line_bytes.saturating_add(2) as u64;
+    let n = reader.take(window).read_until(b'\n', buf)?;
+    if n == 0 {
+        return Ok(false);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+    }
+    if buf.len() > limits.max_line_bytes {
+        return Err(FimError::Parse {
+            line: lineno,
+            message: format!("line exceeds {} bytes", limits.max_line_bytes),
+        });
+    }
+    Ok(true)
+}
+
+/// Validates one raw line (terminator already stripped) and splits it into
+/// item tokens. Returns `None` for comment lines; every violation is a
+/// [`FimError::Parse`] at `lineno`.
+fn validate_line<'a>(
+    buf: &'a [u8],
+    limits: &FimiLimits,
+    lineno: usize,
+) -> Result<Option<Vec<&'a str>>, FimError> {
+    let text = std::str::from_utf8(buf).map_err(|_| FimError::Parse {
+        line: lineno,
+        message: "invalid UTF-8".into(),
+    })?;
+    let trimmed = text.trim();
+    if trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    if trimmed.chars().any(|c| c.is_control() && c != '\t') {
+        return Err(FimError::Parse {
+            line: lineno,
+            message: "unexpected control character".into(),
+        });
+    }
+    let tokens: Vec<&str> = trimmed.split_whitespace().collect();
+    if tokens.len() > limits.max_items_per_transaction {
+        return Err(FimError::Parse {
+            line: lineno,
+            message: format!(
+                "{} items in one transaction exceeds the cap of {}",
+                tokens.len(),
+                limits.max_items_per_transaction
+            ),
+        });
+    }
+    for token in &tokens {
+        check_token(token, limits, lineno)?;
+    }
+    Ok(Some(tokens))
 }
 
 /// Rejects numeric tokens outside the configured item-code range. A token
@@ -152,6 +181,120 @@ pub fn read_fimi_path_with_limits<P: AsRef<Path>>(
     limits: &FimiLimits,
 ) -> Result<TransactionDatabase, FimError> {
     read_fimi_with_limits(std::fs::File::open(path)?, limits)
+}
+
+/// A re-windable streaming reader over a FIMI source: yields one validated
+/// transaction's tokens at a time through the same byte-bounded window and
+/// [`FimiLimits`] enforcement as [`read_fimi_with_limits`], without ever
+/// materializing the database. `rewind` seeks back to the start, so the
+/// out-of-core pipeline can run its two passes (count, then re-read and
+/// recode) over one open handle.
+pub struct FimiCursor<R: Read + Seek> {
+    reader: BufReader<R>,
+    limits: FimiLimits,
+    lineno: usize,
+    buf: Vec<u8>,
+}
+
+impl FimiCursor<std::fs::File> {
+    /// Opens a FIMI file for cursoring.
+    pub fn open<P: AsRef<Path>>(path: P, limits: &FimiLimits) -> Result<Self, FimError> {
+        Ok(FimiCursor::new(std::fs::File::open(path)?, limits))
+    }
+}
+
+impl<R: Read + Seek> FimiCursor<R> {
+    /// Wraps any seekable source.
+    pub fn new(inner: R, limits: &FimiLimits) -> Self {
+        FimiCursor {
+            reader: BufReader::new(inner),
+            limits: *limits,
+            lineno: 0,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Seeks back to the start of the source for another pass.
+    pub fn rewind(&mut self) -> Result<(), FimError> {
+        self.reader.seek(SeekFrom::Start(0))?;
+        self.lineno = 0;
+        Ok(())
+    }
+
+    /// 1-based line number of the most recently yielded line.
+    pub fn lineno(&self) -> usize {
+        self.lineno
+    }
+
+    /// Yields the next transaction's item tokens to `f`, skipping comment
+    /// lines. Returns `Ok(None)` at end of input. Blank lines are empty
+    /// transactions and are yielded as an empty token slice.
+    pub fn next_transaction<T>(
+        &mut self,
+        f: impl FnOnce(&[&str]) -> T,
+    ) -> Result<Option<T>, FimError> {
+        loop {
+            if !read_bounded_line(
+                &mut self.reader,
+                &mut self.buf,
+                &self.limits,
+                self.lineno + 1,
+            )? {
+                return Ok(None);
+            }
+            self.lineno += 1;
+            if let Some(tokens) = validate_line(&self.buf, &self.limits, self.lineno)? {
+                return Ok(Some(f(&tokens)));
+            }
+        }
+    }
+}
+
+/// Pass-1 summary of a FIMI file for the out-of-core pipeline: the interned
+/// item catalog (codes in order of first appearance, identical to
+/// [`read_fimi`]'s), per-item transaction frequencies, and the transaction
+/// count — everything [`fim_core::StreamingRecode`] needs, gathered in one
+/// bounded streaming pass that never holds more than one line in memory.
+#[derive(Clone, Debug, Default)]
+pub struct FimiCounts {
+    /// Item names interned in order of first appearance.
+    pub catalog: ItemCatalog,
+    /// Number of transactions containing each item (duplicates within a
+    /// line counted once, matching
+    /// [`TransactionDatabase::item_frequencies`]).
+    pub frequencies: Vec<u32>,
+    /// Total transactions (non-comment lines, empty ones included).
+    pub transactions: u64,
+}
+
+/// Streams a FIMI file once and returns its [`FimiCounts`].
+pub fn count_fimi_path<P: AsRef<Path>>(
+    path: P,
+    limits: &FimiLimits,
+) -> Result<FimiCounts, FimError> {
+    let mut cursor = FimiCursor::open(path, limits)?;
+    let mut counts = FimiCounts::default();
+    let mut codes: Vec<Item> = Vec::new();
+    loop {
+        let more = cursor.next_transaction(|tokens| {
+            codes.clear();
+            for t in tokens {
+                codes.push(counts.catalog.intern(t));
+            }
+        })?;
+        if more.is_none() {
+            break;
+        }
+        counts.transactions += 1;
+        counts.frequencies.resize(counts.catalog.len(), 0);
+        codes.sort_unstable();
+        codes.dedup();
+        for &c in &codes {
+            counts.frequencies[c as usize] += 1;
+        }
+    }
+    counts.frequencies.resize(counts.catalog.len(), 0);
+    Ok(counts)
 }
 
 /// Writes a transaction database in FIMI format (item names as tokens).
@@ -310,6 +453,37 @@ mod tests {
     fn invalid_utf8_is_a_parse_error_with_line_number() {
         let bytes: &[u8] = b"a b\n\xff\xfe\n";
         let e = read_fimi(bytes).unwrap_err();
+        assert_eq!(parse_line(e), 2);
+    }
+
+    #[test]
+    fn cursor_streams_and_rewinds() {
+        let text = "a b\n# comment\nb c d\n\n";
+        let mut cur = FimiCursor::new(std::io::Cursor::new(text), &FimiLimits::default());
+        let mut seen = Vec::new();
+        while let Some(n) = cur.next_transaction(|t| t.len()).unwrap() {
+            seen.push(n);
+        }
+        // comment skipped, blank line yielded as an empty transaction
+        assert_eq!(seen, vec![2, 3, 0]);
+        assert_eq!(cur.lineno(), 4);
+        cur.rewind().unwrap();
+        assert_eq!(
+            cur.next_transaction(|t| t.join(",")).unwrap().as_deref(),
+            Some("a,b")
+        );
+        assert_eq!(cur.lineno(), 1);
+    }
+
+    #[test]
+    fn cursor_enforces_limits_with_line_numbers() {
+        let limits = FimiLimits {
+            max_line_bytes: 8,
+            ..FimiLimits::default()
+        };
+        let mut cur = FimiCursor::new(std::io::Cursor::new("a b\nlonger than eight\n"), &limits);
+        assert!(cur.next_transaction(|_| ()).unwrap().is_some());
+        let e = cur.next_transaction(|_| ()).unwrap_err();
         assert_eq!(parse_line(e), 2);
     }
 

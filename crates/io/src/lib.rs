@@ -13,7 +13,10 @@
 //!   CSV writer for the experiment harness,
 //! * [`checkpoint`] — self-validating stream checkpoints that persist an
 //!   [`fim_ista::IstaStream`] together with its item-name catalog, so an
-//!   interrupted run can resume in a fresh process.
+//!   interrupted run can resume in a fresh process,
+//! * [`oocore`] — the two-pass out-of-core front end: stream item counts
+//!   over a FIMI file, then re-read and recode it on the fly into
+//!   [`fim_ista::OutOfCoreMiner`]'s shard-spill-merge pipeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,12 +24,14 @@
 pub mod checkpoint;
 pub mod fimi;
 pub mod matrix_io;
+pub mod oocore;
 pub mod results;
 
 pub use checkpoint::{read_stream_checkpoint, write_stream_checkpoint};
 pub use fimi::{
-    read_fimi, read_fimi_path, read_fimi_path_with_limits, read_fimi_with_limits, write_fimi,
-    write_fimi_path, FimiLimits,
+    count_fimi_path, read_fimi, read_fimi_path, read_fimi_path_with_limits, read_fimi_with_limits,
+    write_fimi, write_fimi_path, FimiCounts, FimiCursor, FimiLimits,
 };
 pub use matrix_io::{read_matrix, write_matrix};
+pub use oocore::{mine_fimi_out_of_core, mine_fimi_with_counts, OutOfCoreRun};
 pub use results::{write_results, write_results_csv, write_results_named};

@@ -1,0 +1,288 @@
+//! Out-of-core mining glue over FIMI files: the two-pass streaming front
+//! end that feeds [`fim_ista::OutOfCoreMiner`].
+//!
+//! Pass 1 ([`count_fimi_path`]) streams the file through the byte-bounded
+//! FIMI reader, interning item names and counting per-item transaction
+//! frequencies — never holding more than one line. Pass 2 re-reads the file
+//! through a [`FimiCursor`], recodes each transaction on the fly with
+//! [`StreamingRecode`] (infrequent items dropped, dense codes assigned with
+//! the same survivor selection and ordering as the in-memory
+//! [`fim_core::RecodedDatabase::prepare`]), and hands the stream to the
+//! shard-spill-merge pipeline. The mined sets come back decoded to raw
+//! catalog codes and canonicalized, so writing them through
+//! [`crate::results::write_results_named`] with the returned catalog is
+//! byte-identical to an in-memory run over the same file.
+//!
+//! This module lives in `fim-io` (not `fim-ista`) because the dependency
+//! points this way: `fim-io` already depends on `fim-ista` for the stream
+//! checkpoint format, so the miner itself stays format-agnostic (it only
+//! sees a transaction source closure) and the FIMI composition happens
+//! here.
+
+use crate::fimi::{count_fimi_path, FimiCounts, FimiCursor, FimiLimits};
+use fim_core::{
+    Budget, FimError, FoundSet, Item, ItemCatalog, ItemOrder, MineOutcome, MiningResult,
+    StreamingRecode,
+};
+use fim_ista::{OutOfCoreConfig, OutOfCoreMiner, OutOfCoreStats};
+use std::path::Path;
+
+/// Everything one out-of-core run over a FIMI file produces.
+#[derive(Debug)]
+pub struct OutOfCoreRun {
+    /// The mining outcome; its sets are decoded to raw catalog codes and
+    /// canonicalized (ready for [`crate::results::write_results_named`]).
+    pub outcome: MineOutcome,
+    /// Pipeline statistics (shards, spills, merge passes, counters).
+    pub stats: OutOfCoreStats,
+    /// Item names interned during pass 1, in order of first appearance —
+    /// identical to the catalog [`crate::fimi::read_fimi`] would build.
+    pub catalog: ItemCatalog,
+    /// Total transactions seen in pass 1.
+    pub transactions: u64,
+    /// Frequent items surviving the support threshold.
+    pub num_items: u32,
+    /// The minimum support actually applied (the requested one clamped to
+    /// at least 1).
+    pub minsupp_used: u32,
+}
+
+/// Mines the closed frequent item sets of the FIMI file at `path` with the
+/// out-of-core shard-spill pipeline, without ever materializing the
+/// database in memory.
+///
+/// `minsupp` is absolute; `item_order` selects the dense recode order
+/// exactly as in the in-memory path (transaction order is irrelevant to
+/// the result and is fixed by the shard slicing). The `config` byte budget
+/// bounds the buffered shard slice and `budget` governs tree growth; on a
+/// budget trip the outcome is [`MineOutcome::Interrupted`] with an exact
+/// partial result.
+pub fn mine_fimi_out_of_core<P: AsRef<Path>>(
+    path: P,
+    limits: &FimiLimits,
+    minsupp: u32,
+    item_order: ItemOrder,
+    config: OutOfCoreConfig,
+    budget: &Budget,
+) -> Result<OutOfCoreRun, FimError> {
+    let counts = count_fimi_path(path.as_ref(), limits)?;
+    mine_fimi_with_counts(path, limits, counts, minsupp, item_order, config, budget)
+}
+
+/// Like [`mine_fimi_out_of_core`], but over an already-gathered pass-1
+/// summary — for callers that need the transaction count before choosing
+/// the support threshold (e.g. a relative threshold), so the file is still
+/// read exactly twice.
+pub fn mine_fimi_with_counts<P: AsRef<Path>>(
+    path: P,
+    limits: &FimiLimits,
+    counts: FimiCounts,
+    minsupp: u32,
+    item_order: ItemOrder,
+    config: OutOfCoreConfig,
+    budget: &Budget,
+) -> Result<OutOfCoreRun, FimError> {
+    let path = path.as_ref();
+    let FimiCounts {
+        catalog,
+        frequencies,
+        transactions,
+    } = counts;
+    let recode = StreamingRecode::from_counts(&frequencies, minsupp, item_order);
+    let mut cursor = FimiCursor::open(path, limits)?;
+    let miner = OutOfCoreMiner::with_config(config);
+    let mut raw: Vec<Item> = Vec::new();
+    let (outcome, stats) = miner.mine_stream(
+        recode.num_items(),
+        recode.item_supports(),
+        Some(transactions),
+        minsupp,
+        budget,
+        |out| loop {
+            raw.clear();
+            let line = cursor.next_transaction(|tokens| {
+                for t in tokens {
+                    match catalog.code(t) {
+                        Some(c) => raw.push(c),
+                        None => {
+                            return Err(FimError::InvalidInput(format!(
+                                "item `{t}` appeared only in pass 2 — input changed mid-run"
+                            )))
+                        }
+                    }
+                }
+                Ok(())
+            })?;
+            match line {
+                None => return Ok(false),
+                Some(checked) => {
+                    checked?;
+                    if recode.encode_transaction(&raw, out) {
+                        return Ok(true);
+                    }
+                }
+            }
+        },
+    )?;
+    let outcome = outcome.map_result(|r| {
+        let mut decoded = MiningResult {
+            sets: r
+                .sets
+                .into_iter()
+                .map(|fs| FoundSet {
+                    items: recode.decode_items(&fs.items),
+                    support: fs.support,
+                })
+                .collect(),
+        };
+        decoded.canonicalize();
+        decoded
+    });
+    Ok(OutOfCoreRun {
+        outcome,
+        stats,
+        catalog,
+        transactions,
+        num_items: recode.num_items(),
+        minsupp_used: recode.minsupp_used(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fimi::read_fimi_path;
+    use crate::results::{write_results, write_results_named};
+    use fim_core::{mine_closed_with_orders, TransactionOrder};
+    use fim_ista::IstaMiner;
+    use std::path::PathBuf;
+
+    const PAPER_FIMI: &str = "\
+a b c\n\
+a d e\n\
+b c d\n\
+# a comment line\n\
+a b c d\n\
+b c\n\
+a b d\n\
+d e\n\
+c d e\n";
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("fim-io-oocore-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn write_input(dir: &Path, text: &str) -> PathBuf {
+        let p = dir.join("in.fimi");
+        std::fs::write(&p, text).unwrap();
+        p
+    }
+
+    #[test]
+    fn output_is_byte_identical_to_in_memory_run() {
+        let dir = temp_dir("identity");
+        let input = write_input(&dir, PAPER_FIMI);
+        for mem_budget in [1u64, 80, 1 << 20] {
+            for minsupp in 1..=6 {
+                for order in [
+                    ItemOrder::AscendingFrequency,
+                    ItemOrder::DescendingFrequency,
+                    ItemOrder::Original,
+                ] {
+                    // in-memory reference: read, prepare, mine, write
+                    let db = read_fimi_path(&input).unwrap();
+                    let result = mine_closed_with_orders(
+                        &db,
+                        minsupp,
+                        &IstaMiner::default(),
+                        order,
+                        TransactionOrder::Original,
+                    );
+                    let mut want = Vec::new();
+                    write_results(&result, &db, &mut want).unwrap();
+                    // out-of-core run over the same file
+                    let run = mine_fimi_out_of_core(
+                        &input,
+                        &FimiLimits::default(),
+                        minsupp,
+                        order,
+                        OutOfCoreConfig::new(mem_budget, dir.join("spill")),
+                        &Budget::unlimited(),
+                    )
+                    .unwrap();
+                    assert!(!run.outcome.is_interrupted());
+                    let mut got = Vec::new();
+                    write_results_named(run.outcome.result(), &run.catalog, &mut got).unwrap();
+                    assert_eq!(
+                        String::from_utf8(got).unwrap(),
+                        String::from_utf8(want).unwrap(),
+                        "budget={mem_budget} minsupp={minsupp} order={order:?}"
+                    );
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn counts_match_materialized_read() {
+        let dir = temp_dir("counts");
+        let input = write_input(&dir, PAPER_FIMI);
+        let counts = count_fimi_path(&input, &FimiLimits::default()).unwrap();
+        let db = read_fimi_path(&input).unwrap();
+        assert_eq!(counts.transactions, db.num_transactions() as u64);
+        assert_eq!(counts.frequencies, db.item_frequencies());
+        assert_eq!(counts.catalog.len(), db.catalog().len());
+        for (code, name) in db.catalog().iter() {
+            assert_eq!(counts.catalog.code(name), Some(code));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers_through_the_cursor() {
+        let dir = temp_dir("parse");
+        let input = write_input(&dir, "a b\nc \x07 d\n");
+        let err = mine_fimi_out_of_core(
+            &input,
+            &FimiLimits::default(),
+            1,
+            ItemOrder::AscendingFrequency,
+            OutOfCoreConfig::new(64, dir.join("spill")),
+            &Budget::unlimited(),
+        )
+        .unwrap_err();
+        match err {
+            FimError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_report_multiple_shards_on_tiny_budget() {
+        let dir = temp_dir("shards");
+        let input = write_input(&dir, PAPER_FIMI);
+        let run = mine_fimi_out_of_core(
+            &input,
+            &FimiLimits::default(),
+            2,
+            ItemOrder::AscendingFrequency,
+            OutOfCoreConfig::new(1, dir.join("spill")),
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(run.stats.shards, 8, "one shard per transaction");
+        assert_eq!(run.stats.merge_passes, 7);
+        assert_eq!(run.transactions, 8);
+        // spill dir exists but is empty again
+        let leftovers: Vec<_> = std::fs::read_dir(dir.join("spill"))
+            .map(|d| d.filter_map(Result::ok).collect())
+            .unwrap_or_default();
+        assert!(leftovers.is_empty(), "leftover spills: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

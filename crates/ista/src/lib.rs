@@ -42,6 +42,7 @@
 
 pub mod arena;
 pub mod miner;
+pub mod outofcore;
 pub mod parallel;
 pub mod plain;
 pub mod snapshot;
@@ -50,6 +51,7 @@ pub mod tree;
 
 pub use arena::{Node, NodeArena, PatNode, SegArena, NONE};
 pub use miner::{IstaConfig, IstaMiner, MineStats, PrunePacer, PrunePolicy};
+pub use outofcore::{load_spill, spill_tree, OutOfCoreConfig, OutOfCoreMiner, OutOfCoreStats};
 pub use parallel::{ParallelConfig, ParallelIstaMiner, ParallelMineStats};
 pub use plain::PlainPrefixTree;
 pub use stream::IstaStream;

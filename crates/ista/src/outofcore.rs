@@ -1,0 +1,774 @@
+//! Out-of-core IsTa: mine databases larger than memory by slicing the
+//! transaction stream into contiguous shards sized to a byte budget,
+//! mining each shard sequentially, spilling every shard tree to disk as a
+//! versioned snapshot, and merge-reducing the spilled trees pairwise from
+//! disk.
+//!
+//! The soundness argument is the same additive support identity the
+//! data-parallel miner rests on (see [`crate::parallel`]): shards are
+//! disjoint contiguous transaction multisets, each shard tree starts from
+//! a snapshot of the *global* item support counts and decrements only what
+//! it consumed itself, so the per-shard viability bound stays safe, and
+//! replaying one spilled tree's stored transactions into another computes
+//! exactly the cross-shard intersections with correct summed supports.
+//!
+//! What is different from the parallel miner is the *resident-set shape*:
+//! at no point does the pipeline hold more than
+//!
+//! * one shard's transaction slice (bounded by
+//!   [`OutOfCoreConfig::mem_budget`] plus one transaction), **or**
+//! * two spilled trees being merged (each pruned against near-final
+//!   remaining counts before the replay touches them),
+//!
+//! plus one `u32` per item per outstanding spill for the remaining-count
+//! vectors. Everything else lives in the spill directory as v2 snapshots
+//! ([`crate::snapshot`]), fully CRC-validated on every reload — a corrupted
+//! or truncated intermediate spill surfaces as [`FimError::Corrupt`] naming
+//! the offending file, never as a silently wrong answer.
+//!
+//! Spill files are written atomically (temporary name, then rename) and
+//! removed eagerly as soon as a merge has consumed them; a scope guard
+//! removes every file the run created on *all* exits — success, budget
+//! trip, error, or panic — so the spill directory is left clean.
+
+use crate::miner::{IstaConfig, PrunePacer, PrunePolicy};
+use crate::parallel::test_hooks;
+use crate::snapshot;
+use crate::tree::{PrefixTree, TreeMemoryStats};
+use fim_core::{
+    checkpoint, Budget, FimError, Governor, Item, MineOutcome, MiningResult, Progress, TripReason,
+};
+use fim_obs::{Counter, Counters};
+use std::collections::VecDeque;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Estimated resident bytes of one shard-buffered transaction: its items
+/// plus allocator/`Vec` bookkeeping. Deliberately a little pessimistic so
+/// the shard slice stays *under* the budget rather than over it.
+const TX_OVERHEAD_BYTES: u64 = 32;
+
+/// Tuning knobs for [`OutOfCoreMiner`].
+#[derive(Clone, Debug)]
+pub struct OutOfCoreConfig {
+    /// Byte target for one shard's buffered transaction slice. The slicer
+    /// closes a shard as soon as the estimated resident size of the
+    /// buffered transactions reaches this value (every shard holds at
+    /// least one transaction, so a tiny budget degrades to
+    /// one-transaction shards, not an error).
+    pub mem_budget: u64,
+    /// Directory receiving the spill snapshots. Created if missing; the
+    /// files the run creates are always removed before it returns.
+    pub spill_dir: PathBuf,
+    /// Per-shard and per-merge pruning placement policy (same semantics
+    /// as the sequential miner's).
+    pub policy: PrunePolicy,
+    /// Coalesce each shard's (hopeless-item-filtered) transactions into
+    /// `(items, weight)` pairs before insertion (same semantics as
+    /// [`IstaConfig::coalesce`]).
+    pub coalesce: bool,
+    /// Compact shard/merge trees after pruning passes that freed slots
+    /// (same semantics as [`IstaConfig::compact`]).
+    pub compact: bool,
+}
+
+impl OutOfCoreConfig {
+    /// Configuration with an explicit byte budget and spill directory and
+    /// the sequential miner's default policy toggles.
+    pub fn new(mem_budget: u64, spill_dir: impl Into<PathBuf>) -> Self {
+        let seq = IstaConfig::default();
+        OutOfCoreConfig {
+            mem_budget,
+            spill_dir: spill_dir.into(),
+            policy: seq.policy,
+            coalesce: seq.coalesce,
+            compact: seq.compact,
+        }
+    }
+}
+
+/// Run report of one [`OutOfCoreMiner`] pipeline run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OutOfCoreStats {
+    /// Shards the stream was sliced into (1 means the whole database fit
+    /// one slice and was mined purely in memory, with no spill at all).
+    pub shards: u64,
+    /// Snapshots written to the spill directory: every spilled shard tree
+    /// plus every non-final merge result.
+    pub spilled: u64,
+    /// Total bytes of all spill snapshots written.
+    pub spill_bytes: u64,
+    /// Pairwise merge-reduce steps performed (`shards - 1` on a healthy
+    /// multi-shard run).
+    pub merge_passes: u64,
+    /// Arena occupancy of the fully reduced tree, before reporting.
+    pub memory: TreeMemoryStats,
+    /// Hot-loop counters summed over every shard mine and every merge
+    /// replay, with the spill bookkeeping ([`Counter::ShardsSpilled`],
+    /// [`Counter::SpillBytes`], [`Counter::MergePasses`]) folded in.
+    pub counters: Counters,
+}
+
+/// Writes `tree` to `path` as a v2 snapshot, atomically: the bytes go to a
+/// sibling `.tmp` file which is renamed over `path` only once fully
+/// written. Returns the snapshot size in bytes.
+pub fn spill_tree(tree: &mut PrefixTree, path: &Path) -> Result<u64, FimError> {
+    let tmp = tmp_path(path);
+    let mut w = std::io::BufWriter::new(fs::File::create(&tmp)?);
+    snapshot::write_tree(tree, &mut w)?;
+    w.into_inner().map_err(|e| FimError::Io(e.into_error()))?;
+    let bytes = fs::metadata(&tmp)?.len();
+    fs::rename(&tmp, path)?;
+    Ok(bytes)
+}
+
+/// Reloads a spill snapshot, re-wrapping any [`FimError::Corrupt`] so the
+/// message names the offending file.
+pub fn load_spill(path: &Path) -> Result<PrefixTree, FimError> {
+    let mut r = std::io::BufReader::new(fs::File::open(path)?);
+    snapshot::read_tree(&mut r).map_err(|e| match e {
+        FimError::Corrupt(msg) => FimError::Corrupt(format!("{}: {msg}", path.display())),
+        other => other,
+    })
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Scope guard over the files a pipeline run creates in the spill
+/// directory: on drop — success, error return, budget trip, or panic —
+/// every tracked path (spills and their `.tmp` siblings) is removed, so
+/// the directory is never left holding partial state.
+struct SpillGuard {
+    files: Vec<PathBuf>,
+}
+
+impl SpillGuard {
+    fn new() -> Self {
+        SpillGuard { files: Vec::new() }
+    }
+
+    /// Tracks the spill at `path` (and its temporary sibling) for cleanup.
+    fn track(&mut self, path: &Path) {
+        self.files.push(tmp_path(path));
+        self.files.push(path.to_path_buf());
+    }
+}
+
+impl Drop for SpillGuard {
+    fn drop(&mut self) {
+        for f in &self.files {
+            let _ = fs::remove_file(f);
+        }
+    }
+}
+
+/// One outstanding spill: its snapshot on disk plus the item occurrences
+/// *not yet folded into it* — the global support snapshot minus everything
+/// the covered transactions consumed (the merge-safety invariant of
+/// [`crate::parallel`], kept in memory because it is one `u32` per item).
+struct Spill {
+    path: PathBuf,
+    remaining: Vec<u32>,
+}
+
+/// A loaded tree travelling through the merge reduction with its
+/// remaining-count vector.
+type TreeAndRemaining = (PrefixTree, Vec<u32>);
+
+/// Out-of-core shard-spill-merge miner over a transaction *stream*.
+///
+/// The miner never sees the whole database: the caller feeds it recoded
+/// transactions one at a time (see [`OutOfCoreMiner::mine_stream`]), and
+/// the pipeline bounds its resident set as described in the module docs.
+#[derive(Clone, Debug)]
+pub struct OutOfCoreMiner {
+    /// Pipeline configuration.
+    pub config: OutOfCoreConfig,
+}
+
+impl OutOfCoreMiner {
+    /// Creates a miner with an explicit configuration.
+    pub fn with_config(config: OutOfCoreConfig) -> Self {
+        OutOfCoreMiner { config }
+    }
+
+    /// Mines the closed frequent item sets of a streamed database.
+    ///
+    /// `next` is the transaction source: it fills its argument with the
+    /// next recoded transaction (dense item codes, sorted, duplicate-free
+    /// — e.g. via [`fim_core::StreamingRecode::encode_transaction`]) and
+    /// returns `Ok(false)` when the stream is exhausted. Empty
+    /// transactions are skipped. `global_supports` must be the item
+    /// support counts over the *whole* stream (pass 1 of a two-pass
+    /// reader), `total_transactions` the stream length if known (used
+    /// only for progress reporting on interruption).
+    ///
+    /// The `budget` governs tree growth exactly as in the sequential and
+    /// parallel miners: shard mining and merge replays checkpoint per
+    /// transaction, and the first trip stops further stream consumption
+    /// while the already-spilled shards are still reduced, so the partial
+    /// result is exact for the processed transaction subset. Graceful
+    /// degradation (`Budget::degrade`) is a sequential-miner feature and
+    /// is ignored here, as in the parallel miner.
+    pub fn mine_stream<F>(
+        &self,
+        num_items: u32,
+        global_supports: &[u32],
+        total_transactions: Option<u64>,
+        minsupp: u32,
+        budget: &Budget,
+        mut next: F,
+    ) -> Result<(MineOutcome, OutOfCoreStats), FimError>
+    where
+        F: FnMut(&mut Vec<Item>) -> Result<bool, FimError>,
+    {
+        assert_eq!(
+            global_supports.len(),
+            num_items as usize,
+            "global_supports must cover the item universe"
+        );
+        let cfg = &self.config;
+        let minsupp = minsupp.max(1);
+        fs::create_dir_all(&cfg.spill_dir)?;
+        let mut guard = SpillGuard::new();
+        let mut gov = (!budget.is_unlimited()).then(|| budget.start());
+        let mut tripped: Option<TripReason> = None;
+        let mut counters = Counters::new();
+        let mut stats = OutOfCoreStats::default();
+        let mut spills: VecDeque<Spill> = VecDeque::new();
+        let mut resident: Option<TreeAndRemaining> = None;
+        let mut buf: Vec<Item> = Vec::new();
+        let mut source_done = false;
+        let mut processed: u64 = 0;
+
+        // Phase 1: slice the stream into shards, mine each, spill each.
+        while !source_done && tripped.is_none() {
+            let mut shard: Vec<Vec<Item>> = Vec::new();
+            let mut bytes = 0u64;
+            while bytes < cfg.mem_budget.max(1) {
+                if !next(&mut buf)? {
+                    source_done = true;
+                    break;
+                }
+                if buf.is_empty() {
+                    continue;
+                }
+                bytes += buf.len() as u64 * 4 + TX_OVERHEAD_BYTES;
+                shard.push(std::mem::take(&mut buf));
+            }
+            if shard.is_empty() {
+                break;
+            }
+            // §3.4 processing order holds *within* each shard; the closed
+            // sets are invariant under the shard boundaries themselves.
+            shard.sort_unstable_by(|a, b| fim_core::cmp_size_then_desc_lex(a, b));
+            let shard_idx = stats.shards as usize;
+            test_hooks::maybe_panic(shard_idx);
+            let mined = mine_shard(
+                shard,
+                num_items,
+                global_supports,
+                minsupp,
+                cfg,
+                &mut gov,
+                &mut tripped,
+                &mut processed,
+            );
+            stats.shards += 1;
+            if source_done && spills.is_empty() {
+                // the whole stream fit one slice: pure in-memory run
+                resident = Some(mined);
+                break;
+            }
+            let (mut tree, remaining) = mined;
+            counters.merge(tree.counters());
+            let path = cfg.spill_dir.join(format!("shard-{shard_idx:04}.spill"));
+            guard.track(&path);
+            stats.spill_bytes += spill_tree(&mut tree, &path)?;
+            stats.spilled += 1;
+            spills.push_back(Spill { path, remaining });
+        }
+
+        // Phase 2: pairwise merge-reduce the spills from disk. Two trees
+        // resident at a time; intermediate results go back to disk unless
+        // they are the root of the reduction.
+        let mut merge_idx = 0usize;
+        while spills.len() >= 2 {
+            let a = spills.pop_front().expect("len checked");
+            let b = spills.pop_front().expect("len checked");
+            let ta = load_spill(&a.path)?;
+            let tb = load_spill(&b.path)?;
+            let _ = fs::remove_file(&a.path);
+            let _ = fs::remove_file(&b.path);
+            let is_final = spills.is_empty();
+            // replay the lighter side into the heavier one
+            let (mut left, right) = if tb.transactions_processed() > ta.transactions_processed() {
+                ((tb, b.remaining), (ta, a.remaining))
+            } else {
+                ((ta, a.remaining), (tb, b.remaining))
+            };
+            merge_spilled(
+                &mut left,
+                right,
+                minsupp,
+                cfg,
+                &mut gov,
+                &mut tripped,
+                is_final,
+            );
+            stats.merge_passes += 1;
+            if is_final {
+                resident = Some(left);
+            } else {
+                let (ref mut tree, _) = left;
+                counters.merge(tree.counters());
+                let path = cfg.spill_dir.join(format!("merge-{merge_idx:04}.spill"));
+                merge_idx += 1;
+                guard.track(&path);
+                stats.spill_bytes += spill_tree(tree, &path)?;
+                stats.spilled += 1;
+                spills.push_back(Spill {
+                    path,
+                    remaining: left.1,
+                });
+            }
+        }
+
+        // Phase 3: report from the single surviving tree.
+        let (mut tree, remaining) = match resident {
+            Some(t) => t,
+            None => match spills.pop_front() {
+                // a lone spill with nothing to merge into it (the stream
+                // ended right at a shard boundary after a trip)
+                Some(s) => {
+                    let t = load_spill(&s.path)?;
+                    let _ = fs::remove_file(&s.path);
+                    (t, s.remaining)
+                }
+                None => (PrefixTree::new(num_items), global_supports.to_vec()),
+            },
+        };
+        if !matches!(cfg.policy, PrunePolicy::Never) {
+            // terminal-reducing prune: this tree is only reported now
+            tree.prune(&remaining, minsupp);
+            if cfg.compact {
+                tree.compact_if_fragmented();
+            }
+        }
+        counters.merge(tree.counters());
+        counters.add(Counter::ShardsSpilled, stats.spilled);
+        counters.add(Counter::SpillBytes, stats.spill_bytes);
+        counters.add(Counter::MergePasses, stats.merge_passes);
+        stats.counters = counters;
+        stats.memory = tree.memory_stats();
+        let result = MiningResult {
+            sets: tree.report(minsupp),
+        };
+        let outcome = match tripped {
+            Some(reason) => MineOutcome::Interrupted {
+                partial: result,
+                reason,
+                progress: Progress {
+                    processed,
+                    total: total_transactions,
+                },
+            },
+            None => MineOutcome::complete(result),
+        };
+        drop(guard); // spill directory left clean on the success path too
+        Ok((outcome, stats))
+    }
+}
+
+/// Mines one shard slice into its own tree — the sequential sibling of
+/// [`crate::parallel`]'s shard miner, with the same merge-safety
+/// discipline: globally hopeless items are filtered before insertion and
+/// only the terminal-keeping prune runs, so the stored transactions stay
+/// exact for the later replay.
+#[allow(clippy::too_many_arguments)]
+fn mine_shard(
+    txs: Vec<Vec<Item>>,
+    num_items: u32,
+    global_supports: &[u32],
+    minsupp: u32,
+    cfg: &OutOfCoreConfig,
+    gov: &mut Option<Governor>,
+    tripped: &mut Option<TripReason>,
+    processed: &mut u64,
+) -> TreeAndRemaining {
+    let mut tree = PrefixTree::new(num_items);
+    let mut remaining: Vec<u32> = global_supports.to_vec();
+    let mut pacer = PrunePacer::new(cfg.policy);
+    let mut filtered: Vec<Vec<Item>> = Vec::with_capacity(txs.len());
+    for t in txs {
+        let mut f = Vec::with_capacity(t.len());
+        for i in t {
+            if global_supports[i as usize] >= minsupp {
+                f.push(i);
+            } else {
+                remaining[i as usize] -= 1;
+            }
+        }
+        filtered.push(f);
+    }
+    let weighted: Vec<(&[Item], u32)> = if cfg.coalesce {
+        fim_core::coalesce(&filtered)
+    } else {
+        filtered.iter().map(|t| (t.as_slice(), 1)).collect()
+    };
+    for (t, w) in &weighted {
+        for &i in t.iter() {
+            remaining[i as usize] -= w;
+        }
+        tree.add_transaction_weighted(t, *w);
+        *processed += u64::from(*w);
+        if let Some(g) = gov.as_mut() {
+            g.add_processed(u64::from(*w));
+        }
+        if let Some(reason) =
+            checkpoint!(gov, tree.node_count(), tree.memory_stats().approx_bytes, 0)
+        {
+            // stop inserting; the tree stays merge-safe and represents
+            // exactly the inserted prefix
+            if tripped.is_none() {
+                *tripped = Some(reason);
+            }
+            break;
+        }
+        if pacer.due(tree.node_count()) {
+            tree.prune_keeping_terminals(&remaining, minsupp);
+            pacer.pruned(tree.node_count());
+            if cfg.compact {
+                tree.compact_if_fragmented();
+            }
+        }
+    }
+    (tree, remaining)
+}
+
+/// Folds `right` into `left` — [`crate::parallel`]'s pruned merge replay
+/// over reloaded spill trees. Remaining counts are decremented transaction
+/// by transaction during the replay; `is_final` marks the root of the
+/// reduction, whose result is only reported and may therefore use the
+/// plain (terminal-reducing) prune.
+fn merge_spilled(
+    left: &mut TreeAndRemaining,
+    right: TreeAndRemaining,
+    minsupp: u32,
+    cfg: &OutOfCoreConfig,
+    gov: &mut Option<Governor>,
+    tripped: &mut Option<TripReason>,
+    is_final: bool,
+) {
+    let (tree, remaining) = left;
+    let mut pacer = PrunePacer::new(cfg.policy);
+    // prune against this side's own remaining counts before the replay
+    // touches anything — the reloaded shard trees were pruned against
+    // near-global (weak) counts only
+    if !matches!(cfg.policy, PrunePolicy::Never) {
+        if is_final {
+            tree.prune(remaining, minsupp);
+        } else {
+            tree.prune_keeping_terminals(remaining, minsupp);
+        }
+        if cfg.compact {
+            tree.compact_if_fragmented();
+        }
+    }
+    pacer.pruned(tree.node_count());
+    let replay: Result<(), TripReason> = tree.try_merge_with(&right.0, |tree, t, w| {
+        for &i in t {
+            remaining[i as usize] -= w;
+        }
+        if pacer.due(tree.node_count()) {
+            if is_final {
+                tree.prune(remaining, minsupp);
+            } else {
+                tree.prune_keeping_terminals(remaining, minsupp);
+            }
+            pacer.pruned(tree.node_count());
+            if cfg.compact {
+                tree.compact_if_fragmented();
+            }
+        }
+        match checkpoint!(gov, tree.node_count(), tree.memory_stats().approx_bytes, 0) {
+            Some(reason) => Err(reason),
+            None => Ok(()),
+        }
+    });
+    if let Err(reason) = replay {
+        // the merged tree holds the replayed prefix exactly; the rest of
+        // the donor is dropped — sound partial, same as the parallel miner
+        if tripped.is_none() {
+            *tripped = Some(reason);
+        }
+    }
+    tree.absorb_counters(right.0.counters());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fim_core::reference::mine_reference;
+    use fim_core::RecodedDatabase;
+
+    fn paper_db() -> RecodedDatabase {
+        RecodedDatabase::from_dense(
+            vec![
+                vec![0, 1, 2],
+                vec![0, 3, 4],
+                vec![1, 2, 3],
+                vec![0, 1, 2, 3],
+                vec![1, 2],
+                vec![0, 1, 3],
+                vec![3, 4],
+                vec![2, 3, 4],
+            ],
+            5,
+        )
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("fim-oocore-unit-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn mine_db(
+        db: &RecodedDatabase,
+        minsupp: u32,
+        mem_budget: u64,
+        dir: &Path,
+    ) -> (MineOutcome, OutOfCoreStats) {
+        let miner = OutOfCoreMiner::with_config(OutOfCoreConfig::new(mem_budget, dir));
+        let txs = db.transactions();
+        let mut i = 0usize;
+        miner
+            .mine_stream(
+                db.num_items(),
+                db.item_supports(),
+                Some(txs.len() as u64),
+                minsupp,
+                &Budget::unlimited(),
+                move |buf| {
+                    buf.clear();
+                    if i < txs.len() {
+                        buf.extend_from_slice(&txs[i]);
+                        i += 1;
+                        Ok(true)
+                    } else {
+                        Ok(false)
+                    }
+                },
+            )
+            .expect("pipeline")
+    }
+
+    fn dir_is_empty(dir: &Path) -> bool {
+        fs::read_dir(dir).map_or(true, |d| d.count() == 0)
+    }
+
+    #[test]
+    fn matches_reference_across_budgets_and_minsupps() {
+        let db = paper_db();
+        let dir = temp_dir("ref");
+        // budgets chosen to force 1, 2-3, and 8 shards on the paper db
+        for mem_budget in [1u64, 100, 1 << 20] {
+            for minsupp in 1..=8 {
+                let want = mine_reference(&db, minsupp);
+                let (outcome, stats) = mine_db(&db, minsupp, mem_budget, &dir);
+                assert!(!outcome.is_interrupted());
+                let got = outcome.into_result().canonicalized();
+                assert_eq!(got, want, "budget={mem_budget} minsupp={minsupp}");
+                if mem_budget == 1 {
+                    assert_eq!(stats.shards, 8, "one transaction per shard");
+                    assert_eq!(stats.merge_passes, stats.shards - 1);
+                }
+                if mem_budget == 1 << 20 {
+                    assert_eq!(stats.shards, 1, "everything fits in memory");
+                    assert_eq!(stats.spilled, 0, "single shard never spills");
+                }
+                assert!(dir_is_empty(&dir), "spill dir not clean");
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_round_trip_reports_identically() {
+        let db = paper_db();
+        let dir = temp_dir("rt");
+        fs::create_dir_all(&dir).unwrap();
+        let mut tree = PrefixTree::new(db.num_items());
+        for t in db.transactions() {
+            tree.add_transaction(t);
+        }
+        let path = dir.join("t.spill");
+        let bytes = spill_tree(&mut tree, &path).expect("spill");
+        assert_eq!(bytes, fs::metadata(&path).unwrap().len());
+        let back = load_spill(&path).expect("load");
+        assert_eq!(back.report(2), tree.report(2));
+        assert!(!path.with_file_name("t.spill.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_spill_names_the_corrupt_file() {
+        let db = paper_db();
+        let dir = temp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        let mut tree = PrefixTree::new(db.num_items());
+        for t in db.transactions() {
+            tree.add_transaction(t);
+        }
+        let path = dir.join("bad.spill");
+        spill_tree(&mut tree, &path).expect("spill");
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let err = load_spill(&path).unwrap_err();
+        assert!(matches!(err, FimError::Corrupt(_)), "{err}");
+        assert!(
+            err.to_string().contains("bad.spill"),
+            "error must name the file: {err}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn node_budget_trips_with_sound_partial_and_clean_dir() {
+        let db = paper_db();
+        let dir = temp_dir("budget");
+        let miner = OutOfCoreMiner::with_config(OutOfCoreConfig::new(1, &dir));
+        let txs = db.transactions();
+        let mut i = 0usize;
+        let budget = Budget::unlimited().with_max_nodes(2);
+        let (outcome, _) = miner
+            .mine_stream(
+                db.num_items(),
+                db.item_supports(),
+                Some(txs.len() as u64),
+                1,
+                &budget,
+                move |buf| {
+                    buf.clear();
+                    if i < txs.len() {
+                        buf.extend_from_slice(&txs[i]);
+                        i += 1;
+                        Ok(true)
+                    } else {
+                        Ok(false)
+                    }
+                },
+            )
+            .expect("pipeline");
+        match outcome {
+            MineOutcome::Interrupted {
+                partial, reason, ..
+            } => {
+                assert_eq!(reason, TripReason::NodeBudget);
+                for fs in &partial.sets {
+                    assert!(
+                        fs.support <= db.support(&fs.items),
+                        "partial support of {:?} exceeds the full-database support",
+                        fs.items
+                    );
+                }
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
+        assert!(dir_is_empty(&dir), "spill dir not clean after trip");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_stream_mines_nothing() {
+        let dir = temp_dir("empty");
+        let miner = OutOfCoreMiner::with_config(OutOfCoreConfig::new(64, &dir));
+        let (outcome, stats) = miner
+            .mine_stream(3, &[0, 0, 0], Some(0), 1, &Budget::unlimited(), |buf| {
+                buf.clear();
+                Ok(false)
+            })
+            .expect("pipeline");
+        assert!(!outcome.is_interrupted());
+        assert!(outcome.into_result().is_empty());
+        assert_eq!(stats.shards, 0);
+        assert!(dir_is_empty(&dir));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_expose_spill_counters() {
+        let db = paper_db();
+        let dir = temp_dir("stats");
+        let (outcome, stats) = mine_db(&db, 2, 1, &dir);
+        assert!(!outcome.is_interrupted());
+        assert_eq!(stats.shards, 8);
+        // 8 shard spills + 6 non-final merge spills
+        assert_eq!(stats.spilled, 14);
+        assert_eq!(stats.merge_passes, 7);
+        assert!(stats.spill_bytes > 0);
+        assert_eq!(stats.counters.get(Counter::ShardsSpilled), stats.spilled);
+        assert_eq!(stats.counters.get(Counter::SpillBytes), stats.spill_bytes);
+        assert_eq!(stats.counters.get(Counter::MergePasses), stats.merge_passes);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn policies_and_toggles_agree_with_reference() {
+        let db = paper_db();
+        let dir = temp_dir("pol");
+        let policies = [
+            PrunePolicy::Never,
+            PrunePolicy::EveryN(1),
+            PrunePolicy::Growth(1.1),
+        ];
+        for policy in policies {
+            for coalesce in [false, true] {
+                for minsupp in [1u32, 2, 3, 5] {
+                    let want = mine_reference(&db, minsupp);
+                    let mut config = OutOfCoreConfig::new(100, &dir);
+                    config.policy = policy;
+                    config.coalesce = coalesce;
+                    let miner = OutOfCoreMiner::with_config(config);
+                    let txs = db.transactions();
+                    let mut i = 0usize;
+                    let (outcome, _) = miner
+                        .mine_stream(
+                            db.num_items(),
+                            db.item_supports(),
+                            None,
+                            minsupp,
+                            &Budget::unlimited(),
+                            move |buf| {
+                                buf.clear();
+                                if i < txs.len() {
+                                    buf.extend_from_slice(&txs[i]);
+                                    i += 1;
+                                    Ok(true)
+                                } else {
+                                    Ok(false)
+                                }
+                            },
+                        )
+                        .expect("pipeline");
+                    let got = outcome.into_result().canonicalized();
+                    assert_eq!(
+                        got, want,
+                        "policy={policy:?} coalesce={coalesce} ms={minsupp}"
+                    );
+                }
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -56,7 +56,7 @@ pub mod test_hooks {
         PANIC_SHARD.store(usize::MAX, Ordering::SeqCst);
     }
 
-    pub(super) fn maybe_panic(idx: usize) {
+    pub(crate) fn maybe_panic(idx: usize) {
         if PANIC_SHARD
             .compare_exchange(idx, usize::MAX, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()

@@ -51,10 +51,18 @@ pub enum Counter {
     /// Bitset kernels: popcount invocations (support counts and surviving
     /// word counts).
     PopcountCalls = 14,
+    /// Out-of-core pipeline: shard trees spilled to disk as snapshots.
+    ShardsSpilled = 15,
+    /// Out-of-core pipeline: bytes written across all spilled snapshots
+    /// (shard spills and intermediate merge re-spills).
+    SpillBytes = 16,
+    /// Out-of-core pipeline: pairwise merge-reduce passes over spilled
+    /// snapshots (each pass loads two trees and re-spills or reports one).
+    MergePasses = 17,
 }
 
 /// Number of counter slots.
-pub const NUM_COUNTERS: usize = 15;
+pub const NUM_COUNTERS: usize = 18;
 
 impl Counter {
     /// Every counter, in slot order.
@@ -74,6 +82,9 @@ impl Counter {
         Counter::WordsAnded,
         Counter::GallopProbes,
         Counter::PopcountCalls,
+        Counter::ShardsSpilled,
+        Counter::SpillBytes,
+        Counter::MergePasses,
     ];
 
     /// The stable snake_case name used in metrics JSON.
@@ -94,6 +105,9 @@ impl Counter {
             Counter::WordsAnded => "words_anded",
             Counter::GallopProbes => "gallop_probes",
             Counter::PopcountCalls => "popcount_calls",
+            Counter::ShardsSpilled => "shards_spilled",
+            Counter::SpillBytes => "spill_bytes",
+            Counter::MergePasses => "merge_passes",
         }
     }
 }
@@ -184,7 +198,7 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), NUM_COUNTERS, "duplicate counter name");
         assert_eq!(names[0], "seg_scans");
-        assert_eq!(names[NUM_COUNTERS - 1], "popcount_calls");
+        assert_eq!(names[NUM_COUNTERS - 1], "merge_passes");
     }
 
     #[test]

@@ -74,6 +74,30 @@ pub struct ShardMetrics {
     pub recovered: u64,
 }
 
+/// Spill metrics (out-of-core pipeline only).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpillMetrics {
+    /// Shard trees spilled to disk.
+    pub shards: u64,
+    /// Bytes written across all spilled snapshots (shard spills plus
+    /// intermediate merge re-spills).
+    pub spill_bytes: u64,
+    /// Pairwise merge-reduce passes over spilled snapshots.
+    pub merge_passes: u64,
+}
+
+impl SpillMetrics {
+    /// A spill section read out of a counter registry.
+    pub fn from_counters(counters: &Counters) -> Self {
+        use crate::counters::Counter;
+        SpillMetrics {
+            shards: counters.get(Counter::ShardsSpilled),
+            spill_bytes: counters.get(Counter::SpillBytes),
+            merge_passes: counters.get(Counter::MergePasses),
+        }
+    }
+}
+
 /// Intersection-kernel metrics: which representation ran and how hard the
 /// word-parallel / galloping kernels were driven. Present whenever the
 /// miner supports representation selection (even when the scalar kernels
@@ -126,6 +150,8 @@ pub struct MetricsReport<'a> {
     pub passes: Option<PassMetrics>,
     /// Parallel-shard section.
     pub shards: Option<ShardMetrics>,
+    /// Out-of-core spill section.
+    pub spill: Option<SpillMetrics>,
     /// Intersection-kernel section (representation-aware miners).
     pub kernel: Option<KernelMetrics>,
     /// Hot-loop counters; zero slots are omitted from the JSON.
@@ -145,6 +171,7 @@ impl<'a> MetricsReport<'a> {
             tree: None,
             passes: None,
             shards: None,
+            spill: None,
             kernel: None,
             counters: Counters::new(),
         }
@@ -191,6 +218,13 @@ impl<'a> MetricsReport<'a> {
                 w,
                 "  \"shards\": {{\"total\": {}, \"recovered\": {}}},",
                 s.shards, s.recovered
+            )?;
+        }
+        if let Some(s) = &self.spill {
+            writeln!(
+                w,
+                "  \"spill\": {{\"shards\": {}, \"spill_bytes\": {}, \"merge_passes\": {}}},",
+                s.shards, s.spill_bytes, s.merge_passes
             )?;
         }
         if let Some(k) = &self.kernel {
@@ -308,6 +342,7 @@ mod tests {
         assert!(!bare.contains("\"tree\""));
         assert!(!bare.contains("\"passes\""));
         assert!(!bare.contains("\"shards\""));
+        assert!(!bare.contains("\"spill\""));
         assert!(!bare.contains("\"kernel\""));
         assert!(bare.contains("\"counters\": {}"));
         let full = sample().to_json();
@@ -319,6 +354,24 @@ mod tests {
             "\"kernel\": {\"rep\": \"bitset\", \"words_anded\": 777, \
              \"gallop_probes\": 0, \"popcount_calls\": 555}"
         ));
+    }
+
+    #[test]
+    fn spill_section_reads_counters_and_renders() {
+        let mut c = Counters::new();
+        c.add(Counter::ShardsSpilled, 6);
+        c.add(Counter::SpillBytes, 123_456);
+        c.add(Counter::MergePasses, 5);
+        let s = SpillMetrics::from_counters(&c);
+        assert_eq!(s.shards, 6);
+        assert_eq!(s.spill_bytes, 123_456);
+        assert_eq!(s.merge_passes, 5);
+        let mut r = MetricsReport::new("ista-oocore", 2, 0.5, 10, 60);
+        r.spill = Some(s);
+        let doc = r.to_json();
+        validate_metrics_json(&doc).expect("spill report validates");
+        assert!(doc
+            .contains("\"spill\": {\"shards\": 6, \"spill_bytes\": 123456, \"merge_passes\": 5}"));
     }
 
     #[test]
