@@ -50,6 +50,15 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         return Ok(());
     };
     let args = Args::parse(rest)?;
+    // the deterministic fault layer (crash-consistency testing): armed
+    // from the flag and/or the env var, a single relaxed atomic load when
+    // disarmed
+    fim_core::fault::arm_from_env().map_err(usage)?;
+    if let Some(specs) = args.get("inject-fault") {
+        for part in specs.split(',').filter(|p| !p.trim().is_empty()) {
+            fim_core::fault::arm_str(part.trim()).map_err(usage)?;
+        }
+    }
     match command.as_str() {
         "mine" => cmd_mine(&args),
         "gen" => cmd_gen(&args),
@@ -152,7 +161,7 @@ fn cmd_mine(args: &Args) -> Result<(), CliError> {
         // the raw name, so 'ista-bitset --out-of-core' is rejected
         return cmd_mine_oocore(args, raw_algo);
     }
-    for f in ["mem-budget", "spill-dir"] {
+    for f in ["mem-budget", "spill-dir", "resume-spill", "io-retries"] {
         if args.get(f).is_some() {
             return Err(usage(format!("--{f} needs --out-of-core")));
         }
@@ -481,7 +490,14 @@ fn cmd_mine_stream(args: &Args, algo: &str) -> Result<(), CliError> {
             let file = std::fs::File::open(path)
                 .map_err(|e| CliError::Other(format!("cannot open --resume {path}: {e}")))?;
             let mut reader = std::io::BufReader::new(file);
-            let (s, c) = fim_io::read_stream_checkpoint(&mut reader)?;
+            // re-wrap corruption so the message names the offending file
+            // (the reader only knows the byte offset)
+            let (s, c) = fim_io::read_stream_checkpoint(&mut reader).map_err(|e| match e {
+                fim_core::FimError::Corrupt(msg) => {
+                    CliError::from(fim_core::FimError::Corrupt(format!("{path}: {msg}")))
+                }
+                other => CliError::from(other),
+            })?;
             eprintln!(
                 "fim: resumed from {path} at {} transactions",
                 s.transactions_processed()
@@ -590,23 +606,35 @@ fn cmd_mine_stream(args: &Args, algo: &str) -> Result<(), CliError> {
     }
 }
 
-/// Writes the stream checkpoint to `path` via a sibling temporary file and
-/// an atomic rename, so a crash mid-write never clobbers the previous good
-/// checkpoint with a torn one.
+/// Writes the stream checkpoint to `path` via a sibling temporary file,
+/// an fsync, and an atomic rename (plus a parent-directory fsync), so a
+/// crash — or power loss — mid-write never clobbers the previous good
+/// checkpoint with a torn or unsynced one. Threads the `checkpoint.write`
+/// fault point between flush and fsync, where a torn write would land.
 fn write_checkpoint_atomically(
     stream: &mut fim_ista::IstaStream,
     catalog: &ItemCatalog,
     path: &str,
 ) -> Result<(), CliError> {
+    use fim_core::fault::{self, points};
     let tmp = format!("{path}.tmp");
     let io_err = |what: &str, e: std::io::Error| CliError::Other(format!("{what} {tmp}: {e}"));
     let file = std::fs::File::create(&tmp).map_err(|e| io_err("cannot create", e))?;
     let mut w = std::io::BufWriter::new(file);
     fim_io::write_stream_checkpoint(stream, catalog, &mut w)?;
     w.flush().map_err(|e| io_err("cannot flush", e))?;
-    drop(w);
+    let file = w
+        .into_inner()
+        .map_err(|e| CliError::Other(format!("cannot flush {tmp}: {e}")))?;
+    fault::hit_write(points::CHECKPOINT_WRITE, || {
+        let half = file.metadata().map(|m| m.len() / 2).unwrap_or(0);
+        let _ = file.set_len(half);
+    })?;
+    file.sync_all().map_err(|e| io_err("cannot sync", e))?;
+    drop(file);
     std::fs::rename(&tmp, path)
-        .map_err(|e| CliError::Other(format!("cannot rename {tmp} to {path}: {e}")))
+        .map_err(|e| CliError::Other(format!("cannot rename {tmp} to {path}: {e}")))?;
+    fim_ista::sync_parent_dir(std::path::Path::new(path)).map_err(CliError::from)
 }
 
 /// The out-of-core batch path behind `--out-of-core`: two streaming passes
@@ -615,7 +643,11 @@ fn write_checkpoint_atomically(
 /// mined and spilled to `--spill-dir` as a validated snapshot, the spills
 /// merge-reduced pairwise from disk. The output is identical to an
 /// in-memory run over the same file; spill files are written atomically
-/// and removed on every exit path, budget trips included.
+/// and removed on every exit path, budget trips included — except a
+/// disk-full trip, which keeps the CRC-protected `MANIFEST` journal and
+/// its verified spills so `--resume-spill` can continue the run without
+/// re-mining completed shards. `--io-retries N` retries transient I/O
+/// failures around each spill write before giving up.
 fn cmd_mine_oocore(args: &Args, algo: &str) -> Result<(), CliError> {
     if algo != "ista" {
         return Err(usage(format!(
@@ -647,6 +679,8 @@ fn cmd_mine_oocore(args: &Args, algo: &str) -> Result<(), CliError> {
     };
     let mem_budget: u64 = args.require_parsed("mem-budget")?;
     let spill_dir = args.require("spill-dir")?;
+    let io_retries: u32 = args.parse_or("io-retries", 0)?;
+    let resume = args.flag("resume-spill");
     let budget = budget_from(args)?;
     let obs_args = ObsArgs::from_args(args)?;
     if obs_args.any() && !budget.is_unlimited() {
@@ -663,8 +697,9 @@ fn cmd_mine_oocore(args: &Args, algo: &str) -> Result<(), CliError> {
     }
     config.coalesce = !args.flag("no-coalesce");
     config.compact = !args.flag("no-compact");
+    config.retry = fim_core::fault::RetryPolicy::with_retries(io_retries);
     let start = std::time::Instant::now();
-    let run = fim_io::mine_fimi_with_counts(
+    let run = fim_io::mine_fimi_with_counts_opts(
         input,
         &limits,
         counts,
@@ -672,6 +707,7 @@ fn cmd_mine_oocore(args: &Args, algo: &str) -> Result<(), CliError> {
         item_order(args)?,
         config,
         &budget,
+        resume,
     )?;
     let elapsed = start.elapsed();
     let maximal = args.flag("maximal");
@@ -726,9 +762,20 @@ fn cmd_mine_oocore(args: &Args, algo: &str) -> Result<(), CliError> {
             write_out(args, |w| {
                 fim_io::write_results_named(&partial, &run.catalog, w).map_err(CliError::from)
             })?;
+            // a disk-full trip is the one interruption that keeps its spill
+            // state: the manifest and verified spills stay behind so a
+            // `--resume-spill` run can pick up without re-mining them
+            let disposition = if reason == TripReason::DiskFull {
+                format!(
+                    "a resumable manifest was left in {spill_dir}; free space and re-run \
+                     with --resume-spill to continue without re-mining completed shards"
+                )
+            } else {
+                "spill files were cleaned up".to_owned()
+            };
             Err(CliError::Budget(format!(
                 "ista-oocore interrupted ({reason}) at progress {progress} over {shard_note}; \
-                 wrote {} {kind} sets with exact supports; spill files were cleaned up",
+                 wrote {} {kind} sets with exact supports; {disposition}",
                 partial.len()
             )))
         }
@@ -1001,6 +1048,8 @@ USAGE:
             [--timeout SECS] [--max-nodes N] [--max-sets N] [--degrade]
             [--checkpoint FILE] [--resume FILE]
             [--out-of-core --mem-budget BYTES --spill-dir DIR]
+            [--resume-spill] [--io-retries N]
+            [--inject-fault POINT:NTH[:io|enospc|partial|panic]]
             (--threads N shards the database over N threads and merges the
              per-shard prefix trees; 0 = one shard per core; ista only)
             (--no-coalesce disables merging identical transactions into
@@ -1042,8 +1091,23 @@ USAGE:
              the spills merge-reduced pairwise from disk, so peak memory
              tracks one shard's slice plus two trees instead of the whole
              database. Output is identical to an in-memory run; spill
-             files are written atomically and removed on every exit,
-             budget trips included; ista only, needs a real --in file)
+             files are written atomically (fsync before rename, directory
+             fsync after) and removed on every exit, budget trips
+             included; ista only, needs a real --in file)
+            (crash safety: every out-of-core run journals its spills in a
+             CRC-protected MANIFEST in --spill-dir. After a crash, kill,
+             or disk-full exit, re-running with --resume-spill verifies
+             the journal against the input (size + count fingerprint),
+             adopts intact completed shards without re-mining them, and
+             continues to the identical output; a stale or foreign
+             manifest is rejected as corrupt (exit 3). On disk-full the
+             exact sets of the processed prefix are still written and the
+             manifest is kept (exit 4). --io-retries N absorbs up to N
+             transient I/O failures per spill write. --inject-fault arms
+             the deterministic fault layer for crash testing: the NTH hit
+             of the named point fails with the given kind (default:
+             panic); FIM_INJECT_FAULT in the environment is equivalent,
+             comma-separated)
   fim gen   --preset yeast|ncbi60|thrombin|webview [--scale X] [--seed N] [--out FILE]
   fim rules --supp N [--conf X] [--algo NAME] [--in FILE] [--out FILE]
   fim stats [--in FILE]
@@ -1053,9 +1117,10 @@ FILE defaults to stdin/stdout ('-'). Algorithms: run 'fim algos'.
 
 EXIT CODES:
   0  success
-  1  I/O or other failure
-  2  usage error (bad command line)
-  3  parse error (malformed input data or corrupt checkpoint)
-  4  a resource budget tripped (partial results were still written)"
+  1  I/O or other failure (including an injected fault of kind io)
+  2  usage error (bad command line, unknown fault point)
+  3  parse error (malformed input, corrupt checkpoint, foreign manifest)
+  4  a resource budget tripped or the disk filled up (partial results
+     were still written; disk-full leaves a --resume-spill manifest)"
     );
 }

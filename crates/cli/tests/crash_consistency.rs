@@ -1,0 +1,334 @@
+//! Crash-consistency harness for the out-of-core pipeline: kills a real
+//! `fim` subprocess at every registered fault point (panic kind — the
+//! closest in-process stand-in for `kill -9` at that instruction), then
+//! resumes with `--resume-spill` and asserts the final output is
+//! byte-identical to an uninterrupted run. Also covers the graceful
+//! degradations: ENOSPC → exit 4 with an exact partial and a resumable
+//! manifest, transient I/O faults absorbed by `--io-retries`, and torn
+//! (partial) writes caught by CRC validation on resume.
+//!
+//! The CI fault-injection job runs the same kill-at-every-point loop from
+//! the shell (via `FIM_INJECT_FAULT`), so the fault-point names and the
+//! resume contract asserted here are a stable interface.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Every fault point the out-of-core pipeline threads, in pipeline order.
+/// Mirrors `fim_core::fault::points::OOCORE`; pinned here so a silently
+/// renamed or dropped point fails the harness.
+const OOCORE_POINTS: &[&str] = &[
+    "counts.pass1",
+    "pass2.read",
+    "spill.write",
+    "spill.sync",
+    "spill.rename",
+    "merge.read",
+    "manifest.write",
+];
+
+/// A ~40-transaction, 8-item input that slices into several shards under a
+/// tiny `--mem-budget`, so every pipeline stage (shard mine, spill, merge
+/// reduce) actually runs and has spills in flight when a fault fires.
+fn input_text() -> String {
+    let items = ["a", "b", "c", "d", "e", "f", "g", "h"];
+    let mut text = String::new();
+    for i in 0..40usize {
+        let mut line = Vec::new();
+        for (j, name) in items.iter().enumerate() {
+            // a deterministic, irregular pattern with plenty of overlap
+            if (i * 7 + j * 3) % (j + 2) == 0 {
+                line.push(*name);
+            }
+        }
+        if line.is_empty() {
+            line.push(items[i % items.len()]);
+        }
+        text.push_str(&line.join(" "));
+        text.push('\n');
+    }
+    text
+}
+
+struct Scratch {
+    dir: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("fim_crash_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch { dir }
+    }
+    fn input(&self) -> String {
+        let p = self.dir.join("in.fimi");
+        if !p.exists() {
+            std::fs::write(&p, input_text()).expect("write input");
+        }
+        p.to_string_lossy().into_owned()
+    }
+    fn spill(&self) -> String {
+        self.dir.join("spill").to_string_lossy().into_owned()
+    }
+    fn metrics(&self) -> PathBuf {
+        self.dir.join("metrics.json")
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn fim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fim"))
+        .args(args)
+        .output()
+        .expect("spawn fim")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().unwrap_or(-1)
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// The uninterrupted reference: a plain in-memory mine over the same input
+/// with the same support and item order.
+fn reference_output(s: &Scratch) -> Vec<u8> {
+    let out = fim(&["mine", "--supp", "3", "--in", &s.input()]);
+    assert_eq!(code(&out), 0, "{}", stderr(&out));
+    out.stdout
+}
+
+fn oocore_args<'a>(s_input: &'a str, s_spill: &'a str) -> Vec<&'a str> {
+    vec![
+        "mine",
+        "--supp",
+        "3",
+        "--out-of-core",
+        "--mem-budget",
+        "64",
+        "--spill-dir",
+        s_spill,
+        "--in",
+        s_input,
+    ]
+}
+
+#[test]
+fn kill_at_every_fault_point_then_resume_is_byte_identical() {
+    let s = Scratch::new("kill_matrix");
+    let (input, spill) = (s.input(), s.spill());
+    let want = reference_output(&s);
+    // sanity: the budget actually slices this input into several shards
+    let smoke = fim(&oocore_args(&input, &spill));
+    assert_eq!(code(&smoke), 0, "{}", stderr(&smoke));
+    assert_eq!(smoke.stdout, want, "oocore output diverges before faults");
+    let shard_line = stderr(&smoke);
+    let shards: u64 = shard_line
+        .split(" shards")
+        .next()
+        .and_then(|s| s.rsplit(' ').next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0);
+    assert!(
+        shards >= 3,
+        "want >=3 shards for a real matrix: {shard_line}"
+    );
+
+    for point in OOCORE_POINTS {
+        for nth in [1u64, 3] {
+            let spec = format!("{point}:{nth}");
+            let mut args = oocore_args(&input, &spill);
+            args.extend_from_slice(&["--inject-fault", &spec]);
+            let killed = fim(&args);
+            // panic kind: the process dies (no exit 0) at that instruction
+            assert_ne!(
+                code(&killed),
+                0,
+                "fault {spec} did not kill the run: {}",
+                stderr(&killed)
+            );
+            // resume from whatever the corpse left behind
+            let mut args = oocore_args(&input, &spill);
+            args.push("--resume-spill");
+            let resumed = fim(&args);
+            assert_eq!(
+                code(&resumed),
+                0,
+                "resume after {spec} failed: {}",
+                stderr(&resumed)
+            );
+            assert_eq!(
+                resumed.stdout, want,
+                "resume after {spec} diverged from the uninterrupted run"
+            );
+            // a completed resume leaves no spill state behind
+            let manifest = PathBuf::from(&spill).join("MANIFEST");
+            assert!(!manifest.exists(), "manifest survived resume after {spec}");
+        }
+    }
+}
+
+#[test]
+fn resume_after_kill_adopts_completed_shards() {
+    let s = Scratch::new("adopt");
+    let (input, spill) = (s.input(), s.spill());
+    let want = reference_output(&s);
+    // kill late in the spill sequence so several shards are already
+    // journaled when the process dies
+    let mut args = oocore_args(&input, &spill);
+    args.extend_from_slice(&["--inject-fault", "spill.write:4"]);
+    let killed = fim(&args);
+    assert_ne!(code(&killed), 0);
+    let metrics = s.metrics();
+    let metrics_path = metrics.to_string_lossy().into_owned();
+    let mut args = oocore_args(&input, &spill);
+    args.extend_from_slice(&["--resume-spill", "--metrics", &metrics_path]);
+    let resumed = fim(&args);
+    assert_eq!(code(&resumed), 0, "{}", stderr(&resumed));
+    assert_eq!(resumed.stdout, want);
+    let json = std::fs::read_to_string(&metrics).expect("metrics json");
+    // the spill section must report adopted shards — proof that completed
+    // work was not silently re-mined
+    let resumed_count = json
+        .split("\"shards_resumed\": ")
+        .nth(1)
+        .map(|t| {
+            t.chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+        })
+        .and_then(|n| n.parse::<u64>().ok())
+        .expect("shards_resumed in metrics json");
+    assert!(resumed_count > 0, "no shards adopted on resume: {json}");
+}
+
+#[test]
+fn enospc_exits_4_with_exact_partial_and_resumable_manifest() {
+    let s = Scratch::new("enospc");
+    let (input, spill) = (s.input(), s.spill());
+    let want = reference_output(&s);
+    let mut args = oocore_args(&input, &spill);
+    args.extend_from_slice(&["--inject-fault", "spill.write:3:enospc"]);
+    let out = fim(&args);
+    assert_eq!(code(&out), 4, "{}", stderr(&out));
+    let msg = stderr(&out);
+    assert!(msg.contains("disk full"), "{msg}");
+    assert!(msg.contains("--resume-spill"), "{msg}");
+    // the partial is exact: every reported line appears in the full answer
+    // (supports are true supports of the processed prefix, so the *lines*
+    // differ; but the run must produce parseable, non-empty output)
+    assert!(!out.stdout.is_empty(), "no partial written");
+    let manifest = PathBuf::from(&spill).join("MANIFEST");
+    assert!(manifest.exists(), "no resumable manifest after ENOSPC");
+    // disk freed: the resume completes to the identical answer
+    let mut args = oocore_args(&input, &spill);
+    args.push("--resume-spill");
+    let resumed = fim(&args);
+    assert_eq!(code(&resumed), 0, "{}", stderr(&resumed));
+    assert_eq!(resumed.stdout, want);
+    assert!(!manifest.exists(), "manifest survived a completed resume");
+}
+
+#[test]
+fn io_retries_absorb_transient_faults() {
+    let s = Scratch::new("retries");
+    let (input, spill) = (s.input(), s.spill());
+    let want = reference_output(&s);
+    // without retries the transient fault is fatal
+    let mut args = oocore_args(&input, &spill);
+    args.extend_from_slice(&["--inject-fault", "spill.write:2:io"]);
+    let out = fim(&args);
+    assert_ne!(code(&out), 0, "transient fault ignored without retries");
+    // with retries the same fault is absorbed and the run completes
+    let mut args = oocore_args(&input, &spill);
+    args.extend_from_slice(&["--inject-fault", "spill.write:2:io"]);
+    args.extend_from_slice(&["--io-retries", "2", "--resume-spill"]);
+    let retried = fim(&args);
+    assert_eq!(code(&retried), 0, "{}", stderr(&retried));
+    assert_eq!(retried.stdout, want);
+}
+
+#[test]
+fn torn_spill_write_is_caught_not_trusted() {
+    let s = Scratch::new("torn");
+    let (input, spill) = (s.input(), s.spill());
+    let want = reference_output(&s);
+    // partial kind: the spill write "succeeds" but the file is truncated
+    // to half its length — the torn-but-renamed case. The run either fails
+    // on CRC validation when the spill is read back, or completes; it must
+    // never emit wrong output.
+    let mut args = oocore_args(&input, &spill);
+    args.extend_from_slice(&["--inject-fault", "spill.write:2:partial"]);
+    let out = fim(&args);
+    if code(&out) == 0 {
+        assert_eq!(out.stdout, want, "torn spill silently corrupted output");
+    } else {
+        let msg = stderr(&out);
+        assert!(
+            msg.contains("crc") || msg.contains("corrupt") || msg.contains("truncated"),
+            "unexpected failure mode: {msg}"
+        );
+        // and the damage is recoverable
+        let mut args = oocore_args(&input, &spill);
+        args.push("--resume-spill");
+        let resumed = fim(&args);
+        assert_eq!(code(&resumed), 0, "{}", stderr(&resumed));
+        assert_eq!(resumed.stdout, want);
+    }
+}
+
+#[test]
+fn env_var_arms_the_same_faults_as_the_flag() {
+    let s = Scratch::new("env");
+    let (input, spill) = (s.input(), s.spill());
+    let out = Command::new(env!("CARGO_BIN_EXE_fim"))
+        .args(oocore_args(&input, &spill))
+        .env("FIM_INJECT_FAULT", "spill.write:1:io")
+        .output()
+        .expect("spawn fim");
+    assert_ne!(code(&out), 0, "env-armed fault did not fire");
+}
+
+#[test]
+fn unknown_fault_point_is_a_usage_error() {
+    let s = Scratch::new("badpoint");
+    let (input, spill) = (s.input(), s.spill());
+    let mut args = oocore_args(&input, &spill);
+    args.extend_from_slice(&["--inject-fault", "no.such.point:1"]);
+    let out = fim(&args);
+    assert_eq!(code(&out), 2, "{}", stderr(&out));
+    assert!(
+        stderr(&out).contains("unknown fault point"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn foreign_manifest_is_rejected_with_exit_3() {
+    let s = Scratch::new("foreign");
+    let (input, spill) = (s.input(), s.spill());
+    // leave a manifest behind via an ENOSPC trip
+    let mut args = oocore_args(&input, &spill);
+    args.extend_from_slice(&["--inject-fault", "spill.write:3:enospc"]);
+    let out = fim(&args);
+    assert_eq!(code(&out), 4, "{}", stderr(&out));
+    // the input changes: the manifest no longer describes this database
+    let mut text = input_text();
+    text.push_str("a b c d\n");
+    std::fs::write(&input, text).expect("grow input");
+    let mut args = oocore_args(&input, &spill);
+    args.push("--resume-spill");
+    let rejected = fim(&args);
+    assert_eq!(code(&rejected), 3, "{}", stderr(&rejected));
+    let msg = stderr(&rejected);
+    assert!(msg.contains("MANIFEST"), "{msg}");
+    assert!(msg.contains("fingerprint"), "{msg}");
+}

@@ -211,6 +211,40 @@ fn corrupt_checkpoint_exits_3() {
 }
 
 #[test]
+fn truncated_checkpoint_exits_3_naming_file_and_offset() {
+    let ck = Scratch::new("truncated.ck");
+    // write a real checkpoint, then chop off its tail
+    let written = fim(&[
+        "mine",
+        "--supp",
+        "1",
+        "--in",
+        &data("valid.fimi"),
+        "--checkpoint",
+        &ck.path(),
+    ]);
+    assert_eq!(code(&written), 0, "{}", stderr(&written));
+    let full = std::fs::read(&ck.0).expect("read checkpoint");
+    // cut inside the catalog header (magic 0..4, version 4..8, name count
+    // 8..12) so the error carries the reader's byte-offset context
+    let cut = 10.min(full.len());
+    std::fs::write(&ck.0, &full[..cut]).expect("truncate checkpoint");
+    let out = fim(&[
+        "mine",
+        "--supp",
+        "1",
+        "--in",
+        &data("valid.fimi"),
+        "--resume",
+        &ck.path(),
+    ]);
+    assert_eq!(code(&out), 3, "{}", stderr(&out));
+    let msg = stderr(&out);
+    assert!(msg.contains(&ck.path()), "must name the file: {msg}");
+    assert!(msg.contains("byte"), "must give offset context: {msg}");
+}
+
+#[test]
 fn missing_input_file_exits_1() {
     let out = fim(&["mine", "--supp", "1", "--in", "/nonexistent/nowhere.fimi"]);
     assert_eq!(code(&out), 1, "{}", stderr(&out));

@@ -83,6 +83,9 @@ pub enum TripReason {
     TransactionBudget,
     /// The [`CancelToken`] was cancelled.
     Cancelled,
+    /// The spill device ran out of space (`ENOSPC`); the run degraded to
+    /// an exact partial over the transactions processed so far.
+    DiskFull,
 }
 
 impl fmt::Display for TripReason {
@@ -94,6 +97,7 @@ impl fmt::Display for TripReason {
             TripReason::ClosedSetBudget => "closed-set budget",
             TripReason::TransactionBudget => "transaction budget",
             TripReason::Cancelled => "cancelled",
+            TripReason::DiskFull => "disk full",
         };
         f.write_str(s)
     }

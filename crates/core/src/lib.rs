@@ -43,6 +43,7 @@ pub mod closure;
 pub mod cover;
 pub mod database;
 pub mod error;
+pub mod fault;
 pub mod galois;
 pub mod govern;
 pub mod itemset;

@@ -79,6 +79,10 @@ pub fn write_stream_checkpoint(
 /// resumed stream and the reconstructed catalog. The input must end exactly
 /// at the embedded tree snapshot's end; trailing bytes are corruption.
 pub fn read_stream_checkpoint(r: &mut dyn Read) -> Result<(IstaStream, ItemCatalog), FimError> {
+    let r = &mut CountingReader {
+        inner: r,
+        offset: 0,
+    };
     let mut magic = [0u8; 4];
     read_exact(r, &mut magic, "magic")?;
     if magic != MAGIC {
@@ -141,18 +145,42 @@ pub fn read_stream_checkpoint(r: &mut dyn Read) -> Result<(IstaStream, ItemCatal
     }
 }
 
+/// Tracks how many bytes have been consumed, so a truncation error can say
+/// exactly where the checkpoint ended.
+struct CountingReader<'a> {
+    inner: &'a mut dyn Read,
+    offset: u64,
+}
+
+impl Read for CountingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.offset += n as u64;
+        Ok(n)
+    }
+}
+
 /// Reads 4 little-endian bytes, appending them to the CRC-covered header.
-fn read_u32(r: &mut dyn Read, header: &mut Vec<u8>, what: &str) -> Result<u32, FimError> {
+fn read_u32(r: &mut CountingReader, header: &mut Vec<u8>, what: &str) -> Result<u32, FimError> {
     let mut buf = [0u8; 4];
     read_exact(r, &mut buf, what)?;
     header.extend_from_slice(&buf);
     Ok(u32::from_le_bytes(buf))
 }
 
-fn read_exact(r: &mut dyn Read, buf: &mut [u8], what: &str) -> Result<(), FimError> {
+fn read_exact(r: &mut CountingReader, buf: &mut [u8], what: &str) -> Result<(), FimError> {
+    // Read::read_exact consumes whatever partial bytes exist before
+    // reporting EOF, so r.offset afterwards is the actual stream length.
+    let wanted = buf.len() as u64;
+    let start = r.offset;
     r.read_exact(buf).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            FimError::Corrupt(format!("truncated checkpoint while reading {what}"))
+            FimError::Corrupt(format!(
+                "truncated checkpoint while reading {what}: \
+                 need bytes {start}..{} but input ends at byte {}",
+                start + wanted,
+                r.offset
+            ))
         } else {
             FimError::Io(e)
         }
@@ -239,6 +267,18 @@ mod tests {
                 "truncation at {len}: {err}"
             );
         }
+    }
+
+    #[test]
+    fn truncation_error_reports_the_byte_offset() {
+        let (mut stream, catalog) = stream_from("x y\ny z\n");
+        let buf = checkpoint(&mut stream, &catalog);
+        // cut inside the catalog header: past the magic, before the crc
+        let cut = 10;
+        let err = read_stream_checkpoint(&mut &buf[..cut]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("truncated checkpoint"), "{msg}");
+        assert!(msg.contains(&format!("ends at byte {cut}")), "{msg}");
     }
 
     #[test]

@@ -285,6 +285,7 @@ pub fn count_fimi_path<P: AsRef<Path>>(
         if more.is_none() {
             break;
         }
+        fim_core::fault::hit(fim_core::fault::points::COUNTS_PASS1)?;
         counts.transactions += 1;
         counts.frequencies.resize(counts.catalog.len(), 0);
         codes.sort_unstable();

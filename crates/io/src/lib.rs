@@ -23,6 +23,7 @@
 
 pub mod checkpoint;
 pub mod fimi;
+pub mod manifest;
 pub mod matrix_io;
 pub mod oocore;
 pub mod results;
@@ -32,6 +33,12 @@ pub use fimi::{
     count_fimi_path, read_fimi, read_fimi_path, read_fimi_path_with_limits, read_fimi_with_limits,
     write_fimi, write_fimi_path, FimiCounts, FimiCursor, FimiLimits,
 };
+pub use manifest::{
+    counts_fingerprint, crc32_file, live_records, order_tag, read_manifest, valid_spill_name,
+    ManifestHeader, ManifestRecord, ManifestWriter, MANIFEST_NAME,
+};
 pub use matrix_io::{read_matrix, write_matrix};
-pub use oocore::{mine_fimi_out_of_core, mine_fimi_with_counts, OutOfCoreRun};
+pub use oocore::{
+    mine_fimi_out_of_core, mine_fimi_with_counts, mine_fimi_with_counts_opts, OutOfCoreRun,
+};
 pub use results::{write_results, write_results_csv, write_results_named};

@@ -1,0 +1,558 @@
+//! The `MANIFEST` journal: the crash-safety record of an out-of-core run.
+//!
+//! A journaled out-of-core run keeps one `MANIFEST` file in its spill
+//! directory. The file has two parts:
+//!
+//! * a fixed **header**, written atomically (tmp + rename + dir fsync)
+//!   before the first transaction is mined, fingerprinting the run — the
+//!   input file's byte size, an FNV-1a hash of the pass-1 item counts,
+//!   the effective minimum support, and the item order. `--resume-spill`
+//!   refuses to adopt spills mined from different input or settings; the
+//!   fingerprint is how it tells.
+//! * appended **records**, one per durably completed spill file, each
+//!   carrying the file name, its byte length and CRC-32, and the stream
+//!   transaction intervals its tree covers. Every record ends in its own
+//!   CRC-32 and every append is fsynced, so a reader can trust any record
+//!   it can parse; a torn tail (the append the crash interrupted) fails
+//!   its CRC and is ignored along with everything after it.
+//!
+//! Which records are *live* falls out of the interval algebra: a merge
+//! re-spill's record covers the union of its inputs' intervals, so a
+//! record strictly interval-contained in another is consumed and dead.
+//! [`live_records`] keeps the maximal ones — their files (once their CRCs
+//! verify against the record) are exactly the spills a resumed run can
+//! adopt, and their interval gaps are exactly the transactions it must
+//! re-mine.
+
+use fim_core::fault::{self, points};
+use fim_core::FimError;
+use fim_ista::snapshot::crc32;
+use fim_ista::TxInterval;
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the journal inside the spill directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+
+const MAGIC: &[u8; 4] = b"FIMM";
+const VERSION: u32 = 1;
+/// Sanity bound on record name / interval counts, far above anything a
+/// real run writes — a corrupt length field must not drive allocation.
+const MAX_NAME_BYTES: u32 = 256;
+const MAX_INTERVALS: u32 = 1 << 20;
+
+/// The run fingerprint a manifest header pins down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ManifestHeader {
+    /// Byte size of the input file at the time of the run.
+    pub input_bytes: u64,
+    /// FNV-1a fingerprint of the pass-1 counts
+    /// ([`counts_fingerprint`]).
+    pub counts_fnv: u64,
+    /// Effective minimum support (already clamped to ≥ 1).
+    pub minsupp: u32,
+    /// Item-order tag ([`order_tag`]).
+    pub order: u32,
+}
+
+impl ManifestHeader {
+    fn to_bytes(self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(36);
+        b.extend_from_slice(MAGIC);
+        b.extend_from_slice(&VERSION.to_le_bytes());
+        b.extend_from_slice(&self.input_bytes.to_le_bytes());
+        b.extend_from_slice(&self.counts_fnv.to_le_bytes());
+        b.extend_from_slice(&self.minsupp.to_le_bytes());
+        b.extend_from_slice(&self.order.to_le_bytes());
+        let crc = crc32(&b);
+        b.extend_from_slice(&crc.to_le_bytes());
+        b
+    }
+}
+
+/// Stable tag for an [`fim_core::ItemOrder`] inside the manifest header.
+pub fn order_tag(order: fim_core::ItemOrder) -> u32 {
+    match order {
+        fim_core::ItemOrder::AscendingFrequency => 0,
+        fim_core::ItemOrder::DescendingFrequency => 1,
+        fim_core::ItemOrder::Original => 2,
+    }
+}
+
+/// One journaled spill file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestRecord {
+    /// Bare file name inside the spill directory (`shard-NNNN.spill` or
+    /// `merge-NNNN.spill`).
+    pub name: String,
+    /// Byte length of the spill file when it was journaled.
+    pub file_len: u64,
+    /// CRC-32 of the spill file's bytes.
+    pub file_crc: u32,
+    /// Covered stream transaction intervals, sorted and disjoint.
+    pub intervals: Vec<TxInterval>,
+}
+
+/// 64-bit FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Incremental 64-bit FNV-1a.
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds `bytes` into the hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// FNV-1a fingerprint of a pass-1 summary: the transaction count plus
+/// every interned item name with its frequency, in catalog (first
+/// appearance) order — any change to the input that survives the
+/// byte-size check perturbs this.
+pub fn counts_fingerprint(counts: &crate::fimi::FimiCounts) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(&counts.transactions.to_le_bytes());
+    for (code, name) in counts.catalog.iter() {
+        h.update(name.as_bytes());
+        h.update(&[0]);
+        h.update(&counts.frequencies[code as usize].to_le_bytes());
+    }
+    h.finish()
+}
+
+/// Length and CRC-32 of the file at `path` — the verification side of a
+/// [`ManifestRecord`].
+pub fn crc32_file(path: &Path) -> Result<(u64, u32), FimError> {
+    let mut f = fs::File::open(path)?;
+    let mut buf = [0u8; 64 * 1024];
+    let mut len = 0u64;
+    let mut crc_state = 0xFFFF_FFFFu32;
+    // streaming CRC-32 matching fim_ista::snapshot::crc32
+    loop {
+        let n = f.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        len += n as u64;
+        for &b in &buf[..n] {
+            crc_state ^= u32::from(b);
+            for _ in 0..8 {
+                let mask = (crc_state & 1).wrapping_neg();
+                crc_state = (crc_state >> 1) ^ (0xEDB8_8320 & mask);
+            }
+        }
+    }
+    Ok((len, crc_state ^ 0xFFFF_FFFF))
+}
+
+fn corrupt(path: &Path, msg: impl std::fmt::Display) -> FimError {
+    FimError::Corrupt(format!("{}: {msg}", path.display()))
+}
+
+/// Append-only manifest writer.
+///
+/// [`create`](ManifestWriter::create) publishes the header atomically and
+/// durably before returning; [`append_to`](ManifestWriter::append_to)
+/// reopens an existing manifest (already validated by
+/// [`read_manifest`]) for a resumed run. Each appended record is flushed
+/// and fsynced before `append` returns, threading the `manifest.write`
+/// fault point.
+pub struct ManifestWriter {
+    file: fs::File,
+    path: PathBuf,
+}
+
+impl ManifestWriter {
+    /// Creates a fresh manifest in `spill_dir`, replacing any previous
+    /// one: header written to a `.tmp` sibling, fsynced, renamed into
+    /// place, directory fsynced.
+    pub fn create(spill_dir: &Path, header: ManifestHeader) -> Result<Self, FimError> {
+        fs::create_dir_all(spill_dir)?;
+        let path = spill_dir.join(MANIFEST_NAME);
+        let tmp = spill_dir.join(format!("{MANIFEST_NAME}.tmp"));
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&header.to_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, &path)?;
+        fs::File::open(spill_dir)?.sync_all()?;
+        let file = fs::OpenOptions::new().append(true).open(&path)?;
+        Ok(ManifestWriter { file, path })
+    }
+
+    /// Reopens the manifest at `path` for appending. The caller is
+    /// expected to have validated it with [`read_manifest`] first.
+    pub fn append_to(path: &Path) -> Result<Self, FimError> {
+        let file = fs::OpenOptions::new().append(true).open(path)?;
+        Ok(ManifestWriter {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Appends one record and makes it durable.
+    pub fn append(&mut self, record: &ManifestRecord) -> Result<(), FimError> {
+        let name = record.name.as_bytes();
+        let mut b = Vec::with_capacity(24 + name.len() + 16 * record.intervals.len());
+        b.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        b.extend_from_slice(name);
+        b.extend_from_slice(&record.file_len.to_le_bytes());
+        b.extend_from_slice(&record.file_crc.to_le_bytes());
+        b.extend_from_slice(&(record.intervals.len() as u32).to_le_bytes());
+        for &(s, e) in &record.intervals {
+            b.extend_from_slice(&s.to_le_bytes());
+            b.extend_from_slice(&e.to_le_bytes());
+        }
+        let crc = crc32(&b);
+        b.extend_from_slice(&crc.to_le_bytes());
+        // an armed `partial` fault tears the append in half — the record
+        // CRC makes the torn tail invisible to the reader
+        let torn = fault::hit_write(points::MANIFEST_WRITE, || b.truncate(b.len() / 2));
+        torn?;
+        self.file.write_all(&b)?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+
+    /// The manifest's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl fim_ista::SpillJournal for ManifestWriter {
+    fn record(&mut self, path: &Path, intervals: &[TxInterval]) -> Result<(), FimError> {
+        let name = path
+            .file_name()
+            .ok_or_else(|| FimError::InvalidInput(format!("spill path {}", path.display())))?
+            .to_string_lossy()
+            .into_owned();
+        let (file_len, file_crc) = crc32_file(path)?;
+        self.append(&ManifestRecord {
+            name,
+            file_len,
+            file_crc,
+            intervals: intervals.to_vec(),
+        })
+    }
+}
+
+/// Whether `name` is a spill file name a manifest may legitimately refer
+/// to — a bare `shard-NNNN.spill` / `merge-NNNN.spill`, no path
+/// separators, so a corrupt or hostile manifest cannot point outside the
+/// spill directory.
+pub fn valid_spill_name(name: &str) -> bool {
+    let digits = name.strip_suffix(".spill").and_then(|s| {
+        s.strip_prefix("shard-")
+            .or_else(|| s.strip_prefix("merge-"))
+    });
+    matches!(digits, Some(d) if !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit()))
+}
+
+/// Reads a manifest: the header is validated strictly (magic, version,
+/// CRC — failures are [`FimError::Corrupt`] naming the file), then
+/// records are parsed until the first torn or corrupt one, which is
+/// ignored together with everything after it (it is the append a crash
+/// interrupted; everything before it was fsynced).
+pub fn read_manifest(path: &Path) -> Result<(ManifestHeader, Vec<ManifestRecord>), FimError> {
+    let bytes = fs::read(path)?;
+    if bytes.len() < 36 {
+        return Err(corrupt(path, "manifest shorter than its header"));
+    }
+    let (head, mut rest) = bytes.split_at(36);
+    if &head[0..4] != MAGIC {
+        return Err(corrupt(path, "bad magic (not a fim manifest)"));
+    }
+    let version = u32::from_le_bytes(head[4..8].try_into().unwrap());
+    if version != VERSION {
+        return Err(corrupt(
+            path,
+            format!("unsupported manifest version {version}"),
+        ));
+    }
+    let stored_crc = u32::from_le_bytes(head[32..36].try_into().unwrap());
+    if crc32(&head[..32]) != stored_crc {
+        return Err(corrupt(path, "manifest header checksum mismatch"));
+    }
+    let header = ManifestHeader {
+        input_bytes: u64::from_le_bytes(head[8..16].try_into().unwrap()),
+        counts_fnv: u64::from_le_bytes(head[16..24].try_into().unwrap()),
+        minsupp: u32::from_le_bytes(head[24..28].try_into().unwrap()),
+        order: u32::from_le_bytes(head[28..32].try_into().unwrap()),
+    };
+    let mut records = Vec::new();
+    while let Some((record, tail)) = parse_record(rest) {
+        if !valid_spill_name(&record.name) {
+            break; // treat like a torn tail: ignore it and stop
+        }
+        records.push(record);
+        rest = tail;
+    }
+    Ok((header, records))
+}
+
+/// Parses one record off the front of `b`; `None` on a torn or corrupt
+/// record.
+fn parse_record(b: &[u8]) -> Option<(ManifestRecord, &[u8])> {
+    fn take(b: &[u8], n: usize) -> Option<(&[u8], &[u8])> {
+        (b.len() >= n).then(|| b.split_at(n))
+    }
+    let (len_b, rest) = take(b, 4)?;
+    let name_len = u32::from_le_bytes(len_b.try_into().unwrap());
+    if name_len == 0 || name_len > MAX_NAME_BYTES {
+        return None;
+    }
+    let (name_b, rest) = take(rest, name_len as usize)?;
+    let (file_len_b, rest) = take(rest, 8)?;
+    let (file_crc_b, rest) = take(rest, 4)?;
+    let (n_iv_b, rest) = take(rest, 4)?;
+    let n_iv = u32::from_le_bytes(n_iv_b.try_into().unwrap());
+    if n_iv > MAX_INTERVALS {
+        return None;
+    }
+    let (iv_b, rest) = take(rest, n_iv as usize * 16)?;
+    let (crc_b, rest) = take(rest, 4)?;
+    let body_len = b.len() - rest.len() - 4;
+    if crc32(&b[..body_len]) != u32::from_le_bytes(crc_b.try_into().unwrap()) {
+        return None;
+    }
+    let name = std::str::from_utf8(name_b).ok()?.to_owned();
+    let mut intervals = Vec::with_capacity(n_iv as usize);
+    for chunk in iv_b.chunks_exact(16) {
+        let s = u64::from_le_bytes(chunk[..8].try_into().unwrap());
+        let e = u64::from_le_bytes(chunk[8..].try_into().unwrap());
+        if s >= e {
+            return None;
+        }
+        intervals.push((s, e));
+    }
+    Some((
+        ManifestRecord {
+            name,
+            file_len: u64::from_le_bytes(file_len_b.try_into().unwrap()),
+            file_crc: u32::from_le_bytes(file_crc_b.try_into().unwrap()),
+            intervals,
+        },
+        rest,
+    ))
+}
+
+/// The live (maximal) records: those not strictly interval-contained in
+/// another record. A merge re-spill's record contains its inputs', so the
+/// live set is exactly the frontier a resumed run can adopt; live records
+/// of a well-formed manifest are pairwise disjoint.
+pub fn live_records(records: &[ManifestRecord]) -> Vec<&ManifestRecord> {
+    let contains = |outer: &[TxInterval], inner: &[TxInterval]| {
+        inner
+            .iter()
+            .all(|&(s, e)| outer.iter().any(|&(os, oe)| os <= s && e <= oe))
+    };
+    records
+        .iter()
+        .enumerate()
+        .filter(|(i, r)| {
+            !records
+                .iter()
+                .enumerate()
+                .any(|(j, other)| *i != j && contains(&other.intervals, &r.intervals))
+        })
+        .map(|(_, r)| r)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("fim-manifest-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn header() -> ManifestHeader {
+        ManifestHeader {
+            input_bytes: 1234,
+            counts_fnv: 0xDEAD_BEEF_CAFE_F00D,
+            minsupp: 2,
+            order: 0,
+        }
+    }
+
+    fn rec(name: &str, intervals: &[TxInterval]) -> ManifestRecord {
+        ManifestRecord {
+            name: name.to_owned(),
+            file_len: 100,
+            file_crc: 42,
+            intervals: intervals.to_vec(),
+        }
+    }
+
+    #[test]
+    fn round_trips_header_and_records() {
+        let dir = temp_dir("rt");
+        let mut w = ManifestWriter::create(&dir, header()).unwrap();
+        w.append(&rec("shard-0000.spill", &[(0, 3)])).unwrap();
+        w.append(&rec("shard-0001.spill", &[(3, 5), (7, 9)]))
+            .unwrap();
+        let path = w.path().to_path_buf();
+        drop(w);
+        let (h, records) = read_manifest(&path).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, "shard-0000.spill");
+        assert_eq!(records[1].intervals, vec![(3, 5), (7, 9)]);
+        // appending through a reopen keeps the earlier records intact
+        let mut w = ManifestWriter::append_to(&path).unwrap();
+        w.append(&rec("merge-0000.spill", &[(0, 5), (7, 9)]))
+            .unwrap();
+        drop(w);
+        let (_, records) = read_manifest(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_but_the_prefix_survives() {
+        let dir = temp_dir("torn");
+        let mut w = ManifestWriter::create(&dir, header()).unwrap();
+        w.append(&rec("shard-0000.spill", &[(0, 3)])).unwrap();
+        w.append(&rec("shard-0001.spill", &[(3, 6)])).unwrap();
+        let path = w.path().to_path_buf();
+        drop(w);
+        let full = fs::read(&path).unwrap();
+        let (_, two) = read_manifest(&path).unwrap();
+        assert_eq!(two.len(), 2);
+        // find where the second record starts by writing a one-record
+        // manifest of the same shape, then truncate anywhere inside the
+        // second record: the first must survive
+        let mut w2 = ManifestWriter::create(&dir, header()).unwrap();
+        w2.append(&rec("shard-0000.spill", &[(0, 3)])).unwrap();
+        let second_start = fs::read(w2.path()).unwrap().len();
+        drop(w2);
+        for cut in second_start..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let (_, records) = read_manifest(&path).unwrap();
+            assert_eq!(records.len(), 1, "cut at {cut}");
+            assert_eq!(records[0].name, "shard-0000.spill");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn header_corruption_is_rejected_naming_the_file() {
+        let dir = temp_dir("hdr");
+        let w = ManifestWriter::create(&dir, header()).unwrap();
+        let path = w.path().to_path_buf();
+        drop(w);
+        let good = fs::read(&path).unwrap();
+        for i in 0..36 {
+            let mut bad = good.clone();
+            bad[i] ^= 0x01;
+            fs::write(&path, &bad).unwrap();
+            let err = read_manifest(&path).expect_err("corrupt header must not parse");
+            assert!(matches!(err, FimError::Corrupt(_)), "byte {i}: {err}");
+            assert!(err.to_string().contains("MANIFEST"), "byte {i}: {err}");
+        }
+        // too short entirely
+        fs::write(&path, &good[..20]).unwrap();
+        assert!(read_manifest(&path).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_with_invalid_name_stops_the_parse() {
+        let dir = temp_dir("name");
+        let mut w = ManifestWriter::create(&dir, header()).unwrap();
+        w.append(&rec("shard-0000.spill", &[(0, 3)])).unwrap();
+        w.append(&rec("../escape.spill", &[(3, 6)])).unwrap();
+        w.append(&rec("shard-0001.spill", &[(6, 9)])).unwrap();
+        let path = w.path().to_path_buf();
+        drop(w);
+        let (_, records) = read_manifest(&path).unwrap();
+        assert_eq!(records.len(), 1, "parse must stop at the invalid name");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spill_name_validation() {
+        assert!(valid_spill_name("shard-0000.spill"));
+        assert!(valid_spill_name("merge-1234.spill"));
+        assert!(valid_spill_name("shard-99999.spill"));
+        assert!(!valid_spill_name("shard-.spill"));
+        assert!(!valid_spill_name("shard-00x0.spill"));
+        assert!(!valid_spill_name("../shard-0000.spill"));
+        assert!(!valid_spill_name("shard-0000.spill.tmp"));
+        assert!(!valid_spill_name("MANIFEST"));
+        assert!(!valid_spill_name(""));
+    }
+
+    #[test]
+    fn liveness_keeps_the_maximal_frontier() {
+        let records = vec![
+            rec("shard-0000.spill", &[(0, 2)]),
+            rec("shard-0001.spill", &[(2, 4)]),
+            rec("merge-0000.spill", &[(0, 4)]),
+            rec("shard-0002.spill", &[(4, 6)]),
+        ];
+        let live = live_records(&records);
+        let names: Vec<_> = live.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["merge-0000.spill", "shard-0002.spill"]);
+    }
+
+    #[test]
+    fn fnv1a_known_answer_and_fingerprint_sensitivity() {
+        // FNV-1a test vectors
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        let mut counts = crate::fimi::FimiCounts::default();
+        counts.catalog.intern("a");
+        counts.catalog.intern("b");
+        counts.frequencies = vec![3, 5];
+        counts.transactions = 6;
+        let base = counts_fingerprint(&counts);
+        counts.frequencies[1] = 4;
+        assert_ne!(base, counts_fingerprint(&counts));
+        counts.frequencies[1] = 5;
+        counts.transactions = 7;
+        assert_ne!(base, counts_fingerprint(&counts));
+    }
+
+    #[test]
+    fn crc32_file_matches_in_memory_crc() {
+        let dir = temp_dir("crc");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("blob");
+        let data: Vec<u8> = (0..200_000u32).map(|i| (i * 31 % 251) as u8).collect();
+        fs::write(&p, &data).unwrap();
+        let (len, crc) = crc32_file(&p).unwrap();
+        assert_eq!(len, data.len() as u64);
+        assert_eq!(crc, crc32(&data));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

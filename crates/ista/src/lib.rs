@@ -51,7 +51,10 @@ pub mod tree;
 
 pub use arena::{Node, NodeArena, PatNode, SegArena, NONE};
 pub use miner::{IstaConfig, IstaMiner, MineStats, PrunePacer, PrunePolicy};
-pub use outofcore::{load_spill, spill_tree, OutOfCoreConfig, OutOfCoreMiner, OutOfCoreStats};
+pub use outofcore::{
+    load_spill, spill_tree, sync_parent_dir, AdoptedSpill, OutOfCoreConfig, OutOfCoreMiner,
+    OutOfCoreStats, ResumePlan, SpillJournal, TxInterval,
+};
 pub use parallel::{ParallelConfig, ParallelIstaMiner, ParallelMineStats};
 pub use plain::PlainPrefixTree;
 pub use stream::IstaStream;

@@ -35,12 +35,14 @@ use crate::miner::{IstaConfig, PrunePacer, PrunePolicy};
 use crate::parallel::test_hooks;
 use crate::snapshot;
 use crate::tree::{PrefixTree, TreeMemoryStats};
+use fim_core::fault::{self, points, RetryPolicy};
 use fim_core::{
     checkpoint, Budget, FimError, Governor, Item, MineOutcome, MiningResult, Progress, TripReason,
 };
 use fim_obs::{Counter, Counters};
 use std::collections::VecDeque;
 use std::fs;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Estimated resident bytes of one shard-buffered transaction: its items
@@ -70,6 +72,9 @@ pub struct OutOfCoreConfig {
     /// Compact shard/merge trees after pruning passes that freed slots
     /// (same semantics as [`IstaConfig::compact`]).
     pub compact: bool,
+    /// Bounded retry for transient spill-write failures (the CLI's
+    /// `--io-retries`). The default retries nothing.
+    pub retry: RetryPolicy,
 }
 
 impl OutOfCoreConfig {
@@ -83,6 +88,7 @@ impl OutOfCoreConfig {
             policy: seq.policy,
             coalesce: seq.coalesce,
             compact: seq.compact,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -109,22 +115,53 @@ pub struct OutOfCoreStats {
     pub counters: Counters,
 }
 
-/// Writes `tree` to `path` as a v2 snapshot, atomically: the bytes go to a
-/// sibling `.tmp` file which is renamed over `path` only once fully
-/// written. Returns the snapshot size in bytes.
+/// Writes `tree` to `path` as a v2 snapshot, atomically *and durably*: the
+/// bytes go to a sibling `.tmp` file which is explicitly flushed (write
+/// errors surface here instead of being swallowed by `BufWriter::drop`)
+/// and `sync_all`ed before the rename over `path`, and the parent
+/// directory is fsynced after it — so once this returns, the snapshot
+/// survives power loss and `fs::metadata` sizes are trustworthy. Returns
+/// the snapshot size in bytes.
+///
+/// Threads the `spill.write` / `spill.sync` / `spill.rename` fault points
+/// ([`fim_core::fault`]); disarmed they cost one load each.
 pub fn spill_tree(tree: &mut PrefixTree, path: &Path) -> Result<u64, FimError> {
     let tmp = tmp_path(path);
     let mut w = std::io::BufWriter::new(fs::File::create(&tmp)?);
     snapshot::write_tree(tree, &mut w)?;
-    w.into_inner().map_err(|e| FimError::Io(e.into_error()))?;
-    let bytes = fs::metadata(&tmp)?.len();
+    w.flush()?;
+    let f = w.into_inner().map_err(|e| FimError::Io(e.into_error()))?;
+    // an armed `partial` fault tears the flushed temporary in half and
+    // lets the rename publish it — the CRC catches it on the next read
+    fault::hit_write(points::SPILL_WRITE, || {
+        let half = f.metadata().map(|m| m.len() / 2).unwrap_or(0);
+        let _ = f.set_len(half);
+    })?;
+    fault::hit(points::SPILL_SYNC)?;
+    f.sync_all()?;
+    let bytes = f.metadata()?.len();
+    drop(f);
+    fault::hit(points::SPILL_RENAME)?;
     fs::rename(&tmp, path)?;
+    sync_parent_dir(path)?;
     Ok(bytes)
 }
 
+/// Fsyncs the directory containing `path`, making a just-renamed entry
+/// durable.
+pub fn sync_parent_dir(path: &Path) -> Result<(), FimError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::File::open(parent)?.sync_all()?;
+        }
+    }
+    Ok(())
+}
+
 /// Reloads a spill snapshot, re-wrapping any [`FimError::Corrupt`] so the
-/// message names the offending file.
+/// message names the offending file. Threads the `merge.read` fault point.
 pub fn load_spill(path: &Path) -> Result<PrefixTree, FimError> {
+    fault::hit(points::MERGE_READ)?;
     let mut r = std::io::BufReader::new(fs::File::open(path)?);
     snapshot::read_tree(&mut r).map_err(|e| match e {
         FimError::Corrupt(msg) => FimError::Corrupt(format!("{}: {msg}", path.display())),
@@ -141,41 +178,163 @@ fn tmp_path(path: &Path) -> PathBuf {
     path.with_file_name(name)
 }
 
-/// Scope guard over the files a pipeline run creates in the spill
-/// directory: on drop — success, error return, budget trip, or panic —
-/// every tracked path (spills and their `.tmp` siblings) is removed, so
-/// the directory is never left holding partial state.
+/// Scope guard over the files a pipeline run touches in the spill
+/// directory. Temporary `.tmp` siblings are removed on *every* exit —
+/// success, error return, budget trip, or panic. Completed spill files are
+/// removed on drop unless the run is journaling to a resumable manifest
+/// and did not reach [`complete`](SpillGuard::complete): a journaled run
+/// that dies (crash, injected fault, `ENOSPC` degradation) must leave its
+/// completed spills on disk for `--resume-spill`, while an unjournaled run
+/// keeps the original always-clean contract.
 struct SpillGuard {
-    files: Vec<PathBuf>,
+    tmps: Vec<PathBuf>,
+    finals: Vec<PathBuf>,
+    keep_on_failure: bool,
+    completed: bool,
 }
 
 impl SpillGuard {
-    fn new() -> Self {
-        SpillGuard { files: Vec::new() }
+    fn new(keep_on_failure: bool) -> Self {
+        SpillGuard {
+            tmps: Vec::new(),
+            finals: Vec::new(),
+            keep_on_failure,
+            completed: false,
+        }
     }
 
     /// Tracks the spill at `path` (and its temporary sibling) for cleanup.
     fn track(&mut self, path: &Path) {
-        self.files.push(tmp_path(path));
-        self.files.push(path.to_path_buf());
+        self.tmps.push(tmp_path(path));
+        self.finals.push(path.to_path_buf());
+    }
+
+    /// Marks the run finished: every tracked file is removed on drop.
+    fn complete(&mut self) {
+        self.completed = true;
     }
 }
 
 impl Drop for SpillGuard {
     fn drop(&mut self) {
-        for f in &self.files {
+        for f in &self.tmps {
             let _ = fs::remove_file(f);
+        }
+        if self.completed || !self.keep_on_failure {
+            for f in &self.finals {
+                let _ = fs::remove_file(f);
+            }
         }
     }
 }
 
-/// One outstanding spill: its snapshot on disk plus the item occurrences
-/// *not yet folded into it* — the global support snapshot minus everything
-/// the covered transactions consumed (the merge-safety invariant of
-/// [`crate::parallel`], kept in memory because it is one `u32` per item).
+/// A half-open range `[start, end)` of stream transaction indices. Indices
+/// count the *non-empty* recoded transactions of the stream in order, so
+/// they are deterministic across runs over the same input.
+pub type TxInterval = (u64, u64);
+
+/// Sink for the completed-spill journal (the `MANIFEST` writer lives in
+/// `fim-io`; the miner stays format-agnostic behind this trait).
+///
+/// [`record`](SpillJournal::record) is called exactly once per spill file,
+/// *after* the file is durably on disk under its final name, with the
+/// transaction intervals its tree covers. A merge re-spill's record
+/// strictly interval-contains its two inputs' records, which is how the
+/// reader tells live spills from consumed ones.
+pub trait SpillJournal {
+    /// Journals a durably completed spill covering `intervals`.
+    fn record(&mut self, path: &Path, intervals: &[TxInterval]) -> Result<(), FimError>;
+}
+
+/// One verified spill file adopted from a previous run's manifest.
+#[derive(Clone, Debug)]
+pub struct AdoptedSpill {
+    /// The spill snapshot, already CRC-verified by the caller.
+    pub path: PathBuf,
+    /// The stream transaction intervals its tree covers, sorted and
+    /// disjoint.
+    pub intervals: Vec<TxInterval>,
+}
+
+/// What `--resume-spill` recovered from a previous run's manifest: the
+/// verified spills to adopt instead of re-mining, and where the spill-file
+/// numbering should continue so resumed runs never collide with adopted
+/// files.
+#[derive(Clone, Debug, Default)]
+pub struct ResumePlan {
+    /// Verified spills, in manifest order. Their interval sets are
+    /// pairwise disjoint (the manifest reader keeps only live records).
+    pub adopted: Vec<AdoptedSpill>,
+    /// First free `shard-NNNN.spill` index.
+    pub next_shard_idx: u64,
+    /// First free `merge-NNNN.spill` index.
+    pub next_merge_idx: u64,
+}
+
+/// One outstanding spill: its snapshot on disk, the item occurrences *not
+/// yet folded into it* — the global support snapshot minus everything the
+/// covered transactions consumed (the merge-safety invariant of
+/// [`crate::parallel`], kept in memory because it is one `u32` per item) —
+/// and the stream intervals it covers, for journaling.
 struct Spill {
     path: PathBuf,
     remaining: Vec<u32>,
+    intervals: Vec<TxInterval>,
+}
+
+/// Cursor over the adopted spills' (disjoint, sorted) intervals: maps a
+/// monotonically increasing transaction index to the spill slot covering
+/// it, in O(1) amortised.
+struct Coverage {
+    iv: Vec<(u64, u64, usize)>,
+    pos: usize,
+}
+
+impl Coverage {
+    fn new(adopted: &[AdoptedSpill]) -> Self {
+        let mut iv: Vec<(u64, u64, usize)> = adopted
+            .iter()
+            .enumerate()
+            .flat_map(|(slot, a)| a.intervals.iter().map(move |&(s, e)| (s, e, slot)))
+            .collect();
+        iv.sort_unstable();
+        Coverage { iv, pos: 0 }
+    }
+
+    /// The slot covering `idx`, if any. `idx` must not decrease between
+    /// calls.
+    fn slot(&mut self, idx: u64) -> Option<usize> {
+        while self.pos < self.iv.len() && self.iv[self.pos].1 <= idx {
+            self.pos += 1;
+        }
+        match self.iv.get(self.pos) {
+            Some(&(s, _, slot)) if s <= idx => Some(slot),
+            _ => None,
+        }
+    }
+}
+
+/// Extends `intervals` (sorted, in construction order) with `idx`,
+/// growing the last interval when contiguous.
+fn push_tx(intervals: &mut Vec<TxInterval>, idx: u64) {
+    match intervals.last_mut() {
+        Some(last) if last.1 == idx => last.1 = idx + 1,
+        _ => intervals.push((idx, idx + 1)),
+    }
+}
+
+/// The sorted union of two disjoint interval lists, coalescing adjacency.
+fn union_intervals(a: &[TxInterval], b: &[TxInterval]) -> Vec<TxInterval> {
+    let mut all: Vec<TxInterval> = a.iter().chain(b.iter()).copied().collect();
+    all.sort_unstable();
+    let mut out: Vec<TxInterval> = Vec::with_capacity(all.len());
+    for (s, e) in all {
+        match out.last_mut() {
+            Some(last) if last.1 >= s => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
 }
 
 /// A loaded tree travelling through the merge reduction with its
@@ -224,7 +383,58 @@ impl OutOfCoreMiner {
         total_transactions: Option<u64>,
         minsupp: u32,
         budget: &Budget,
+        next: F,
+    ) -> Result<(MineOutcome, OutOfCoreStats), FimError>
+    where
+        F: FnMut(&mut Vec<Item>) -> Result<bool, FimError>,
+    {
+        self.mine_stream_with(
+            num_items,
+            global_supports,
+            total_transactions,
+            minsupp,
+            budget,
+            next,
+            None,
+            ResumePlan::default(),
+        )
+    }
+
+    /// [`mine_stream`](Self::mine_stream) plus the crash-safety plumbing.
+    ///
+    /// With a `journal`, every durably completed spill file is recorded
+    /// (path + covered transaction intervals) the moment it is safe on
+    /// disk, and a failed run — crash, injected fault, `ENOSPC`
+    /// degradation — leaves its completed spills in the spill directory
+    /// instead of cleaning them, so the journal's reader can build a
+    /// [`ResumePlan`] for the next run. A successful (or budget-tripped)
+    /// run still leaves the directory clean.
+    ///
+    /// With a non-empty `resume` plan, the covered transactions of the
+    /// adopted spills are *not* re-mined: the stream pass only replays
+    /// their per-item decrements to reconstruct each adopted spill's
+    /// remaining-count vector, uncovered transactions (holes from
+    /// unverified or incomplete spills) are sliced into new shards, and
+    /// the merge-reduce proceeds over adopted and new spills together.
+    /// New spill files are numbered from the plan's `next_*` indices so
+    /// they never collide with adopted files.
+    ///
+    /// Running out of spill-device space (`ENOSPC`, real or injected)
+    /// does not fail the run: it trips [`TripReason::DiskFull`], stops
+    /// consuming the stream, and folds every outstanding spill into the
+    /// resident tree sequentially in memory — an exact partial over the
+    /// processed prefix, with the journaled state left resumable.
+    #[allow(clippy::too_many_arguments)]
+    pub fn mine_stream_with<F>(
+        &self,
+        num_items: u32,
+        global_supports: &[u32],
+        total_transactions: Option<u64>,
+        minsupp: u32,
+        budget: &Budget,
         mut next: F,
+        mut journal: Option<&mut dyn SpillJournal>,
+        resume: ResumePlan,
     ) -> Result<(MineOutcome, OutOfCoreStats), FimError>
     where
         F: FnMut(&mut Vec<Item>) -> Result<bool, FimError>,
@@ -237,20 +447,53 @@ impl OutOfCoreMiner {
         let cfg = &self.config;
         let minsupp = minsupp.max(1);
         fs::create_dir_all(&cfg.spill_dir)?;
-        let mut guard = SpillGuard::new();
+        // startup cleanup: `.tmp` siblings left by a crashed run are never
+        // live state (only renames publish), so they are removed, not read
+        if let Ok(entries) = fs::read_dir(&cfg.spill_dir) {
+            for entry in entries.flatten() {
+                let p = entry.path();
+                if p.extension().is_some_and(|e| e == "tmp") {
+                    let _ = fs::remove_file(&p);
+                }
+            }
+        }
+        let journaling = journal.is_some();
+        let mut guard = SpillGuard::new(journaling);
         let mut gov = (!budget.is_unlimited()).then(|| budget.start());
         let mut tripped: Option<TripReason> = None;
         let mut counters = Counters::new();
+        let mut retries: u64 = 0;
         let mut stats = OutOfCoreStats::default();
-        let mut spills: VecDeque<Spill> = VecDeque::new();
+        let resumed = resume.adopted.len() as u64;
+        let mut coverage = Coverage::new(&resume.adopted);
+        let mut spills: VecDeque<Spill> = resume
+            .adopted
+            .into_iter()
+            .map(|a| {
+                guard.track(&a.path);
+                Spill {
+                    path: a.path,
+                    remaining: global_supports.to_vec(),
+                    intervals: a.intervals,
+                }
+            })
+            .collect();
+        let mut next_shard_name = resume.next_shard_idx;
+        let mut next_merge_name = resume.next_merge_idx;
         let mut resident: Option<TreeAndRemaining> = None;
         let mut buf: Vec<Item> = Vec::new();
         let mut source_done = false;
+        let mut disk_full = false;
         let mut processed: u64 = 0;
+        let mut tx_idx: u64 = 0;
 
-        // Phase 1: slice the stream into shards, mine each, spill each.
+        // Phase 1: stream pass. Transactions covered by an adopted spill
+        // only replay their per-item decrements into that spill's
+        // remaining counts; uncovered ones are sliced into shards sized to
+        // the byte budget, mined, and spilled.
         while !source_done && tripped.is_none() {
             let mut shard: Vec<Vec<Item>> = Vec::new();
+            let mut intervals: Vec<TxInterval> = Vec::new();
             let mut bytes = 0u64;
             while bytes < cfg.mem_budget.max(1) {
                 if !next(&mut buf)? {
@@ -260,11 +503,25 @@ impl OutOfCoreMiner {
                 if buf.is_empty() {
                     continue;
                 }
+                let idx = tx_idx;
+                tx_idx += 1;
+                if let Some(slot) = coverage.slot(idx) {
+                    for &i in buf.iter() {
+                        spills[slot].remaining[i as usize] -= 1;
+                    }
+                    processed += 1;
+                    if let Some(g) = gov.as_mut() {
+                        g.add_processed(1);
+                    }
+                    continue;
+                }
                 bytes += buf.len() as u64 * 4 + TX_OVERHEAD_BYTES;
+                push_tx(&mut intervals, idx);
                 shard.push(std::mem::take(&mut buf));
             }
             if shard.is_empty() {
-                break;
+                // a fully covered stretch, or the stream ended
+                continue;
             }
             // §3.4 processing order holds *within* each shard; the closed
             // sets are invariant under the shard boundaries themselves.
@@ -289,25 +546,64 @@ impl OutOfCoreMiner {
             }
             let (mut tree, remaining) = mined;
             counters.merge(tree.counters());
-            let path = cfg.spill_dir.join(format!("shard-{shard_idx:04}.spill"));
+            let path = cfg
+                .spill_dir
+                .join(format!("shard-{next_shard_name:04}.spill"));
+            next_shard_name += 1;
             guard.track(&path);
-            stats.spill_bytes += spill_tree(&mut tree, &path)?;
-            stats.spilled += 1;
-            spills.push_back(Spill { path, remaining });
+            match fault::retry_io(cfg.retry, &mut retries, || spill_tree(&mut tree, &path)) {
+                Ok(b) => {
+                    stats.spill_bytes += b;
+                    stats.spilled += 1;
+                }
+                Err(FimError::Io(e)) if fault::is_enospc(&e) => {
+                    // out of spill space: keep this shard's tree resident
+                    // and degrade to the in-memory fold below
+                    tripped.get_or_insert(TripReason::DiskFull);
+                    disk_full = true;
+                    resident = Some((tree, remaining));
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+            // a budget-tripped shard covers only an inserted prefix of its
+            // slice, so it is never journaled as complete
+            if tripped.is_none() {
+                if let Some(j) = journal.as_mut() {
+                    match j.record(&path, &intervals) {
+                        Ok(()) => {}
+                        Err(FimError::Io(e)) if fault::is_enospc(&e) => {
+                            tripped.get_or_insert(TripReason::DiskFull);
+                            disk_full = true;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            spills.push_back(Spill {
+                path,
+                remaining,
+                intervals,
+            });
         }
 
         // Phase 2: pairwise merge-reduce the spills from disk. Two trees
         // resident at a time; intermediate results go back to disk unless
         // they are the root of the reduction.
-        let mut merge_idx = 0usize;
-        while spills.len() >= 2 {
+        while !disk_full && spills.len() >= 2 {
             let a = spills.pop_front().expect("len checked");
             let b = spills.pop_front().expect("len checked");
             let ta = load_spill(&a.path)?;
             let tb = load_spill(&b.path)?;
-            let _ = fs::remove_file(&a.path);
-            let _ = fs::remove_file(&b.path);
+            if !journaling {
+                // eager delete; journaled runs defer until the merge
+                // result is durable so every live manifest record always
+                // has its file on disk
+                let _ = fs::remove_file(&a.path);
+                let _ = fs::remove_file(&b.path);
+            }
             let is_final = spills.is_empty();
+            let covered = union_intervals(&a.intervals, &b.intervals);
             // replay the lighter side into the heavier one
             let (mut left, right) = if tb.transactions_processed() > ta.transactions_processed() {
                 ((tb, b.remaining), (ta, a.remaining))
@@ -326,30 +622,94 @@ impl OutOfCoreMiner {
             stats.merge_passes += 1;
             if is_final {
                 resident = Some(left);
-            } else {
-                let (ref mut tree, _) = left;
-                counters.merge(tree.counters());
-                let path = cfg.spill_dir.join(format!("merge-{merge_idx:04}.spill"));
-                merge_idx += 1;
-                guard.track(&path);
-                stats.spill_bytes += spill_tree(tree, &path)?;
-                stats.spilled += 1;
-                spills.push_back(Spill {
-                    path,
-                    remaining: left.1,
-                });
+                continue;
             }
+            let (ref mut tree, _) = left;
+            counters.merge(tree.counters());
+            let path = cfg
+                .spill_dir
+                .join(format!("merge-{next_merge_name:04}.spill"));
+            next_merge_name += 1;
+            guard.track(&path);
+            match fault::retry_io(cfg.retry, &mut retries, || spill_tree(tree, &path)) {
+                Ok(b) => {
+                    stats.spill_bytes += b;
+                    stats.spilled += 1;
+                }
+                Err(FimError::Io(e)) if fault::is_enospc(&e) => {
+                    // the merged tree stays resident; its (journaled)
+                    // inputs stay on disk for resume
+                    tripped.get_or_insert(TripReason::DiskFull);
+                    disk_full = true;
+                    resident = Some(left);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+            let mut journaled = !journaling;
+            if tripped.is_none() {
+                if let Some(j) = journal.as_mut() {
+                    match j.record(&path, &covered) {
+                        Ok(()) => journaled = true,
+                        Err(FimError::Io(e)) if fault::is_enospc(&e) => {
+                            tripped.get_or_insert(TripReason::DiskFull);
+                            disk_full = true;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            if journaling && journaled {
+                // the merge result is durable *and* journaled: its inputs'
+                // records are now interval-contained (dead), so the files
+                // can finally go
+                let _ = fs::remove_file(&a.path);
+                let _ = fs::remove_file(&b.path);
+            }
+            spills.push_back(Spill {
+                path,
+                remaining: left.1,
+                intervals: covered,
+            });
+        }
+
+        // Degraded fold: the spill device is full, so every outstanding
+        // spill is folded into the resident tree sequentially in memory —
+        // nothing written, nothing deleted, journaled state left
+        // resumable. The footprint stays one tree plus one reloaded spill.
+        if disk_full {
+            let mut acc = resident
+                .take()
+                .unwrap_or_else(|| (PrefixTree::new(num_items), global_supports.to_vec()));
+            while let Some(s) = spills.pop_front() {
+                let is_final = spills.is_empty();
+                let t = load_spill(&s.path)?;
+                merge_spilled(
+                    &mut acc,
+                    (t, s.remaining),
+                    minsupp,
+                    cfg,
+                    &mut gov,
+                    &mut tripped,
+                    is_final,
+                );
+                stats.merge_passes += 1;
+            }
+            resident = Some(acc);
         }
 
         // Phase 3: report from the single surviving tree.
         let (mut tree, remaining) = match resident {
             Some(t) => t,
             None => match spills.pop_front() {
-                // a lone spill with nothing to merge into it (the stream
-                // ended right at a shard boundary after a trip)
+                // a lone spill with nothing to merge into it (a resumed
+                // run whose stream was fully covered, or a trip right at a
+                // shard boundary)
                 Some(s) => {
                     let t = load_spill(&s.path)?;
-                    let _ = fs::remove_file(&s.path);
+                    if !journaling {
+                        let _ = fs::remove_file(&s.path);
+                    }
                     (t, s.remaining)
                 }
                 None => (PrefixTree::new(num_items), global_supports.to_vec()),
@@ -366,6 +726,9 @@ impl OutOfCoreMiner {
         counters.add(Counter::ShardsSpilled, stats.spilled);
         counters.add(Counter::SpillBytes, stats.spill_bytes);
         counters.add(Counter::MergePasses, stats.merge_passes);
+        counters.add(Counter::FaultsInjected, fault::injected_count());
+        counters.add(Counter::RetriesAttempted, retries);
+        counters.add(Counter::ShardsResumed, resumed);
         stats.counters = counters;
         stats.memory = tree.memory_stats();
         let result = MiningResult {
@@ -382,7 +745,13 @@ impl OutOfCoreMiner {
             },
             None => MineOutcome::complete(result),
         };
-        drop(guard); // spill directory left clean on the success path too
+        // a journaled run that ran out of disk leaves its completed spills
+        // (and the caller leaves the manifest) for --resume-spill; every
+        // other exit removes them
+        if !(journaling && disk_full) {
+            guard.complete();
+        }
+        drop(guard);
         Ok((outcome, stats))
     }
 }
@@ -722,6 +1091,249 @@ mod tests {
         assert_eq!(stats.counters.get(Counter::MergePasses), stats.merge_passes);
         let _ = fs::remove_dir_all(&dir);
     }
+
+    /// In-memory journal recording `(file name, intervals)` per spill.
+    #[derive(Default)]
+    struct VecJournal {
+        records: Vec<(String, Vec<TxInterval>)>,
+    }
+
+    impl SpillJournal for VecJournal {
+        fn record(&mut self, path: &Path, intervals: &[TxInterval]) -> Result<(), FimError> {
+            self.records.push((
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                intervals.to_vec(),
+            ));
+            Ok(())
+        }
+    }
+
+    /// Filters journal records down to the live ones (not strictly
+    /// interval-contained in another record) — a tiny stand-in for the
+    /// manifest reader in fim-io.
+    fn live(records: &[(String, Vec<TxInterval>)]) -> Vec<(String, Vec<TxInterval>)> {
+        let contains = |outer: &[TxInterval], inner: &[TxInterval]| {
+            inner
+                .iter()
+                .all(|&(s, e)| outer.iter().any(|&(os, oe)| os <= s && e <= oe))
+        };
+        records
+            .iter()
+            .filter(|(name, iv)| {
+                !records
+                    .iter()
+                    .any(|(n2, iv2)| n2 != name && contains(iv2, iv))
+            })
+            .cloned()
+            .collect()
+    }
+
+    fn mine_with(
+        db: &RecodedDatabase,
+        minsupp: u32,
+        mem_budget: u64,
+        dir: &Path,
+        journal: Option<&mut dyn SpillJournal>,
+        resume: ResumePlan,
+    ) -> (MineOutcome, OutOfCoreStats) {
+        let miner = OutOfCoreMiner::with_config(OutOfCoreConfig::new(mem_budget, dir));
+        let txs = db.transactions();
+        let mut i = 0usize;
+        miner
+            .mine_stream_with(
+                db.num_items(),
+                db.item_supports(),
+                Some(txs.len() as u64),
+                minsupp,
+                &Budget::unlimited(),
+                move |buf| {
+                    buf.clear();
+                    if i < txs.len() {
+                        buf.extend_from_slice(&txs[i]);
+                        i += 1;
+                        Ok(true)
+                    } else {
+                        Ok(false)
+                    }
+                },
+                journal,
+                resume,
+            )
+            .expect("pipeline")
+    }
+
+    #[test]
+    fn stale_tmp_files_are_removed_at_startup() {
+        let db = paper_db();
+        let dir = temp_dir("staletmp");
+        fs::create_dir_all(&dir).unwrap();
+        // a previous crashed run left a torn temporary behind
+        let stale = dir.join("shard-0003.spill.tmp");
+        fs::write(&stale, b"torn garbage from a dead process").unwrap();
+        let (outcome, _) = mine_db(&db, 2, 1, &dir);
+        assert!(!outcome.is_interrupted());
+        assert_eq!(
+            outcome.into_result().canonicalized(),
+            mine_reference(&db, 2)
+        );
+        assert!(!stale.exists(), "stale .tmp must be cleaned at startup");
+        assert!(dir_is_empty(&dir));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_records_every_spill_with_disjoint_base_intervals() {
+        let db = paper_db();
+        let dir = temp_dir("journal");
+        let mut j = VecJournal::default();
+        let (outcome, stats) = mine_with(&db, 2, 1, &dir, Some(&mut j), ResumePlan::default());
+        assert!(!outcome.is_interrupted());
+        // every spill journaled: 8 shards + 6 non-final merges
+        assert_eq!(j.records.len() as u64, stats.spilled);
+        // the shard records partition the 8 transactions
+        let shard_txs: u64 = j
+            .records
+            .iter()
+            .filter(|(n, _)| n.starts_with("shard-"))
+            .flat_map(|(_, iv)| iv.iter())
+            .map(|(s, e)| e - s)
+            .sum();
+        assert_eq!(shard_txs, 8);
+        // liveness: the final merge is only reported, never spilled, so
+        // containment filtering leaves exactly its two inputs, which
+        // together cover the whole stream
+        let alive = live(&j.records);
+        assert_eq!(alive.len(), 2, "{alive:?}");
+        let covered: Vec<TxInterval> = union_intervals(&alive[0].1, &alive[1].1);
+        assert_eq!(covered, vec![(0, 8)]);
+        // a completed journaled run still leaves the directory clean
+        assert!(dir_is_empty(&dir));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_degrades_to_an_exact_partial_and_resume_completes_it() {
+        let _g = FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+        fault::disarm_all();
+        let db = paper_db();
+        let want = mine_reference(&db, 2);
+        let dir = temp_dir("enospc");
+
+        // First run: the 5th spill write hits ENOSPC. The run must not
+        // error — it degrades to an Interrupted(DiskFull) exact partial —
+        // and the journaled spills must stay on disk.
+        fault::arm_str("spill.write:5:enospc").unwrap();
+        let mut j = VecJournal::default();
+        let (outcome, stats) = mine_with(&db, 2, 1, &dir, Some(&mut j), ResumePlan::default());
+        fault::disarm_all();
+        match outcome {
+            MineOutcome::Interrupted {
+                partial, reason, ..
+            } => {
+                assert_eq!(reason, TripReason::DiskFull);
+                for fs in &partial.sets {
+                    assert!(fs.support <= db.support(&fs.items), "unsound partial");
+                }
+            }
+            other => panic!("expected DiskFull interruption, got {other:?}"),
+        }
+        assert_eq!(stats.counters.get(Counter::FaultsInjected), 1);
+        let alive = live(&j.records);
+        assert!(!alive.is_empty(), "completed spills must be journaled");
+        for (name, _) in &alive {
+            assert!(dir.join(name).exists(), "{name} must survive for resume");
+        }
+
+        // Second run: adopt the live spills. The covered transactions are
+        // not re-mined (fewer new shards than a cold run) and the final
+        // result is exact.
+        let adopted: Vec<AdoptedSpill> = alive
+            .iter()
+            .map(|(name, iv)| AdoptedSpill {
+                path: dir.join(name),
+                intervals: iv.clone(),
+            })
+            .collect();
+        let n_adopted = adopted.len() as u64;
+        let max_shard = j
+            .records
+            .iter()
+            .filter_map(|(n, _)| {
+                n.strip_prefix("shard-")?
+                    .strip_suffix(".spill")?
+                    .parse::<u64>()
+                    .ok()
+            })
+            .max()
+            .map_or(0, |m| m + 1);
+        let plan = ResumePlan {
+            adopted,
+            next_shard_idx: max_shard,
+            next_merge_idx: 0,
+        };
+        let mut j2 = VecJournal::default();
+        let (outcome2, stats2) = mine_with(&db, 2, 1, &dir, Some(&mut j2), plan);
+        assert!(!outcome2.is_interrupted());
+        assert_eq!(outcome2.into_result().canonicalized(), want);
+        assert_eq!(stats2.counters.get(Counter::ShardsResumed), n_adopted);
+        assert!(
+            stats2.shards < 8,
+            "adopted transactions must not be re-mined (mined {} shards)",
+            stats2.shards
+        );
+        assert!(dir_is_empty(&dir), "completed resume leaves a clean dir");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_write_faults_are_absorbed_by_retries() {
+        let _g = FAULTS.lock().unwrap_or_else(|e| e.into_inner());
+        fault::disarm_all();
+        let db = paper_db();
+        let dir = temp_dir("retry");
+        fault::arm_str("spill.write:2:io").unwrap();
+        let mut config = OutOfCoreConfig::new(1, &dir);
+        config.retry = RetryPolicy {
+            retries: 2,
+            backoff_ms: 0,
+        };
+        let miner = OutOfCoreMiner::with_config(config);
+        let txs = db.transactions();
+        let mut i = 0usize;
+        let (outcome, stats) = miner
+            .mine_stream(
+                db.num_items(),
+                db.item_supports(),
+                None,
+                2,
+                &Budget::unlimited(),
+                move |buf| {
+                    buf.clear();
+                    if i < txs.len() {
+                        buf.extend_from_slice(&txs[i]);
+                        i += 1;
+                        Ok(true)
+                    } else {
+                        Ok(false)
+                    }
+                },
+            )
+            .expect("retry must absorb the transient fault");
+        fault::disarm_all();
+        assert!(!outcome.is_interrupted());
+        assert_eq!(
+            outcome.into_result().canonicalized(),
+            mine_reference(&db, 2)
+        );
+        assert_eq!(stats.counters.get(Counter::RetriesAttempted), 1);
+        assert!(dir_is_empty(&dir));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The fault registry is process-global; tests that arm it serialize.
+    static FAULTS: Mutex<()> = Mutex::new(());
+
+    use std::sync::Mutex;
 
     #[test]
     fn policies_and_toggles_agree_with_reference() {

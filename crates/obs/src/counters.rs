@@ -59,10 +59,18 @@ pub enum Counter {
     /// Out-of-core pipeline: pairwise merge-reduce passes over spilled
     /// snapshots (each pass loads two trees and re-spills or reports one).
     MergePasses = 17,
+    /// Fault layer: injected faults that fired during the run
+    /// (`fim_core::fault`).
+    FaultsInjected = 18,
+    /// Fault layer: bounded-retry re-attempts after transient I/O errors.
+    RetriesAttempted = 19,
+    /// Out-of-core resume: completed spills adopted from a prior run's
+    /// manifest instead of being re-mined.
+    ShardsResumed = 20,
 }
 
 /// Number of counter slots.
-pub const NUM_COUNTERS: usize = 18;
+pub const NUM_COUNTERS: usize = 21;
 
 impl Counter {
     /// Every counter, in slot order.
@@ -85,6 +93,9 @@ impl Counter {
         Counter::ShardsSpilled,
         Counter::SpillBytes,
         Counter::MergePasses,
+        Counter::FaultsInjected,
+        Counter::RetriesAttempted,
+        Counter::ShardsResumed,
     ];
 
     /// The stable snake_case name used in metrics JSON.
@@ -108,6 +119,9 @@ impl Counter {
             Counter::ShardsSpilled => "shards_spilled",
             Counter::SpillBytes => "spill_bytes",
             Counter::MergePasses => "merge_passes",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::RetriesAttempted => "retries_attempted",
+            Counter::ShardsResumed => "shards_resumed",
         }
     }
 }
@@ -198,7 +212,7 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), NUM_COUNTERS, "duplicate counter name");
         assert_eq!(names[0], "seg_scans");
-        assert_eq!(names[NUM_COUNTERS - 1], "merge_passes");
+        assert_eq!(names[NUM_COUNTERS - 1], "shards_resumed");
     }
 
     #[test]

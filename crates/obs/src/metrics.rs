@@ -84,6 +84,13 @@ pub struct SpillMetrics {
     pub spill_bytes: u64,
     /// Pairwise merge-reduce passes over spilled snapshots.
     pub merge_passes: u64,
+    /// Injected faults that fired during the run.
+    pub faults_injected: u64,
+    /// Bounded-retry re-attempts after transient I/O errors.
+    pub retries_attempted: u64,
+    /// Completed spills adopted from a prior run's manifest instead of
+    /// being re-mined (`--resume-spill`).
+    pub shards_resumed: u64,
 }
 
 impl SpillMetrics {
@@ -94,6 +101,9 @@ impl SpillMetrics {
             shards: counters.get(Counter::ShardsSpilled),
             spill_bytes: counters.get(Counter::SpillBytes),
             merge_passes: counters.get(Counter::MergePasses),
+            faults_injected: counters.get(Counter::FaultsInjected),
+            retries_attempted: counters.get(Counter::RetriesAttempted),
+            shards_resumed: counters.get(Counter::ShardsResumed),
         }
     }
 }
@@ -223,8 +233,14 @@ impl<'a> MetricsReport<'a> {
         if let Some(s) = &self.spill {
             writeln!(
                 w,
-                "  \"spill\": {{\"shards\": {}, \"spill_bytes\": {}, \"merge_passes\": {}}},",
-                s.shards, s.spill_bytes, s.merge_passes
+                "  \"spill\": {{\"shards\": {}, \"spill_bytes\": {}, \"merge_passes\": {}, \
+                 \"faults_injected\": {}, \"retries_attempted\": {}, \"shards_resumed\": {}}},",
+                s.shards,
+                s.spill_bytes,
+                s.merge_passes,
+                s.faults_injected,
+                s.retries_attempted,
+                s.shards_resumed
             )?;
         }
         if let Some(k) = &self.kernel {
@@ -362,16 +378,24 @@ mod tests {
         c.add(Counter::ShardsSpilled, 6);
         c.add(Counter::SpillBytes, 123_456);
         c.add(Counter::MergePasses, 5);
+        c.add(Counter::FaultsInjected, 2);
+        c.add(Counter::RetriesAttempted, 3);
+        c.add(Counter::ShardsResumed, 4);
         let s = SpillMetrics::from_counters(&c);
         assert_eq!(s.shards, 6);
         assert_eq!(s.spill_bytes, 123_456);
         assert_eq!(s.merge_passes, 5);
+        assert_eq!(s.faults_injected, 2);
+        assert_eq!(s.retries_attempted, 3);
+        assert_eq!(s.shards_resumed, 4);
         let mut r = MetricsReport::new("ista-oocore", 2, 0.5, 10, 60);
         r.spill = Some(s);
         let doc = r.to_json();
         validate_metrics_json(&doc).expect("spill report validates");
-        assert!(doc
-            .contains("\"spill\": {\"shards\": 6, \"spill_bytes\": 123456, \"merge_passes\": 5}"));
+        assert!(doc.contains(
+            "\"spill\": {\"shards\": 6, \"spill_bytes\": 123456, \"merge_passes\": 5, \
+             \"faults_injected\": 2, \"retries_attempted\": 3, \"shards_resumed\": 4}"
+        ));
     }
 
     #[test]
