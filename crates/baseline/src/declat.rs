@@ -14,10 +14,11 @@
 //! linear-merge lists (`declat`), galloping lists (`declat-gallop`), or
 //! packed bitsets with word-ANDNOT (`declat-bitset`), all output-identical.
 
-use crate::filter::filter_closed;
+use crate::filter::{apply_constraints_owned, candidate_prunable, filter_closed, subtree_prunable};
 use crate::kernel::{with_kernel, TidSetKernel};
 use fim_core::{
-    ClosedMiner, FoundSet, Item, ItemSet, MiningResult, RecodedDatabase, Representation, TidLists,
+    ClosedMiner, ConstraintSet, FoundSet, Item, ItemSet, MiningResult, RecodedDatabase,
+    Representation, TidLists,
 };
 use fim_obs::{Counter, Counters};
 
@@ -42,8 +43,31 @@ impl DEclatMiner {
     pub fn mine_with_stats(&self, db: &RecodedDatabase, minsupp: u32) -> (MiningResult, Counters) {
         let minsupp = minsupp.max(1);
         with_kernel!(self.rep, db.transactions().len() as u32, |k| drive(
-            &k, db, minsupp
+            &k, db, minsupp, None
         ))
+    }
+
+    /// Constrained mining with counters — the same push as Eclat's (see
+    /// `EclatMiner::mine_constrained_with_stats`): min-area raises the
+    /// effective support floor, per-node envelope bounds cut subtrees, and
+    /// the anti-monotone max-size waits for [`filter_closed`].
+    pub fn mine_constrained_with_stats(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        constraints: &ConstraintSet,
+    ) -> (MiningResult, Counters) {
+        let minsupp_eff = constraints.support_floor(db.num_items(), minsupp.max(1));
+        if minsupp_eff == u32::MAX {
+            return (MiningResult::new(), Counters::new());
+        }
+        let (closed, mut counters) = with_kernel!(self.rep, db.transactions().len() as u32, |k| {
+            drive(&k, db, minsupp_eff, Some(constraints.clone()))
+        });
+        let before = closed.len();
+        let result = apply_constraints_owned(closed, constraints);
+        counters.add(Counter::ConstraintPrunes, (before - result.len()) as u64);
+        (result, counters)
     }
 }
 
@@ -51,6 +75,8 @@ struct Ctx {
     minsupp: u32,
     candidates: Vec<FoundSet>,
     counters: Counters,
+    /// Pushed constraints (dense codes); max-size excluded, as in Eclat.
+    cs: Option<ConstraintSet>,
 }
 
 impl ClosedMiner for DEclatMiner {
@@ -65,6 +91,19 @@ impl ClosedMiner for DEclatMiner {
     fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult {
         self.mine_with_stats(db, minsupp).0
     }
+
+    fn supports_constraints(&self) -> bool {
+        true
+    }
+
+    fn mine_constrained(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        constraints: &ConstraintSet,
+    ) -> MiningResult {
+        self.mine_constrained_with_stats(db, minsupp, constraints).0
+    }
 }
 
 /// First level (tid lists → first diffsets) plus the diffset recursion,
@@ -73,12 +112,14 @@ fn drive<K: TidSetKernel>(
     kernel: &K,
     db: &RecodedDatabase,
     minsupp: u32,
+    cs: Option<ConstraintSet>,
 ) -> (MiningResult, Counters) {
     let lists = TidLists::from_database(db);
     let mut ctx = Ctx {
         minsupp,
         candidates: Vec::new(),
         counters: Counters::new(),
+        cs,
     };
     let frequent: Vec<Item> = (0..db.num_items())
         .filter(|&i| lists.item_support(i) >= minsupp)
@@ -125,13 +166,32 @@ fn emit_and_recurse<K: TidSetKernel>(
 ) {
     let mut maximal: Vec<Item> = prefix.to_vec();
     maximal.extend_from_slice(&perfect);
-    ctx.candidates
-        .push(FoundSet::new(ItemSet::new(maximal.clone()), prefix_supp));
-    if frontier.is_empty() {
-        return;
+    let candidate = ItemSet::new(maximal);
+    // constraint push: same candidate-drop / subtree-cut rules as Eclat
+    // (closedness-safety argument in `filter::candidate_prunable`)
+    let (emit, descend) = match &ctx.cs {
+        None => (true, true),
+        Some(cs) => {
+            let emit = !candidate_prunable(cs, &candidate, prefix_supp);
+            let descend = if frontier.is_empty() {
+                false
+            } else {
+                let pool: Vec<Item> = frontier.iter().map(|(i, _, _)| *i).collect();
+                !subtree_prunable(cs, candidate.as_slice(), &pool, prefix_supp)
+            };
+            if !emit || (!descend && !frontier.is_empty()) {
+                ctx.counters.bump(Counter::ConstraintPrunes);
+            }
+            (emit, descend)
+        }
+    };
+    if emit {
+        ctx.candidates
+            .push(FoundSet::new(candidate.clone(), prefix_supp));
     }
-    maximal.sort_unstable();
-    recurse(ctx, kernel, &maximal, &frontier);
+    if descend && !frontier.is_empty() {
+        recurse(ctx, kernel, candidate.as_slice(), &frontier);
+    }
 }
 
 /// Diffset recursion: `frontier` holds `(item, diffset w.r.t. prefix,

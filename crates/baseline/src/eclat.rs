@@ -15,11 +15,11 @@
 //! (`eclat-bitset`) — selected by the [`Representation`] field, all
 //! output-identical.
 
-use crate::filter::filter_closed;
+use crate::filter::{apply_constraints_owned, candidate_prunable, filter_closed, subtree_prunable};
 use crate::kernel::{with_kernel, TidSetKernel};
 use fim_core::{
-    checkpoint, BitCover, Budget, ClosedMiner, FoundSet, Governor, Item, ItemSet, MineOutcome,
-    MiningResult, Progress, RecodedDatabase, Representation, TidLists, TripReason,
+    checkpoint, BitCover, Budget, ClosedMiner, ConstraintSet, FoundSet, Governor, Item, ItemSet,
+    MineOutcome, MiningResult, Progress, RecodedDatabase, Representation, TidLists, TripReason,
 };
 use fim_obs::{Counter, Counters};
 
@@ -42,6 +42,10 @@ struct Ctx {
     candidates: Vec<FoundSet>,
     gov: Option<Governor>,
     counters: Counters,
+    /// Pushed constraints (dense codes, exclusion already projected away).
+    /// Max-size is deliberately *not* pushed here — see
+    /// [`candidate_prunable`] — it is applied after [`filter_closed`].
+    cs: Option<ConstraintSet>,
 }
 
 impl ClosedMiner for EclatMiner {
@@ -55,6 +59,19 @@ impl ClosedMiner for EclatMiner {
 
     fn mine(&self, db: &RecodedDatabase, minsupp: u32) -> MiningResult {
         self.mine_with_stats(db, minsupp).0
+    }
+
+    fn supports_constraints(&self) -> bool {
+        true
+    }
+
+    fn mine_constrained(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        constraints: &ConstraintSet,
+    ) -> MiningResult {
+        self.mine_constrained_with_stats(db, minsupp, constraints).0
     }
 
     /// Governed Eclat. On a trip, the candidate list covers only part of
@@ -78,7 +95,7 @@ impl ClosedMiner for EclatMiner {
         }
         let n = db.transactions().len() as u32;
         let (candidates, gov, tripped, _) =
-            with_kernel!(self.rep, n, |k| drive(&k, db, minsupp, gov));
+            with_kernel!(self.rep, n, |k| drive(&k, db, minsupp, gov, None));
         match tripped {
             None => MineOutcome::complete(filter_closed(candidates)),
             Some(reason) => {
@@ -104,9 +121,43 @@ impl EclatMiner {
         let minsupp = minsupp.max(1);
         let n = db.transactions().len() as u32;
         let (candidates, _, tripped, counters) =
-            with_kernel!(self.rep, n, |k| drive(&k, db, minsupp, None));
+            with_kernel!(self.rep, n, |k| drive(&k, db, minsupp, None, None));
         debug_assert!(tripped.is_none());
         (filter_closed(candidates), counters)
+    }
+
+    /// Constrained mining with counters. The monotone / convertible
+    /// constraints (include, min-size, min-area) prune the lattice walk:
+    /// the min-area support floor raises the effective minimum support for
+    /// the whole recursion, and per-node envelope bounds cut subtrees (see
+    /// [`subtree_prunable`] for the closedness-safety argument). Max-size,
+    /// the anti-monotone one, must wait for [`filter_closed`] — dropping a
+    /// same-support superset early would let non-closed subsets survive —
+    /// so it lands in the final [`apply_constraints_owned`] gate.
+    pub fn mine_constrained_with_stats(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        constraints: &ConstraintSet,
+    ) -> (MiningResult, Counters) {
+        let minsupp_eff = constraints.support_floor(db.num_items(), minsupp.max(1));
+        if minsupp_eff == u32::MAX {
+            return (MiningResult::new(), Counters::new());
+        }
+        let n = db.transactions().len() as u32;
+        let (candidates, _, tripped, mut counters) = with_kernel!(self.rep, n, |k| drive(
+            &k,
+            db,
+            minsupp_eff,
+            None,
+            Some(constraints.clone())
+        ));
+        debug_assert!(tripped.is_none());
+        let closed = filter_closed(candidates);
+        let before = closed.len();
+        let result = apply_constraints_owned(closed, constraints);
+        counters.add(Counter::ConstraintPrunes, (before - result.len()) as u64);
+        (result, counters)
     }
 }
 
@@ -118,6 +169,7 @@ fn drive<K: TidSetKernel>(
     db: &RecodedDatabase,
     minsupp: u32,
     gov: Option<Governor>,
+    cs: Option<ConstraintSet>,
 ) -> (
     Vec<FoundSet>,
     Option<Governor>,
@@ -130,6 +182,7 @@ fn drive<K: TidSetKernel>(
         candidates: Vec::new(),
         gov,
         counters: Counters::new(),
+        cs,
     };
     // items with their full tid sets, ascending item order
     let frontier: Vec<(Item, K::Set)> = (0..db.num_items())
@@ -201,30 +254,41 @@ fn recurse<K: TidSetKernel>(
             }
         }
 
-        if perfect.is_empty() {
-            ctx.candidates
-                .push(FoundSet::new(ItemSet::new(items.clone()), supp));
+        // the candidate set: prefix ∪ {item}, absorbing perfect extensions
+        // (only the maximal of the 2^|E| same-support supersets can be closed)
+        let mut maximal = items;
+        maximal.extend_from_slice(&perfect);
+        let candidate = ItemSet::new(maximal.clone());
+
+        // constraint push: drop candidates / cut subtrees that cannot
+        // satisfy the monotone or convertible constraints (max-size waits
+        // for the closedness filter)
+        let (emit, descend) = match &ctx.cs {
+            None => (true, true),
+            Some(cs) => {
+                let emit = !candidate_prunable(cs, &candidate, supp);
+                let descend = if next.is_empty() {
+                    false
+                } else {
+                    let pool: Vec<Item> = next.iter().map(|(i, _)| *i).collect();
+                    !subtree_prunable(cs, candidate.as_slice(), &pool, supp)
+                };
+                if !emit || (!descend && !next.is_empty()) {
+                    ctx.counters.bump(Counter::ConstraintPrunes);
+                }
+                (emit, descend)
+            }
+        };
+
+        if emit {
+            ctx.candidates.push(FoundSet::new(candidate.clone(), supp));
             if let Some(g) = ctx.gov.as_mut() {
                 g.add_processed(1);
             }
-            if !next.is_empty() {
-                recurse(ctx, kernel, &items, &next)?;
-            }
-        } else {
-            // only prefix ∪ {item} ∪ perfect can be closed among the 2^|E|
-            // same-support supersets
-            let mut maximal = items.clone();
-            maximal.extend_from_slice(&perfect);
-            ctx.candidates
-                .push(FoundSet::new(ItemSet::new(maximal.clone()), supp));
-            if let Some(g) = ctx.gov.as_mut() {
-                g.add_processed(1);
-            }
-            if !next.is_empty() {
-                // the perfect extensions belong to every set mined below
-                maximal.sort_unstable();
-                recurse(ctx, kernel, &maximal, &next)?;
-            }
+        }
+        if descend && !next.is_empty() {
+            // the perfect extensions belong to every set mined below
+            recurse(ctx, kernel, candidate.as_slice(), &next)?;
         }
     }
     Ok(())

@@ -6,8 +6,57 @@
 //! itself frequent, it suffices to compare against the other sets in the
 //! collection.
 
-use fim_core::{FoundSet, MiningResult};
+use fim_core::{ConstraintSet, FoundSet, Item, ItemSet, MiningResult};
 use std::collections::HashMap;
+
+// The shared post-filter: keeps exactly the sets the constraint bundle
+// accepts. Re-exported here so the proptest oracle, the `--no-push` escape
+// hatch, and the enumeration miners all share the one implementation in
+// `fim_core::constraint`.
+pub use fim_core::constraint::{apply_constraints, apply_constraints_owned};
+
+/// Whether a *candidate* (pre-closedness-filter) set may be dropped from an
+/// enumeration miner's candidate collection under `cs`.
+///
+/// Subtle and central to the eclat/dEclat push: [`filter_closed`] decides
+/// closedness by looking for same-support supersets *within the
+/// collection*, so a candidate may only be dropped when doing so can never
+/// remove the same-support superset of a surviving, constraint-satisfying
+/// set. That holds for the monotone and convertible constraints — a
+/// superset of a set satisfying must-include / min-size / min-area (at
+/// equal support) satisfies them too — but **not** for max-size, which is
+/// therefore applied after [`filter_closed`], never here.
+pub(crate) fn candidate_prunable(cs: &ConstraintSet, items: &ItemSet, support: u32) -> bool {
+    (items.len() as u32) < cs.min_size
+        || fim_core::constraint::area(support, items.len()) < cs.min_area
+        || !cs.include.is_subset_of(items)
+}
+
+/// Whether an enumeration subtree can be cut under `cs`: every candidate in
+/// the subtree is a subset of `current ∪ pool` with support at most
+/// `supp_bound`, so if that whole envelope cannot satisfy the monotone /
+/// convertible constraints, nothing in the subtree can — and (by the same
+/// superset argument as [`candidate_prunable`]) nothing in it is needed as
+/// a subsumption witness for a surviving set. `current` and `pool` must be
+/// sorted ascending.
+pub(crate) fn subtree_prunable(
+    cs: &ConstraintSet,
+    current: &[Item],
+    pool: &[Item],
+    supp_bound: u32,
+) -> bool {
+    let max_len = current.len() + pool.len();
+    if (max_len as u32) < cs.min_size {
+        return true;
+    }
+    if fim_core::constraint::area(supp_bound, max_len) < cs.min_area {
+        return true;
+    }
+    // every include item must be reachable: already taken or still in the pool
+    cs.include
+        .iter()
+        .any(|m| current.binary_search(&m).is_err() && pool.binary_search(&m).is_err())
+}
 
 /// Filters a collection of frequent item sets (with exact supports) down to
 /// the closed ones: a set survives iff no *other* set in the collection is a

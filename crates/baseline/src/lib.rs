@@ -43,6 +43,6 @@ pub use apriori::AprioriMiner;
 pub use declat::DEclatMiner;
 pub use eclat::EclatMiner;
 pub use fpclose::FpCloseMiner;
-pub use lcm::LcmMiner;
+pub use lcm::{LcmClassicMiner, LcmMiner};
 pub use naive::NaiveCumulativeMiner;
 pub use sam::SamMiner;

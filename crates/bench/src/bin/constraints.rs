@@ -1,0 +1,659 @@
+//! Experiment **E16**: constraint pushing A/B — each supporting miner run
+//! twice under the same constraint set, once with the constraints **pushed**
+//! into its search loops ([`fim_core::ClosedMiner::mine_constrained`]) and
+//! once **post-filtered** (the unconstrained mine followed by
+//! [`fim_core::apply_constraints`]'s predicate pass, the oracle the pushed
+//! path is proptested against) — plus the **LCM CbO ablation**: the
+//! canonicity-first + closure-reuse `lcm` against the classic closure-first
+//! `lcm-noreuse` formulation, measuring what the two CbO speed-ups from the
+//! LCM/FCA correspondence buy.
+//!
+//! Workload axes follow E14: the paper-orientation presets (`ncbi60`,
+//! `webview-tpo`) run the transaction-axis miners (`ista`,
+//! `carpenter-lists`) and the LCM pair; the transposed `-cols`/`-basket`
+//! variants run the tid-list enumeration miners (`eclat`, `declat`), which
+//! diverge on the row axis at these supports (cf. E5).
+//!
+//! The constraint set is size/area-only (`--min-size`, `--max-size`, and
+//! `min_area = --area-mult × supp`) so the identical dense-code set applies
+//! on every workload without catalog lookups; include/exclude pushing is
+//! exercised by the CLI and the constraint proptests. The default
+//! `--area-mult 24` discriminates on the sparse workloads (only
+//! high-support or large sets reach `24 × supp`); dense `ncbi60` carries a
+//! per-workload override (see [`Workload::area_mult`]) because every one of
+//! its closed sets clears the shared default.
+//!
+//! Honesty rules, as everywhere in this harness: every cell's pushed and
+//! post-filtered outputs are checked for canonical identity before any
+//! timing; counter snapshots must be identical across reps; ratios below
+//! 1.0 (pushing costs more than it saves — expected wherever the
+//! constraints barely prune) are reported like any other number. Each timed
+//! rep is a fresh subprocess (one untimed warmup, one timed mine, recode
+//! excluded); the aggregate is the median over reps.
+//!
+//! Usage: `constraints [--scale X] [--seed N] [--reps R]
+//!                     [--min-size N] [--max-size N] [--area-mult M]
+//!                     [--out BENCH_constraints.json]`
+
+use fim_baseline::{DEclatMiner, EclatMiner, LcmClassicMiner, LcmMiner};
+use fim_bench::{parse_kv, preset_by_name, MINE_STACK_BYTES};
+use fim_carpenter::CarpenterListMiner;
+use fim_core::{
+    apply_constraints_owned, ClosedMiner, ConstraintSet, Item, ItemOrder, ItemSet, MiningResult,
+    RecodedDatabase, TransactionDatabase, TransactionOrder,
+};
+use fim_ista::IstaMiner;
+use fim_obs::Counter;
+use fim_synth::Preset;
+use std::io::Write;
+use std::time::Instant;
+
+/// One benchmark workload: a preset (possibly transposed) and the miners
+/// whose home regime that axis is.
+struct Workload {
+    name: &'static str,
+    axis: &'static str,
+    miners: &'static [&'static str],
+    /// Whether the LCM CbO pair is measured here (the paper-orientation
+    /// presets named by the experiment).
+    lcm: bool,
+    /// Area-multiplier override. Dense ncbi60's closed sets all share huge
+    /// item counts, so the shared default multiplier is vacuous there
+    /// (every set passes); the override parks `min_area` on the value that
+    /// actually discriminates on that distribution. `None` = use the
+    /// CLI-settable default.
+    area_mult: Option<u64>,
+}
+
+const WORKLOADS: [Workload; 4] = [
+    Workload {
+        name: "ncbi60",
+        axis: "rows",
+        miners: &["ista", "carpenter-lists"],
+        lcm: true,
+        area_mult: Some(80),
+    },
+    Workload {
+        name: "ncbi60-cols",
+        axis: "cols",
+        miners: &["eclat", "declat"],
+        lcm: false,
+        area_mult: None,
+    },
+    Workload {
+        name: "webview-tpo",
+        axis: "rows",
+        miners: &["ista", "carpenter-lists"],
+        lcm: true,
+        area_mult: None,
+    },
+    Workload {
+        name: "webview-basket",
+        axis: "cols",
+        miners: &["eclat", "declat"],
+        lcm: false,
+        area_mult: None,
+    },
+];
+
+/// Swaps the row/column axes (same helper as E14): transaction `t` of the
+/// result lists every original transaction that contained item `t`.
+fn transpose(db: &TransactionDatabase) -> TransactionDatabase {
+    let mut rows: Vec<Vec<Item>> = vec![Vec::new(); db.num_items()];
+    for (tid, t) in db.transactions().iter().enumerate() {
+        for &item in t.as_slice() {
+            rows[item as usize].push(tid as Item);
+        }
+    }
+    TransactionDatabase::from_codes_with_base(rows, db.num_transactions())
+}
+
+/// Builds a workload database by name (deterministic given scale and seed,
+/// so subprocesses reconstruct the identical database from the name alone).
+fn build_workload(name: &str, scale: f64, seed: u64) -> Result<TransactionDatabase, String> {
+    match name {
+        "ncbi60" => Ok(preset_by_name("ncbi60")?.build(scale, seed)),
+        "ncbi60-cols" => Ok(transpose(&preset_by_name("ncbi60")?.build(scale, seed))),
+        "webview-tpo" => Ok(preset_by_name("webview-tpo")?.build(scale, seed)),
+        "webview-basket" => Ok(transpose(
+            &preset_by_name("webview-tpo")?.build(scale, seed),
+        )),
+        other => Err(format!("unknown workload '{other}'")),
+    }
+}
+
+/// The timing support for one workload (E14 conventions: paper sweep
+/// second-lowest on the row axis, row-count-relative on the transposed).
+fn default_supp(name: &str, db: &TransactionDatabase, scale: f64) -> Result<u32, String> {
+    let rows = db.num_transactions() as u32;
+    Ok(match name {
+        "ncbi60" => pick_supp(preset_by_name("ncbi60")?, scale),
+        "webview-tpo" => pick_supp(preset_by_name("webview-tpo")?, scale),
+        "ncbi60-cols" => (rows / 7).max(2),
+        "webview-basket" => (rows / 1000).max(2),
+        other => return Err(format!("unknown workload '{other}'")),
+    })
+}
+
+/// Picks the paper-axis timing support: the second-lowest entry of the
+/// scaled paper sweep (same convention as the E10–E14 bins).
+fn pick_supp(preset: Preset, scale: f64) -> u32 {
+    let mut sorted = fim_bench::scaled_sweep(preset, scale);
+    sorted.sort_unstable();
+    sorted.get(1).copied().unwrap_or(sorted[0])
+}
+
+/// The support the LCM pair is timed at. On `ncbi60` this is the shared
+/// timing support; on the sparse `webview-tpo` the item-axis frontier
+/// explodes at the paper-axis timing support (minutes per mine at supp 2),
+/// so the pair runs at the sweep **median** there — recorded per cell in
+/// the JSON, so the two supports are never conflated.
+fn lcm_supp(name: &str, supp: u32, scale: f64) -> Result<u32, String> {
+    Ok(match name {
+        "webview-tpo" => {
+            let mut sorted = fim_bench::scaled_sweep(preset_by_name("webview-tpo")?, scale);
+            sorted.sort_unstable();
+            sorted[(sorted.len() - 1) / 2]
+        }
+        _ => supp,
+    })
+}
+
+/// The size/area constraint spec shared by every cell of a run.
+#[derive(Clone, Copy)]
+struct Spec {
+    min_size: u32,
+    max_size: u32,
+    area_mult: u64,
+}
+
+impl Spec {
+    /// The dense-code [`ConstraintSet`] at mining support `supp` (empty
+    /// include/exclude, so it applies to any recoded database directly).
+    fn constraints(&self, supp: u32) -> ConstraintSet {
+        let mut cs = ConstraintSet::none();
+        cs.include = ItemSet::empty();
+        cs.min_size = self.min_size;
+        cs.max_size = (self.max_size > 0).then_some(self.max_size);
+        cs.min_area = self.area_mult * u64::from(supp);
+        cs
+    }
+}
+
+/// Mines one constrained cell. `push` selects the pushed path; otherwise
+/// the unconstrained mine runs and the oracle predicate pass filters it.
+/// Returns the result and the `constraint_prunes` counter (for the
+/// post-filter arm: the number of sets the predicate pass dropped).
+fn mine_constrained_cell(
+    miner: &str,
+    push: bool,
+    db: &RecodedDatabase,
+    supp: u32,
+    cs: &ConstraintSet,
+) -> Result<(MiningResult, u64), String> {
+    macro_rules! run {
+        ($m:expr) => {{
+            let m = $m;
+            if push {
+                let (res, counters) = m.mine_constrained_with_stats(db, supp, cs);
+                (res, counters.get(Counter::ConstraintPrunes))
+            } else {
+                let res = m.mine(db, supp);
+                let before = res.sets.len() as u64;
+                let res = apply_constraints_owned(res, cs);
+                let dropped = before - res.sets.len() as u64;
+                (res, dropped)
+            }
+        }};
+    }
+    Ok(match miner {
+        "eclat" => run!(EclatMiner::default()),
+        "declat" => run!(DEclatMiner::default()),
+        "carpenter-lists" => run!(CarpenterListMiner::default()),
+        "ista" => {
+            let m = IstaMiner::default();
+            if push {
+                let (res, stats) = m.mine_constrained_with_stats(db, supp, cs);
+                (res, stats.counters.get(Counter::ConstraintPrunes))
+            } else {
+                let res = m.mine(db, supp);
+                let before = res.sets.len() as u64;
+                let res = apply_constraints_owned(res, cs);
+                let dropped = before - res.sets.len() as u64;
+                (res, dropped)
+            }
+        }
+        other => return Err(format!("unknown miner '{other}'")),
+    })
+}
+
+/// Mines one LCM-pair cell, returning the result and the `closure_reuses`
+/// counter (zero for the classic formulation, which never reuses).
+fn mine_lcm_cell(
+    miner: &str,
+    db: &RecodedDatabase,
+    supp: u32,
+) -> Result<(MiningResult, u64), String> {
+    Ok(match miner {
+        "lcm" => {
+            let (res, counters) = LcmMiner.mine_with_stats(db, supp);
+            (res, counters.get(Counter::ClosureReuses))
+        }
+        "lcm-noreuse" => (LcmClassicMiner.mine(db, supp), 0),
+        other => return Err(format!("unknown miner '{other}'")),
+    })
+}
+
+/// If `argv` is a cell invocation (`ccell <workload> <scale> <seed> <miner>
+/// <mode> <supp> <min_size> <max_size> <area_mult>`, mode `push`, `post`,
+/// or `plain`), measures it in this process and prints
+/// `RESULT <seconds> <sets> <counter>`.
+fn maybe_run_ccell(argv: &[String]) -> Result<bool, String> {
+    if argv.first().map(String::as_str) != Some("ccell") {
+        return Ok(false);
+    }
+    if argv.len() != 10 {
+        return Err(format!("ccell expects 9 operands, got {}", argv.len() - 1));
+    }
+    let scale: f64 = argv[2].parse().map_err(|e| format!("scale: {e}"))?;
+    let seed: u64 = argv[3].parse().map_err(|e| format!("seed: {e}"))?;
+    let miner = argv[4].as_str();
+    let mode = argv[5].as_str();
+    let supp: u32 = argv[6].parse().map_err(|e| format!("supp: {e}"))?;
+    let spec = Spec {
+        min_size: argv[7].parse().map_err(|e| format!("min_size: {e}"))?,
+        max_size: argv[8].parse().map_err(|e| format!("max_size: {e}"))?,
+        area_mult: argv[9].parse().map_err(|e| format!("area_mult: {e}"))?,
+    };
+    let db = build_workload(&argv[1], scale, seed)?;
+    let recoded = RecodedDatabase::prepare(
+        &db,
+        supp,
+        ItemOrder::AscendingFrequency,
+        TransactionOrder::AscendingSize,
+    );
+    let cs = spec.constraints(supp);
+    let run_once = || -> Result<(MiningResult, u64), String> {
+        match mode {
+            "push" => mine_constrained_cell(miner, true, &recoded, supp, &cs),
+            "post" => mine_constrained_cell(miner, false, &recoded, supp, &cs),
+            "plain" => mine_lcm_cell(miner, &recoded, supp),
+            other => Err(format!("unknown mode '{other}'")),
+        }
+    };
+    let (secs, sets, counter) = std::thread::scope(|s| {
+        std::thread::Builder::new()
+            .stack_size(MINE_STACK_BYTES)
+            .spawn_scoped(s, || -> Result<(f64, usize, u64), String> {
+                drop(run_once()?); // warmup, untimed
+                let start = Instant::now();
+                let (result, counter) = run_once()?;
+                Ok((start.elapsed().as_secs_f64(), result.len(), counter))
+            })
+            .expect("spawn failed")
+            .join()
+            .expect("mining thread panicked")
+    })?;
+    println!("RESULT {secs:.6} {sets} {counter}");
+    Ok(true)
+}
+
+/// Spawns the current executable as a `ccell` subprocess and parses its
+/// `RESULT` line.
+#[allow(clippy::too_many_arguments)]
+fn run_ccell_subprocess(
+    workload: &str,
+    scale: f64,
+    seed: u64,
+    miner: &str,
+    mode: &str,
+    supp: u32,
+    spec: Spec,
+) -> Result<(f64, usize, u64), String> {
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let out = std::process::Command::new(exe)
+        .arg("ccell")
+        .arg(workload)
+        .arg(scale.to_string())
+        .arg(seed.to_string())
+        .arg(miner)
+        .arg(mode)
+        .arg(supp.to_string())
+        .arg(spec.min_size.to_string())
+        .arg(spec.max_size.to_string())
+        .arg(spec.area_mult.to_string())
+        .stderr(std::process::Stdio::inherit())
+        .output()
+        .map_err(|e| e.to_string())?;
+    if !out.status.success() {
+        return Err(format!("ccell failed with {}", out.status));
+    }
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("RESULT "))
+        .ok_or("ccell produced no RESULT line")?;
+    let f: Vec<&str> = line.split_whitespace().collect();
+    if f.len() != 4 {
+        return Err(format!("RESULT carries {} fields, expected 4", f.len() - 1));
+    }
+    Ok((
+        f[1].parse().map_err(|e| format!("bad seconds: {e}"))?,
+        f[2].parse().map_err(|e| format!("bad sets: {e}"))?,
+        f[3].parse().map_err(|e| format!("bad counter: {e}"))?,
+    ))
+}
+
+/// Runs one measured arm (reps subprocesses), enforcing counter and set
+/// determinism across reps; returns (median seconds, sets, counter).
+#[allow(clippy::too_many_arguments)]
+fn measure(
+    workload: &str,
+    scale: f64,
+    seed: u64,
+    miner: &str,
+    mode: &str,
+    supp: u32,
+    spec: Spec,
+    reps: usize,
+) -> Result<(f64, usize, u64), String> {
+    let mut samples = Vec::with_capacity(reps);
+    let mut first: Option<(usize, u64)> = None;
+    for _ in 0..reps {
+        let (secs, sets, counter) =
+            run_ccell_subprocess(workload, scale, seed, miner, mode, supp, spec)?;
+        match first {
+            None => first = Some((sets, counter)),
+            Some(f) if f != (sets, counter) => {
+                return Err(format!(
+                    "NONDETERMINISM on {workload}: {miner}/{mode} sets/counters differ between reps"
+                ));
+            }
+            Some(_) => {}
+        }
+        samples.push(secs);
+    }
+    let (sets, counter) = first.expect("reps >= 1");
+    Ok((median(&samples), sets, counter))
+}
+
+/// Median of a non-empty sample list (mean of the middle pair when even).
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    }
+}
+
+struct ConstraintCell {
+    workload: &'static str,
+    miner: &'static str,
+    supp: u32,
+    pushed_seconds: f64,
+    postfilter_seconds: f64,
+    ratio: f64,
+    sets: usize,
+    sets_unconstrained: usize,
+    prunes: u64,
+}
+
+struct LcmCell {
+    workload: &'static str,
+    supp: u32,
+    cbo_seconds: f64,
+    classic_seconds: f64,
+    speedup: f64,
+    sets: usize,
+    closure_reuses: u64,
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if maybe_run_ccell(&argv)? {
+        return Ok(());
+    }
+    let kv = parse_kv(&argv)?;
+    let scale: f64 = kv
+        .get("scale")
+        .map_or(Ok(0.5), |s| s.parse().map_err(|e| format!("--scale: {e}")))?;
+    let seed: u64 = kv
+        .get("seed")
+        .map_or(Ok(1), |s| s.parse().map_err(|e| format!("--seed: {e}")))?;
+    let reps: usize = kv
+        .get("reps")
+        .map_or(Ok(9), |s| s.parse().map_err(|e| format!("--reps: {e}")))?;
+    let spec = Spec {
+        min_size: kv
+            .get("min-size")
+            .map_or(Ok(2), |s| s.parse().map_err(|e| format!("--min-size: {e}")))?,
+        max_size: kv
+            .get("max-size")
+            .map_or(Ok(0), |s| s.parse().map_err(|e| format!("--max-size: {e}")))?,
+        area_mult: kv.get("area-mult").map_or(Ok(24), |s| {
+            s.parse().map_err(|e| format!("--area-mult: {e}"))
+        })?,
+    };
+    let out_path = kv
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_constraints.json".to_owned());
+
+    let mut cells: Vec<ConstraintCell> = Vec::new();
+    let mut lcm_cells: Vec<LcmCell> = Vec::new();
+    println!(
+        "# E16 constraint pushing A/B + LCM CbO ablation (scale {scale}, seed {seed}, \
+         reps {reps}, median-of-reps, one subprocess per rep)"
+    );
+    for workload in &WORKLOADS {
+        let name = workload.name;
+        let db = build_workload(name, scale, seed)?;
+        let supp = default_supp(name, &db, scale)?;
+        let wspec = Spec {
+            area_mult: workload.area_mult.unwrap_or(spec.area_mult),
+            ..spec
+        };
+        let cs = wspec.constraints(supp);
+        println!(
+            "# {name} ({} axis): {} transactions, {} items, supp {supp}, constraints [{cs}]",
+            workload.axis,
+            db.num_transactions(),
+            db.num_items(),
+        );
+        let recoded = RecodedDatabase::prepare(
+            &db,
+            supp,
+            ItemOrder::AscendingFrequency,
+            TransactionOrder::AscendingSize,
+        );
+
+        // identity pass (untimed, in-process): the pushed output must be
+        // byte-identical (canonicalized) to the post-filtered oracle
+        let canon = |miner: &str, push: bool| -> Result<MiningResult, String> {
+            std::thread::scope(|s| {
+                std::thread::Builder::new()
+                    .stack_size(MINE_STACK_BYTES)
+                    .spawn_scoped(s, || {
+                        Ok(mine_constrained_cell(miner, push, &recoded, supp, &cs)?
+                            .0
+                            .canonicalized())
+                    })
+                    .expect("spawn failed")
+                    .join()
+                    .expect("mining thread panicked")
+            })
+        };
+        for &miner in workload.miners {
+            let pushed = canon(miner, true)?;
+            let posted = canon(miner, false)?;
+            if pushed != posted {
+                return Err(format!(
+                    "IDENTITY CHECK FAILED on {name}: {miner} pushed output differs from the \
+                     post-filter oracle"
+                ));
+            }
+        }
+
+        println!(
+            "{:>18} {:>8} {:>11} {:>11} {:>7} {:>8} {:>8} {:>9}",
+            "miner", "supp", "pushed s", "postflt s", "ratio", "sets", "of", "prunes"
+        );
+        for &miner in workload.miners {
+            let (push_s, push_sets, prunes) =
+                measure(name, scale, seed, miner, "push", supp, wspec, reps)?;
+            let (post_s, post_sets, dropped) =
+                measure(name, scale, seed, miner, "post", supp, wspec, reps)?;
+            if push_sets != post_sets {
+                return Err(format!(
+                    "IDENTITY CHECK FAILED on {name}: {miner} pushed cell found {push_sets} sets, \
+                     post-filter found {post_sets}"
+                ));
+            }
+            let unconstrained = post_sets + dropped as usize;
+            let ratio = post_s / push_s;
+            println!(
+                "{:>18} {:>8} {:>11.4} {:>11.4} {:>6.2}x {:>8} {:>8} {:>9}",
+                miner, supp, push_s, post_s, ratio, push_sets, unconstrained, prunes
+            );
+            cells.push(ConstraintCell {
+                workload: name,
+                miner,
+                supp,
+                pushed_seconds: push_s,
+                postfilter_seconds: post_s,
+                ratio,
+                sets: push_sets,
+                sets_unconstrained: unconstrained,
+                prunes,
+            });
+        }
+
+        if workload.lcm {
+            // LCM pair identity, then timing (at its own support; see
+            // `lcm_supp` for why webview's differs)
+            let supp = lcm_supp(name, supp, scale)?;
+            let recoded = RecodedDatabase::prepare(
+                &db,
+                supp,
+                ItemOrder::AscendingFrequency,
+                TransactionOrder::AscendingSize,
+            );
+            let lcm_out = std::thread::scope(|s| {
+                std::thread::Builder::new()
+                    .stack_size(MINE_STACK_BYTES)
+                    .spawn_scoped(s, || -> Result<(MiningResult, MiningResult), String> {
+                        Ok((
+                            mine_lcm_cell("lcm", &recoded, supp)?.0.canonicalized(),
+                            mine_lcm_cell("lcm-noreuse", &recoded, supp)?
+                                .0
+                                .canonicalized(),
+                        ))
+                    })
+                    .expect("spawn failed")
+                    .join()
+                    .expect("mining thread panicked")
+            })?;
+            if lcm_out.0 != lcm_out.1 {
+                return Err(format!(
+                    "IDENTITY CHECK FAILED on {name}: lcm and lcm-noreuse outputs differ"
+                ));
+            }
+            let (cbo_s, cbo_sets, reuses) =
+                measure(name, scale, seed, "lcm", "plain", supp, wspec, reps)?;
+            let (classic_s, classic_sets, _) =
+                measure(name, scale, seed, "lcm-noreuse", "plain", supp, wspec, reps)?;
+            if cbo_sets != classic_sets {
+                return Err(format!(
+                    "IDENTITY CHECK FAILED on {name}: lcm cell found {cbo_sets} sets, \
+                     lcm-noreuse found {classic_sets}"
+                ));
+            }
+            let speedup = classic_s / cbo_s;
+            println!(
+                "# {name}/lcm: CbO {cbo_s:.4}s vs classic {classic_s:.4}s -> {speedup:.2}x \
+                 ({cbo_sets} sets, {reuses} closure reuses)"
+            );
+            lcm_cells.push(LcmCell {
+                workload: name,
+                supp,
+                cbo_seconds: cbo_s,
+                classic_seconds: classic_s,
+                speedup,
+                sets: cbo_sets,
+                closure_reuses: reuses,
+            });
+        }
+    }
+
+    write_json(&out_path, scale, seed, reps, spec, &cells, &lcm_cells)
+        .map_err(|e| e.to_string())?;
+    println!("# wrote {out_path}");
+    Ok(())
+}
+
+fn write_json(
+    path: &str,
+    scale: f64,
+    seed: u64,
+    reps: usize,
+    spec: Spec,
+    cells: &[ConstraintCell],
+    lcm_cells: &[LcmCell],
+) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"experiment\": \"constraint-push\",")?;
+    writeln!(f, "  \"scale\": {scale},")?;
+    writeln!(f, "  \"seed\": {seed},")?;
+    writeln!(f, "  \"reps\": {reps},")?;
+    writeln!(
+        f,
+        "  \"spec\": \"min_size={} max_size={} min_area={}*supp (min_area scales with each workload's supp; max_size 0 = unbounded)\",",
+        spec.min_size, spec.max_size, spec.area_mult
+    )?;
+    writeln!(
+        f,
+        "  \"timing\": \"median of reps, one subprocess per rep, warmup untimed, recode excluded; \
+         ratio = postfilter/pushed (>1 means pushing wins), both arms byte-identical output\","
+    )?;
+    writeln!(f, "  \"cells\": [")?;
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"workload\": \"{}\", \"miner\": \"{}\", \"supp\": {}, \"pushed_seconds\": {:.6}, \"postfilter_seconds\": {:.6}, \"ratio\": {:.4}, \"sets\": {}, \"sets_unconstrained\": {}, \"constraint_prunes\": {}}}{comma}",
+            c.workload,
+            c.miner,
+            c.supp,
+            c.pushed_seconds,
+            c.postfilter_seconds,
+            c.ratio,
+            c.sets,
+            c.sets_unconstrained,
+            c.prunes
+        )?;
+    }
+    writeln!(f, "  ],")?;
+    writeln!(f, "  \"lcm\": [")?;
+    for (i, c) in lcm_cells.iter().enumerate() {
+        let comma = if i + 1 == lcm_cells.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"workload\": \"{}\", \"supp\": {}, \"cbo_seconds\": {:.6}, \"classic_seconds\": {:.6}, \"speedup\": {:.4}, \"sets\": {}, \"closure_reuses\": {}}}{comma}",
+            c.workload, c.supp, c.cbo_seconds, c.classic_seconds, c.speedup, c.sets, c.closure_reuses
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("constraints: {e}");
+        std::process::exit(1);
+    }
+}

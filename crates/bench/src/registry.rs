@@ -1,7 +1,8 @@
 //! Name → miner registry used by the experiment runners.
 
 use fim_baseline::{
-    AprioriMiner, DEclatMiner, EclatMiner, FpCloseMiner, LcmMiner, NaiveCumulativeMiner, SamMiner,
+    AprioriMiner, DEclatMiner, EclatMiner, FpCloseMiner, LcmClassicMiner, LcmMiner,
+    NaiveCumulativeMiner, SamMiner,
 };
 use fim_carpenter::{CarpenterConfig, CarpenterListMiner, CarpenterTableMiner};
 use fim_core::{ClosedMiner, Representation};
@@ -37,6 +38,7 @@ pub fn all_miner_names() -> &'static [&'static str] {
         "carpenter-table-norepo",
         "carpenter-lists-noelim",
         "carpenter-lists-noearly",
+        "lcm-noreuse",
     ]
 }
 
@@ -74,6 +76,7 @@ pub fn miner_by_name(name: &str) -> Result<Box<dyn ClosedMiner>, String> {
         "ista-bitset" => Box::new(IstaMiner::with_config(IstaConfig::bitset())),
         "fpclose" => Box::new(FpCloseMiner),
         "lcm" => Box::new(LcmMiner),
+        "lcm-noreuse" => Box::new(LcmClassicMiner),
         "eclat" => Box::new(EclatMiner::default()),
         "eclat-bitset" => Box::new(EclatMiner::with_rep(Representation::Bitset)),
         "eclat-gallop" => Box::new(EclatMiner::with_rep(Representation::Gallop)),

@@ -10,12 +10,12 @@
 //! elimination in O(1).
 
 use crate::search::{
-    search, search_governed, search_governed_with_stats, search_with_stats, CarpenterConfig,
-    Representation,
+    search, search_constrained_governed_with_stats, search_constrained_with_stats, search_governed,
+    search_governed_with_stats, search_with_stats, CarpenterConfig, Representation,
 };
 use fim_core::{
-    gallop_advance, Budget, ClosedMiner, Item, ItemSet, MineOutcome, MiningResult, RecodedDatabase,
-    Representation as KernelRep, Tid, TidLists, WordSet,
+    gallop_advance, Budget, ClosedMiner, ConstraintSet, Item, ItemSet, MineOutcome, MiningResult,
+    RecodedDatabase, Representation as KernelRep, Tid, TidLists, WordSet,
 };
 use fim_obs::{Counter, Counters};
 
@@ -326,6 +326,23 @@ impl CarpenterListMiner {
             budget
         ))
     }
+
+    /// Like [`ClosedMiner::mine_constrained`] but also returns the
+    /// counters (`constraint_prunes` among them).
+    pub fn mine_constrained_with_stats(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        constraints: &ConstraintSet,
+    ) -> (MiningResult, Counters) {
+        dispatch_rep!(self, db, |rep| search_constrained_with_stats(
+            &rep,
+            db.num_items(),
+            minsupp,
+            self.config,
+            constraints
+        ))
+    }
 }
 
 impl ClosedMiner for CarpenterListMiner {
@@ -354,6 +371,37 @@ impl ClosedMiner for CarpenterListMiner {
             self.config,
             budget
         ))
+    }
+
+    fn supports_constraints(&self) -> bool {
+        true
+    }
+
+    fn mine_constrained(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        constraints: &ConstraintSet,
+    ) -> MiningResult {
+        self.mine_constrained_with_stats(db, minsupp, constraints).0
+    }
+
+    fn mine_constrained_governed(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        constraints: &ConstraintSet,
+        budget: &Budget,
+    ) -> MineOutcome {
+        dispatch_rep!(self, db, |rep| search_constrained_governed_with_stats(
+            &rep,
+            db.num_items(),
+            minsupp,
+            self.config,
+            constraints,
+            budget
+        )
+        .0)
     }
 }
 

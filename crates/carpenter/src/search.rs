@@ -11,8 +11,8 @@
 
 use crate::repo::Repository;
 use fim_core::{
-    checkpoint, Budget, FoundSet, Governor, ItemSet, MineOutcome, MiningResult, Progress, Tid,
-    TripReason,
+    checkpoint, constraint::area, Budget, ConstraintSet, FoundSet, Governor, ItemSet, MineOutcome,
+    MiningResult, Progress, Tid, TripReason,
 };
 use fim_obs::{Counter, Counters};
 
@@ -130,7 +130,51 @@ pub fn search_with_stats<R: Representation>(
     minsupp: u32,
     config: CarpenterConfig,
 ) -> (MiningResult, Counters) {
-    let minsupp = minsupp.max(1);
+    search_impl(rep, num_items, minsupp.max(1), config, None)
+}
+
+/// Constrained Carpenter search with the monotone / convertible
+/// constraints pushed into the recursion.
+///
+/// The transaction-set enumeration *shrinks* its intersection state with
+/// depth, which makes it the natural host for the monotone constraints: a
+/// node whose state has fewer items than `min_size`, or no longer contains
+/// every must-include item, cannot emit a satisfying set anywhere below —
+/// nor can it affect any satisfying set's support, because the first
+/// completion of a satisfying set happens along ancestors whose states all
+/// contain it (include-first order). Min-area cuts on the envelope bound
+/// `(k + remaining) × state_len`, and additionally raises the effective
+/// support floor ([`ConstraintSet::support_floor`]). Max-size cannot cut
+/// recursion (deeper nodes shrink back under the bound) and is applied at
+/// emission only.
+///
+/// Emission keeps the repository insert unconditional: a set failing the
+/// constraints is still recorded so that later, inexact-`k` completions of
+/// the same set stay suppressed. That is sound because a later completion
+/// has the same items and a support no larger than the exact first one, so
+/// it fails the (support-independent or support-monotone) constraints
+/// whenever the first completion did.
+pub fn search_constrained_with_stats<R: Representation>(
+    rep: &R,
+    num_items: u32,
+    minsupp: u32,
+    config: CarpenterConfig,
+    constraints: &ConstraintSet,
+) -> (MiningResult, Counters) {
+    let eff = constraints.support_floor(num_items, minsupp.max(1));
+    if eff == u32::MAX {
+        return (MiningResult::new(), Counters::new());
+    }
+    search_impl(rep, num_items, eff, config, Some(constraints))
+}
+
+fn search_impl<R: Representation>(
+    rep: &R,
+    num_items: u32,
+    minsupp: u32,
+    config: CarpenterConfig,
+    cs: Option<&ConstraintSet>,
+) -> (MiningResult, Counters) {
     let mut repo = Repository::new(num_items);
     let mut out = Vec::new();
     let mut counters = Counters::new();
@@ -144,6 +188,7 @@ pub fn search_with_stats<R: Representation>(
             0,
             minsupp,
             config,
+            cs,
             &mut repo,
             &mut out,
             &mut None,
@@ -181,7 +226,37 @@ pub fn search_governed_with_stats<R: Representation>(
     config: CarpenterConfig,
     budget: &Budget,
 ) -> (MineOutcome, Counters) {
-    let minsupp = minsupp.max(1);
+    search_governed_impl(rep, num_items, minsupp.max(1), config, None, budget)
+}
+
+/// Governed constrained search: the pushes of
+/// [`search_constrained_with_stats`] under a resource [`Budget`]. An
+/// interrupted partial contains only satisfying closed sets with exact
+/// supports — every emission is final, exactly as in the unconstrained
+/// governed search.
+pub fn search_constrained_governed_with_stats<R: Representation>(
+    rep: &R,
+    num_items: u32,
+    minsupp: u32,
+    config: CarpenterConfig,
+    constraints: &ConstraintSet,
+    budget: &Budget,
+) -> (MineOutcome, Counters) {
+    let eff = constraints.support_floor(num_items, minsupp.max(1));
+    if eff == u32::MAX {
+        return (MineOutcome::complete(MiningResult::new()), Counters::new());
+    }
+    search_governed_impl(rep, num_items, eff, config, Some(constraints), budget)
+}
+
+fn search_governed_impl<R: Representation>(
+    rep: &R,
+    num_items: u32,
+    minsupp: u32,
+    config: CarpenterConfig,
+    cs: Option<&ConstraintSet>,
+    budget: &Budget,
+) -> (MineOutcome, Counters) {
     let mut counters = Counters::new();
     let mut gov = Some(budget.start());
     if let Some(reason) = checkpoint!(gov, 0, 0, 0) {
@@ -206,6 +281,7 @@ pub fn search_governed_with_stats<R: Representation>(
             0,
             minsupp,
             config,
+            cs,
             &mut repo,
             &mut out,
             &mut gov,
@@ -240,6 +316,7 @@ fn recurse<R: Representation>(
     start: Tid,
     minsupp: u32,
     config: CarpenterConfig,
+    cs: Option<&ConstraintSet>,
     repo: &mut Repository,
     out: &mut Vec<FoundSet>,
     gov: &mut Option<Governor>,
@@ -257,6 +334,21 @@ fn recurse<R: Representation>(
         if repo.contains(items.as_slice()) {
             counters.bump(Counter::RepoHits);
             return Ok(()); // everything below was already explored earlier
+        }
+    }
+    // constraint push: states only shrink below here, so a state that is
+    // already too small, misses a must-include item, or cannot reach the
+    // area bound even with every remaining transaction included, has no
+    // satisfying emission anywhere in its subtree (and no first completion
+    // of a satisfying set runs through it — see
+    // `search_constrained_with_stats`). Max-size deliberately absent.
+    if let Some(cs) = cs {
+        if (state_len as u32) < cs.min_size
+            || area(k + (n - start), state_len) < cs.min_area
+            || !(cs.include.is_empty() || cs.include.is_subset_of(&rep.items_of(state)))
+        {
+            counters.bump(Counter::ConstraintPrunes);
+            return Ok(());
         }
     }
     for tid in start..n {
@@ -284,6 +376,7 @@ fn recurse<R: Representation>(
                     tid + 1,
                     minsupp,
                     config,
+                    cs,
                     repo,
                     out,
                     gov,
@@ -300,6 +393,7 @@ fn recurse<R: Representation>(
                 tid + 1,
                 minsupp,
                 config,
+                cs,
                 repo,
                 out,
                 gov,
@@ -311,16 +405,24 @@ fn recurse<R: Representation>(
     // containing it (include-first order makes the first arrival exact)
     if k >= minsupp {
         let items = rep.items_of(state);
+        // the insert stays unconditional under constraints: a failing set is
+        // still recorded so later, inexact-`k` completions of the same items
+        // are suppressed — they would fail the (support-independent or
+        // support-monotone) predicates identically
         if repo.insert(items.as_slice()) {
-            out.push(FoundSet::new(items, k));
-            if let Some(g) = gov.as_mut() {
-                g.add_processed(1);
-            }
-            // emissions also happen while the stack unwinds, where no node
-            // entry intervenes — checkpoint here too, so a set budget trips
-            // promptly
-            if let Some(reason) = checkpoint!(gov, 0, 0, out.len()) {
-                return Err(reason);
+            if cs.is_some_and(|c| !c.satisfied_by(&items, k)) {
+                counters.bump(Counter::ConstraintPrunes);
+            } else {
+                out.push(FoundSet::new(items, k));
+                if let Some(g) = gov.as_mut() {
+                    g.add_processed(1);
+                }
+                // emissions also happen while the stack unwinds, where no
+                // node entry intervenes — checkpoint here too, so a set
+                // budget trips promptly
+                if let Some(reason) = checkpoint!(gov, 0, 0, out.len()) {
+                    return Err(reason);
+                }
             }
         }
     }

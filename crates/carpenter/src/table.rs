@@ -11,11 +11,11 @@
 //! than the list variant.
 
 use crate::search::{
-    search, search_governed, search_governed_with_stats, search_with_stats, CarpenterConfig,
-    Representation,
+    search, search_constrained_governed_with_stats, search_constrained_with_stats, search_governed,
+    search_governed_with_stats, search_with_stats, CarpenterConfig, Representation,
 };
 use fim_core::{
-    Budget, ClosedMiner, Item, ItemSet, MineOutcome, MiningResult, RecodedDatabase,
+    Budget, ClosedMiner, ConstraintSet, Item, ItemSet, MineOutcome, MiningResult, RecodedDatabase,
     SuffixCountMatrix, Tid,
 };
 use fim_obs::{Counter, Counters};
@@ -122,6 +122,18 @@ impl CarpenterTableMiner {
         let rep = TableRep::from_database(db);
         search_governed_with_stats(&rep, db.num_items(), minsupp, self.config, budget)
     }
+
+    /// Like [`ClosedMiner::mine_constrained`] but also returns the
+    /// counters (`constraint_prunes` among them).
+    pub fn mine_constrained_with_stats(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        constraints: &ConstraintSet,
+    ) -> (MiningResult, Counters) {
+        let rep = TableRep::from_database(db);
+        search_constrained_with_stats(&rep, db.num_items(), minsupp, self.config, constraints)
+    }
 }
 
 impl ClosedMiner for CarpenterTableMiner {
@@ -137,6 +149,38 @@ impl ClosedMiner for CarpenterTableMiner {
     fn mine_governed(&self, db: &RecodedDatabase, minsupp: u32, budget: &Budget) -> MineOutcome {
         let rep = TableRep::from_database(db);
         search_governed(&rep, db.num_items(), minsupp, self.config, budget)
+    }
+
+    fn supports_constraints(&self) -> bool {
+        true
+    }
+
+    fn mine_constrained(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        constraints: &ConstraintSet,
+    ) -> MiningResult {
+        self.mine_constrained_with_stats(db, minsupp, constraints).0
+    }
+
+    fn mine_constrained_governed(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        constraints: &ConstraintSet,
+        budget: &Budget,
+    ) -> MineOutcome {
+        let rep = TableRep::from_database(db);
+        search_constrained_governed_with_stats(
+            &rep,
+            db.num_items(),
+            minsupp,
+            self.config,
+            constraints,
+            budget,
+        )
+        .0
     }
 }
 

@@ -15,8 +15,9 @@
 //! the dependency set minimal.
 
 use fim_core::{
-    mine_closed_with_orders, Budget, ClosedMiner, Density, ItemCatalog, ItemOrder, MineOutcome,
-    Representation, TransactionDatabase, TransactionOrder, TripReason,
+    apply_constraints_owned, mine_closed_with_orders, Budget, ClosedMiner, ConstraintSet, Density,
+    ItemCatalog, ItemOrder, MineOutcome, MiningResult, Representation, TransactionDatabase,
+    TransactionOrder, TripReason,
 };
 use std::io::Write;
 use std::process::ExitCode;
@@ -29,7 +30,10 @@ mod registry;
 
 use args::Args;
 use errors::{usage, CliError};
-use fim_obs::{MetricsReport, PassMetrics, ProgressSnapshot, ShardMetrics, SpillMetrics};
+use fim_obs::{
+    ConstraintMetrics, Counter, Counters, MetricsReport, PassMetrics, ProgressSnapshot,
+    ShardMetrics, SpillMetrics,
+};
 use observe::ObsArgs;
 use registry::{all_miner_names, miner_by_name};
 
@@ -248,6 +252,63 @@ fn cmd_mine(args: &Args) -> Result<(), CliError> {
         miner_by_name(resolved)?
     };
     let obs_args = ObsArgs::from_args(args)?;
+    let constraints = constraints_from(args, &db)?;
+    if let Some(cs) = &constraints {
+        if args.flag("maximal") {
+            return Err(usage(
+                "--maximal cannot be combined with constraint flags (maximal sets are \
+                 derived from the unconstrained closed family)",
+            ));
+        }
+        let push = !args.flag("no-push");
+        if obs_args.any() {
+            if !budget.is_unlimited() {
+                return Err(usage(
+                    "--stats/--metrics/--progress/--profile cannot be combined with budget flags",
+                ));
+            }
+            if threads.is_some() || algo == "ista-par" {
+                return Err(usage(
+                    "constraint flags with --stats/--metrics run the sequential miners only",
+                ));
+            }
+            return mine_constrained_observed(
+                args,
+                &db,
+                supp,
+                algo,
+                ista_config,
+                rep,
+                &obs_args,
+                cs,
+                push,
+            );
+        }
+        if !budget.is_unlimited() {
+            return mine_governed(args, &db, supp, miner.as_ref(), &budget, Some((cs, push)));
+        }
+        let start = std::time::Instant::now();
+        let result = fim_core::mine_closed_constrained(
+            &db,
+            supp,
+            miner.as_ref(),
+            cs,
+            item_order(args)?,
+            tx_order(args)?,
+            push,
+        );
+        let elapsed = start.elapsed();
+        write_out(args, |w| {
+            fim_io::write_results(&result, &db, w).map_err(CliError::from)
+        })?;
+        eprintln!(
+            "{}: {} closed sets at supp >= {supp} under [{cs}] in {:.3}s",
+            miner.name(),
+            result.len(),
+            elapsed.as_secs_f64()
+        );
+        return Ok(());
+    }
     if obs_args.any() {
         if !budget.is_unlimited() {
             return Err(usage(
@@ -257,7 +318,7 @@ fn cmd_mine(args: &Args) -> Result<(), CliError> {
         return mine_observed(args, &db, supp, algo, threads, ista_config, rep, &obs_args);
     }
     if !budget.is_unlimited() {
-        return mine_governed(args, &db, supp, miner.as_ref(), &budget);
+        return mine_governed(args, &db, supp, miner.as_ref(), &budget, None);
     }
     let start = std::time::Instant::now();
     let mut result = mine_closed_with_orders(
@@ -365,6 +426,61 @@ fn resolve_rep(
     Ok(rep)
 }
 
+/// The constraint flags of `fim mine`. Kept in one place so the batch,
+/// governed, and observed paths (and the forbidden-flag lists of the
+/// streaming paths) agree on the spelling.
+const CONSTRAINT_FLAGS: [&str; 6] = [
+    "include", "exclude", "min-size", "max-size", "min-area", "no-push",
+];
+
+/// Builds the [`ConstraintSet`] from `--include`/`--exclude` (comma-
+/// separated item names, resolved against the database catalog) and
+/// `--min-size`/`--max-size`/`--min-area`. Returns `None` when no
+/// constraint flag is present. Unknown item names and contradictory
+/// combinations (e.g. `--min-size 5 --max-size 3`, or an item both
+/// included and excluded) are usage errors — exit code 2.
+fn constraints_from(
+    args: &Args,
+    db: &TransactionDatabase,
+) -> Result<Option<ConstraintSet>, CliError> {
+    let any = ["include", "exclude", "min-size", "max-size", "min-area"]
+        .iter()
+        .any(|f| args.get(f).is_some());
+    if !any {
+        if args.flag("no-push") {
+            return Err(usage("--no-push needs at least one constraint flag"));
+        }
+        return Ok(None);
+    }
+    let resolve = |key: &str| -> Result<fim_core::ItemSet, CliError> {
+        let mut items = Vec::new();
+        if let Some(spec) = args.get(key) {
+            for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                let code = db
+                    .catalog()
+                    .code(name)
+                    .ok_or_else(|| usage(format!("--{key}: unknown item '{name}'")))?;
+                items.push(code);
+            }
+        }
+        Ok(fim_core::ItemSet::new(items))
+    };
+    let mut cs = ConstraintSet::none();
+    cs.include = resolve("include")?;
+    cs.exclude = resolve("exclude")?;
+    cs.min_size = args.parse_or("min-size", 0)?;
+    cs.max_size = match args.get("max-size") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .map_err(|e| usage(format!("bad --max-size: {e}")))?,
+        ),
+    };
+    cs.min_area = args.parse_or("min-area", 0)?;
+    cs.validate().map_err(usage)?;
+    Ok(Some(cs))
+}
+
 /// Resolves absolute `--supp N` or relative `--supp-rel F` (fraction of
 /// transactions) against the loaded database.
 fn resolve_supp(args: &Args, db: &TransactionDatabase) -> Result<u32, CliError> {
@@ -400,10 +516,29 @@ fn mine_governed(
     supp: u32,
     miner: &dyn ClosedMiner,
     budget: &Budget,
+    constraints: Option<(&ConstraintSet, bool)>,
 ) -> Result<(), CliError> {
     let start = std::time::Instant::now();
-    let outcome =
-        fim_core::mine_closed_governed(db, supp, miner, budget, item_order(args)?, tx_order(args)?);
+    let outcome = match constraints {
+        None => fim_core::mine_closed_governed(
+            db,
+            supp,
+            miner,
+            budget,
+            item_order(args)?,
+            tx_order(args)?,
+        ),
+        Some((cs, push)) => fim_core::mine_closed_constrained_governed(
+            db,
+            supp,
+            miner,
+            cs,
+            budget,
+            item_order(args)?,
+            tx_order(args)?,
+            push,
+        ),
+    };
     let elapsed = start.elapsed();
     let maximal = args.flag("maximal");
     let kind = if maximal { "maximal" } else { "closed" };
@@ -474,7 +609,10 @@ fn cmd_mine_stream(args: &Args, algo: &str) -> Result<(), CliError> {
         "item-order",
         "tx-order",
         "supp-rel",
-    ] {
+    ]
+    .into_iter()
+    .chain(CONSTRAINT_FLAGS)
+    {
         if args.get(f).is_some() {
             return Err(usage(format!(
                 "--{f} is not available with --checkpoint/--resume"
@@ -664,7 +802,10 @@ fn cmd_mine_oocore(args: &Args, algo: &str) -> Result<(), CliError> {
         "degrade",
         "profile",
         "progress",
-    ] {
+    ]
+    .into_iter()
+    .chain(CONSTRAINT_FLAGS)
+    {
         if args.get(f).is_some() {
             return Err(usage(format!("--{f} is not available with --out-of-core")));
         }
@@ -937,6 +1078,172 @@ fn mine_observed(
     Ok(())
 }
 
+/// The observed **constrained** mining path: like [`mine_observed`], but
+/// the recode projects out the excluded items, the miner runs its pushed
+/// search (or the post-filter when `--no-push` asked for the oracle path),
+/// and the metrics document gains the `constraint` section (the spec, the
+/// pushed/post-filtered disposition, and the `constraint_prunes` counter).
+#[allow(clippy::too_many_arguments)]
+fn mine_constrained_observed(
+    args: &Args,
+    db: &TransactionDatabase,
+    supp: u32,
+    algo: &str,
+    ista_config: fim_ista::IstaConfig,
+    rep: Option<Representation>,
+    obs_args: &ObsArgs,
+    cs: &ConstraintSet,
+    push: bool,
+) -> Result<(), CliError> {
+    let mut obs = obs_args.build();
+    let start = std::time::Instant::now();
+    obs.span_enter("recode");
+    let recoded = fim_core::RecodedDatabase::prepare_excluding(
+        db,
+        supp,
+        item_order(args)?,
+        tx_order(args)?,
+        &cs.exclude,
+    );
+    obs.span_exit();
+    let mut report = MetricsReport::new("", supp, 0.0, 0, recoded.num_transactions() as u64);
+    // counts the sets a post-filter pass drops, so the pushed and the
+    // post-filtered run report through the same counter slot
+    fn postfiltered(
+        res: MiningResult,
+        mut counters: Counters,
+        dense: &ConstraintSet,
+    ) -> (MiningResult, Counters) {
+        let before = res.sets.len();
+        let res = apply_constraints_owned(res, dense);
+        counters.add(Counter::ConstraintPrunes, (before - res.sets.len()) as u64);
+        (res, counters)
+    }
+    let dense = cs.encode(recoded.recode());
+    obs.span_enter("mine");
+    let kernel_rep = rep.unwrap_or_default();
+    let is_ista = matches!(algo, "ista" | "ista-noprune" | "ista-plain");
+    let (res, counters) = match &dense {
+        // a must-include item did not survive the frequency threshold (or
+        // the exclusion projection): nothing can satisfy, no miner runs
+        None => {
+            report.miner = miner_by_name(algo)?.name();
+            (MiningResult::new(), Counters::new())
+        }
+        Some(d) if is_ista => {
+            let miner = fim_ista::IstaMiner::with_config(ista_config);
+            report.miner = miner.name();
+            let (res, stats) = if push {
+                miner.mine_constrained_with_stats(&recoded, supp, d)
+            } else {
+                let (res, stats) = miner.mine_with_stats(&recoded, supp);
+                (apply_constraints_owned(res, d), stats)
+            };
+            report.transactions_total = stats.total_transactions as u64;
+            report.transactions_distinct = Some(stats.distinct_transactions as u64);
+            report.tree = Some(stats.memory.to_metrics(stats.peak_nodes));
+            report.passes = Some(PassMetrics {
+                prune_passes: stats.prune_passes as u64,
+                compactions: stats.compactions as u64,
+            });
+            (res, stats.counters)
+        }
+        Some(d) => match algo {
+            "carpenter-lists" => {
+                let miner = fim_carpenter::CarpenterListMiner::with_rep(kernel_rep);
+                report.miner = miner.name();
+                if push {
+                    miner.mine_constrained_with_stats(&recoded, supp, d)
+                } else {
+                    let (res, counters) = miner.mine_with_stats(&recoded, supp);
+                    postfiltered(res, counters, d)
+                }
+            }
+            "carpenter-table" => {
+                report.miner = "carpenter-table";
+                let miner = fim_carpenter::CarpenterTableMiner::default();
+                if push {
+                    miner.mine_constrained_with_stats(&recoded, supp, d)
+                } else {
+                    let (res, counters) = miner.mine_with_stats(&recoded, supp);
+                    postfiltered(res, counters, d)
+                }
+            }
+            "eclat" => {
+                let miner = fim_baseline::EclatMiner::with_rep(kernel_rep);
+                report.miner = miner.name();
+                if push {
+                    miner.mine_constrained_with_stats(&recoded, supp, d)
+                } else {
+                    let (res, counters) = miner.mine_with_stats(&recoded, supp);
+                    postfiltered(res, counters, d)
+                }
+            }
+            "declat" => {
+                let miner = fim_baseline::DEclatMiner::with_rep(kernel_rep);
+                report.miner = miner.name();
+                if push {
+                    miner.mine_constrained_with_stats(&recoded, supp, d)
+                } else {
+                    let (res, counters) = miner.mine_with_stats(&recoded, supp);
+                    postfiltered(res, counters, d)
+                }
+            }
+            other => {
+                return Err(usage(format!(
+                    "--stats/--metrics with constraint flags are not available for '{other}'"
+                )));
+            }
+        },
+    };
+    report.counters = counters;
+    let pushed = push
+        && matches!(
+            algo,
+            "ista"
+                | "ista-noprune"
+                | "ista-plain"
+                | "carpenter-lists"
+                | "carpenter-table"
+                | "eclat"
+                | "declat"
+        );
+    report.constraint = Some(ConstraintMetrics::from_counters(
+        cs.to_string(),
+        pushed,
+        &counters,
+    ));
+    report.kernel = Some(fim_obs::KernelMetrics::from_counters(
+        kernel_rep.name(),
+        &report.counters,
+    ));
+    obs.span_exit();
+    obs.span_enter("report");
+    let mut result = res.decode(recoded.recode());
+    result.canonicalize();
+    write_out(args, |w| {
+        fim_io::write_results(&result, db, w).map_err(CliError::from)
+    })?;
+    obs.span_exit();
+    obs.finish(&ProgressSnapshot {
+        processed: report.transactions_total,
+        total: Some(report.transactions_total),
+        peak_nodes: report.tree.map_or(0, |t| t.peak_nodes),
+        sets: result.len() as u64,
+    });
+    report.seconds = start.elapsed().as_secs_f64();
+    report.sets = result.len() as u64;
+    obs_args.emit_metrics(&report)?;
+    obs_args.emit_profile(&obs)?;
+    eprintln!(
+        "{}: {} closed sets at supp >= {supp} under [{cs}] in {:.3}s",
+        report.miner,
+        result.len(),
+        report.seconds
+    );
+    Ok(())
+}
+
 fn cmd_gen(args: &Args) -> Result<(), CliError> {
     use fim_synth::Preset;
     let preset = match args.require("preset")? {
@@ -1042,6 +1349,8 @@ USAGE:
   fim mine  --supp N | --supp-rel F   [--algo NAME] [--in FILE] [--out FILE]
             [--item-order asc|desc|orig] [--tx-order asc|desc|orig]
             [--maximal] [--no-prune] [--threads N]
+            [--include A,B] [--exclude C,D] [--min-size N] [--max-size N]
+            [--min-area N] [--no-push]
             [--rep auto|scalar|bitset|gallop]
             [--no-coalesce] [--no-compact] [--no-patricia]
             [--stats] [--metrics PATH|-] [--progress SECS] [--profile FILE]
@@ -1058,6 +1367,21 @@ USAGE:
              one-item-per-node tree instead of the path-compressed
              Patricia layout (equivalent to --algo ista-plain; sequential
              only); all are ista only)
+            (constraints: --include/--exclude take comma-separated item
+             names; --min-size/--max-size bound the item count and
+             --min-area the product support x size of the reported sets.
+             Excluded items are projected out of the database before
+             mining — the closed sets of that projection, not a per-set
+             filter of the full-database answer. Supporting miners (the
+             ista variants, carpenter, eclat, declat) push the constraints
+             into their search loops; the rest post-filter, as does
+             --no-push, which forces the post-filter oracle path for any
+             miner. Output is identical either way. Contradictory
+             constraints (--min-size above --max-size, more --include
+             items than --max-size, an item both included and excluded)
+             and unknown item names are usage errors, exit code 2; not
+             combinable with --maximal, --checkpoint/--resume, or
+             --out-of-core)
             (--rep selects the physical tid-set kernel for the sequential
              ista variants, eclat, declat, and carpenter-lists: scalar
              sorted-list merges (the default), bitset word-AND + popcount,

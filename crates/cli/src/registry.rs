@@ -1,7 +1,8 @@
 //! Name → miner registry shared by the CLI subcommands.
 
 use fim_baseline::{
-    AprioriMiner, DEclatMiner, EclatMiner, FpCloseMiner, LcmMiner, NaiveCumulativeMiner, SamMiner,
+    AprioriMiner, DEclatMiner, EclatMiner, FpCloseMiner, LcmClassicMiner, LcmMiner,
+    NaiveCumulativeMiner, SamMiner,
 };
 use fim_carpenter::{CarpenterConfig, CarpenterListMiner, CarpenterTableMiner};
 use fim_core::{ClosedMiner, Representation};
@@ -22,6 +23,7 @@ pub fn all_miner_names() -> &'static [&'static str] {
         "carpenter-table-noprune",
         "fpclose",
         "lcm",
+        "lcm-noreuse",
         "eclat",
         "eclat-bitset",
         "eclat-gallop",
@@ -51,6 +53,7 @@ pub fn miner_by_name(name: &str) -> Result<Box<dyn ClosedMiner>, String> {
         "carpenter-lists-gallop" => Box::new(CarpenterListMiner::with_rep(Representation::Gallop)),
         "fpclose" => Box::new(FpCloseMiner),
         "lcm" => Box::new(LcmMiner),
+        "lcm-noreuse" => Box::new(LcmClassicMiner),
         "eclat" => Box::new(EclatMiner::default()),
         "eclat-bitset" => Box::new(EclatMiner::with_rep(Representation::Bitset)),
         "eclat-gallop" => Box::new(EclatMiner::with_rep(Representation::Gallop)),

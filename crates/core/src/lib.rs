@@ -40,6 +40,7 @@
 
 pub mod catalog;
 pub mod closure;
+pub mod constraint;
 pub mod cover;
 pub mod database;
 pub mod error;
@@ -58,6 +59,7 @@ pub mod rep;
 
 pub use catalog::ItemCatalog;
 pub use closure::{closure, closure_with, is_closed, is_closed_with};
+pub use constraint::{apply_constraints, apply_constraints_owned, ConstraintSet};
 pub use cover::{cover, support, BitCover, TidLists};
 pub use database::TransactionDatabase;
 pub use error::FimError;
@@ -66,8 +68,8 @@ pub use itemset::{gallop_advance, gallop_intersect_into, ItemSet};
 pub use matrix::{BitMatrix, BitsetRow, SuffixCountMatrix, WordSet};
 pub use maximal::maximal_from_closed;
 pub use miner::{
-    mine_closed, mine_closed_governed, mine_closed_relative, mine_closed_with_orders, ClosedMiner,
-    FoundSet, MiningResult,
+    mine_closed, mine_closed_constrained, mine_closed_constrained_governed, mine_closed_governed,
+    mine_closed_relative, mine_closed_with_orders, ClosedMiner, FoundSet, MiningResult,
 };
 pub use order::{ItemOrder, TransactionOrder};
 pub use prepare::{cmp_size_then_desc_lex, coalesce};

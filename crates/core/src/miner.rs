@@ -3,6 +3,7 @@
 //! swapped, cross-checked, and benchmarked interchangeably.
 
 use crate::{
+    constraint::{apply_constraints_owned, ConstraintSet},
     database::TransactionDatabase,
     govern::{Budget, MineOutcome, Progress},
     itemset::ItemSet,
@@ -150,6 +151,51 @@ pub trait ClosedMiner {
         }
         MineOutcome::complete(self.mine(db, minsupp))
     }
+
+    /// Whether this miner pushes constraints into its search loops.
+    ///
+    /// Miners that return `false` still mine correctly under constraints:
+    /// the constrained drivers fall back to post-filtering their
+    /// unconstrained output through
+    /// [`apply_constraints`](crate::constraint::apply_constraints).
+    fn supports_constraints(&self) -> bool {
+        false
+    }
+
+    /// Mines the closed frequent sets of `db` that satisfy `constraints`.
+    ///
+    /// `constraints` is expressed over the dense codes of `db`, with an
+    /// empty exclude set — exclusion is a database projection applied by
+    /// [`RecodedDatabase::prepare_excluding`] before the miner runs, never
+    /// a per-set predicate (see [`crate::constraint`]). Implementations
+    /// must return **exactly** the subset of their unconstrained output
+    /// that [`ConstraintSet::satisfied_by`] accepts; pushing the
+    /// constraints deeper than the final emission gate is the performance
+    /// contract this method exists for.
+    fn mine_constrained(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        constraints: &ConstraintSet,
+    ) -> MiningResult {
+        apply_constraints_owned(self.mine(db, minsupp), constraints)
+    }
+
+    /// Governed variant of [`mine_constrained`](Self::mine_constrained).
+    ///
+    /// The default post-filters whichever outcome (complete or partial)
+    /// the governed mine produces; an interrupted partial filtered this
+    /// way remains an exact subset of the complete constrained result.
+    fn mine_constrained_governed(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        constraints: &ConstraintSet,
+        budget: &Budget,
+    ) -> MineOutcome {
+        self.mine_governed(db, minsupp, budget)
+            .map_result(|r| apply_constraints_owned(r, constraints))
+    }
 }
 
 /// End-to-end convenience: recode `db` with the miner-friendly default
@@ -208,6 +254,87 @@ pub fn mine_closed_governed(
             decoded.canonicalize();
             decoded
         })
+}
+
+/// End-to-end constrained mining: validates `constraints`, recodes `db`
+/// with the must-exclude items projected away
+/// ([`RecodedDatabase::prepare_excluding`]), translates the remaining
+/// constraints to dense codes, mines — pushed into the miner's search
+/// loops when `push` is set and the miner
+/// [`supports_constraints`](ClosedMiner::supports_constraints), post-filtered
+/// otherwise — and decodes + canonicalizes the result.
+///
+/// An include item that did not survive recoding (infrequent, unknown, or
+/// itself excluded) makes the constraints unsatisfiable: the result is
+/// empty without running the miner.
+///
+/// # Panics
+///
+/// Panics if `constraints` fail [`ConstraintSet::validate`] — callers
+/// (the CLI) surface contradictory constraints as usage errors first.
+pub fn mine_closed_constrained(
+    db: &TransactionDatabase,
+    minsupp: u32,
+    miner: &dyn ClosedMiner,
+    constraints: &ConstraintSet,
+    item_order: ItemOrder,
+    tx_order: TransactionOrder,
+    push: bool,
+) -> MiningResult {
+    constraints
+        .validate()
+        .expect("contradictory constraints reached the mining driver");
+    let recoded =
+        RecodedDatabase::prepare_excluding(db, minsupp, item_order, tx_order, &constraints.exclude);
+    let dense = match constraints.encode(recoded.recode()) {
+        Some(d) => d,
+        None => return MiningResult::new(),
+    };
+    let result = if push && miner.supports_constraints() {
+        miner.mine_constrained(&recoded, minsupp.max(1), &dense)
+    } else {
+        apply_constraints_owned(miner.mine(&recoded, minsupp.max(1)), &dense)
+    };
+    let mut decoded = result.decode(recoded.recode());
+    decoded.canonicalize();
+    decoded
+}
+
+/// Governed variant of [`mine_closed_constrained`]: same preparation and
+/// push/post-filter split, but the miner runs under `budget` and the
+/// outcome (complete or exact partial) is decoded + canonicalized.
+#[allow(clippy::too_many_arguments)]
+pub fn mine_closed_constrained_governed(
+    db: &TransactionDatabase,
+    minsupp: u32,
+    miner: &dyn ClosedMiner,
+    constraints: &ConstraintSet,
+    budget: &Budget,
+    item_order: ItemOrder,
+    tx_order: TransactionOrder,
+    push: bool,
+) -> MineOutcome {
+    constraints
+        .validate()
+        .expect("contradictory constraints reached the mining driver");
+    let recoded =
+        RecodedDatabase::prepare_excluding(db, minsupp, item_order, tx_order, &constraints.exclude);
+    let dense = match constraints.encode(recoded.recode()) {
+        Some(d) => d,
+        None => return MineOutcome::complete(MiningResult::new()),
+    };
+    let outcome = if push && miner.supports_constraints() {
+        miner.mine_constrained_governed(&recoded, minsupp.max(1), &dense, budget)
+    } else {
+        miner
+            .mine_governed(&recoded, minsupp.max(1), budget)
+            .map_result(|r| apply_constraints_owned(r, &dense))
+    };
+    outcome.map_result(|r| {
+        let mut decoded = r.decode(recoded.recode());
+        decoded.canonicalize();
+        decoded
+    })
 }
 
 /// Like [`mine_closed`], with explicit orders (for the §3.4 ablations).

@@ -172,12 +172,28 @@ impl RecodedDatabase {
         item_order: ItemOrder,
         tx_order: TransactionOrder,
     ) -> Self {
+        Self::prepare_excluding(db, minsupp, item_order, tx_order, &ItemSet::empty())
+    }
+
+    /// Like [`prepare`](Self::prepare), additionally projecting away the
+    /// `exclude` items (raw catalog codes): they are dropped from every
+    /// transaction exactly as infrequent items are, before transactions are
+    /// reordered and empties removed. This is how the must-exclude
+    /// constraint is pushed — see the semantics note in
+    /// [`crate::constraint`].
+    pub fn prepare_excluding(
+        db: &TransactionDatabase,
+        minsupp: u32,
+        item_order: ItemOrder,
+        tx_order: TransactionOrder,
+        exclude: &ItemSet,
+    ) -> Self {
         let minsupp = minsupp.max(1);
         let freq = db.item_frequencies();
 
         // Select surviving raw codes and order them.
         let mut surviving: Vec<Item> = (0..freq.len() as Item)
-            .filter(|&i| freq[i as usize] >= minsupp)
+            .filter(|&i| freq[i as usize] >= minsupp && !exclude.contains(i))
             .collect();
         match item_order {
             ItemOrder::AscendingFrequency => {

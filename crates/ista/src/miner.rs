@@ -3,10 +3,11 @@
 use crate::plain::PlainPrefixTree;
 use crate::tree::{PrefixTree, TreeMemoryStats};
 use fim_core::{
-    checkpoint, prepare, Budget, ClosedMiner, Degradation, FoundSet, Governor, Item, MineOutcome,
-    MiningResult, Progress, RecodedDatabase, Representation, TripReason,
+    apply_constraints_owned, checkpoint, prepare, Budget, ClosedMiner, ConstraintSet, Degradation,
+    FoundSet, Governor, Item, MineOutcome, MiningResult, Progress, RecodedDatabase, Representation,
+    TripReason,
 };
-use fim_obs::{Counters, Obs, ProgressSnapshot};
+use fim_obs::{Counter, Counters, Obs, ProgressSnapshot};
 
 /// The tree operations the mining loop needs, implemented by both the
 /// Patricia [`PrefixTree`] (default) and the uncompressed
@@ -303,6 +304,38 @@ impl IstaMiner {
         self.run(db, minsupp, Some(budget.start()), budget.degrade, None)
     }
 
+    /// Like [`ClosedMiner::mine_constrained`], also returning the
+    /// [`MineStats`] of the run.
+    ///
+    /// IsTa's constraint push is the **support-floor raise**: a min-area
+    /// constraint implies a support lower bound
+    /// ([`ConstraintSet::support_floor`]), and mining at that raised
+    /// threshold lets every item-elimination pruning pass cut tree paths
+    /// that could only complete into sub-floor (hence unsatisfying) sets.
+    /// Size and include predicates, by contrast, must **not** prune tree
+    /// nodes mid-run — a too-small or include-missing path still feeds the
+    /// cumulative intersections of later transactions — so they gate only
+    /// the final report (`constraint_prunes` counts the sets they drop).
+    pub fn mine_constrained_with_stats(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        constraints: &ConstraintSet,
+    ) -> (MiningResult, MineStats) {
+        let eff = constraints.support_floor(db.num_items(), minsupp.max(1));
+        if eff == u32::MAX {
+            return (MiningResult::new(), MineStats::default());
+        }
+        let (result, mut stats) = self.mine_with_stats(db, eff);
+        let before = result.sets.len();
+        let result = apply_constraints_owned(result, constraints);
+        stats.counters.add(
+            Counter::ConstraintPrunes,
+            (before - result.sets.len()) as u64,
+        );
+        (result, stats)
+    }
+
     /// Governed mining with both run counters and an observability bundle.
     pub fn mine_governed_with_obs(
         &self,
@@ -517,6 +550,37 @@ impl ClosedMiner for IstaMiner {
 
     fn mine_governed(&self, db: &RecodedDatabase, minsupp: u32, budget: &Budget) -> MineOutcome {
         self.mine_governed_with_stats(db, minsupp, budget).0
+    }
+
+    fn supports_constraints(&self) -> bool {
+        true
+    }
+
+    fn mine_constrained(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        constraints: &ConstraintSet,
+    ) -> MiningResult {
+        self.mine_constrained_with_stats(db, minsupp, constraints).0
+    }
+
+    fn mine_constrained_governed(
+        &self,
+        db: &RecodedDatabase,
+        minsupp: u32,
+        constraints: &ConstraintSet,
+        budget: &Budget,
+    ) -> MineOutcome {
+        let eff = constraints.support_floor(db.num_items(), minsupp.max(1));
+        if eff == u32::MAX {
+            return MineOutcome::complete(MiningResult::new());
+        }
+        // governed at the raised floor; an interrupted partial is the exact
+        // constrained answer of the processed prefix (the same prefix
+        // contract as the unconstrained governed run, filtered)
+        self.mine_governed(db, eff, budget)
+            .map_result(|r| apply_constraints_owned(r, constraints))
     }
 }
 

@@ -67,10 +67,18 @@ pub enum Counter {
     /// Out-of-core resume: completed spills adopted from a prior run's
     /// manifest instead of being re-mined.
     ShardsResumed = 20,
+    /// Constraint engine: search branches cut or candidate sets dropped by
+    /// a pushed constraint (include/size/area bounds) before the
+    /// unconstrained path would have paid for them.
+    ConstraintPrunes = 21,
+    /// LCM (CbO): closure computations avoided — canonicity rejections
+    /// that exited before computing a closure, plus prefix items reused
+    /// from the parent closure instead of being re-derived.
+    ClosureReuses = 22,
 }
 
 /// Number of counter slots.
-pub const NUM_COUNTERS: usize = 21;
+pub const NUM_COUNTERS: usize = 23;
 
 impl Counter {
     /// Every counter, in slot order.
@@ -96,6 +104,8 @@ impl Counter {
         Counter::FaultsInjected,
         Counter::RetriesAttempted,
         Counter::ShardsResumed,
+        Counter::ConstraintPrunes,
+        Counter::ClosureReuses,
     ];
 
     /// The stable snake_case name used in metrics JSON.
@@ -122,6 +132,8 @@ impl Counter {
             Counter::FaultsInjected => "faults_injected",
             Counter::RetriesAttempted => "retries_attempted",
             Counter::ShardsResumed => "shards_resumed",
+            Counter::ConstraintPrunes => "constraint_prunes",
+            Counter::ClosureReuses => "closure_reuses",
         }
     }
 }
@@ -212,7 +224,7 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), NUM_COUNTERS, "duplicate counter name");
         assert_eq!(names[0], "seg_scans");
-        assert_eq!(names[NUM_COUNTERS - 1], "shards_resumed");
+        assert_eq!(names[NUM_COUNTERS - 1], "closure_reuses");
     }
 
     #[test]

@@ -38,8 +38,8 @@ mod span;
 
 pub use counters::{Counter, Counters, NUM_COUNTERS};
 pub use metrics::{
-    validate_metrics_json, KernelMetrics, MetricsReport, PassMetrics, ShardMetrics, SpillMetrics,
-    TreeMetrics, METRICS_SCHEMA, REQUIRED_METRICS_KEYS,
+    validate_metrics_json, ConstraintMetrics, KernelMetrics, MetricsReport, PassMetrics,
+    ShardMetrics, SpillMetrics, TreeMetrics, METRICS_SCHEMA, REQUIRED_METRICS_KEYS,
 };
 pub use progress::{ProgressEmitter, ProgressSnapshot, ProgressStyle};
 pub use span::SpanRecorder;

@@ -138,6 +138,34 @@ impl KernelMetrics {
     }
 }
 
+/// Constraint-engine metrics: the active constraint spec, whether it was
+/// pushed into the search loops or post-filtered, and how hard the pushed
+/// bounds pruned. Present whenever the run was constrained.
+#[derive(Clone, Debug)]
+pub struct ConstraintMetrics {
+    /// Compact spec string (`include={..} min_size=..`, `none` when
+    /// unconstrained).
+    pub spec: String,
+    /// `true` when constraints were pushed into the miner's search loops,
+    /// `false` for the `--no-push` post-filter path.
+    pub pushed: bool,
+    /// Branches cut / candidates dropped by pushed constraints.
+    pub prunes: u64,
+}
+
+impl ConstraintMetrics {
+    /// A constraint section with the prune counter read out of a counter
+    /// registry.
+    pub fn from_counters(spec: String, pushed: bool, counters: &Counters) -> Self {
+        use crate::counters::Counter;
+        ConstraintMetrics {
+            spec,
+            pushed,
+            prunes: counters.get(Counter::ConstraintPrunes),
+        }
+    }
+}
+
 /// Everything one metrics document reports. Optional sections are omitted
 /// from the JSON when `None`.
 #[derive(Debug)]
@@ -164,6 +192,8 @@ pub struct MetricsReport<'a> {
     pub spill: Option<SpillMetrics>,
     /// Intersection-kernel section (representation-aware miners).
     pub kernel: Option<KernelMetrics>,
+    /// Constraint-engine section (constrained runs).
+    pub constraint: Option<ConstraintMetrics>,
     /// Hot-loop counters; zero slots are omitted from the JSON.
     pub counters: Counters,
 }
@@ -183,6 +213,7 @@ impl<'a> MetricsReport<'a> {
             shards: None,
             spill: None,
             kernel: None,
+            constraint: None,
             counters: Counters::new(),
         }
     }
@@ -248,6 +279,15 @@ impl<'a> MetricsReport<'a> {
                 w,
                 "  \"kernel\": {{\"rep\": \"{}\", \"words_anded\": {}, \"gallop_probes\": {}, \"popcount_calls\": {}}},",
                 escape(k.rep), k.words_anded, k.gallop_probes, k.popcount_calls
+            )?;
+        }
+        if let Some(c) = &self.constraint {
+            writeln!(
+                w,
+                "  \"constraint\": {{\"spec\": \"{}\", \"pushed\": {}, \"prunes\": {}}},",
+                escape(&c.spec),
+                c.pushed,
+                c.prunes
             )?;
         }
         write!(w, "  \"counters\": {{")?;
@@ -360,6 +400,7 @@ mod tests {
         assert!(!bare.contains("\"shards\""));
         assert!(!bare.contains("\"spill\""));
         assert!(!bare.contains("\"kernel\""));
+        assert!(!bare.contains("\"constraint\""));
         assert!(bare.contains("\"counters\": {}"));
         let full = sample().to_json();
         assert!(full.contains("\"tree\""));
@@ -395,6 +436,22 @@ mod tests {
         assert!(doc.contains(
             "\"spill\": {\"shards\": 6, \"spill_bytes\": 123456, \"merge_passes\": 5, \
              \"faults_injected\": 2, \"retries_attempted\": 3, \"shards_resumed\": 4}"
+        ));
+    }
+
+    #[test]
+    fn constraint_section_reads_counters_and_renders() {
+        let mut c = Counters::new();
+        c.add(Counter::ConstraintPrunes, 42);
+        let s = ConstraintMetrics::from_counters("min_size=2 max_size=4".into(), true, &c);
+        assert_eq!(s.prunes, 42);
+        assert!(s.pushed);
+        let mut r = MetricsReport::new("eclat", 2, 0.5, 10, 60);
+        r.constraint = Some(s);
+        let doc = r.to_json();
+        validate_metrics_json(&doc).expect("constraint report validates");
+        assert!(doc.contains(
+            "\"constraint\": {\"spec\": \"min_size=2 max_size=4\", \"pushed\": true, \"prunes\": 42}"
         ));
     }
 
