@@ -371,6 +371,7 @@ fn obs_overhead(c: &mut Criterion) {
         let snap = ProgressSnapshot {
             processed: 1,
             total: Some(1000),
+            pending: 0,
             peak_nodes: 10,
             sets: 5,
         };

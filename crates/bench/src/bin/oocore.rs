@@ -23,12 +23,20 @@
 //! time; what it buys is the peak-RSS bound (DESIGN.md §17).
 //!
 //! Usage: `oocore [--scale X] [--seed N] [--reps R] [--supp S]
-//!                [--out BENCH_oocore.json]`
+//!                [--out BENCH_oocore.json] [--ledger LEDGER.jsonl]`
+//!
+//! With `--ledger` every aggregated cell also appends one `fim-ledger/1`
+//! line (input FNV-1a, median time, VmHWM, shard/spill counters) so two
+//! bench runs gate through `fim compare`.
 
 use fim_bench::{parse_kv, MINE_STACK_BYTES};
 use fim_core::{mine_closed_with_orders, Budget, ItemOrder, TransactionOrder};
 use fim_io::FimiLimits;
 use fim_ista::{IstaMiner, OutOfCoreConfig};
+// the shared probes: FNV-1a for report identity, VmHWM from
+// /proc/self/status for the peak-RSS column (the sampler's probe, so
+// the bench and --sample report the same number)
+use fim_obs::{fnv1a, vmhwm_kb};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -62,30 +70,6 @@ struct Measurement {
     seconds: f64,
     vmhwm_kb: u64,
     cell: CellResult,
-}
-
-/// FNV-1a over the serialized report — the cheap stand-in for byte
-/// identity across cells (collisions are irrelevant at n = a few dozen).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Peak resident set of this process in kB, from `/proc/self/status`
-/// (`VmHWM`). Linux-only by construction; any parse failure is an error
-/// rather than a silent zero, so the JSON never carries fake numbers.
-fn vmhwm_kb() -> Result<u64, String> {
-    let status = std::fs::read_to_string("/proc/self/status")
-        .map_err(|e| format!("/proc/self/status: {e}"))?;
-    status
-        .lines()
-        .find_map(|l| l.strip_prefix("VmHWM:"))
-        .and_then(|v| v.trim().trim_end_matches("kB").trim().parse().ok())
-        .ok_or_else(|| "no VmHWM line in /proc/self/status".to_owned())
 }
 
 /// The basket-form webview workload: the quest generator of
@@ -296,6 +280,7 @@ fn run() -> Result<(), String> {
         .get("out")
         .cloned()
         .unwrap_or_else(|| "BENCH_oocore.json".to_owned());
+    let ledger_path = kv.get("ledger").cloned();
 
     // one FIMI file on disk, shared by every cell
     let db = fim_synth::quest::generate(&basket_config(scale, seed));
@@ -415,6 +400,36 @@ fn run() -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     println!("# wrote {out_path}");
+    if let Some(ledger) = ledger_path {
+        let input_fnv = fim_obs::fnv1a_file(&data).map_err(|e| e.to_string())?;
+        for m in &measurements {
+            let entry = fim_obs::LedgerEntry {
+                input_fnv,
+                algo: format!("oocore-{}", m.mode),
+                supp: u64::from(supp),
+                config: format!("mem-budget={} scale={scale} seed={seed}", m.mem_budget),
+                seconds: m.seconds,
+                sets: m.cell.sets as u64,
+                transactions: db.num_transactions() as u64,
+                peak_rss_kb: m.vmhwm_kb,
+                exit: "ok".to_owned(),
+                phases: Vec::new(),
+                counters: vec![
+                    ("shards".to_owned(), m.cell.shards),
+                    ("shards_spilled".to_owned(), m.cell.spilled),
+                    ("merge_passes".to_owned(), m.cell.merge_passes),
+                    ("spill_bytes".to_owned(), m.cell.spill_bytes),
+                ],
+            };
+            entry
+                .append(Path::new(&ledger))
+                .map_err(|e| format!("cannot append --ledger {ledger}: {e}"))?;
+        }
+        println!(
+            "# appended {} ledger entries to {ledger}",
+            measurements.len()
+        );
+    }
     let _ = std::fs::remove_file(&data);
     let _ = std::fs::remove_dir_all(&spill_dir);
     Ok(())

@@ -243,6 +243,9 @@ pub struct SweepConfig {
     pub tx_order: String,
     /// Output CSV name (under `target/experiments/`).
     pub csv_name: String,
+    /// Optional run-ledger file (`--ledger PATH`): one `fim-ledger/1`
+    /// line per cell, so sweeps feed `fim compare` directly.
+    pub ledger: Option<String>,
 }
 
 impl SweepConfig {
@@ -259,6 +262,7 @@ impl SweepConfig {
             item_order: "asc".into(),
             tx_order: "asc".into(),
             csv_name: format!("{}.csv", preset.name()),
+            ledger: None,
         }
     }
 
@@ -283,6 +287,9 @@ impl SweepConfig {
         if let Some(s) = kv.get("supps") {
             let parsed: Result<Vec<u32>, _> = s.split(',').map(str::parse).collect();
             self.supports = parsed.map_err(|e| format!("--supps: {e}"))?;
+        }
+        if let Some(s) = kv.get("ledger") {
+            self.ledger = Some(s.clone());
         }
         Ok(())
     }
@@ -331,7 +338,7 @@ pub fn figure_main(mut config: SweepConfig, argv: &[String]) -> Result<(), Strin
         config.seed,
         config.timeout
     );
-    {
+    let transactions = {
         let db = preset.build(config.scale, config.seed);
         println!(
             "# data: {} transactions, {} items, {} occurrences",
@@ -339,7 +346,40 @@ pub fn figure_main(mut config: SweepConfig, argv: &[String]) -> Result<(), Strin
             db.num_items(),
             db.total_occurrences()
         );
-    }
+        db.num_transactions() as u64
+    };
+    // the sweep's ledger identity: synthetic cells have no input file, so
+    // the generator parameters are the input fingerprint
+    let input_fnv =
+        fim_obs::fnv1a(format!("{}:{}:{}", preset.name(), config.scale, config.seed).as_bytes());
+    let ledger_cell = |miner: &str, supp: u32, seconds: f64, sets: u64, exit: &str| {
+        let Some(path) = config.ledger.as_deref() else {
+            return Ok(());
+        };
+        let entry = fim_obs::LedgerEntry {
+            input_fnv,
+            algo: miner.to_owned(),
+            supp: u64::from(supp),
+            config: format!(
+                "item-order={} preset={} scale={} seed={} tx-order={}",
+                config.item_order,
+                preset.name(),
+                config.scale,
+                config.seed,
+                config.tx_order
+            ),
+            seconds,
+            sets,
+            transactions,
+            peak_rss_kb: 0,
+            exit: exit.to_owned(),
+            phases: Vec::new(),
+            counters: Vec::new(),
+        };
+        entry
+            .append(std::path::Path::new(path))
+            .map_err(|e| format!("cannot append --ledger {path}: {e}"))
+    };
     let mut rows: Vec<Row> = Vec::new();
     let mut dead: Vec<String> = Vec::new();
 
@@ -383,17 +423,20 @@ pub fn figure_main(mut config: SweepConfig, argv: &[String]) -> Result<(), Strin
                         }
                     }
                     rows.push(Row::ok(preset.name(), supp, miner, out));
+                    ledger_cell(miner, supp, out.seconds, out.sets as u64, "ok")?;
                 }
                 Ok(None) => {
                     print!(" {:>22}", "timeout");
                     dead.push(miner.clone());
                     rows.push(Row::timeout(preset.name(), supp, miner));
+                    ledger_cell(miner, supp, config.timeout.as_secs_f64(), 0, "timeout")?;
                 }
                 Err(e) => {
                     print!(" {:>22}", "error");
                     eprintln!("\n{miner} at supp {supp}: {e}");
                     dead.push(miner.clone());
                     rows.push(Row::error(preset.name(), supp, miner));
+                    ledger_cell(miner, supp, 0.0, 0, "error")?;
                 }
             }
             use std::io::Write;

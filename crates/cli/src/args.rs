@@ -71,6 +71,18 @@ impl Args {
     pub fn flag(&self, key: &str) -> bool {
         self.get(key).is_some()
     }
+
+    /// All parsed pairs sorted by key, for deterministic config
+    /// summaries (the run ledger).
+    pub fn sorted_pairs(&self) -> Vec<(&str, &str)> {
+        let mut pairs: Vec<_> = self
+            .values
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    }
 }
 
 #[cfg(test)]

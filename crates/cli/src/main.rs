@@ -68,6 +68,8 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "gen" => cmd_gen(&args),
         "rules" => cmd_rules(&args),
         "stats" => cmd_stats(&args),
+        "compare" => cmd_compare(&args),
+        "trace-export" => cmd_trace_export(&args),
         "algos" => {
             for name in all_miner_names() {
                 println!("{name}");
@@ -622,7 +624,7 @@ fn cmd_mine_stream(args: &Args, algo: &str) -> Result<(), CliError> {
     let supp: u32 = args.require_parsed("supp")?;
     let budget = budget_from(args)?;
     let obs_args = ObsArgs::from_args(args)?;
-    let mut obs = obs_args.build();
+    let mut obs = obs_args.build()?;
     let (mut stream, mut catalog) = match args.get("resume") {
         Some(path) => {
             let file = std::fs::File::open(path)
@@ -654,6 +656,7 @@ fn cmd_mine_stream(args: &Args, algo: &str) -> Result<(), CliError> {
     gov.add_processed(u64::from(skip));
     let mut tripped: Option<TripReason> = None;
     let mut seen = 0u32;
+    obs.span_enter("stream");
     for t in db.transactions() {
         if t.is_empty() {
             continue;
@@ -665,6 +668,7 @@ fn cmd_mine_stream(args: &Args, algo: &str) -> Result<(), CliError> {
         if let Some(reason) = gov.check(stream.node_count(), stream.memory_stats().approx_bytes, 0)
         {
             tripped = Some(reason);
+            obs.instant("budget_trip", &[("processed", u64::from(seen - 1))]);
             break;
         }
         let coded: Result<Vec<u32>, CliError> = t
@@ -685,14 +689,18 @@ fn cmd_mine_stream(args: &Args, algo: &str) -> Result<(), CliError> {
             // on a resumed run the stream total is not knowable from this
             // input alone, so the heartbeat reports no ETA
             total: (skip == 0).then_some(total),
+            pending: 0,
             peak_nodes: stream.node_count() as u64,
             sets: 0,
         });
     }
+    obs.span_exit();
     let processed = stream.transactions_processed();
     if let Some(path) = args.get("checkpoint") {
         write_checkpoint_atomically(&mut stream, &catalog, path)?;
+        obs.instant("checkpoint", &[("transactions", u64::from(processed))]);
     }
+    obs.span_enter("report");
     let mut result = stream.closed_sets(supp);
     let kind = if args.flag("maximal") {
         result = fim_core::maximal_from_closed(&result);
@@ -703,13 +711,15 @@ fn cmd_mine_stream(args: &Args, algo: &str) -> Result<(), CliError> {
     write_out(args, |w| {
         fim_io::write_results_named(&result, &catalog, w).map_err(CliError::from)
     })?;
+    obs.span_exit();
     obs.finish(&ProgressSnapshot {
         processed: u64::from(processed),
         total: (skip == 0 && tripped.is_none()).then_some(total),
+        pending: 0,
         peak_nodes: stream.node_count() as u64,
         sets: result.len() as u64,
     });
-    if obs_args.metrics.is_some() {
+    {
         let mem = stream.memory_stats();
         let mut report = MetricsReport::new(
             "ista-stream",
@@ -721,7 +731,10 @@ fn cmd_mine_stream(args: &Args, algo: &str) -> Result<(), CliError> {
         // the stream never prunes, so the arena high-water is the peak
         report.tree = Some(mem.to_metrics(mem.total_slots));
         report.counters = *stream.counters();
+        obs_args.finalize(&mut obs, &mut report);
         obs_args.emit_metrics(&report)?;
+        let exit = tripped.map_or_else(|| "ok".to_string(), |r| r.to_string());
+        obs_args.emit_ledger(args, &report, &obs, &exit)?;
     }
     match tripped {
         None => {
@@ -800,8 +813,6 @@ fn cmd_mine_oocore(args: &Args, algo: &str) -> Result<(), CliError> {
         "no-patricia",
         "tx-order",
         "degrade",
-        "profile",
-        "progress",
     ]
     .into_iter()
     .chain(CONSTRAINT_FLAGS)
@@ -839,6 +850,7 @@ fn cmd_mine_oocore(args: &Args, algo: &str) -> Result<(), CliError> {
     config.coalesce = !args.flag("no-coalesce");
     config.compact = !args.flag("no-compact");
     config.retry = fim_core::fault::RetryPolicy::with_retries(io_retries);
+    let mut obs = obs_args.build_with_spill(Some(std::path::Path::new(spill_dir)))?;
     let start = std::time::Instant::now();
     let run = fim_io::mine_fimi_with_counts_opts(
         input,
@@ -849,6 +861,7 @@ fn cmd_mine_oocore(args: &Args, algo: &str) -> Result<(), CliError> {
         config,
         &budget,
         resume,
+        &mut obs,
     )?;
     let elapsed = start.elapsed();
     let maximal = args.flag("maximal");
@@ -858,6 +871,47 @@ fn cmd_mine_oocore(args: &Args, algo: &str) -> Result<(), CliError> {
         "{} shards ({} spilled, {} merge passes)",
         stats.shards, stats.spilled, stats.merge_passes
     );
+    let transactions = run.transactions;
+    // both arms share the report shape; only sets/exit status differ
+    let emit_observability =
+        |result: &MiningResult, obs: &mut fim_obs::Obs, exit: &str| -> Result<(), CliError> {
+            obs.finish(&ProgressSnapshot {
+                processed: transactions,
+                total: Some(transactions),
+                pending: 0,
+                peak_nodes: stats.memory.total_slots as u64,
+                sets: result.len() as u64,
+            });
+            let mut report = MetricsReport::new(
+                "ista-oocore",
+                supp,
+                elapsed.as_secs_f64(),
+                result.len() as u64,
+                transactions,
+            );
+            // no cross-shard peak is tracked; the reduced tree's arena
+            // high-water (total slots) is the closest honest figure
+            report.tree = Some(stats.memory.to_metrics(stats.memory.total_slots));
+            report.shards = Some(ShardMetrics {
+                shards: stats.shards,
+                recovered: 0,
+            });
+            report.spill = Some(SpillMetrics::from_counters(&stats.counters));
+            report.counters = stats.counters;
+            obs_args.finalize(obs, &mut report);
+            obs_args.emit_metrics(&report)?;
+            obs_args.emit_profile(obs)?;
+            obs_args.emit_ledger(args, &report, obs, exit)?;
+            if args.flag("stats") {
+                eprintln!(
+                    "ista-oocore: {} spills, {} faults injected, {} retries",
+                    stats.counters.get(Counter::ShardsSpilled),
+                    stats.counters.get(Counter::FaultsInjected),
+                    stats.counters.get(Counter::RetriesAttempted)
+                );
+            }
+            Ok(())
+        };
     match run.outcome {
         MineOutcome::Complete { mut result, .. } => {
             if maximal {
@@ -866,25 +920,7 @@ fn cmd_mine_oocore(args: &Args, algo: &str) -> Result<(), CliError> {
             write_out(args, |w| {
                 fim_io::write_results_named(&result, &run.catalog, w).map_err(CliError::from)
             })?;
-            if obs_args.metrics.is_some() {
-                let mut report = MetricsReport::new(
-                    "ista-oocore",
-                    supp,
-                    elapsed.as_secs_f64(),
-                    result.len() as u64,
-                    run.transactions,
-                );
-                // no cross-shard peak is tracked; the reduced tree's arena
-                // high-water (total slots) is the closest honest figure
-                report.tree = Some(stats.memory.to_metrics(stats.memory.total_slots));
-                report.shards = Some(ShardMetrics {
-                    shards: stats.shards,
-                    recovered: 0,
-                });
-                report.spill = Some(SpillMetrics::from_counters(&stats.counters));
-                report.counters = stats.counters;
-                obs_args.emit_metrics(&report)?;
-            }
+            emit_observability(&result, &mut obs, "ok")?;
             eprintln!(
                 "ista-oocore: {} {kind} sets at supp >= {supp} over {shard_note} in {:.3}s",
                 result.len(),
@@ -903,6 +939,7 @@ fn cmd_mine_oocore(args: &Args, algo: &str) -> Result<(), CliError> {
             write_out(args, |w| {
                 fim_io::write_results_named(&partial, &run.catalog, w).map_err(CliError::from)
             })?;
+            emit_observability(&partial, &mut obs, &reason.to_string())?;
             // a disk-full trip is the one interruption that keeps its spill
             // state: the manifest and verified spills stay behind so a
             // `--resume-spill` run can pick up without re-mining them
@@ -954,7 +991,7 @@ fn mine_observed(
     rep: Option<Representation>,
     obs_args: &ObsArgs,
 ) -> Result<(), CliError> {
-    let mut obs = obs_args.build();
+    let mut obs = obs_args.build()?;
     let start = std::time::Instant::now();
     obs.span_enter("recode");
     let recoded = fim_core::RecodedDatabase::prepare(db, supp, item_order(args)?, tx_order(args)?);
@@ -1061,14 +1098,17 @@ fn mine_observed(
         obs.finish(&ProgressSnapshot {
             processed: report.transactions_total,
             total: Some(report.transactions_total),
+            pending: 0,
             peak_nodes: report.tree.map_or(0, |t| t.peak_nodes),
             sets: result.len() as u64,
         });
     }
     report.seconds = start.elapsed().as_secs_f64();
     report.sets = result.len() as u64;
+    obs_args.finalize(&mut obs, &mut report);
     obs_args.emit_metrics(&report)?;
     obs_args.emit_profile(&obs)?;
+    obs_args.emit_ledger(args, &report, &obs, "ok")?;
     eprintln!(
         "{}: {} {kind} sets at supp >= {supp} in {:.3}s",
         report.miner,
@@ -1095,7 +1135,7 @@ fn mine_constrained_observed(
     cs: &ConstraintSet,
     push: bool,
 ) -> Result<(), CliError> {
-    let mut obs = obs_args.build();
+    let mut obs = obs_args.build()?;
     let start = std::time::Instant::now();
     obs.span_enter("recode");
     let recoded = fim_core::RecodedDatabase::prepare_excluding(
@@ -1228,13 +1268,16 @@ fn mine_constrained_observed(
     obs.finish(&ProgressSnapshot {
         processed: report.transactions_total,
         total: Some(report.transactions_total),
+        pending: 0,
         peak_nodes: report.tree.map_or(0, |t| t.peak_nodes),
         sets: result.len() as u64,
     });
     report.seconds = start.elapsed().as_secs_f64();
     report.sets = result.len() as u64;
+    obs_args.finalize(&mut obs, &mut report);
     obs_args.emit_metrics(&report)?;
     obs_args.emit_profile(&obs)?;
+    obs_args.emit_ledger(args, &report, &obs, "ok")?;
     eprintln!(
         "{}: {} closed sets at supp >= {supp} under [{cs}] in {:.3}s",
         report.miner,
@@ -1341,6 +1384,55 @@ where
     }
 }
 
+fn cmd_compare(args: &Args) -> Result<(), CliError> {
+    let base_path = args.require("base")?;
+    let new_path = args.require("new")?;
+    let defaults = fim_obs::Thresholds::default();
+    let thresholds = fim_obs::Thresholds {
+        time_pct: args.parse_or("time-tol", defaults.time_pct)?,
+        time_floor_secs: args.parse_or("time-floor", defaults.time_floor_secs)?,
+        mem_pct: args.parse_or("mem-tol", defaults.mem_pct)?,
+        mem_floor_kb: args.parse_or("mem-floor-kb", defaults.mem_floor_kb)?,
+        counter_pct: args.parse_or("counter-tol", defaults.counter_pct)?,
+    };
+    let read = |path: &str| -> Result<String, CliError> {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::Other(format!("cannot read {path}: {e}")))
+    };
+    let base = fim_obs::parse_run_summary(&read(base_path)?)
+        .map_err(|e| CliError::Parse(format!("{base_path}: {e}")))?;
+    let new = fim_obs::parse_run_summary(&read(new_path)?)
+        .map_err(|e| CliError::Parse(format!("{new_path}: {e}")))?;
+    let report = fim_obs::compare(&base, &new, &thresholds);
+    let io_err = |e: std::io::Error| CliError::Other(e.to_string());
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    if args.flag("json") {
+        report.write_json(&mut lock).map_err(io_err)?;
+    } else {
+        report.write_table(&mut lock).map_err(io_err)?;
+    }
+    drop(lock);
+    if report.regressions > 0 {
+        return Err(CliError::Other(format!(
+            "{} regression(s) vs {base_path}",
+            report.regressions
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_trace_export(args: &Args) -> Result<(), CliError> {
+    let path = args.require("in")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Other(format!("cannot read {path}: {e}")))?;
+    write_out(args, |w| {
+        fim_obs::export_chrome_object(&text, w)
+            .map(|_| ())
+            .map_err(|e| CliError::Parse(format!("{path}: {e}")))
+    })
+}
+
 fn print_help() {
     println!(
         "fim — closed frequent item set mining by intersecting transactions
@@ -1354,6 +1446,7 @@ USAGE:
             [--rep auto|scalar|bitset|gallop]
             [--no-coalesce] [--no-compact] [--no-patricia]
             [--stats] [--metrics PATH|-] [--progress SECS] [--profile FILE]
+            [--trace-events FILE] [--sample SECS] [--ledger FILE]
             [--timeout SECS] [--max-nodes N] [--max-sets N] [--degrade]
             [--checkpoint FILE] [--resume FILE]
             [--out-of-core --mem-budget BYTES --spill-dir DIR]
@@ -1389,17 +1482,28 @@ USAGE:
              density. Output is identical across kernels; only the work
              profile changes. Spelling the kernel as an algorithm-name
              suffix (e.g. --algo eclat-bitset) is equivalent)
-            (observability: --metrics writes one fim-metrics/1 JSON
-             document with run counters, tree occupancy, and the kernel
+            (observability: --metrics writes one fim-metrics/2 JSON
+             document with run counters, tree occupancy, the kernel
              section (selected representation, words ANDed, gallop
-             probes, popcounts) to PATH, or to stderr with '-';
-             --stats is shorthand for --metrics -;
+             probes, popcounts), and a resources section (peak RSS,
+             sampler series, phase histograms) to PATH, or to stderr
+             with '-'; --stats is shorthand for --metrics -;
              --progress emits a heartbeat line every SECS seconds on
              stderr (JSON lines when stderr is not a terminal);
              --profile writes phase timings as collapsed stacks for
-             flamegraph tools; available for the ista variants,
-             carpenter-lists, carpenter-table, eclat, and declat; stdout
-             stays clean result output throughout)
+             flamegraph tools;
+             --trace-events streams fim-trace/1 flight-recorder events
+             (Chrome trace_event array format — load in Perfetto
+             directly, or convert with 'fim trace-export');
+             --sample runs a background resource sampler every SECS
+             seconds (RSS, arena bytes, spill-dir bytes) feeding the
+             metrics resources section;
+             --ledger appends one fingerprinted fim-ledger/1 line per
+             run (input FNV-1a, config, counters, per-phase self
+             times, peak RSS, exit status) for 'fim compare';
+             available for the ista variants, carpenter-lists,
+             carpenter-table, eclat, and declat; stdout stays clean
+             result output throughout)
             (budgets: --timeout caps wall-clock seconds, --max-nodes caps
              live prefix-tree nodes, --max-sets caps emitted sets; on a
              trip the exact sets of the processed prefix are written and
@@ -1435,6 +1539,17 @@ USAGE:
   fim gen   --preset yeast|ncbi60|thrombin|webview [--scale X] [--seed N] [--out FILE]
   fim rules --supp N [--conf X] [--algo NAME] [--in FILE] [--out FILE]
   fim stats [--in FILE]
+  fim compare --base FILE --new FILE [--json]
+            [--time-tol PCT] [--time-floor SECS]
+            [--mem-tol PCT] [--mem-floor-kb KB] [--counter-tol PCT]
+            (diffs two runs — metrics documents or ledgers, detected by
+             content; a ledger compares its most recent entry. A 'sets'
+             mismatch or a metric worse than both its percentage
+             tolerance and absolute floor is a regression: table or
+             --json report on stdout, exit 1 — a CI gate)
+  fim trace-export --in TRACE [--out FILE]
+            (converts a --trace-events stream to a strict Chrome trace
+             JSON object for tools that reject the array format)
   fim algos
 
 FILE defaults to stdin/stdout ('-'). Algorithms: run 'fim algos'.

@@ -30,6 +30,7 @@ use fim_core::{
     StreamingRecode, TripReason,
 };
 use fim_ista::{AdoptedSpill, OutOfCoreConfig, OutOfCoreMiner, OutOfCoreStats, ResumePlan};
+use fim_obs::Obs;
 use std::fs;
 use std::path::Path;
 
@@ -89,7 +90,15 @@ pub fn mine_fimi_with_counts<P: AsRef<Path>>(
     budget: &Budget,
 ) -> Result<OutOfCoreRun, FimError> {
     mine_fimi_with_counts_opts(
-        path, limits, counts, minsupp, item_order, config, budget, false,
+        path,
+        limits,
+        counts,
+        minsupp,
+        item_order,
+        config,
+        budget,
+        false,
+        &mut Obs::new(),
     )
 }
 
@@ -189,6 +198,7 @@ pub fn mine_fimi_with_counts_opts<P: AsRef<Path>>(
     config: OutOfCoreConfig,
     budget: &Budget,
     resume: bool,
+    obs: &mut Obs,
 ) -> Result<OutOfCoreRun, FimError> {
     let path = path.as_ref();
     let header = ManifestHeader {
@@ -253,6 +263,7 @@ pub fn mine_fimi_with_counts_opts<P: AsRef<Path>>(
         },
         Some(&mut writer),
         plan,
+        obs,
     )?;
     drop(writer);
     let disk_full = matches!(
@@ -418,6 +429,7 @@ c d e\n";
             OutOfCoreConfig::new(1, spill),
             &Budget::unlimited(),
             resume,
+            &mut Obs::new(),
         )
         .unwrap()
     }
@@ -502,6 +514,7 @@ c d e\n";
             OutOfCoreConfig::new(1, &spill),
             &Budget::unlimited(),
             true,
+            &mut Obs::new(),
         )
         .unwrap_err();
         assert!(matches!(err, FimError::Corrupt(_)), "{err}");
@@ -522,6 +535,7 @@ c d e\n";
             OutOfCoreConfig::new(1, &spill),
             &Budget::unlimited(),
             true,
+            &mut Obs::new(),
         )
         .unwrap_err();
         assert!(matches!(err, FimError::Corrupt(_)), "{err}");

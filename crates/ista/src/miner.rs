@@ -432,6 +432,7 @@ impl IstaMiner {
                 o.tick(&ProgressSnapshot {
                     processed,
                     total: Some(total_weight),
+                    pending: 0,
                     peak_nodes: stats.peak_nodes as u64,
                     sets: tree.node_count() as u64,
                 });
@@ -521,6 +522,7 @@ impl IstaMiner {
             o.finish(&ProgressSnapshot {
                 processed,
                 total: Some(total_weight),
+                pending: 0,
                 peak_nodes: stats.peak_nodes as u64,
                 sets: result.sets.len() as u64,
             });

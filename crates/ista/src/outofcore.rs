@@ -39,7 +39,7 @@ use fim_core::fault::{self, points, RetryPolicy};
 use fim_core::{
     checkpoint, Budget, FimError, Governor, Item, MineOutcome, MiningResult, Progress, TripReason,
 };
-use fim_obs::{Counter, Counters};
+use fim_obs::{Counter, Counters, Obs, ProgressSnapshot};
 use std::collections::VecDeque;
 use std::fs;
 use std::io::Write;
@@ -397,6 +397,7 @@ impl OutOfCoreMiner {
             next,
             None,
             ResumePlan::default(),
+            &mut Obs::new(),
         )
     }
 
@@ -435,6 +436,7 @@ impl OutOfCoreMiner {
         mut next: F,
         mut journal: Option<&mut dyn SpillJournal>,
         resume: ResumePlan,
+        obs: &mut Obs,
     ) -> Result<(MineOutcome, OutOfCoreStats), FimError>
     where
         F: FnMut(&mut Vec<Item>) -> Result<bool, FimError>,
@@ -486,11 +488,55 @@ impl OutOfCoreMiner {
         let mut disk_full = false;
         let mut processed: u64 = 0;
         let mut tx_idx: u64 = 0;
+        let mut peak_nodes: u64 = 0;
+        // merge-replay work already done / the running estimate of one
+        // merge pass's replay cost, both in stream-transaction units so
+        // they compose with `processed` for weighted progress reporting
+        let mut merge_done: u64 = 0;
+        let mut faults_seen = fault::injected_count();
+        for (slot, s) in spills.iter().enumerate() {
+            obs.instant(
+                "adopt",
+                &[
+                    ("slot", slot as u64),
+                    ("intervals", s.intervals.len() as u64),
+                ],
+            );
+        }
+        // one estimated merge pass ≈ replaying one average shard slice
+        macro_rules! merge_estimate {
+            ($queue:expr) => {{
+                let avg = processed / stats.shards.max(1);
+                ($queue as u64).saturating_sub(1) * avg.max(1)
+            }};
+        }
+        macro_rules! progress_tick {
+            ($queue:expr) => {{
+                let pending = merge_done + merge_estimate!($queue);
+                obs.tick(&ProgressSnapshot {
+                    processed: processed + merge_done,
+                    total: total_transactions,
+                    pending,
+                    peak_nodes,
+                    sets: 0,
+                });
+            }};
+        }
+        macro_rules! note_faults {
+            () => {{
+                let now = fault::injected_count();
+                if now > faults_seen {
+                    obs.instant("fault_injected", &[("count", now - faults_seen)]);
+                    faults_seen = now;
+                }
+            }};
+        }
 
         // Phase 1: stream pass. Transactions covered by an adopted spill
         // only replay their per-item decrements into that spill's
         // remaining counts; uncovered ones are sliced into shards sized to
         // the byte budget, mined, and spilled.
+        obs.span_enter("stream");
         while !source_done && tripped.is_none() {
             let mut shard: Vec<Vec<Item>> = Vec::new();
             let mut intervals: Vec<TxInterval> = Vec::new();
@@ -528,6 +574,8 @@ impl OutOfCoreMiner {
             shard.sort_unstable_by(|a, b| fim_core::cmp_size_then_desc_lex(a, b));
             let shard_idx = stats.shards as usize;
             test_hooks::maybe_panic(shard_idx);
+            let was_tripped = tripped.is_some();
+            obs.span_enter("shard");
             let mined = mine_shard(
                 shard,
                 num_items,
@@ -538,7 +586,13 @@ impl OutOfCoreMiner {
                 &mut tripped,
                 &mut processed,
             );
+            obs.span_exit();
             stats.shards += 1;
+            peak_nodes = peak_nodes.max(mined.0.node_count() as u64);
+            obs.gauge_arena_bytes(mined.0.memory_stats().approx_bytes as u64);
+            if !was_tripped && tripped.is_some() {
+                obs.instant("budget_trip", &[("shard", shard_idx as u64)]);
+            }
             if source_done && spills.is_empty() {
                 // the whole stream fit one slice: pure in-memory run
                 resident = Some(mined);
@@ -551,16 +605,27 @@ impl OutOfCoreMiner {
                 .join(format!("shard-{next_shard_name:04}.spill"));
             next_shard_name += 1;
             guard.track(&path);
-            match fault::retry_io(cfg.retry, &mut retries, || spill_tree(&mut tree, &path)) {
+            let retries_before = retries;
+            obs.span_enter("spill");
+            let spilled = fault::retry_io(cfg.retry, &mut retries, || spill_tree(&mut tree, &path));
+            obs.span_exit();
+            note_faults!();
+            if retries > retries_before {
+                obs.instant("retry", &[("attempts", retries - retries_before)]);
+            }
+            match spilled {
                 Ok(b) => {
                     stats.spill_bytes += b;
                     stats.spilled += 1;
+                    obs.instant("spill", &[("shard", shard_idx as u64), ("bytes", b)]);
+                    obs.gauge_spill_bytes(stats.spill_bytes);
                 }
                 Err(FimError::Io(e)) if fault::is_enospc(&e) => {
                     // out of spill space: keep this shard's tree resident
                     // and degrade to the in-memory fold below
                     tripped.get_or_insert(TripReason::DiskFull);
                     disk_full = true;
+                    obs.instant("disk_full", &[("shard", shard_idx as u64)]);
                     resident = Some((tree, remaining));
                     break;
                 }
@@ -585,14 +650,18 @@ impl OutOfCoreMiner {
                 remaining,
                 intervals,
             });
+            progress_tick!(spills.len());
         }
+        obs.span_exit();
 
         // Phase 2: pairwise merge-reduce the spills from disk. Two trees
         // resident at a time; intermediate results go back to disk unless
         // they are the root of the reduction.
+        obs.span_enter("merge");
         while !disk_full && spills.len() >= 2 {
             let a = spills.pop_front().expect("len checked");
             let b = spills.pop_front().expect("len checked");
+            obs.span_enter("pass");
             let ta = load_spill(&a.path)?;
             let tb = load_spill(&b.path)?;
             if !journaling {
@@ -610,6 +679,7 @@ impl OutOfCoreMiner {
             } else {
                 ((ta, a.remaining), (tb, b.remaining))
             };
+            let was_tripped = tripped.is_some();
             merge_spilled(
                 &mut left,
                 right,
@@ -620,8 +690,17 @@ impl OutOfCoreMiner {
                 is_final,
             );
             stats.merge_passes += 1;
+            merge_done += merge_estimate!(2);
+            peak_nodes = peak_nodes.max(left.0.node_count() as u64);
+            obs.gauge_arena_bytes(left.0.memory_stats().approx_bytes as u64);
+            obs.instant("merge_pass", &[("pass", stats.merge_passes)]);
+            if !was_tripped && tripped.is_some() {
+                obs.instant("budget_trip", &[("pass", stats.merge_passes)]);
+            }
+            progress_tick!(spills.len() + 1);
             if is_final {
                 resident = Some(left);
+                obs.span_exit();
                 continue;
             }
             let (ref mut tree, _) = left;
@@ -631,17 +710,27 @@ impl OutOfCoreMiner {
                 .join(format!("merge-{next_merge_name:04}.spill"));
             next_merge_name += 1;
             guard.track(&path);
-            match fault::retry_io(cfg.retry, &mut retries, || spill_tree(tree, &path)) {
+            let retries_before = retries;
+            let spilled = fault::retry_io(cfg.retry, &mut retries, || spill_tree(tree, &path));
+            note_faults!();
+            if retries > retries_before {
+                obs.instant("retry", &[("attempts", retries - retries_before)]);
+            }
+            match spilled {
                 Ok(b) => {
                     stats.spill_bytes += b;
                     stats.spilled += 1;
+                    obs.instant("spill", &[("pass", stats.merge_passes), ("bytes", b)]);
+                    obs.gauge_spill_bytes(stats.spill_bytes);
                 }
                 Err(FimError::Io(e)) if fault::is_enospc(&e) => {
                     // the merged tree stays resident; its (journaled)
                     // inputs stay on disk for resume
                     tripped.get_or_insert(TripReason::DiskFull);
                     disk_full = true;
+                    obs.instant("disk_full", &[("pass", stats.merge_passes)]);
                     resident = Some(left);
+                    obs.span_exit();
                     continue;
                 }
                 Err(e) => return Err(e),
@@ -671,6 +760,7 @@ impl OutOfCoreMiner {
                 remaining: left.1,
                 intervals: covered,
             });
+            obs.span_exit();
         }
 
         // Degraded fold: the spill device is full, so every outstanding
@@ -683,6 +773,7 @@ impl OutOfCoreMiner {
                 .unwrap_or_else(|| (PrefixTree::new(num_items), global_supports.to_vec()));
             while let Some(s) = spills.pop_front() {
                 let is_final = spills.is_empty();
+                obs.span_enter("pass");
                 let t = load_spill(&s.path)?;
                 merge_spilled(
                     &mut acc,
@@ -694,9 +785,15 @@ impl OutOfCoreMiner {
                     is_final,
                 );
                 stats.merge_passes += 1;
+                merge_done += merge_estimate!(2);
+                peak_nodes = peak_nodes.max(acc.0.node_count() as u64);
+                obs.instant("merge_pass", &[("pass", stats.merge_passes)]);
+                obs.span_exit();
+                progress_tick!(spills.len() + 1);
             }
             resident = Some(acc);
         }
+        obs.span_exit();
 
         // Phase 3: report from the single surviving tree.
         let (mut tree, remaining) = match resident {
@@ -715,6 +812,7 @@ impl OutOfCoreMiner {
                 None => (PrefixTree::new(num_items), global_supports.to_vec()),
             },
         };
+        obs.span_enter("report");
         if !matches!(cfg.policy, PrunePolicy::Never) {
             // terminal-reducing prune: this tree is only reported now
             tree.prune(&remaining, minsupp);
@@ -731,9 +829,12 @@ impl OutOfCoreMiner {
         counters.add(Counter::ShardsResumed, resumed);
         stats.counters = counters;
         stats.memory = tree.memory_stats();
+        obs.gauge_arena_bytes(stats.memory.approx_bytes as u64);
+        obs.gauge_nodes(peak_nodes.max(tree.node_count() as u64));
         let result = MiningResult {
             sets: tree.report(minsupp),
         };
+        obs.span_exit();
         let outcome = match tripped {
             Some(reason) => MineOutcome::Interrupted {
                 partial: result,
@@ -1158,6 +1259,7 @@ mod tests {
                 },
                 journal,
                 resume,
+                &mut Obs::new(),
             )
             .expect("pipeline")
     }

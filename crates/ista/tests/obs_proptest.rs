@@ -1,13 +1,18 @@
 //! Property tests for the observability layer: instrumentation must be a
-//! pure observer. Mining with spans, a heartbeat, and counters enabled has
-//! to produce exactly the sets that an unobserved run produces, across the
-//! tree-layout × prune-policy × minimum-support grid; and the counters it
-//! reports must describe work that actually happened (allocations at least
-//! as numerous as live nodes, scans at least as numerous as insertions).
+//! pure observer. Mining with the full bundle enabled — spans, a
+//! heartbeat, the flight-recorder trace, the background resource sampler,
+//! phase histograms, and counters — has to produce exactly the sets that
+//! an unobserved run produces, across the tree-layout × prune-policy ×
+//! minimum-support grid; and the counters it reports must describe work
+//! that actually happened (allocations at least as numerous as live
+//! nodes, scans at least as numerous as insertions).
 
 use fim_core::{ClosedMiner, Item, MiningResult, RecodedDatabase};
 use fim_ista::{IstaConfig, IstaMiner, PrunePolicy};
-use fim_obs::{Counter, Obs, ProgressEmitter, ProgressStyle, SpanRecorder};
+use fim_obs::{
+    Counter, Obs, PhaseHistograms, ProgressEmitter, ProgressStyle, ResourceGauges, ResourceSampler,
+    SpanRecorder, TraceWriter,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::io::Write;
@@ -56,9 +61,10 @@ impl Write for Sink {
     }
 }
 
-/// An [`Obs`] with every facility turned on, heartbeating into `sink` at a
-/// zero interval so every strided check emits.
-fn full_obs(sink: &Sink) -> Obs {
+/// An [`Obs`] with every facility turned on: heartbeat into `sink` at a
+/// zero interval so every strided check emits, the trace stream into
+/// `trace_sink`, and the background sampler polling at 1 ms.
+fn full_obs(sink: &Sink, trace_sink: &Sink) -> Obs {
     let mut obs = Obs::new();
     obs.spans = Some(SpanRecorder::new());
     obs.progress = Some(ProgressEmitter::with_writer(
@@ -66,6 +72,15 @@ fn full_obs(sink: &Sink) -> Obs {
         ProgressStyle::JsonLines,
         Box::new(sink.clone()),
     ));
+    obs.trace = Some(TraceWriter::new(Box::new(trace_sink.clone())));
+    let gauges = Arc::new(ResourceGauges::default());
+    obs.sampler = Some(ResourceSampler::start(
+        Duration::from_millis(1),
+        Arc::clone(&gauges),
+        None,
+    ));
+    obs.gauges = Some(gauges);
+    obs.hist = Some(PhaseHistograms::new());
     obs
 }
 
@@ -86,7 +101,8 @@ proptest! {
         let plain = miner.mine(&db, minsupp).canonicalized();
 
         let sink = Sink::default();
-        let mut obs = full_obs(&sink);
+        let trace_sink = Sink::default();
+        let mut obs = full_obs(&sink, &trace_sink);
         let (observed, stats) = miner.mine_with_obs(&db, minsupp, &mut obs);
         prop_assert_eq!(canon(&plain), canon(&observed.canonicalized()));
 
@@ -98,6 +114,19 @@ proptest! {
             }).collect()
         };
         prop_assert_eq!(fmt(&plain), fmt(&observed));
+
+        // drain the full bundle: the sampler stops cleanly and the trace
+        // closes with balanced begin/end events
+        let resources = obs.take_resources();
+        prop_assert!(resources.peak_rss_kb > 0, "RSS probe returned nothing");
+        let emitted = obs.finish_trace().expect("trace was on");
+        let text = String::from_utf8(trace_sink.0.lock().unwrap().clone()).unwrap();
+        let events = fim_obs::read_trace(&text);
+        prop_assert!(events.is_ok(), "trace unreadable: {:?}", events.err());
+        let events = events.unwrap();
+        prop_assert_eq!(events.len() as u64, emitted);
+        let pairing = fim_obs::validate_trace_pairing(&events);
+        prop_assert!(pairing.is_ok(), "unbalanced trace: {:?}", pairing.err());
 
         // the counters must describe real work
         let c = &stats.counters;
@@ -119,7 +148,8 @@ proptest! {
     fn heartbeat_and_spans_record(db in small_db(), minsupp in 1u32..=3) {
         prop_assume!(db.transactions().iter().any(|t| !t.is_empty()));
         let sink = Sink::default();
-        let mut obs = full_obs(&sink);
+        let trace_sink = Sink::default();
+        let mut obs = full_obs(&sink, &trace_sink);
         let miner = IstaMiner::default();
         let _ = miner.mine_with_obs(&db, minsupp, &mut obs);
 

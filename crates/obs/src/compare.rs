@@ -1,0 +1,399 @@
+//! Regression comparison between two runs (`fim compare`).
+//!
+//! Inputs are either metrics snapshots (one `fim-metrics/N` object per
+//! file) or ledgers (JSONL of `fim-ledger/1` lines — the *last* entry is
+//! compared, so pointing at a growing ledger compares the most recent
+//! run). Detection is by content, not extension.
+//!
+//! Regression policy: a metric regresses when it worsens by more than the
+//! percentage threshold *and* by more than an absolute floor. The floors
+//! exist because CI smoke cells finish in milliseconds and idle-RSS noise
+//! is a few hundred kB — a pure percentage gate would flap. A `sets`
+//! mismatch is always a regression: result drift is never noise.
+
+use crate::json::{parse_json, JsonValue};
+use crate::ledger::{read_ledger, LedgerEntry};
+use crate::metrics::{METRICS_SCHEMA, METRICS_SCHEMA_V1};
+use std::collections::BTreeMap;
+use std::io::Write;
+
+/// Thresholds above which a worsened metric counts as a regression.
+#[derive(Clone, Copy, Debug)]
+pub struct Thresholds {
+    /// Wall-clock regression percentage (default 10%).
+    pub time_pct: f64,
+    /// Absolute wall-clock floor in seconds (default 0.1 s).
+    pub time_floor_secs: f64,
+    /// Peak-RSS regression percentage (default 10%).
+    pub mem_pct: f64,
+    /// Absolute peak-RSS floor in kB (default 2048 kB).
+    pub mem_floor_kb: f64,
+    /// Counter regression percentage (default 25%).
+    pub counter_pct: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            time_pct: 10.0,
+            time_floor_secs: 0.1,
+            mem_pct: 10.0,
+            mem_floor_kb: 2048.0,
+            counter_pct: 25.0,
+        }
+    }
+}
+
+/// The comparable surface extracted from either input kind.
+#[derive(Clone, Debug, Default)]
+pub struct RunSummary {
+    /// Where the numbers came from (`metrics` or `ledger`).
+    pub kind: &'static str,
+    /// Algorithm label.
+    pub algo: String,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Reported closed sets, when present.
+    pub sets: Option<u64>,
+    /// Peak RSS in kB, when the source recorded it (v1 metrics did not).
+    pub peak_rss_kb: Option<u64>,
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// Parses a run summary out of file contents (metrics object or ledger
+/// JSONL, detected by schema tag).
+pub fn parse_run_summary(text: &str) -> Result<RunSummary, String> {
+    let head = text.trim_start();
+    if head.is_empty() {
+        return Err("input is empty".into());
+    }
+    if text.contains("\"fim-ledger/") {
+        let entries = read_ledger(text)?;
+        let last = entries.last().ok_or("ledger has no complete entries")?;
+        return Ok(summary_of_ledger(last));
+    }
+    let doc = parse_json(text).map_err(|e| format!("not a metrics document: {e}"))?;
+    summary_of_metrics(&doc)
+}
+
+fn summary_of_ledger(entry: &LedgerEntry) -> RunSummary {
+    RunSummary {
+        kind: "ledger",
+        algo: entry.algo.clone(),
+        seconds: entry.seconds,
+        sets: Some(entry.sets),
+        peak_rss_kb: (entry.peak_rss_kb > 0).then_some(entry.peak_rss_kb),
+        counters: entry.counter_map(),
+    }
+}
+
+fn summary_of_metrics(doc: &JsonValue) -> Result<RunSummary, String> {
+    let schema = doc
+        .get("schema")
+        .and_then(|v| v.as_str())
+        .ok_or("metrics document has no schema tag")?;
+    if schema != METRICS_SCHEMA && schema != METRICS_SCHEMA_V1 {
+        return Err(format!("unsupported metrics schema {schema:?}"));
+    }
+    // v1 compatibility: the resources section (and its peak RSS) only
+    // exists from v2 on.
+    let peak_rss_kb = doc
+        .get("resources")
+        .and_then(|r| r.get("peak_rss_kb"))
+        .and_then(|v| v.as_u64())
+        .filter(|&kb| kb > 0);
+    Ok(RunSummary {
+        kind: "metrics",
+        algo: doc
+            .get("miner")
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string(),
+        seconds: doc
+            .get("seconds")
+            .and_then(|v| v.as_f64())
+            .ok_or("metrics document missing \"seconds\"")?,
+        sets: doc.get("sets").and_then(|v| v.as_u64()),
+        peak_rss_kb,
+        counters: doc
+            .get("counters")
+            .map(|c| c.as_u64_map())
+            .unwrap_or_default(),
+    })
+}
+
+/// One compared metric.
+#[derive(Clone, Debug)]
+pub struct CompareRow {
+    /// Metric name (`seconds`, `peak_rss_kb`, `sets`, or a counter).
+    pub metric: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// Signed percentage change (positive = worsened for all our metrics).
+    pub delta_pct: f64,
+    /// Whether this row trips the regression gate.
+    pub regressed: bool,
+}
+
+/// Full comparison result.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    /// All compared rows, regressions first.
+    pub rows: Vec<CompareRow>,
+    /// Number of regressed rows.
+    pub regressions: usize,
+}
+
+fn pct(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        if new == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        100.0 * (new - base) / base
+    }
+}
+
+/// Compares candidate against baseline under `t`.
+pub fn compare(base: &RunSummary, new: &RunSummary, t: &Thresholds) -> CompareReport {
+    let mut rows = Vec::new();
+
+    let time_pct = pct(base.seconds, new.seconds);
+    rows.push(CompareRow {
+        metric: "seconds".into(),
+        base: base.seconds,
+        new: new.seconds,
+        delta_pct: time_pct,
+        regressed: time_pct > t.time_pct && (new.seconds - base.seconds) > t.time_floor_secs,
+    });
+
+    if let (Some(b), Some(n)) = (base.peak_rss_kb, new.peak_rss_kb) {
+        let mem_pct = pct(b as f64, n as f64);
+        rows.push(CompareRow {
+            metric: "peak_rss_kb".into(),
+            base: b as f64,
+            new: n as f64,
+            delta_pct: mem_pct,
+            regressed: mem_pct > t.mem_pct && (n as f64 - b as f64) > t.mem_floor_kb,
+        });
+    }
+
+    if let (Some(b), Some(n)) = (base.sets, new.sets) {
+        rows.push(CompareRow {
+            metric: "sets".into(),
+            base: b as f64,
+            new: n as f64,
+            delta_pct: pct(b as f64, n as f64),
+            // Result drift in either direction is a correctness signal,
+            // never noise.
+            regressed: b != n,
+        });
+    }
+
+    // Counters present on both sides; a counter that appears or vanishes
+    // entirely usually means a different code path was configured, which
+    // the config diff (not this gate) should surface.
+    for (name, &b) in &base.counters {
+        let Some(&n) = new.counters.get(name) else {
+            continue;
+        };
+        let delta = pct(b as f64, n as f64);
+        rows.push(CompareRow {
+            metric: name.clone(),
+            base: b as f64,
+            new: n as f64,
+            delta_pct: delta,
+            regressed: delta > t.counter_pct,
+        });
+    }
+
+    rows.sort_by_key(|r| !r.regressed as u8);
+    let regressions = rows.iter().filter(|r| r.regressed).count();
+    CompareReport { rows, regressions }
+}
+
+impl CompareReport {
+    /// Writes the human-readable table.
+    pub fn write_table(&self, w: &mut dyn Write) -> std::io::Result<()> {
+        let name_width = self
+            .rows
+            .iter()
+            .map(|r| r.metric.len())
+            .chain(std::iter::once("metric".len()))
+            .max()
+            .unwrap_or(6);
+        writeln!(
+            w,
+            "{:<name_width$}  {:>14}  {:>14}  {:>9}  verdict",
+            "metric", "base", "new", "delta"
+        )?;
+        for row in &self.rows {
+            let delta = if row.delta_pct.is_infinite() {
+                "new".to_string()
+            } else {
+                format!("{:+.1}%", row.delta_pct)
+            };
+            writeln!(
+                w,
+                "{:<name_width$}  {:>14}  {:>14}  {:>9}  {}",
+                row.metric,
+                trim_float(row.base),
+                trim_float(row.new),
+                delta,
+                if row.regressed { "REGRESSED" } else { "ok" }
+            )?;
+        }
+        writeln!(
+            w,
+            "{} metric(s) compared, {} regression(s)",
+            self.rows.len(),
+            self.regressions
+        )
+    }
+
+    /// Writes the machine-readable JSON report.
+    pub fn write_json(&self, w: &mut dyn Write) -> std::io::Result<()> {
+        writeln!(w, "{{")?;
+        writeln!(w, "  \"schema\": \"fim-compare/1\",")?;
+        writeln!(w, "  \"regressions\": {},", self.regressions)?;
+        writeln!(w, "  \"rows\": [")?;
+        for (i, row) in self.rows.iter().enumerate() {
+            let delta = if row.delta_pct.is_finite() {
+                format!("{:.4}", row.delta_pct)
+            } else {
+                "null".to_string()
+            };
+            writeln!(
+                w,
+                "    {{\"metric\": \"{}\", \"base\": {}, \"new\": {}, \"delta_pct\": {}, \"regressed\": {}}}{}",
+                crate::metrics::escape(&row.metric),
+                trim_float(row.base),
+                trim_float(row.new),
+                delta,
+                row.regressed,
+                if i + 1 < self.rows.len() { "," } else { "" }
+            )?;
+        }
+        writeln!(w, "  ]")?;
+        writeln!(w, "}}")
+    }
+}
+
+fn trim_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(seconds: f64, sets: u64, rss: u64, scans: u64) -> RunSummary {
+        RunSummary {
+            kind: "metrics",
+            algo: "ista".into(),
+            seconds,
+            sets: Some(sets),
+            peak_rss_kb: Some(rss),
+            counters: [("seg_scans".to_string(), scans)].into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn identical_runs_have_no_regressions() {
+        let a = run(1.0, 981, 20000, 500);
+        let report = compare(&a, &a.clone(), &Thresholds::default());
+        assert_eq!(report.regressions, 0);
+        assert!(report.rows.iter().all(|r| !r.regressed));
+    }
+
+    #[test]
+    fn small_noise_is_below_the_floors() {
+        let base = run(0.010, 981, 20000, 500);
+        let new = run(0.014, 981, 20500, 500); // +40% time but only 4 ms
+        let report = compare(&base, &new, &Thresholds::default());
+        assert_eq!(report.regressions, 0, "absolute floors absorb noise");
+    }
+
+    #[test]
+    fn large_time_regression_trips() {
+        let base = run(1.0, 981, 20000, 500);
+        let new = run(1.5, 981, 20000, 500);
+        let report = compare(&base, &new, &Thresholds::default());
+        assert_eq!(report.regressions, 1);
+        assert_eq!(report.rows[0].metric, "seconds", "regressions sort first");
+    }
+
+    #[test]
+    fn sets_drift_always_trips() {
+        let base = run(1.0, 981, 20000, 500);
+        let new = run(1.0, 980, 20000, 500);
+        let report = compare(&base, &new, &Thresholds::default());
+        assert_eq!(report.regressions, 1);
+        assert!(report.rows[0].metric == "sets");
+    }
+
+    #[test]
+    fn counter_regression_trips_over_threshold() {
+        let base = run(1.0, 981, 20000, 100);
+        let new = run(1.0, 981, 20000, 126);
+        let report = compare(&base, &new, &Thresholds::default());
+        assert_eq!(report.regressions, 1);
+        assert_eq!(report.rows[0].metric, "seg_scans");
+    }
+
+    #[test]
+    fn parses_metrics_v1_without_resources() {
+        let doc = "{\n  \"schema\": \"fim-metrics/1\",\n  \"miner\": \"ista\",\n  \"supp\": 2,\n  \"seconds\": 1.5,\n  \"sets\": 10,\n  \"transactions\": {\"total\": 9, \"distinct\": 9},\n  \"counters\": {\"seg_scans\": 4}\n}";
+        let summary = parse_run_summary(doc).unwrap();
+        assert_eq!(summary.kind, "metrics");
+        assert_eq!(summary.peak_rss_kb, None, "v1 has no resources section");
+        assert_eq!(summary.counters.get("seg_scans"), Some(&4));
+    }
+
+    #[test]
+    fn parses_ledger_last_entry() {
+        let mut entry = crate::ledger::LedgerEntry {
+            algo: "eclat".into(),
+            seconds: 2.0,
+            sets: 7,
+            peak_rss_kb: 1024,
+            exit: "ok".into(),
+            ..Default::default()
+        };
+        let mut text = entry.to_json_line();
+        text.push('\n');
+        entry.seconds = 3.0;
+        text.push_str(&entry.to_json_line());
+        text.push('\n');
+        let summary = parse_run_summary(&text).unwrap();
+        assert_eq!(summary.kind, "ledger");
+        assert_eq!(summary.seconds, 3.0, "last entry wins");
+    }
+
+    #[test]
+    fn reports_render() {
+        let base = run(1.0, 981, 20000, 100);
+        let new = run(1.5, 980, 24000, 200);
+        let report = compare(&base, &new, &Thresholds::default());
+        let mut table = Vec::new();
+        report.write_table(&mut table).unwrap();
+        let table = String::from_utf8(table).unwrap();
+        assert!(table.contains("REGRESSED"));
+        let mut json = Vec::new();
+        report.write_json(&mut json).unwrap();
+        let doc = parse_json(std::str::from_utf8(&json).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("regressions").unwrap().as_u64().unwrap() as usize,
+            report.regressions
+        );
+    }
+}

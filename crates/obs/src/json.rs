@@ -1,0 +1,319 @@
+//! A minimal hand-rolled JSON reader.
+//!
+//! The repo's writers hand-roll their JSON (no serde anywhere), and until
+//! this PR nothing needed to read it back. The ledger, `fim compare`, and
+//! the trace exporter all do, so this module provides the smallest value
+//! model that covers them: numbers are kept as `f64` (every quantity we
+//! emit fits exactly — counters stay below 2^53 in practice), objects keep
+//! insertion order, and errors carry a byte offset for diagnostics.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number, kept as `f64`.
+    Num(f64),
+    /// A string with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on objects (first match), `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice if it is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object members as a name → u64 map, skipping non-integral members.
+    /// Convenience for the `counters` sections.
+    pub fn as_u64_map(&self) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        if let JsonValue::Obj(members) = self {
+            for (k, v) in members {
+                if let Some(n) = v.as_u64() {
+                    out.insert(k.clone(), n);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Parses one JSON document; trailing whitespace is allowed, trailing
+/// non-whitespace is an error.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    let Some(&c) = bytes.get(*pos) else {
+        return Err("unexpected end of input".into());
+    };
+    match c {
+        b'{' => parse_object(bytes, pos),
+        b'[' => parse_array(bytes, pos),
+        b'"' => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        b't' => parse_lit(bytes, pos, "true", JsonValue::Bool(true)),
+        b'f' => parse_lit(bytes, pos, "false", JsonValue::Bool(false)),
+        b'n' => parse_lit(bytes, pos, "null", JsonValue::Null),
+        b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+        other => Err(format!("unexpected byte {:?} at {}", other as char, *pos)),
+    }
+}
+
+fn parse_lit(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(JsonValue::Num)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&c) = bytes.get(*pos) else {
+            return Err("unterminated string".into());
+        };
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err("unterminated escape".into());
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        *pos += 4;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        // Surrogate pairs are not emitted by any writer in
+                        // this repo; map lone surrogates to the replacement
+                        // character rather than erroring.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape \\{}", other as char)),
+                }
+            }
+            _ => {
+                // Re-borrow the utf8 tail for multi-byte characters.
+                if c < 0x80 {
+                    out.push(c as char);
+                } else {
+                    let tail = std::str::from_utf8(&bytes[*pos - 1..])
+                        .map_err(|e| format!("invalid utf-8 in string: {e}"))?;
+                    let ch = tail.chars().next().unwrap();
+                    out.push(ch);
+                    *pos += ch.len_utf8() - 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // consume '{'
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let doc = parse_json(
+            r#"{"a": 1, "b": -2.5, "c": "x\n\"y\"", "d": [true, false, null], "e": {"k": 1e3}}"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("b").unwrap().as_f64(), Some(-2.5));
+        assert_eq!(doc.get("c").unwrap().as_str(), Some("x\n\"y\""));
+        assert_eq!(doc.get("d").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(
+            doc.get("e").unwrap().get("k").unwrap().as_f64(),
+            Some(1000.0)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("{\"a\" 1}").is_err());
+        assert!(parse_json("12 tail").is_err());
+        assert!(parse_json("\"open").is_err());
+    }
+
+    #[test]
+    fn roundtrips_real_metrics_output() {
+        // A trimmed fim-metrics document as written by MetricsReport.
+        let doc = parse_json(
+            "{\n  \"schema\": \"fim-metrics/1\",\n  \"miner\": \"ista\",\n  \"supp\": 2,\n  \"counters\": {\n    \"seg_scans\": 12\n  }\n}",
+        )
+        .unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str(), Some("fim-metrics/1"));
+        assert_eq!(
+            doc.get("counters").unwrap().as_u64_map().get("seg_scans"),
+            Some(&12)
+        );
+    }
+
+    #[test]
+    fn u64_map_skips_fractional_members() {
+        let doc = parse_json(r#"{"a": 2, "b": 2.5, "c": "x"}"#).unwrap();
+        let map = doc.as_u64_map();
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.get("a"), Some(&2));
+    }
+}

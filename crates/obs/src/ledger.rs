@@ -1,0 +1,272 @@
+//! Append-only run ledger: one fingerprinted JSON line per run.
+//!
+//! The ledger is the durable complement of the one-shot metrics snapshot:
+//! every `--ledger` run appends a line keyed by the input's FNV-1a
+//! fingerprint, so "did PR N make webview-tpo slower?" becomes a
+//! `fim compare` over two ledger files instead of a manual rerun of
+//! E10–E16. Lines are self-describing ([`LEDGER_SCHEMA`] tag per line)
+//! and the file is valid JSONL — crash-truncated final lines are
+//! skipped, never fatal, matching the spill-manifest recovery posture.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::json::{parse_json, JsonValue};
+use crate::metrics::escape;
+
+/// Schema tag carried by every ledger line.
+pub const LEDGER_SCHEMA: &str = "fim-ledger/1";
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// 64-bit FNV-1a over a file's contents, streamed.
+pub fn fnv1a_file(path: &Path) -> std::io::Result<u64> {
+    let mut file = std::fs::File::open(path)?;
+    let mut hash = FNV_OFFSET;
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            return Ok(hash);
+        }
+        for &b in &buf[..n] {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// One run's ledger record.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LedgerEntry {
+    /// FNV-1a of the input file's bytes (0 when the input was stdin).
+    pub input_fnv: u64,
+    /// Algorithm name as the CLI spells it (`ista`, `eclat`, ...).
+    pub algo: String,
+    /// Effective absolute support threshold.
+    pub supp: u64,
+    /// Free-form config summary (flags that shape the run).
+    pub config: String,
+    /// Wall-clock seconds for the mine.
+    pub seconds: f64,
+    /// Closed sets reported.
+    pub sets: u64,
+    /// Transactions processed.
+    pub transactions: u64,
+    /// Peak resident set size in kB (0 when the probe was unavailable).
+    pub peak_rss_kb: u64,
+    /// Exit status: `"ok"`, `"budget"`, `"disk-full"`, ...
+    pub exit: String,
+    /// Per-phase self-times in seconds, recording order preserved.
+    pub phases: Vec<(String, f64)>,
+    /// Nonzero counters.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl LedgerEntry {
+    /// Renders the entry as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut line = format!(
+            "{{\"schema\":\"{LEDGER_SCHEMA}\",\"input_fnv\":\"{:016x}\",\"algo\":\"{}\",\"supp\":{},\"config\":\"{}\",\"seconds\":{:.6},\"sets\":{},\"transactions\":{},\"peak_rss_kb\":{},\"exit\":\"{}\"",
+            self.input_fnv,
+            escape(&self.algo),
+            self.supp,
+            escape(&self.config),
+            self.seconds,
+            self.sets,
+            self.transactions,
+            self.peak_rss_kb,
+            escape(&self.exit),
+        );
+        line.push_str(",\"phases\":{");
+        for (i, (name, secs)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("\"{}\":{:.6}", escape(name), secs));
+        }
+        line.push_str("},\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("\"{}\":{}", escape(name), value));
+        }
+        line.push_str("}}");
+        line
+    }
+
+    /// Appends the entry to the ledger file, creating it if needed. The
+    /// line is written with one syscall-visible `write` + flush so
+    /// concurrent appenders interleave at line granularity.
+    pub fn append(&self, path: &Path) -> std::io::Result<()> {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let mut line = self.to_json_line();
+        line.push('\n');
+        file.write_all(line.as_bytes())?;
+        file.flush()
+    }
+
+    /// Parses one ledger line.
+    pub fn from_json_line(line: &str) -> Result<LedgerEntry, String> {
+        let doc = parse_json(line)?;
+        let schema = doc
+            .get("schema")
+            .and_then(|v| v.as_str())
+            .ok_or("ledger line has no schema tag")?;
+        if schema != LEDGER_SCHEMA {
+            return Err(format!("unsupported ledger schema {schema:?}"));
+        }
+        let str_of = |key: &str| {
+            doc.get(key)
+                .and_then(|v| v.as_str())
+                .map(str::to_string)
+                .ok_or_else(|| format!("ledger line missing \"{key}\""))
+        };
+        let u64_of = |key: &str| {
+            doc.get(key)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("ledger line missing \"{key}\""))
+        };
+        let input_fnv = u64::from_str_radix(&str_of("input_fnv")?, 16)
+            .map_err(|e| format!("bad input_fnv: {e}"))?;
+        let phases = match doc.get("phases") {
+            Some(JsonValue::Obj(members)) => members
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f)))
+                .collect(),
+            _ => Vec::new(),
+        };
+        let counters: Vec<(String, u64)> = match doc.get("counters") {
+            Some(JsonValue::Obj(members)) => members
+                .iter()
+                .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
+                .collect(),
+            _ => Vec::new(),
+        };
+        Ok(LedgerEntry {
+            input_fnv,
+            algo: str_of("algo")?,
+            supp: u64_of("supp")?,
+            config: str_of("config")?,
+            seconds: doc
+                .get("seconds")
+                .and_then(|v| v.as_f64())
+                .ok_or("ledger line missing \"seconds\"")?,
+            sets: u64_of("sets")?,
+            transactions: u64_of("transactions")?,
+            peak_rss_kb: u64_of("peak_rss_kb")?,
+            exit: str_of("exit")?,
+            phases,
+            counters,
+        })
+    }
+
+    /// Nonzero counters as a map (for comparison).
+    pub fn counter_map(&self) -> BTreeMap<String, u64> {
+        self.counters.iter().cloned().collect()
+    }
+}
+
+/// Reads a ledger file's entries. A truncated final line (crash during
+/// append) is skipped; any other malformed line is an error with its
+/// 1-based line number.
+pub fn read_ledger(text: &str) -> Result<Vec<LedgerEntry>, String> {
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut entries = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match LedgerEntry::from_json_line(line) {
+            Ok(entry) => entries.push(entry),
+            Err(_) if i + 1 == lines.len() => break,
+            Err(e) => return Err(format!("ledger line {}: {e}", i + 1)),
+        }
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Published FNV-1a test vectors.
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn file_hash_matches_slice_hash() {
+        let path = std::env::temp_dir().join(format!("fim-ledger-fnv-{}", std::process::id()));
+        std::fs::write(&path, b"1 2 3\n2 3\n").unwrap();
+        assert_eq!(fnv1a_file(&path).unwrap(), fnv1a(b"1 2 3\n2 3\n"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    fn entry() -> LedgerEntry {
+        LedgerEntry {
+            input_fnv: 0xdead_beef_0123_4567,
+            algo: "ista".into(),
+            supp: 2,
+            config: "order=app patricia=on".into(),
+            seconds: 1.25,
+            sets: 981,
+            transactions: 59602,
+            peak_rss_kb: 20480,
+            exit: "ok".into(),
+            phases: vec![("recode".into(), 0.05), ("mine".into(), 1.1)],
+            counters: vec![("seg_scans".into(), 12), ("isect_ops".into(), 9000)],
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_json_line() {
+        let e = entry();
+        let parsed = LedgerEntry::from_json_line(&e.to_json_line()).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn append_accumulates_and_truncated_tail_is_skipped() {
+        let path = std::env::temp_dir().join(format!("fim-ledger-append-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        entry().append(&path).unwrap();
+        entry().append(&path).unwrap();
+        // Simulate a crash mid-append.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"schema\":\"fim-ledger/1\",\"inp");
+        let entries = read_ledger(&text).unwrap();
+        assert_eq!(entries.len(), 2);
+        // A malformed line in the middle is a real error.
+        let bad = format!(
+            "{}\nnot json\n{}\n",
+            entry().to_json_line(),
+            entry().to_json_line()
+        );
+        assert!(read_ledger(&bad).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_foreign_schema() {
+        assert!(LedgerEntry::from_json_line("{\"schema\":\"fim-ledger/9\"}").is_err());
+    }
+}

@@ -9,20 +9,30 @@
 //! schema unit test share it).
 
 use crate::counters::Counters;
+use crate::resource::{ResourceSample, HIST_BUCKETS};
 use std::io::{self, Write};
 
 /// Version tag carried in the `schema` field. Bump when a required key
 /// changes meaning or disappears; adding optional keys is compatible.
-pub const METRICS_SCHEMA: &str = "fim-metrics/1";
+/// v2 added the required `resources` section and the optional `events`
+/// section.
+pub const METRICS_SCHEMA: &str = "fim-metrics/2";
 
-/// Keys every metrics document must contain.
-pub const REQUIRED_METRICS_KEYS: [&str; 7] = [
+/// The previous schema tag. [`validate_metrics_json`] still accepts v1
+/// documents (under the v1 key set) so committed baselines and old
+/// `BENCH_*` files keep validating and comparing.
+pub const METRICS_SCHEMA_V1: &str = "fim-metrics/1";
+
+/// Keys every current (v2) metrics document must contain. v1 documents
+/// carry everything except `resources`.
+pub const REQUIRED_METRICS_KEYS: [&str; 8] = [
     "schema",
     "miner",
     "supp",
     "seconds",
     "sets",
     "transactions",
+    "resources",
     "counters",
 ];
 
@@ -166,6 +176,49 @@ impl ConstraintMetrics {
     }
 }
 
+/// Resource telemetry section. Required from `fim-metrics/2` on: every
+/// report carries at least the one-shot peak-RSS reading, and runs with
+/// the sampler enabled additionally carry the time series and the
+/// per-phase duration histograms.
+#[derive(Clone, Debug, Default)]
+pub struct ResourceMetrics {
+    /// Peak resident set size in kB (`VmHWM`; 0 when the probe is
+    /// unavailable, e.g. off Linux).
+    pub peak_rss_kb: u64,
+    /// Resident set size in kB at report time (`VmRSS`; 0 when
+    /// unavailable).
+    pub rss_kb: u64,
+    /// Sampler interval in ms when the background sampler ran.
+    pub sample_interval_ms: Option<u64>,
+    /// Sampler time series (empty without `--sample`).
+    pub samples: Vec<ResourceSample>,
+    /// Per-phase log2-µs duration histograms, trimmed to the last
+    /// nonzero bucket when rendered.
+    pub histograms: Vec<(&'static str, [u64; HIST_BUCKETS])>,
+}
+
+impl ResourceMetrics {
+    /// A section holding just the current probe readings (the minimum a
+    /// v2 document carries). Off Linux both fields read 0.
+    pub fn probe_now() -> Self {
+        let vm = crate::resource::vm_status().unwrap_or_default();
+        ResourceMetrics {
+            peak_rss_kb: vm.hwm_kb,
+            rss_kb: vm.rss_kb,
+            ..ResourceMetrics::default()
+        }
+    }
+}
+
+/// Event-stream section, present when `--trace-events` was on.
+#[derive(Clone, Debug, Default)]
+pub struct EventsMetrics {
+    /// Where the trace stream was written.
+    pub path: String,
+    /// Events emitted (metadata event included).
+    pub emitted: u64,
+}
+
 /// Everything one metrics document reports. Optional sections are omitted
 /// from the JSON when `None`.
 #[derive(Debug)]
@@ -194,6 +247,10 @@ pub struct MetricsReport<'a> {
     pub kernel: Option<KernelMetrics>,
     /// Constraint-engine section (constrained runs).
     pub constraint: Option<ConstraintMetrics>,
+    /// Event-stream section (`--trace-events` runs).
+    pub events: Option<EventsMetrics>,
+    /// Resource telemetry; always rendered (required in v2).
+    pub resources: ResourceMetrics,
     /// Hot-loop counters; zero slots are omitted from the JSON.
     pub counters: Counters,
 }
@@ -214,6 +271,8 @@ impl<'a> MetricsReport<'a> {
             spill: None,
             kernel: None,
             constraint: None,
+            events: None,
+            resources: ResourceMetrics::probe_now(),
             counters: Counters::new(),
         }
     }
@@ -290,6 +349,54 @@ impl<'a> MetricsReport<'a> {
                 c.prunes
             )?;
         }
+        if let Some(e) = &self.events {
+            writeln!(
+                w,
+                "  \"events\": {{\"path\": \"{}\", \"emitted\": {}}},",
+                escape(&e.path),
+                e.emitted
+            )?;
+        }
+        writeln!(w, "  \"resources\": {{")?;
+        writeln!(w, "    \"peak_rss_kb\": {},", self.resources.peak_rss_kb)?;
+        write!(w, "    \"rss_kb\": {}", self.resources.rss_kb)?;
+        if let Some(ms) = self.resources.sample_interval_ms {
+            write!(w, ",\n    \"sample_interval_ms\": {ms}")?;
+        }
+        if !self.resources.samples.is_empty() {
+            write!(w, ",\n    \"samples\": [")?;
+            for (i, s) in self.resources.samples.iter().enumerate() {
+                if i > 0 {
+                    write!(w, ",")?;
+                }
+                write!(
+                    w,
+                    "\n      {{\"at_ms\": {}, \"rss_kb\": {}, \"hwm_kb\": {}, \"nodes\": {}, \
+                     \"arena_bytes\": {}, \"spill_bytes\": {}}}",
+                    s.at_ms, s.rss_kb, s.hwm_kb, s.nodes, s.arena_bytes, s.spill_bytes
+                )?;
+            }
+            write!(w, "\n    ]")?;
+        }
+        if !self.resources.histograms.is_empty() {
+            write!(w, ",\n    \"phase_hist_log2_us\": {{")?;
+            for (i, (name, buckets)) in self.resources.histograms.iter().enumerate() {
+                if i > 0 {
+                    write!(w, ", ")?;
+                }
+                let len = buckets.iter().rposition(|&b| b > 0).map_or(0, |p| p + 1);
+                write!(w, "\"{}\": [", escape(name))?;
+                for (j, b) in buckets[..len].iter().enumerate() {
+                    if j > 0 {
+                        write!(w, ", ")?;
+                    }
+                    write!(w, "{b}")?;
+                }
+                write!(w, "]")?;
+            }
+            write!(w, "}}")?;
+        }
+        writeln!(w, "\n  }},")?;
         write!(w, "  \"counters\": {{")?;
         let mut first = true;
         for (name, value) in self.counters.iter_nonzero() {
@@ -311,7 +418,7 @@ impl<'a> MetricsReport<'a> {
     }
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' => "\\\"".chars().collect::<Vec<_>>(),
@@ -323,22 +430,28 @@ fn escape(s: &str) -> String {
 }
 
 /// Checks a metrics document against the pinned schema: the `schema` field
-/// must equal [`METRICS_SCHEMA`] and every key in
-/// [`REQUIRED_METRICS_KEYS`] must be present. Returns a description of the
-/// first violation. This is a structural lint, not a JSON parser — it
-/// matches the `"key":` spellings [`MetricsReport::write_json`] emits.
+/// must equal [`METRICS_SCHEMA`] (or [`METRICS_SCHEMA_V1`], the
+/// compatibility tag) and every key in [`REQUIRED_METRICS_KEYS`] must be
+/// present — v1 documents are exempt from `resources`, which v2
+/// introduced. Returns a description of the first violation. This is a
+/// structural lint, not a JSON parser — it matches the `"key":` spellings
+/// [`MetricsReport::write_json`] emits.
 pub fn validate_metrics_json(doc: &str) -> Result<(), String> {
     let trimmed = doc.trim_start();
     if !trimmed.starts_with('{') {
         return Err("document does not start with '{'".into());
     }
-    let tag = format!("\"schema\": \"{METRICS_SCHEMA}\"");
-    if !doc.contains(&tag) {
+    let v2 = doc.contains(&format!("\"schema\": \"{METRICS_SCHEMA}\""));
+    let v1 = doc.contains(&format!("\"schema\": \"{METRICS_SCHEMA_V1}\""));
+    if !v2 && !v1 {
         return Err(format!(
-            "missing or wrong schema tag (want {METRICS_SCHEMA})"
+            "missing or wrong schema tag (want {METRICS_SCHEMA} or {METRICS_SCHEMA_V1})"
         ));
     }
     for key in REQUIRED_METRICS_KEYS {
+        if key == "resources" && v1 {
+            continue;
+        }
         if !doc.contains(&format!("\"{key}\":")) {
             return Err(format!("missing required key \"{key}\""));
         }
@@ -381,7 +494,7 @@ mod tests {
     #[test]
     fn schema_pins_version_and_required_keys() {
         let doc = sample().to_json();
-        assert!(doc.contains("\"schema\": \"fim-metrics/1\""));
+        assert!(doc.contains("\"schema\": \"fim-metrics/2\""));
         for key in REQUIRED_METRICS_KEYS {
             assert!(
                 doc.contains(&format!("\"{key}\":")),
@@ -389,6 +502,60 @@ mod tests {
             );
         }
         validate_metrics_json(&doc).expect("sample validates");
+    }
+
+    #[test]
+    fn v1_documents_still_validate_without_resources() {
+        let v1 = "{\n  \"schema\": \"fim-metrics/1\",\n  \"miner\": \"ista\",\n  \"supp\": 2,\n  \
+                  \"seconds\": 1.0,\n  \"sets\": 5,\n  \"transactions\": {\"total\": 9},\n  \
+                  \"counters\": {}\n}";
+        validate_metrics_json(v1).expect("v1 compatibility reader");
+        // The same document under the v2 tag must be rejected: v2 made
+        // resources mandatory.
+        let fake_v2 = v1.replace("fim-metrics/1", "fim-metrics/2");
+        let err = validate_metrics_json(&fake_v2).unwrap_err();
+        assert!(err.contains("resources"), "{err}");
+    }
+
+    #[test]
+    fn resources_section_renders_series_and_histograms() {
+        let mut r = MetricsReport::new("ista", 2, 0.5, 10, 60);
+        r.resources.peak_rss_kb = 4096;
+        r.resources.rss_kb = 2048;
+        r.resources.sample_interval_ms = Some(100);
+        r.resources.samples = vec![
+            ResourceSample {
+                at_ms: 0,
+                rss_kb: 2000,
+                hwm_kb: 2000,
+                nodes: 10,
+                arena_bytes: 640,
+                spill_bytes: 0,
+            },
+            ResourceSample {
+                at_ms: 100,
+                rss_kb: 2048,
+                hwm_kb: 4096,
+                nodes: 20,
+                arena_bytes: 1280,
+                spill_bytes: 512,
+            },
+        ];
+        let mut buckets = [0u64; HIST_BUCKETS];
+        buckets[0] = 1;
+        buckets[3] = 2;
+        r.resources.histograms = vec![("mine", buckets)];
+        let doc = r.to_json();
+        validate_metrics_json(&doc).expect("resource report validates");
+        assert!(doc.contains("\"peak_rss_kb\": 4096"));
+        assert!(doc.contains("\"sample_interval_ms\": 100"));
+        assert!(doc.contains("\"spill_bytes\": 512"));
+        assert!(
+            doc.contains("\"phase_hist_log2_us\": {\"mine\": [1, 0, 0, 2]}"),
+            "buckets trim to the last nonzero:\n{doc}"
+        );
+        // The whole document must be well-formed JSON, not just greppable.
+        crate::json::parse_json(&doc).expect("metrics JSON parses");
     }
 
     #[test]
@@ -401,6 +568,11 @@ mod tests {
         assert!(!bare.contains("\"spill\""));
         assert!(!bare.contains("\"kernel\""));
         assert!(!bare.contains("\"constraint\""));
+        assert!(!bare.contains("\"events\""));
+        assert!(
+            bare.contains("\"resources\""),
+            "resources is always present"
+        );
         assert!(bare.contains("\"counters\": {}"));
         let full = sample().to_json();
         assert!(full.contains("\"tree\""));

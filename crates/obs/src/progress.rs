@@ -19,6 +19,12 @@ pub struct ProgressSnapshot {
     pub processed: u64,
     /// Total work items when known (enables the percentage and the ETA).
     pub total: Option<u64>,
+    /// Estimated work items beyond `total` that are already known to be
+    /// coming — the out-of-core pipeline reports its pending merge-pass
+    /// replays here so the ETA does not collapse to ~0 when pass 1 ends
+    /// with the merge queue still full. Folded into the ETA and the
+    /// percentage denominator.
+    pub pending: u64,
     /// Peak repository size in nodes so far (0 when not applicable).
     pub peak_nodes: u64,
     /// Current result-set size: repository nodes for IsTa (an upper bound
@@ -121,6 +127,7 @@ impl ProgressEmitter {
             ProgressStyle::Human => {
                 let pct = snap
                     .total
+                    .map(|t| t + snap.pending)
                     .filter(|&t| t > 0)
                     .map(|t| 100.0 * snap.processed as f64 / t as f64);
                 let mut line = format!("[progress] {} tx", snap.processed);
@@ -145,6 +152,9 @@ impl ProgressEmitter {
                 if let Some(t) = snap.total {
                     line.push_str(&format!(",\"total\":{t}"));
                 }
+                if snap.pending > 0 {
+                    line.push_str(&format!(",\"pending\":{}", snap.pending));
+                }
                 if let Some(e) = eta {
                     line.push_str(&format!(",\"eta_secs\":{:.3}", e.as_secs_f64()));
                 }
@@ -160,8 +170,10 @@ impl ProgressEmitter {
 }
 
 /// Linear remaining-work estimate; `None` until there is enough signal.
+/// Pending work (queued merge passes) counts as remaining even when
+/// `processed` has caught up with `total`.
 fn eta(snap: &ProgressSnapshot, elapsed: Duration) -> Option<Duration> {
-    let total = snap.total?;
+    let total = snap.total? + snap.pending;
     if snap.processed == 0 || total <= snap.processed {
         return None;
     }
@@ -198,6 +210,7 @@ mod tests {
         ProgressSnapshot {
             processed,
             total,
+            pending: 0,
             peak_nodes: 42,
             sets: 7,
         }
@@ -266,5 +279,29 @@ mod tests {
         assert!(eta(&snap(0, Some(100)), Duration::from_secs(5)).is_none());
         assert!(eta(&snap(100, Some(100)), Duration::from_secs(5)).is_none());
         assert!(eta(&snap(50, None), Duration::from_secs(5)).is_none());
+    }
+
+    #[test]
+    fn pending_merge_work_keeps_eta_alive() {
+        // End of pass 1 with merges queued: processed == total used to
+        // drop the ETA to None (read: "done"); pending keeps it honest.
+        let mut s = snap(100, Some(100));
+        s.pending = 50;
+        let e = eta(&s, Duration::from_secs(10)).unwrap();
+        assert!(
+            (e.as_secs_f64() - 5.0).abs() < 1e-9,
+            "50 items at 0.1 s/item"
+        );
+        // Pending also widens the percentage denominator in the JSON line.
+        let sink = Sink::default();
+        let mut p = ProgressEmitter::with_writer(
+            Duration::ZERO,
+            ProgressStyle::JsonLines,
+            Box::new(sink.clone()),
+        );
+        p.finish(&s);
+        let text = sink.text();
+        assert!(text.contains("\"pending\":50"), "{text}");
+        assert!(text.contains("\"eta_secs\":"), "{text}");
     }
 }

@@ -98,6 +98,24 @@ impl SpanRecorder {
             .collect()
     }
 
+    /// `(path, self_time)` rows — total minus child totals, the same
+    /// quantity [`write_collapsed`](Self::write_collapsed) emits — for
+    /// consumers that want durations rather than formatted lines (the run
+    /// ledger's per-phase column). Zero-self-time nodes are kept so the
+    /// phase list is stable across runs.
+    pub fn self_rows(&self) -> Vec<(String, Duration)> {
+        (1..self.names.len())
+            .map(|node| {
+                let child_total: Duration =
+                    self.children[node].iter().map(|&c| self.totals[c]).sum();
+                (
+                    self.path_of(node),
+                    self.totals[node].saturating_sub(child_total),
+                )
+            })
+            .collect()
+    }
+
     fn path_of(&self, mut node: usize) -> String {
         let mut parts = Vec::new();
         while node != 0 {

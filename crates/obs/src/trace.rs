@@ -1,0 +1,340 @@
+//! Flight-recorder event stream in Chrome `trace_event` format.
+//!
+//! The stream is written in the *JSON Array Format*: the file opens with
+//! `[` and every event is one complete JSON object on its own line with a
+//! trailing comma. Chrome and Perfetto explicitly tolerate a missing
+//! closing `]`, which buys two properties at once: the file is loadable in
+//! a trace viewer even when the run crashed mid-write, and each line after
+//! the first is independently parseable, so the stream doubles as JSONL.
+//!
+//! Phases used: `B`/`E` bracket the spans the miners already enter via
+//! [`crate::Obs::span_enter`], `i` marks discrete events (spill, adopt,
+//! merge pass, checkpoint, fault, retry, budget trip), and one `M`
+//! metadata event at the head carries the schema tag [`TRACE_SCHEMA`].
+
+use std::io::Write;
+use std::time::Instant;
+
+use crate::json::{parse_json, JsonValue};
+
+/// Schema tag carried by the leading metadata event.
+pub const TRACE_SCHEMA: &str = "fim-trace/1";
+
+/// Streaming writer for the event trace.
+pub struct TraceWriter {
+    out: Box<dyn Write + Send>,
+    started: Instant,
+    /// Open `B` events awaiting their `E`; names only, the timestamps live
+    /// in the file.
+    stack: Vec<&'static str>,
+    events: u64,
+    failed: bool,
+}
+
+impl std::fmt::Debug for TraceWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceWriter")
+            .field("events", &self.events)
+            .field("open_spans", &self.stack.len())
+            .finish()
+    }
+}
+
+impl TraceWriter {
+    /// Starts a trace on `out`: writes the array opener and the schema
+    /// metadata event.
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        let mut w = TraceWriter {
+            out,
+            started: Instant::now(),
+            stack: Vec::new(),
+            events: 0,
+            failed: false,
+        };
+        let _ = writeln!(w.out, "[");
+        w.write_line(&format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"fim_trace_schema\",\"args\":{{\"schema\":\"{TRACE_SCHEMA}\"}}}}",
+        ));
+        w
+    }
+
+    /// Number of events written (metadata included).
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    fn ts_us(&self) -> u128 {
+        self.started.elapsed().as_micros()
+    }
+
+    fn write_line(&mut self, body: &str) {
+        if self.failed {
+            return;
+        }
+        if writeln!(self.out, "{body},").is_err() {
+            // A broken trace sink must never abort the mining run; stop
+            // writing and let `finish` report the truncation.
+            self.failed = true;
+            return;
+        }
+        self.events += 1;
+    }
+
+    /// Opens a duration span (`ph:"B"`).
+    pub fn begin(&mut self, name: &'static str) {
+        let ts = self.ts_us();
+        self.write_line(&format!(
+            "{{\"ph\":\"B\",\"pid\":1,\"tid\":1,\"ts\":{ts},\"name\":\"{name}\"}}"
+        ));
+        self.stack.push(name);
+    }
+
+    /// Closes the most recently opened span (`ph:"E"`). Ignored when no
+    /// span is open (mirrors [`crate::SpanRecorder::exit`]).
+    pub fn end(&mut self) {
+        let Some(name) = self.stack.pop() else {
+            debug_assert!(false, "trace end with no open span");
+            return;
+        };
+        let ts = self.ts_us();
+        self.write_line(&format!(
+            "{{\"ph\":\"E\",\"pid\":1,\"tid\":1,\"ts\":{ts},\"name\":\"{name}\"}}"
+        ));
+    }
+
+    /// Records a discrete instant event with integer args.
+    pub fn instant(&mut self, name: &str, args: &[(&str, u64)]) {
+        let ts = self.ts_us();
+        let mut body = format!(
+            "{{\"ph\":\"i\",\"pid\":1,\"tid\":1,\"s\":\"t\",\"ts\":{ts},\"name\":\"{name}\""
+        );
+        if !args.is_empty() {
+            body.push_str(",\"args\":{");
+            for (i, (k, v)) in args.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&format!("\"{k}\":{v}"));
+            }
+            body.push('}');
+        }
+        body.push('}');
+        self.write_line(&body);
+    }
+
+    /// Closes any still-open spans (crash hygiene), writes the closing
+    /// bracket, and flushes. Returns the total number of events written.
+    pub fn finish(mut self) -> u64 {
+        while !self.stack.is_empty() {
+            self.end();
+        }
+        if !self.failed {
+            let _ = writeln!(self.out, "]");
+            let _ = self.out.flush();
+        }
+        self.events
+    }
+}
+
+/// One parsed trace event; only the fields the tooling needs.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Phase letter: `B`, `E`, `i`, `M`, ...
+    pub ph: String,
+    /// Event name.
+    pub name: String,
+    /// Timestamp in microseconds (0 for metadata events).
+    pub ts_us: u64,
+}
+
+/// Parses a trace written by [`TraceWriter`] — tolerant of the missing
+/// closing `]` a crashed run leaves behind, exactly like the viewers are.
+pub fn read_trace(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let body = normalize_array(text)?;
+    let doc = parse_json(&body).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let JsonValue::Arr(items) = doc else {
+        return Err("trace is not a JSON array".into());
+    };
+    let mut events = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let ph = item
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i} has no \"ph\""))?;
+        let name = item
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i} has no \"name\""))?;
+        let ts_us = item.get("ts").and_then(|v| v.as_u64()).unwrap_or(0);
+        events.push(TraceEvent {
+            ph: ph.to_string(),
+            name: name.to_string(),
+            ts_us,
+        });
+    }
+    Ok(events)
+}
+
+/// Normalizes a streamed array-format trace into strict JSON: closes a
+/// missing `]` (crashed run), drops a torn final line (crash mid-write —
+/// every complete line ends `},`, so a line without its `}` is the torn
+/// tail), and drops the trailing comma the per-line stream syntax leaves
+/// before the terminator — all forms the Chrome and Perfetto loaders
+/// accept.
+fn normalize_array(text: &str) -> Result<String, String> {
+    let mut body = text.trim().to_string();
+    if !body.starts_with('[') {
+        return Err("trace does not start with '['".into());
+    }
+    if body.ends_with(']') {
+        body.pop();
+        body.truncate(body.trim_end().len());
+    }
+    if !body.ends_with(',') && !body.ends_with('[') {
+        match body.rfind('\n') {
+            Some(pos) => body.truncate(pos),
+            None => return Err("trace has no complete events".into()),
+        }
+    }
+    let trimmed = body.trim_end().trim_end_matches(',').to_string();
+    Ok(format!("{trimmed}\n]"))
+}
+
+/// Validates `B`/`E` pairing: every `E` must close the innermost open `B`
+/// of the same name, and nothing may remain open at the end. Returns the
+/// number of complete spans.
+pub fn validate_trace_pairing(events: &[TraceEvent]) -> Result<u64, String> {
+    let mut stack: Vec<&str> = Vec::new();
+    let mut spans = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        match ev.ph.as_str() {
+            "B" => stack.push(&ev.name),
+            "E" => match stack.pop() {
+                Some(open) if open == ev.name => spans += 1,
+                Some(open) => {
+                    return Err(format!(
+                        "event {i}: E \"{}\" closes open span \"{open}\"",
+                        ev.name
+                    ))
+                }
+                None => return Err(format!("event {i}: E \"{}\" with no open span", ev.name)),
+            },
+            _ => {}
+        }
+    }
+    if let Some(open) = stack.pop() {
+        return Err(format!("span \"{open}\" never closed"));
+    }
+    Ok(spans)
+}
+
+/// Exports a streamed trace to the strict Chrome JSON *Object Format*
+/// (`{"traceEvents": [...]}`) — the belt-and-braces form every
+/// `trace_event` consumer accepts. Events are re-serialised from the
+/// parsed form, which also normalises away the trailing-comma stream
+/// syntax.
+pub fn export_chrome_object(text: &str, w: &mut dyn Write) -> Result<u64, String> {
+    let events = read_trace(text)?;
+    validate_trace_pairing(&events)?;
+    // Re-emit the normalized stream verbatim so every event field
+    // survives, not just the ones TraceEvent keeps.
+    let body = normalize_array(text)?;
+    writeln!(w, "{{\"displayTimeUnit\": \"ms\", \"traceEvents\":").map_err(|e| e.to_string())?;
+    writeln!(w, "{body}").map_err(|e| e.to_string())?;
+    writeln!(w, "}}").map_err(|e| e.to_string())?;
+    Ok(events.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io;
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Clone, Default)]
+    struct Sink(Arc<Mutex<Vec<u8>>>);
+    impl Write for Sink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+    impl Sink {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn stream_is_valid_chrome_array_json() {
+        let sink = Sink::default();
+        let mut t = TraceWriter::new(Box::new(sink.clone()));
+        t.begin("mine");
+        t.instant("spill", &[("shard", 3), ("bytes", 4096)]);
+        t.begin("merge");
+        t.end();
+        t.end();
+        t.finish();
+        let text = sink.text();
+        assert!(text.starts_with("[\n"), "{text}");
+        assert!(text.trim_end().ends_with(']'), "{text}");
+        let events = read_trace(&text).unwrap();
+        assert_eq!(events.len(), 6, "M + B + i + B + E + E");
+        assert_eq!(events[0].ph, "M");
+        assert_eq!(validate_trace_pairing(&events).unwrap(), 2);
+    }
+
+    #[test]
+    fn truncated_stream_still_parses() {
+        let sink = Sink::default();
+        let mut t = TraceWriter::new(Box::new(sink.clone()));
+        t.begin("mine");
+        t.instant("fault_injected", &[]);
+        // No end/finish: simulate a crash. Snapshot what hit the sink.
+        let text = sink.text();
+        drop(t);
+        assert!(!text.trim_end().ends_with(']'));
+        let events = read_trace(&text).unwrap();
+        assert_eq!(events.len(), 3);
+        assert!(
+            validate_trace_pairing(&events).is_err(),
+            "open span detected"
+        );
+    }
+
+    #[test]
+    fn finish_closes_open_spans() {
+        let sink = Sink::default();
+        let mut t = TraceWriter::new(Box::new(sink.clone()));
+        t.begin("mine");
+        t.begin("merge");
+        t.finish();
+        let events = read_trace(&sink.text()).unwrap();
+        assert_eq!(validate_trace_pairing(&events).unwrap(), 2);
+    }
+
+    #[test]
+    fn export_produces_object_format() {
+        let sink = Sink::default();
+        let mut t = TraceWriter::new(Box::new(sink.clone()));
+        t.begin("mine");
+        t.end();
+        t.finish();
+        let mut out = Vec::new();
+        let n = export_chrome_object(&sink.text(), &mut out).unwrap();
+        assert_eq!(n, 3);
+        let doc = parse_json(std::str::from_utf8(&out).unwrap()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 3);
+    }
+
+    #[test]
+    fn mismatched_pairing_is_rejected() {
+        let text = "[\n{\"ph\":\"B\",\"ts\":1,\"name\":\"a\"},\n{\"ph\":\"E\",\"ts\":2,\"name\":\"b\"},\n]";
+        let events = read_trace(text).unwrap();
+        assert!(validate_trace_pairing(&events).is_err());
+    }
+}
